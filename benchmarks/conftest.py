@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+`pytest benchmarks/ --benchmark-only` regenerates every table and figure of
+the paper: the session-scoped sweep below runs the full 17-benchmark,
+4-model, 3-issue-rate evaluation once, and each bench file prints its
+table/figure rows (run with ``-s`` to see them) while timing its piece of
+the pipeline.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.harness import SweepConfig, run_sweep  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def full_sweep():
+    """The paper's full evaluation: 17 stand-ins x {R,G,S,T} x issue 2/4/8."""
+    return run_sweep(SweepConfig())

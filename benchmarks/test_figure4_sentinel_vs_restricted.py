@@ -1,0 +1,41 @@
+"""Regenerates Figure 4: speedup of sentinel scheduling (S) over the
+issue-1 restricted-percolation base, against restricted percolation (R),
+for issue rates 2/4/8 on all 17 benchmark stand-ins.
+
+The shape assertions encode what the paper's figure shows: sentinel wins
+on every non-numeric benchmark and on the branchy numeric codes
+(doduc/tomcatv), while the counted-loop FP kernels (fpppp/matrix300) show
+almost no model sensitivity.
+"""
+
+from repro.eval.figures import figure4_series, render_table
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.workloads.suites import NON_NUMERIC_NAMES
+
+
+def test_figure4_regeneration(benchmark, full_sweep):
+    # time one representative slice of the pipeline: recompiling and
+    # re-estimating a single benchmark under both models at issue 8
+    def one_column():
+        sweep = run_sweep(
+            SweepConfig(benchmarks=("cmp",), issue_rates=(8,), scale=0.3)
+        )
+        return sweep.speedup("cmp", "sentinel", 8)
+
+    benchmark.pedantic(one_column, rounds=3, iterations=1)
+
+    series = figure4_series(full_sweep)
+    print()
+    print(render_table(series))
+
+    top = max(full_sweep.config.issue_rates)
+    for name in NON_NUMERIC_NAMES:
+        assert series.value(name, "S", top) > series.value(name, "R", top), name
+    for name in ("doduc", "tomcatv"):
+        assert series.value(name, "S", top) / series.value(name, "R", top) > 1.15
+    for name in ("fpppp", "matrix300"):
+        ratio = series.value(name, "S", top) / series.value(name, "R", top)
+        assert abs(ratio - 1.0) < 0.10, name
+    # the importance of sentinel support grows with issue rate (Section 5.2)
+    for name in NON_NUMERIC_NAMES:
+        assert series.value(name, "S", 8) >= series.value(name, "S", 2) * 0.99

@@ -1,0 +1,42 @@
+"""Regenerates Figure 5: general percolation (G) vs sentinel scheduling
+(S) vs sentinel scheduling with speculative stores (T).
+
+Shape assertions from the paper: S is almost identical to G everywhere;
+T's gains concentrate where stores sit under hot data-dependent guards
+(cmp, grep) and vanish where the hot loop has no stores (eqntott, wc) or
+only unguarded stores (matrix300, fpppp, tomcatv)."""
+
+from repro.eval.figures import figure5_series, render_table
+from repro.eval.harness import SweepConfig, run_sweep
+
+
+def test_figure5_regeneration(benchmark, full_sweep):
+    def one_column():
+        sweep = run_sweep(
+            SweepConfig(
+                benchmarks=("grep",), issue_rates=(8,), scale=0.3,
+            )
+        )
+        return sweep.speedup("grep", "sentinel_store", 8)
+
+    benchmark.pedantic(one_column, rounds=3, iterations=1)
+
+    series = figure5_series(full_sweep)
+    print()
+    print(render_table(series))
+
+    top = max(full_sweep.config.issue_rates)
+    # S ~= G (the paper's Figure 5 headline), worst case bounded
+    for name in series.data:
+        for rate in full_sweep.config.issue_rates:
+            deficit = series.value(name, "S", rate) / series.value(name, "G", rate)
+            assert deficit > 0.85, (name, rate)
+    # T >= S everywhere (profitability-gated store speculation)
+    for name in series.data:
+        assert series.value(name, "T", top) >= series.value(name, "S", top) * 0.999
+    # concentrated gains
+    for name in ("cmp", "grep"):
+        assert series.value(name, "T", top) / series.value(name, "S", top) > 1.05
+    for name in ("eqntott", "wc", "matrix300", "fpppp", "tomcatv"):
+        ratio = series.value(name, "T", top) / series.value(name, "S", top)
+        assert abs(ratio - 1.0) < 0.03, name

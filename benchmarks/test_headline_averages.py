@@ -1,0 +1,54 @@
+"""Regenerates the Section 5.2 headline aggregates, paper-vs-measured:
+
+* issue 8, sentinel over restricted: paper +57% non-numeric / +32% numeric,
+* issue 8, speculative stores over sentinel: paper +7.4% / +2.6%,
+* sentinel ~= general percolation at every issue rate.
+"""
+
+from repro.eval.report import headline_numbers, render_report, shape_checks
+
+
+def test_headline_aggregates(benchmark, full_sweep):
+    headlines = benchmark.pedantic(
+        lambda: headline_numbers(full_sweep), rounds=3, iterations=1
+    )
+    print()
+    for headline in headlines:
+        print(" ", headline.format())
+
+    by_key = {
+        (h.label, h.issue_rate, h.numeric): h.measured for h in headlines
+    }
+    # direction and rough magnitude of the paper's headline results
+    s_over_r_nn = by_key[("sentinel over restricted", 8, False)]
+    s_over_r_num = by_key[("sentinel over restricted", 8, True)]
+    assert 0.10 < s_over_r_nn < 1.5   # paper: +0.57
+    assert 0.10 < s_over_r_num < 1.0  # paper: +0.32
+
+    t_over_s_nn = by_key[("speculative stores over sentinel", 8, False)]
+    assert 0.0 <= t_over_s_nn < 0.25  # paper: +0.074
+
+    for rate in full_sweep.config.issue_rates:
+        for numeric in (False, True):
+            deficit = by_key[("sentinel vs general (deficit)", rate, numeric)]
+            assert abs(deficit) < 0.05  # "almost identical" on average
+
+
+def test_shape_checks_all_pass(benchmark, full_sweep):
+    checks = benchmark.pedantic(
+        lambda: shape_checks(full_sweep), rounds=1, iterations=1
+    )
+    print()
+    for label, passed in checks.items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    failing = [label for label, ok in checks.items() if not ok]
+    assert not failing, failing
+
+
+def test_full_report(benchmark, full_sweep):
+    text = benchmark.pedantic(
+        lambda: render_report(full_sweep), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    assert "Figure 4" in text

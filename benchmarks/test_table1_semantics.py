@@ -1,0 +1,23 @@
+"""Regenerates Table 1 (exception detection with sentinel scheduling) and
+benchmarks the tag-semantics hot path the simulator runs per instruction."""
+
+from repro.core.tags import TABLE1_ROWS, TaggedValue, apply_table1
+from repro.eval.tables import render_table1
+
+
+def _exercise_all_rows():
+    outcomes = []
+    for spec, tagged, excepts in TABLE1_ROWS:
+        sources = [TaggedValue(17, tagged)]
+        outcomes.append(apply_table1(spec, sources, excepts, 40, 99))
+    return outcomes
+
+
+def test_table1_regeneration(benchmark):
+    outcomes = benchmark(_exercise_all_rows)
+    assert len(outcomes) == 8
+    # paper row (1,0,1): deferred exception
+    deferred = outcomes[5]
+    assert deferred.dest_tag and deferred.dest_data == 40
+    print()
+    print(render_table1())

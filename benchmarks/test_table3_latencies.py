@@ -1,0 +1,18 @@
+"""Regenerates Table 3 (instruction latencies) from the machine model."""
+
+from repro.eval.tables import render_table3
+from repro.isa.opcodes import Opcode, PAPER_LATENCIES, latency_of
+
+
+def _latency_table():
+    return {op: latency_of(op) for op in Opcode}
+
+
+def test_table3_regeneration(benchmark):
+    latencies = benchmark(_latency_table)
+    assert latencies[Opcode.LOAD] == 2
+    assert latencies[Opcode.FDIV] == 10
+    assert latencies[Opcode.DIV] == 10
+    assert latencies[Opcode.FMUL] == 3
+    print()
+    print(render_table3())

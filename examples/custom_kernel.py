@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: assemble, compile, inspect the schedule.
+
+Shows the compiler-facing API on a hand-written assembly kernel — a
+hash-table probe loop — including how to read the emitted VLIW schedule,
+where the speculative modifiers and sentinels land, and the static
+sentinel analysis that proves every speculated trap-capable instruction
+has a reporter.
+"""
+
+from repro.arch.memory import Memory
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.core.reporting import analyze_sentinels
+from repro.deps.reduction import SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+
+KERNEL = """
+entry:
+    r1 = mov 0           ; i
+    r2 = mov 4096        ; keys[]
+    r3 = mov 8192        ; table[]
+    r4 = mov 12288       ; hits[]
+    r5 = mov 0           ; nhits
+probe:
+    r10 = add r2, r1
+    r11 = load [r10+0]   ; key = keys[i]
+    r12 = and r11, 63
+    r13 = add r3, r12
+    r14 = load [r13+0]   ; slot = table[hash(key)]
+    bne r14, r11, miss   ; probe failed?          <- late guard
+    r15 = add r4, r5
+    store [r15+0], r11   ; hits[nhits] = key      <- store under the guard
+    r5 = add r5, 1
+miss:
+    r1 = add r1, 1
+    blt r1, 32, probe
+out:
+    store [r4+63], r5
+    halt
+"""
+
+
+def build_memory() -> Memory:
+    memory = Memory(segments=[(0, 1 << 16)])
+    for i in range(32):
+        memory.poke(4096 + i, (i * 7) % 64)       # keys
+    for j in range(64):
+        memory.poke(8192 + j, j if j % 3 else 0)  # table (some hits)
+    return memory
+
+
+def main() -> None:
+    program = assemble(KERNEL)
+    reference = run_program(program, memory=build_memory())
+    print(f"reference: {reference.steps} sequential instructions, "
+          f"{reference.memory.peek(12288 + 63)} hits")
+    print()
+
+    basic = to_basic_blocks(program)
+    training = run_program(basic, memory=build_memory())
+    machine = paper_machine(8)
+
+    for policy in (SENTINEL, SENTINEL_STORE):
+        comp = compile_program(
+            basic, training.profile, machine, policy, unroll_factor=2
+        )
+        hot = max(comp.scheduled.blocks, key=lambda b: b.instruction_count())
+        print(f"--- {policy.name}: hot superblock "
+              f"({hot.instruction_count()} ops in {hot.length} cycles, "
+              f"{comp.stats.speculative} speculative, "
+              f"{comp.stats.checks_inserted} checks, "
+              f"{comp.stats.confirms_inserted} confirms)")
+        print(hot.format())
+
+        analysis = analyze_sentinels(hot)
+        print(f"    sentinel analysis: {len(analysis.sentinel_of)} protected "
+              f"chains, unreported = {analysis.unreported or 'none'}")
+
+        out = run_scheduled(comp.scheduled, machine, memory=build_memory())
+        assert out.memory.peek(12288 + 63) == reference.memory.peek(12288 + 63)
+        print(f"    cycle-accurate run: {out.cycles} cycles "
+              f"(matches reference output)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

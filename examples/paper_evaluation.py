@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation section (Figures 4 and 5, the
+Section 5.2 headline averages, and Tables 1-3) in one run.
+
+    python examples/paper_evaluation.py [--bars] [--scale S]
+
+Runs the 17 benchmark stand-ins under all four scheduling models at issue
+rates 2/4/8 using the trace-driven timing model (validated against the
+cycle-accurate simulator by the test suite), then prints the same
+rows/series the paper reports together with paper-vs-measured aggregates.
+"""
+
+import argparse
+
+from repro.eval.figures import figure4_series, figure5_series, render_bars, render_table
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.eval.report import headline_numbers, shape_checks
+from repro.eval.tables import render_table1, render_table2, render_table3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bars", action="store_true", help="ASCII bar charts")
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    parser.add_argument("--unroll", type=int, default=4, help="superblock unroll")
+    args = parser.parse_args()
+
+    for render in (render_table1, render_table2, render_table3):
+        print(render())
+        print()
+
+    print("running the Figure 4/5 sweep "
+          "(17 benchmarks x 4 models x 3 issue rates)...")
+    sweep = run_sweep(SweepConfig(scale=args.scale, unroll_factor=args.unroll))
+    print()
+
+    renderer = render_bars if args.bars else render_table
+    print(renderer(figure4_series(sweep)))
+    print()
+    print(renderer(figure5_series(sweep)))
+    print()
+
+    print("Headline aggregates (Section 5.2), paper vs measured:")
+    for headline in headline_numbers(sweep):
+        print("  " + headline.format())
+    print()
+
+    print("Qualitative shape checks (what 'reproduced' means here):")
+    for label, passed in shape_checks(sweep).items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Reproduction of *Sentinel Scheduling for VLIW and Superscalar
+Processors* (Mahlke, Chen, Hwu, Rau, Schlansker — ASPLOS 1992).
+
+Subpackages
+-----------
+``repro.isa``
+    RISC instruction set (MIPS-R2000-like) with the paper's architectural
+    extensions: speculative modifier, ``check_exception``,
+    ``confirm_store``, tag-preserving spills.
+``repro.cfg``
+    Basic blocks, CFG, liveness, profiling, superblock formation, loop
+    unrolling.
+``repro.interp``
+    Sequential reference interpreter with precise exceptions (the golden
+    semantics every schedule is checked against).
+``repro.deps``
+    Dependence graphs and the Appendix's per-model reduction.
+``repro.machine``
+    Machine descriptions (issue rate, Table 3 latencies, store buffer).
+``repro.sched``
+    List scheduler, renaming, the whole-program compiler pipeline, and
+    the four scheduling models (restricted/general percolation, sentinel,
+    sentinel + speculative stores).
+``repro.core``
+    The paper's contribution: Table 1 tag semantics, sentinel insertion,
+    static sentinel analysis, uninitialized-tag clearing, recovery.
+``repro.arch``
+    Hardware simulation: tagged register file, PC history queue, Table 2
+    store buffer, cycle-level multi-issue processor, timing model.
+``repro.workloads``
+    The 17 benchmark stand-ins and the synthetic program generator.
+``repro.eval``
+    Figure 4/5 sweeps, Table 1/2/3 regeneration, headline aggregates.
+
+Quickstart
+----------
+>>> from repro import quick_compare
+>>> results = quick_compare("cmp", issue_rate=8)   # doctest: +SKIP
+"""
+
+from typing import Dict
+
+__version__ = "1.0.0"
+
+__all__ = ["quick_compare", "__version__"]
+
+
+def quick_compare(
+    benchmark: str,
+    issue_rate: int = 8,
+    unroll_factor: int = 3,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Compile one benchmark under all four models and return speedups.
+
+    Speedups are measured by the cycle-level processor against the paper's
+    base machine (issue 1, restricted percolation).  Convenience entry
+    point used by the quickstart example.
+    """
+    from .arch.processor import run_scheduled
+    from .cfg.basic_block import to_basic_blocks
+    from .deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+    from .interp.interpreter import run_program
+    from .machine.description import paper_machine
+    from .sched.compiler import compile_program
+    from .workloads.suites import build_workload
+
+    workload = build_workload(benchmark, seed=seed)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+
+    base_machine = paper_machine(1)
+    base = compile_program(
+        basic, training.profile, base_machine, RESTRICTED, unroll_factor=unroll_factor
+    )
+    base_cycles = run_scheduled(
+        base.scheduled, base_machine, memory=workload.make_memory()
+    ).cycles
+
+    machine = paper_machine(issue_rate)
+    speedups: Dict[str, float] = {}
+    for policy in (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE):
+        comp = compile_program(
+            basic, training.profile, machine, policy, unroll_factor=unroll_factor
+        )
+        cycles = run_scheduled(
+            comp.scheduled, machine, memory=workload.make_memory()
+        ).cycles
+        speedups[policy.name] = base_cycles / cycles
+    return speedups

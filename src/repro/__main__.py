@@ -1,0 +1,49 @@
+"""``python -m repro`` — regenerate the paper's evaluation.
+
+Delegates to the same logic as ``examples/paper_evaluation.py``.
+"""
+
+import argparse
+
+from .eval.figures import figure4_series, figure5_series, render_bars, render_table
+from .eval.harness import SweepConfig, run_sweep
+from .eval.report import headline_numbers, shape_checks
+from .eval.tables import render_table1, render_table2, render_table3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Sentinel Scheduling evaluation "
+        "(Tables 1-3, Figures 4-5, Section 5.2 aggregates).",
+    )
+    parser.add_argument("--bars", action="store_true", help="ASCII bar charts")
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    parser.add_argument("--unroll", type=int, default=4, help="superblock unroll")
+    parser.add_argument(
+        "--skip-tables", action="store_true", help="only run the Figure 4/5 sweep"
+    )
+    args = parser.parse_args()
+
+    if not args.skip_tables:
+        for render in (render_table1, render_table2, render_table3):
+            print(render())
+            print()
+
+    sweep = run_sweep(SweepConfig(scale=args.scale, unroll_factor=args.unroll))
+    renderer = render_bars if args.bars else render_table
+    print(renderer(figure4_series(sweep)))
+    print()
+    print(renderer(figure5_series(sweep)))
+    print()
+    print("Headline aggregates (Section 5.2), paper vs measured:")
+    for headline in headline_numbers(sweep):
+        print("  " + headline.format())
+    print()
+    print("Qualitative shape checks:")
+    for label, passed in shape_checks(sweep).items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Hardware substrate: memory, exceptions, tagged register file, store
+buffer, PC history queue, cycle-level processor and timing model."""
+
+from .exceptions import SignalledException, SimulationError, Trap, TrapKind
+from .memory import Memory
+from .pc_history import PCHistoryQueue
+from .processor import ABORT, RECORD, RECOVER, Processor, ProcessorResult, run_scheduled
+from .regfile import TaggedRegisterFile
+from .store_buffer import InsertOutcome, StoreBuffer, StoreBufferEntry, StoreBufferStall
+from .timing import TimingBreakdown, estimate_cycles, speedup
+
+__all__ = [
+    "SignalledException",
+    "SimulationError",
+    "Trap",
+    "TrapKind",
+    "Memory",
+    "PCHistoryQueue",
+    "ABORT",
+    "RECORD",
+    "RECOVER",
+    "Processor",
+    "ProcessorResult",
+    "run_scheduled",
+    "TaggedRegisterFile",
+    "InsertOutcome",
+    "StoreBuffer",
+    "StoreBufferEntry",
+    "StoreBufferStall",
+    "TimingBreakdown",
+    "estimate_cycles",
+    "speedup",
+]

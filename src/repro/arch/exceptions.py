@@ -1,0 +1,71 @@
+"""Exception kinds, trap records and signalled-exception records.
+
+The paper's base processor "is assumed to trap on exceptions for memory load,
+memory store, integer divide, and all floating point instructions"
+(Section 5.1).  All traps in this reproduction are **data-driven** — an access
+to an unmapped or faulting address, a zero divisor, an FP overflow — so the
+same program input produces the same traps under sequential reference
+execution and under any scheduled execution.  That alignment is what lets the
+test suite check the paper's central claim: sentinel scheduling signals
+*exactly* the exceptions the sequential execution would, attributed to the
+correct instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TrapKind(enum.Enum):
+    """Why an instruction trapped."""
+
+    ACCESS_VIOLATION = "access_violation"  # address outside any mapped segment
+    PAGE_FAULT = "page_fault"  # mapped but faulting (repairable)
+    DIV_ZERO = "div_zero"
+    FP_DIV_ZERO = "fp_div_zero"
+    FP_OVERFLOW = "fp_overflow"
+    FP_INVALID = "fp_invalid"
+
+    @property
+    def repairable(self) -> bool:
+        """Can a handler repair the fault and retry the instruction?
+
+        Page faults are the canonical repairable exception; the recovery
+        machinery of Section 3.7 exists exactly for this case.
+        """
+        return self is TrapKind.PAGE_FAULT
+
+
+@dataclass(frozen=True)
+class Trap:
+    """A raw trap produced while executing one instruction."""
+
+    kind: TrapKind
+    detail: str = ""
+    address: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SignalledException:
+    """An exception actually *signalled* to the program/OS.
+
+    ``pc`` is the uid of the instruction reported as the cause.  Under
+    sentinel scheduling this is the value carried through exception tags
+    (Table 1): the PC of the original excepting speculative instruction, not
+    of the sentinel that signalled it.  ``reporter_pc`` is the instruction
+    that raised the signal (the sentinel itself, or the excepting instruction
+    when non-speculative).  ``origin_pc`` maps through tail duplication to the
+    pre-transformation instruction, which is what golden comparisons use.
+    """
+
+    pc: int
+    kind: TrapKind
+    reporter_pc: int
+    origin_pc: int
+    detail: str = ""
+
+
+class SimulationError(Exception):
+    """Internal simulator invariant violation (never an architectural trap)."""

@@ -1,0 +1,127 @@
+"""Simulated data memory with mapped segments and injectable page faults.
+
+Memory is word-addressed: each address holds one value (int or float).  An
+access outside every mapped segment raises an **access violation** trap; an
+access to an address registered as *faulting* raises a **page fault** until
+the address is repaired (``repair``), which models the OS mapping the page in
+and lets the recovery experiments retry the excepting instruction
+(Section 3.7 of the paper).
+
+The tag-preserving ``tload``/``tstore`` instructions bypass trap checks
+entirely (Section 3.2: they "do not signal exceptions ... to facilitate
+saving/restoring registers containing an exception condition"); callers use
+:meth:`peek`/:meth:`poke` for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .exceptions import Trap, TrapKind
+
+Value = Union[int, float]
+
+
+class Memory:
+    """Word-addressed memory: mapped segments, values, faulting pages."""
+
+    def __init__(self, segments: Iterable[Tuple[int, int]] = ((0, 1 << 20),)) -> None:
+        #: Half-open mapped ranges [lo, hi).
+        self.segments: List[Tuple[int, int]] = [(int(lo), int(hi)) for lo, hi in segments]
+        self._data: Dict[int, Value] = {}
+        self._faulting: Dict[int, TrapKind] = {}
+        #: Exception-tag bits persisted by ``tstore`` (spill/context switch).
+        self._tag_bits: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping and fault management.
+    # ------------------------------------------------------------------
+
+    def is_mapped(self, address: int) -> bool:
+        return any(lo <= address < hi for lo, hi in self.segments)
+
+    def add_segment(self, lo: int, hi: int) -> None:
+        self.segments.append((lo, hi))
+
+    def inject_page_fault(self, address: int) -> None:
+        """Mark ``address`` as page-faulting until repaired."""
+        self._faulting[address] = TrapKind.PAGE_FAULT
+
+    def repair(self, address: int) -> None:
+        """Clear an injected fault (the OS 'mapped the page')."""
+        self._faulting.pop(address, None)
+
+    def faulting_addresses(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._faulting))
+
+    def check(self, address: int) -> Optional[Trap]:
+        """Return the trap an access to ``address`` would raise, if any."""
+        if not isinstance(address, int):
+            return Trap(TrapKind.ACCESS_VIOLATION, detail="non-integer address")
+        if not self.is_mapped(address):
+            return Trap(TrapKind.ACCESS_VIOLATION, address=address)
+        kind = self._faulting.get(address)
+        if kind is not None:
+            return Trap(kind, address=address)
+        return None
+
+    # ------------------------------------------------------------------
+    # Trapping accesses (regular load/store).
+    # ------------------------------------------------------------------
+
+    def load(self, address: int) -> Tuple[Value, Optional[Trap]]:
+        trap = self.check(address)
+        if trap is not None:
+            return 0, trap
+        return self._data.get(address, 0), None
+
+    def store(self, address: int, value: Value) -> Optional[Trap]:
+        trap = self.check(address)
+        if trap is not None:
+            return trap
+        self._data[address] = value
+        return None
+
+    # ------------------------------------------------------------------
+    # Non-trapping accesses (tload/tstore, test setup, state comparison).
+    # ------------------------------------------------------------------
+
+    def peek(self, address: int) -> Value:
+        return self._data.get(address, 0)
+
+    def poke(self, address: int, value: Value) -> None:
+        self._data[address] = value
+
+    def poke_tagged(self, address: int, value: Value, tag: bool) -> None:
+        """Store data *and* exception tag (the ``tstore`` instruction).
+
+        Section 3.2: "The exception tag associated with each register must be
+        preserved along with the data portion of that register whenever the
+        contents of the register are temporarily stored to memory."
+        """
+        self._data[address] = value
+        if tag:
+            self._tag_bits[address] = True
+        else:
+            self._tag_bits.pop(address, None)
+
+    def peek_tagged(self, address: int) -> Tuple[Value, bool]:
+        """Load data and exception tag (the ``tload`` instruction)."""
+        return self._data.get(address, 0), self._tag_bits.get(address, False)
+
+    def snapshot(self) -> Dict[int, Value]:
+        """All non-default words (zeros elided)."""
+        return {addr: val for addr, val in self._data.items() if val != 0 or addr in self._data}
+
+    def nonzero_snapshot(self) -> Dict[int, Value]:
+        return {addr: val for addr, val in self._data.items() if val != 0}
+
+    def clone(self) -> "Memory":
+        other = Memory(self.segments)
+        other._data = dict(self._data)
+        other._faulting = dict(self._faulting)
+        other._tag_bits = dict(self._tag_bits)
+        return other
+
+    def __repr__(self) -> str:
+        return f"<Memory {len(self.segments)} segments, {len(self._data)} words, {len(self._faulting)} faulting>"

@@ -1,0 +1,49 @@
+"""The PC History Queue (Section 3.2).
+
+"The pc of I can be obtained from a PC History Queue which keeps a record
+of the last m pc values to enable reporting exceptions with non-uniform
+latency function units."  The cycle simulator pushes every issued
+instruction's PC at issue time; when a long-latency speculative operation
+completes with an exception, the destination's data field is filled from
+this queue rather than from a (by then overwritten) fetch PC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .exceptions import SimulationError
+
+
+class PCHistoryQueue:
+    """Ring buffer of the last ``depth`` issued (cycle, pc) pairs."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth < 1:
+            raise ValueError("PC history depth must be >= 1")
+        self.depth = depth
+        self._entries: Deque[Tuple[int, int]] = deque(maxlen=depth)
+
+    def push(self, cycle: int, pc: int) -> None:
+        self._entries.append((cycle, pc))
+
+    def lookup(self, pc: int) -> int:
+        """Retrieve ``pc`` from the queue (raises if it aged out).
+
+        A real machine sizes the queue to cover its longest latency; the
+        simulator raises instead of silently mis-reporting so an undersized
+        configuration is caught by tests.
+        """
+        for _cycle, recorded in reversed(self._entries):
+            if recorded == pc:
+                return recorded
+        raise SimulationError(
+            f"pc {pc} aged out of the {self.depth}-entry PC history queue"
+        )
+
+    def newest(self) -> Optional[Tuple[int, int]]:
+        return self._entries[-1] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,765 @@
+"""Cycle-level in-order multi-issue processor executing scheduled code.
+
+This is the verification engine of the reproduction: it executes a
+:class:`~repro.sched.schedule.ScheduledProgram` word by word on a machine
+with
+
+* CRAY-1 style interlocking (a word stalls until all its source registers'
+  deterministic latencies have elapsed, Section 5.1),
+* the tagged register file and Table 1 exception semantics
+  (:mod:`repro.core.tags`) in sentinel mode,
+* silent (garbage-writing) speculative opcodes in general-percolation
+  mode (Section 2.4),
+* the probationary store buffer of Table 2, with one release opportunity
+  per cycle, stall-on-full, and cancel-on-mispredict (Section 4.1),
+* the PC History Queue supplying excepting PCs (Section 3.2).
+
+Word semantics: all operations of a word read register state as of the
+start of the word and execute together; a taken branch transfers control
+*after* its word completes, so co-issued operations are architecturally
+speculative — exactly the model the scheduler assumes.  Memory operations,
+store-buffer actions and exception signals are processed in slot order
+(slot order is original program order), which makes ``confirm_store``
+indices and multi-signal ordering deterministic.
+
+Exception policies:
+
+* ``abort`` — the first signalled exception ends the run (a detected
+  program error),
+* ``record`` — log the signal, neutralize the tag, continue (used to
+  observe multi-exception ordering, Section 3.6),
+* ``recover`` — repair a repairable fault (page fault) and branch back to
+  the reported PC, re-executing the restartable sequence (Section 3.7);
+  probationary store-buffer entries are cancelled first since re-execution
+  re-creates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.tags import TaggedValue, apply_table1, first_tagged
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import Register
+from ..isa.semantics import GARBAGE_FP, branch_taken, evaluate, garbage_for
+from ..machine.description import MachineDescription
+from ..sched.schedule import ScheduledProgram
+from .exceptions import SignalledException, SimulationError, Trap, TrapKind
+from .memory import Memory
+from .pc_history import PCHistoryQueue
+from .regfile import TaggedRegisterFile
+from .shadow import ShadowBank, ShadowEntry
+from .store_buffer import StoreBuffer
+
+Value = Union[int, float]
+
+ABORT = "abort"
+RECORD = "record"
+RECOVER = "recover"
+
+#: Hardware modes: tag-tracking sentinel hardware vs. silent opcodes vs.
+#: Colwell-style NaN signalling (Section 2.4).
+TAGGED_MODES = ("sentinel", "sentinel_store")
+SILENT_MODES = ("restricted", "general", "colwell")
+
+#: "An equivalent integer NaN must be provided for this method to work for
+#: integer instructions" (Section 2.4) — a reserved 64-bit pattern.
+INT_NAN = -0x7FFFFFFFFFFFFF7F
+
+
+def _is_nan_value(value) -> bool:
+    import math
+
+    if isinstance(value, float):
+        return math.isnan(value)
+    return value == INT_NAN
+
+
+@dataclass
+class ProcessorResult:
+    registers: Dict[Register, Value]
+    memory: Memory
+    exceptions: List[SignalledException]
+    cycles: int
+    dynamic_instructions: int
+    halted: bool
+    aborted: bool
+    io_events: List[int] = field(default_factory=list)
+    stall_cycles: int = 0
+    interlock_stalls: int = 0
+    store_buffer_stalls: int = 0
+    recoveries: int = 0
+    mispredictions: int = 0
+    cancelled_stores: int = 0
+
+    def exception_origins(self) -> List[int]:
+        return [exc.origin_pc for exc in self.exceptions]
+
+
+class _Signal(Exception):
+    """Internal: an exception signal raised mid-word."""
+
+    def __init__(self, reported_pc: Value, own: bool, trap: Optional[Trap], reporter: Instruction):
+        super().__init__(f"signal pc={reported_pc}")
+        self.reported_pc = reported_pc
+        self.own = own
+        self.trap = trap
+        self.reporter = reporter
+
+
+class _StallStore(Exception):
+    """Internal: the store buffer is full; retry this slot next cycle."""
+
+
+class Processor:
+    """Executes one scheduled program to completion."""
+
+    def __init__(
+        self,
+        scheduled: ScheduledProgram,
+        machine: MachineDescription,
+        memory: Optional[Memory] = None,
+        on_exception: str = ABORT,
+        init_regs: Optional[Dict[Register, Value]] = None,
+        init_tags: Optional[Dict[Register, int]] = None,
+        max_cycles: int = 5_000_000,
+        max_recoveries: int = 64,
+    ) -> None:
+        if on_exception not in (ABORT, RECORD, RECOVER):
+            raise ValueError(f"unknown exception policy {on_exception!r}")
+        mode = scheduled.policy_name
+        boost_mode = mode.startswith("boosting")
+        if not boost_mode and mode not in TAGGED_MODES + SILENT_MODES:
+            raise ValueError(f"unknown scheduling model {mode!r}")
+        if boost_mode and on_exception != ABORT:
+            raise ValueError(
+                "boosting hardware supports only the abort exception policy"
+            )
+        self.scheduled = scheduled
+        self.machine = machine
+        self.tagged_mode = mode in TAGGED_MODES
+        self.colwell_mode = mode == "colwell"
+        self.boost_mode = boost_mode
+        self.shadow = ShadowBank()
+        #: (branch uid, taken) pairs resolved during the current word.
+        self._resolved_branches: List[Tuple[int, bool]] = []
+        self.on_exception = on_exception
+        self.memory = memory if memory is not None else Memory()
+        self.regs = TaggedRegisterFile()
+        if init_regs:
+            for reg, value in init_regs.items():
+                self.regs.write(reg, value)
+        if init_tags:
+            for reg, pc in init_tags.items():
+                self.regs.set_tag(reg, pc)
+        self.buffer = StoreBuffer(machine.store_buffer_size, self.memory)
+        self.history = PCHistoryQueue(machine.pc_history_depth)
+        self.max_cycles = max_cycles
+        self.max_recoveries = max_recoveries
+
+        self._ready_time: Dict[Register, int] = {}
+        #: footnote-3 side channel: pc -> the trap recorded when its tag was
+        #: set, so sentinel reports can state the exception type.
+        self._pending_traps: Dict[Value, Trap] = {}
+        self._clock = 0
+        self._exceptions: List[SignalledException] = []
+        self._io_events: List[int] = []
+        self._dyn = 0
+        self._interlock_stalls = 0
+        self._buffer_stalls = 0
+        self._recoveries = 0
+        self._mispredictions = 0
+
+    # ------------------------------------------------------------------
+    # Clock and stalls.
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.buffer.release_cycle()
+        self._clock += 1
+        if self._clock > self.max_cycles:
+            raise SimulationError(f"cycle limit {self.max_cycles} exceeded")
+
+    def _read(self, reg: Register) -> TaggedValue:
+        if self.boost_mode and not reg.is_zero:
+            # Boosted consumers read through the shadow files; anti
+            # dependences guarantee an earlier-in-program-order reader never
+            # observes a later boosted write (it issues no later than it).
+            entry = self.shadow.read_register(reg)
+            if entry is not None:
+                return TaggedValue(entry.value, False)
+        return self.regs.read(reg)
+
+    def _sources(self, instr: Instruction) -> List[TaggedValue]:
+        return [self._read(s) for s in instr.srcs if isinstance(s, Register)]
+
+    def _operand(self, operand) -> Value:
+        if isinstance(operand, Register):
+            return self._read(operand).data
+        return operand
+
+    def _write(self, instr: Instruction, value: Value, tag: bool) -> None:
+        dest = instr.dest
+        if dest is None:
+            return
+        self.regs.write(dest, value, tag)
+        self._ready_time[dest] = self._clock + self.machine.latency(instr.op)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProcessorResult:
+        blocks = self.scheduled.blocks
+        if not blocks:
+            raise SimulationError("empty scheduled program")
+        block_idx = 0
+        word_idx = 0
+        slot_idx = 0
+        halted = False
+        aborted = False
+        stall_watchdog = 0
+        #: A taken branch seen earlier in a word that was then interrupted
+        #: by a stall or a signal; survives the word's resumption.
+        pending_taken: Optional[str] = None
+        pending_taken_conditional = False
+
+        while True:
+            block = blocks[block_idx]
+            if word_idx >= len(block.words):
+                if not block.falls_through:
+                    raise SimulationError(
+                        f"control fell off non-fall-through block {block.label}"
+                    )
+                if block_idx + 1 >= len(blocks):
+                    raise SimulationError("control fell off the end of the program")
+                block_idx += 1
+                word_idx = 0
+                slot_idx = 0
+                continue
+
+            word = block.words[word_idx]
+            # CRAY-1 interlock: wait for the remaining slots' sources.
+            needed = self._clock
+            for instr in word[slot_idx:]:
+                for src in instr.srcs:
+                    if isinstance(src, Register):
+                        needed = max(needed, self._ready_time.get(src, 0))
+            while self._clock < needed:
+                self._interlock_stalls += 1
+                self._tick()
+
+            if slot_idx == 0:
+                pending_taken = None
+                pending_taken_conditional = False
+                self._resolved_branches.clear()
+            outcome: Optional[_Signal] = None
+            stalled = False
+            slot = slot_idx
+            while slot < len(word):
+                instr = word[slot]
+                try:
+                    taken = self._execute(instr)
+                except _StallStore:
+                    stalled = True
+                    break
+                except _Signal as signal:
+                    self._dyn += 1
+                    outcome = signal
+                    break
+                self._dyn += 1
+                if taken is not None:
+                    if pending_taken is not None:
+                        raise SimulationError("two taken branches in one word")
+                    pending_taken = taken
+                    pending_taken_conditional = instr.info.is_cond_branch
+                slot += 1
+
+            if stalled:
+                slot_idx = slot
+                self._buffer_stalls += 1
+                stall_watchdog += 1
+                if stall_watchdog > self.machine.store_buffer_size + 32:
+                    raise SimulationError(
+                        "store buffer deadlock: head probationary and no "
+                        "confirm in flight (N-1 separation violated?)"
+                    )
+                self._tick()
+                continue
+            stall_watchdog = 0
+
+            if outcome is not None:
+                disposition = self._handle_signal(outcome)
+                if disposition == "abort":
+                    aborted = True
+                    self._tick()
+                    break
+                if isinstance(disposition, tuple):
+                    # Recovery: branch back to the reported pc.
+                    block_idx, word_idx, slot_idx = disposition
+                    pending_taken = None
+                    pending_taken_conditional = False
+                    self._tick()
+                    continue
+                # RECORD: a sentinel report had its tags neutralized — the
+                # reporter re-executes; an own-fault reporter completed with
+                # a garbage result and is skipped.
+                slot_idx = slot if disposition == "record-reexecute" else slot + 1
+                if slot_idx < len(word):
+                    continue
+                # fall through: the word completed despite the signal
+
+            self._tick()  # the word consumed its cycle
+            if self.boost_mode and self._resolved_branches:
+                if self._process_shadow_resolutions():
+                    aborted = True
+                    break
+            taken_target = pending_taken
+            if taken_target == "__halt__":
+                halted = True
+                break
+            if taken_target is not None:
+                self.buffer.cancel_probationary()
+                if pending_taken_conditional:
+                    self._mispredictions += 1
+                block_idx = self.scheduled.block_index(taken_target)
+                word_idx = 0
+                slot_idx = 0
+            else:
+                word_idx += 1
+                slot_idx = 0
+
+        if halted:
+            if self.boost_mode:
+                self.shadow.assert_empty()
+            self.buffer.drain()
+        return ProcessorResult(
+            registers=self.regs.values(),
+            memory=self.memory,
+            exceptions=self._exceptions,
+            cycles=self._clock,
+            dynamic_instructions=self._dyn,
+            halted=halted,
+            aborted=aborted,
+            io_events=self._io_events,
+            stall_cycles=self._interlock_stalls + self._buffer_stalls,
+            interlock_stalls=self._interlock_stalls,
+            store_buffer_stalls=self._buffer_stalls,
+            recoveries=self._recoveries,
+            mispredictions=self._mispredictions,
+            cancelled_stores=self.buffer.cancellations,
+        )
+
+    # ------------------------------------------------------------------
+    # Shadow commit (instruction boosting).
+    # ------------------------------------------------------------------
+
+    def _process_shadow_resolutions(self) -> bool:
+        """Apply the word's branch resolutions to the shadow bank.
+
+        Returns True when a committing entry signals its buffered exception
+        ("when the machine state is updated for a correctly predicted
+        branch, exceptions that occurred are signaled", Section 2.3).
+        """
+        resolutions = list(self._resolved_branches)
+        self._resolved_branches.clear()
+        for branch_uid, taken in resolutions:
+            for entry in self.shadow.resolve(branch_uid, taken):
+                if entry.trap is not None:
+                    try:
+                        origin = self.scheduled.origin_of(entry.pc)
+                    except KeyError:
+                        origin = entry.pc
+                    self._exceptions.append(
+                        SignalledException(
+                            pc=entry.pc,
+                            kind=entry.trap.kind,
+                            reporter_pc=branch_uid,
+                            origin_pc=origin,
+                            detail=entry.trap.detail,
+                        )
+                    )
+                    return True
+                if entry.reg is not None:
+                    self.regs.write(entry.reg, entry.value)
+                else:
+                    # Shadow store commits into the conventional buffer;
+                    # commit bandwidth is idealized (direct cache write on
+                    # overflow) in boosting's favour.
+                    if self.buffer.can_insert():
+                        self.buffer.insert(
+                            False, (), entry.address, entry.value, None, entry.pc
+                        )
+                    else:
+                        self.memory.poke(entry.address, entry.value)
+        return False
+
+    # ------------------------------------------------------------------
+    # Signal handling.
+    # ------------------------------------------------------------------
+
+    def _signal_record(self, signal: _Signal) -> SignalledException:
+        if signal.own and signal.trap is not None:
+            kind = signal.trap.kind
+        else:
+            pending = self._pending_traps.get(signal.reported_pc)
+            kind = pending.kind if pending is not None else TrapKind.ACCESS_VIOLATION
+        pc = int(signal.reported_pc)
+        try:
+            origin = self.scheduled.origin_of(pc)
+        except KeyError:
+            origin = pc
+        record = SignalledException(
+            pc=pc,
+            kind=kind,
+            reporter_pc=signal.reporter.uid,
+            origin_pc=origin,
+            detail="" if signal.trap is None else signal.trap.detail,
+        )
+        self._exceptions.append(record)
+        return record
+
+    def _handle_signal(self, signal: _Signal):
+        self._signal_record(signal)
+        if self.on_exception == ABORT:
+            return "abort"
+        if self.on_exception == RECORD:
+            if signal.own:
+                # The reporter's own fault: complete it with a garbage
+                # result (what a handler-patched resume would look like)
+                # and move on.
+                if signal.reporter.dest is not None:
+                    self._write(
+                        signal.reporter, garbage_for(signal.reporter.op), False
+                    )
+                return "record-skip"
+            if signal.reporter.op is Opcode.CONFIRM:
+                # The faulty entry was invalidated; the store is simply lost
+                # in record mode.
+                return "record-skip"
+            # Sentinel report: neutralize the offending tags and let the
+            # reporter re-execute normally.
+            for src in signal.reporter.srcs:
+                if isinstance(src, Register) and self.regs.tag(src):
+                    self.regs.clear_tag(src)
+            return "record-reexecute"
+        # RECOVER.
+        return self._recover(signal)
+
+    def _recover(self, signal: _Signal):
+        self._recoveries += 1
+        if self._recoveries > self.max_recoveries:
+            return "abort"
+        pc = int(signal.reported_pc)
+        trap = signal.trap if signal.own else self._pending_traps.get(pc)
+        if trap is None or not trap.kind.repairable:
+            return "abort"
+        try:
+            culprit = self.scheduled.instruction_by_uid(pc)
+        except KeyError:
+            return "abort"
+        if culprit.info.reads_mem or culprit.info.writes_mem:
+            # Restartability guarantees the address operands still hold
+            # their original values: recompute and repair.
+            base = self._operand(culprit.srcs[0])
+            address = int(base) + int(culprit.srcs[1])
+            self.memory.repair(address)
+        else:
+            return "abort"
+        self._pending_traps.pop(pc, None)
+        location = self.scheduled.find_instruction(pc)
+        if location is None:
+            return "abort"
+        # Re-execution re-creates every probationary entry in the window.
+        self.buffer.cancel_probationary()
+        return location
+
+    def _raise_signal(
+        self, instr: Instruction, reported_pc: Value, own: bool, trap: Optional[Trap]
+    ) -> None:
+        raise _Signal(reported_pc, own, trap, instr)
+
+    # ------------------------------------------------------------------
+    # Instruction execution.
+    # ------------------------------------------------------------------
+
+    def _execute(self, instr: Instruction) -> Optional[str]:
+        """Execute one slot.  Returns a taken-branch target label,
+        ``"__halt__"``, or None.  Raises _Signal / _StallStore."""
+        op = instr.op
+        info = op.info
+        self.history.push(self._clock, instr.uid)
+        pc = self.history.lookup(instr.uid)
+
+        # ---- control ---------------------------------------------------
+        if info.is_cond_branch:
+            sources = self._sources(instr)
+            if self.tagged_mode:
+                tagged = first_tagged(sources)
+                if tagged is not None:
+                    self._raise_signal(instr, tagged.data, own=False, trap=None)
+            a = self._operand(instr.srcs[0])
+            b = self._operand(instr.srcs[1])
+            taken = branch_taken(op, a, b)
+            if self.boost_mode:
+                # Shadow resolution happens when the word completes.
+                self._resolved_branches.append((instr.uid, taken))
+            return instr.target if taken else None
+        if op is Opcode.JUMP:
+            return instr.target
+        if op is Opcode.HALT:
+            return "__halt__"
+        if op in (Opcode.JSR, Opcode.IO):
+            self._io_events.append(instr.origin_uid)
+            return None
+        if op is Opcode.NOP:
+            return None
+
+        # ---- sentinel-support opcodes ----------------------------------
+        if op is Opcode.CLRTAG:
+            if instr.dest is not None:
+                self.regs.clear_tag(instr.dest)
+            return None
+        if op is Opcode.CHECK:
+            source = self._read(instr.srcs[0])
+            if self.tagged_mode and source.tag:
+                self._raise_signal(instr, source.data, own=False, trap=None)
+            if instr.dest is not None:
+                self._write(instr, source.data, False)
+            return None
+        if op is Opcode.CONFIRM:
+            entry = self.buffer.confirm(int(instr.srcs[0]), instr.uid)
+            if entry is not None:
+                trap = entry.trap
+                self._raise_signal(instr, entry.exc_pc, own=False, trap=trap)
+            return None
+
+        # ---- memory ------------------------------------------------------
+        if op in (Opcode.TLOAD, Opcode.TSTORE):
+            return self._execute_tagmove(instr)
+        if op in (Opcode.LOAD, Opcode.FLOAD):
+            return self._execute_load(instr, pc)
+        if op in (Opcode.STORE, Opcode.FSTORE):
+            return self._execute_store(instr, pc)
+
+        # ---- computational -------------------------------------------
+        return self._execute_compute(instr, pc)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _execute_tagmove(self, instr: Instruction) -> None:
+        base = self._read(instr.srcs[0])
+        address = int(base.data) + int(instr.srcs[1])
+        if instr.op is Opcode.TLOAD:
+            value, tag = self.memory.peek_tagged(address)
+            self._write(instr, value, tag if self.tagged_mode else False)
+        else:
+            source = self._read(instr.srcs[2]) if isinstance(instr.srcs[2], Register) else None
+            if source is None:
+                self.memory.poke_tagged(address, instr.srcs[2], False)
+            else:
+                self.memory.poke_tagged(address, source.data, source.tag)
+        return None
+
+    def _colwell_poison(self, instr: Instruction):
+        """The NaN a silent colwell-mode trap writes (Section 2.4)."""
+        return GARBAGE_FP if instr.info.fp_dest else INT_NAN
+
+    def _colwell_nan_operand(self, instr: Instruction) -> bool:
+        """Does a register operand carry (integer or FP) NaN?"""
+        return any(
+            _is_nan_value(self._read(s).data)
+            for s in instr.srcs
+            if isinstance(s, Register)
+        )
+
+    def _colwell_signal_if_poisoned(self, instr: Instruction, pc: int) -> None:
+        """Colwell detection: 'The use of NaN is then signaled by any
+        trapping instruction.'  The reported PC is the *consumer*'s — the
+        paper's attribution critique."""
+        if (
+            self.colwell_mode
+            and not instr.spec
+            and instr.info.can_trap
+            and self._colwell_nan_operand(instr)
+        ):
+            self._raise_signal(
+                instr, pc, own=True,
+                trap=Trap(TrapKind.FP_INVALID, detail="NaN detected (colwell)"),
+            )
+
+    def _shadow_write(self, instr: Instruction, value, trap, pc: int) -> None:
+        """Route a boosted result into the shadow files (Section 2.3)."""
+        self.shadow.write_register(
+            instr.dest, value, trap, pc, instr.boost_branches
+        )
+        self._ready_time[instr.dest] = self._clock + self.machine.latency(instr.op)
+
+    def _execute_load(self, instr: Instruction, pc: int) -> None:
+        if self.boost_mode and instr.boost_branches:
+            base = self._read(instr.srcs[0])
+            address = int(base.data) + int(instr.srcs[1])
+            trap = self.memory.check(address)
+            if trap is None:
+                value = self.shadow.search_store(address)
+                if value is None:
+                    forwarded = self.buffer.search(address)
+                    value = forwarded if forwarded is not None else self.memory.peek(address)
+                if instr.op is Opcode.FLOAD and isinstance(value, int):
+                    value = float(value)
+            else:
+                value = garbage_for(instr.op)
+            self._shadow_write(instr, value, trap, pc)
+            return None
+        sources = self._sources(instr)
+        tagged = first_tagged(sources) if self.tagged_mode else None
+        if tagged is not None:
+            outcome = apply_table1(instr.spec, sources, False, pc, None)
+            if outcome.signal_pc is not None:
+                self._raise_signal(instr, outcome.signal_pc, own=False, trap=None)
+            self._write(instr, outcome.dest_data, outcome.dest_tag)
+            return None
+        base = self._read(instr.srcs[0])
+        address = int(base.data) + int(instr.srcs[1])
+        trap = self.memory.check(address)
+        if trap is None:
+            forwarded = self.buffer.search(address)
+            if forwarded is not None:
+                value: Value = forwarded
+            else:
+                value = self.memory.peek(address)
+            if instr.op is Opcode.FLOAD and isinstance(value, int):
+                value = float(value)
+        else:
+            value = None
+        if self.tagged_mode:
+            outcome = apply_table1(instr.spec, sources, trap is not None, pc, value)
+            if outcome.signal_pc is not None:
+                self._raise_signal(instr, outcome.signal_pc, own=True, trap=trap)
+            if outcome.dest_tag:
+                self._pending_traps[pc] = trap
+            self._write(instr, outcome.dest_data, outcome.dest_tag)
+        else:
+            self._colwell_signal_if_poisoned(instr, pc)
+            if trap is not None:
+                if instr.spec:
+                    poison = (
+                        self._colwell_poison(instr)
+                        if self.colwell_mode
+                        else garbage_for(instr.op)
+                    )
+                    self._write(instr, poison, False)  # silent
+                else:
+                    self._raise_signal(instr, pc, own=True, trap=trap)
+            else:
+                self._write(instr, value, False)
+        return None
+
+    def _execute_store(self, instr: Instruction, pc: int) -> None:
+        if self.boost_mode and instr.boost_branches:
+            base = self._read(instr.srcs[0])
+            address = int(base.data) + int(instr.srcs[1])
+            value = self._operand(instr.srcs[2])
+            trap = self.memory.check(address)
+            self.shadow.write_store(address, value, trap, pc, instr.boost_branches)
+            return None
+        sources = self._sources(instr)
+        if not self.tagged_mode and not self.boost_mode and instr.spec:
+            raise SimulationError(
+                f"speculative store {instr.uid} under a silent-mode schedule"
+            )
+        tagged = first_tagged(sources) if self.tagged_mode else None
+        address: Optional[int] = None
+        value: Optional[Value] = None
+        trap: Optional[Trap] = None
+        if tagged is None:
+            base = self._read(instr.srcs[0])
+            address = int(base.data) + int(instr.srcs[1])
+            value = self._operand(instr.srcs[2])
+            trap = self.memory.check(address)
+        if not self.tagged_mode:
+            # Conventional buffer: non-speculative confirmed entries only.
+            self._colwell_signal_if_poisoned(instr, pc)
+            if trap is not None:
+                self._raise_signal(instr, pc, own=True, trap=trap)
+            if not self.buffer.can_insert():
+                raise _StallStore()
+            self.buffer.insert(False, (), address, value, None, pc)
+            return None
+        # Tagged mode: Table 2.  Insertion rows need a free slot.
+        will_insert = instr.spec or (tagged is None and trap is None)
+        if will_insert and not self.buffer.can_insert():
+            raise _StallStore()
+        outcome = self.buffer.insert(
+            instr.spec, sources if self.tagged_mode else (), address, value, trap, pc
+        )
+        if instr.spec and trap is not None and tagged is None:
+            self._pending_traps[pc] = trap
+        if outcome.signal_pc is not None:
+            self._raise_signal(
+                instr, outcome.signal_pc, own=outcome.signal_own, trap=trap
+            )
+        return None
+
+    def _execute_compute(self, instr: Instruction, pc: int) -> None:
+        if self.boost_mode and instr.boost_branches:
+            vals = [self._operand(s) for s in instr.srcs]
+            result, trap = evaluate(instr.op, vals)
+            self._shadow_write(instr, result, trap, pc)
+            return None
+        sources = self._sources(instr)
+        tagged = first_tagged(sources) if self.tagged_mode else None
+        if tagged is not None:
+            outcome = apply_table1(instr.spec, sources, False, pc, None)
+            if outcome.signal_pc is not None:
+                self._raise_signal(instr, outcome.signal_pc, own=False, trap=None)
+            self._write(instr, outcome.dest_data, outcome.dest_tag)
+            return None
+        vals = [self._operand(s) for s in instr.srcs]
+        result, trap = evaluate(instr.op, vals)
+        if self.tagged_mode:
+            outcome = apply_table1(instr.spec, sources, trap is not None, pc, result)
+            if outcome.signal_pc is not None:
+                self._raise_signal(instr, outcome.signal_pc, own=True, trap=trap)
+            if outcome.dest_tag:
+                self._pending_traps[pc] = trap
+            self._write(instr, outcome.dest_data, outcome.dest_tag)
+        else:
+            self._colwell_signal_if_poisoned(instr, pc)
+            if trap is not None:
+                if instr.spec:
+                    poison = (
+                        self._colwell_poison(instr)
+                        if self.colwell_mode
+                        else result
+                    )
+                    self._write(instr, poison, False)  # silent garbage result
+                else:
+                    self._raise_signal(instr, pc, own=True, trap=trap)
+            else:
+                self._write(instr, result, False)
+        return None
+
+
+def run_scheduled(
+    scheduled: ScheduledProgram,
+    machine: MachineDescription,
+    memory: Optional[Memory] = None,
+    on_exception: str = ABORT,
+    init_regs: Optional[Dict[Register, Value]] = None,
+    init_tags: Optional[Dict[Register, int]] = None,
+    max_cycles: int = 5_000_000,
+) -> ProcessorResult:
+    """Convenience wrapper: build a processor and run once."""
+    processor = Processor(
+        scheduled,
+        machine,
+        memory=memory,
+        on_exception=on_exception,
+        init_regs=init_regs,
+        init_tags=init_tags,
+        max_cycles=max_cycles,
+    )
+    return processor.run()

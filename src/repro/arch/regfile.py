@@ -1,0 +1,66 @@
+"""Register file with per-register exception tags (Section 3.2).
+
+"A second extension is an exception tag added to each register in the
+register file.  The exception tag is used to signal an exception that
+occurred when a speculative instruction is executed."  The tag travels
+with the data on spills and context switches via ``tstore``/``tload``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from ..core.tags import TaggedValue
+from ..isa.registers import Register
+
+Value = Union[int, float]
+
+
+class TaggedRegisterFile:
+    """64 integer + 64 FP registers, each with a data field and a tag."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Register, Value] = {}
+        self._tags: Dict[Register, bool] = {}
+
+    def read(self, reg: Register) -> TaggedValue:
+        if reg.is_zero:
+            return TaggedValue(0, False)
+        default: Value = 0.0 if reg.is_fp else 0
+        return TaggedValue(self._data.get(reg, default), self._tags.get(reg, False))
+
+    def value(self, reg: Register) -> Value:
+        return self.read(reg).data
+
+    def tag(self, reg: Register) -> bool:
+        return self.read(reg).tag
+
+    def write(self, reg: Register, value: Value, tag: bool = False) -> None:
+        if reg.is_zero:
+            return  # hardwired zero
+        self._data[reg] = value
+        if tag:
+            self._tags[reg] = True
+        else:
+            self._tags.pop(reg, None)
+
+    def clear_tag(self, reg: Register) -> None:
+        """The ``clrtag`` instruction: reset the tag, keep the data."""
+        self._tags.pop(reg, None)
+
+    def set_tag(self, reg: Register, pc: Value) -> None:
+        """Force a tag (test setup for the Section 3.5 uninitialized case)."""
+        if reg.is_zero:
+            return
+        self._data[reg] = pc
+        self._tags[reg] = True
+
+    def tagged_registers(self) -> Tuple[Register, ...]:
+        return tuple(sorted((r for r, t in self._tags.items() if t), key=lambda r: (r.kind, r.index)))
+
+    def values(self) -> Dict[Register, Value]:
+        return dict(self._data)
+
+    def load_values(self, values: Iterable[Tuple[Register, Value]]) -> None:
+        for reg, value in values:
+            self.write(reg, value)

@@ -1,0 +1,143 @@
+"""Shadow storage for instruction boosting (Section 2.3 of the paper).
+
+"The restrictions are overcome by providing sufficient hardware storage to
+buffer results until the branches an instruction moved past are committed.
+If all branches are found to be correctly predicted, the machine state is
+updated by the boosted instructions' effects.  If one or more of the
+branches are incorrectly predicted, the buffered results are thrown away.
+Two sets of buffer storage are required for this scheduling model, shadow
+register files and shadow store buffers."
+
+Each shadow entry records the destination (a register, or a store's
+address/value), any exception the boosted execution raised ("Exceptions
+for boosted instructions are detected by marking in the appropriate shadow
+structure whether an exception occurred"), the boosted instruction's PC,
+and the set of branch uids still pending.  A branch resolving fall-through
+strikes itself from every pending set; entries whose set empties **commit**
+in insertion order (signalling their buffered exception, if any, precisely
+at commit).  A taken branch **squashes** every entry still naming it.
+
+Capacity is idealized (a shadow *file* per level holds the whole register
+file; we likewise do not bound shadow store entries), which favours
+boosting — the comparison bench measures sentinel scheduling against
+boosting at its best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple, Union
+
+from ..isa.registers import Register
+from .exceptions import SimulationError, Trap
+
+Value = Union[int, float]
+
+
+@dataclass
+class ShadowEntry:
+    #: Destination register for computational results; None for stores.
+    reg: Optional[Register]
+    #: Store address (None for register results).
+    address: Optional[int]
+    value: Optional[Value]
+    trap: Optional[Trap]
+    pc: int
+    pending: Set[int]
+
+    @property
+    def is_store(self) -> bool:
+        return self.address is not None or (self.reg is None)
+
+
+class ShadowBank:
+    """Shadow register files + shadow store buffers, merged."""
+
+    def __init__(self) -> None:
+        self._entries: List[ShadowEntry] = []
+        self.squashed = 0
+        self.committed = 0
+
+    # ------------------------------------------------------------------
+
+    def write_register(
+        self,
+        reg: Register,
+        value: Value,
+        trap: Optional[Trap],
+        pc: int,
+        branches: Tuple[int, ...],
+    ) -> None:
+        self._entries.append(
+            ShadowEntry(reg=reg, address=None, value=value, trap=trap,
+                        pc=pc, pending=set(branches))
+        )
+
+    def write_store(
+        self,
+        address: Optional[int],
+        value: Optional[Value],
+        trap: Optional[Trap],
+        pc: int,
+        branches: Tuple[int, ...],
+    ) -> None:
+        self._entries.append(
+            ShadowEntry(reg=None, address=address, value=value, trap=trap,
+                        pc=pc, pending=set(branches))
+        )
+
+    # ------------------------------------------------------------------
+
+    def read_register(self, reg: Register) -> Optional[ShadowEntry]:
+        """Newest pending shadow value of ``reg`` (boosted consumers read
+        through the shadow files)."""
+        for entry in reversed(self._entries):
+            if entry.reg is reg:
+                return entry
+        return None
+
+    def search_store(self, address: int) -> Optional[Value]:
+        """Newest pending shadow store to ``address`` (boosted loads forward
+        from boosted stores on the same predicted path)."""
+        for entry in reversed(self._entries):
+            if entry.reg is None and entry.address == address and entry.trap is None:
+                return entry.value
+        return None
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, branch_uid: int, taken: bool) -> List[ShadowEntry]:
+        """A branch resolved.  Taken squashes; fall-through may commit.
+
+        Returns the entries that became committable, in insertion order;
+        the caller applies them to architectural state and signals any
+        buffered exception.
+        """
+        if taken:
+            before = len(self._entries)
+            self._entries = [
+                e for e in self._entries if branch_uid not in e.pending
+            ]
+            self.squashed += before - len(self._entries)
+            return []
+        commits: List[ShadowEntry] = []
+        remaining: List[ShadowEntry] = []
+        for entry in self._entries:
+            entry.pending.discard(branch_uid)
+            if entry.pending:
+                remaining.append(entry)
+            else:
+                commits.append(entry)
+        self._entries = remaining
+        self.committed += len(commits)
+        return commits
+
+    def pending_count(self) -> int:
+        return len(self._entries)
+
+    def assert_empty(self) -> None:
+        if self._entries:
+            raise SimulationError(
+                f"{len(self._entries)} shadow entries pending at program end "
+                f"(first pc={self._entries[0].pc})"
+            )

@@ -1,0 +1,277 @@
+"""Store buffer with probationary entries — Section 4.1 / Table 2.
+
+A conventional store buffer sits between the CPU and the data cache: it
+accepts one entry per executed store (translating the address, and hence
+detecting exceptions, at insertion), forwards data to matching loads, and
+releases head entries to the cache in FIFO order.
+
+To support **speculative stores** each entry gains a confirmation bit, an
+exception tag and an exception PC:
+
+* a non-speculative store inserts a *confirmed* entry (or signals
+  immediately on translation fault / tagged source — the store acting as a
+  sentinel),
+* a speculative store always inserts a *probationary* entry, recording any
+  fault or propagated tag in the entry instead of signalling,
+* ``confirm_store(index)`` confirms the ``index``-th valid entry counting
+  from the tail and reports its recorded exception, if any,
+* a mispredicted branch cancels **all** probationary entries,
+* a probationary entry at the head blocks release; a probationary entry
+  with its exception tag set is excluded from load forwarding so the load
+  can re-execute independently of the faulty store (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence, Union
+
+from ..core.tags import TaggedValue, first_tagged
+from .exceptions import SimulationError, Trap
+from .memory import Memory
+
+Value = Union[int, float]
+
+
+@dataclass
+class StoreBufferEntry:
+    address: Optional[int]
+    value: Optional[Value]
+    confirmed: bool
+    valid: bool = True
+    exc_tag: bool = False
+    exc_pc: Optional[Value] = None
+    #: The fault recorded at insertion (speculative store's own trap).
+    trap: Optional[Trap] = None
+    #: PC of the store that created the entry (debug/recovery aid).
+    store_pc: Optional[int] = None
+
+    @property
+    def probationary(self) -> bool:
+        return self.valid and not self.confirmed
+
+    @property
+    def searchable(self) -> bool:
+        """May a load forward from this entry?  (Section 4.1: a probationary
+        entry with its exception tag set does not participate.)"""
+        return self.valid and not self.exc_tag and self.address is not None
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """Result of attempting to insert a store (one row of Table 2)."""
+
+    inserted: bool
+    #: PC to report when the insertion itself signals (non-spec rows).
+    signal_pc: Optional[Value] = None
+    #: True when the signal is the store's own fault (report its trap).
+    signal_own: bool = False
+
+
+class StoreBufferStall(SimulationError):
+    """Raised if an insert is attempted while the buffer has no free slot.
+
+    The processor must check :meth:`StoreBuffer.can_insert` and stall the
+    pipeline instead; seeing this exception in a test means the N-1
+    separation constraint (Section 4.2) was violated by the scheduler.
+    """
+
+
+class StoreBuffer:
+    """FIFO store buffer with probationary-entry support."""
+
+    def __init__(self, size: int, memory: Memory) -> None:
+        if size < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.size = size
+        self.memory = memory
+        self.entries: Deque[StoreBufferEntry] = deque()
+        self.stall_cycles = 0
+        self.releases = 0
+        self.cancellations = 0
+
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def can_insert(self) -> bool:
+        return len(self.entries) < self.size
+
+    def head_blocked(self) -> bool:
+        """Is release blocked by a probationary head entry?"""
+        self._reclaim_invalid_head()
+        return bool(self.entries) and self.entries[0].probationary
+
+    # ------------------------------------------------------------------
+    # Insertion: Table 2.
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        spec: bool,
+        sources: Sequence[TaggedValue],
+        address: Optional[int],
+        value: Optional[Value],
+        translation_trap: Optional[Trap],
+        pc: int,
+    ) -> InsertOutcome:
+        """Insert one executed store per Table 2 of the paper.
+
+        ``sources`` are the store's register source operands (base and data)
+        in operand order.  ``translation_trap`` is the fault found while
+        translating ``address``, already computed by the caller — it is only
+        meaningful when no source is tagged (a tagged base register holds a
+        PC, not an address, so translation is skipped).
+        """
+        tagged = first_tagged(sources)
+
+        if not spec:
+            if tagged is not None:
+                # Rows (0,1,*): the store acts as a sentinel.
+                return InsertOutcome(inserted=False, signal_pc=tagged.data, signal_own=False)
+            if translation_trap is not None:
+                # Row (0,0,1): conventional precise store exception.
+                return InsertOutcome(inserted=False, signal_pc=pc, signal_own=True)
+            # Row (0,0,0): confirmed entry.
+            self._push(
+                StoreBufferEntry(address=address, value=value, confirmed=True, store_pc=pc)
+            )
+            return InsertOutcome(inserted=True)
+
+        # Speculative rows always insert a probationary (pending) entry.
+        if tagged is not None:
+            # Rows (1,1,*): propagate the incoming exception.
+            entry = StoreBufferEntry(
+                address=None,
+                value=None,
+                confirmed=False,
+                exc_tag=True,
+                exc_pc=tagged.data,
+                store_pc=pc,
+            )
+        elif translation_trap is not None:
+            # Row (1,0,1): record the store's own fault.
+            entry = StoreBufferEntry(
+                address=address,
+                value=value,
+                confirmed=False,
+                exc_tag=True,
+                exc_pc=pc,
+                trap=translation_trap,
+                store_pc=pc,
+            )
+        else:
+            # Row (1,0,0): clean pending entry.
+            entry = StoreBufferEntry(
+                address=address, value=value, confirmed=False, store_pc=pc
+            )
+        self._push(entry)
+        return InsertOutcome(inserted=True)
+
+    def _push(self, entry: StoreBufferEntry) -> None:
+        if not self.can_insert():
+            raise StoreBufferStall(
+                f"store buffer overflow: {len(self.entries)}/{self.size} entries"
+            )
+        self.entries.append(entry)
+
+    # ------------------------------------------------------------------
+    # Load forwarding.
+    # ------------------------------------------------------------------
+
+    def search(self, address: int) -> Optional[Value]:
+        """Most recent searchable entry matching ``address``, if any."""
+        for entry in reversed(self.entries):
+            if entry.searchable and entry.address == address:
+                return entry.value
+        return None
+
+    # ------------------------------------------------------------------
+    # Release to the data cache (one confirmed entry per cycle).
+    # ------------------------------------------------------------------
+
+    def _reclaim_invalid_head(self) -> None:
+        while self.entries and not self.entries[0].valid:
+            self.entries.popleft()
+
+    def release_cycle(self) -> bool:
+        """One cycle's release opportunity.  Returns True if an entry moved.
+
+        Invalid (cancelled) head entries are reclaimed for free; a confirmed
+        head updates the data cache; a probationary head blocks.
+        """
+        self._reclaim_invalid_head()
+        if not self.entries:
+            return False
+        head = self.entries[0]
+        if not head.confirmed:
+            return False
+        self.entries.popleft()
+        if head.address is not None:
+            self.memory.poke(head.address, head.value)
+        self.releases += 1
+        self._reclaim_invalid_head()
+        return True
+
+    def drain(self) -> None:
+        """Flush everything at program end.  Probationary leftovers are a
+        scheduler bug (every speculative store must be confirmed or
+        cancelled before its superblock exits)."""
+        self._reclaim_invalid_head()
+        for entry in list(self.entries):
+            if entry.probationary:
+                raise SimulationError(
+                    f"probationary store (pc={entry.store_pc}) left in buffer at drain"
+                )
+        while self.entries:
+            self.release_cycle()
+
+    # ------------------------------------------------------------------
+    # Confirmation and cancellation.
+    # ------------------------------------------------------------------
+
+    def confirm(self, index: int, pc: int) -> Optional[StoreBufferEntry]:
+        """Execute ``confirm_store(index)``.
+
+        ``index`` counts valid entries from the tail (0 = most recent).
+        Returns the entry if its recorded exception must be signalled,
+        None for a clean confirmation.  A tagged entry is invalidated so it
+        never updates the cache; recovery re-executes the store.
+        """
+        target: Optional[StoreBufferEntry] = None
+        seen = 0
+        for entry in reversed(self.entries):
+            if not entry.valid:
+                continue
+            if seen == index:
+                target = entry
+                break
+            seen += 1
+        if target is None:
+            raise SimulationError(f"confirm_store({index}) at pc={pc}: no such entry")
+        if not target.probationary:
+            raise SimulationError(
+                f"confirm_store({index}) at pc={pc} hit a non-probationary entry "
+                f"(store pc={target.store_pc}) — bad confirm index in the schedule"
+            )
+        if target.exc_tag:
+            target.valid = False
+            return target
+        target.confirmed = True
+        return None
+
+    def cancel_probationary(self) -> int:
+        """Mispredicted branch: cancel all probationary entries."""
+        count = 0
+        for entry in self.entries:
+            if entry.probationary:
+                entry.valid = False
+                count += 1
+        self.cancellations += count
+        self._reclaim_invalid_head()
+        return count
+
+    def probationary_count(self) -> int:
+        return sum(1 for e in self.entries if e.probationary)

@@ -1,0 +1,71 @@
+"""Fast trace-driven timing model for the evaluation sweeps.
+
+On the paper's machine (100 % cache hits, deterministic latencies, CRAY-1
+interlocking) the cycles one superblock visit consumes are determined by
+the static schedule and the exit actually taken: a visit leaving through a
+branch issued in cycle ``c`` costs ``c + 1`` cycles; a fall-through visit
+costs the schedule length.  Summing per-exit costs weighted by an
+execution profile reproduces the execution-driven cycle count up to
+cross-block interlock stalls and store-buffer stalls, which the cycle
+simulator (:mod:`repro.arch.processor`) measures exactly; the test suite
+cross-checks the two on small runs.
+
+The profile must come from executing the *source* (superblock-form)
+program of the schedule, so its labels and branch uids match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cfg.profile import ProfileData
+from ..sched.schedule import ScheduledProgram
+
+
+@dataclass
+class TimingBreakdown:
+    total_cycles: int
+    per_block: Dict[str, int] = field(default_factory=dict)
+    visits: Dict[str, int] = field(default_factory=dict)
+
+
+def estimate_cycles(scheduled: ScheduledProgram, profile: ProfileData) -> TimingBreakdown:
+    """Estimate total execution cycles of ``scheduled`` under ``profile``."""
+    breakdown = TimingBreakdown(total_cycles=0)
+    for block in scheduled.blocks:
+        visits = profile.block_visits.get(block.label, 0)
+        if visits == 0:
+            continue
+        block_cycles = 0
+        taken_exits = 0
+        terminator_cycle = None
+        for cycle, _slot, instr in block.linear():
+            if instr.info.is_cond_branch:
+                taken = profile.branch_taken.get(instr.uid, 0)
+                block_cycles += taken * (cycle + 1)
+                taken_exits += taken
+            elif instr.info.is_jump or instr.info.is_halt:
+                terminator_cycle = cycle
+        through = visits - taken_exits
+        if through < 0:
+            raise ValueError(
+                f"profile inconsistent for block {block.label}: "
+                f"{taken_exits} taken exits > {visits} visits"
+            )
+        if terminator_cycle is not None:
+            through_cost = terminator_cycle + 1
+        else:
+            through_cost = block.length
+        block_cycles += through * through_cost
+        breakdown.per_block[block.label] = block_cycles
+        breakdown.visits[block.label] = visits
+        breakdown.total_cycles += block_cycles
+    return breakdown
+
+
+def speedup(base_cycles: int, candidate_cycles: int) -> float:
+    """Speedup of a candidate over the base machine (paper Figures 4/5)."""
+    if candidate_cycles <= 0:
+        raise ValueError("candidate cycle count must be positive")
+    return base_cycles / candidate_cycles

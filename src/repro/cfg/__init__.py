@@ -1,0 +1,34 @@
+"""Control-flow substrate: basic blocks, CFG, liveness, profiles,
+superblock formation."""
+
+from .basic_block import (
+    block_instruction_ranges,
+    normalize_fallthroughs,
+    remove_redundant_jumps,
+    to_basic_blocks,
+)
+from .graph import CFG, Edge, remove_unreachable_blocks
+from .liveness import Liveness
+from .profile import ProfileData
+from .superblock import (
+    FormationResult,
+    SuperblockFormer,
+    SuperblockInfo,
+    form_superblocks,
+)
+
+__all__ = [
+    "block_instruction_ranges",
+    "normalize_fallthroughs",
+    "remove_redundant_jumps",
+    "to_basic_blocks",
+    "CFG",
+    "Edge",
+    "remove_unreachable_blocks",
+    "Liveness",
+    "ProfileData",
+    "FormationResult",
+    "SuperblockFormer",
+    "SuperblockInfo",
+    "form_superblocks",
+]

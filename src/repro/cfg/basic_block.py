@@ -1,0 +1,104 @@
+"""Basic-block normalization passes.
+
+The :class:`~repro.isa.program.Program` container allows conditional branches
+anywhere in a block (superblock form).  The compiler front produces and the
+CFG analyses consume **basic-block form**, where every conditional branch
+terminates its block.  This module converts between the two and normalizes
+fall-through edges into explicit jumps so blocks can be laid out freely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.instruction import Instruction, jump
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+
+
+def _fresh_label(base: str, taken: set) -> str:
+    index = 1
+    while f"{base}.{index}" in taken:
+        index += 1
+    label = f"{base}.{index}"
+    taken.add(label)
+    return label
+
+
+def to_basic_blocks(program: Program) -> Program:
+    """Return an equivalent program in basic-block form.
+
+    Splits blocks after every conditional branch; drops statically
+    unreachable instructions that follow an unconditional jump or halt inside
+    a block.  The result shares no :class:`Instruction` objects with the
+    input, and ``origin`` links point back to the input's uids.
+    """
+    taken_labels = {blk.label for blk in program.blocks}
+    out_blocks: List[Block] = []
+    for blk in program.blocks:
+        current = Block(blk.label)
+        out_blocks.append(current)
+        dead = False
+        for instr in blk.instrs:
+            if dead:
+                break
+            clone = instr.clone()
+            clone.home_block = None  # re-derived by renumber()
+            current.append(clone)
+            if instr.info.is_cond_branch and instr is not blk.instrs[-1]:
+                current = Block(_fresh_label(blk.label, taken_labels))
+                out_blocks.append(current)
+            elif instr.info.is_jump or instr.info.is_halt:
+                dead = True
+    result = Program(out_blocks)
+    result.validate()
+    return result
+
+
+def normalize_fallthroughs(program: Program) -> None:
+    """Append an explicit ``jump`` to every block that falls through.
+
+    After this pass block layout order carries no semantics, which is what
+    superblock formation needs when it pulls trace blocks out of line.
+    Mutates ``program`` in place and renumbers.
+    """
+    for idx, blk in enumerate(program.blocks):
+        if blk.falls_through:
+            if idx + 1 >= len(program.blocks):
+                raise ValueError("last block falls through; program must end in halt")
+            blk.append(jump(program.blocks[idx + 1].label))
+    program.renumber()
+
+
+def remove_redundant_jumps(program: Program) -> None:
+    """Peephole: drop a trailing ``jump L`` when block L is laid out next.
+
+    The inverse of :func:`normalize_fallthroughs`, run after layout so the
+    emitted code does not pay a branch for every straight-line transition.
+    Mutates ``program`` in place.
+    """
+    for idx, blk in enumerate(program.blocks[:-1]):
+        last = blk.last
+        if (
+            last is not None
+            and last.op is Opcode.JUMP
+            and last.target == program.blocks[idx + 1].label
+        ):
+            blk.instrs.pop()
+
+
+def block_instruction_ranges(block: Block) -> List[List[Instruction]]:
+    """Split a (super)block's instructions into branch-delimited regions.
+
+    Region ``k`` holds the instructions whose *home block* (in the paper's
+    sense, Section 3.1) is the code between side exit ``k-1`` and side exit
+    ``k`` of the superblock.
+    """
+    regions: List[List[Instruction]] = [[]]
+    for instr in block.instrs:
+        regions[-1].append(instr)
+        if instr.info.is_cond_branch:
+            regions.append([])
+    if not regions[-1]:
+        regions.pop()
+    return regions

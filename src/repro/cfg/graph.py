@@ -1,0 +1,94 @@
+"""Control-flow graph over a :class:`~repro.isa.program.Program`.
+
+Works on both basic-block form and superblock form: every conditional branch
+inside a block contributes a *taken* edge, an unconditional jump contributes a
+*jump* edge, and a block whose control reaches its end contributes a *fall*
+edge to the lexically next block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..isa.program import Block, Program
+
+FALL = "fall"
+TAKEN = "taken"
+JUMP = "jump"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One CFG edge.  ``branch_uid`` identifies the branch for taken edges."""
+
+    src: str
+    dst: str
+    kind: str
+    branch_uid: Optional[int] = None
+
+
+class CFG:
+    """Successor/predecessor structure of a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edges: List[Edge] = []
+        self.succs: Dict[str, List[Edge]] = {blk.label: [] for blk in program.blocks}
+        self.preds: Dict[str, List[Edge]] = {blk.label: [] for blk in program.blocks}
+        self._build()
+
+    def _add(self, edge: Edge) -> None:
+        self.edges.append(edge)
+        self.succs[edge.src].append(edge)
+        self.preds[edge.dst].append(edge)
+
+    def _build(self) -> None:
+        blocks = self.program.blocks
+        for idx, blk in enumerate(blocks):
+            for instr in blk.instrs:
+                if instr.info.is_cond_branch:
+                    self._add(Edge(blk.label, instr.target, TAKEN, instr.uid))
+                elif instr.info.is_jump:
+                    self._add(Edge(blk.label, instr.target, JUMP, instr.uid))
+            if blk.falls_through:
+                if idx + 1 < len(blocks):
+                    self._add(Edge(blk.label, blocks[idx + 1].label, FALL))
+
+    # ------------------------------------------------------------------
+
+    def successors(self, label: str) -> List[str]:
+        return [e.dst for e in self.succs[label]]
+
+    def predecessors(self, label: str) -> List[str]:
+        return [e.src for e in self.preds[label]]
+
+    def reachable_from_entry(self) -> Set[str]:
+        if not self.program.blocks:
+            return set()
+        entry = self.program.blocks[0].label
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            label = stack.pop()
+            for succ in self.successors(label):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def block(self, label: str) -> Block:
+        return self.program.block(label)
+
+
+def remove_unreachable_blocks(program: Program) -> int:
+    """Delete blocks not reachable from the entry.  Returns count removed.
+
+    Assumes fall-throughs were normalized (a reachable block must not fall
+    into an unreachable one; with explicit jumps this cannot happen).
+    """
+    cfg = CFG(program)
+    reachable = cfg.reachable_from_entry()
+    before = len(program.blocks)
+    program.blocks = [blk for blk in program.blocks if blk.label in reachable]
+    return before - len(program.blocks)

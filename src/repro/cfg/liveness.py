@@ -1,0 +1,133 @@
+"""Iterative live-variable analysis.
+
+The paper uses liveness twice:
+
+* **Dependence graph reduction** — a control dependence from branch ``BR`` to
+  instruction ``I`` may be removed only "if the location written to by I is
+  not used before being redefined when BR is taken" (Section 3.3), i.e. when
+  ``dest(I)`` is not live-in at BR's taken target.
+* **Uninitialized data** (Section 3.5) — "the compiler performs live variable
+  analysis and inserts additional instructions to reset the exception tags of
+  the corresponding registers before they are used"; those registers are the
+  ones live-in at the program entry.
+
+The analysis handles superblock form directly: a conditional branch in the
+middle of a block merges the live-in set of its taken target at that point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import Register
+
+RegSet = FrozenSet[Register]
+
+_EMPTY: RegSet = frozenset()
+
+
+def _uses(instr) -> List[Register]:
+    return [r for r in instr.uses() if not r.is_zero]
+
+
+def _defs(instr) -> List[Register]:
+    return [r for r in instr.defs() if not r.is_zero]
+
+
+class Liveness:
+    """Fixpoint live-in/live-out sets for every block of a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.live_in: Dict[str, RegSet] = {blk.label: _EMPTY for blk in program.blocks}
+        self._labels = [blk.label for blk in program.blocks]
+        self._compute()
+
+    # ------------------------------------------------------------------
+
+    def _block_end_live(self, index: int) -> RegSet:
+        """Live set at the very end of block ``index`` (fall-through only)."""
+        blk = self.program.blocks[index]
+        if blk.falls_through and index + 1 < len(self.program.blocks):
+            return self.live_in[self.program.blocks[index + 1].label]
+        return _EMPTY
+
+    def _transfer(self, blk: Block, live: RegSet) -> RegSet:
+        """Propagate ``live`` backwards through the whole block."""
+        current = set(live)
+        for instr in reversed(blk.instrs):
+            info = instr.info
+            if info.is_cond_branch:
+                current |= self.live_in[instr.target]
+            elif info.is_jump:
+                current = set(self.live_in[instr.target])
+            elif info.is_halt:
+                current = set()
+            for reg in _defs(instr):
+                # CLRTAG preserves the data field (it also appears in uses()),
+                # so it never kills liveness; plain defs do.
+                if instr.op is not Opcode.CLRTAG:
+                    current.discard(reg)
+            current.update(_uses(instr))
+        return frozenset(current)
+
+    def _compute(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(self.program.blocks) - 1, -1, -1):
+                blk = self.program.blocks[index]
+                new_in = self._transfer(blk, self._block_end_live(index))
+                if new_in != self.live_in[blk.label]:
+                    self.live_in[blk.label] = new_in
+                    changed = True
+
+    # ------------------------------------------------------------------
+
+    def live_out(self, label: str) -> RegSet:
+        index = self._labels.index(label)
+        blk = self.program.blocks[index]
+        live = set(self._block_end_live(index))
+        for instr in blk.instrs:
+            info = instr.info
+            if info.is_cond_branch:
+                live |= self.live_in[instr.target]
+            elif info.is_jump:
+                live |= self.live_in[instr.target]
+        return frozenset(live)
+
+    def live_when_taken(self, branch_uid: int) -> RegSet:
+        """Registers live when the given branch is taken (Section 3.3's test)."""
+        _blk, _idx, instr = self.program.find(branch_uid)
+        if instr.info.is_halt:
+            return _EMPTY
+        if instr.target is None:
+            raise ValueError(f"instruction {branch_uid} is not a branch")
+        return self.live_in[instr.target]
+
+    def live_before(self, label: str, index: int) -> RegSet:
+        """Live registers immediately before instruction ``index`` of block."""
+        block_index = self._labels.index(label)
+        blk = self.program.blocks[block_index]
+        live = set(self._block_end_live(block_index))
+        for instr in reversed(blk.instrs[index:]):
+            info = instr.info
+            if info.is_cond_branch:
+                live |= self.live_in[instr.target]
+            elif info.is_jump:
+                live = set(self.live_in[instr.target])
+            elif info.is_halt:
+                live = set()
+            for reg in _defs(instr):
+                if instr.op is not Opcode.CLRTAG:
+                    live.discard(reg)
+            live.update(_uses(instr))
+        return frozenset(live)
+
+    def entry_live_in(self) -> RegSet:
+        """Registers possibly used before definition (Section 3.5 targets)."""
+        if not self.program.blocks:
+            return _EMPTY
+        return self.live_in[self.program.blocks[0].label]

@@ -1,0 +1,53 @@
+"""Execution profiles: block visit counts and per-branch taken ratios.
+
+Superblock formation is profile-driven ("Superblock scheduling is an
+extension of trace scheduling", Section 2.1): the compiler picks the most
+likely successor of each block from an edge profile collected by running the
+program on training input.  The same profile also drives the fast timing
+model, which replays the profiled trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ProfileData:
+    """Counters collected by one (or more) reference executions."""
+
+    #: label -> number of times the block was entered.
+    block_visits: Counter = field(default_factory=Counter)
+    #: branch uid -> number of times the branch executed.
+    branch_executed: Counter = field(default_factory=Counter)
+    #: branch uid -> number of times the branch was taken.
+    branch_taken: Counter = field(default_factory=Counter)
+    #: (from_label, to_label) -> control transfer count (taken branches,
+    #: jumps and fall-throughs alike).
+    edges: Counter = field(default_factory=Counter)
+
+    def taken_ratio(self, uid: int) -> float:
+        """Fraction of executions in which branch ``uid`` was taken."""
+        executed = self.branch_executed.get(uid, 0)
+        if executed == 0:
+            return 0.0
+        return self.branch_taken.get(uid, 0) / executed
+
+    def edge_count(self, src: str, dst: str) -> int:
+        return self.edges.get((src, dst), 0)
+
+    def merge(self, other: "ProfileData") -> "ProfileData":
+        """Accumulate another profile into this one (multi-input training)."""
+        self.block_visits.update(other.block_visits)
+        self.branch_executed.update(other.branch_executed)
+        self.branch_taken.update(other.branch_taken)
+        self.edges.update(other.edges)
+        return self
+
+    def hottest_successor(self, label: str) -> Dict[str, int]:
+        """Successor labels of ``label`` with their transfer counts."""
+        return {
+            dst: count for (src, dst), count in self.edges.items() if src == label and count > 0
+        }

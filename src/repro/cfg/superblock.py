@@ -1,0 +1,292 @@
+"""Profile-driven superblock formation (trace selection + tail duplication).
+
+Section 2.1 of the paper: "A superblock is a block of instructions in which
+control may only enter from the top but may leave at one or more exit
+points.  Superblock scheduling is an extension of trace scheduling which
+reduces some of the bookkeeping complexity."
+
+The classic IMPACT construction implemented here:
+
+1. **Trace selection** — grow traces along the most likely successor edges of
+   an execution profile, stopping at cold/ambiguous branches, trace cycles,
+   and already-assigned blocks.
+2. **Linearization** — concatenate the trace into a single block.  Branches
+   to the next trace block are *inverted* so the trace becomes the
+   fall-through path (the compile-time "predicted" path); branches off the
+   trace remain as side exits.
+3. **Tail duplication** — a trace block entered from outside the trace would
+   create a side entrance, so the trace suffix starting at the first such
+   block is kept as ordinary duplicate code under its original labels, and
+   the superblock carries its own clone.
+
+The output program shares no instruction objects with the input; every clone
+records its ``origin`` uid so exception reports and profiles can be mapped
+back to the original program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from .basic_block import normalize_fallthroughs, remove_redundant_jumps
+from .graph import CFG, remove_unreachable_blocks
+from .profile import ProfileData
+
+#: Branch inversion table: beq <-> bne, blt <-> bge, ble <-> bgt.
+INVERTED_BRANCH: Dict[Opcode, Opcode] = {
+    Opcode.BEQ: Opcode.BNE,
+    Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE,
+    Opcode.BGE: Opcode.BLT,
+    Opcode.BLE: Opcode.BGT,
+    Opcode.BGT: Opcode.BLE,
+}
+
+
+@dataclass
+class SuperblockInfo:
+    """Bookkeeping for one formed superblock."""
+
+    label: str
+    merged_labels: List[str]
+    #: uids (in the *output* program) of side-exit conditional branches.
+    side_exit_uids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FormationResult:
+    program: Program
+    superblocks: Dict[str, SuperblockInfo]
+
+    def superblock_labels(self) -> List[str]:
+        return list(self.superblocks)
+
+
+class SuperblockFormer:
+    """Forms superblocks over a normalized basic-block program."""
+
+    def __init__(
+        self,
+        min_ratio: float = 0.6,
+        min_count: int = 1,
+        max_instructions: int = 256,
+    ) -> None:
+        self.min_ratio = min_ratio
+        self.min_count = min_count
+        self.max_instructions = max_instructions
+
+    # ------------------------------------------------------------------
+
+    def form(self, program: Program, profile: ProfileData) -> FormationResult:
+        work = _cloned(program)
+        normalize_fallthroughs(work)
+        cfg = CFG(work)
+        traces = self._select_traces(work, profile, cfg)
+        result = self._emit(work, cfg, traces)
+        remove_redundant_jumps(result.program)
+        remove_unreachable_blocks(result.program)
+        result.program.renumber()
+        result.program.validate()
+        self._record_side_exits(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Trace selection.
+    # ------------------------------------------------------------------
+
+    def _best_successor(
+        self, label: str, profile: ProfileData, cfg: CFG
+    ) -> Optional[Tuple[str, float]]:
+        counts = [(edge.dst, profile.edge_count(label, edge.dst)) for edge in cfg.succs[label]]
+        total = sum(c for _, c in counts)
+        if total == 0:
+            return None
+        dst, count = max(counts, key=lambda pair: pair[1])
+        if count < self.min_count:
+            return None
+        # Mutual-most-likely: only follow the edge if it is also the hottest
+        # way into ``dst``; otherwise ``dst`` belongs to a hotter trace.
+        into_dst = max(
+            (profile.edge_count(e.src, dst) for e in cfg.preds[dst]), default=0
+        )
+        if count < into_dst:
+            return None
+        return dst, count / total
+
+    def _select_traces(
+        self, program: Program, profile: ProfileData, cfg: CFG
+    ) -> List[List[str]]:
+        entry = program.blocks[0].label
+        assigned: Set[str] = set()
+        order = sorted(
+            (blk.label for blk in program.blocks),
+            key=lambda lbl: (-profile.block_visits.get(lbl, 0),),
+        )
+        # The entry block must head its trace (a superblock is entered only
+        # from the top), so seed it first.
+        order.remove(entry)
+        order.insert(0, entry)
+
+        traces: List[List[str]] = []
+        for seed in order:
+            if seed in assigned:
+                continue
+            trace = [seed]
+            assigned.add(seed)
+            size = len(program.block(seed))
+            current = seed
+            while True:
+                best = self._best_successor(current, profile, cfg)
+                if best is None:
+                    break
+                succ, ratio = best
+                if (
+                    succ in assigned
+                    or succ == entry
+                    or ratio < self.min_ratio
+                    or size + len(program.block(succ)) > self.max_instructions
+                ):
+                    break
+                trace.append(succ)
+                assigned.add(succ)
+                size += len(program.block(succ))
+                current = succ
+            traces.append(trace)
+        return traces
+
+    # ------------------------------------------------------------------
+    # Linearization + tail duplication.
+    # ------------------------------------------------------------------
+
+    def _linearize(
+        self, program: Program, trace: List[str]
+    ) -> Block:
+        """Concatenate a trace into one superblock."""
+        merged = Block(trace[0])
+        for position, label in enumerate(trace):
+            source = program.block(label)
+            successor = trace[position + 1] if position + 1 < len(trace) else None
+            instrs = [instr.clone() for instr in source.instrs]
+            for clone in instrs:
+                clone.home_block = None  # re-derived on renumber
+            if successor is not None:
+                instrs = self._retarget_tail(instrs, successor, label)
+            merged.instrs.extend(instrs)
+        return merged
+
+    def _retarget_tail(
+        self, instrs: List[Instruction], successor: str, label: str
+    ) -> List[Instruction]:
+        """Rewrite a trace block's terminators so ``successor`` falls through."""
+        if not instrs:
+            raise ValueError(f"empty block {label!r} inside a trace")
+        last = instrs[-1]
+        if last.info.is_jump:
+            if last.target == successor:
+                # jump <succ>: straighten.  A preceding conditional branch
+                # (if any) normally targets off-trace code and stays a side
+                # exit; if it *also* targets the successor (degenerate
+                # both-ways branch) drop it so no dangling label remains.
+                kept = instrs[:-1]
+                if kept and kept[-1].info.is_cond_branch and kept[-1].target == successor:
+                    kept = kept[:-1]
+                return kept
+            # The jump goes off-trace, so the trace continues via the
+            # conditional branch before it: invert that branch.
+            if len(instrs) < 2 or not instrs[-2].info.is_cond_branch:
+                raise ValueError(
+                    f"trace successor {successor!r} is not a CFG successor of {label!r}"
+                )
+            branch = instrs[-2]
+            if branch.target != successor:
+                raise ValueError(
+                    f"trace successor {successor!r} unreachable from {label!r}"
+                )
+            if branch.target == last.target:
+                # Degenerate both-ways branch: straighten completely.
+                return instrs[:-2]
+            branch.op = INVERTED_BRANCH[branch.op]
+            branch.target = last.target
+            return instrs[:-1]
+        raise ValueError(f"block {label!r} has no explicit terminator (normalize first)")
+
+    def _external_entry_index(
+        self, cfg: CFG, trace: List[str]
+    ) -> Optional[int]:
+        """First trace index (>0) with a predecessor other than its trace
+        predecessor — the tail-duplication point."""
+        for position in range(1, len(trace)):
+            label = trace[position]
+            prev = trace[position - 1]
+            for edge in cfg.preds[label]:
+                if edge.src != prev:
+                    return position
+        return None
+
+    def _emit(
+        self, program: Program, cfg: CFG, traces: List[List[str]]
+    ) -> FormationResult:
+        head_of: Dict[str, List[str]] = {trace[0]: trace for trace in traces}
+        keep: Set[str] = set()
+        for trace in traces:
+            cut = self._external_entry_index(cfg, trace)
+            if cut is not None:
+                keep.update(trace[cut:])
+
+        out_blocks: List[Block] = []
+        infos: Dict[str, SuperblockInfo] = {}
+        for blk in program.blocks:
+            trace = head_of.get(blk.label)
+            if trace is not None:
+                merged = self._linearize(program, trace)
+                out_blocks.append(merged)
+                if len(trace) > 1:
+                    infos[merged.label] = SuperblockInfo(merged.label, list(trace))
+                continue
+            in_some_trace = any(blk.label in tr for tr in traces)
+            if in_some_trace and blk.label not in keep:
+                continue  # fully absorbed into its superblock
+            copy = Block(blk.label, [instr.clone() for instr in blk.instrs])
+            for clone in copy.instrs:
+                clone.home_block = None
+            out_blocks.append(copy)
+
+        return FormationResult(Program(out_blocks), infos)
+
+    def _record_side_exits(self, result: FormationResult) -> None:
+        for info in result.superblocks.values():
+            block = result.program.block(info.label)
+            info.side_exit_uids = [
+                instr.uid for instr in block.instrs if instr.info.is_cond_branch
+            ]
+
+
+def _cloned(program: Program) -> Program:
+    blocks = []
+    for blk in program.blocks:
+        copy = Block(blk.label, [instr.clone() for instr in blk.instrs])
+        blocks.append(copy)
+    return Program(blocks)
+
+
+def form_superblocks(
+    program: Program,
+    profile: ProfileData,
+    min_ratio: float = 0.6,
+    min_count: int = 1,
+    max_instructions: int = 256,
+) -> FormationResult:
+    """Form superblocks over ``program`` using ``profile``.
+
+    The input must be in basic-block form (see
+    :func:`repro.cfg.basic_block.to_basic_blocks`); the output is an
+    equivalent program whose hot paths are superblocks.
+    """
+    former = SuperblockFormer(
+        min_ratio=min_ratio, min_count=min_count, max_instructions=max_instructions
+    )
+    return former.form(program, profile)

@@ -1,0 +1,144 @@
+"""Superblock loop unrolling.
+
+The IMPACT compiler the paper builds on unrolls superblock loops before
+scheduling; without unrolling, a loop-shaped superblock has essentially no
+code below its backedge for the scheduler to hoist, and all four
+scheduling models collapse to the same schedule.  With unrolling, the
+loads of iterations 2..k sit *below* the exit branches of earlier
+iterations — exactly the speculation opportunity sentinel scheduling is
+designed to exploit ("Load instructions are often the first instruction in
+a long chain of dependent instructions", Section 5.2).
+
+A *superblock loop* is a block whose final conditional branch targets the
+block itself.  Unrolling by ``k`` replicates the body ``k`` times inside
+the block; the backedge branch of copies 1..k-1 is inverted into a side
+exit to the loop's fall-through continuation, and the final copy keeps the
+backedge.  The block stays a single-entry superblock throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instruction import Instruction
+from ..isa.program import Block, Program
+from .superblock import INVERTED_BRANCH
+
+
+def _loop_shape(block: Block) -> Optional[int]:
+    """Index of the backedge branch if ``block`` is a superblock loop.
+
+    Pattern: the *last* conditional branch targets the block's own label,
+    and only an optional unconditional terminator follows it.
+    """
+    branches = [
+        (idx, instr)
+        for idx, instr in enumerate(block.instrs)
+        if instr.info.is_cond_branch
+    ]
+    if not branches:
+        return None
+    idx, backedge = branches[-1]
+    if backedge.target != block.label:
+        return None
+    tail = block.instrs[idx + 1 :]
+    if len(tail) > 1:
+        return None
+    if tail and not (tail[0].info.is_jump or tail[0].info.is_halt):
+        return None
+    return idx
+
+
+def _continuation_label(block: Block, backedge_index: int, program: Program) -> Optional[str]:
+    """Where a failing backedge goes: the explicit jump target, or the next
+    block in layout order (implicit fall-through)."""
+    tail = block.instrs[backedge_index + 1 :]
+    if tail and tail[0].info.is_jump:
+        return tail[0].target
+    position = program.blocks.index(block)
+    if position + 1 < len(program.blocks):
+        return program.blocks[position + 1].label
+    return None
+
+
+def _data_dependent_exits(body, backedge_index: int) -> bool:
+    """Does the loop have exits whose conditions depend on loaded data?
+
+    Superblock unrolling exists to expose speculation across
+    *data-dependent* branches.  A pure counted loop with a straight-line
+    body gained its ILP from classic unrolling already (one exit test per
+    K iterations, no intermediate side exits — see
+    :meth:`WorkloadBuilder.counted_loop_unrolled`); replicating its exit
+    branch here would only pin every model behind intermediate exits, an
+    artifact the paper's compiler avoided for counted DO-loops.
+    """
+    side_exits = any(
+        instr.info.is_cond_branch for instr in body[:backedge_index]
+    )
+    if side_exits:
+        return True
+    # Backedge-only loop: data-dependent iff its condition traces to a load.
+    loaded = set()
+    for instr in body[:backedge_index]:
+        dest = instr.dest
+        if dest is None:
+            continue
+        if instr.info.reads_mem or any(
+            src in loaded for src in instr.srcs if not isinstance(src, (int, float))
+        ):
+            loaded.add(dest)
+    backedge = body[backedge_index]
+    return any(src in loaded for src in backedge.srcs if not isinstance(src, (int, float)))
+
+
+def unroll_superblock_loops(
+    program: Program,
+    factor: int,
+    max_instructions: int = 512,
+    only_data_dependent: bool = True,
+) -> int:
+    """Unroll every superblock loop ``factor`` times in place.
+
+    Returns the number of loops unrolled.  Loops whose unrolled body would
+    exceed ``max_instructions`` are left alone, as are (by default) pure
+    counted loops with straight-line bodies — see
+    :func:`_data_dependent_exits`.  ``factor <= 1`` is a no-op.
+    """
+    if factor <= 1:
+        return 0
+    unrolled = 0
+    for block in program.blocks:
+        backedge_index = _loop_shape(block)
+        if backedge_index is None:
+            continue
+        body = block.instrs[: backedge_index + 1]
+        if len(body) * factor > max_instructions:
+            continue
+        if only_data_dependent and not _data_dependent_exits(body, backedge_index):
+            continue
+        continuation = _continuation_label(block, backedge_index, program)
+        if continuation is None:
+            continue
+        tail = block.instrs[backedge_index + 1 :]
+
+        # Clone from a pristine template so the inversion of one copy's
+        # backedge never leaks into the next copy.
+        template = [instr.clone() for instr in body]
+        new_instrs: List[Instruction] = []
+        for copy in range(factor):
+            last_copy = copy == factor - 1
+            for position, instr in enumerate(template):
+                clone = instr.clone()
+                if position == backedge_index and not last_copy:
+                    # Early iterations exit the loop through a side exit;
+                    # falling through continues into the next copy.
+                    clone.op = INVERTED_BRANCH[clone.op]
+                    clone.target = continuation
+                new_instrs.append(clone)
+        new_instrs.extend(tail)
+        block.instrs = new_instrs
+        unrolled += 1
+    if unrolled:
+        program.renumber()
+        program.validate()
+    return unrolled

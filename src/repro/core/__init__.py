@@ -1,0 +1,37 @@
+"""The paper's contribution: sentinel scheduling.
+
+* :mod:`~repro.core.tags` — Table 1 exception-tag semantics,
+* :mod:`~repro.core.sentinel_insertion` — explicit check/confirm creation,
+* :mod:`~repro.core.reporting` — static sentinel analysis of schedules,
+* :mod:`~repro.core.uninit` — Section 3.5 tag clearing,
+* :mod:`~repro.core.recovery` — Section 3.7 restartable sequences.
+"""
+
+from .reporting import SentinelAnalysis, analyze_sentinels
+from .recovery import (
+    RestartViolation,
+    check_restartable,
+    rename_self_updates,
+    schedule_block_with_recovery,
+)
+from .sentinel_insertion import TagCarryTracker, make_check, make_confirm
+from .tags import TABLE1_ROWS, TagOutcome, TaggedValue, apply_table1, first_tagged
+from .uninit import insert_uninit_tag_clears
+
+__all__ = [
+    "SentinelAnalysis",
+    "analyze_sentinels",
+    "RestartViolation",
+    "check_restartable",
+    "rename_self_updates",
+    "schedule_block_with_recovery",
+    "TagCarryTracker",
+    "make_check",
+    "make_confirm",
+    "TABLE1_ROWS",
+    "TagOutcome",
+    "TaggedValue",
+    "apply_table1",
+    "first_tagged",
+    "insert_uninit_tag_clears",
+]

@@ -1,0 +1,275 @@
+"""Exception recovery support — Section 3.7 of the paper.
+
+To retry an excepting speculative instruction, "all instructions between a
+speculative instruction and the instruction which serves as its sentinel
+must form a restartable instruction sequence": no irreversible side
+effects, and no input operand of any instruction in the sequence
+overwritten by itself or a later instruction in the sequence.
+
+This module provides:
+
+* :func:`rename_self_updates` — the renaming transformation of Figure 3:
+  a self-overwriting instruction (``r2 = r2 + 1``) is split into an
+  idempotent compute into a fresh register plus a move back, and
+  subsequent in-block uses are renamed, "allow[ing] speculative
+  instruction D to move beyond E" (restriction 3),
+* :func:`check_restartable` — a structural verifier that walks every
+  speculative instruction's window (delimited via the sentinel analysis)
+  and reports restartability violations,
+* :func:`schedule_block_with_recovery` — an iterate-to-clean loop: run the
+  sentinel scheduler in recovery mode (irreversible barriers, boundary
+  pinning), verify, and on violation either push the offender past the
+  sentinel (restriction 4: "I must be scheduled after the sentinel of the
+  speculative instruction") or withdraw speculation from the affected
+  instruction; reschedule until the verifier is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..cfg.liveness import Liveness
+from ..deps.reduction import SpeculationPolicy
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import F, R, FP_REG_COUNT, INT_REG_COUNT, Register
+from ..machine.description import MachineDescription
+from ..sched.list_scheduler import (
+    BlockScheduleResult,
+    SchedulingError,
+    schedule_block,
+)
+from .reporting import analyze_sentinels
+
+MAX_RECOVERY_ITERATIONS = 64
+
+
+# ----------------------------------------------------------------------
+# Renaming transformation (restriction 3 / Figure 3).
+# ----------------------------------------------------------------------
+
+
+def _free_registers(program: Program) -> Tuple[List[Register], List[Register]]:
+    used_int: Set[int] = set()
+    used_fp: Set[int] = set()
+    for instr in program.instructions():
+        for reg in list(instr.uses()) + list(instr.defs()):
+            (used_fp if reg.is_fp else used_int).add(reg.index)
+    free_int = [R(i) for i in range(INT_REG_COUNT - 1, 0, -1) if i not in used_int]
+    free_fp = [F(i) for i in range(FP_REG_COUNT - 1, -1, -1) if i not in used_fp]
+    return free_int, free_fp
+
+
+def rename_self_updates(program: Program) -> int:
+    """Split every self-overwriting instruction per Figure 3.
+
+    ``d = op(d, s)`` becomes ``d' = op(d, s); d = mov d'`` with later
+    in-block uses of ``d`` renamed to ``d'`` (up to the next redefinition).
+    Mutates and renumbers ``program``; returns the number of instructions
+    renamed.  Instructions are skipped when no architectural register of
+    the right kind is free — they then simply stay non-speculatable
+    barriers for the recovery verifier.
+    """
+    free_int, free_fp = _free_registers(program)
+    renamed = 0
+    for block in program.blocks:
+        index = 0
+        while index < len(block.instrs):
+            instr = block.instrs[index]
+            dest = instr.dest
+            if (
+                dest is None
+                or dest.is_zero
+                or dest not in instr.uses()
+                or instr.op in (Opcode.CLRTAG, Opcode.CHECK)
+                or not instr.info.has_dest
+            ):
+                index += 1
+                continue
+            pool = free_fp if dest.is_fp else free_int
+            if not pool:
+                index += 1
+                continue
+            fresh = pool.pop()
+            instr.dest = fresh
+            move_op = Opcode.FMOV if dest.is_fp else Opcode.MOV
+            move = Instruction(move_op, dest=dest, srcs=(fresh,))
+            move.comment = f"recovery rename of {dest.name} (Fig. 3)"
+            block.instrs.insert(index + 1, move)
+            # Rename later uses of the old register until its next
+            # (non-move) redefinition.
+            for later in block.instrs[index + 2 :]:
+                later.srcs = tuple(
+                    fresh if src is dest else src for src in later.srcs
+                )
+                if dest in later.defs():
+                    break
+            renamed += 1
+            index += 2
+    if renamed:
+        program.renumber()
+    return renamed
+
+
+# ----------------------------------------------------------------------
+# Restartability verification.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RestartViolation:
+    """One restartable-sequence violation found in a schedule."""
+
+    kind: str  # "irreversible" | "overwrite" | "memory" | "unreported"
+    spec_uid: int
+    sentinel_uid: Optional[int]
+    offender_uid: Optional[int]
+    #: True when the sentinel is an inserted check/confirm, whose uid is
+    #: not stable across rescheduling (forces despeculation instead of an
+    #: ordering arc).
+    sentinel_is_inserted: bool = False
+
+    def fix_by_arc(self) -> bool:
+        return (
+            self.kind in ("overwrite", "memory")
+            and not self.sentinel_is_inserted
+            and self.sentinel_uid is not None
+            and self.offender_uid is not None
+            and self.offender_uid != self.sentinel_uid
+            and self.offender_uid != self.spec_uid
+        )
+
+
+def _memory_overwrite(earlier: Instruction, later: Instruction) -> bool:
+    """Does ``later`` (a store) possibly clobber ``earlier``'s (a load's)
+    input memory location?  Conservative: same word unless both addresses
+    are constant-offset off the zero register and differ."""
+    if not (earlier.info.reads_mem and later.info.writes_mem):
+        return False
+    base_a, off_a = earlier.srcs[0], earlier.srcs[1]
+    base_b, off_b = later.srcs[0], later.srcs[1]
+    if (
+        isinstance(base_a, Register)
+        and isinstance(base_b, Register)
+        and base_a.is_zero
+        and base_b.is_zero
+    ):
+        return off_a == off_b
+    return True
+
+
+def check_restartable(result: BlockScheduleResult) -> List[RestartViolation]:
+    """Verify every speculative window of a schedule is restartable."""
+    analysis = analyze_sentinels(result.scheduled)
+    linear = [instr for _c, _s, instr in result.scheduled.linear()]
+    inserted_uids = set(result.check_of.values()) | set(result.confirm_of.values())
+    violations: List[RestartViolation] = []
+
+    for spec_pos, spec in enumerate(linear):
+        if not spec.spec or not spec.info.can_trap:
+            continue
+        window = analysis.window(spec.uid)
+        if window is None:
+            violations.append(
+                RestartViolation("unreported", spec.uid, None, None)
+            )
+            continue
+        start, end = window
+        sentinel = linear[end]
+        inserted = sentinel.uid in inserted_uids
+        segment = linear[start : end + 1]
+        for p, earlier in enumerate(segment):
+            if earlier.info.is_irreversible and earlier.uid != spec.uid:
+                violations.append(
+                    RestartViolation(
+                        "irreversible", spec.uid, sentinel.uid, earlier.uid, inserted
+                    )
+                )
+            for later in segment[p:]:
+                for reg in earlier.uses():
+                    if reg in later.defs() and not (
+                        later.op is Opcode.CLRTAG  # preserves the data field
+                    ):
+                        violations.append(
+                            RestartViolation(
+                                "overwrite", spec.uid, sentinel.uid, later.uid, inserted
+                            )
+                        )
+                if _memory_overwrite(earlier, later) and later is not earlier:
+                    violations.append(
+                        RestartViolation(
+                            "memory", spec.uid, sentinel.uid, later.uid, inserted
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Iterate-to-clean recovery scheduling.
+# ----------------------------------------------------------------------
+
+
+def schedule_block_with_recovery(
+    block: Block,
+    program: Program,
+    liveness: Liveness,
+    machine: MachineDescription,
+    policy: SpeculationPolicy,
+) -> BlockScheduleResult:
+    """Schedule ``block`` so every speculative window is restartable."""
+    extra_arcs: Set[Tuple[int, int, int]] = set()
+    despeculated: Set[int] = set()
+    seen: Set[Tuple] = set()
+    last_result: Optional[BlockScheduleResult] = None
+
+    for _iteration in range(MAX_RECOVERY_ITERATIONS):
+        try:
+            result = schedule_block(
+                block,
+                program,
+                liveness,
+                machine,
+                policy,
+                recovery=True,
+                extra_arcs=tuple(sorted(extra_arcs)),
+                despeculated=frozenset(despeculated),
+            )
+        except SchedulingError:
+            # An ordering arc made the constraint graph cyclic: fall back
+            # to despeculating the instructions those arcs were protecting.
+            if not extra_arcs:
+                raise
+            for src, dst, _lat in extra_arcs:
+                despeculated.add(src)
+                despeculated.add(dst)
+            extra_arcs.clear()
+            continue
+        last_result = result
+        violations = check_restartable(result)
+        if not violations:
+            return result
+        progressed = False
+        for violation in violations:
+            key = (violation.kind, violation.spec_uid, violation.offender_uid)
+            if violation.fix_by_arc() and key not in seen:
+                seen.add(key)
+                extra_arcs.add((violation.sentinel_uid, violation.offender_uid, 1))
+                progressed = True
+            elif violation.spec_uid not in despeculated:
+                despeculated.add(violation.spec_uid)
+                progressed = True
+        if not progressed:
+            # Same violations with no new lever: give up speculation on the
+            # remaining offenders wholesale.
+            for violation in violations:
+                despeculated.add(violation.spec_uid)
+
+    if last_result is not None:
+        remaining = check_restartable(last_result)
+        if not remaining:
+            return last_result
+    raise SchedulingError(
+        f"recovery scheduling did not converge for block {block.label!r}"
+    )

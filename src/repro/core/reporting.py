@@ -1,0 +1,115 @@
+"""Static exception-report analysis of a scheduled block.
+
+This module abstract-interprets Table 1 over a schedule's linear order,
+tracking which speculative instructions' exceptions *could* reside in each
+register.  It answers, without running the program:
+
+* **sentinel_of** — which instruction will signal a given speculative
+  instruction's exception (its effective sentinel: a shared home-block use,
+  an explicit ``check_exception``, a ``confirm_store``, or any ordinary
+  non-speculative consumer),
+* **unreported** — speculative trap-capable instructions whose exception
+  could escape the block unsignalled, which would violate the paper's
+  central guarantee and therefore indicates a scheduler bug (the test
+  suite asserts this set is empty for every sentinel-model schedule),
+* the ordering facts behind Section 3.6 (exceptions of different home
+  blocks report in order; same-block order is not guaranteed).
+
+The recovery machinery (Section 3.7) reuses ``sentinel_of`` to delimit the
+restartable window between a speculative instruction and its sentinel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import Register
+
+if TYPE_CHECKING:  # import cycle: sched imports core at runtime
+    from ..sched.schedule import ScheduledBlock
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class SentinelAnalysis:
+    """Result of one block's abstract tag propagation."""
+
+    #: speculative uid -> uid of the instruction that first reports it.
+    sentinel_of: Dict[int, int] = field(default_factory=dict)
+    #: speculative trap-capable uids whose exception can leave the block
+    #: unsignalled (must be empty for a correct sentinel schedule).
+    unreported: Set[int] = field(default_factory=set)
+    #: uid -> linear position, for window computations.
+    position: Dict[int, int] = field(default_factory=dict)
+    #: registers still carrying possible tags at block end (not an error
+    #: by itself: such registers are dead on the fall-through path).
+    live_out_carriers: Dict[Register, FrozenSet[int]] = field(default_factory=dict)
+
+    def window(self, spec_uid: int) -> Optional[Tuple[int, int]]:
+        """Linear position range [spec, sentinel] inclusive, if reported."""
+        reporter = self.sentinel_of.get(spec_uid)
+        if reporter is None:
+            return None
+        return self.position[spec_uid], self.position[reporter]
+
+
+def analyze_sentinels(block: "ScheduledBlock") -> SentinelAnalysis:
+    """Abstract-interpret Table 1 over ``block``'s linear order."""
+    result = SentinelAnalysis()
+    carrier: Dict[Register, FrozenSet[int]] = {}
+    #: store uid -> tags recorded in its (probationary) buffer entry.
+    store_entry_tags: Dict[int, FrozenSet[int]] = {}
+
+    linear: List[Instruction] = [instr for _c, _s, instr in block.linear()]
+    for pos, instr in enumerate(linear):
+        result.position[instr.uid] = pos
+        incoming: Set[int] = set()
+        for src in instr.srcs:
+            if isinstance(src, Register):
+                incoming |= carrier.get(src, _EMPTY)
+        if instr.op is Opcode.CLRTAG and instr.dest is not None:
+            carrier.pop(instr.dest, None)
+            continue
+        if instr.op is Opcode.CONFIRM:
+            for store_uid in instr.sentinel_for:
+                for reported in store_entry_tags.pop(store_uid, _EMPTY):
+                    result.sentinel_of.setdefault(reported, instr.uid)
+            continue
+
+        if instr.spec:
+            outgoing: FrozenSet[int] = frozenset(
+                incoming | ({instr.uid} if instr.info.can_trap else set())
+            )
+            if instr.info.writes_mem:
+                store_entry_tags[instr.uid] = outgoing
+            elif instr.dest is not None and not instr.dest.is_zero:
+                if outgoing:
+                    carrier[instr.dest] = outgoing
+                else:
+                    carrier.pop(instr.dest, None)
+            continue
+
+        # Non-speculative: any incoming tag is signalled here (Table 1).
+        for reported in incoming:
+            result.sentinel_of.setdefault(reported, instr.uid)
+        if instr.dest is not None and not instr.dest.is_zero:
+            carrier.pop(instr.dest, None)
+
+    for reg, tags in carrier.items():
+        if tags:
+            result.live_out_carriers[reg] = tags
+
+    # The paper's central guarantee: on the fall-through path, *every*
+    # speculative potential-exception instruction is reported by some
+    # sentinel inside the block.  Anything else — a tag escaping at block
+    # end, or silently overwritten before any consumer — is a scheduler bug.
+    for instr in linear:
+        if instr.spec and instr.info.can_trap and instr.uid not in result.sentinel_of:
+            result.unreported.add(instr.uid)
+    return result

@@ -1,0 +1,98 @@
+"""Explicit-sentinel creation and the needs-a-sentinel test.
+
+Section 3.1: "If an unprotected instruction is speculatively executed, an
+explicit instruction must be created to act as the sentinel part of that
+instruction" — the ``check_exception(reg)`` of Section 3.2.  Section 4.2
+adds ``confirm_store(index)`` as "the sentinel of a speculative store".
+
+Section 3.1 also licenses an optimization this module implements: "the
+sentinel part of an unprotected instruction which cannot cause an exception
+is only necessary if it is used to report an exception for a previous
+speculative instruction."  :class:`TagCarryTracker` tracks, as the list
+scheduler issues instructions, whether a node's result register can
+possibly carry an exception tag at run time — true when the node itself is
+a speculated trap-capable instruction, or when any of its flow producers'
+results can carry a tag *and* the node is speculative (a non-speculative
+consumer would already have signalled).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..deps.types import ArcKind, DepGraph
+from ..isa.instruction import Instruction, check, confirm
+from ..isa.program import Program
+
+
+def make_check(
+    program: Program,
+    protected: Instruction,
+    home_label: str,
+    reg=None,
+) -> Instruction:
+    """Create a ``check_exception`` sentinel for ``protected``.
+
+    The destination is left empty (the R0 convention of Section 3.2: "a
+    move instruction can be used instead ... to a register hardwired to 0").
+    ``reg`` overrides the checked register (default: the protected
+    instruction's destination) — a register-move carrier can be checked
+    through its *source*, which holds the identical tag but is not caught
+    up in the architectural register's redefinition chain.
+    """
+    if reg is None:
+        reg = protected.dest
+    if reg is None:
+        raise ValueError("cannot build a check sentinel for a dest-less instruction")
+    sentinel = check(reg)
+    sentinel.sentinel_for = (protected.uid,)
+    sentinel.comment = f"sentinel for {protected.uid}"
+    program.adopt(sentinel, home_block=home_label)
+    return sentinel
+
+
+def make_confirm(program: Program, store: Instruction, home_label: str) -> Instruction:
+    """Create a ``confirm_store`` sentinel; the index operand is patched in
+    after scheduling, when the store distance is known (Section 4.2)."""
+    sentinel = confirm(0)
+    sentinel.sentinel_for = (store.uid,)
+    sentinel.comment = f"confirm for {store.uid}"
+    program.adopt(sentinel, home_block=home_label)
+    return sentinel
+
+
+class TagCarryTracker:
+    """Tracks which scheduled nodes can leave an exception tag behind."""
+
+    def __init__(self, graph: DepGraph) -> None:
+        self._graph = graph
+        self._carries: Dict[int, bool] = {}
+
+    def record_issue(self, node: int, spec: bool) -> None:
+        """Record one issued node.  Call in issue order: all flow producers
+        of ``node`` are necessarily issued already."""
+        instr = self._graph.nodes[node]
+        if not spec:
+            # A non-speculative instruction signals rather than propagates,
+            # and overwrites its destination tag with 0.
+            self._carries[node] = False
+            return
+        if instr.info.can_trap:
+            self._carries[node] = True
+            return
+        self._carries[node] = any(
+            self._carries.get(arc.src, False)
+            for arc in self._graph.preds(node)
+            if arc.kind is ArcKind.FLOW
+        )
+
+    def carries_tag(self, node: int) -> bool:
+        return self._carries.get(node, False)
+
+    def needs_explicit_sentinel(self, node: int) -> bool:
+        """Does this just-issued unprotected speculative node need a check?
+
+        True when its destination register can actually carry a tag —
+        either its own (trap-capable) or a propagated one.
+        """
+        return self.carries_tag(node)

@@ -1,0 +1,115 @@
+"""Exception-tag semantics — Table 1 of the paper, as a pure function.
+
+Every register carries an **exception tag** next to its data field
+(Section 3.2).  For each executed instruction ``I`` the hardware examines
+three inputs — the speculative modifier of ``I``, the exception tags of
+``I``'s source registers, and whether ``I`` itself causes an exception —
+and produces the destination tag/data and a possible exception signal:
+
+====== ================= ================ ================ ============== =======================
+ spec   src tag set?      I excepts?       dest tag         dest data      signal
+====== ================= ================ ================ ============== =======================
+ 0      0                 0                0                result of I    none
+ 0      0                 1                0                (unwritten)    yes, pc = pc of I
+ 0      1                 0/1              0                (unwritten)    yes, pc = src.data
+ 1      0                 0                0                result of I    none
+ 1      0                 1                1                pc of I        none
+ 1      1                 0/1              1                src.data       none
+====== ================= ================ ================ ============== =======================
+
+"If more than one of the source registers of I have their exception tag
+set, the data field of the *first* such source is copied" (Section 3.2) —
+hence tagged sources are examined in operand order.
+
+The same inputs drive store-buffer insertion (Table 2); the store buffer
+module reuses :class:`TaggedValue` and :func:`first_tagged`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True)
+class TaggedValue:
+    """A register read: data field plus exception tag.
+
+    When ``tag`` is set, ``data`` holds the PC of the original excepting
+    speculative instruction (copied there by an earlier application of
+    Table 1).
+    """
+
+    data: Value
+    tag: bool = False
+
+
+@dataclass(frozen=True)
+class TagOutcome:
+    """What Table 1 says happens for one executed instruction."""
+
+    #: Is the destination register written at all?
+    writes_dest: bool
+    dest_tag: bool = False
+    dest_data: Optional[Value] = None
+    #: PC to report if an exception is signalled (None = no signal).
+    signal_pc: Optional[Value] = None
+    #: True when the signalled exception is I's own (report I's trap kind);
+    #: False when I is acting as a sentinel for an earlier instruction.
+    signal_own: bool = False
+
+
+def first_tagged(sources: Sequence[TaggedValue]) -> Optional[TaggedValue]:
+    """The first source operand whose exception tag is set, if any."""
+    for src in sources:
+        if src.tag:
+            return src
+    return None
+
+
+def apply_table1(
+    spec: bool,
+    sources: Sequence[TaggedValue],
+    causes_exception: bool,
+    pc: Value,
+    result: Optional[Value],
+) -> TagOutcome:
+    """Apply Table 1 to one instruction execution.
+
+    ``sources`` are the *register* source operands in operand order
+    (immediates carry no tags).  ``result`` is the value the operation
+    would compute; it is only consumed on the two conventional-execution
+    rows.  ``pc`` is the PC of the executing instruction, supplied by the
+    PC History Queue for long-latency units (Section 3.2).
+    """
+    tagged = first_tagged(sources)
+
+    if not spec:
+        if tagged is not None:
+            # I serves as the sentinel for an earlier speculative
+            # instruction: signal, reporting the propagated PC.
+            return TagOutcome(writes_dest=False, signal_pc=tagged.data, signal_own=False)
+        if causes_exception:
+            # Conventional precise exception at I itself.
+            return TagOutcome(writes_dest=False, signal_pc=pc, signal_own=True)
+        return TagOutcome(writes_dest=True, dest_tag=False, dest_data=result)
+
+    # Speculative execution: never signal here.
+    if tagged is not None:
+        # Exception propagation — independent of whether I excepts.
+        return TagOutcome(writes_dest=True, dest_tag=True, dest_data=tagged.data)
+    if causes_exception:
+        return TagOutcome(writes_dest=True, dest_tag=True, dest_data=pc)
+    return TagOutcome(writes_dest=True, dest_tag=False, dest_data=result)
+
+
+#: All eight input rows of Table 1 in paper order, for table-regeneration
+#: benches and exhaustive tests: (spec, any-src-tag, causes-exception).
+TABLE1_ROWS = tuple(
+    (bool(spec), bool(tag), bool(exc))
+    for spec in (0, 1)
+    for tag in (0, 1)
+    for exc in (0, 1)
+)

@@ -1,0 +1,42 @@
+"""Handling uninitialized data — Section 3.5.
+
+"Registers which are not defined may have their exception tag set.  The use
+of this register will therefore lead to an immediate or eventual exception
+signal.  However, this exception should not be reported.  To prevent an
+exception from occurring with uninitialized registers, the compiler
+performs live variable analysis and inserts additional instructions to
+reset the exception tags of the corresponding registers before they are
+used."
+
+The pass inserts one ``clrtag`` per register live-in at the program entry,
+at the top of the entry block (before any branch, so the clears dominate
+every use).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cfg.liveness import Liveness
+from ..isa.instruction import clrtag
+from ..isa.program import Program
+from ..isa.registers import Register
+
+
+def insert_uninit_tag_clears(program: Program) -> List[Register]:
+    """Insert entry-block ``clrtag`` instructions; returns cleared registers.
+
+    Mutates ``program`` in place and renumbers (``origin`` links of existing
+    instructions are preserved by :meth:`Program.renumber`).
+    """
+    liveness = Liveness(program)
+    live_in = sorted(liveness.entry_live_in(), key=lambda r: (r.kind, r.index))
+    if not live_in:
+        return []
+    entry = program.entry
+    for offset, reg in enumerate(live_in):
+        instr = clrtag(reg)
+        instr.comment = "uninitialized live-in (Section 3.5)"
+        entry.instrs.insert(offset, instr)
+    program.renumber()
+    return live_in

@@ -1,0 +1,33 @@
+"""Dependence graphs: construction and per-model reduction."""
+
+from .builder import build_dependence_graph
+from .reduction import (
+    GENERAL,
+    POLICIES,
+    RESTRICTED,
+    SENTINEL,
+    SENTINEL_STORE,
+    COLWELL,
+    SpeculationPolicy,
+    boosting_policy,
+    first_home_use,
+    reduce_dependence_graph,
+)
+from .types import Arc, ArcKind, DepGraph
+
+__all__ = [
+    "build_dependence_graph",
+    "GENERAL",
+    "POLICIES",
+    "RESTRICTED",
+    "SENTINEL",
+    "SENTINEL_STORE",
+    "COLWELL",
+    "SpeculationPolicy",
+    "boosting_policy",
+    "first_home_use",
+    "reduce_dependence_graph",
+    "Arc",
+    "ArcKind",
+    "DepGraph",
+]

@@ -1,0 +1,254 @@
+"""Dependence graph construction over one superblock.
+
+Section 3.3: "The initial dependence graph contains dependence arcs to
+represent all data and control dependences between instructions in the
+superblock."  We build:
+
+* register flow/anti/output arcs with Table 3 latencies,
+* memory ordering arcs with a simple base+offset disambiguator (two
+  accesses through the same base register *version* and different constant
+  offsets are independent; everything else conflicts),
+* a CONTROL arc from every conditional branch to every later instruction
+  (latency 1 — an operation issued in the same VLIW word as a branch
+  executes even when the branch is taken, i.e. it *is* speculative),
+* GUARD arcs that pin instructions above exits they must not sink below:
+  stores, irreversible instructions, trap-capable instructions (precise
+  exceptions on the taken path), sentinels, and producers of registers
+  live on the taken path; plus an arc from everything to the block's final
+  terminator so the whole block issues before control leaves it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.liveness import Liveness
+from ..isa.instruction import Instruction
+from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+from ..isa.program import Block
+from ..isa.registers import Register
+from .types import Arc, ArcKind, DepGraph
+
+#: Latencies for ordering arcs.
+ANTI_LATENCY = 0  # same-cycle OK: reads happen before writes within a word
+OUTPUT_LATENCY = 1  # two writes to one register must be in distinct words
+MEM_STORE_LOAD_LATENCY = 1  # store buffer forwards one cycle later
+MEM_LOAD_STORE_LATENCY = 0
+MEM_STORE_STORE_LATENCY = 1
+CONTROL_LATENCY = 1  # non-speculative code strictly follows the branch
+GUARD_LATENCY = 0  # may share the exit's cycle (the word still executes)
+
+#: Pin trap-capable instructions above later exits so their exception still
+#: fires on the taken path.  Superblock scheduling is upward-motion-only, so
+#: this is on by default; the ablation benches flip it to quantify the cost.
+_TRAP_SINK_GUARDS = True
+
+
+class SymbolicAddresses:
+    """Symbolic base+offset value numbering for memory disambiguation.
+
+    Each register's value is abstracted as ``(base_id, offset)``: moves copy
+    the pair, add/sub of an immediate shifts the offset, everything else
+    produces a fresh base.  ``base_id`` 0 is the absolute base (``mov r, c``
+    and the hardwired zero register), so constant-addressed accesses compare
+    across different registers.  Two accesses with the same base id touch
+    the same word iff their total offsets are equal — this survives the
+    pointer bumps between classically-unrolled loop copies, where a naive
+    per-definition versioning scheme gives up.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._values: Dict[Register, Tuple[int, int]] = {}
+
+    def _fresh(self) -> Tuple[int, int]:
+        self._next += 1
+        return (self._next, 0)
+
+    def value_of(self, reg: Register) -> Tuple[int, int]:
+        if reg.is_zero:
+            return (0, 0)
+        if reg not in self._values:
+            self._values[reg] = self._fresh()
+        return self._values[reg]
+
+    def on_instruction(self, instr: Instruction) -> None:
+        """Update abstract values for the instruction's definitions."""
+        dest = instr.dest
+        if dest is None or dest.is_zero or instr.op is Opcode.CLRTAG:
+            return
+        op = instr.op
+        srcs = instr.srcs
+        if op is Opcode.MOV and len(srcs) == 1:
+            src = srcs[0]
+            if isinstance(src, int):
+                self._values[dest] = (0, src)
+            elif isinstance(src, Register):
+                self._values[dest] = self.value_of(src)
+            else:
+                self._values[dest] = self._fresh()
+            return
+        if op in (Opcode.ADD, Opcode.SUB) and len(srcs) == 2:
+            a, b = srcs
+            if isinstance(a, Register) and isinstance(b, int):
+                base, offset = self.value_of(a)
+                delta = b if op is Opcode.ADD else -b
+                self._values[dest] = (base, offset + delta)
+                return
+            if op is Opcode.ADD and isinstance(a, int) and isinstance(b, Register):
+                base, offset = self.value_of(b)
+                self._values[dest] = (base, offset + a)
+                return
+        self._values[dest] = self._fresh()
+
+    def address_of(self, instr: Instruction) -> Optional[Tuple[int, int]]:
+        """Abstract address of a memory instruction, if computable."""
+        base = instr.srcs[0]
+        offset = instr.srcs[1]
+        if isinstance(base, Register) and isinstance(offset, int):
+            base_id, base_off = self.value_of(base)
+            return (base_id, base_off + offset)
+        return None
+
+
+def _mem_conflict(
+    expr_a: Optional[Tuple[int, int]],
+    region_a: Optional[str],
+    expr_b: Optional[Tuple[int, int]],
+    region_b: Optional[str],
+) -> bool:
+    """May two accesses touch the same word?
+
+    Distinct memory-object regions (array identity, as a C front end would
+    know it) never alias; same-base symbolic addresses alias iff their
+    offsets match; everything else conservatively conflicts.
+    """
+    if region_a is not None and region_b is not None and region_a != region_b:
+        return False
+    if expr_a is None or expr_b is None:
+        return True
+    if expr_a[0] == expr_b[0]:
+        return expr_a[1] == expr_b[1]
+    return True
+
+
+def build_dependence_graph(
+    block: Block,
+    liveness: Liveness,
+    latencies: Dict[LatClass, int] = PAPER_LATENCIES,
+    irreversible_barriers: bool = False,
+) -> DepGraph:
+    """Build the full (unreduced) dependence graph for ``block``.
+
+    With ``irreversible_barriers`` (recovery mode, Section 3.7 restriction
+    1), every irreversible instruction gets an arc to *all* subsequent
+    instructions: "A speculative instruction cannot be moved beyond any
+    irreversible instruction.  This is enforced by creating control
+    dependence arcs from irreversible instructions to all subsequent
+    instructions in the superblock."
+    """
+    graph = DepGraph(block)
+    instrs = graph.nodes
+    n = len(instrs)
+
+    last_def: Dict[Register, int] = {}
+    uses_since_def: Dict[Register, List[int]] = {}
+    symbolic = SymbolicAddresses()
+    #: (node, is-store, address expression, region) for memory instructions.
+    mem_ops: List[Tuple[int, bool, Optional[Tuple[int, int]], Optional[str]]] = []
+    branch_nodes: List[int] = []
+    last_irreversible: Optional[int] = None
+
+    def _lat(node: int) -> int:
+        return latency_of(instrs[node].op, latencies)
+
+    for idx, instr in enumerate(instrs):
+        info = instr.info
+
+        # --- register data dependences -------------------------------
+        for reg in instr.uses():
+            if reg.is_zero:
+                continue
+            producer = last_def.get(reg)
+            if producer is not None and graph.find_arc(producer, idx, ArcKind.FLOW) is None:
+                graph.add_arc(producer, idx, ArcKind.FLOW, _lat(producer))
+            uses_since_def.setdefault(reg, []).append(idx)
+        for reg in instr.defs():
+            if reg.is_zero:
+                continue
+            for user in uses_since_def.get(reg, ()):
+                if user != idx and graph.find_arc(user, idx) is None:
+                    graph.add_arc(user, idx, ArcKind.ANTI, ANTI_LATENCY)
+            producer = last_def.get(reg)
+            if producer is not None and producer != idx:
+                if graph.find_arc(producer, idx, ArcKind.OUTPUT) is None:
+                    graph.add_arc(producer, idx, ArcKind.OUTPUT, OUTPUT_LATENCY)
+            last_def[reg] = idx
+            uses_since_def[reg] = []
+
+        # --- memory ordering -----------------------------------------
+        if info.reads_mem or info.writes_mem:
+            expr = symbolic.address_of(instr)
+            is_store = info.writes_mem
+            for other, other_is_store, other_expr, other_region in mem_ops:
+                if not is_store and not other_is_store:
+                    continue  # load-load never conflicts
+                if not _mem_conflict(expr, instr.mem_region, other_expr, other_region):
+                    continue
+                if other_is_store and not is_store:
+                    latency = MEM_STORE_LOAD_LATENCY
+                elif is_store and not other_is_store:
+                    latency = MEM_LOAD_STORE_LATENCY
+                else:
+                    latency = MEM_STORE_STORE_LATENCY
+                if graph.find_arc(other, idx, ArcKind.MEM) is None:
+                    graph.add_arc(other, idx, ArcKind.MEM, latency)
+            mem_ops.append((idx, is_store, expr, instr.mem_region))
+        symbolic.on_instruction(instr)
+
+        # --- irreversible-event ordering (I/O and calls are observable) ---
+        if irreversible_barriers and last_irreversible is not None:
+            # Recovery restriction 1: nothing moves above an irreversible
+            # instruction ("control dependence arcs from irreversible
+            # instructions to all subsequent instructions").
+            graph.add_arc(last_irreversible, idx, ArcKind.GUARD, 1)
+        if info.is_irreversible:
+            if irreversible_barriers:
+                # Restriction 2 makes it a full block boundary: nothing
+                # sinks below it either.
+                for earlier in range(idx):
+                    if graph.find_arc(earlier, idx) is None:
+                        graph.add_arc(earlier, idx, ArcKind.GUARD, GUARD_LATENCY)
+            elif last_irreversible is not None:
+                graph.add_arc(last_irreversible, idx, ArcKind.GUARD, GUARD_LATENCY)
+            last_irreversible = idx
+
+        # --- control dependences (branch -> later instruction) --------
+        for branch_node in branch_nodes:
+            graph.add_arc(branch_node, idx, ArcKind.CONTROL, CONTROL_LATENCY)
+        if info.is_cond_branch:
+            branch_nodes.append(idx)
+
+    # --- guard arcs: earlier instruction -> exit it must not sink below
+    terminator = n - 1 if n and instrs[-1].info.is_control and not instrs[-1].info.is_cond_branch else None
+    for exit_node in branch_nodes:
+        branch_uid = instrs[exit_node].uid
+        live_taken = liveness.live_when_taken(branch_uid)
+        for idx in range(exit_node):
+            instr = instrs[idx]
+            info = instr.info
+            needs_guard = (
+                info.writes_mem
+                or info.is_irreversible
+                or (info.can_trap and _TRAP_SINK_GUARDS)
+                or instr.op in (Opcode.CHECK, Opcode.CONFIRM, Opcode.CLRTAG)
+                or (instr.dest is not None and instr.dest in live_taken)
+            )
+            if needs_guard and graph.find_arc(idx, exit_node) is None:
+                graph.add_arc(idx, exit_node, ArcKind.GUARD, GUARD_LATENCY)
+    if terminator is not None:
+        for idx in range(terminator):
+            if graph.find_arc(idx, terminator) is None:
+                graph.add_arc(idx, terminator, ArcKind.GUARD, GUARD_LATENCY)
+
+    return graph

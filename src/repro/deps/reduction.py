@@ -1,0 +1,241 @@
+"""Dependence graph reduction — the Appendix algorithm of the paper.
+
+Reduction does two things, walking the superblock in sequential order:
+
+1. **Unprotected marking** (Section 3.1).  A potential exception-causing
+   instruction whose result has a use in its home block shares that use as
+   its sentinel; the duty propagates recursively through home-block uses.
+   An instruction left with no home-block use is *unprotected*: if it is
+   speculated, the scheduler must insert an explicit sentinel for it.
+
+2. **Control-dependence removal** (Section 3.3).  "A control dependence arc
+   from a branch instruction BR to another instruction I is removed if the
+   location written to by I is not used before being redefined when BR is
+   taken" — i.e. dest(I) is not live-in at BR's taken target — and the
+   scheduling model allows I to be speculative:
+
+   * *restricted percolation* forbids speculating any potential
+     trap-causing instruction (Section 2.2),
+   * *general percolation* and *sentinel scheduling* allow all but stores
+     (Sections 2.4, 3.3),
+   * *sentinel scheduling with speculative stores* also releases stores,
+     removing their control dependences from **all** preceding branches and
+     marking every store unprotected (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfg.liveness import Liveness
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from .types import ArcKind, DepGraph
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """What a scheduling model lets the scheduler hoist above branches."""
+
+    name: str
+    #: May potential trap-causing (non-store) instructions be speculated?
+    trap_spec: bool
+    #: May stores be speculated (requires probationary store buffer)?
+    store_spec: bool
+    #: Do speculated unprotected instructions get explicit sentinels?
+    sentinels: bool
+    #: Instruction boosting (Section 2.3): at most this many branches may be
+    #: crossed ("To boost an instruction above N branches, N shadow register
+    #: files and N shadow store buffers are required.  Therefore, the number
+    #: of branches an instruction can be boosted above is limited to a small
+    #: number").  None = unlimited (the percolation/sentinel models).
+    max_boost: Optional[int] = None
+    #: Boosting hardware buffers results until the branches commit, which
+    #: discharges restriction 1: "The scheduler enforces neither
+    #: restriction" (Section 2.3).  When True, control dependences are
+    #: removed even when the destination is live on the taken path.
+    ignore_liveness: bool = False
+
+    def allows(self, instr: Instruction) -> bool:
+        """May ``instr`` ever be moved above a branch under this policy?"""
+        if not instr.is_speculable:
+            return False
+        info = instr.info
+        if info.writes_mem:
+            return self.store_spec
+        if info.can_trap:
+            # The hardwired zero register cannot hold an exception tag, so a
+            # trap-capable instruction writing r0 has nowhere to defer its
+            # exception and must stay non-speculative.
+            if instr.dest is not None and instr.dest.is_zero:
+                return False
+            return self.trap_spec
+        return True
+
+
+#: The four scheduling models evaluated in the paper (Section 5).
+RESTRICTED = SpeculationPolicy("restricted", trap_spec=False, store_spec=False, sentinels=False)
+GENERAL = SpeculationPolicy("general", trap_spec=True, store_spec=False, sentinels=False)
+SENTINEL = SpeculationPolicy("sentinel", trap_spec=True, store_spec=False, sentinels=True)
+SENTINEL_STORE = SpeculationPolicy(
+    "sentinel_store", trap_spec=True, store_spec=True, sentinels=True
+)
+
+#: Colwell et al.'s refinement of general percolation (Section 2.4): silent
+#: instructions write NaN on a trap, and trapping instructions signal when
+#: they consume NaN.  Scheduling is identical to GENERAL — the difference
+#: is pure hardware behaviour, modelled by the processor's "colwell" mode —
+#: and the paper's two critiques (wrong attribution; conditional-use
+#: misses) are demonstrated by the test suite.
+COLWELL = SpeculationPolicy("colwell", trap_spec=True, store_spec=False, sentinels=False)
+
+POLICIES = {
+    p.name: p for p in (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE, COLWELL)
+}
+
+
+def boosting_policy(max_boost: int) -> SpeculationPolicy:
+    """Instruction boosting above at most ``max_boost`` branches
+    (Section 2.3 — the Smith/Lam/Horowitz model the paper compares
+    against).  Stores are speculable too (the shadow store buffers), no
+    sentinels are inserted (the shadow hardware detects exceptions at
+    branch commit), and restriction 1 is discharged by buffering."""
+    if max_boost < 1:
+        raise ValueError("boosting needs at least one shadow level")
+    return SpeculationPolicy(
+        name=f"boosting{max_boost}",
+        trap_spec=True,
+        store_spec=True,
+        sentinels=False,
+        max_boost=max_boost,
+        ignore_liveness=True,
+    )
+
+
+def first_home_use(
+    graph: DepGraph,
+    node: int,
+    stop_at_irreversible: bool = False,
+    policy: Optional["SpeculationPolicy"] = None,
+) -> Optional[int]:
+    """A home-block use of ``dest(node)`` to serve as its shared sentinel.
+
+    Returns the node index of the use, or None.  The scan stops at the first
+    succeeding control instruction (which may itself be the use — a branch
+    reading the value is a valid sentinel) and at any redefinition of the
+    register, which cuts the sentinel-sharing chain.
+
+    When several home-block uses exist, a use the policy can *never*
+    speculate (a branch, typically) is preferred: it is guaranteed to stay
+    resident, so the protection chain terminates without ever needing an
+    explicit ``check_exception`` — the Section 3.1 observation that "the
+    sentinel part of I can be eliminated if there is another instruction J
+    in I's home block which uses the result of I", applied with the cheapest
+    possible J.  Otherwise the first use is taken, as in the Appendix.
+
+    With ``stop_at_irreversible`` (recovery mode), irreversible instructions
+    also bound the home block: "Each irreversible instruction defines a
+    basic block boundary as far as the sentinel scheduling algorithm is
+    concerned" (Section 3.7, restriction 2).
+    """
+    instr = graph.nodes[node]
+    dest = instr.dest
+    if dest is None or dest.is_zero:
+        return None
+    first: Optional[int] = None
+    for later in range(node + 1, graph.original_count):
+        candidate = graph.nodes[later]
+        if candidate.op is Opcode.CLRTAG:
+            if candidate.dest == dest:
+                return first  # tag reset: the chain cannot pass through
+            continue
+        if dest in candidate.uses():
+            if first is None:
+                first = later
+            if policy is None or not policy.allows(candidate):
+                return later  # guaranteed-resident sentinel
+        if candidate.dest is not None and candidate.dest == dest:
+            return first  # redefined: chain ends here
+        if candidate.info.is_control:
+            return first
+        if stop_at_irreversible and candidate.info.is_irreversible:
+            return first
+    return first
+
+
+def reduce_dependence_graph(
+    graph: DepGraph,
+    liveness: Liveness,
+    policy: SpeculationPolicy,
+    stop_at_irreversible: bool = False,
+    despeculated: frozenset = frozenset(),
+) -> DepGraph:
+    """Apply the Appendix algorithm in place; returns ``graph``.
+
+    Populates ``graph.unprotected``, ``graph.allowed_spec`` and
+    ``graph.shared_sentinel`` and removes the CONTROL arcs the policy
+    permits.  ``despeculated`` holds instruction uids the recovery
+    iteration has withdrawn speculation permission from (their control
+    dependences are retained).
+    """
+
+    def _release_control_arcs(node: int) -> None:
+        instr = graph.nodes[node]
+        control_arcs = graph.control_preds(node)
+        # Boosting: only the nearest max_boost branches may be crossed, so
+        # control dependences on more distant branches are retained.  Arcs
+        # are ranked by source position (larger = nearer to the node).
+        releasable = control_arcs
+        if policy.max_boost is not None:
+            by_distance = sorted(control_arcs, key=lambda a: -a.src)
+            releasable = by_distance[: policy.max_boost]
+        for arc in releasable:
+            branch = graph.nodes[arc.src]
+            if policy.ignore_liveness or instr.info.writes_mem:
+                # Shadow buffering (boosting) or probationary store-buffer
+                # cancellation (Section 4.2) handles the taken path.
+                graph.remove_arc(arc)
+                continue
+            dest = instr.dest
+            if dest is None or dest.is_zero:
+                graph.remove_arc(arc)
+                continue
+            if dest not in liveness.live_when_taken(branch.uid):
+                graph.remove_arc(arc)
+
+    for node in range(graph.original_count):
+        instr = graph.nodes[node]
+        allowed = policy.allows(instr) and instr.uid not in despeculated
+        if allowed:
+            graph.allowed_spec.add(node)
+
+        if instr.info.writes_mem and policy.store_spec:
+            # "Dependence reduction also marks all store instructions as
+            # unprotected" (Section 4.2).
+            graph.unprotected.add(node)
+            if allowed:
+                _release_control_arcs(node)
+            continue
+
+        if node in graph.unprotected:
+            use = first_home_use(graph, node, stop_at_irreversible, policy)
+            if use is not None:
+                graph.unprotected.discard(node)
+                graph.unprotected.add(use)
+                graph.shared_sentinel[node] = use
+            if allowed:
+                _release_control_arcs(node)
+        elif instr.info.can_trap:
+            use = first_home_use(graph, node, stop_at_irreversible, policy)
+            if use is not None:
+                graph.unprotected.add(use)
+                graph.shared_sentinel[node] = use
+            else:
+                graph.unprotected.add(node)
+            if allowed:
+                _release_control_arcs(node)
+        elif allowed:
+            _release_control_arcs(node)
+
+    return graph

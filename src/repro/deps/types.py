@@ -1,0 +1,142 @@
+"""Dependence arc types and the dependence graph container.
+
+The graph is built over one superblock.  Arc kinds:
+
+* ``FLOW`` / ``ANTI`` / ``OUTPUT`` — register data dependences,
+* ``MEM`` — memory ordering (store/load conflicts without proven
+  independence),
+* ``CONTROL`` — branch → later instruction.  These are the arcs dependence
+  graph reduction removes "to enable speculative code motion allowed by the
+  scheduling model" (Section 3.3),
+* ``GUARD`` — earlier instruction → branch/terminator.  These keep
+  side-effecting, live-out-writing and trap-capable instructions from
+  sinking below an exit they originally preceded; no model removes them,
+* ``SENT`` — arcs created during scheduling to pin a sentinel
+  (``check_exception`` / ``confirm_store``) into its home block, per the
+  Appendix algorithm.
+
+Arc latency is the minimum issue-cycle separation: ``cycle(dst) >=
+cycle(src) + latency``.  Latency 0 allows same-cycle issue (all operations
+in one VLIW word execute together, so e.g. a store may share a cycle with a
+branch it must precede).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..isa.instruction import Instruction
+from ..isa.program import Block
+
+
+class ArcKind(enum.Enum):
+    FLOW = "flow"
+    ANTI = "anti"
+    OUTPUT = "output"
+    MEM = "mem"
+    CONTROL = "control"
+    GUARD = "guard"
+    SENT = "sent"
+
+
+@dataclass(frozen=True)
+class Arc:
+    src: int  # node index
+    dst: int
+    kind: ArcKind
+    latency: int
+
+    def __repr__(self) -> str:
+        return f"{self.src}-{self.kind.value}/{self.latency}->{self.dst}"
+
+
+class DepGraph:
+    """Dependence graph over the instructions of one superblock.
+
+    Nodes are integer indices.  Indices ``0..n-1`` correspond to the
+    block's original instruction order; sentinel instructions appended
+    during scheduling get indices ``>= n``.
+    """
+
+    def __init__(self, block: Block) -> None:
+        self.block = block
+        self.nodes: List[Instruction] = list(block.instrs)
+        self.original_count = len(self.nodes)
+        self._succs: List[List[Arc]] = [[] for _ in self.nodes]
+        self._preds: List[List[Arc]] = [[] for _ in self.nodes]
+        #: Instructions needing an explicit sentinel if speculated
+        #: (Section 3.1 "unprotected instruction"), set by reduction.
+        self.unprotected: Set[int] = set()
+        #: Nodes the scheduling model allows to be speculative.
+        self.allowed_spec: Set[int] = set()
+        #: node -> its shared-sentinel node (first home-block use), if any.
+        self.shared_sentinel: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def instruction(self, node: int) -> Instruction:
+        return self.nodes[node]
+
+    def add_node(self, instr: Instruction) -> int:
+        self.nodes.append(instr)
+        self._succs.append([])
+        self._preds.append([])
+        return len(self.nodes) - 1
+
+    def add_arc(self, src: int, dst: int, kind: ArcKind, latency: int) -> Arc:
+        if src == dst:
+            raise ValueError(f"self arc on node {src}")
+        arc = Arc(src, dst, kind, latency)
+        self._succs[src].append(arc)
+        self._preds[dst].append(arc)
+        return arc
+
+    def remove_arc(self, arc: Arc) -> None:
+        self._succs[arc.src].remove(arc)
+        self._preds[arc.dst].remove(arc)
+
+    def succs(self, node: int) -> List[Arc]:
+        return list(self._succs[node])
+
+    def preds(self, node: int) -> List[Arc]:
+        return list(self._preds[node])
+
+    def arcs(self) -> Iterator[Arc]:
+        for arcs in self._succs:
+            yield from arcs
+
+    def control_preds(self, node: int) -> List[Arc]:
+        return [a for a in self._preds[node] if a.kind is ArcKind.CONTROL]
+
+    def find_arc(self, src: int, dst: int, kind: Optional[ArcKind] = None) -> Optional[Arc]:
+        for arc in self._succs[src]:
+            if arc.dst == dst and (kind is None or arc.kind is kind):
+                return arc
+        return None
+
+    # ------------------------------------------------------------------
+
+    def critical_heights(self) -> List[int]:
+        """Longest-path height of each node (priority for list scheduling).
+
+        Height of a node = max over outgoing arcs of latency + height(dst);
+        leaves have height equal to their own latency contribution of 1.
+        Computed over the current arc set in reverse topological (original
+        position) order — arcs always point from lower to higher original
+        position, so a reverse index sweep suffices.
+        """
+        n = len(self.nodes)
+        height = [1] * n
+        for node in range(n - 1, -1, -1):
+            best = 1
+            for arc in self._succs[node]:
+                candidate = arc.latency + height[arc.dst]
+                if candidate > best:
+                    best = candidate
+            height[node] = best
+        return height

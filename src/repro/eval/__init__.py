@@ -1,0 +1,33 @@
+"""Evaluation harness: Figure 4/5 sweeps, Table 1/2/3 regeneration,
+headline aggregates and shape checks."""
+
+from .figures import (
+    FigureSeries,
+    figure4_series,
+    figure5_series,
+    render_bars,
+    render_table,
+)
+from .harness import CellResult, SweepConfig, SweepResult, run_sweep
+from .report import Headline, headline_numbers, render_report, shape_checks
+from .tables import all_tables, render_table1, render_table2, render_table3
+
+__all__ = [
+    "FigureSeries",
+    "figure4_series",
+    "figure5_series",
+    "render_bars",
+    "render_table",
+    "CellResult",
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
+    "Headline",
+    "headline_numbers",
+    "render_report",
+    "shape_checks",
+    "all_tables",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,110 @@
+"""Regeneration of the paper's Figures 4 and 5.
+
+Figure 4 compares sentinel scheduling (S) against restricted percolation
+(R); Figure 5 compares general percolation (G), sentinel scheduling (S)
+and sentinel scheduling with speculative stores (T).  Both plot, per
+benchmark, the speedup over the issue-1 restricted-percolation base
+machine at issue rates 2, 4 and 8 as stacked/grouped bars.  We render the
+same series as text tables plus ASCII bar groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..workloads.suites import NON_NUMERIC_NAMES, NUMERIC_NAMES
+from .harness import SweepResult
+
+FIGURE4_MODELS = (("R", "restricted"), ("S", "sentinel"))
+FIGURE5_MODELS = (("G", "general"), ("S", "sentinel"), ("T", "sentinel_store"))
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: benchmark -> model letter -> issue rate -> speedup."""
+
+    title: str
+    models: Tuple[Tuple[str, str], ...]
+    issue_rates: Tuple[int, ...]
+    data: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+
+    def value(self, benchmark: str, model: str, issue_rate: int) -> float:
+        return self.data[benchmark][model][issue_rate]
+
+
+def _series(sweep: SweepResult, title: str, models) -> FigureSeries:
+    issue_rates = tuple(sweep.config.issue_rates)
+    series = FigureSeries(title=title, models=tuple(models), issue_rates=issue_rates)
+    for name in sweep.benchmarks():
+        series.data[name] = {
+            letter: {
+                rate: sweep.speedup(name, policy, rate) for rate in issue_rates
+            }
+            for letter, policy in models
+        }
+    return series
+
+
+def figure4_series(sweep: SweepResult) -> FigureSeries:
+    """Speedups of sentinel scheduling (S) vs restricted percolation (R)."""
+    return _series(
+        sweep,
+        "Figure 4: sentinel scheduling (S) vs restricted percolation (R)",
+        FIGURE4_MODELS,
+    )
+
+
+def figure5_series(sweep: SweepResult) -> FigureSeries:
+    """Speedups of general (G) vs sentinel (S) vs speculative stores (T)."""
+    return _series(
+        sweep,
+        "Figure 5: general (G) vs sentinel (S) vs sentinel+stores (T)",
+        FIGURE5_MODELS,
+    )
+
+
+def render_table(series: FigureSeries) -> str:
+    """The figure's numbers as a text table (per-benchmark rows)."""
+    rates = series.issue_rates
+    header = f"{'benchmark':<11}" + "".join(
+        f"{letter}@{rate:<5}" for letter, _ in series.models for rate in rates
+    )
+    lines = [series.title, header, "-" * len(header)]
+    ordered = [
+        name
+        for name in (*NON_NUMERIC_NAMES, *NUMERIC_NAMES)
+        if name in series.data
+    ] or list(series.data)
+    for name in ordered:
+        row = f"{name:<11}"
+        for letter, _ in series.models:
+            for rate in rates:
+                row += f"{series.value(name, letter, rate):6.2f} "
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_bars(series: FigureSeries, width: int = 40) -> str:
+    """ASCII bar-group rendering, one group per benchmark (like the paper's
+    stacked issue-2/4/8 bars)."""
+    peak = max(
+        series.value(name, letter, rate)
+        for name in series.data
+        for letter, _ in series.models
+        for rate in series.issue_rates
+    )
+    lines = [series.title]
+    ordered = [
+        name
+        for name in (*NON_NUMERIC_NAMES, *NUMERIC_NAMES)
+        if name in series.data
+    ] or list(series.data)
+    for name in ordered:
+        lines.append(name)
+        for letter, _ in series.models:
+            for rate in series.issue_rates:
+                value = series.value(name, letter, rate)
+                bar = "#" * max(1, round(value / peak * width))
+                lines.append(f"  {letter}@{rate}: {bar} {value:.2f}")
+    return "\n".join(lines)

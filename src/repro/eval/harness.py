@@ -1,0 +1,206 @@
+"""The evaluation harness — the paper's Section 5 methodology.
+
+For every benchmark stand-in:
+
+1. build the workload and collect a training profile by reference
+   execution (the paper's "execution-driven simulation"),
+2. compile under each scheduling model × issue rate,
+3. measure cycles with the trace-driven timing model
+   (:func:`repro.arch.timing.estimate_cycles`), validated elsewhere
+   against the cycle-accurate processor,
+4. report speedups against the paper's base machine: "an issue rate of 1
+   [with] the restricted percolation scheduling model" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arch.timing import estimate_cycles
+from ..cfg.basic_block import to_basic_blocks
+from ..deps.reduction import (
+    GENERAL,
+    RESTRICTED,
+    SENTINEL,
+    SENTINEL_STORE,
+    SpeculationPolicy,
+)
+from ..interp.interpreter import run_program
+from ..machine.description import paper_machine
+from ..sched.compiler import CompilationResult, compile_program
+from ..workloads.suites import ALL_NAMES, NUMERIC_NAMES, build_workload
+
+DEFAULT_POLICIES: Tuple[SpeculationPolicy, ...] = (
+    RESTRICTED,
+    GENERAL,
+    SENTINEL,
+    SENTINEL_STORE,
+)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Knobs of one full evaluation sweep."""
+
+    benchmarks: Tuple[str, ...] = ALL_NAMES
+    issue_rates: Tuple[int, ...] = (2, 4, 8)
+    policies: Tuple[SpeculationPolicy, ...] = DEFAULT_POLICIES
+    unroll_factor: int = 4
+    seed: int = 0
+    scale: float = 1.0
+    store_buffer_size: int = 8
+    recovery: bool = False
+    max_steps: int = 10_000_000
+
+
+@dataclass
+class CellResult:
+    """One (benchmark, policy, issue rate) measurement."""
+
+    benchmark: str
+    numeric: bool
+    policy: str
+    issue_rate: int
+    cycles: int
+    speedup: float
+    speculative: int
+    checks_inserted: int
+    confirms_inserted: int
+    schedule_words: int
+
+
+@dataclass
+class SweepResult:
+    config: SweepConfig
+    base_cycles: Dict[str, int] = field(default_factory=dict)
+    cells: Dict[Tuple[str, str, int], CellResult] = field(default_factory=dict)
+
+    def cell(self, benchmark: str, policy: str, issue_rate: int) -> CellResult:
+        return self.cells[(benchmark, policy, issue_rate)]
+
+    def speedup(self, benchmark: str, policy: str, issue_rate: int) -> float:
+        return self.cell(benchmark, policy, issue_rate).speedup
+
+    def improvement(
+        self, benchmark: str, over: str, policy: str, issue_rate: int
+    ) -> float:
+        """Fractional improvement of ``policy`` over ``over``: S/R - 1 etc."""
+        return (
+            self.speedup(benchmark, policy, issue_rate)
+            / self.speedup(benchmark, over, issue_rate)
+            - 1.0
+        )
+
+    def average_improvement(
+        self,
+        over: str,
+        policy: str,
+        issue_rate: int,
+        numeric: Optional[bool] = None,
+    ) -> float:
+        """Mean improvement across benchmarks (paper's "average of 57%")."""
+        values = [
+            self.improvement(cell.benchmark, over, policy, issue_rate)
+            for cell in self.cells.values()
+            if cell.policy == policy
+            and cell.issue_rate == issue_rate
+            and (numeric is None or cell.numeric == numeric)
+        ]
+        if not values:
+            raise ValueError("no cells match the average query")
+        return statistics.mean(values)
+
+    def benchmarks(self) -> List[str]:
+        return list(dict.fromkeys(cell.benchmark for cell in self.cells.values()))
+
+    def to_csv(self) -> str:
+        """The full sweep as CSV (one row per benchmark × policy × rate),
+        for plotting outside this repository."""
+        lines = [
+            "benchmark,numeric,policy,issue_rate,cycles,speedup,"
+            "speculative,checks,confirms,schedule_words"
+        ]
+        for key in sorted(self.cells):
+            cell = self.cells[key]
+            lines.append(
+                f"{cell.benchmark},{int(cell.numeric)},{cell.policy},"
+                f"{cell.issue_rate},{cell.cycles},{cell.speedup:.4f},"
+                f"{cell.speculative},{cell.checks_inserted},"
+                f"{cell.confirms_inserted},{cell.schedule_words}"
+            )
+        return "\n".join(lines)
+
+
+def _profile_for(compilation: CompilationResult, workload, max_steps: int):
+    result = run_program(
+        compilation.superblock_program,
+        memory=workload.make_memory(),
+        max_steps=max_steps,
+    )
+    if not result.halted:
+        raise RuntimeError(f"{workload.name}: superblock program did not halt")
+    return result.profile
+
+
+def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
+    """Run the full model × issue-rate evaluation (Figures 4 and 5)."""
+    sweep = SweepResult(config=config)
+    base_machine = paper_machine(1, store_buffer_size=config.store_buffer_size)
+
+    for name in config.benchmarks:
+        workload = build_workload(name, seed=config.seed, scale=config.scale)
+        basic = to_basic_blocks(workload.program)
+        training = run_program(
+            basic, memory=workload.make_memory(), max_steps=config.max_steps
+        )
+        if not training.halted:
+            raise RuntimeError(f"{name}: training run did not halt")
+
+        base_comp = compile_program(
+            basic,
+            training.profile,
+            base_machine,
+            RESTRICTED,
+            unroll_factor=config.unroll_factor,
+            recovery=config.recovery,
+        )
+        base_profile = _profile_for(base_comp, workload, config.max_steps)
+        base_cycles = estimate_cycles(base_comp.scheduled, base_profile).total_cycles
+        sweep.base_cycles[name] = base_cycles
+
+        for policy in config.policies:
+            profile = None
+            for issue_rate in config.issue_rates:
+                machine = paper_machine(
+                    issue_rate, store_buffer_size=config.store_buffer_size
+                )
+                comp = compile_program(
+                    basic,
+                    training.profile,
+                    machine,
+                    policy,
+                    unroll_factor=config.unroll_factor,
+                    recovery=config.recovery,
+                )
+                if profile is None:
+                    # The superblock-form program (and its uids) is
+                    # machine-independent, so one profile serves all
+                    # issue rates of this policy.
+                    profile = _profile_for(comp, workload, config.max_steps)
+                cycles = estimate_cycles(comp.scheduled, profile).total_cycles
+                cell = CellResult(
+                    benchmark=name,
+                    numeric=name in NUMERIC_NAMES,
+                    policy=policy.name,
+                    issue_rate=issue_rate,
+                    cycles=cycles,
+                    speedup=base_cycles / cycles,
+                    speculative=comp.stats.speculative,
+                    checks_inserted=comp.stats.checks_inserted,
+                    confirms_inserted=comp.stats.confirms_inserted,
+                    schedule_words=comp.stats.schedule_words,
+                )
+                sweep.cells[(name, policy.name, issue_rate)] = cell
+    return sweep

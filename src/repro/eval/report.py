@@ -1,0 +1,150 @@
+"""Headline numbers and the EXPERIMENTS.md summary.
+
+The paper's Section 5.2 headline results:
+
+* issue 8: sentinel over restricted — +18–135 % (avg +57 %) non-numeric,
+  +32 % numeric,
+* sentinel ≈ general everywhere (worst case grep at issue 2),
+* speculative stores over sentinel at issue 8 — avg +7.4 % non-numeric /
+  +2.6 % numeric; >20 % for cmp and grep; ~0 for eqntott, wc, fpppp,
+  matrix300, tomcatv.
+
+This module computes the same aggregates from a sweep and renders a
+paper-vs-measured markdown report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .figures import figure4_series, figure5_series, render_table
+from .harness import SweepResult
+
+#: Paper-reported aggregates used in the comparison report.
+PAPER_HEADLINES = {
+    ("sentinel_over_restricted", 8, False): 0.57,
+    ("sentinel_over_restricted", 8, True): 0.32,
+    ("stores_over_sentinel", 8, False): 0.074,
+    ("stores_over_sentinel", 8, True): 0.026,
+}
+
+
+@dataclass
+class Headline:
+    label: str
+    issue_rate: int
+    numeric: Optional[bool]
+    measured: float
+    paper: Optional[float]
+
+    def format(self) -> str:
+        group = {True: "numeric", False: "non-numeric", None: "all"}[self.numeric]
+        text = f"{self.label} @ issue {self.issue_rate} ({group}): {self.measured:+.1%}"
+        if self.paper is not None:
+            text += f" (paper: {self.paper:+.1%})"
+        return text
+
+
+def headline_numbers(sweep: SweepResult) -> List[Headline]:
+    """The Section 5.2 aggregates, measured."""
+    headlines: List[Headline] = []
+    for issue_rate in sweep.config.issue_rates:
+        for numeric in (False, True):
+            headlines.append(
+                Headline(
+                    "sentinel over restricted",
+                    issue_rate,
+                    numeric,
+                    sweep.average_improvement(
+                        "restricted", "sentinel", issue_rate, numeric=numeric
+                    ),
+                    PAPER_HEADLINES.get(
+                        ("sentinel_over_restricted", issue_rate, numeric)
+                    ),
+                )
+            )
+            headlines.append(
+                Headline(
+                    "speculative stores over sentinel",
+                    issue_rate,
+                    numeric,
+                    sweep.average_improvement(
+                        "sentinel", "sentinel_store", issue_rate, numeric=numeric
+                    ),
+                    PAPER_HEADLINES.get(("stores_over_sentinel", issue_rate, numeric)),
+                )
+            )
+            headlines.append(
+                Headline(
+                    "sentinel vs general (deficit)",
+                    issue_rate,
+                    numeric,
+                    sweep.average_improvement(
+                        "general", "sentinel", issue_rate, numeric=numeric
+                    ),
+                    None,
+                )
+            )
+    return headlines
+
+
+def shape_checks(sweep: SweepResult) -> Dict[str, bool]:
+    """Qualitative shape assertions from the paper, evaluated on a sweep.
+
+    These are what "reproduction" means here: who wins, where the gains
+    concentrate — not absolute numbers.
+    """
+    top_rate = max(sweep.config.issue_rates)
+    checks: Dict[str, bool] = {}
+    checks["sentinel beats restricted on every non-numeric benchmark"] = all(
+        sweep.improvement(name, "restricted", "sentinel", top_rate) > 0.05
+        for name in sweep.benchmarks()
+        if not sweep.cell(name, "sentinel", top_rate).numeric
+    )
+    checks["sentinel ~= general (within 10% everywhere, 3% on average)"] = all(
+        abs(sweep.improvement(name, "general", "sentinel", rate)) < 0.10
+        for name in sweep.benchmarks()
+        for rate in sweep.config.issue_rates
+    ) and all(
+        abs(sweep.average_improvement("general", "sentinel", rate)) < 0.03
+        for rate in sweep.config.issue_rates
+    )
+    for name in ("fpppp", "matrix300"):
+        if name in sweep.benchmarks():
+            checks[f"{name}: restricted ~= sentinel (counted FP loop)"] = (
+                abs(sweep.improvement(name, "restricted", "sentinel", top_rate)) < 0.10
+            )
+    for name in ("cmp", "grep"):
+        if name in sweep.benchmarks():
+            checks[f"{name}: speculative stores gain >5%"] = (
+                sweep.improvement(name, "sentinel", "sentinel_store", top_rate) > 0.05
+            )
+    for name in ("eqntott", "wc", "matrix300", "tomcatv", "fpppp"):
+        if name in sweep.benchmarks():
+            checks[f"{name}: no speculative-store gain"] = (
+                abs(sweep.improvement(name, "sentinel", "sentinel_store", top_rate))
+                < 0.03
+            )
+    checks["speculation gains grow with issue rate (non-numeric avg)"] = (
+        sweep.average_improvement("restricted", "sentinel", 8, numeric=False)
+        >= sweep.average_improvement("restricted", "sentinel", 2, numeric=False)
+    )
+    return checks
+
+
+def render_report(sweep: SweepResult) -> str:
+    """Full text report: figures, headlines, shape checks."""
+    lines: List[str] = []
+    lines.append(render_table(figure4_series(sweep)))
+    lines.append("")
+    lines.append(render_table(figure5_series(sweep)))
+    lines.append("")
+    lines.append("Headline aggregates (Section 5.2):")
+    for headline in headline_numbers(sweep):
+        lines.append("  " + headline.format())
+    lines.append("")
+    lines.append("Shape checks (paper-qualitative):")
+    for label, passed in shape_checks(sweep).items():
+        lines.append(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Reference semantics: sequential interpreter, golden-state comparison."""
+
+from .interpreter import ABORT, RECORD, REPAIR, Interpreter, RunResult, run_program
+from .state import Observable, assert_equivalent, diff_observables, observable_of
+
+__all__ = [
+    "ABORT",
+    "RECORD",
+    "REPAIR",
+    "Interpreter",
+    "RunResult",
+    "run_program",
+    "Observable",
+    "assert_equivalent",
+    "diff_observables",
+    "observable_of",
+]

@@ -1,0 +1,258 @@
+"""Sequential reference interpreter with precise exceptions.
+
+This is the "golden" executor: it runs the *original* (unscheduled) program
+in strict program order on a conventional machine that signals every
+exception immediately at the excepting instruction.  It provides three
+services to the rest of the system:
+
+1. **Golden semantics** — the final memory/register state and the ordered
+   list of signalled exceptions that any correct scheduled execution must
+   reproduce (the paper's correctness requirement: "accurately detect and
+   report all exceptions", Section 1).
+2. **Profiling** — block visit counts and branch taken ratios that drive
+   superblock formation and the trace-driven timing model (Section 5.1's
+   "execution-driven simulation").
+3. **Exception policies** — ``abort`` (first signal terminates, the usual
+   program-error case), ``repair`` (page faults are repaired and the
+   instruction retried, modelling an OS handler; used by the recovery
+   experiments of Section 3.7), and ``record`` (log and continue with a
+   garbage result; used to observe multi-exception ordering, Section 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..arch.exceptions import SignalledException, SimulationError, Trap
+from ..arch.memory import Memory
+from ..cfg.profile import ProfileData
+from ..isa.instruction import Instruction, Operand
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import Register
+from ..isa.semantics import branch_taken, evaluate, garbage_for
+
+Value = Union[int, float]
+
+ABORT = "abort"
+REPAIR = "repair"
+RECORD = "record"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one reference execution."""
+
+    registers: Dict[Register, Value]
+    memory: Memory
+    exceptions: List[SignalledException]
+    profile: ProfileData
+    halted: bool
+    aborted: bool
+    steps: int
+    io_events: List[int] = field(default_factory=list)
+
+    def exception_origins(self) -> List[int]:
+        """Origin PCs of signalled exceptions, in signal order."""
+        return [exc.origin_pc for exc in self.exceptions]
+
+
+class Interpreter:
+    """Executes a program sequentially with precise exceptions."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        max_steps: int = 2_000_000,
+        on_exception: str = ABORT,
+    ) -> None:
+        if on_exception not in (ABORT, REPAIR, RECORD):
+            raise ValueError(f"unknown exception policy {on_exception!r}")
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.max_steps = max_steps
+        self.on_exception = on_exception
+        self._labels = {blk.label: idx for idx, blk in enumerate(program.blocks)}
+
+    # ------------------------------------------------------------------
+
+    def run(self, init_regs: Optional[Dict[Register, Value]] = None) -> RunResult:
+        regs: Dict[Register, Value] = dict(init_regs) if init_regs else {}
+        profile = ProfileData()
+        exceptions: List[SignalledException] = []
+        io_events: List[int] = []
+        blocks = self.program.blocks
+        if not blocks:
+            raise SimulationError("empty program")
+
+        block_idx = 0
+        instr_idx = 0
+        steps = 0
+        halted = False
+        aborted = False
+        profile.block_visits[blocks[0].label] += 1
+
+        while True:
+            if steps >= self.max_steps:
+                raise SimulationError(f"step limit {self.max_steps} exceeded (infinite loop?)")
+            block = blocks[block_idx]
+            if instr_idx >= len(block.instrs):
+                # Fall through to the next block in program order.
+                if block_idx + 1 >= len(blocks):
+                    raise SimulationError(f"control fell off the end at block {block.label}")
+                profile.edges[(block.label, blocks[block_idx + 1].label)] += 1
+                block_idx += 1
+                instr_idx = 0
+                profile.block_visits[blocks[block_idx].label] += 1
+                continue
+
+            instr = block.instrs[instr_idx]
+            steps += 1
+            outcome = self._execute(instr, regs, io_events, profile, block.label)
+
+            if outcome == "halt":
+                halted = True
+                break
+            if isinstance(outcome, Trap):
+                exc = SignalledException(
+                    pc=instr.uid,
+                    kind=outcome.kind,
+                    reporter_pc=instr.uid,
+                    origin_pc=instr.origin_uid,
+                    detail=outcome.detail,
+                )
+                exceptions.append(exc)
+                if self.on_exception == ABORT:
+                    aborted = True
+                    break
+                if self.on_exception == REPAIR:
+                    if outcome.kind.repairable and outcome.address is not None:
+                        self.memory.repair(outcome.address)
+                        continue  # retry the same instruction
+                    aborted = True
+                    break
+                # RECORD: silent-complete the instruction and move on.
+                if instr.dest is not None and not instr.dest.is_zero:
+                    regs[instr.dest] = garbage_for(instr.op)
+                instr_idx += 1
+                continue
+            if isinstance(outcome, str) and outcome.startswith("goto:"):
+                target = outcome[5:]
+                block_idx = self._labels[target]
+                instr_idx = 0
+                profile.block_visits[target] += 1
+                continue
+            instr_idx += 1
+
+        return RunResult(
+            registers=regs,
+            memory=self.memory,
+            exceptions=exceptions,
+            profile=profile,
+            halted=halted,
+            aborted=aborted,
+            steps=steps,
+            io_events=io_events,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _value(self, operand: Operand, regs: Dict[Register, Value]) -> Value:
+        if isinstance(operand, Register):
+            if operand.is_zero:
+                return 0
+            return regs.get(operand, 0.0 if operand.is_fp else 0)
+        return operand
+
+    def _write(self, dest: Optional[Register], value: Value, regs: Dict[Register, Value]) -> None:
+        if dest is not None and not dest.is_zero:
+            regs[dest] = value
+
+    def _execute(
+        self,
+        instr: Instruction,
+        regs: Dict[Register, Value],
+        io_events: List[int],
+        profile: ProfileData,
+        block_label: str,
+    ):
+        """Execute one instruction.
+
+        Returns ``None`` (fall through to next instruction), ``"halt"``,
+        ``"goto:<label>"`` for a transfer, or a :class:`Trap`.
+        """
+        op = instr.op
+        info = op.info
+
+        if info.is_cond_branch:
+            a = self._value(instr.srcs[0], regs)
+            b = self._value(instr.srcs[1], regs)
+            profile.branch_executed[instr.uid] += 1
+            if branch_taken(op, a, b):
+                profile.branch_taken[instr.uid] += 1
+                profile.edges[(block_label, instr.target)] += 1
+                return f"goto:{instr.target}"
+            return None
+        if op is Opcode.JUMP:
+            profile.edges[(block_label, instr.target)] += 1
+            return f"goto:{instr.target}"
+        if op is Opcode.HALT:
+            return "halt"
+        if op in (Opcode.JSR, Opcode.IO):
+            io_events.append(instr.origin_uid)
+            return None
+        if op is Opcode.NOP or op is Opcode.CONFIRM or op is Opcode.CLRTAG:
+            # Sentinel-support instructions are no-ops on the reference
+            # machine: it has no exception tags and no store buffer.
+            return None
+        if op is Opcode.CHECK:
+            if instr.dest is not None:
+                self._write(instr.dest, self._value(instr.srcs[0], regs), regs)
+            return None
+
+        if op in (Opcode.LOAD, Opcode.FLOAD):
+            address = int(self._value(instr.srcs[0], regs)) + int(instr.srcs[1])
+            value, trap = self.memory.load(address)
+            if trap is not None:
+                return trap
+            if op is Opcode.FLOAD and isinstance(value, int):
+                value = float(value)
+            self._write(instr.dest, value, regs)
+            return None
+        if op in (Opcode.STORE, Opcode.FSTORE):
+            address = int(self._value(instr.srcs[0], regs)) + int(instr.srcs[1])
+            value = self._value(instr.srcs[2], regs)
+            trap = self.memory.store(address, value)
+            if trap is not None:
+                return trap
+            return None
+        if op is Opcode.TLOAD:
+            address = int(self._value(instr.srcs[0], regs)) + int(instr.srcs[1])
+            value, _tag = self.memory.peek_tagged(address)
+            self._write(instr.dest, value, regs)
+            return None
+        if op is Opcode.TSTORE:
+            address = int(self._value(instr.srcs[0], regs)) + int(instr.srcs[1])
+            self.memory.poke_tagged(address, self._value(instr.srcs[2], regs), False)
+            return None
+
+        vals = [self._value(s, regs) for s in instr.srcs]
+        result, trap = evaluate(op, vals)
+        if trap is not None:
+            return trap
+        self._write(instr.dest, result, regs)
+        return None
+
+
+def run_program(
+    program: Program,
+    memory: Optional[Memory] = None,
+    init_regs: Optional[Dict[Register, Value]] = None,
+    max_steps: int = 2_000_000,
+    on_exception: str = ABORT,
+) -> RunResult:
+    """Convenience wrapper: build an interpreter and run it once."""
+    interp = Interpreter(program, memory=memory, max_steps=max_steps, on_exception=on_exception)
+    return interp.run(init_regs=init_regs)

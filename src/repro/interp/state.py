@@ -1,0 +1,101 @@
+"""Observable-state extraction and comparison for golden checks.
+
+A scheduled execution is *correct* when its observable behaviour matches the
+sequential reference execution:
+
+* the same committed memory contents (probationary stores of mispredicted
+  paths must never reach memory — Section 4.1),
+* the same irreversible events (I/O, calls) in the same order,
+* the same signalled exceptions, in order, each attributed to the correct
+  original instruction (Section 1: "accurately detect and report all
+  exceptions").
+
+Register files are *not* compared wholesale: scheduling introduces renaming
+registers and leaves dead speculative results behind, both architecturally
+invisible.  Callers that care about specific live-out registers pass them
+explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..arch.exceptions import TrapKind
+from ..isa.registers import Register
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Observable:
+    """The comparable footprint of one execution."""
+
+    memory_words: Tuple[Tuple[int, Value], ...]
+    io_events: Tuple[int, ...]
+    exceptions: Tuple[Tuple[int, TrapKind], ...]  # (origin pc, kind) in order
+    live_out: Tuple[Tuple[str, Value], ...] = ()
+
+
+def _values_equal(a: Value, b: Value) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    return a == b
+
+
+def observable_of(
+    result,
+    live_out: Iterable[Register] = (),
+) -> Observable:
+    """Extract the observable footprint from a run result.
+
+    Works for both :class:`repro.interp.interpreter.RunResult` and the
+    processor's run result — anything with ``memory``, ``io_events``,
+    ``exceptions`` and ``registers`` attributes.
+    """
+    memory_words = tuple(sorted(result.memory.nonzero_snapshot().items()))
+    io_events = tuple(result.io_events)
+    exceptions = tuple((exc.origin_pc, exc.kind) for exc in result.exceptions)
+    live = tuple(
+        (reg.name, result.registers.get(reg, 0.0 if reg.is_fp else 0)) for reg in live_out
+    )
+    return Observable(memory_words, io_events, exceptions, live)
+
+
+def diff_observables(a: Observable, b: Observable) -> List[str]:
+    """Human-readable differences between two observable footprints."""
+    problems: List[str] = []
+    mem_a: Dict[int, Value] = dict(a.memory_words)
+    mem_b: Dict[int, Value] = dict(b.memory_words)
+    for addr in sorted(set(mem_a) | set(mem_b)):
+        va, vb = mem_a.get(addr, 0), mem_b.get(addr, 0)
+        if not _values_equal(va, vb):
+            problems.append(f"memory[{addr}]: {va!r} != {vb!r}")
+    if a.io_events != b.io_events:
+        problems.append(f"io events: {a.io_events} != {b.io_events}")
+    if a.exceptions != b.exceptions:
+        problems.append(f"exceptions: {a.exceptions} != {b.exceptions}")
+    la, lb = dict(a.live_out), dict(b.live_out)
+    for name in sorted(set(la) | set(lb)):
+        va, vb = la.get(name), lb.get(name)
+        if va is None or vb is None or not _values_equal(va, vb):
+            problems.append(f"live-out {name}: {va!r} != {vb!r}")
+    return problems
+
+
+def assert_equivalent(
+    reference,
+    candidate,
+    live_out: Iterable[Register] = (),
+    context: str = "",
+) -> None:
+    """Raise ``AssertionError`` with a diff when two runs diverge."""
+    problems = diff_observables(
+        observable_of(reference, live_out), observable_of(candidate, live_out)
+    )
+    if problems:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(prefix + "executions diverge:\n  " + "\n  ".join(problems))

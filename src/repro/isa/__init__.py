@@ -1,0 +1,68 @@
+"""Instruction-set substrate: a MIPS-R2000-like RISC target (paper §5.1).
+
+Public surface:
+
+* :class:`~repro.isa.registers.Register` with helpers :func:`R` / :func:`F`,
+* :class:`~repro.isa.opcodes.Opcode` and the Table 3 latency table,
+* :class:`~repro.isa.instruction.Instruction` plus factory helpers,
+* :class:`~repro.isa.program.Program` / :class:`~repro.isa.program.Block`,
+* :func:`~repro.isa.assembler.assemble` and the printer.
+"""
+
+from .assembler import AssemblerError, assemble
+from .instruction import (
+    Instruction,
+    Operand,
+    alu,
+    branch,
+    check,
+    clrtag,
+    confirm,
+    fload,
+    fstore,
+    halt,
+    jump,
+    load,
+    mov,
+    nop,
+    store,
+)
+from .opcodes import LatClass, Opcode, OpInfo, OP_INFO, PAPER_LATENCIES, latency_of
+from .printer import format_block, format_instruction, format_program
+from .program import Block, Program
+from .registers import F, R, Register, parse_register
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "Instruction",
+    "Operand",
+    "alu",
+    "branch",
+    "check",
+    "clrtag",
+    "confirm",
+    "fload",
+    "fstore",
+    "halt",
+    "jump",
+    "load",
+    "mov",
+    "nop",
+    "store",
+    "LatClass",
+    "Opcode",
+    "OpInfo",
+    "OP_INFO",
+    "PAPER_LATENCIES",
+    "latency_of",
+    "format_block",
+    "format_instruction",
+    "format_program",
+    "Block",
+    "Program",
+    "F",
+    "R",
+    "Register",
+    "parse_register",
+]

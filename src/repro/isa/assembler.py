@@ -1,0 +1,164 @@
+"""A small assembler: program text -> :class:`repro.isa.program.Program`.
+
+The syntax round-trips with :mod:`repro.isa.printer`::
+
+    entry:
+        r1 = mov 100          ; comments run to end of line
+        r2 = add r1, 4
+        r3 = load [r2+0]
+        store [r2+8], r3
+        beq r3, 0, done
+        f1 = fadd f2, f3
+        jump entry
+    done:
+        check r3
+        halt
+
+A ``.s`` mnemonic suffix sets the speculative modifier, so scheduled code can
+be re-assembled for tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instruction import Instruction, Operand
+from .opcodes import MNEMONIC_TO_OPCODE, Opcode
+from .program import Block, Program
+from .registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_MEM_RE = re.compile(r"^\[([rf]\d+)\s*([+-])\s*(\d+)\]$")
+_REG_RE = re.compile(r"^[rf]\d+$")
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)$")
+
+
+class AssemblerError(ValueError):
+    """Malformed assembly input."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+def _parse_operand(text: str, line_no: int, line: str) -> Operand:
+    text = text.strip()
+    if _REG_RE.match(text):
+        return parse_register(text)
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    raise AssemblerError(f"bad operand {text!r}", line_no, line)
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def _parse_mem(text: str, line_no: int, line: str) -> Tuple[Operand, int]:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(f"bad memory operand {text!r}", line_no, line)
+    base = parse_register(match.group(1))
+    offset = int(match.group(3))
+    if match.group(2) == "-":
+        offset = -offset
+    return base, offset
+
+
+def _parse_instruction(text: str, line_no: int, line: str) -> Instruction:
+    dest = None
+    check_dest = None
+    if "=" in text and not text.lstrip().startswith(("beq", "bne", "blt", "bge", "ble", "bgt")):
+        dest_text, _, text = text.partition("=")
+        dest = parse_register(dest_text.strip())
+        text = text.strip()
+
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    spec = False
+    if mnemonic.endswith(".s"):
+        spec = True
+        mnemonic = mnemonic[:-2]
+    op = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if op is None:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, line)
+
+    if op is Opcode.CHECK and "->" in rest:
+        rest, _, dest_text = rest.partition("->")
+        check_dest = parse_register(dest_text.strip())
+        rest = rest.strip()
+
+    info = op.info
+    if op in (Opcode.LOAD, Opcode.FLOAD, Opcode.TLOAD):
+        base, offset = _parse_mem(rest, line_no, line)
+        return Instruction(op, dest=dest, srcs=(base, offset), spec=spec)
+    if op in (Opcode.STORE, Opcode.FSTORE, Opcode.TSTORE):
+        mem_text, _, value_text = rest.partition(",")
+        base, offset = _parse_mem(mem_text, line_no, line)
+        value = _parse_operand(value_text, line_no, line)
+        return Instruction(op, srcs=(base, offset, value), spec=spec)
+    if info.is_cond_branch:
+        ops = _split_operands(rest)
+        if len(ops) != 3:
+            raise AssemblerError("conditional branch needs 2 operands + label", line_no, line)
+        a = _parse_operand(ops[0], line_no, line)
+        b = _parse_operand(ops[1], line_no, line)
+        return Instruction(op, srcs=(a, b), target=ops[2], spec=spec)
+    if op is Opcode.JUMP:
+        return Instruction(op, target=rest.strip(), spec=spec)
+    if op is Opcode.JSR:
+        return Instruction(op, spec=spec)
+    if op is Opcode.CHECK:
+        src = _parse_operand(rest, line_no, line)
+        return Instruction(op, dest=check_dest, srcs=(src,), spec=spec)
+    if op is Opcode.CLRTAG:
+        reg = parse_register(rest.strip()) if rest.strip() else dest
+        if reg is None:
+            raise AssemblerError("clrtag needs a register", line_no, line)
+        return Instruction(op, dest=reg, srcs=(), spec=spec)
+    if op is Opcode.CONFIRM:
+        index = _parse_operand(rest, line_no, line)
+        if not isinstance(index, int):
+            raise AssemblerError("confirm needs an integer index", line_no, line)
+        return Instruction(op, srcs=(index,), spec=spec)
+    if op in (Opcode.HALT, Opcode.NOP, Opcode.IO):
+        if rest.strip():
+            raise AssemblerError(f"{mnemonic} takes no operands", line_no, line)
+        return Instruction(op, spec=spec)
+
+    # Generic ALU / FP form.
+    srcs = tuple(_parse_operand(p, line_no, line) for p in _split_operands(rest))
+    return Instruction(op, dest=dest, srcs=srcs, spec=spec)
+
+
+def assemble(text: str, entry_label: str = "entry") -> Program:
+    """Assemble ``text`` into a :class:`Program`.
+
+    Instructions before the first label land in a block named
+    ``entry_label``.  The resulting program is validated.
+    """
+    blocks: List[Block] = []
+    current: Optional[Block] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            current = Block(label_match.group(1))
+            blocks.append(current)
+            continue
+        if current is None:
+            current = Block(entry_label)
+            blocks.append(current)
+        current.append(_parse_instruction(line, line_no, raw))
+
+    program = Program(blocks)
+    program.validate()
+    return program

@@ -1,0 +1,254 @@
+"""The instruction IR shared by the compiler and the simulators.
+
+An :class:`Instruction` is mutable — the scheduler sets the **speculative
+modifier** (Section 3.2 of the paper: "an additional bit in the opcode field
+... The compiler sets the speculative modifier for all instructions that are
+moved above one or more branches"), renaming rewrites operands, and superblock
+formation clones instructions during tail duplication.
+
+Each instruction has a stable ``uid`` which doubles as its **PC** for
+exception reporting: when a speculative instruction traps, the hardware copies
+"the pc of I ... into the data field of the destination register" (Table 1).
+``origin`` links clones (tail duplicates, renaming splits) back to the source
+instruction so reported PCs can be compared against the reference execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .opcodes import Opcode
+from .registers import Register
+
+#: A source operand: a register or an immediate.
+Operand = Union[Register, int, float]
+
+_FALLBACK_UIDS = itertools.count(10_000_000)
+
+
+class Instruction:
+    """One instruction of the simulated ISA."""
+
+    __slots__ = (
+        "uid",
+        "op",
+        "dest",
+        "srcs",
+        "target",
+        "spec",
+        "home_block",
+        "origin",
+        "sentinel_for",
+        "comment",
+        "mem_region",
+        "boost_branches",
+    )
+
+    def __init__(
+        self,
+        op: Opcode,
+        dest: Optional[Register] = None,
+        srcs: Sequence[Operand] = (),
+        target: Optional[str] = None,
+        uid: Optional[int] = None,
+        spec: bool = False,
+        home_block: Optional[str] = None,
+        origin: Optional[int] = None,
+        sentinel_for: Tuple[int, ...] = (),
+        comment: str = "",
+        mem_region: Optional[str] = None,
+    ) -> None:
+        info = op.info
+        if info.has_dest and dest is None:
+            raise ValueError(f"{op.name} requires a destination register")
+        if not info.has_dest and dest is not None and op not in (Opcode.CHECK, Opcode.CLRTAG):
+            raise ValueError(f"{op.name} does not take a destination register")
+        if info.is_branch and target is None:
+            raise ValueError(f"{op.name} requires a target label")
+        self.uid = uid
+        self.op = op
+        self.dest = dest
+        self.srcs: Tuple[Operand, ...] = tuple(srcs)
+        self.target = target
+        self.spec = spec
+        self.home_block = home_block
+        self.origin = origin
+        self.sentinel_for = sentinel_for
+        self.comment = comment
+        #: Memory-object identity (TBAA-style): two accesses with *different*
+        #: region tags never alias.  A C front end derives this from array
+        #: object identity; the workload generator sets it the same way.
+        self.mem_region = mem_region
+        #: Instruction boosting (Section 2.3): uids of the branches this
+        #: instruction was boosted above.  The shadow hardware commits the
+        #: result when all of them resolve fall-through and squashes it when
+        #: any is taken.  Empty for non-boosted instructions.
+        self.boost_branches: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Structural queries used by the dependence builder and scheduler.
+    # ------------------------------------------------------------------
+
+    @property
+    def info(self):
+        return self.op.info
+
+    def uses(self) -> List[Register]:
+        """Registers read by this instruction (in operand order)."""
+        regs = [s for s in self.srcs if isinstance(s, Register)]
+        if self.op is Opcode.CLRTAG and self.dest is not None:
+            # CLRTAG preserves the data field, so it reads its own register.
+            regs.append(self.dest)
+        return regs
+
+    def defs(self) -> List[Register]:
+        """Registers written by this instruction.
+
+        Writes to the hardwired zero register are still reported here (the
+        dependence builder discards them); CLRTAG "writes" its register
+        because it mutates the exception tag.
+        """
+        if self.dest is not None:
+            return [self.dest]
+        return []
+
+    @property
+    def is_speculable(self) -> bool:
+        """May this instruction ever be moved above a branch?
+
+        Per the Appendix: "branches, subroutine calls, and i/o instructions
+        may not be speculatively executed."  Stores additionally require
+        probationary store-buffer support, which the scheduling model decides.
+        CONFIRM/CHECK are sentinels and must stay in their home block;
+        CLRTAG hoisted above a branch could erase a pending exception, and
+        the tag-preserving spill instructions are pinned spill code.
+        """
+        info = self.info
+        if info.is_control or info.is_irreversible:
+            return False
+        return self.op not in (
+            Opcode.CHECK,
+            Opcode.CONFIRM,
+            Opcode.CLRTAG,
+            Opcode.TLOAD,
+            Opcode.TSTORE,
+        )
+
+    @property
+    def origin_uid(self) -> int:
+        """UID of the original (pre-duplication) instruction."""
+        if self.origin is not None:
+            return self.origin
+        if self.uid is None:
+            raise ValueError("instruction has no uid yet")
+        return self.uid
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    def clone(self, uid: Optional[int] = None) -> "Instruction":
+        """Copy this instruction; the clone records this one as its origin."""
+        if self.origin is not None:
+            origin = self.origin
+        elif self.uid is not None:
+            origin = self.uid
+        else:
+            origin = None
+        return Instruction(
+            self.op,
+            dest=self.dest,
+            srcs=self.srcs,
+            target=self.target,
+            uid=uid,
+            spec=self.spec,
+            home_block=self.home_block,
+            origin=origin,
+            sentinel_for=self.sentinel_for,
+            comment=self.comment,
+            mem_region=self.mem_region,
+        )
+
+    def ensure_uid(self) -> int:
+        """Assign a process-unique fallback uid if none was given."""
+        if self.uid is None:
+            self.uid = next(_FALLBACK_UIDS)
+        return self.uid
+
+    def __repr__(self) -> str:
+        from .printer import format_instruction
+
+        return f"<I{self.uid if self.uid is not None else '?'} {format_instruction(self)}>"
+
+
+# ----------------------------------------------------------------------
+# Factory helpers (used heavily by tests and the workload generator).
+# ----------------------------------------------------------------------
+
+
+def alu(op: Opcode, dest: Register, a: Operand, b: Operand) -> Instruction:
+    return Instruction(op, dest=dest, srcs=(a, b))
+
+
+def mov(dest: Register, src: Operand) -> Instruction:
+    return Instruction(Opcode.MOV, dest=dest, srcs=(src,))
+
+
+def load(
+    dest: Register, base: Register, offset: int = 0, region: Optional[str] = None
+) -> Instruction:
+    return Instruction(Opcode.LOAD, dest=dest, srcs=(base, offset), mem_region=region)
+
+
+def store(
+    base: Register, offset: int, value: Operand, region: Optional[str] = None
+) -> Instruction:
+    return Instruction(Opcode.STORE, srcs=(base, offset, value), mem_region=region)
+
+
+def fload(
+    dest: Register, base: Register, offset: int = 0, region: Optional[str] = None
+) -> Instruction:
+    return Instruction(Opcode.FLOAD, dest=dest, srcs=(base, offset), mem_region=region)
+
+
+def fstore(
+    base: Register, offset: int, value: Operand, region: Optional[str] = None
+) -> Instruction:
+    return Instruction(Opcode.FSTORE, srcs=(base, offset, value), mem_region=region)
+
+
+def branch(op: Opcode, a: Operand, b: Operand, target: str) -> Instruction:
+    return Instruction(op, srcs=(a, b), target=target)
+
+
+def jump(target: str) -> Instruction:
+    return Instruction(Opcode.JUMP, target=target)
+
+
+def check(reg: Register, dest: Optional[Register] = None) -> Instruction:
+    """The ``check_exception(reg)`` sentinel (Section 3.2)."""
+    return Instruction(Opcode.CHECK, dest=dest, srcs=(reg,))
+
+
+def confirm(index: int) -> Instruction:
+    """The ``confirm_store(index)`` sentinel (Section 4.1)."""
+    return Instruction(Opcode.CONFIRM, srcs=(index,))
+
+
+def clrtag(reg: Register) -> Instruction:
+    """Reset a register's exception tag (Section 3.5)."""
+    return Instruction(Opcode.CLRTAG, dest=reg, srcs=())
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.HALT)
+
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def instructions_use_register(instrs: Iterable[Instruction], reg: Register) -> bool:
+    return any(reg in i.uses() for i in instrs)

@@ -1,0 +1,260 @@
+"""Opcode definitions and static opcode properties.
+
+The instruction set follows the paper's evaluation target: a RISC assembly
+language similar to the MIPS R2000 (Section 5.1).  Each opcode carries:
+
+* a **latency class** matching Table 3 of the paper,
+* a **trap class** — the paper's base processor "is assumed to trap on
+  exceptions for memory load, memory store, integer divide, and all floating
+  point instructions" (Section 5.1),
+* structural properties used by the dependence builder and scheduler
+  (branch/jump/store/load/call, whether a destination is written, ...).
+
+Architectural extensions from the paper are first-class opcodes:
+
+* ``CHECK`` — the ``check_exception(reg)`` sentinel instruction (Section 3.2).
+  It has move semantics and never traps by itself; a set exception tag on its
+  source signals the deferred exception.
+* ``CONFIRM`` — ``confirm_store(index)`` for speculative stores (Section 4.1).
+* ``CLRTAG`` — resets a register's exception tag; inserted by the compiler for
+  uninitialized live-in registers (Section 3.5).
+* ``TLOAD``/``TSTORE`` — the special load/store instructions that
+  save/restore a register's data *and* exception tag without signalling
+  (Section 3.2, third extension), used for spill/context-switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class LatClass(enum.Enum):
+    """Latency classes, one per row of Table 3."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+    FP_ALU = "fp_alu"
+    FP_CVT = "fp_cvt"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    SPECIAL = "special"
+
+
+#: Deterministic instruction latencies from Table 3 of the paper.
+PAPER_LATENCIES: Dict[LatClass, int] = {
+    LatClass.INT_ALU: 1,
+    LatClass.INT_MUL: 3,
+    LatClass.INT_DIV: 10,
+    LatClass.BRANCH: 1,
+    LatClass.LOAD: 2,
+    LatClass.STORE: 1,
+    LatClass.FP_ALU: 3,
+    LatClass.FP_CVT: 3,
+    LatClass.FP_MUL: 3,
+    LatClass.FP_DIV: 10,
+    LatClass.SPECIAL: 1,
+}
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    lat_class: LatClass
+    #: May this opcode raise an exception at run time?  (Paper Section 5.1:
+    #: loads, stores, integer divide, and all FP instructions trap.)
+    can_trap: bool = False
+    #: Conditional branch (has a fall-through path and a taken target).
+    is_cond_branch: bool = False
+    #: Unconditional control transfer.
+    is_jump: bool = False
+    is_call: bool = False
+    is_return: bool = False
+    is_halt: bool = False
+    reads_mem: bool = False
+    writes_mem: bool = False
+    #: Writes an architectural destination register.
+    has_dest: bool = False
+    #: Destination lives in the FP file.
+    fp_dest: bool = False
+    #: I/O or synchronization side effect: breaks restartable sequences
+    #: (Section 3.7 "irreversible instructions").  Calls are irreversible too.
+    is_io: bool = False
+
+    @property
+    def is_branch(self) -> bool:
+        """Any control transfer with a target (conditional or jump)."""
+        return self.is_cond_branch or self.is_jump
+
+    @property
+    def is_control(self) -> bool:
+        """Any instruction that redirects or terminates control flow."""
+        return self.is_cond_branch or self.is_jump or self.is_return or self.is_halt
+
+    @property
+    def is_store(self) -> bool:
+        return self.writes_mem
+
+    @property
+    def is_load(self) -> bool:
+        return self.reads_mem and not self.writes_mem
+
+    @property
+    def is_irreversible(self) -> bool:
+        """Irreversible per Section 3.7: I/O, subroutine call, synchronization.
+
+        Memory stores are *not* irreversible under the paper's weak-ordering
+        assumption.
+        """
+        return self.is_io or self.is_call
+
+
+class Opcode(enum.Enum):
+    """Every opcode of the simulated instruction set."""
+
+    # Integer ALU (latency 1, never traps).
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    MOV = "mov"
+
+    # Integer multiply / divide.
+    MUL = "mul"
+    DIV = "div"  # traps on divide-by-zero
+    REM = "rem"  # traps on divide-by-zero
+
+    # Conditional branches (reg/imm comparison against reg/imm, label target).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+
+    # Unconditional control flow.
+    JUMP = "jump"
+    JSR = "jsr"  # opaque subroutine call: irreversible, never speculated
+    HALT = "halt"
+
+    # Memory (integer and FP data).
+    LOAD = "load"  # traps: access violation / page fault
+    STORE = "store"  # traps: access violation / page fault
+    FLOAD = "fload"
+    FSTORE = "fstore"
+    # Tag-preserving spill/restore (Section 3.2): move data+tag, never signal.
+    TLOAD = "tload"
+    TSTORE = "tstore"
+
+    # Floating point (all FP instructions may trap, Section 5.1).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    FCVT_IF = "cvtif"  # int -> fp
+    FCVT_FI = "cvtfi"  # fp -> int (traps on overflow / NaN)
+    FCLT = "fclt"  # fp compare, integer 0/1 result
+    FCLE = "fcle"
+    FCEQ = "fceq"
+
+    # Architectural extensions for sentinel scheduling.
+    CHECK = "check"  # check_exception(reg)
+    CONFIRM = "confirm"  # confirm_store(index)
+    CLRTAG = "clrtag"  # reset exception tag (Section 3.5)
+
+    # Misc.
+    NOP = "nop"
+    IO = "io"  # irreversible I/O marker (recovery tests)
+
+    @property
+    def info(self) -> OpInfo:
+        return OP_INFO[self]
+
+
+def _alu(mn: str) -> OpInfo:
+    return OpInfo(mn, LatClass.INT_ALU, has_dest=True)
+
+
+def _fp(mn: str, cls: LatClass = LatClass.FP_ALU, fp_dest: bool = True) -> OpInfo:
+    return OpInfo(mn, cls, can_trap=True, has_dest=True, fp_dest=fp_dest)
+
+
+def _br(mn: str) -> OpInfo:
+    return OpInfo(mn, LatClass.BRANCH, is_cond_branch=True)
+
+
+OP_INFO: Dict[Opcode, OpInfo] = {
+    Opcode.ADD: _alu("add"),
+    Opcode.SUB: _alu("sub"),
+    Opcode.AND: _alu("and"),
+    Opcode.OR: _alu("or"),
+    Opcode.XOR: _alu("xor"),
+    Opcode.NOR: _alu("nor"),
+    Opcode.SLL: _alu("sll"),
+    Opcode.SRL: _alu("srl"),
+    Opcode.SRA: _alu("sra"),
+    Opcode.SLT: _alu("slt"),
+    Opcode.SLTU: _alu("sltu"),
+    Opcode.MOV: _alu("mov"),
+    Opcode.MUL: OpInfo("mul", LatClass.INT_MUL, has_dest=True),
+    Opcode.DIV: OpInfo("div", LatClass.INT_DIV, can_trap=True, has_dest=True),
+    Opcode.REM: OpInfo("rem", LatClass.INT_DIV, can_trap=True, has_dest=True),
+    Opcode.BEQ: _br("beq"),
+    Opcode.BNE: _br("bne"),
+    Opcode.BLT: _br("blt"),
+    Opcode.BGE: _br("bge"),
+    Opcode.BLE: _br("ble"),
+    Opcode.BGT: _br("bgt"),
+    Opcode.JUMP: OpInfo("jump", LatClass.BRANCH, is_jump=True),
+    Opcode.JSR: OpInfo("jsr", LatClass.BRANCH, is_call=True),
+    Opcode.HALT: OpInfo("halt", LatClass.BRANCH, is_halt=True),
+    Opcode.LOAD: OpInfo("load", LatClass.LOAD, can_trap=True, reads_mem=True, has_dest=True),
+    Opcode.STORE: OpInfo("store", LatClass.STORE, can_trap=True, writes_mem=True),
+    Opcode.FLOAD: OpInfo(
+        "fload", LatClass.LOAD, can_trap=True, reads_mem=True, has_dest=True, fp_dest=True
+    ),
+    Opcode.FSTORE: OpInfo("fstore", LatClass.STORE, can_trap=True, writes_mem=True),
+    Opcode.TLOAD: OpInfo("tload", LatClass.LOAD, reads_mem=True, has_dest=True),
+    Opcode.TSTORE: OpInfo("tstore", LatClass.STORE, writes_mem=True),
+    Opcode.FADD: _fp("fadd"),
+    Opcode.FSUB: _fp("fsub"),
+    Opcode.FMUL: _fp("fmul", LatClass.FP_MUL),
+    Opcode.FDIV: _fp("fdiv", LatClass.FP_DIV),
+    # Register-to-register moves raise no exceptions on any real FPU; we
+    # exempt them from the paper's "all FP instructions trap" class so the
+    # renaming transformation's move half is hoistable under every model.
+    Opcode.FMOV: OpInfo("fmov", LatClass.FP_ALU, has_dest=True, fp_dest=True),
+    Opcode.FCVT_IF: _fp("cvtif", LatClass.FP_CVT),
+    Opcode.FCVT_FI: _fp("cvtfi", LatClass.FP_CVT, fp_dest=False),
+    Opcode.FCLT: _fp("fclt", LatClass.FP_ALU, fp_dest=False),
+    Opcode.FCLE: _fp("fcle", LatClass.FP_ALU, fp_dest=False),
+    Opcode.FCEQ: _fp("fceq", LatClass.FP_ALU, fp_dest=False),
+    Opcode.CHECK: OpInfo("check", LatClass.SPECIAL),
+    Opcode.CONFIRM: OpInfo("confirm", LatClass.SPECIAL),
+    Opcode.CLRTAG: OpInfo("clrtag", LatClass.SPECIAL),
+    Opcode.NOP: OpInfo("nop", LatClass.SPECIAL),
+    Opcode.IO: OpInfo("io", LatClass.SPECIAL, is_io=True),
+}
+
+#: Mnemonic -> opcode, for the assembler.
+MNEMONIC_TO_OPCODE: Dict[str, Opcode] = {info.mnemonic: op for op, info in OP_INFO.items()}
+
+
+def latency_of(op: Opcode, latencies: Dict[LatClass, int] = PAPER_LATENCIES) -> int:
+    """Deterministic latency of ``op`` under a latency table (default Table 3)."""
+    return latencies[op.info.lat_class]

@@ -1,0 +1,80 @@
+"""Textual rendering of instructions, blocks and programs.
+
+The format round-trips through :mod:`repro.isa.assembler`.  Speculative
+instructions (speculative modifier set, Section 3.2) print with a ``.s``
+suffix on the mnemonic, e.g. ``r1 = load.s [r2+0]``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instruction import Instruction, Operand
+from .opcodes import Opcode
+from .program import Block, Program
+from .registers import Register
+
+
+def format_operand(operand: Operand) -> str:
+    if isinstance(operand, Register):
+        return operand.name
+    if isinstance(operand, float):
+        text = repr(operand)
+        return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+    return str(operand)
+
+
+def _mem_operand(base: Operand, offset: Operand) -> str:
+    off = offset if isinstance(offset, int) else 0
+    sign = "+" if off >= 0 else "-"
+    return f"[{format_operand(base)}{sign}{abs(off)}]"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (without label or uid)."""
+    mnemonic = instr.op.info.mnemonic + (".s" if instr.spec else "")
+    op = instr.op
+    if op in (Opcode.LOAD, Opcode.FLOAD, Opcode.TLOAD):
+        base, offset = instr.srcs
+        return f"{instr.dest.name} = {mnemonic} {_mem_operand(base, offset)}"
+    if op in (Opcode.STORE, Opcode.FSTORE, Opcode.TSTORE):
+        base, offset, value = instr.srcs
+        return f"{mnemonic} {_mem_operand(base, offset)}, {format_operand(value)}"
+    if op.info.is_cond_branch:
+        a, b = instr.srcs
+        return f"{mnemonic} {format_operand(a)}, {format_operand(b)}, {instr.target}"
+    if op in (Opcode.JUMP,):
+        return f"{mnemonic} {instr.target}"
+    if op is Opcode.JSR:
+        return mnemonic + (f" {instr.target}" if instr.target else "")
+    if op is Opcode.CHECK:
+        text = f"{mnemonic} {format_operand(instr.srcs[0])}"
+        if instr.dest is not None:
+            text += f" -> {instr.dest.name}"
+        return text
+    if op is Opcode.CLRTAG:
+        return f"{mnemonic} {instr.dest.name}"
+    if op is Opcode.CONFIRM:
+        return f"{mnemonic} {format_operand(instr.srcs[0])}"
+    if op in (Opcode.HALT, Opcode.NOP, Opcode.IO):
+        return mnemonic
+    # Generic ALU / FP form: dest = op src1, src2, ...
+    operands = ", ".join(format_operand(s) for s in instr.srcs)
+    if instr.dest is not None:
+        return f"{instr.dest.name} = {mnemonic} {operands}".rstrip()
+    return f"{mnemonic} {operands}".rstrip()
+
+
+def format_block(block: Block, show_uids: bool = False) -> str:
+    lines: List[str] = [f"{block.label}:"]
+    for instr in block.instrs:
+        prefix = f"  {{{instr.uid}}} " if show_uids else "  "
+        text = prefix + format_instruction(instr)
+        if instr.comment:
+            text += f"  ; {instr.comment}"
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def format_program(program: Program, show_uids: bool = False) -> str:
+    return "\n".join(format_block(blk, show_uids=show_uids) for blk in program.blocks)

@@ -1,0 +1,182 @@
+"""Program container: labeled blocks of instructions.
+
+A :class:`Program` is an ordered list of labeled :class:`Block`\\ s.  Control
+enters at the first block and **falls through** from the end of each block to
+the next one in program order, unless the last instruction is an unconditional
+jump or a halt.  Conditional branches may appear *anywhere* inside a block:
+in basic-block form they only appear last, while superblocks (Section 2.1 of
+the paper: "a block of instructions in which control may only enter from the
+top but may leave at one or more exit points") carry them mid-block as side
+exits.  The same container therefore serves both compiler phases.
+
+Instruction ``uid``\\ s are assigned by the program and act as PCs for
+exception reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+
+class Block:
+    """A labeled instruction sequence (basic block or superblock)."""
+
+    __slots__ = ("label", "instrs")
+
+    def __init__(self, label: str, instrs: Optional[List[Instruction]] = None) -> None:
+        self.label = label
+        self.instrs: List[Instruction] = list(instrs) if instrs else []
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def last(self) -> Optional[Instruction]:
+        return self.instrs[-1] if self.instrs else None
+
+    @property
+    def falls_through(self) -> bool:
+        """Does control reach the end of this block and continue to the next?"""
+        last = self.last
+        if last is None:
+            return True
+        return not (last.info.is_jump or last.info.is_halt or last.info.is_return)
+
+    def branch_instructions(self) -> List[Instruction]:
+        """All conditional branches in the block, in order (side exits)."""
+        return [i for i in self.instrs if i.info.is_cond_branch]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<Block {self.label}: {len(self.instrs)} instrs>"
+
+
+class Program:
+    """An ordered collection of blocks forming one procedure."""
+
+    def __init__(self, blocks: Optional[List[Block]] = None) -> None:
+        self.blocks: List[Block] = list(blocks) if blocks else []
+        self._next_uid = 0
+        self.renumber()
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            raise ValueError("empty program")
+        return self.blocks[0]
+
+    def block(self, label: str) -> Block:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"no block labeled {label!r}")
+
+    def block_map(self) -> Dict[str, Block]:
+        return {blk.label: blk for blk in self.blocks}
+
+    def add_block(self, label: str) -> Block:
+        if any(b.label == label for b in self.blocks):
+            raise ValueError(f"duplicate block label {label!r}")
+        blk = Block(label)
+        self.blocks.append(blk)
+        return blk
+
+    def instructions(self) -> Iterator[Instruction]:
+        for blk in self.blocks:
+            yield from blk.instrs
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def find(self, uid: int) -> Tuple[Block, int, Instruction]:
+        """Locate an instruction by uid: (block, index-in-block, instruction)."""
+        for blk in self.blocks:
+            for idx, instr in enumerate(blk.instrs):
+                if instr.uid == uid:
+                    return blk, idx, instr
+        raise KeyError(f"no instruction with uid {uid}")
+
+    # ------------------------------------------------------------------
+    # UID management.
+    # ------------------------------------------------------------------
+
+    def renumber(self) -> None:
+        """Assign sequential uids in program order; record home blocks.
+
+        ``origin`` links are preserved so exception reports from transformed
+        programs can still be mapped back to original instructions.
+        """
+        uid = 0
+        for blk in self.blocks:
+            for instr in blk.instrs:
+                if instr.uid is not None and instr.origin is None:
+                    instr.origin = instr.uid
+                instr.uid = uid
+                if instr.home_block is None:
+                    instr.home_block = blk.label
+                uid += 1
+        self._next_uid = uid
+
+    def new_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def adopt(self, instr: Instruction, home_block: Optional[str] = None) -> Instruction:
+        """Give a fresh uid to a newly created instruction."""
+        instr.uid = self.new_uid()
+        if home_block is not None:
+            instr.home_block = home_block
+        return instr
+
+    # ------------------------------------------------------------------
+    # Validation.
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        labels = set()
+        for blk in self.blocks:
+            if blk.label in labels:
+                raise ValueError(f"duplicate block label {blk.label!r}")
+            labels.add(blk.label)
+        seen_uids = set()
+        for blk in self.blocks:
+            for instr in blk.instrs:
+                if instr.uid is None:
+                    raise ValueError(f"instruction without uid in {blk.label}: {instr!r}")
+                if instr.uid in seen_uids:
+                    raise ValueError(f"duplicate uid {instr.uid}")
+                seen_uids.add(instr.uid)
+                if instr.info.is_branch and instr.target not in labels:
+                    raise ValueError(
+                        f"branch in {blk.label} targets unknown label {instr.target!r}"
+                    )
+        if self.blocks and self.blocks[-1].falls_through:
+            last = self.blocks[-1]
+            if not last.instrs or last.instrs[-1].op is not Opcode.HALT:
+                raise ValueError("control falls off the end of the program")
+
+    def is_basic_block_form(self) -> bool:
+        """True when conditional branches appear only as block terminators."""
+        for blk in self.blocks:
+            for instr in blk.instrs[:-1]:
+                if instr.info.is_cond_branch:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Program: {len(self.blocks)} blocks, {self.instruction_count()} instrs>"

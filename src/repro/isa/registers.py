@@ -1,0 +1,103 @@
+"""Register model for the simulated RISC target.
+
+The paper's evaluation machine is "a RISC assembly language similar to the
+MIPS R2000 instruction set" with 64 integer and 64 floating-point registers
+(Section 5.1).  Integer register ``r0`` is hardwired to zero, which the paper
+relies on for the ``check_exception`` sentinel ("The destination register of
+the move is either set to the same as the source register or to a register
+hardwired to 0, such as R0 in the MIPS R2000", Section 3.2).
+
+Registers are interned: ``Register("r", 5)`` always returns the same object,
+so identity comparison and hashing are cheap throughout the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+INT_REG_COUNT = 64
+FP_REG_COUNT = 64
+
+INT = "r"
+FP = "f"
+
+
+class Register:
+    """A single architectural register (integer ``r``-file or FP ``f``-file)."""
+
+    __slots__ = ("kind", "index")
+
+    _interned: Dict[Tuple[str, int], "Register"] = {}
+
+    def __new__(cls, kind: str, index: int) -> "Register":
+        key = (kind, index)
+        reg = cls._interned.get(key)
+        if reg is None:
+            if kind not in (INT, FP):
+                raise ValueError(f"unknown register kind {kind!r}")
+            limit = INT_REG_COUNT if kind == INT else FP_REG_COUNT
+            if not 0 <= index < limit:
+                raise ValueError(f"register index {index} out of range for {kind!r}")
+            reg = object.__new__(cls)
+            object.__setattr__(reg, "kind", kind)
+            object.__setattr__(reg, "index", index)
+            cls._interned[key] = reg
+        return reg
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Register instances are immutable")
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == INT
+
+    @property
+    def is_fp(self) -> bool:
+        return self.kind == FP
+
+    @property
+    def is_zero(self) -> bool:
+        """True for ``r0``, the register hardwired to zero."""
+        return self.kind == INT and self.index == 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (Register, (self.kind, self.index))
+
+
+def R(index: int) -> Register:
+    """Integer register ``r<index>``."""
+    return Register(INT, index)
+
+
+def F(index: int) -> Register:
+    """Floating-point register ``f<index>``."""
+    return Register(FP, index)
+
+
+def parse_register(text: str) -> Register:
+    """Parse ``"r12"`` or ``"f3"`` into a :class:`Register`.
+
+    Raises ``ValueError`` on malformed names.
+    """
+    text = text.strip()
+    if len(text) < 2 or text[0] not in (INT, FP):
+        raise ValueError(f"bad register name {text!r}")
+    try:
+        index = int(text[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name {text!r}") from exc
+    return Register(text[0], index)
+
+
+def all_registers() -> Tuple[Register, ...]:
+    """Every architectural register, integer file first."""
+    ints = tuple(R(i) for i in range(INT_REG_COUNT))
+    fps = tuple(F(i) for i in range(FP_REG_COUNT))
+    return ints + fps

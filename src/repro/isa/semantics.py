@@ -1,0 +1,158 @@
+"""Functional semantics of every opcode, shared by both executors.
+
+The sequential reference interpreter (:mod:`repro.interp`) and the
+cycle-level VLIW processor model (:mod:`repro.arch.processor`) evaluate
+instructions through this module, so the two can never diverge on *what* an
+instruction computes — they only differ in *when* instructions execute and in
+how exceptions are detected and reported.
+
+Integer arithmetic wraps to signed 64-bit.  Trap conditions implement the
+paper's trap classes (Section 5.1): integer divide traps on a zero divisor,
+and floating-point instructions trap on division by zero, overflow to
+infinity, and invalid (NaN) operands/results.  Loads and stores trap through
+:class:`repro.arch.memory.Memory`, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+from ..arch.exceptions import Trap, TrapKind
+from .opcodes import Opcode
+
+Value = Union[int, float]
+
+#: The "garbage value" written by a silent (general-percolation) instruction
+#: that traps (Section 2.4: "the memory system or function unit simply
+#: ignores the exception and writes a garbage value into the destination
+#: register").  Deterministic so tests can detect silent corruption.
+GARBAGE_INT = 0xDEADBEEF
+GARBAGE_FP = float("nan")
+
+_U64 = 1 << 64
+_S63 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's-complement."""
+    return (int(value) + _S63) % _U64 - _S63
+
+
+def _to_unsigned(value: int) -> int:
+    return int(value) % _U64
+
+
+def garbage_for(op: Opcode) -> Value:
+    """The garbage value a silent version of ``op`` writes on a trap."""
+    return GARBAGE_FP if op.info.fp_dest else GARBAGE_INT
+
+
+def _fp_binary(op: Opcode, a: float, b: float) -> Tuple[float, Optional[Trap]]:
+    if math.isnan(a) or math.isnan(b):
+        return GARBAGE_FP, Trap(TrapKind.FP_INVALID, detail="NaN operand")
+    if op is Opcode.FDIV and b == 0.0:
+        return GARBAGE_FP, Trap(TrapKind.FP_DIV_ZERO)
+    if op is Opcode.FADD:
+        result = a + b
+    elif op is Opcode.FSUB:
+        result = a - b
+    elif op is Opcode.FMUL:
+        result = a * b
+    elif op is Opcode.FDIV:
+        result = a / b
+    else:
+        raise ValueError(f"not an FP binary op: {op}")
+    if math.isinf(result) and not (math.isinf(a) or math.isinf(b)):
+        return GARBAGE_FP, Trap(TrapKind.FP_OVERFLOW)
+    if math.isnan(result):
+        return GARBAGE_FP, Trap(TrapKind.FP_INVALID, detail="invalid result")
+    return result, None
+
+
+def evaluate(op: Opcode, vals: Sequence[Value]) -> Tuple[Optional[Value], Optional[Trap]]:
+    """Evaluate a non-memory, non-control opcode on operand values.
+
+    Returns ``(result, trap)``.  When ``trap`` is not None, ``result`` is the
+    garbage value a silent execution would write.
+    """
+    if op is Opcode.ADD:
+        return wrap64(int(vals[0]) + int(vals[1])), None
+    if op is Opcode.SUB:
+        return wrap64(int(vals[0]) - int(vals[1])), None
+    if op is Opcode.AND:
+        return wrap64(int(vals[0]) & int(vals[1])), None
+    if op is Opcode.OR:
+        return wrap64(int(vals[0]) | int(vals[1])), None
+    if op is Opcode.XOR:
+        return wrap64(int(vals[0]) ^ int(vals[1])), None
+    if op is Opcode.NOR:
+        return wrap64(~(int(vals[0]) | int(vals[1]))), None
+    if op is Opcode.SLL:
+        return wrap64(int(vals[0]) << (int(vals[1]) & 63)), None
+    if op is Opcode.SRL:
+        return wrap64(_to_unsigned(int(vals[0])) >> (int(vals[1]) & 63)), None
+    if op is Opcode.SRA:
+        return wrap64(int(vals[0]) >> (int(vals[1]) & 63)), None
+    if op is Opcode.SLT:
+        return int(int(vals[0]) < int(vals[1])), None
+    if op is Opcode.SLTU:
+        return int(_to_unsigned(int(vals[0])) < _to_unsigned(int(vals[1]))), None
+    if op is Opcode.MOV:
+        return wrap64(int(vals[0])), None
+    if op is Opcode.MUL:
+        return wrap64(int(vals[0]) * int(vals[1])), None
+    if op in (Opcode.DIV, Opcode.REM):
+        a, b = int(vals[0]), int(vals[1])
+        if b == 0:
+            return GARBAGE_INT, Trap(TrapKind.DIV_ZERO)
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        if op is Opcode.DIV:
+            return wrap64(quotient), None
+        return wrap64(a - b * quotient), None
+
+    if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+        return _fp_binary(op, float(vals[0]), float(vals[1]))
+    if op is Opcode.FMOV:
+        # FP moves never trap in practice (they are still scheduled as
+        # trap-capable FP instructions).
+        return float(vals[0]), None
+    if op is Opcode.FCVT_IF:
+        return float(int(vals[0])), None
+    if op is Opcode.FCVT_FI:
+        value = float(vals[0])
+        if math.isnan(value):
+            return GARBAGE_INT, Trap(TrapKind.FP_INVALID, detail="NaN to int")
+        if abs(value) >= float(_S63):
+            return GARBAGE_INT, Trap(TrapKind.FP_OVERFLOW, detail="convert overflow")
+        return int(value), None
+    if op in (Opcode.FCLT, Opcode.FCLE, Opcode.FCEQ):
+        a, b = float(vals[0]), float(vals[1])
+        if math.isnan(a) or math.isnan(b):
+            return GARBAGE_INT, Trap(TrapKind.FP_INVALID, detail="NaN compare")
+        if op is Opcode.FCLT:
+            return int(a < b), None
+        if op is Opcode.FCLE:
+            return int(a <= b), None
+        return int(a == b), None
+
+    raise ValueError(f"evaluate() does not handle {op}")
+
+
+def branch_taken(op: Opcode, a: Value, b: Value) -> bool:
+    """Decide a conditional branch.  Branches never trap."""
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLT:
+        return a < b
+    if op is Opcode.BGE:
+        return a >= b
+    if op is Opcode.BLE:
+        return a <= b
+    if op is Opcode.BGT:
+        return a > b
+    raise ValueError(f"not a conditional branch: {op}")

@@ -1,0 +1,17 @@
+"""Machine model: issue width, Table 3 latencies, store buffer size."""
+
+from .description import (
+    BASE_MACHINE,
+    MachineDescription,
+    PAPER_ISSUE_RATES,
+    paper_machine,
+)
+from .resources import CycleResources
+
+__all__ = [
+    "BASE_MACHINE",
+    "MachineDescription",
+    "PAPER_ISSUE_RATES",
+    "paper_machine",
+    "CycleResources",
+]

@@ -1,0 +1,72 @@
+"""Machine descriptions for the simulated VLIW/superscalar processors.
+
+Section 5.1: "The instruction scheduler takes as an input a machine
+description file that characterizes the instruction set, the
+microarchitecture (including the number of instructions that can be
+fetched/issued in a cycle and the instruction latencies), and the code
+scheduling model.  The underlying microarchitecture is assumed to have
+CRAY-1 style interlocking and deterministic instruction latencies
+(Table 3) ... The basic processor has 64 integer registers, 64 floating
+point registers, and an 8 entry store buffer."
+
+Section 5.2: "No limitation has been placed on the combination of
+instructions that can be issued in the same cycle" — so the only hard
+resource is the issue width; optional per-class limits exist for ablation
+studies and default to unlimited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Static description of one processor configuration."""
+
+    name: str
+    #: Maximum instructions fetched/issued per cycle (paper: 1, 2, 4, 8).
+    issue_width: int
+    #: Deterministic latencies per class (paper Table 3 by default).
+    latencies: Dict[LatClass, int] = field(default_factory=lambda: dict(PAPER_LATENCIES))
+    #: Store buffer entries between CPU and data cache (paper: 8).
+    store_buffer_size: int = 8
+    #: Optional per-cycle limits (None = unlimited, the paper's setting).
+    branches_per_cycle: Optional[int] = None
+    memory_ops_per_cycle: Optional[int] = None
+    #: Depth of the PC History Queue used to report exceptions of
+    #: non-uniform-latency units (Section 3.2).
+    pc_history_depth: int = 32
+
+    def latency(self, op: Opcode) -> int:
+        return latency_of(op, self.latencies)
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        if self.store_buffer_size < 1:
+            raise ValueError("store buffer needs at least one entry")
+        missing = [cls for cls in LatClass if cls not in self.latencies]
+        if missing:
+            raise ValueError(f"latency table missing classes: {missing}")
+
+
+def paper_machine(issue_width: int, store_buffer_size: int = 8) -> MachineDescription:
+    """The paper's evaluation machine at a given issue rate (Section 5.1)."""
+    return MachineDescription(
+        name=f"paper-issue{issue_width}",
+        issue_width=issue_width,
+        store_buffer_size=store_buffer_size,
+    )
+
+
+#: The base machine of all speedup calculations: "The base machine ... has an
+#: issue rate of 1 and supports the restricted percolation scheduling model"
+#: (Section 5.2).
+BASE_MACHINE = paper_machine(1)
+
+#: The issue rates evaluated in Figures 4 and 5.
+PAPER_ISSUE_RATES = (2, 4, 8)

@@ -1,0 +1,41 @@
+"""Per-cycle issue-resource bookkeeping for the list scheduler."""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from .description import MachineDescription
+
+
+class CycleResources:
+    """Tracks what has been issued into the current cycle's word."""
+
+    def __init__(self, machine: MachineDescription) -> None:
+        self.machine = machine
+        self.slots_used = 0
+        self.branches = 0
+        self.memory_ops = 0
+
+    def can_issue(self, instr: Instruction) -> bool:
+        machine = self.machine
+        if self.slots_used >= machine.issue_width:
+            return False
+        info = instr.info
+        if info.is_control and machine.branches_per_cycle is not None:
+            if self.branches >= machine.branches_per_cycle:
+                return False
+        if (info.reads_mem or info.writes_mem) and machine.memory_ops_per_cycle is not None:
+            if self.memory_ops >= machine.memory_ops_per_cycle:
+                return False
+        return True
+
+    def commit(self, instr: Instruction) -> None:
+        self.slots_used += 1
+        info = instr.info
+        if info.is_control:
+            self.branches += 1
+        if info.reads_mem or info.writes_mem:
+            self.memory_ops += 1
+
+    @property
+    def full(self) -> bool:
+        return self.slots_used >= self.machine.issue_width

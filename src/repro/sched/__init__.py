@@ -1,0 +1,42 @@
+"""Scheduler framework: list scheduling, models, whole-program pipeline."""
+
+from ..deps.reduction import (
+    GENERAL,
+    POLICIES,
+    RESTRICTED,
+    SENTINEL,
+    SENTINEL_STORE,
+    COLWELL,
+    SpeculationPolicy,
+    boosting_policy,
+)
+from .compiler import CompilationResult, CompilerStats, compile_program
+from .list_scheduler import (
+    BlockScheduleResult,
+    BlockScheduleStats,
+    ListScheduler,
+    SchedulingError,
+    schedule_block,
+)
+from .schedule import ScheduledBlock, ScheduledProgram
+
+__all__ = [
+    "GENERAL",
+    "POLICIES",
+    "RESTRICTED",
+    "SENTINEL",
+    "SENTINEL_STORE",
+    "COLWELL",
+    "SpeculationPolicy",
+    "boosting_policy",
+    "CompilationResult",
+    "CompilerStats",
+    "compile_program",
+    "BlockScheduleResult",
+    "BlockScheduleStats",
+    "ListScheduler",
+    "SchedulingError",
+    "schedule_block",
+    "ScheduledBlock",
+    "ScheduledProgram",
+]

@@ -1,0 +1,155 @@
+"""The whole-program compilation pipeline.
+
+Mirrors the paper's IMPACT-I flow (Section 5.1): profile the program,
+form superblocks from the profile, then list-schedule each superblock
+under a scheduling model and machine description.  Sentinel-specific
+passes (uninitialized-tag clearing, recovery renaming) run between
+formation and scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cfg.liveness import Liveness
+from ..cfg.profile import ProfileData
+from ..cfg.superblock import FormationResult, form_superblocks
+from ..cfg.unroll import unroll_superblock_loops
+from ..core.uninit import insert_uninit_tag_clears
+from ..deps.reduction import SpeculationPolicy
+from ..isa.program import Program
+from ..machine.description import MachineDescription
+from .list_scheduler import BlockScheduleResult, schedule_block
+from .renaming import rename_registers, split_live_out_defs
+from .schedule import ScheduledBlock, ScheduledProgram
+
+
+@dataclass
+class CompilerStats:
+    """Aggregated scheduling statistics for one compilation."""
+
+    blocks: int = 0
+    instructions: int = 0
+    speculative: int = 0
+    checks_inserted: int = 0
+    confirms_inserted: int = 0
+    schedule_words: int = 0
+    recovery_renamed: int = 0
+    uninit_clears: int = 0
+    registers_renamed: int = 0
+    defs_split: int = 0
+
+
+@dataclass
+class CompilationResult:
+    scheduled: ScheduledProgram
+    #: The superblock-form program the schedule came from (owns all uids).
+    superblock_program: Program
+    formation: FormationResult
+    block_results: Dict[str, BlockScheduleResult] = field(default_factory=dict)
+    stats: CompilerStats = field(default_factory=CompilerStats)
+
+
+def compile_program(
+    basic_blocks: Program,
+    profile: ProfileData,
+    machine: MachineDescription,
+    policy: SpeculationPolicy,
+    recovery: bool = False,
+    clear_uninit_tags: bool = True,
+    form_superblocks_pass: bool = True,
+    superblock_min_ratio: float = 0.6,
+    superblock_max_instructions: int = 256,
+    unroll_factor: int = 1,
+    rename: bool = True,
+) -> CompilationResult:
+    """Compile a basic-block-form program end to end.
+
+    ``profile`` must come from executing ``basic_blocks`` (same labels and
+    uids) on training input.  ``recovery`` enables the Section 3.7
+    constraints; the paper's performance experiments run with it off
+    ("the experiments do not take into account compiler constraints to
+    ensure recovery", Section 5.2).
+    """
+    if form_superblocks_pass:
+        formation = form_superblocks(
+            basic_blocks,
+            profile,
+            min_ratio=superblock_min_ratio,
+            max_instructions=superblock_max_instructions,
+        )
+    else:
+        formation = form_superblocks(
+            basic_blocks, ProfileData(), min_ratio=2.0  # ratio > 1: no merging
+        )
+    work = formation.program
+    if unroll_factor > 1:
+        unroll_superblock_loops(work, unroll_factor)
+
+    stats = CompilerStats()
+    if rename:
+        stats.defs_split = split_live_out_defs(work)
+        # Recovery disables renaming-register recycling: the Section 3.7
+        # Register Allocator Support (live ranges extended past sentinels).
+        stats.registers_renamed = rename_registers(work, recycle=not recovery)
+    if recovery:
+        # Imported lazily: core.recovery needs the scheduler, which this
+        # module anchors.
+        from ..core.recovery import rename_self_updates
+
+        stats.recovery_renamed = rename_self_updates(work)
+    if clear_uninit_tags and policy.sentinels:
+        stats.uninit_clears = len(insert_uninit_tag_clears(work))
+
+    liveness = Liveness(work)
+    scheduled_blocks: List[ScheduledBlock] = []
+    block_results: Dict[str, BlockScheduleResult] = {}
+    for block in work.blocks:
+        if recovery:
+            from ..core.recovery import schedule_block_with_recovery
+
+            result = schedule_block_with_recovery(
+                block, work, liveness, machine, policy
+            )
+        else:
+            result = schedule_block(block, work, liveness, machine, policy)
+            if policy.store_spec and policy.sentinels:
+                # Speculating stores is not always profitable: probationary
+                # entries occupy the buffer until confirmed and the N-1
+                # separation constraint can stretch the schedule.  Keep the
+                # store-speculation schedule only when it is strictly
+                # shorter than the plain sentinel schedule for this block.
+                from ..deps.reduction import SENTINEL
+
+                with_stores_length = result.scheduled.length
+                plain = schedule_block(block, work, liveness, machine, SENTINEL)
+                if with_stores_length < plain.scheduled.length:
+                    # Re-run the winner: scheduling mutates the speculative
+                    # modifier flags on the block's instructions, and the
+                    # last run must match the schedule we keep.
+                    result = schedule_block(block, work, liveness, machine, policy)
+                else:
+                    result = plain
+        scheduled_blocks.append(result.scheduled)
+        block_results[block.label] = result
+        stats.blocks += 1
+        stats.instructions += result.stats.instructions
+        stats.speculative += result.stats.speculative
+        stats.checks_inserted += result.stats.checks_inserted
+        stats.confirms_inserted += result.stats.confirms_inserted
+        stats.schedule_words += result.stats.length
+
+    scheduled = ScheduledProgram(
+        blocks=scheduled_blocks,
+        source=work,
+        policy_name=policy.name,
+        machine_name=machine.name,
+    )
+    return CompilationResult(
+        scheduled=scheduled,
+        superblock_program=work,
+        formation=formation,
+        block_results=block_results,
+        stats=stats,
+    )

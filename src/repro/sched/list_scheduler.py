@@ -1,0 +1,479 @@
+"""Sentinel superblock list scheduling — Section 3.3 and the Appendix.
+
+Cycle-driven list scheduling over the reduced dependence graph:
+
+* ready instructions are issued in critical-path-priority order, subject to
+  the machine's issue width (and optional per-class limits),
+* an instruction issued while a branch that precedes it in original program
+  order is still unscheduled (or shares its cycle) has **moved above that
+  branch**: its speculative modifier is set,
+* when such an instruction is *unprotected* and its result can actually
+  carry an exception tag, an explicit ``check_exception`` sentinel is
+  created and pinned into the instruction's home block ("add a control
+  dependence from the first branch I moved above to J; add a control
+  dependence from J to the first branch originally below I" — Appendix),
+* a speculative **store** (``sentinel_store`` policy) instead gets a
+  ``confirm_store`` sentinel; the scheduler enforces the deadlock-freedom
+  rule of Section 4.2 — at most N-1 stores between a speculative store and
+  its confirm for an N-entry store buffer — and patches each confirm's
+  index operand once the final slot order is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.liveness import Liveness
+from ..core.sentinel_insertion import TagCarryTracker, make_check, make_confirm
+from ..deps.builder import build_dependence_graph
+from ..deps.reduction import SpeculationPolicy, reduce_dependence_graph
+from ..deps.types import ArcKind, DepGraph
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import Register
+from ..machine.description import MachineDescription
+from ..machine.resources import CycleResources
+from .schedule import ScheduledBlock
+
+
+class SchedulingError(RuntimeError):
+    """The scheduler could not make progress (cyclic constraints)."""
+
+
+@dataclass
+class BlockScheduleStats:
+    """Per-block bookkeeping the evaluation harness aggregates."""
+
+    label: str = ""
+    speculative: int = 0
+    checks_inserted: int = 0
+    confirms_inserted: int = 0
+    length: int = 0
+    instructions: int = 0
+
+
+@dataclass
+class BlockScheduleResult:
+    scheduled: ScheduledBlock
+    graph: DepGraph
+    stats: BlockScheduleStats
+    #: store uid -> confirm uid, for the recovery checker and tests.
+    confirm_of: Dict[int, int] = field(default_factory=dict)
+    #: protected uid -> explicit check uid.
+    check_of: Dict[int, int] = field(default_factory=dict)
+
+
+class ListScheduler:
+    """Schedules one superblock under one policy and machine."""
+
+    def __init__(
+        self,
+        block: Block,
+        program: Program,
+        liveness: Liveness,
+        machine: MachineDescription,
+        policy: SpeculationPolicy,
+        recovery: bool = False,
+        extra_arcs: Sequence[Tuple[int, int, int]] = (),
+        despeculated: frozenset = frozenset(),
+    ) -> None:
+        self.block = block
+        self.program = program
+        self.machine = machine
+        self.policy = policy
+        self.recovery = recovery
+        self.graph = build_dependence_graph(
+            block, liveness, machine.latencies, irreversible_barriers=recovery
+        )
+        reduce_dependence_graph(
+            self.graph,
+            liveness,
+            policy,
+            stop_at_irreversible=recovery,
+            despeculated=despeculated,
+        )
+        self._apply_extra_arcs(extra_arcs)
+
+        n = self.graph.original_count
+        self._heights = self.graph.critical_heights()
+        self._branch_positions = [
+            i for i in range(n) if self.graph.nodes[i].info.is_cond_branch
+        ]
+        # Home-block boundaries for sentinel pinning.  In recovery mode
+        # "each irreversible instruction defines a basic block boundary as
+        # far as the sentinel scheduling algorithm is concerned" (§3.7).
+        self._boundary_positions = [
+            i
+            for i in range(n)
+            if self.graph.nodes[i].info.is_cond_branch
+            or (recovery and self.graph.nodes[i].info.is_irreversible)
+        ]
+        #: node -> issue cycle.
+        self._cycle_of: Dict[int, int] = {}
+        self._earliest: Dict[int, int] = {i: 0 for i in range(n)}
+        self._preds_left: Dict[int, int] = {
+            i: len(self.graph.preds(i)) for i in range(n)
+        }
+        self._unscheduled: Set[int] = set(range(n))
+        self._carry = TagCarryTracker(self.graph)
+        #: pending speculative stores: node -> count of stores issued since.
+        self._pending_spec_stores: Dict[int, int] = {}
+        #: confirm node -> the store node it confirms.
+        self._confirm_for: Dict[int, int] = {}
+        self._check_for: Dict[int, int] = {}
+        self.stats = BlockScheduleStats(label=block.label, instructions=n)
+
+    # ------------------------------------------------------------------
+
+    def _apply_extra_arcs(self, extra_arcs: Sequence[Tuple[int, int, int]]) -> None:
+        """Add (src_uid, dst_uid, latency) constraint arcs (recovery loop)."""
+        if not extra_arcs:
+            return
+        by_uid = {
+            instr.uid: node for node, instr in enumerate(self.graph.nodes)
+        }
+        for src_uid, dst_uid, latency in extra_arcs:
+            src = by_uid.get(src_uid)
+            dst = by_uid.get(dst_uid)
+            if src is None or dst is None:
+                continue  # constraint refers to another block
+            if self.graph.find_arc(src, dst, ArcKind.SENT) is None:
+                self.graph.add_arc(src, dst, ArcKind.SENT, latency)
+                self._bump_pred_count_safe(dst)
+
+    def _bump_pred_count_safe(self, node: int) -> None:
+        if hasattr(self, "_preds_left") and node in self._preds_left:
+            self._preds_left[node] += 1
+
+    # ------------------------------------------------------------------
+    # Original-order neighbours (sentinel home-block pinning).
+    # ------------------------------------------------------------------
+
+    def _prev_branch(self, node: int) -> Optional[int]:
+        prev = None
+        for b in self._boundary_positions:
+            if b < node:
+                prev = b
+            else:
+                break
+        return prev
+
+    def _next_branch(self, node: int) -> Optional[int]:
+        for b in self._boundary_positions:
+            if b > node:
+                return b
+        n = self.graph.original_count
+        last = n - 1
+        instr = self.graph.nodes[last]
+        if instr.info.is_control and not instr.info.is_cond_branch and last > node:
+            return last  # terminator jump/halt bounds the final home block
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> BlockScheduleResult:
+        max_cycles = 64 * (len(self.graph) + 16) + sum(
+            self.machine.latencies.values()
+        )
+        cycle = 0
+        while self._unscheduled:
+            ready = [
+                node
+                for node in self._unscheduled
+                if self._preds_left[node] == 0 and self._earliest[node] <= cycle
+            ]
+            ready.sort(key=lambda node: (-self._priority(node), node))
+            resources = CycleResources(self.machine)
+            for node in ready:
+                # A sentinel created earlier in this same cycle may have
+                # pinned itself before a still-ready exit: re-check.
+                if node not in self._unscheduled or self._preds_left[node] != 0:
+                    continue
+                instr = self.graph.nodes[node]
+                if not resources.can_issue(instr):
+                    continue
+                if not self._store_constraint_ok(instr):
+                    continue
+                self._issue(node, cycle)
+                resources.commit(instr)
+                if resources.full:
+                    break
+            cycle += 1
+            if cycle > max_cycles:
+                raise SchedulingError(
+                    f"no progress scheduling block {self.block.label!r} "
+                    f"(cyclic constraints?)"
+                )
+        return self._finish()
+
+    def _priority(self, node: int) -> int:
+        if node < len(self._heights):
+            return self._heights[node]
+        return 1  # sentinels fill empty slots (Section 5.2)
+
+    # ------------------------------------------------------------------
+    # Issue-time actions (the Appendix's modified list scheduling).
+    # ------------------------------------------------------------------
+
+    def _store_constraint_ok(self, instr: Instruction) -> bool:
+        """Deadlock avoidance (Section 4.2): a speculative store may be
+        separated from its confirm by at most N-1 stores."""
+        if instr.op not in (Opcode.STORE, Opcode.FSTORE):
+            return True
+        limit = self.machine.store_buffer_size - 1
+        return all(count < limit for count in self._pending_spec_stores.values())
+
+    def _moved_above(self, node: int, cycle: int) -> List[int]:
+        """Branch nodes this instruction moved above (or into the word of),
+        in original program order."""
+        if node >= self.graph.original_count:
+            return []  # sentinels are pinned non-speculative
+        moved = []
+        for b in self._branch_positions:
+            if b >= node:
+                break
+            if b in self._unscheduled or self._cycle_of.get(b) == cycle:
+                moved.append(b)
+        return moved
+
+    def _issue(self, node: int, cycle: int) -> None:
+        instr = self.graph.nodes[node]
+        self._cycle_of[node] = cycle
+        self._unscheduled.discard(node)
+        for arc in self.graph.succs(node):
+            if arc.dst in self._preds_left:
+                self._preds_left[arc.dst] -= 1
+                self._earliest[arc.dst] = max(
+                    self._earliest[arc.dst], cycle + arc.latency
+                )
+
+        moved_above = self._moved_above(node, cycle)
+        spec = bool(moved_above)
+        if node < self.graph.original_count:
+            instr.spec = spec
+            if self.policy.max_boost is not None:
+                # Record the branch set for the shadow hardware; the
+                # retained control arcs guarantee the bound holds.
+                instr.boost_branches = tuple(
+                    self.graph.nodes[b].uid for b in moved_above
+                )
+                if len(moved_above) > self.policy.max_boost:
+                    raise SchedulingError(
+                        f"node {node} boosted above {len(moved_above)} branches "
+                        f"(limit {self.policy.max_boost})"
+                    )
+            else:
+                instr.boost_branches = ()
+        self._carry.record_issue(node, spec)
+        if spec:
+            self.stats.speculative += 1
+
+        is_buffer_store = instr.op in (Opcode.STORE, Opcode.FSTORE)
+        if is_buffer_store:
+            for pending in self._pending_spec_stores:
+                self._pending_spec_stores[pending] += 1
+
+        if spec and is_buffer_store and self.policy.sentinels:
+            self._pending_spec_stores[node] = 0
+            self._insert_confirm(node)
+        elif (
+            spec
+            and self.policy.sentinels
+            and node in self.graph.unprotected
+            and self._carry.needs_explicit_sentinel(node)
+        ):
+            self._insert_check(node)
+
+        if node in self._confirm_for:
+            self._pending_spec_stores.pop(self._confirm_for[node], None)
+
+    def _register_sentinel(self, sentinel_node: int) -> None:
+        self._earliest[sentinel_node] = 0
+        self._preds_left[sentinel_node] = 0
+        self._unscheduled.add(sentinel_node)
+
+    def _pin_sentinel(self, protected_node: int, sentinel_node: int) -> None:
+        """The Appendix's control dependences keeping a sentinel in the
+        protected instruction's home block."""
+        prev_branch = self._prev_branch(protected_node)
+        if prev_branch is not None:
+            self.graph.add_arc(prev_branch, sentinel_node, ArcKind.SENT, 1)
+            self._preds_left[sentinel_node] += 1
+            if prev_branch not in self._unscheduled:
+                self._preds_left[sentinel_node] -= 1
+                self._earliest[sentinel_node] = max(
+                    self._earliest[sentinel_node], self._cycle_of[prev_branch] + 1
+                )
+        next_branch = self._next_branch(protected_node)
+        if next_branch is not None:
+            if next_branch in self._unscheduled:
+                # An irreversible boundary must fall strictly outside the
+                # restartable window, hence latency 1 in recovery mode.
+                boundary_latency = (
+                    1
+                    if self.recovery
+                    and self.graph.nodes[next_branch].info.is_irreversible
+                    else 0
+                )
+                self.graph.add_arc(
+                    sentinel_node, next_branch, ArcKind.SENT, boundary_latency
+                )
+                self._preds_left[next_branch] += 1
+            # If the next branch somehow issued already (cannot happen for a
+            # just-speculated instruction — its own home-block branch is
+            # still pending), the sentinel would be unpinnable; assert.
+            else:
+                raise SchedulingError(
+                    f"home-block exit of node {protected_node} already issued"
+                )
+
+    def _insert_check(self, node: int) -> None:
+        instr = self.graph.nodes[node]
+        # A register-move carrier is checked through its source: the tag
+        # content is identical, but the source (a renaming register) is not
+        # redefined every iteration the way a live-at-exit architectural
+        # register is, so the check does not chain into the next iteration.
+        checked_reg = instr.dest
+        if (
+            instr.op in (Opcode.MOV, Opcode.FMOV)
+            and len(instr.srcs) == 1
+            and isinstance(instr.srcs[0], Register)
+            and not instr.srcs[0].is_zero
+        ):
+            checked_reg = instr.srcs[0]
+        sentinel = make_check(self.program, instr, self.block.label, reg=checked_reg)
+        sentinel_node = self.graph.add_node(sentinel)
+        self._register_sentinel(sentinel_node)
+        # Flow dependence from the checked value's producer to the sentinel.
+        latency = self.machine.latency(instr.op)
+        self.graph.add_arc(node, sentinel_node, ArcKind.SENT, 0)
+        if checked_reg is instr.dest:
+            self.graph.add_arc(node, sentinel_node, ArcKind.FLOW, latency)
+            self._earliest[sentinel_node] = max(
+                self._earliest[sentinel_node], self._cycle_of[node] + latency
+            )
+        else:
+            producer = None
+            for arc in self.graph.preds(node):
+                if arc.kind is ArcKind.FLOW:
+                    cand = self.graph.nodes[arc.src]
+                    if cand.dest == checked_reg:
+                        producer = arc.src
+            if producer is not None:
+                lat = self.machine.latency(self.graph.nodes[producer].op)
+                self.graph.add_arc(producer, sentinel_node, ArcKind.FLOW, lat)
+                self._earliest[sentinel_node] = max(
+                    self._earliest[sentinel_node], self._cycle_of[producer] + lat
+                )
+        # The check must read the tag strictly before any later
+        # redefinition kills it (strictly: a sentinel's slot follows the
+        # redefinition's within a word, so same-cycle would read the new
+        # value).  Every such redefinition is still unscheduled here.
+        for later in range(node + 1, self.graph.original_count):
+            other = self.graph.nodes[later]
+            if checked_reg in other.defs() and later in self._unscheduled:
+                self.graph.add_arc(sentinel_node, later, ArcKind.ANTI, 1)
+                self._preds_left[later] += 1
+        self._pin_sentinel(node, sentinel_node)
+        self._check_for[sentinel_node] = node
+        self.stats.checks_inserted += 1
+
+    def _insert_confirm(self, node: int) -> None:
+        store = self.graph.nodes[node]
+        sentinel = make_confirm(self.program, store, self.block.label)
+        sentinel_node = self.graph.add_node(sentinel)
+        self._register_sentinel(sentinel_node)
+        # The confirm examines the buffer entry the store created.
+        self.graph.add_arc(node, sentinel_node, ArcKind.SENT, 1)
+        self._earliest[sentinel_node] = max(
+            self._earliest[sentinel_node], self._cycle_of[node] + 1
+        )
+        self._pin_sentinel(node, sentinel_node)
+        self._confirm_for[sentinel_node] = node
+        self.stats.confirms_inserted += 1
+
+    # ------------------------------------------------------------------
+    # Final assembly.
+    # ------------------------------------------------------------------
+
+    def _finish(self) -> BlockScheduleResult:
+        n_cycles = max(self._cycle_of.values()) + 1 if self._cycle_of else 0
+        words: List[List[Instruction]] = [[] for _ in range(n_cycles)]
+        order = sorted(self._cycle_of.items(), key=lambda kv: (kv[1], kv[0]))
+        for node, cycle in order:
+            words[cycle].append(self.graph.nodes[node])
+        scheduled = ScheduledBlock(
+            label=self.block.label,
+            words=words,
+            falls_through=self.block.falls_through,
+        )
+        self._patch_confirm_indices(scheduled)
+        self.stats.length = scheduled.length
+        confirm_of = {
+            self.graph.nodes[store].uid: self.graph.nodes[conf].uid
+            for conf, store in self._confirm_for.items()
+        }
+        check_of = {
+            self.graph.nodes[prot].uid: self.graph.nodes[chk].uid
+            for chk, prot in self._check_for.items()
+        }
+        return BlockScheduleResult(
+            scheduled=scheduled,
+            graph=self.graph,
+            stats=self.stats,
+            confirm_of=confirm_of,
+            check_of=check_of,
+        )
+
+    def _patch_confirm_indices(self, scheduled: ScheduledBlock) -> None:
+        """Fill in confirm_store index operands: "the number of stores
+        (regular and speculative) between a speculative store and its
+        corresponding confirm" (Section 4.2)."""
+        if not self._confirm_for:
+            return
+        linear = [instr for _c, _s, instr in scheduled.linear()]
+        position = {instr.uid: i for i, instr in enumerate(linear)}
+        for conf_node, store_node in self._confirm_for.items():
+            conf = self.graph.nodes[conf_node]
+            store = self.graph.nodes[store_node]
+            start = position[store.uid]
+            end = position[conf.uid]
+            stores_between = sum(
+                1
+                for instr in linear[start + 1 : end]
+                if instr.op in (Opcode.STORE, Opcode.FSTORE)
+            )
+            if stores_between > self.machine.store_buffer_size - 1:
+                raise SchedulingError(
+                    f"confirm separation {stores_between} exceeds N-1 "
+                    f"({self.machine.store_buffer_size - 1})"
+                )
+            conf.srcs = (stores_between,)
+
+
+def schedule_block(
+    block: Block,
+    program: Program,
+    liveness: Liveness,
+    machine: MachineDescription,
+    policy: SpeculationPolicy,
+    recovery: bool = False,
+    extra_arcs: Sequence[Tuple[int, int, int]] = (),
+    despeculated: frozenset = frozenset(),
+) -> BlockScheduleResult:
+    """Schedule one (super)block; see :class:`ListScheduler`."""
+    scheduler = ListScheduler(
+        block,
+        program,
+        liveness,
+        machine,
+        policy,
+        recovery=recovery,
+        extra_arcs=extra_arcs,
+        despeculated=despeculated,
+    )
+    return scheduler.run()

@@ -1,0 +1,228 @@
+"""Compile-time register renaming within superblocks.
+
+Section 2.1 of the paper: "For all scheduling models, restriction (1)
+[dest used before redefined on the taken path] can be overcome by
+compile-time renaming transformations."  Beyond enabling speculation,
+renaming removes the anti/output serialization that register reuse
+creates between unrolled loop iterations — without it, scratch-register
+recycling makes every scheduling model collapse onto the same
+false-dependence-bound schedule.
+
+The pass renames a definition ``r = op(...)`` to a fresh architectural
+register ``f`` when the value's *reach* (from the definition to the next
+redefinition of ``r``, or the block end) crosses no exit at which ``r``
+is live: side-exit branches with ``r`` live-in at the target, a
+terminator jump with ``r`` live at its target, or a fall-through block
+end with ``r`` live into the next block.  Uses inside the reach are
+rewritten to ``f``.  Fresh registers come from the program's unused
+architectural registers; when the pool runs dry the definition simply
+keeps its name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.liveness import Liveness
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import F, FP_REG_COUNT, INT_REG_COUNT, R, Register
+
+
+def _unused_registers(program: Program) -> Tuple[List[Register], List[Register]]:
+    used_int: Set[int] = {0}
+    used_fp: Set[int] = set()
+    for instr in program.instructions():
+        for reg in list(instr.uses()) + list(instr.defs()):
+            (used_fp if reg.is_fp else used_int).add(reg.index)
+    ints = [R(i) for i in range(INT_REG_COUNT) if i not in used_int]
+    fps = [F(i) for i in range(FP_REG_COUNT) if i not in used_fp]
+    return ints, fps
+
+
+def _exit_points(
+    block: Block, block_index: int, program: Program, liveness: Liveness
+) -> List[Tuple[int, frozenset]]:
+    """(instruction index, registers live if control leaves there)."""
+    exits: List[Tuple[int, frozenset]] = []
+    for idx, instr in enumerate(block.instrs):
+        info = instr.info
+        if info.is_cond_branch or info.is_jump:
+            exits.append((idx, liveness.live_in[instr.target]))
+        elif info.is_halt:
+            exits.append((idx, frozenset()))
+    if block.falls_through:
+        if block_index + 1 < len(program.blocks):
+            nxt = program.blocks[block_index + 1]
+            exits.append((len(block.instrs), liveness.live_in[nxt.label]))
+        else:
+            exits.append((len(block.instrs), frozenset()))
+    return exits
+
+
+_UNSPLITTABLE = (Opcode.MOV, Opcode.FMOV, Opcode.CLRTAG, Opcode.CHECK, Opcode.TLOAD)
+
+
+def split_live_out_defs(program: Program) -> int:
+    """Split definitions that must stay architectural at an exit.
+
+    The paper's renaming transformation (Sections 2.1 and 3.7, Figure 3):
+    ``r2 = r2 + 1`` becomes ``r10 = r2 + 1; r2 = mov r10`` with later
+    in-block uses renamed to ``r10``.  The compute half carries no
+    live-at-exit destination any more, so restriction 1 no longer pins it
+    below preceding branches; only the cheap move stays in place.  Applied
+    to every definition whose reach crosses an exit where its register is
+    live — induction variables and accumulators of unrolled loops chief
+    among them.
+
+    Mutates and renumbers ``program``; returns the number of splits.
+    """
+    liveness = Liveness(program)
+    int_pool, fp_pool = _unused_registers(program)
+    splits = 0
+    for block_index, block in enumerate(program.blocks):
+        exits = _exit_points(block, block_index, program, liveness)
+        idx = 0
+        while idx < len(block.instrs):
+            instr = block.instrs[idx]
+            dest = instr.dest
+            if (
+                dest is None
+                or dest.is_zero
+                or instr.op in _UNSPLITTABLE
+                or not instr.info.has_dest
+            ):
+                idx += 1
+                continue
+            # Reach: to the next def of `dest` (counting only pre-existing
+            # instructions; inserted moves are themselves defs but the walk
+            # below skips them explicitly).
+            reach_end = len(block.instrs)
+            for later in range(idx + 1, len(block.instrs)):
+                other = block.instrs[later]
+                if other.op is not Opcode.CLRTAG and dest in other.defs():
+                    reach_end = later
+                    break
+            crossed = any(
+                idx < exit_idx <= reach_end and dest in live
+                for exit_idx, live in exits
+            )
+            if not crossed:
+                idx += 1
+                continue
+            pool = fp_pool if dest.is_fp else int_pool
+            if not pool:
+                idx += 1
+                continue
+            fresh = pool.pop()
+            instr.dest = fresh
+            move_op = Opcode.FMOV if dest.is_fp else Opcode.MOV
+            move = Instruction(move_op, dest=dest, srcs=(fresh,))
+            move.comment = f"split of {dest.name} (restriction-1 renaming)"
+            block.instrs.insert(idx + 1, move)
+            # Rename later uses of the old register up to (and including the
+            # sources of) its next original definition.
+            for later in block.instrs[idx + 2 :]:
+                if later is move:
+                    continue
+                later.srcs = tuple(
+                    fresh if s is dest else s for s in later.srcs
+                )
+                if later.op is not Opcode.CLRTAG and dest in later.defs():
+                    break
+            # Exits shift by one past the insertion point.
+            exits = [
+                (e + 1 if e > idx else e, live) for e, live in exits
+            ]
+            splits += 1
+            idx += 2
+    if splits:
+        program.renumber()
+    return splits
+
+
+def rename_registers(program: Program, recycle: bool = True) -> int:
+    """Rename rename-safe definitions across all blocks; returns count.
+
+    Mutates ``program`` in place (operand rewriting only — instruction
+    order, uids and origins are untouched, so no renumbering is needed).
+
+    ``recycle=False`` is the paper's Register Allocator Support for
+    recovery (Section 3.7): "It is necessary to extend the live range of
+    source registers for instructions subsequent to a speculative
+    instruction to reach the sentinel ... This ensures that the register
+    allocator does not reuse these source registers and violate the
+    restartable property."  Disabling recycling extends every renaming
+    register's live range to its block's end — conservatively past every
+    sentinel — at the cost the paper predicts: "it will tend to increase
+    the number of registers used."
+    """
+    liveness = Liveness(program)
+    int_pool_master, fp_pool_master = _unused_registers(program)
+    renamed = 0
+
+    for block_index, block in enumerate(program.blocks):
+        exits = _exit_points(block, block_index, program, liveness)
+        # Next-definition position for every (register, position).
+        def_positions: Dict[Register, List[int]] = {}
+        for idx, instr in enumerate(block.instrs):
+            if instr.op is Opcode.CLRTAG:
+                continue  # writes only the tag; keeps the data's name
+            for reg in instr.defs():
+                def_positions.setdefault(reg, []).append(idx)
+
+        int_pool = list(int_pool_master)
+        fp_pool = list(fp_pool_master)
+        current: Dict[Register, Register] = {}
+        #: (reach end, fresh register) — recycled back into the pool once
+        #: the renamed value is dead, so long unrolled blocks don't exhaust
+        #: the architectural register file.
+        recycling: List[Tuple[int, Register]] = []
+
+        def resolve(reg: Register) -> Register:
+            return current.get(reg, reg)
+
+        def _refill(pool: List[Register], fp: bool, idx: int) -> None:
+            # Lazy recycling: reusing a fresh register re-creates exactly the
+            # anti/output serialization renaming exists to remove, so retired
+            # registers rejoin the pool only once it is empty.  The next def
+            # of the old name may read the fresh value (``r = r + 1``), hence
+            # the strict reach-end comparison.
+            for entry in list(recycling):
+                if entry[1].is_fp == fp and entry[0] < idx:
+                    recycling.remove(entry)
+                    pool.append(entry[1])
+
+        for idx, instr in enumerate(block.instrs):
+            instr.srcs = tuple(
+                resolve(s) if isinstance(s, Register) else s for s in instr.srcs
+            )
+            if instr.op is Opcode.CLRTAG and instr.dest is not None:
+                instr.dest = resolve(instr.dest)
+                continue
+            dest = instr.dest
+            if dest is None or dest.is_zero:
+                continue
+            # Reach of this definition: up to the next def of `dest`.
+            later_defs = [p for p in def_positions.get(dest, ()) if p > idx]
+            reach_end = later_defs[0] if later_defs else len(block.instrs)
+            crossed = any(
+                idx < exit_idx <= reach_end and dest in live
+                for exit_idx, live in exits
+            )
+            if crossed:
+                current[dest] = dest  # must stay architectural here
+                continue
+            pool = fp_pool if dest.is_fp else int_pool
+            if not pool and recycle:
+                _refill(pool, dest.is_fp, idx)
+            if not pool:
+                current[dest] = dest
+                continue
+            fresh = pool.pop()
+            current[dest] = fresh
+            instr.dest = fresh
+            recycling.append((reach_end, fresh))
+            renamed += 1
+    return renamed

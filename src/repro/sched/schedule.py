@@ -1,0 +1,123 @@
+"""Containers for scheduled code.
+
+A :class:`ScheduledBlock` is one superblock after list scheduling: a list
+of VLIW words (issue groups), one per cycle.  Slot order inside a word is
+original program order (sentinels, which have no original position, come
+last); the simulators process memory operations and store-buffer actions
+in slot order, which is what makes ``confirm_store`` indices well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.printer import format_instruction
+from ..isa.program import Program
+
+
+@dataclass
+class ScheduledBlock:
+    """One block's schedule: ``words[c]`` holds the instructions of cycle c."""
+
+    label: str
+    words: List[List[Instruction]]
+    #: Does control continue to the next laid-out block when no exit fires?
+    falls_through: bool
+
+    _cycle_of: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._cycle_of:
+            for cycle, word in enumerate(self.words):
+                for instr in word:
+                    self._cycle_of[instr.uid] = cycle
+
+    @property
+    def length(self) -> int:
+        """Cycles a fall-through traversal of this block occupies."""
+        return len(self.words)
+
+    def cycle_of(self, uid: int) -> int:
+        return self._cycle_of[uid]
+
+    def linear(self) -> Iterator[Tuple[int, int, Instruction]]:
+        """(cycle, slot, instruction) in execution order."""
+        for cycle, word in enumerate(self.words):
+            for slot, instr in enumerate(word):
+                yield cycle, slot, instr
+
+    def instructions(self) -> Iterator[Instruction]:
+        for _cycle, _slot, instr in self.linear():
+            yield instr
+
+    def instruction_count(self) -> int:
+        return sum(len(word) for word in self.words)
+
+    def exit_cycles(self) -> Dict[int, int]:
+        """uid -> cycle for every control instruction in the block."""
+        return {
+            instr.uid: cycle
+            for cycle, _slot, instr in self.linear()
+            if instr.info.is_control
+        }
+
+    def format(self) -> str:
+        lines = [f"{self.label}:"]
+        for cycle, word in enumerate(self.words):
+            ops = " || ".join(format_instruction(instr) for instr in word) or "(empty)"
+            lines.append(f"  [{cycle}] {ops}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScheduledProgram:
+    """A whole program after scheduling, plus provenance."""
+
+    blocks: List[ScheduledBlock]
+    #: The (superblock-form) program the schedule was produced from; owns
+    #: the instruction uids, including inserted sentinels.
+    source: Program
+    policy_name: str
+    machine_name: str = ""
+
+    def __post_init__(self) -> None:
+        self._index = {blk.label: i for i, blk in enumerate(self.blocks)}
+        self._by_uid: Dict[int, Instruction] = {}
+        for blk in self.blocks:
+            for instr in blk.instructions():
+                self._by_uid[instr.uid] = instr
+
+    def block(self, label: str) -> ScheduledBlock:
+        return self.blocks[self._index[label]]
+
+    def block_index(self, label: str) -> int:
+        return self._index[label]
+
+    def instruction_by_uid(self, uid: int) -> Instruction:
+        return self._by_uid[uid]
+
+    def origin_of(self, uid: int) -> int:
+        """Map a reported PC back to the original-program instruction."""
+        return self._by_uid[uid].origin_uid
+
+    def instruction_count(self) -> int:
+        return sum(blk.instruction_count() for blk in self.blocks)
+
+    def total_words(self) -> int:
+        return sum(blk.length for blk in self.blocks)
+
+    def speculative_count(self) -> int:
+        return sum(1 for blk in self.blocks for i in blk.instructions() if i.spec)
+
+    def format(self) -> str:
+        return "\n".join(blk.format() for blk in self.blocks)
+
+    def find_instruction(self, uid: int) -> Optional[Tuple[int, int, int]]:
+        """(block index, cycle, slot) of an instruction, or None."""
+        for block_idx, blk in enumerate(self.blocks):
+            for cycle, slot, instr in blk.linear():
+                if instr.uid == uid:
+                    return block_idx, cycle, slot
+        return None

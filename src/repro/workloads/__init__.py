@@ -1,0 +1,28 @@
+"""Benchmark stand-ins and synthetic program generation."""
+
+from .generator import Workload, WorkloadBuilder, random_program
+from .kernels import KERNELS, build_kernel
+from .suites import (
+    ALL_NAMES,
+    NON_NUMERIC_NAMES,
+    NUMERIC_NAMES,
+    SUITE,
+    WorkloadSpec,
+    all_workloads,
+    build_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadBuilder",
+    "random_program",
+    "KERNELS",
+    "build_kernel",
+    "ALL_NAMES",
+    "NON_NUMERIC_NAMES",
+    "NUMERIC_NAMES",
+    "SUITE",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_workload",
+]

@@ -1,0 +1,442 @@
+"""Deterministic synthetic workload generator.
+
+The paper evaluates 5 SPEC numeric programs and 12 non-numeric Unix/SPEC
+programs compiled by IMPACT-I.  We cannot run those binaries, so each
+benchmark is replaced by a *stand-in*: a generated RISC program whose hot
+code reproduces the workload features the paper identifies as
+performance-determining:
+
+* **data-dependent branches** — a guard comparing a just-loaded value is
+  *late*; code below it only moves up via speculation.  This drives the
+  sentinel-vs-restricted gap ("the scheduler is most restricted by not
+  being able to schedule load instructions speculatively", Section 5.2),
+* **counted-loop exits** — an induction-variable branch is ready almost
+  immediately, so code below it overlaps without speculation; FP kernels
+  built only from these (`matrix300`, `nasa7`, `fpppp` stand-ins) show
+  little model sensitivity, as in Figure 4,
+* **stores under hot guards** — the only code that benefits from
+  speculative stores (Section 5.2's `cmp`/`grep` vs `eqntott`/`wc`
+  contrast in Figure 5),
+* branch bias — drives superblock quality.
+
+Branch outcomes are *data-driven*: guard values are written into memory by
+:meth:`Workload.make_memory` from the same seeded RNG that generated the
+code, so reference and scheduled executions see identical traces, and
+fault injection composes naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..arch.memory import Memory
+from ..isa.instruction import Instruction, branch, fload, fstore, halt, jump, load, mov, store
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import F, R, Register
+
+
+@dataclass
+class ArrayPlan:
+    name: str
+    base: int
+    length: int
+    #: Called with (rng, index) -> value when the memory image is built.
+    init: Callable[[random.Random, int], float]
+    #: True models a C pointer argument: the compiler cannot prove it
+    #: disjoint from other aliased arrays, so accesses get no region tag and
+    #: stores conservatively order against later loads — the serialization
+    #: speculative stores exist to break (Section 4).  False models a
+    #: Fortran array / distinct C object with known identity.
+    aliased: bool = False
+
+
+@dataclass
+class Workload:
+    """A generated benchmark stand-in."""
+
+    name: str
+    numeric: bool
+    program: Program
+    arrays: List[ArrayPlan]
+    seed: int
+    description: str = ""
+
+    def make_memory(self, page_faults: int = 0, fault_seed: int = 7) -> Memory:
+        """Build the benchmark's memory image.
+
+        ``page_faults`` injects that many page faults on data addresses the
+        program actually reads, for exception-detection experiments.
+        """
+        memory = Memory(segments=[(0, 1 << 22)])
+        rng = random.Random(self.seed ^ 0x5EED)
+        for plan in self.arrays:
+            for index in range(plan.length):
+                memory.poke(plan.base + index, plan.init(rng, index))
+        if page_faults:
+            frng = random.Random(fault_seed)
+            candidates = [
+                plan.base + index
+                for plan in self.arrays
+                if plan.name.startswith("data")
+                for index in range(plan.length)
+            ]
+            frng.shuffle(candidates)
+            for address in candidates[:page_faults]:
+                memory.inject_page_fault(address)
+        return memory
+
+
+class WorkloadBuilder:
+    """Structured emitter for benchmark stand-ins."""
+
+    #: Address where generated arrays start; results land at RESULT_BASE.
+    ARRAY_BASE = 0x1000
+    RESULT_BASE = 0x100
+
+    def __init__(self, name: str, seed: int, numeric: bool = False) -> None:
+        self.name = name
+        self.seed = seed
+        self.numeric = numeric
+        self.rng = random.Random(seed)
+        self.program = Program([])
+        self.arrays: List[ArrayPlan] = []
+        self._next_base = self.ARRAY_BASE
+        self._label_counter = 0
+        self._result_slot = 0
+        # Register conventions: r1-r15 scratch/accumulators, r16-r30 array
+        # bases, r31+ loop counters.  f1-f20 FP scratch.
+        self._base_regs: Dict[str, Register] = {}
+        #: register -> array name, for memory-region tagging at finish().
+        self._region_regs: Dict[Register, str] = {}
+        self._next_base_reg = 16
+        self._next_counter_reg = 31
+        self._entry = Block("entry")
+        self.program.blocks.append(self._entry)
+
+    # ------------------------------------------------------------------
+
+    def label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}{self._label_counter}"
+
+    def array(
+        self,
+        name: str,
+        length: int,
+        init: Callable[[random.Random, int], float],
+        aliased: bool = False,
+    ) -> Register:
+        """Declare an array and return the register holding its base."""
+        plan = ArrayPlan(name, self._next_base, length, init, aliased)
+        self.arrays.append(plan)
+        self._next_base += length + 8
+        reg = R(self._next_base_reg)
+        self._next_base_reg += 1
+        if self._next_base_reg > 30:
+            raise ValueError("too many arrays for the base-register pool")
+        self._base_regs[name] = reg
+        self._region_regs[reg] = name
+        self._entry.append(mov(reg, plan.base))
+        return reg
+
+    def base(self, name: str) -> Register:
+        return self._base_regs[name]
+
+    def counter(self) -> Register:
+        reg = R(self._next_counter_reg)
+        self._next_counter_reg += 1
+        if self._next_counter_reg > 63:
+            raise ValueError("loop counter pool exhausted")
+        return reg
+
+    def result_address(self) -> int:
+        address = self.RESULT_BASE + self._result_slot
+        self._result_slot += 1
+        return address
+
+    def _tag_memory_regions(self) -> None:
+        """Attach array-identity region tags to memory instructions whose
+        base register is a known array base or loop pointer — the aliasing
+        facts a C front end derives from object identity.  Arrays declared
+        ``aliased`` (pointer arguments) stay untagged."""
+        aliased_names = {plan.name for plan in self.arrays if plan.aliased}
+        for instr in self.program.instructions():
+            info = instr.info
+            if not (info.reads_mem or info.writes_mem):
+                continue
+            if instr.mem_region is not None:
+                continue
+            base = instr.srcs[0]
+            region = self._region_regs.get(base)
+            if region is not None and region not in aliased_names:
+                instr.mem_region = region
+
+    # ------------------------------------------------------------------
+    # Structured emission.
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Block:
+        return self._entry
+
+    def counted_loop(
+        self,
+        trip: int,
+        body: Callable[..., None],
+        prefix: str = "loop",
+        pointers: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Emit ``for counter in range(trip): body``.
+
+        The loop-exit branch reads only the induction variable, so it is an
+        *early* branch the scheduler resolves without speculation.  The body
+        callback may split into further blocks (guards); the induction
+        update and backedge land on whatever block emission left last.
+
+        ``pointers`` maps array names to strides: each gets a register
+        initialized to the array base before the loop and advanced by its
+        stride at the bottom of every iteration — the strength-reduced
+        addressing real compilers emit, which keeps addresses off the
+        critical path.  When pointers are given, ``body`` is called as
+        ``body(block, counter, ptrs)`` with ``ptrs`` mapping names to
+        registers; otherwise as ``body(block, counter)``.
+        """
+        self._emit_loop(trip, body, prefix, pointers, unroll=1)
+
+    def counted_loop_unrolled(
+        self,
+        trip: int,
+        unroll: int,
+        body: Callable[..., None],
+        pointers: Dict[str, int],
+        prefix: str = "loop",
+    ) -> None:
+        """Classically-unrolled counted loop: ``body`` replicated ``unroll``
+        times per backedge with **one** exit test, as optimizing compilers
+        emit for counted FOR loops.
+
+        This is distinct from *superblock* loop unrolling (which replicates
+        side exits): a classically unrolled body is branch-free between
+        copies, which is why the paper's counted-loop FP kernels
+        (`matrix300`, `fpppp`, `nasa7`) barely depend on the speculation
+        model — there is no branch for their loads to cross.
+
+        ``body`` is called once per copy as ``body(block, counter, ptrs,
+        copy)``; it must address memory at ``[ptr + copy*stride + k]`` and
+        should rotate accumulators by ``copy`` to break reduction
+        recurrences.
+        """
+        self._emit_loop(trip, body, prefix, pointers, unroll=unroll)
+
+    def _emit_loop(
+        self,
+        trip: int,
+        body: Callable[..., None],
+        prefix: str,
+        pointers: Optional[Dict[str, int]],
+        unroll: int,
+    ) -> None:
+        if unroll > 1:
+            trip -= trip % unroll
+        counter = self.counter()
+        head_label = self.label(prefix)
+        self.current_tail().append(mov(counter, 0))
+        ptr_regs: Dict[str, Register] = {}
+        for name in pointers or {}:
+            reg = self.counter()
+            plan = next(p for p in self.arrays if p.name == name)
+            self.current_tail().append(mov(reg, plan.base))
+            ptr_regs[name] = reg
+            self._region_regs[reg] = name
+        head = Block(head_label)
+        self.program.blocks.append(head)
+        for copy in range(unroll):
+            block = self.current_tail() if copy else head
+            if unroll > 1:
+                body(block, counter, ptr_regs, copy)
+            elif pointers is not None:
+                body(block, counter, ptr_regs)
+            else:
+                body(block, counter)
+        tail = self.current_tail()
+        for name, stride in (pointers or {}).items():
+            tail.append(
+                Instruction(
+                    Opcode.ADD,
+                    dest=ptr_regs[name],
+                    srcs=(ptr_regs[name], stride * unroll),
+                )
+            )
+        tail.append(Instruction(Opcode.ADD, dest=counter, srcs=(counter, unroll)))
+        tail.append(branch(Opcode.BLT, counter, trip, head_label))
+
+    def current_tail(self) -> Block:
+        return self.program.blocks[-1]
+
+    def finish(self, accumulators: List[Register]) -> Workload:
+        """Store accumulators to the result area, halt, and package up."""
+        done = Block(self.label("done"))
+        self.program.blocks.append(done)
+        out = R(15)
+        done.append(mov(out, 0))
+        for acc in accumulators:
+            address = self.result_address()
+            if acc.is_fp:
+                done.append(fstore(out, address, acc))
+            else:
+                done.append(store(out, address, acc))
+        done.append(halt())
+        self._tag_memory_regions()
+        self.program.renumber()
+        self.program.validate()
+        return Workload(
+            name=self.name,
+            numeric=self.numeric,
+            program=self.program,
+            arrays=self.arrays,
+            seed=self.seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Body-segment emitters (composed by the suite definitions).
+# ----------------------------------------------------------------------
+
+
+def emit_guarded_work(
+    builder: WorkloadBuilder,
+    block: Block,
+    counter: Register,
+    data_base: Register,
+    array_length: int,
+    *,
+    value_reg: Register,
+    acc: Register,
+    skip_label: str,
+    work: Callable[[Block], None],
+    guard_taken_if_zero: bool = True,
+) -> Block:
+    """Load a guard value and branch around ``work`` — a *late* branch.
+
+    Returns the join block (labelled ``skip_label``) appended after the
+    guarded body.  The guard value comes from ``data_base[counter mod
+    length]`` so its distribution (and the branch bias) is controlled by
+    the array's init function.
+    """
+    addr = R(14)
+    idx = R(13)
+    block.append(Instruction(Opcode.AND, dest=idx, srcs=(counter, array_length - 1)))
+    block.append(Instruction(Opcode.ADD, dest=addr, srcs=(data_base, idx)))
+    block.append(load(value_reg, addr, 0))
+    op = Opcode.BEQ if guard_taken_if_zero else Opcode.BNE
+    block.append(branch(op, value_reg, 0, skip_label))
+    work(block)
+    join = Block(skip_label)
+    builder.program.blocks.append(join)
+    return join
+
+
+def biased_binary(p_nonzero: float) -> Callable[[random.Random, int], int]:
+    """Array initializer: value 1..8 with probability ``p_nonzero``, else 0."""
+
+    def init(rng: random.Random, _index: int) -> int:
+        return rng.randint(1, 8) if rng.random() < p_nonzero else 0
+
+    return init
+
+
+def small_ints(lo: int = 1, hi: int = 64) -> Callable[[random.Random, int], int]:
+    def init(rng: random.Random, _index: int) -> int:
+        return rng.randint(lo, hi)
+
+    return init
+
+
+def unit_floats() -> Callable[[random.Random, int], float]:
+    def init(rng: random.Random, _index: int) -> float:
+        return rng.uniform(0.5, 1.5)
+
+    return init
+
+
+# ----------------------------------------------------------------------
+# Random small programs for property-based tests.
+# ----------------------------------------------------------------------
+
+
+def random_program(
+    seed: int,
+    n_loops: int = 2,
+    body_size: int = 8,
+    trip: int = 12,
+    fp: bool = False,
+    stores: bool = True,
+) -> Workload:
+    """A random, always-terminating program for fuzz/property tests.
+
+    Structure: ``n_loops`` counted loops, each with a random mix of ALU
+    ops, loads, guarded regions and (optionally) stores; every memory
+    access stays inside a declared array.
+    """
+    builder = WorkloadBuilder(f"random{seed}", seed, numeric=fp)
+    rng = builder.rng
+    data = builder.array("data", 64, small_ints(0, 6))
+    out = builder.array("out", 64, lambda _r, _i: 0)
+    accs = [R(1), R(2), R(3)]
+    for reg in accs:
+        builder.begin().append(mov(reg, 0))
+    facc: Optional[Register] = None
+    if fp:
+        facc = F(1)
+        builder.begin().append(Instruction(Opcode.FCVT_IF, dest=facc, srcs=(R(1),)))
+
+    def body(block: Block, counter: Register) -> None:
+        current = block
+        idx = R(13)
+        addr = R(14)
+        val = R(4)
+        current.append(Instruction(Opcode.AND, dest=idx, srcs=(counter, 63)))
+        current.append(Instruction(Opcode.ADD, dest=addr, srcs=(data, idx)))
+        current.append(load(val, addr, 0))
+        for step in range(body_size):
+            choice = rng.random()
+            if choice < 0.35:
+                op = rng.choice([Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MUL])
+                current.append(
+                    Instruction(op, dest=rng.choice(accs), srcs=(rng.choice(accs), val))
+                )
+            elif choice < 0.55:
+                current.append(load(val, addr, rng.randint(0, 3)))
+            elif choice < 0.7 and stores:
+                oaddr = R(12)
+                current.append(Instruction(Opcode.ADD, dest=oaddr, srcs=(out, idx)))
+                current.append(store(oaddr, 0, rng.choice(accs)))
+            elif choice < 0.85:
+                skip = builder.label("rskip")
+                current.append(branch(Opcode.BEQ, val, rng.randint(0, 3), skip))
+                current.append(
+                    Instruction(Opcode.ADD, dest=accs[0], srcs=(accs[0], step + 1))
+                )
+                if stores and rng.random() < 0.5:
+                    oaddr = R(12)
+                    current.append(
+                        Instruction(Opcode.ADD, dest=oaddr, srcs=(out, idx))
+                    )
+                    current.append(store(oaddr, 1, accs[0]))
+                join = Block(skip)
+                builder.program.blocks.append(join)
+                current = join
+            elif fp and facc is not None:
+                fval = F(2)
+                current.append(Instruction(Opcode.FCVT_IF, dest=fval, srcs=(val,)))
+                current.append(
+                    Instruction(Opcode.FADD, dest=facc, srcs=(facc, fval))
+                )
+            else:
+                current.append(
+                    Instruction(Opcode.SLL, dest=accs[1], srcs=(accs[1], 1))
+                )
+    builder.counted_loop(trip, body)
+    return builder.finish(accs + ([facc] if facc is not None else []))

@@ -1,0 +1,203 @@
+"""Hand-written assembly kernels with prepared memory images.
+
+Small, readable programs used by tests, examples and documentation — each
+returns ``(program, memory, expected)`` where ``expected`` maps result
+addresses to the values a correct execution must leave there.  Unlike the
+generated suite stand-ins these are meant to be read: they are the
+idiomatic code shapes the paper's speculation models act on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..arch.memory import Memory
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+Value = float
+
+KERNELS = {}
+
+
+def _kernel(fn):
+    KERNELS[fn.__name__] = fn
+    return fn
+
+
+@_kernel
+def saxpy(n: int = 24, a: int = 3) -> Tuple[Program, Memory, Dict[int, Value]]:
+    """``y[i] += a * x[i]`` — the matrix300 inner-loop shape: counted loop,
+    independent iterations, no data-dependent branches."""
+    program = assemble(f"""
+entry:
+    r1 = mov 0
+    r2 = mov 1000        ; x[]
+    r3 = mov 2000        ; y[]
+    r4 = mov {a}
+    f4 = cvtif r4
+loop:
+    f1 = fload [r2+0]
+    f2 = fload [r3+0]
+    f3 = fmul f4, f1
+    f2 = fadd f2, f3
+    fstore [r3+0], f2
+    r2 = add r2, 1
+    r3 = add r3, 1
+    r1 = add r1, 1
+    blt r1, {n}, loop
+done:
+    halt
+""")
+    memory = Memory()
+    expected: Dict[int, Value] = {}
+    for i in range(n):
+        memory.poke(1000 + i, float(i + 1))
+        memory.poke(2000 + i, float(i))
+        expected[2000 + i] = float(i) + a * float(i + 1)
+    return program, memory, expected
+
+
+@_kernel
+def memcmp_kernel(n: int = 20) -> Tuple[Program, Memory, Dict[int, Value]]:
+    """First-difference scan — the cmp shape: two loads feeding a late
+    guard, with an early exit."""
+    program = assemble(f"""
+entry:
+    r1 = mov 0
+    r2 = mov 1000        ; a[]
+    r3 = mov 2000        ; b[]
+    r9 = mov -1          ; result: first differing index
+loop:
+    r4 = load [r2+0]
+    r5 = load [r3+0]
+    bne r4, r5, differ
+    r2 = add r2, 1
+    r3 = add r3, 1
+    r1 = add r1, 1
+    blt r1, {n}, loop
+same:
+    store [r0+500], r9
+    halt
+differ:
+    store [r0+500], r1
+    halt
+""")
+    memory = Memory()
+    expected = {500: -1}
+    for i in range(n):
+        memory.poke(1000 + i, i % 7)
+        memory.poke(2000 + i, i % 7)
+    diff_at = n - 4
+    memory.poke(2000 + diff_at, 99)
+    expected[500] = diff_at
+    return program, memory, expected
+
+
+@_kernel
+def strlen_kernel(length: int = 17) -> Tuple[Program, Memory, Dict[int, Value]]:
+    """Null-terminated scan — a pure while loop whose exit condition is
+    loaded data: speculation is the only way to overlap iterations."""
+    program = assemble("""
+entry:
+    r1 = mov 1000
+    r2 = mov 0
+loop:
+    r3 = load [r1+0]
+    beq r3, 0, out
+    r1 = add r1, 1
+    r2 = add r2, 1
+    jump loop
+out:
+    store [r0+500], r2
+    halt
+""")
+    memory = Memory()
+    for i in range(length):
+        memory.poke(1000 + i, 65 + (i % 26))
+    memory.poke(1000 + length, 0)
+    return program, memory, {500: length}
+
+
+@_kernel
+def list_sum(nodes: int = 12) -> Tuple[Program, Memory, Dict[int, Value]]:
+    """Linked-list walk — the xlisp shape: a dependent load chain where the
+    *address* of the next load is the previous load's result."""
+    program = assemble("""
+entry:
+    r1 = mov 1000        ; head pointer cell
+    r2 = mov 0           ; sum
+    r1 = load [r1+0]
+loop:
+    beq r1, 0, out
+    r3 = load [r1+0]     ; node.value
+    r2 = add r2, r3
+    r1 = load [r1+1]     ; node.next
+    jump loop
+out:
+    store [r0+500], r2
+    halt
+""")
+    memory = Memory()
+    base = 2000
+    total = 0
+    memory.poke(1000, base)
+    for i in range(nodes):
+        address = base + 2 * i
+        value = 5 + i
+        total += value
+        memory.poke(address, value)
+        memory.poke(address + 1, address + 2 if i + 1 < nodes else 0)
+    return program, memory, {500: total}
+
+
+@_kernel
+def hash_probe(n: int = 16) -> Tuple[Program, Memory, Dict[int, Value]]:
+    """Hash-table probe with a store under the hit guard — the shape where
+    speculative stores pay off."""
+    program = assemble(f"""
+entry:
+    r1 = mov 0
+    r2 = mov 1000        ; keys[]
+    r3 = mov 2000        ; table[]
+    r6 = mov 3000        ; marks[]
+    r5 = mov 0           ; hits
+probe:
+    r11 = load [r2+0]
+    r12 = and r11, 15
+    r13 = add r3, r12
+    r14 = load [r13+0]
+    bne r14, r11, miss
+    r15 = add r6, r12
+    store [r15+0], r11   ; mark the hit slot
+    r5 = add r5, 1
+miss:
+    r2 = add r2, 1
+    r1 = add r1, 1
+    blt r1, {n}, probe
+out:
+    store [r0+500], r5
+    halt
+""")
+    memory = Memory()
+    for j in range(16):
+        memory.poke(2000 + j, j if j % 2 else 0)
+    hits = 0
+    expected: Dict[int, Value] = {}
+    for i in range(n):
+        # mostly-hitting keys (all odd -> table[key] == key), with a few
+        # misses so the guard stays a real branch
+        key = ((3 * i) % 16) | 1 if i % 5 else 2
+        memory.poke(1000 + i, key)
+        if key % 2:
+            hits += 1
+            expected[3000 + key] = key
+    expected[500] = hits
+    return program, memory, expected
+
+
+def build_kernel(name: str, **kwargs):
+    """Build a named kernel: (program, memory, expected)."""
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; choose from {sorted(KERNELS)}")
+    return KERNELS[name](**kwargs)

@@ -1,0 +1,547 @@
+"""The 17 benchmark stand-ins of the paper's evaluation (Section 5.1).
+
+"The benchmarks used in this study consist of 5 numeric and 12 non-numeric
+programs.  The numeric programs are all from the SPEC suite, doduc, fpppp,
+matrix300, nasa7, and tomcatv.  The non-numeric programs consist of 3
+programs from the SPEC suite, eqntott, espresso, and xlisp; and 9 other
+commonly used non-numeric programs, cccp, cmp, compress, eqn, grep, lex,
+tbl, wc, and yacc."
+
+Each stand-in is a deterministic synthetic program (see
+:mod:`repro.workloads.generator`) that reproduces the workload features the
+paper names as decisive for its benchmark:
+
+* non-numeric programs: hot loops dominated by *data-dependent* branches
+  (guards on loaded values), dependent load chains, varying store density,
+* `cmp`/`grep`: stores under hot guards (paper: >20 % gain from
+  speculative stores) vs `wc`/`eqntott`: no stores in the hot loop
+  (paper: no gain),
+* `fpppp`/`matrix300`/`nasa7`: FP kernels with only counted-loop branches
+  ("few conditional branches are present in the most important program
+  sections") — little benefit from any speculation model,
+* `doduc`/`tomcatv`: numeric code with conditional branches in hot
+  sections — large sentinel gains (paper: +36 % / +38 % at issue 4).
+
+Hot-loop memory accesses use strength-reduced pointers (one register per
+array, bumped at the loop bottom) as real optimizing compilers emit, so
+address arithmetic stays off the critical path and the models separate on
+their actual lever: whether loads may cross branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..isa.instruction import Instruction, branch, fload, fstore, jump, load, mov, store
+from ..isa.opcodes import Opcode
+from ..isa.program import Block
+from ..isa.registers import F, R, Register
+from .generator import (
+    Workload,
+    WorkloadBuilder,
+    biased_binary,
+    small_ints,
+    unit_floats,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str
+    numeric: bool
+    build: Callable[[int, float], Workload]
+    description: str
+
+
+def weighted_tokens(p_zero: float, arms: int):
+    """Token initializer: 0 with probability ``p_zero`` (the hot dispatch
+    arm), else uniform over 1..arms."""
+
+    def init(rng, _index):
+        return 0 if rng.random() < p_zero else rng.randint(1, max(1, arms))
+
+    return init
+
+
+def _fzero(b: WorkloadBuilder, *regs: Register) -> None:
+    zero = R(9)
+    b.begin().append(mov(zero, 0))
+    for reg in regs:
+        b.begin().append(Instruction(Opcode.FCVT_IF, dest=reg, srcs=(zero,)))
+
+
+# ----------------------------------------------------------------------
+# Non-numeric stand-ins.
+# ----------------------------------------------------------------------
+
+
+def _cmp(seed: int, scale: float = 1.0) -> Workload:
+    """Byte-compare loop: two loads, a late guard, a store under the guard
+    (the paper's best case for speculative stores)."""
+    trip = int(700 * scale)
+    b = WorkloadBuilder("cmp", seed)
+    b.array("data_left", trip + 4, small_ints(0, 4), aliased=True)
+    b.array("data_right", trip + 4, small_ints(0, 4), aliased=True)
+    b.array("out_diffs", trip + 4, lambda _r, _i: 0, aliased=True)
+    ndiff, acc = R(1), R(2)
+    b.begin().append(mov(ndiff, 0))
+    b.begin().append(mov(acc, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        a_val, b_val = R(4), R(5)
+        block.append(load(a_val, p["data_left"], 0))
+        block.append(load(b_val, p["data_right"], 0))
+        diff = R(6)
+        block.append(Instruction(Opcode.SUB, dest=diff, srcs=(a_val, b_val)))
+        skip = b.label("same")
+        block.append(branch(Opcode.BEQ, diff, 0, skip))  # late: needs both loads
+        block.append(store(p["out_diffs"], 0, counter))  # store under hot guard
+        block.append(Instruction(Opcode.ADD, dest=ndiff, srcs=(ndiff, 1)))
+        block.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, diff)))
+        b.program.blocks.append(Block(skip))
+
+    b.counted_loop(
+        trip, body, pointers={"data_left": 1, "data_right": 1, "out_diffs": 1}
+    )
+    return b.finish([ndiff, acc])
+
+
+def _grep(seed: int, scale: float = 1.0) -> Workload:
+    """Line scan: copy each non-newline character into the current line
+    buffer (a store under a hot, late guard) and check it against the
+    pattern.  Pointer-argument aliasing means the copy blocks later loads
+    unless the store speculates — the paper's best case for speculative
+    stores (>20 % in Figure 5)."""
+    trip = int(700 * scale)
+    b = WorkloadBuilder("grep", seed)
+    b.array("data_text", trip + 4, small_ints(0, 9), aliased=True)
+    b.array("out_line", trip + 4, lambda _r, _i: 0, aliased=True)
+    b.array("out_matches", trip + 4, lambda _r, _i: 0, aliased=True)
+    nmatch, checksum = R(1), R(2)
+    b.begin().append(mov(nmatch, 0))
+    b.begin().append(mov(checksum, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        c0 = R(4)
+        block.append(load(c0, p["data_text"], 0))
+        block.append(Instruction(Opcode.ADD, dest=checksum, srcs=(checksum, c0)))
+        newline = b.label("newline")
+        block.append(branch(Opcode.BEQ, c0, 9, newline))  # late, ~10% taken
+        block.append(store(p["out_line"], 0, c0))  # hot copy under the guard
+        miss = b.label("miss")
+        block.append(branch(Opcode.BNE, c0, 7, miss))  # pattern char, late
+        block.append(store(p["out_matches"], 0, counter))
+        block.append(Instruction(Opcode.ADD, dest=nmatch, srcs=(nmatch, 1)))
+        b.program.blocks.append(Block(miss))
+        b.program.blocks.append(Block(newline))
+
+    b.counted_loop(
+        trip, body, pointers={"data_text": 1, "out_line": 1, "out_matches": 1}
+    )
+    return b.finish([nmatch, checksum])
+
+
+def _wc(seed: int, scale: float = 1.0) -> Workload:
+    """Word count: a load, two late guards, all counters in registers —
+    nothing for speculative stores to improve (matches Figure 5)."""
+    trip = int(800 * scale)
+    b = WorkloadBuilder("wc", seed)
+    b.array("data_text", trip + 4, small_ints(0, 9))
+    chars, words, lines = R(1), R(2), R(3)
+    for reg in (chars, words, lines):
+        b.begin().append(mov(reg, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        c = R(4)
+        block.append(load(c, p["data_text"], 0))
+        block.append(Instruction(Opcode.ADD, dest=chars, srcs=(chars, 1)))
+        notspace = b.label("notspace")
+        block.append(branch(Opcode.BNE, c, 0, notspace))  # late
+        block.append(Instruction(Opcode.ADD, dest=words, srcs=(words, 1)))
+        join = Block(notspace)
+        b.program.blocks.append(join)
+        notline = b.label("notline")
+        join.append(branch(Opcode.BNE, c, 9, notline))  # late
+        join.append(Instruction(Opcode.ADD, dest=lines, srcs=(lines, 1)))
+        b.program.blocks.append(Block(notline))
+
+    b.counted_loop(trip, body, pointers={"data_text": 1})
+    return b.finish([chars, words, lines])
+
+
+def _eqntott(seed: int, scale: float = 1.0) -> Workload:
+    """Bit-vector compare: two loads, a late guard, register accumulation."""
+    trip = int(700 * scale)
+    b = WorkloadBuilder("eqntott", seed)
+    b.array("data_a", trip + 4, small_ints(0, 3))
+    b.array("data_b", trip + 4, small_ints(0, 3))
+    order, equal = R(1), R(2)
+    b.begin().append(mov(order, 0))
+    b.begin().append(mov(equal, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        x, y = R(4), R(5)
+        block.append(load(x, p["data_a"], 0))
+        block.append(load(y, p["data_b"], 0))
+        same = b.label("same")
+        block.append(branch(Opcode.BEQ, x, y, same))  # late
+        lt = R(6)
+        block.append(Instruction(Opcode.SLT, dest=lt, srcs=(x, y)))
+        block.append(Instruction(Opcode.ADD, dest=order, srcs=(order, lt)))
+        join = Block(same)
+        b.program.blocks.append(join)
+        join.append(Instruction(Opcode.ADD, dest=equal, srcs=(equal, 1)))
+
+    b.counted_loop(trip, body, pointers={"data_a": 1, "data_b": 1})
+    return b.finish([order, equal])
+
+
+def _xlisp(seed: int, scale: float = 1.0) -> Workload:
+    """Pointer chase: guard a pointer, then a dependent load chain through
+    it, marking visited cells — the dependence shape where speculative
+    loads matter most, with a heap store under the hot guard."""
+    trip = int(650 * scale)
+    b = WorkloadBuilder("xlisp", seed)
+    b.array("data_ptrs", trip + 4, biased_binary(0.85), aliased=True)
+    heap = b.array("data_heap", 80, small_ints(1, 32), aliased=True)
+    acc, seen = R(1), R(2)
+    b.begin().append(mov(acc, 0))
+    b.begin().append(mov(seen, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        ptr = R(4)
+        block.append(load(ptr, p["data_ptrs"], 0))
+        nil = b.label("nil")
+        block.append(branch(Opcode.BEQ, ptr, 0, nil))  # late null check
+        cell = R(5)
+        block.append(Instruction(Opcode.AND, dest=cell, srcs=(ptr, 63)))
+        block.append(Instruction(Opcode.ADD, dest=cell, srcs=(cell, heap)))
+        field0, field1 = R(6), R(7)
+        block.append(load(field0, cell, 0))  # dependent load chain
+        block.append(load(field1, cell, 1))
+        block.append(store(cell, 2, counter))  # mark-visited, under the guard
+        block.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, field0)))
+        block.append(Instruction(Opcode.XOR, dest=acc, srcs=(acc, field1)))
+        block.append(Instruction(Opcode.ADD, dest=seen, srcs=(seen, 1)))
+        b.program.blocks.append(Block(nil))
+
+    b.counted_loop(trip, body, pointers={"data_ptrs": 1})
+    return b.finish([acc, seen])
+
+
+def _table_scanner(
+    name: str,
+    seed: int,
+    scale: float,
+    trip: int,
+    dispatch_arms: int,
+    store_arms: int,
+    alu_chain: int,
+) -> Workload:
+    """Parser/filter shape shared by cccp/eqn/lex/tbl/yacc/compress/espresso:
+    a token load, a small dispatch tree of late branches, per-arm work with
+    an indexed table load, and stores in ``store_arms`` of the arms."""
+    trip = int(trip * scale)
+    b = WorkloadBuilder(name, seed)
+    b.array("data_tokens", trip + 4, weighted_tokens(0.65, dispatch_arms), aliased=True)
+    table = b.array("data_table", 64, small_ints(1, 50))
+    b.array("out_actions", trip + 4, lambda _r, _i: 0, aliased=True)
+    acc, count = R(1), R(2)
+    b.begin().append(mov(acc, 0))
+    b.begin().append(mov(count, 0))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register]) -> None:
+        tok = R(4)
+        block.append(load(tok, p["data_tokens"], 0))
+        done = b.label("dispatch_done")
+        current = block
+        for arm in range(dispatch_arms):
+            next_arm = b.label("arm")
+            current.append(branch(Opcode.BNE, tok, arm, next_arm))  # late
+            taddr = R(12)
+            current.append(Instruction(Opcode.AND, dest=taddr, srcs=(counter, 63)))
+            current.append(Instruction(Opcode.ADD, dest=taddr, srcs=(taddr, table)))
+            tval = R(5)
+            current.append(load(tval, taddr, 0))
+            work = R(6)
+            current.append(Instruction(Opcode.ADD, dest=work, srcs=(tval, arm + 1)))
+            for _step in range(alu_chain):
+                current.append(Instruction(Opcode.XOR, dest=work, srcs=(work, tok)))
+                current.append(Instruction(Opcode.ADD, dest=work, srcs=(work, tval)))
+            current.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, work)))
+            if arm < store_arms:
+                # Record the token (early data) under the late dispatch
+                # guard; it may alias later loads, so only store
+                # speculation keeps the next iteration's loads flowing
+                # (Section 4).
+                current.append(store(p["out_actions"], 0, tok))
+                if store_arms > 1:
+                    current.append(store(p["out_actions"], 1, work))
+            current.append(Instruction(Opcode.ADD, dest=count, srcs=(count, 1)))
+            current.append(jump(done))
+            arm_block = Block(next_arm)
+            b.program.blocks.append(arm_block)
+            current = arm_block
+        current.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, tok)))
+        b.program.blocks.append(Block(done))
+
+    b.counted_loop(trip, body, pointers={"data_tokens": 1, "out_actions": 1})
+    return b.finish([acc, count])
+
+
+def _cccp(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("cccp", seed, scale, trip=530, dispatch_arms=3, store_arms=2, alu_chain=1)
+
+
+def _compress(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("compress", seed, scale, trip=590, dispatch_arms=2, store_arms=2, alu_chain=2)
+
+
+def _eqn(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("eqn", seed, scale, trip=500, dispatch_arms=3, store_arms=1, alu_chain=1)
+
+
+def _espresso(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("espresso", seed, scale, trip=560, dispatch_arms=2, store_arms=1, alu_chain=3)
+
+
+def _lex(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("lex", seed, scale, trip=530, dispatch_arms=4, store_arms=1, alu_chain=1)
+
+
+def _tbl(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("tbl", seed, scale, trip=500, dispatch_arms=3, store_arms=2, alu_chain=2)
+
+
+def _yacc(seed: int, scale: float = 1.0) -> Workload:
+    return _table_scanner("yacc", seed, scale, trip=560, dispatch_arms=4, store_arms=2, alu_chain=2)
+
+
+# ----------------------------------------------------------------------
+# Numeric stand-ins.
+# ----------------------------------------------------------------------
+
+
+def _matrix300(seed: int, scale: float = 1.0) -> Workload:
+    """SAXPY-style vector update (``y[i] += a * x[i]``): counted loop,
+    independent iterations, stores on the unguarded path — the shape where
+    restricted percolation already does well (Figure 4) and speculative
+    stores buy nothing (Figure 5)."""
+    trip = int(600 * scale)
+    b = WorkloadBuilder("matrix300", seed, numeric=True)
+    b.array("data_x", trip + 8, unit_floats())
+    b.array("data_y", trip + 8, unit_floats())
+    coeff = F(1)
+    one = R(9)
+    b.begin().append(mov(one, 3))
+    b.begin().append(Instruction(Opcode.FCVT_IF, dest=coeff, srcs=(one,)))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register], copy: int) -> None:
+        x, y = F(2), F(3)
+        block.append(fload(x, p["data_x"], copy))
+        block.append(fload(y, p["data_y"], copy))
+        prod, res = F(4), F(5)
+        block.append(Instruction(Opcode.FMUL, dest=prod, srcs=(coeff, x)))
+        block.append(Instruction(Opcode.FADD, dest=res, srcs=(y, prod)))
+        block.append(fstore(p["data_y"], copy, res))
+
+    b.counted_loop_unrolled(trip, 4, body, pointers={"data_x": 1, "data_y": 1})
+    return b.finish([coeff])
+
+
+def _fpppp(seed: int, scale: float = 1.0) -> Workload:
+    """Long straight-line FP expression blocks over a data stream, one
+    counted loop, no guards — restricted percolation keeps pace because
+    there are almost no branches to cross (Figure 4)."""
+    trip = int(500 * scale)
+    b = WorkloadBuilder("fpppp", seed, numeric=True)
+    b.array("data_f", 4 * trip + 16, unit_floats())
+    b.array("out_f", 2 * trip + 16, lambda _r, _i: 0)
+
+    def body(block: Block, counter: Register, p: Dict[str, Register], copy: int) -> None:
+        vals = [F(4), F(5), F(6), F(7)]
+        for offset, reg in enumerate(vals):
+            block.append(fload(reg, p["data_f"], 4 * copy + offset))
+        t0, t1, t2, t3 = F(8), F(9), F(10), F(2)
+        block.append(Instruction(Opcode.FMUL, dest=t0, srcs=(vals[0], vals[1])))
+        block.append(Instruction(Opcode.FADD, dest=t1, srcs=(vals[2], vals[3])))
+        block.append(Instruction(Opcode.FMUL, dest=t2, srcs=(t0, t1)))
+        block.append(Instruction(Opcode.FSUB, dest=t3, srcs=(t2, t0)))
+        block.append(fstore(p["out_f"], 2 * copy + 0, t2))
+        block.append(fstore(p["out_f"], 2 * copy + 1, t3))
+
+    b.counted_loop_unrolled(trip, 2, body, pointers={"data_f": 4, "out_f": 2})
+    return b.finish([])
+
+
+def _nasa7(seed: int, scale: float = 1.0) -> Workload:
+    """FP kernel with a mildly-biased guard around an FP store."""
+    trip = int(600 * scale)
+    b = WorkloadBuilder("nasa7", seed, numeric=True)
+    b.array("data_grid", 2 * trip + 8, unit_floats())
+    b.array("data_flags", trip + 4, biased_binary(0.3))
+    b.array("out_grid", trip + 4, lambda _r, _i: 0, aliased=True)
+    accs = [F(1), F(11)]
+    _fzero(b, *accs)
+
+    def body(block: Block, counter: Register, p: Dict[str, Register], copy: int) -> None:
+        acc = accs[copy % 2]
+        v0, v1 = F(2), F(3)
+        block.append(fload(v0, p["data_grid"], 2 * copy + 0))
+        block.append(fload(v1, p["data_grid"], 2 * copy + 1))
+        prod = F(4)
+        block.append(Instruction(Opcode.FMUL, dest=prod, srcs=(v0, v1)))
+        block.append(Instruction(Opcode.FADD, dest=acc, srcs=(acc, prod)))
+        flag = R(5)
+        block.append(load(flag, p["data_flags"], copy))
+        skip = b.label("noflag")
+        block.append(branch(Opcode.BEQ, flag, 0, skip))  # late guard
+        block.append(fstore(p["out_grid"], copy, prod))
+        b.program.blocks.append(Block(skip))
+
+    b.counted_loop_unrolled(
+        trip, 2, body, pointers={"data_grid": 2, "data_flags": 1, "out_grid": 1}
+    )
+    return b.finish(accs)
+
+
+def _doduc(seed: int, scale: float = 1.0) -> Workload:
+    """Monte-Carlo-ish: FP chains steered by data-dependent branches."""
+    trip = int(600 * scale)
+    b = WorkloadBuilder("doduc", seed, numeric=True)
+    b.array("data_state", trip + 4, small_ints(0, 3))
+    b.array("data_field", 2 * trip + 8, unit_floats())
+    b.array("out_trace", 2 * trip + 8, lambda _r, _i: 0, aliased=True)
+    pairs = [(F(1), F(2)), (F(11), F(12))]
+    _fzero(b, *(reg for pair in pairs for reg in pair))
+
+    def body(block: Block, counter: Register, p: Dict[str, Register], copy: int) -> None:
+        acc0, acc1 = pairs[copy % 2]
+        state = R(5)
+        block.append(load(state, p["data_state"], copy))
+        v = F(3)
+        block.append(fload(v, p["data_field"], 2 * copy + 0))
+        other = b.label("state_other")
+        block.append(branch(Opcode.BNE, state, 0, other))  # late
+        t = F(4)
+        block.append(Instruction(Opcode.FMUL, dest=t, srcs=(v, v)))
+        block.append(Instruction(Opcode.FADD, dest=acc0, srcs=(acc0, t)))
+        block.append(fstore(p["out_trace"], copy, t))  # trace write, may alias
+        join = Block(other)
+        b.program.blocks.append(join)
+        cold = b.label("state_cold")
+        join.append(branch(Opcode.BGT, state, 2, cold))  # late
+        u = F(5)
+        join.append(fload(u, p["data_field"], 2 * copy + 1))
+        join.append(Instruction(Opcode.FMUL, dest=u, srcs=(u, v)))
+        join.append(Instruction(Opcode.FADD, dest=acc1, srcs=(acc1, u)))
+        b.program.blocks.append(Block(cold))
+
+    b.counted_loop_unrolled(trip, 2, body, pointers={"data_state": 1, "data_field": 2, "out_trace": 1})
+    return b.finish([reg for pair in pairs for reg in pair])
+
+
+def _tomcatv(seed: int, scale: float = 1.0) -> Workload:
+    """Mesh relaxation: FP loads, a convergence-style late guard, stores on
+    the unguarded path (little benefit from speculative stores)."""
+    trip = int(600 * scale)
+    b = WorkloadBuilder("tomcatv", seed, numeric=True)
+    b.array("data_mesh", 2 * trip + 8, unit_floats())
+    b.array("data_mask", trip + 4, biased_binary(0.75))
+    b.array("out_mesh", trip + 4, lambda _r, _i: 0)
+    errs = [F(1), F(11)]
+    _fzero(b, *errs)
+
+    def body(block: Block, counter: Register, p: Dict[str, Register], copy: int) -> None:
+        err = errs[copy % 2]
+        active = R(5)
+        block.append(load(active, p["data_mask"], copy))
+        v0, v1 = F(2), F(3)
+        block.append(fload(v0, p["data_mesh"], 2 * copy + 0))
+        block.append(fload(v1, p["data_mesh"], 2 * copy + 1))
+        relax = F(4)
+        block.append(Instruction(Opcode.FADD, dest=relax, srcs=(v0, v1)))
+        # Unconditional store (outside any guard, so speculative stores buy
+        # nothing — matching the paper's tomcatv).
+        block.append(fstore(p["out_mesh"], copy, relax))
+        inactive = b.label("inactive")
+        block.append(branch(Opcode.BEQ, active, 0, inactive))  # late guard
+        d = F(5)
+        block.append(Instruction(Opcode.FSUB, dest=d, srcs=(v0, v1)))
+        block.append(Instruction(Opcode.FMUL, dest=d, srcs=(d, d)))
+        block.append(Instruction(Opcode.FADD, dest=err, srcs=(err, d)))
+        b.program.blocks.append(Block(inactive))
+
+    b.counted_loop_unrolled(
+        trip, 2, body, pointers={"data_mesh": 2, "data_mask": 1, "out_mesh": 1}
+    )
+    return b.finish(errs)
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+
+NON_NUMERIC_NAMES = (
+    "cccp",
+    "cmp",
+    "compress",
+    "eqn",
+    "eqntott",
+    "espresso",
+    "grep",
+    "lex",
+    "tbl",
+    "wc",
+    "xlisp",
+    "yacc",
+)
+NUMERIC_NAMES = ("doduc", "fpppp", "matrix300", "nasa7", "tomcatv")
+ALL_NAMES = NON_NUMERIC_NAMES + NUMERIC_NAMES
+
+_BUILDERS: Dict[str, Callable[..., Workload]] = {
+    "cccp": _cccp,
+    "cmp": _cmp,
+    "compress": _compress,
+    "eqn": _eqn,
+    "eqntott": _eqntott,
+    "espresso": _espresso,
+    "grep": _grep,
+    "lex": _lex,
+    "tbl": _tbl,
+    "wc": _wc,
+    "xlisp": _xlisp,
+    "yacc": _yacc,
+    "doduc": _doduc,
+    "fpppp": _fpppp,
+    "matrix300": _matrix300,
+    "nasa7": _nasa7,
+    "tomcatv": _tomcatv,
+}
+
+SUITE: Dict[str, WorkloadSpec] = {
+    name: WorkloadSpec(
+        name=name,
+        numeric=name in NUMERIC_NAMES,
+        build=builder,
+        description=(builder.__doc__ or "").strip(),
+    )
+    for name, builder in _BUILDERS.items()
+}
+
+
+def build_workload(name: str, seed: int = 0, scale: float = 1.0) -> Workload:
+    """Build one benchmark stand-in by name.
+
+    ``scale`` multiplies every loop trip count: profiles (and measured
+    cycle counts) grow linearly while speedup ratios stay put, so the
+    default is sized for fast sweeps and benches can scale up.
+    """
+    if name not in SUITE:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(SUITE)}")
+    return SUITE[name].build(seed, scale)
+
+
+def all_workloads(seed: int = 0, scale: float = 1.0) -> List[Workload]:
+    return [build_workload(name, seed, scale) for name in ALL_NAMES]

@@ -1,0 +1,215 @@
+"""Instruction boosting (Section 2.3) — the shadow-hardware competitor.
+
+The paper describes boosting as the precise-but-expensive alternative:
+shadow register files and store buffers hold boosted results until the
+branches commit, squash them on mispredicts, and signal buffered
+exceptions at commit.  These tests verify the scheduler's N-branch bound,
+the shadow bank's commit/squash semantics, end-to-end equivalence, and
+exception precision at commit.
+"""
+
+import pytest
+
+from repro.arch.exceptions import SimulationError, Trap, TrapKind
+from repro.arch.memory import Memory
+from repro.arch.processor import run_scheduled
+from repro.arch.shadow import ShadowBank
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.liveness import Liveness
+from repro.deps.reduction import SENTINEL, boosting_policy
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.sched.list_scheduler import schedule_block
+from repro.workloads.suites import build_workload
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory, unit_latency_machine
+
+
+def compile_boosted(src_or_prog, n, memory=None, unroll=2, width=8):
+    prog = assemble(src_or_prog) if isinstance(src_or_prog, str) else src_or_prog
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=memory.clone() if memory else None)
+    machine = paper_machine(width)
+    comp = compile_program(
+        bb, training.profile, machine, boosting_policy(n), unroll_factor=unroll
+    )
+    return prog, comp, machine
+
+
+class TestShadowBank:
+    def test_commit_on_fallthrough(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 42, None, 10, (100,))
+        commits = bank.resolve(100, taken=False)
+        assert len(commits) == 1 and commits[0].value == 42
+        assert bank.pending_count() == 0
+
+    def test_squash_on_taken(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 42, None, 10, (100,))
+        assert bank.resolve(100, taken=True) == []
+        assert bank.pending_count() == 0
+        assert bank.squashed == 1
+
+    def test_multi_branch_pending(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 42, None, 10, (100, 101))
+        assert bank.resolve(100, taken=False) == []
+        assert bank.pending_count() == 1
+        commits = bank.resolve(101, taken=False)
+        assert len(commits) == 1
+
+    def test_read_newest(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 1, None, 10, (100,))
+        bank.write_register(R(1), 2, None, 11, (100,))
+        assert bank.read_register(R(1)).value == 2
+        assert bank.read_register(R(2)) is None
+
+    def test_store_forwarding_skips_faulty(self):
+        bank = ShadowBank()
+        bank.write_store(500, 7, None, 10, (100,))
+        bank.write_store(
+            501, 8, Trap(TrapKind.PAGE_FAULT, address=501), 11, (100,)
+        )
+        assert bank.search_store(500) == 7
+        assert bank.search_store(501) is None
+
+    def test_commit_order_is_insertion_order(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 1, None, 10, (100,))
+        bank.write_register(R(2), 2, None, 11, (100,))
+        commits = bank.resolve(100, taken=False)
+        assert [e.pc for e in commits] == [10, 11]
+
+    def test_assert_empty(self):
+        bank = ShadowBank()
+        bank.write_register(R(1), 1, None, 10, (100,))
+        with pytest.raises(SimulationError):
+            bank.assert_empty()
+
+
+class TestBoostingScheduler:
+    LATE = (
+        "b:\n  r9 = load [r8+0]\n  beq r9, 0, L\n  r1 = load [r2+0]\n"
+        "  bne r9, 1, L\n  r3 = load [r2+1]\n  halt\nL:\n  halt"
+    )
+
+    def test_boost_bound_respected(self):
+        prog = assemble(self.LATE)
+        machine = unit_latency_machine(8)
+        for n in (1, 2):
+            result = schedule_block(
+                prog.blocks[0], prog, Liveness(prog), machine, boosting_policy(n)
+            )
+            for instr in result.scheduled.instructions():
+                assert len(instr.boost_branches) <= n
+
+    def test_no_sentinels_inserted(self):
+        prog = assemble(self.LATE)
+        machine = unit_latency_machine(8)
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), machine, boosting_policy(4)
+        )
+        assert result.stats.checks_inserted == 0
+        assert result.stats.confirms_inserted == 0
+
+    def test_liveness_restriction_discharged(self):
+        """Boosting may hoist a def that is live on the taken path — the
+        shadow file keeps the architectural value intact until commit."""
+        src = (
+            "b:\n  r9 = load [r8+0]\n  beq r9, 0, out\n  r1 = mov 7\n"
+            "  store [r0+1], r1\n  halt\n"
+            "out:\n  store [r0+2], r1\n  halt"  # r1 live when taken
+        )
+        prog = assemble(src)
+        machine = unit_latency_machine(8)
+        boosted = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), machine, boosting_policy(2)
+        )
+        plain = schedule_block(
+            assemble(src).blocks[0], assemble(src), Liveness(assemble(src)),
+            machine, SENTINEL,
+        )
+        mov_boost = next(
+            i for i in boosted.scheduled.instructions() if i.dest is R(1)
+        )
+        assert mov_boost.spec and mov_boost.boost_branches
+        mov_plain = next(
+            i for i in plain.scheduled.instructions() if i.dest is R(1)
+        )
+        assert not mov_plain.spec  # restriction 1 pins it under sentinel
+
+
+class TestBoostingExecution:
+    def test_equivalence_guarded_loop(self):
+        mem = guarded_loop_memory()
+        ref = run_program(assemble(GUARDED_LOOP_ASM), memory=mem.clone())
+        for n in (1, 2, 4):
+            _p, comp, machine = compile_boosted(GUARDED_LOOP_ASM, n, memory=mem)
+            out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+            assert_equivalent(ref, out, context=f"boosting{n}")
+
+    @pytest.mark.parametrize("name", ["cmp", "wc", "tomcatv"])
+    def test_equivalence_benchmarks(self, name):
+        workload = build_workload(name, scale=0.08)
+        ref = run_program(workload.program, memory=workload.make_memory())
+        _p, comp, machine = compile_boosted(
+            workload.program, 4, memory=workload.make_memory(), unroll=3
+        )
+        out = run_scheduled(comp.scheduled, machine, memory=workload.make_memory())
+        assert_equivalent(ref, out, context=f"{name}/boosting4")
+
+    def test_exception_signalled_at_commit_with_original_pc(self):
+        mem = guarded_loop_memory(fault_at=3)
+        ref = run_program(assemble(GUARDED_LOOP_ASM), memory=mem.clone())
+        _p, comp, machine = compile_boosted(
+            GUARDED_LOOP_ASM, 2, memory=guarded_loop_memory()
+        )
+        out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+        assert out.aborted
+        exc = out.exceptions[0]
+        assert exc.origin_pc == ref.exceptions[0].origin_pc
+        # the reporter is the committing branch, not the load itself
+        assert exc.reporter_pc != exc.pc
+
+    def test_squashed_exception_ignored(self):
+        mem = guarded_loop_memory(null_at=3)
+        mem.inject_page_fault(0)  # the null pointer's target
+        _p, comp, machine = compile_boosted(
+            GUARDED_LOOP_ASM, 2, memory=guarded_loop_memory()
+        )
+        out = run_scheduled(comp.scheduled, machine, memory=mem)
+        assert out.halted and out.exceptions == []
+        assert out.shadow_squashes >= 1 if hasattr(out, "shadow_squashes") else True
+
+    def test_recover_policy_rejected(self):
+        _p, comp, machine = compile_boosted(
+            GUARDED_LOOP_ASM, 1, memory=guarded_loop_memory()
+        )
+        with pytest.raises(ValueError):
+            run_scheduled(
+                comp.scheduled, machine, memory=guarded_loop_memory(),
+                on_exception="recover",
+            )
+
+
+class TestBoostingScaling:
+    def test_more_levels_never_slower(self):
+        workload = build_workload("wc", scale=0.08)
+        bb = to_basic_blocks(workload.program)
+        training = run_program(bb, memory=workload.make_memory())
+        machine = paper_machine(8)
+        cycles = {}
+        for n in (1, 2, 8):
+            comp = compile_program(
+                bb, training.profile, machine, boosting_policy(n), unroll_factor=3
+            )
+            cycles[n] = run_scheduled(
+                comp.scheduled, machine, memory=workload.make_memory()
+            ).cycles
+        assert cycles[8] <= cycles[1] * 1.02

@@ -1,0 +1,147 @@
+"""Colwell et al.'s NaN variant of general percolation — Section 2.4.
+
+"Colwell et al. detect some exceptions by writing NaN into the destination
+register of any non-trapping instruction which produces an exception.  The
+use of NaN is then signaled by any trapping instruction.  This method,
+however, has difficulties determining the original excepting instruction,
+and is not guaranteed to signal an exception if the result of a
+speculative exception-causing instruction is conditionally used."
+
+These tests demonstrate all three facts: detection when a trapping
+instruction consumes the NaN, mis-attribution to the consumer, and the
+conditional-use miss — each contrasted with sentinel scheduling, which
+gets all three right.
+"""
+
+import pytest
+
+from repro.arch.memory import Memory
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import COLWELL, GENERAL, SENTINEL
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.machine.description import paper_machine
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+def compiled(policy, memory, unroll=2):
+    prog = to_basic_blocks(__import__(
+        "repro.isa.assembler", fromlist=["assemble"]
+    ).assemble(GUARDED_LOOP_ASM))
+    training = run_program(prog, memory=memory.clone())
+    machine = paper_machine(8)
+    from repro.sched.compiler import compile_program
+
+    return (
+        compile_program(prog, training.profile, machine, policy, unroll_factor=unroll),
+        machine,
+    )
+
+
+class TestColwellBehaviour:
+    def test_clean_run_equivalent(self):
+        mem = guarded_loop_memory()
+        from repro.isa.assembler import assemble
+
+        reference = run_program(assemble(GUARDED_LOOP_ASM), memory=mem.clone())
+        comp, machine = compiled(COLWELL, mem)
+        out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+        assert_equivalent(reference, out, context="colwell clean")
+
+    def test_integer_chain_loses_even_the_nan(self):
+        """The guarded loop accumulates the loaded value through integer
+        adds, which destroy the integer-NaN pattern before any trapping
+        instruction sees it — the weakness behind the paper's remark that
+        "an equivalent integer NaN must be provided for this method to
+        work for integer instructions"."""
+        mem = guarded_loop_memory(fault_at=3)
+        comp, machine = compiled(COLWELL, mem)
+        out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+        assert out.halted and out.exceptions == []  # lost, like plain G
+
+    def test_fp_detects_but_misattributes(self):
+        """An FP chain propagates the NaN naturally, so colwell *does*
+        signal when a trapping instruction consumes it — at the consumer's
+        PC, not the excepting load's (the attribution critique)."""
+        from repro.isa.assembler import assemble
+
+        src = (
+            "e:\n  r8 = mov 300\n  r9 = load [r8+0]\n"
+            "  beq r9, 1, cold\n"
+            "  f1 = fload [r9+0]\n"     # faults; hoisted above the guard
+            "  f2 = fadd f1, 1.0\n"     # NaN propagates through FP
+            "  f3 = fmul f2, f2\n"      # trapping consumer: signals here
+            "  fstore [r8+8], f3\n"
+            "  halt\n"
+            "cold:\n  halt"
+        )
+        prog = assemble(src)
+        mem = Memory()
+        mem.poke(300, 100)
+        mem.inject_page_fault(100)
+        reference = run_program(prog, memory=mem.clone())
+        faulting_pc = reference.exceptions[0].origin_pc
+
+        basic = to_basic_blocks(prog)
+        clean = Memory()
+        clean.poke(300, 100)
+        clean.poke(100, 2)
+        training = run_program(basic, memory=clean)
+        machine = paper_machine(8)
+        from repro.sched.compiler import compile_program
+
+        colwell = compile_program(basic, training.profile, machine, COLWELL)
+        out = run_scheduled(colwell.scheduled, machine, memory=mem.clone())
+        spec_load = any(
+            i.spec and i.info.is_load
+            for b in colwell.scheduled.blocks for i in b.instructions()
+        )
+        assert spec_load
+        assert out.aborted  # detected...
+        assert out.exceptions[0].origin_pc != faulting_pc  # ...misattributed
+
+        sentinel = compile_program(basic, training.profile, machine, SENTINEL)
+        sout = run_scheduled(sentinel.scheduled, machine, memory=mem.clone())
+        assert sout.aborted
+        assert sout.exceptions[0].origin_pc == faulting_pc  # exact
+
+    def test_conditional_use_miss(self):
+        """A speculated faulting load whose result is used only by
+        non-trapping instructions on a path that is then branched around:
+        the NaN never reaches a trapping instruction and the exception is
+        lost — sentinel scheduling still reports it."""
+        from repro.isa.assembler import assemble
+
+        src = (
+            "e:\n  r8 = mov 300\n  r9 = load [r8+0]\n"
+            "  beq r9, 1, cold\n"
+            "  r1 = load [r9+0]\n"      # faults; hoisted above the guard
+            "  r2 = add r1, 1\n"        # non-trapping uses only
+            "  r3 = xor r2, 5\n"
+            "  halt\n"
+            "cold:\n  halt"
+        )
+        prog = assemble(src)
+        mem = Memory()
+        mem.poke(300, 100)
+        mem.inject_page_fault(100)
+        reference = run_program(prog, memory=mem.clone())
+        assert reference.aborted  # the sequential machine reports it
+
+        basic = to_basic_blocks(prog)
+        training_mem = Memory()
+        training_mem.poke(300, 100)
+        training = run_program(basic, memory=training_mem)
+        machine = paper_machine(8)
+        from repro.sched.compiler import compile_program
+
+        colwell = compile_program(basic, training.profile, machine, COLWELL)
+        out = run_scheduled(colwell.scheduled, machine, memory=mem.clone())
+        assert out.halted and out.exceptions == []  # lost!
+
+        sentinel = compile_program(basic, training.profile, machine, SENTINEL)
+        sout = run_scheduled(sentinel.scheduled, machine, memory=mem.clone())
+        assert sout.aborted
+        assert sout.exceptions[0].origin_pc == reference.exceptions[0].origin_pc

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.arch.exceptions import TrapKind
+from repro.arch.memory import Memory
+
+
+class TestMappedAccess:
+    def test_default_zero(self):
+        mem = Memory()
+        value, trap = mem.load(100)
+        assert value == 0 and trap is None
+
+    def test_store_then_load(self):
+        mem = Memory()
+        assert mem.store(100, 42) is None
+        assert mem.load(100) == (42, None)
+
+    def test_access_violation_outside_segments(self):
+        mem = Memory(segments=[(0, 100)])
+        _value, trap = mem.load(100)
+        assert trap.kind is TrapKind.ACCESS_VIOLATION
+        assert mem.store(150, 1).kind is TrapKind.ACCESS_VIOLATION
+
+    def test_multiple_segments(self):
+        mem = Memory(segments=[(0, 10), (100, 110)])
+        assert mem.is_mapped(105)
+        assert not mem.is_mapped(50)
+        mem.add_segment(40, 60)
+        assert mem.is_mapped(50)
+
+
+class TestPageFaults:
+    def test_injected_fault_traps(self):
+        mem = Memory()
+        mem.inject_page_fault(100)
+        _v, trap = mem.load(100)
+        assert trap.kind is TrapKind.PAGE_FAULT and trap.address == 100
+        assert trap.kind.repairable
+
+    def test_repair_clears_fault(self):
+        mem = Memory()
+        mem.poke(100, 9)
+        mem.inject_page_fault(100)
+        mem.repair(100)
+        assert mem.load(100) == (9, None)
+
+    def test_faulting_addresses_listing(self):
+        mem = Memory()
+        mem.inject_page_fault(5)
+        mem.inject_page_fault(3)
+        assert mem.faulting_addresses() == (3, 5)
+
+    def test_store_faults_too(self):
+        mem = Memory()
+        mem.inject_page_fault(100)
+        assert mem.store(100, 1).kind is TrapKind.PAGE_FAULT
+        assert mem.peek(100) == 0
+
+
+class TestTaggedWords:
+    """The tstore/tload spill channel preserves exception tags
+    (Section 3.2, third extension)."""
+
+    def test_tag_roundtrip(self):
+        mem = Memory()
+        mem.poke_tagged(50, 123, True)
+        assert mem.peek_tagged(50) == (123, True)
+
+    def test_untagged_store_clears(self):
+        mem = Memory()
+        mem.poke_tagged(50, 123, True)
+        mem.poke_tagged(50, 5, False)
+        assert mem.peek_tagged(50) == (5, False)
+
+    def test_clone_copies_tags_and_faults(self):
+        mem = Memory()
+        mem.poke_tagged(50, 123, True)
+        mem.inject_page_fault(60)
+        other = mem.clone()
+        assert other.peek_tagged(50) == (123, True)
+        assert other.check(60).kind is TrapKind.PAGE_FAULT
+        other.poke(50, 0)
+        assert mem.peek(50) == 123  # independent
+
+
+def test_snapshots():
+    mem = Memory()
+    mem.poke(1, 5)
+    mem.poke(2, 0)
+    assert mem.nonzero_snapshot() == {1: 5}

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.arch.exceptions import SimulationError
+from repro.arch.pc_history import PCHistoryQueue
+
+
+class TestPCHistory:
+    def test_lookup_recent(self):
+        q = PCHistoryQueue(depth=4)
+        for pc in range(4):
+            q.push(pc, pc + 100)
+        assert q.lookup(103) == 103
+        assert q.lookup(100) == 100
+
+    def test_aged_out_raises(self):
+        """An undersized queue must be caught, not silently mis-report
+        (Section 3.2's non-uniform-latency requirement)."""
+        q = PCHistoryQueue(depth=2)
+        for pc in range(5):
+            q.push(pc, pc)
+        with pytest.raises(SimulationError):
+            q.lookup(0)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PCHistoryQueue(depth=0)
+
+    def test_newest(self):
+        q = PCHistoryQueue(depth=3)
+        assert q.newest() is None
+        q.push(7, 42)
+        assert q.newest() == (7, 42)
+        assert len(q) == 1

@@ -1,0 +1,193 @@
+import pytest
+
+from repro.arch.exceptions import SimulationError, TrapKind
+from repro.arch.memory import Memory
+from repro.arch.processor import ABORT, RECORD, RECOVER, run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.liveness import Liveness
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+from repro.isa.semantics import GARBAGE_INT
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.sched.list_scheduler import schedule_block
+from repro.sched.schedule import ScheduledProgram
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory, unit_latency_machine
+
+
+def compile_src(src, policy, machine, memory=None, unroll=1):
+    prog = assemble(src)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=memory.clone() if memory else None)
+    return prog, compile_program(
+        bb, training.profile, machine, policy, unroll_factor=unroll
+    )
+
+
+class TestBasicExecution:
+    def test_straight_line(self, wide_machine):
+        src = "e:\n  r1 = mov 6\n  r2 = mul r1, 7\n  store [r0+10], r2\n  halt"
+        _prog, comp = compile_src(src, SENTINEL, wide_machine)
+        out = run_scheduled(comp.scheduled, wide_machine)
+        assert out.halted
+        assert out.memory.peek(10) == 42
+
+    def test_interlock_stalls_counted(self):
+        # load feeds a use in the next scheduled block: CRAY-1 interlocking
+        # must stall the consuming word until the latency elapses
+        machine = paper_machine(8)
+        prog = assemble(
+            "a:\n  r1 = load [r0+5]\nb:\n  r2 = add r1, 1\n  store [r0+6], r2\n  halt"
+        )
+        lv = Liveness(prog)
+        blocks = [
+            schedule_block(blk, prog, lv, machine, RESTRICTED).scheduled
+            for blk in prog.blocks
+        ]
+        scheduled = ScheduledProgram(blocks=blocks, source=prog, policy_name="restricted")
+        mem = Memory()
+        mem.poke(5, 9)
+        out = run_scheduled(scheduled, machine, memory=mem)
+        assert out.memory.peek(6) == 10
+        assert out.interlock_stalls >= 1
+
+    def test_equivalence_all_models(self, wide_machine):
+        mem = guarded_loop_memory()
+        ref = run_program(assemble(GUARDED_LOOP_ASM), memory=mem.clone())
+        for policy in (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE):
+            _prog, comp = compile_src(
+                GUARDED_LOOP_ASM, policy, wide_machine, memory=mem, unroll=2
+            )
+            out = run_scheduled(comp.scheduled, wide_machine, memory=mem.clone())
+            assert_equivalent(ref, out, context=policy.name)
+
+    def test_cycle_limit(self, wide_machine):
+        prog = assemble("a:\n  r1 = add r1, 1\n  jump a\nb:\n  halt")
+        lv = Liveness(prog)
+        blocks = [
+            schedule_block(blk, prog, lv, wide_machine, SENTINEL).scheduled
+            for blk in prog.blocks
+        ]
+        scheduled = ScheduledProgram(blocks=blocks, source=prog, policy_name="sentinel")
+        with pytest.raises(SimulationError):
+            run_scheduled(scheduled, wide_machine, max_cycles=50)
+
+
+class TestSentinelExceptionBehaviour:
+    def _fault_setup(self, policy, machine, scenario):
+        mem = guarded_loop_memory(**scenario)
+        _prog, comp = compile_src(
+            GUARDED_LOOP_ASM, policy, machine, memory=guarded_loop_memory(), unroll=2
+        )
+        return comp, mem
+
+    def test_real_fault_reported_with_original_pc(self, wide_machine):
+        comp, mem = self._fault_setup(SENTINEL, wide_machine, {"fault_at": 3})
+        out = run_scheduled(comp.scheduled, wide_machine, memory=mem)
+        assert out.aborted
+        assert out.exceptions[0].origin_pc == 6  # the guarded load
+        assert out.exceptions[0].kind is TrapKind.PAGE_FAULT
+
+    def test_speculated_but_unneeded_fault_ignored(self, wide_machine):
+        # pointer 3 is null: the guard skips the load; its speculative
+        # execution must not signal
+        mem = guarded_loop_memory(null_at=3)
+        mem.inject_page_fault(0)  # address 0 = what the null pointer reads
+        comp, _ = self._fault_setup(SENTINEL, wide_machine, {})
+        out = run_scheduled(comp.scheduled, wide_machine, memory=mem)
+        assert out.halted and not out.aborted
+        assert out.exceptions == []
+
+    def test_general_percolation_loses_the_exception(self, wide_machine):
+        comp, mem = self._fault_setup(GENERAL, wide_machine, {"fault_at": 3})
+        out = run_scheduled(comp.scheduled, wide_machine, memory=mem)
+        assert out.halted and out.exceptions == []
+        # and the result is garbage-corrupted
+        ref = run_program(
+            assemble(GUARDED_LOOP_ASM), memory=guarded_loop_memory(fault_at=3)
+        )
+        assert out.memory.peek(164) != ref.memory.peek(164)
+
+    def test_restricted_reports_precisely(self, wide_machine):
+        comp, mem = self._fault_setup(RESTRICTED, wide_machine, {"fault_at": 3})
+        out = run_scheduled(comp.scheduled, wide_machine, memory=mem)
+        assert out.aborted
+        assert out.exceptions[0].origin_pc == 6
+
+
+class TestRecoverPolicy:
+    def test_page_fault_repaired_and_rerun(self, wide_machine):
+        mem = guarded_loop_memory(fault_at=3)
+        prog = assemble(GUARDED_LOOP_ASM)
+        bb = to_basic_blocks(prog)
+        training = run_program(bb, memory=guarded_loop_memory())
+        comp = compile_program(
+            bb, training.profile, wide_machine, SENTINEL,
+            unroll_factor=2, recovery=True,
+        )
+        out = run_scheduled(
+            comp.scheduled, wide_machine, memory=mem, on_exception=RECOVER
+        )
+        assert out.halted
+        assert out.recoveries >= 1
+        ref = run_program(
+            assemble(GUARDED_LOOP_ASM),
+            memory=guarded_loop_memory(fault_at=3),
+            on_exception="repair",
+        )
+        assert out.memory.peek(164) == ref.memory.peek(164)
+
+    def test_unrepairable_aborts(self, wide_machine):
+        src = "e:\n  r1 = mov 0\n  r2 = div 10, r1\n  store [r0+1], r2\n  halt"
+        _prog, comp = compile_src(src, SENTINEL, wide_machine)
+        out = run_scheduled(comp.scheduled, wide_machine, on_exception=RECOVER)
+        assert out.aborted
+        assert out.exceptions[0].kind is TrapKind.DIV_ZERO
+
+
+class TestUninitializedTags:
+    def test_stale_tag_cleared_by_clrtag_pass(self, wide_machine):
+        """Section 3.5: a live-in register with a stale tag must not signal
+        after the compiler's clrtag insertion."""
+        src = "e:\n  r7 = add r7, 1\n  store [r0+3], r7\n  halt"
+        _prog, comp = compile_src(src, SENTINEL, wide_machine)
+        assert comp.stats.uninit_clears >= 1
+        out = run_scheduled(
+            comp.scheduled, wide_machine, init_tags={R(7): 999}
+        )
+        assert out.halted and out.exceptions == []
+
+    def test_stale_tag_signals_without_the_pass(self, wide_machine):
+        prog = assemble("e:\n  r7 = add r7, 1\n  store [r0+3], r7\n  halt")
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), wide_machine, SENTINEL
+        )
+        scheduled = ScheduledProgram(
+            blocks=[result.scheduled], source=prog, policy_name="sentinel"
+        )
+        out = run_scheduled(scheduled, wide_machine, init_tags={R(7): 999})
+        assert out.aborted
+        assert out.exceptions[0].pc == 999
+
+
+class TestTagSpill:
+    def test_tstore_tload_preserve_tags(self, wide_machine):
+        """Section 3.2's special load/store: spill a tagged register and
+        restore it without signalling."""
+        prog = assemble(
+            "e:\n  tstore [r0+30], r7\n  r8 = tload [r0+30]\n"
+            "  r9 = mov 1\n  halt"
+        )
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), wide_machine, SENTINEL
+        )
+        scheduled = ScheduledProgram(
+            blocks=[result.scheduled], source=prog, policy_name="sentinel"
+        )
+        out = run_scheduled(scheduled, wide_machine, init_tags={R(7): 555})
+        assert out.halted and out.exceptions == []
+        assert out.memory.peek_tagged(30) == (555, True)

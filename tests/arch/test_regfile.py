@@ -1,0 +1,55 @@
+from repro.arch.regfile import TaggedRegisterFile
+from repro.isa.registers import F, R
+
+
+class TestDataAndTags:
+    def test_defaults(self):
+        regs = TaggedRegisterFile()
+        assert regs.read(R(5)).data == 0
+        assert regs.read(F(5)).data == 0.0
+        assert not regs.read(R(5)).tag
+
+    def test_write_and_read(self):
+        regs = TaggedRegisterFile()
+        regs.write(R(3), 42)
+        assert regs.read(R(3)).data == 42 and not regs.read(R(3)).tag
+
+    def test_tagged_write(self):
+        regs = TaggedRegisterFile()
+        regs.write(R(3), 17, tag=True)
+        read = regs.read(R(3))
+        assert read.tag and read.data == 17
+        assert regs.tagged_registers() == (R(3),)
+
+    def test_clean_write_clears_tag(self):
+        """Table 1 rows (x,0,0): a clean result resets the tag."""
+        regs = TaggedRegisterFile()
+        regs.write(R(3), 17, tag=True)
+        regs.write(R(3), 5)
+        assert not regs.read(R(3)).tag
+
+    def test_clrtag_preserves_data(self):
+        regs = TaggedRegisterFile()
+        regs.write(R(3), 17, tag=True)
+        regs.clear_tag(R(3))
+        assert regs.read(R(3)) .data == 17
+        assert not regs.read(R(3)).tag
+
+    def test_zero_register_immutable_and_untaggable(self):
+        regs = TaggedRegisterFile()
+        regs.write(R(0), 99, tag=True)
+        regs.set_tag(R(0), 7)
+        assert regs.read(R(0)).data == 0
+        assert not regs.read(R(0)).tag
+
+    def test_int_and_fp_files_independent(self):
+        regs = TaggedRegisterFile()
+        regs.write(R(3), 1)
+        regs.write(F(3), 2.0)
+        assert regs.read(R(3)).data == 1
+        assert regs.read(F(3)).data == 2.0
+
+    def test_set_tag_for_tests(self):
+        regs = TaggedRegisterFile()
+        regs.set_tag(R(7), 123)
+        assert regs.read(R(7)) .tag and regs.read(R(7)).data == 123

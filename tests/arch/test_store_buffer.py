@@ -1,0 +1,216 @@
+"""Store buffer with probationary entries — Table 2 and Section 4.1."""
+
+import pytest
+
+from repro.arch.exceptions import SimulationError, Trap, TrapKind
+from repro.arch.memory import Memory
+from repro.arch.store_buffer import StoreBuffer, StoreBufferStall
+from repro.core.tags import TaggedValue
+
+PC = 40
+SRC_PC = 17
+FAULT = Trap(TrapKind.PAGE_FAULT, address=100)
+
+
+def make_buffer(size=4):
+    memory = Memory()
+    return StoreBuffer(size, memory), memory
+
+
+def clean_sources():
+    return [TaggedValue(5, False)]
+
+
+def tagged_sources():
+    return [TaggedValue(SRC_PC, True)]
+
+
+class TestTable2Exhaustive:
+    """All eight input rows of Table 2, in the paper's order."""
+
+    def test_row_000_confirmed_entry(self):
+        buf, _ = make_buffer()
+        out = buf.insert(False, clean_sources(), 100, 7, None, PC)
+        assert out.inserted and out.signal_pc is None
+        entry = buf.entries[0]
+        assert entry.confirmed and not entry.exc_tag
+
+    def test_row_001_signal_own(self):
+        buf, _ = make_buffer()
+        out = buf.insert(False, clean_sources(), 100, 7, FAULT, PC)
+        assert not out.inserted
+        assert out.signal_pc == PC and out.signal_own
+
+    def test_row_010_sentinel_signal(self):
+        buf, _ = make_buffer()
+        out = buf.insert(False, tagged_sources(), None, None, None, PC)
+        assert not out.inserted
+        assert out.signal_pc == SRC_PC and not out.signal_own
+
+    def test_row_011_sentinel_signal_wins(self):
+        buf, _ = make_buffer()
+        out = buf.insert(False, tagged_sources(), None, None, FAULT, PC)
+        assert out.signal_pc == SRC_PC
+
+    def test_row_100_pending_entry(self):
+        buf, _ = make_buffer()
+        out = buf.insert(True, clean_sources(), 100, 7, None, PC)
+        assert out.inserted and out.signal_pc is None
+        entry = buf.entries[0]
+        assert entry.probationary and not entry.exc_tag
+
+    def test_row_101_pending_with_own_fault(self):
+        buf, _ = make_buffer()
+        out = buf.insert(True, clean_sources(), 100, 7, FAULT, PC)
+        assert out.inserted and out.signal_pc is None
+        entry = buf.entries[0]
+        assert entry.probationary and entry.exc_tag
+        assert entry.exc_pc == PC
+
+    def test_row_110_pending_with_propagated_tag(self):
+        buf, _ = make_buffer()
+        out = buf.insert(True, tagged_sources(), None, None, None, PC)
+        entry = buf.entries[0]
+        assert entry.probationary and entry.exc_tag and entry.exc_pc == SRC_PC
+
+    def test_row_111_propagated_tag_wins(self):
+        buf, _ = make_buffer()
+        buf.insert(True, tagged_sources(), None, None, FAULT, PC)
+        assert buf.entries[0].exc_pc == SRC_PC
+
+
+class TestForwarding:
+    def test_load_sees_both_confirmed_and_pending(self):
+        buf, _ = make_buffer()
+        buf.insert(False, clean_sources(), 100, 1, None, PC)
+        buf.insert(True, clean_sources(), 200, 2, None, PC + 1)
+        assert buf.search(100) == 1
+        assert buf.search(200) == 2
+
+    def test_newest_matching_entry_wins(self):
+        buf, _ = make_buffer()
+        buf.insert(False, clean_sources(), 100, 1, None, PC)
+        buf.insert(False, clean_sources(), 100, 2, None, PC + 1)
+        assert buf.search(100) == 2
+
+    def test_tagged_pending_excluded_from_search(self):
+        """Section 4.1: 'a probationary entry with its exception tag set
+        will not participate in the search'."""
+        buf, _ = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, FAULT, PC)
+        assert buf.search(100) is None
+
+    def test_miss_returns_none(self):
+        buf, _ = make_buffer()
+        assert buf.search(300) is None
+
+
+class TestReleaseAndCancel:
+    def test_confirmed_head_releases_to_cache(self):
+        buf, mem = make_buffer()
+        buf.insert(False, clean_sources(), 100, 7, None, PC)
+        assert buf.release_cycle()
+        assert mem.peek(100) == 7
+        assert buf.occupancy() == 0
+
+    def test_probationary_head_blocks(self):
+        buf, mem = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, None, PC)
+        buf.insert(False, clean_sources(), 200, 8, None, PC + 1)
+        assert not buf.release_cycle()
+        assert mem.peek(200) == 0
+        assert buf.head_blocked()
+
+    def test_one_release_per_cycle(self):
+        buf, mem = make_buffer()
+        buf.insert(False, clean_sources(), 100, 1, None, PC)
+        buf.insert(False, clean_sources(), 101, 2, None, PC)
+        buf.release_cycle()
+        assert mem.peek(101) == 0
+        buf.release_cycle()
+        assert mem.peek(101) == 2
+
+    def test_cancel_probationary(self):
+        buf, mem = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, None, PC)
+        buf.insert(False, clean_sources(), 200, 8, None, PC + 1)
+        assert buf.cancel_probationary() == 1
+        # cancelled entry reclaimed; confirmed entry releases normally
+        assert buf.release_cycle()
+        assert mem.peek(200) == 8
+        assert mem.peek(100) == 0  # never reached the cache
+
+    def test_cancelled_entries_invisible_to_search(self):
+        buf, _ = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, None, PC)
+        buf.cancel_probationary()
+        assert buf.search(100) is None
+
+
+class TestConfirm:
+    def test_confirm_index_counts_from_tail(self):
+        """Section 4.1: 'The index signifies which entry is confirmed
+        counting from the tail entry.'"""
+        buf, mem = make_buffer(8)
+        buf.insert(True, clean_sources(), 100, 1, None, PC)  # index 2 from tail
+        buf.insert(False, clean_sources(), 200, 2, None, PC)
+        buf.insert(False, clean_sources(), 300, 3, None, PC)
+        assert buf.confirm(2, PC + 9) is None
+        assert all(e.confirmed for e in buf.entries)
+        for _ in range(3):
+            buf.release_cycle()
+        assert mem.peek(100) == 1
+
+    def test_confirm_tagged_entry_reports_and_invalidates(self):
+        buf, mem = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, FAULT, PC)
+        entry = buf.confirm(0, PC + 1)
+        assert entry is not None and entry.exc_pc == PC
+        assert entry.trap.kind is TrapKind.PAGE_FAULT
+        assert not entry.valid
+        buf.drain()
+        assert mem.peek(100) == 0
+
+    def test_confirm_wrong_index_detected(self):
+        buf, _ = make_buffer()
+        buf.insert(False, clean_sources(), 100, 7, None, PC)  # confirmed
+        with pytest.raises(SimulationError):
+            buf.confirm(0, PC + 1)
+
+    def test_confirm_missing_entry_detected(self):
+        buf, _ = make_buffer()
+        with pytest.raises(SimulationError):
+            buf.confirm(0, PC)
+
+    def test_confirm_skips_invalid_entries(self):
+        buf, _ = make_buffer(8)
+        buf.insert(True, clean_sources(), 100, 1, None, PC)
+        buf.insert(True, clean_sources(), 200, 2, None, PC)
+        # cancel both, then insert a fresh speculative store
+        buf.cancel_probationary()
+        buf.insert(True, clean_sources(), 300, 3, None, PC)
+        assert buf.confirm(0, PC + 1) is None
+        assert any(e.confirmed and e.address == 300 for e in buf.entries)
+
+
+class TestCapacity:
+    def test_overflow_is_a_simulator_error(self):
+        buf, _ = make_buffer(2)
+        buf.insert(False, clean_sources(), 1, 1, None, PC)
+        buf.insert(False, clean_sources(), 2, 2, None, PC)
+        assert not buf.can_insert()
+        with pytest.raises(StoreBufferStall):
+            buf.insert(False, clean_sources(), 3, 3, None, PC)
+
+    def test_drain_flushes_confirmed(self):
+        buf, mem = make_buffer()
+        buf.insert(False, clean_sources(), 100, 7, None, PC)
+        buf.insert(False, clean_sources(), 101, 8, None, PC)
+        buf.drain()
+        assert mem.peek(100) == 7 and mem.peek(101) == 8
+
+    def test_drain_rejects_leftover_probationary(self):
+        buf, _ = make_buffer()
+        buf.insert(True, clean_sources(), 100, 7, None, PC)
+        with pytest.raises(SimulationError):
+            buf.drain()

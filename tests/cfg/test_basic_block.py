@@ -1,0 +1,86 @@
+from repro.cfg.basic_block import (
+    block_instruction_ranges,
+    normalize_fallthroughs,
+    remove_redundant_jumps,
+    to_basic_blocks,
+)
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+
+
+SUPERBLOCK_SRC = (
+    "main:\n"
+    "  r1 = mov 5\n"
+    "  beq r1, 0, out\n"
+    "  r2 = mov 2\n"
+    "  bne r2, 2, out\n"
+    "  r3 = mov 3\n"
+    "  store [r0+9], r3\n"
+    "  halt\n"
+    "out:\n"
+    "  halt\n"
+)
+
+
+class TestToBasicBlocks:
+    def test_splits_at_internal_branches(self):
+        prog = assemble(SUPERBLOCK_SRC)
+        bb = to_basic_blocks(prog)
+        assert bb.is_basic_block_form()
+        assert len(bb.blocks) == 4  # main, main.1, main.2, out
+
+    def test_semantics_preserved(self):
+        prog = assemble(SUPERBLOCK_SRC)
+        bb = to_basic_blocks(prog)
+        assert_equivalent(run_program(prog), run_program(bb))
+
+    def test_origins_map_back(self):
+        prog = assemble(SUPERBLOCK_SRC)
+        bb = to_basic_blocks(prog)
+        for instr in bb.instructions():
+            original = next(i for i in prog.instructions() if i.uid == instr.origin)
+            assert original.op is instr.op
+
+    def test_drops_dead_code_after_jump(self):
+        prog = assemble("a:\n  jump b\nb:\n  halt")
+        prog.blocks[0].instrs.append(assemble("x:\n  r1 = mov 1\n  halt").blocks[0].instrs[0])
+        bb = to_basic_blocks(prog)
+        assert bb.instruction_count() == 2
+
+    def test_no_shared_instruction_objects(self):
+        prog = assemble(SUPERBLOCK_SRC)
+        bb = to_basic_blocks(prog)
+        originals = set(map(id, prog.instructions()))
+        assert all(id(i) not in originals for i in bb.instructions())
+
+
+class TestNormalization:
+    def test_fallthroughs_become_jumps(self):
+        prog = to_basic_blocks(assemble(SUPERBLOCK_SRC))
+        normalize_fallthroughs(prog)
+        for blk in prog.blocks:
+            assert not blk.falls_through
+        assert_equivalent(
+            run_program(assemble(SUPERBLOCK_SRC)), run_program(prog)
+        )
+
+    def test_redundant_jump_peephole(self):
+        prog = to_basic_blocks(assemble(SUPERBLOCK_SRC))
+        normalize_fallthroughs(prog)
+        before = prog.instruction_count()
+        remove_redundant_jumps(prog)
+        after = prog.instruction_count()
+        assert after < before
+        assert_equivalent(
+            run_program(assemble(SUPERBLOCK_SRC)), run_program(prog)
+        )
+
+
+def test_block_instruction_ranges():
+    prog = assemble(SUPERBLOCK_SRC)
+    regions = block_instruction_ranges(prog.blocks[0])
+    assert len(regions) == 3  # two side exits split three home regions
+    assert regions[0][-1].op is Opcode.BEQ
+    assert regions[1][-1].op is Opcode.BNE

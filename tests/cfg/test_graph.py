@@ -1,0 +1,61 @@
+from repro.cfg.basic_block import normalize_fallthroughs, to_basic_blocks
+from repro.cfg.graph import CFG, FALL, JUMP, TAKEN, remove_unreachable_blocks
+from repro.isa.assembler import assemble
+
+
+DIAMOND = (
+    "top:\n  beq r1, 0, right\nleft:\n  r2 = mov 1\n  jump join\n"
+    "right:\n  r2 = mov 2\njoin:\n  halt"
+)
+
+
+class TestEdges:
+    def test_diamond_shape(self):
+        cfg = CFG(assemble(DIAMOND))
+        assert sorted(cfg.successors("top")) == ["left", "right"]
+        assert cfg.successors("left") == ["join"]
+        assert cfg.successors("right") == ["join"]
+        assert sorted(cfg.predecessors("join")) == ["left", "right"]
+
+    def test_edge_kinds(self):
+        cfg = CFG(assemble(DIAMOND))
+        kinds = {(e.src, e.dst): e.kind for e in cfg.edges}
+        assert kinds[("top", "right")] == TAKEN
+        assert kinds[("top", "left")] == FALL
+        assert kinds[("left", "join")] == JUMP
+
+    def test_taken_edges_carry_branch_uid(self):
+        prog = assemble(DIAMOND)
+        cfg = CFG(prog)
+        taken = next(e for e in cfg.edges if e.kind == TAKEN)
+        assert prog.blocks[0].instrs[0].uid == taken.branch_uid
+
+    def test_midblock_branches(self):
+        prog = assemble(
+            "sb:\n  beq r1, 0, out\n  r2 = mov 1\n  bne r2, 1, out\n  halt\n"
+            "out:\n  halt"
+        )
+        cfg = CFG(prog)
+        assert cfg.successors("sb").count("out") == 2
+
+
+class TestReachability:
+    def test_unreachable_removed(self):
+        prog = assemble(
+            "a:\n  jump c\nb:\n  r1 = mov 1\n  jump c\nc:\n  halt"
+        )
+        removed = remove_unreachable_blocks(prog)
+        assert removed == 1
+        assert [b.label for b in prog.blocks] == ["a", "c"]
+
+    def test_everything_reachable(self):
+        prog = assemble(DIAMOND)
+        assert remove_unreachable_blocks(prog) == 0
+
+    def test_reachable_through_loop(self):
+        prog = assemble(
+            "a:\n  r1 = add r1, 1\n  blt r1, 5, a\nb:\n  halt"
+        )
+        normalize_fallthroughs(prog)
+        cfg = CFG(prog)
+        assert cfg.reachable_from_entry() == {"a", "b"}

@@ -1,0 +1,87 @@
+from repro.cfg.liveness import Liveness
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+
+
+class TestBasicLiveness:
+    def test_straight_line(self):
+        prog = assemble(
+            "a:\n  r1 = mov 1\n  r2 = add r1, 1\n  store [r0+5], r2\n  halt"
+        )
+        lv = Liveness(prog)
+        assert lv.live_in["a"] == frozenset()
+
+    def test_use_before_def_is_live_in(self):
+        prog = assemble("a:\n  r2 = add r1, 1\n  halt")
+        lv = Liveness(prog)
+        assert lv.live_in["a"] == frozenset({R(1)})
+        assert lv.entry_live_in() == frozenset({R(1)})
+
+    def test_def_kills(self):
+        prog = assemble("a:\n  r1 = mov 0\n  r2 = add r1, 1\n  halt")
+        lv = Liveness(prog)
+        assert R(1) not in lv.live_in["a"]
+
+    def test_loop_carried(self):
+        prog = assemble(
+            "e:\n  r1 = mov 0\nloop:\n  r1 = add r1, 1\n  blt r1, 5, loop\nd:\n  halt"
+        )
+        lv = Liveness(prog)
+        assert R(1) in lv.live_in["loop"]
+        assert lv.live_in["e"] == frozenset()
+
+    def test_r0_never_live(self):
+        prog = assemble("a:\n  r1 = add r0, 1\n  halt")
+        lv = Liveness(prog)
+        assert R(0) not in lv.live_in["a"]
+
+
+class TestBranchTargets:
+    SRC = (
+        "top:\n  r1 = mov 1\n  r2 = mov 2\n  beq r1, 0, use2\n"
+        "  store [r0+1], r1\n  halt\n"
+        "use2:\n  store [r0+2], r2\n  halt"
+    )
+
+    def test_live_when_taken(self):
+        prog = assemble(self.SRC)
+        lv = Liveness(prog)
+        beq = prog.blocks[0].instrs[2]
+        assert lv.live_when_taken(beq.uid) == frozenset({R(2)})
+
+    def test_live_before_position(self):
+        prog = assemble(self.SRC)
+        lv = Liveness(prog)
+        # before the beq, both r1 (fallthrough use) and r2 (taken use) live
+        assert lv.live_before("top", 2) == frozenset({R(1), R(2)})
+        # before the store, only r1
+        assert lv.live_before("top", 3) == frozenset({R(1)})
+
+
+class TestSuperblockForm:
+    def test_midblock_exit_merges_target_livein(self):
+        prog = assemble(
+            "sb:\n  r1 = mov 1\n  r9 = mov 9\n  beq r1, 0, out\n"
+            "  store [r0+1], r1\n  halt\n"
+            "out:\n  store [r0+2], r9\n  halt"
+        )
+        lv = Liveness(prog)
+        beq = prog.blocks[0].instrs[2]
+        assert R(9) in lv.live_when_taken(beq.uid)
+        # r9 is live across the beq inside the superblock
+        assert R(9) in lv.live_before("sb", 2)
+
+    def test_clrtag_does_not_kill(self):
+        prog = assemble(
+            "a:\n  clrtag r5\n  r1 = add r5, 1\n  halt"
+        )
+        lv = Liveness(prog)
+        # r5's *data* flows through clrtag, so it stays live-in
+        assert R(5) in lv.live_in["a"]
+
+    def test_live_out(self):
+        prog = assemble(
+            "a:\n  r1 = mov 1\n  beq r1, 1, b\nc:\n  halt\nb:\n  store [r0+1], r1\n  halt"
+        )
+        lv = Liveness(prog)
+        assert R(1) in lv.live_out("a")

@@ -1,0 +1,48 @@
+from repro.cfg.profile import ProfileData
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+
+
+class TestProfileData:
+    def test_taken_ratio_unexecuted(self):
+        assert ProfileData().taken_ratio(5) == 0.0
+
+    def test_merge_accumulates(self):
+        a, b = ProfileData(), ProfileData()
+        a.block_visits["x"] = 3
+        b.block_visits["x"] = 4
+        a.edges[("x", "y")] = 1
+        b.edges[("x", "y")] = 2
+        a.merge(b)
+        assert a.block_visits["x"] == 7
+        assert a.edge_count("x", "y") == 3
+
+    def test_hottest_successor(self):
+        p = ProfileData()
+        p.edges[("a", "b")] = 5
+        p.edges[("a", "c")] = 2
+        p.edges[("z", "b")] = 9
+        assert p.hottest_successor("a") == {"b": 5, "c": 2}
+
+
+class TestCollectedProfiles:
+    def test_multi_input_training(self):
+        src = (
+            "e:\nloop:\n  r1 = add r1, 1\n  blt r1, 5, loop\nd:\n  halt"
+        )
+        prog = assemble(src)
+        first = run_program(prog).profile
+        second = run_program(prog).profile
+        merged = ProfileData().merge(first).merge(second)
+        assert merged.block_visits["loop"] == 2 * first.block_visits["loop"]
+
+    def test_edge_counts_match_visits(self):
+        src = (
+            "e:\n  r1 = mov 0\nloop:\n  r1 = add r1, 1\n  blt r1, 4, loop\nd:\n  halt"
+        )
+        result = run_program(assemble(src))
+        profile = result.profile
+        # 3 backedges + 1 fallthrough out of the loop
+        assert profile.edge_count("loop", "loop") == 3
+        assert profile.edge_count("loop", "d") == 1
+        assert profile.block_visits["loop"] == 4

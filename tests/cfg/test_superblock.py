@@ -1,0 +1,110 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.memory import Memory
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.superblock import form_superblocks
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.workloads.generator import random_program
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+def form(src, memory=None):
+    prog = assemble(src)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=memory.clone() if memory else None)
+    return prog, bb, form_superblocks(bb, training.profile), memory
+
+
+class TestFormation:
+    def test_hot_path_merged(self):
+        mem = guarded_loop_memory()
+        _prog, _bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        assert result.superblocks, "expected at least one superblock"
+        info = next(iter(result.superblocks.values()))
+        assert len(info.merged_labels) >= 2
+        assert info.side_exit_uids  # the guard became a side exit
+
+    def test_equivalence_preserved(self):
+        mem = guarded_loop_memory()
+        prog, _bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        assert_equivalent(
+            run_program(prog, memory=mem.clone()),
+            run_program(result.program, memory=mem.clone()),
+        )
+
+    def test_equivalence_on_untrained_input(self):
+        """The formed program must be correct even when branches go the
+        other way (training input != production input)."""
+        mem = guarded_loop_memory()
+        prog, _bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        other = guarded_loop_memory(null_at=2)
+        other.poke(100 + 5, 0)
+        assert_equivalent(
+            run_program(prog, memory=other.clone()),
+            run_program(result.program, memory=other.clone()),
+        )
+
+    def test_single_entry_property(self):
+        """Control may only enter a superblock from the top (Section 2.1)."""
+        from repro.cfg.graph import CFG
+
+        mem = guarded_loop_memory()
+        _prog, _bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        cfg = CFG(result.program)
+        for label, _info in result.superblocks.items():
+            # every edge into the superblock targets its head label
+            for edge in cfg.preds[label]:
+                assert edge.dst == label
+
+    def test_cold_program_forms_no_superblocks(self):
+        src = "a:\n  r1 = mov 1\n  halt"
+        _prog, _bb, result, _ = form(src)
+        assert not result.superblocks
+
+    def test_branch_inversion_on_taken_hot_path(self):
+        # hot edge is the *taken* side: the trace must invert the branch
+        src = (
+            "e:\n  r1 = mov 0\n"
+            "loop:\n  r1 = add r1, 1\n  bne r1, 100, loop\n"
+            "d:\n  store [r0+5], r1\n  halt"
+        )
+        prog, _bb, result, _ = form(src)
+        assert_equivalent(run_program(prog), run_program(result.program))
+
+
+class TestTailDuplication:
+    def test_side_entered_suffix_kept(self):
+        mem = guarded_loop_memory()
+        _prog, bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        labels = {b.label for b in result.program.blocks}
+        info = next(iter(result.superblocks.values()))
+        # some non-head trace member with external preds must survive
+        assert any(lbl in labels for lbl in info.merged_labels[1:])
+
+    def test_duplicated_instructions_have_origins(self):
+        mem = guarded_loop_memory()
+        _prog, bb, result, _ = form(GUARDED_LOOP_ASM, mem)
+        bb_uids = {i.uid for i in bb.instructions()}
+        for instr in result.program.instructions():
+            assert instr.origin in bb_uids or instr.origin is None or (
+                instr.origin not in bb_uids and instr.op.name == "JUMP"
+            )
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=25, deadline=None)
+def test_formation_equivalence_property(seed):
+    """Superblock formation preserves observables on random programs."""
+    workload = random_program(seed, n_loops=1, body_size=6, trip=9)
+    bb = to_basic_blocks(workload.program)
+    training = run_program(bb, memory=workload.make_memory())
+    formed = form_superblocks(bb, training.profile)
+    assert_equivalent(
+        run_program(workload.program, memory=workload.make_memory()),
+        run_program(formed.program, memory=workload.make_memory()),
+        context=f"seed {seed}",
+    )

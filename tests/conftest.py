@@ -1,0 +1,110 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.memory import Memory
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.liveness import Liveness
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import LatClass
+from repro.machine.description import MachineDescription, paper_machine
+
+
+def unit_latency_machine(issue_width: int = 8, **kwargs) -> MachineDescription:
+    """A machine where every instruction takes one cycle — matches the
+    simplifying assumption of the paper's worked examples (Section 3.4)."""
+    return MachineDescription(
+        name=f"unit-issue{issue_width}",
+        issue_width=issue_width,
+        latencies={cls: 1 for cls in LatClass},
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def wide_machine() -> MachineDescription:
+    return paper_machine(8)
+
+
+@pytest.fixture
+def narrow_machine() -> MachineDescription:
+    return paper_machine(2)
+
+
+@pytest.fixture
+def base_machine() -> MachineDescription:
+    return paper_machine(1)
+
+
+#: A small single-superblock program used across scheduler tests: the
+#: paper's Figure 1 fragment, plus a landing block and terminators.
+FIGURE1_ASM = """
+main:
+    beq r2, 0, L1
+    r1 = load [r2+0]
+    r3 = load [r4+0]
+    r4 = add r1, 1
+    r5 = mul r3, 9
+    store [r2+4], r4
+    halt
+L1:
+    halt
+"""
+
+
+@pytest.fixture
+def figure1_program():
+    return assemble(FIGURE1_ASM)
+
+
+#: A guarded-load loop exercising speculation, exits and stores.
+GUARDED_LOOP_ASM = """
+entry:
+    r1 = mov 0
+    r2 = mov 100
+    r3 = mov 0
+loop:
+    r4 = add r2, r1
+    r5 = load [r4+0]
+    beq r5, 0, skip
+    r6 = load [r5+0]
+    r3 = add r3, r6
+skip:
+    r1 = add r1, 1
+    blt r1, 8, loop
+done:
+    store [r2+64], r3
+    halt
+"""
+
+
+def guarded_loop_memory(null_at=None, fault_at=None) -> Memory:
+    """Memory image for GUARDED_LOOP_ASM: pointers at 100.., pointees 200..."""
+    memory = Memory(segments=[(0, 1 << 20)])
+    for i in range(8):
+        memory.poke(100 + i, 200 + i)
+        memory.poke(200 + i, 10 + i)
+    if null_at is not None:
+        memory.poke(100 + null_at, 0)
+    if fault_at is not None:
+        memory.inject_page_fault(200 + fault_at)
+    return memory
+
+
+@pytest.fixture
+def guarded_loop():
+    return assemble(GUARDED_LOOP_ASM)
+
+
+def profile_of(program, memory=None):
+    """Run a program once and return (result, profile)."""
+    result = run_program(program, memory=memory)
+    return result, result.profile
+
+
+def bb_and_liveness(program):
+    basic = to_basic_blocks(program)
+    return basic, Liveness(basic)

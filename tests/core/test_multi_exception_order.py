@@ -1,0 +1,76 @@
+"""Section 3.6 — reporting multiple exceptions.
+
+"When two exceptions occur in different basic blocks, the exceptions are
+guaranteed to be detected in the proper order because exceptions for all
+instructions of a basic block are checked before the basic block is
+exited."  Within one block the order is explicitly *not* guaranteed.
+"""
+
+from repro.arch.memory import Memory
+from repro.arch.processor import RECORD, run_scheduled
+from repro.cfg.liveness import Liveness
+from repro.deps.reduction import SENTINEL
+from repro.isa.assembler import assemble
+from repro.sched.list_scheduler import schedule_block
+from repro.sched.schedule import ScheduledProgram
+
+from ..conftest import unit_latency_machine
+
+#: Two home regions, each with a speculative load whose exception defers:
+#: region 1 = before the first guard, region 2 = between the guards.
+TWO_REGION = (
+    "main:\n"
+    "  r9 = load [r8+0]\n"       # 0: makes the guards late
+    "  r1 = load [r2+0]\n"       # 1: region-1 trap candidate
+    "  r11 = add r1, 1\n"        # 2: region-1 sentinel carrier
+    "  beq r9, 1, out\n"         # 3: first guard
+    "  r4 = load [r5+0]\n"       # 4: region-2 trap candidate
+    "  r12 = add r4, 1\n"        # 5: region-2 sentinel carrier
+    "  beq r9, 2, out\n"         # 6: second guard
+    "  store [r0+500], r11\n"
+    "  store [r0+501], r12\n"
+    "  halt\n"
+    "out:\n  halt"
+)
+
+
+def run_two_region(memory):
+    prog = assemble(TWO_REGION)
+    machine = unit_latency_machine(8)
+    liveness = Liveness(prog)
+    blocks = [
+        schedule_block(blk, prog, liveness, machine, SENTINEL).scheduled
+        for blk in prog.blocks
+    ]
+    scheduled = ScheduledProgram(blocks=blocks, source=prog, policy_name="sentinel")
+    init = {}
+    from repro.isa.registers import R
+
+    init[R(2)] = 100
+    init[R(5)] = 200
+    init[R(8)] = 300
+    return prog, run_scheduled(
+        scheduled, machine, memory=memory, init_regs=init, on_exception=RECORD
+    )
+
+
+def test_cross_region_exceptions_reported_in_home_block_order():
+    memory = Memory()
+    memory.inject_page_fault(100)  # region-1 load
+    memory.inject_page_fault(200)  # region-2 load
+    _prog, out = run_two_region(memory)
+    assert out.halted
+    origins = [e.origin_pc for e in out.exceptions]
+    assert 1 in origins and 4 in origins
+    # region-1's exception must be reported before region-2's, even though
+    # both loads execute speculatively (possibly in the same cycle)
+    assert origins.index(1) < origins.index(4)
+
+
+def test_single_region_fault_unaffected_by_the_other():
+    memory = Memory()
+    memory.inject_page_fault(200)  # only region 2
+    _prog, out = run_two_region(memory)
+    origins = [e.origin_pc for e in out.exceptions]
+    assert origins and origins[0] == 4
+    assert 1 not in origins

@@ -1,0 +1,235 @@
+"""The paper's worked examples: Figures 1, 2 and 3 (Sections 3.4, 3.7).
+
+The examples assume "each instruction requires one cycle to execute, and
+the processor has no limitations on the number of instructions that can be
+issued in the same cycle", so these tests run on a unit-latency, wide
+machine.
+"""
+
+import pytest
+
+from repro.arch.memory import Memory
+from repro.arch.processor import run_scheduled
+from repro.cfg.liveness import Liveness
+from repro.core.recovery import (
+    check_restartable,
+    rename_self_updates,
+    schedule_block_with_recovery,
+)
+from repro.core.reporting import analyze_sentinels
+from repro.deps.reduction import SENTINEL
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import R
+from repro.sched.list_scheduler import schedule_block
+from repro.sched.schedule import ScheduledProgram
+
+from ..conftest import unit_latency_machine
+
+#: Figure 1(a): the original program segment (labels A-F as comments).
+FIGURE1 = (
+    "main:\n"
+    "  beq r2, 0, L1\n"        # A
+    "  r1 = load [r2+0]\n"     # B
+    "  r3 = load [r4+0]\n"     # C
+    "  r4 = add r1, 1\n"       # D
+    "  r5 = mul r3, 9\n"       # E
+    "  store [r2+4], r4\n"     # F
+    "  halt\n"
+    "L1:\n  halt"
+)
+
+
+def schedule_figure1():
+    prog = assemble(FIGURE1)
+    machine = unit_latency_machine(8)
+    result = schedule_block(
+        prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+    )
+    return prog, machine, result
+
+
+class TestFigure1:
+    """Scheduling the Figure 1 fragment under the sentinel model."""
+
+    def test_loads_speculate_above_the_branch(self):
+        _prog, _machine, result = schedule_figure1()
+        sched = result.scheduled
+        by_uid = {i.uid: i for i in sched.instructions()}
+        load_b, load_c = by_uid[1], by_uid[2]
+        branch_cycle = sched.cycle_of(0)
+        assert load_b.spec and load_c.spec
+        assert sched.cycle_of(1) <= branch_cycle
+        assert sched.cycle_of(2) <= branch_cycle
+
+    def test_store_stays_below_the_branch(self):
+        _prog, _machine, result = schedule_figure1()
+        sched = result.scheduled
+        assert sched.cycle_of(5) > sched.cycle_of(0)
+        assert not next(i for i in sched.instructions() if i.uid == 5).spec
+
+    def test_every_speculated_load_has_a_sentinel(self):
+        _prog, _machine, result = schedule_figure1()
+        analysis = analyze_sentinels(result.scheduled)
+        assert analysis.unreported == set()
+        # B is reported through its home-block use chain (shared sentinel)
+        assert 1 in analysis.sentinel_of
+        assert 2 in analysis.sentinel_of
+
+    def test_explicit_sentinel_for_unprotected_e(self):
+        """Force E (r5 = mul) to be speculative: a narrow schedule keeps the
+        branch early, so E moves above it and — having no home-block use —
+        needs an explicit check (the figure's instruction G)."""
+        prog = assemble(FIGURE1)
+        machine = unit_latency_machine(8)
+        # Delay nothing: with width 8 and unit latencies the branch lands in
+        # cycle 0 and D/E in cycle 1; E is then *not* speculative.  Pin the
+        # branch late instead by making it depend on a loaded value.
+        late = assemble(
+            "main:\n"
+            "  r2 = load [r9+0]\n"
+            "  beq r2, 0, L1\n"
+            "  r3 = load [r4+0]\n"
+            "  r5 = mul r3, 9\n"
+            "  halt\n"
+            "L1:\n  halt"
+        )
+        result = schedule_block(
+            late.blocks[0], late, Liveness(late), machine, SENTINEL
+        )
+        sched = result.scheduled
+        mul = next(i for i in sched.instructions() if i.op is Opcode.MUL)
+        assert mul.spec
+        checks = [i for i in sched.instructions() if i.op is Opcode.CHECK]
+        assert len(checks) == 1
+        analysis = analyze_sentinels(sched)
+        assert analysis.unreported == set()
+
+
+class TestFigure2:
+    """Exception detection walkthrough: B excepts, branch falls through."""
+
+    def _run(self, memory):
+        prog, machine, result = schedule_figure1()
+        landing = schedule_block(
+            prog.blocks[1], prog, Liveness(prog), machine, SENTINEL
+        )
+        scheduled = ScheduledProgram(
+            blocks=[result.scheduled, landing.scheduled],
+            source=prog,
+            policy_name="sentinel",
+        )
+        return run_scheduled(scheduled, machine, memory=memory)
+
+    def test_exception_detected_and_attributed_to_b(self):
+        memory = Memory()
+        memory.poke(0, 50)          # r2 = 0 initially; use init regs instead
+        mem = Memory()
+        mem.inject_page_fault(100)  # B's load address (r2=100)
+        prog, machine, result = schedule_figure1()
+        landing = schedule_block(
+            prog.blocks[1], prog, Liveness(prog), machine, SENTINEL
+        )
+        scheduled = ScheduledProgram(
+            blocks=[result.scheduled, landing.scheduled],
+            source=prog,
+            policy_name="sentinel",
+        )
+        out = run_scheduled(
+            scheduled, machine, memory=mem, init_regs={R(2): 100, R(4): 200}
+        )
+        assert out.aborted
+        assert len(out.exceptions) == 1
+        exc = out.exceptions[0]
+        assert exc.origin_pc == 1  # reported as B, not as the sentinel
+        assert exc.reporter_pc != 1  # signalled by B's sentinel
+
+    def test_exception_ignored_when_branch_taken(self):
+        """'if instruction B again results in an exception but the branch
+        instruction A is instead taken, the exception is completely
+        ignored' (Section 3.4)."""
+        mem = Memory()
+        mem.inject_page_fault(0)  # B loads [r2+0] with r2 = 0 -> faults
+        prog, machine, result = schedule_figure1()
+        landing = schedule_block(
+            prog.blocks[1], prog, Liveness(prog), machine, SENTINEL
+        )
+        scheduled = ScheduledProgram(
+            blocks=[result.scheduled, landing.scheduled],
+            source=prog,
+            policy_name="sentinel",
+        )
+        out = run_scheduled(
+            scheduled, machine, memory=mem, init_regs={R(2): 0, R(4): 200}
+        )
+        assert out.halted and not out.aborted
+        assert out.exceptions == []
+
+
+#: Figure 3(a): the recovery example.  A = jsr (irreversible), B = load,
+#: C = branch, D = load considered for speculation, E = r2 = r2 + 1
+#: (self-overwriting), F = store that may overwrite B's location,
+#: G = use of D (its sentinel), H = load through r2.
+FIGURE3 = (
+    "main:\n"
+    "  jsr\n"                   # A
+    "  r5 = load [r3+0]\n"      # B
+    "  beq r5, 0, L1\n"         # C
+    "  r1 = load [r6+0]\n"      # D
+    "  r2 = add r2, 1\n"        # E
+    "  store [r4+0], r7\n"      # F
+    "  r8 = add r1, 1\n"        # G
+    "  r9 = load [r2+0]\n"      # H
+    "  halt\n"
+    "L1:\n  halt"
+)
+
+
+class TestFigure3:
+    def test_rename_splits_the_increment(self):
+        prog = assemble(FIGURE3)
+        renamed = rename_self_updates(prog)
+        assert renamed == 1
+        text = [i.op for i in prog.blocks[0].instrs]
+        assert Opcode.MOV in text  # the inserted copy-back
+        # the load through r2 now reads the renamed register
+        load_h = prog.blocks[0].instrs[-2]
+        assert load_h.op is Opcode.LOAD
+        assert load_h.srcs[0] is not R(2)
+
+    def test_recovery_schedule_is_restartable(self):
+        prog = assemble(FIGURE3)
+        rename_self_updates(prog)
+        machine = unit_latency_machine(8)
+        result = schedule_block_with_recovery(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        assert check_restartable(result) == []
+
+    def test_speculation_blocked_above_the_call(self):
+        """Restriction 1: nothing moves above the irreversible jsr."""
+        prog = assemble(FIGURE3)
+        rename_self_updates(prog)
+        machine = unit_latency_machine(8)
+        result = schedule_block_with_recovery(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        sched = result.scheduled
+        jsr_cycle = next(
+            c for c, _s, i in sched.linear() if i.op is Opcode.JSR
+        )
+        for cycle, _slot, instr in sched.linear():
+            if instr.op is not Opcode.JSR:
+                assert cycle > jsr_cycle or instr.op is Opcode.JSR
+
+    def test_non_recovery_schedule_may_violate(self):
+        """Without the Section 3.7 constraints the same block can produce
+        windows that are not restartable — the thing recovery mode fixes."""
+        prog = assemble(FIGURE3)
+        machine = unit_latency_machine(8)
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        # not asserting violations exist (schedule-dependent); simply check
+        # the checker runs and the recovery path produces strictly none
+        check_restartable(result)

@@ -1,0 +1,142 @@
+import pytest
+
+from repro.cfg.liveness import Liveness
+from repro.core.recovery import (
+    check_restartable,
+    rename_self_updates,
+    schedule_block_with_recovery,
+)
+from repro.deps.reduction import SENTINEL, SENTINEL_STORE
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.printer import format_program
+from repro.isa.registers import R
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.machine.description import paper_machine
+
+from ..conftest import unit_latency_machine
+
+
+class TestRenameSelfUpdates:
+    def test_split_and_move(self):
+        prog = assemble("e:\n  r2 = add r2, 1\n  r3 = add r2, 5\n  halt")
+        assert rename_self_updates(prog) == 1
+        instrs = prog.entry.instrs
+        assert instrs[0].dest is not R(2)       # compute into fresh
+        assert instrs[1].op is Opcode.MOV       # copy back
+        assert instrs[1].dest is R(2)
+        assert instrs[2].srcs[0] is instrs[0].dest  # use renamed
+
+    def test_semantics_preserved(self):
+        src = (
+            "e:\n  r2 = mov 3\nloop:\n  r2 = add r2, r2\n  r1 = add r1, 1\n"
+            "  blt r1, 4, loop\nd:\n  store [r0+1], r2\n  halt"
+        )
+        prog = assemble(src)
+        rename_self_updates(prog)
+        assert_equivalent(run_program(assemble(src)), run_program(prog))
+
+    def test_rename_stops_at_redefinition(self):
+        prog = assemble(
+            "e:\n  r2 = add r2, 1\n  r3 = add r2, 1\n  r2 = mov 9\n"
+            "  r4 = add r2, 1\n  halt"
+        )
+        rename_self_updates(prog)
+        instrs = prog.entry.instrs
+        # r4's use reads the *new* r2 value: must still reference r2
+        assert instrs[-2].srcs[0] is R(2)
+
+    def test_non_self_updates_untouched(self):
+        prog = assemble("e:\n  r2 = add r3, 1\n  halt")
+        assert rename_self_updates(prog) == 0
+
+
+class TestRestartableChecker:
+    def test_clean_schedule_passes(self):
+        prog = assemble(
+            "m:\n  beq r9, 0, L\n  r1 = load [r2+0]\n  r3 = add r1, 1\n"
+            "  halt\nL:\n  halt"
+        )
+        machine = unit_latency_machine(8)
+        result = schedule_block_with_recovery(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        assert check_restartable(result) == []
+
+    def test_recovery_mode_despeculates_when_needed(self):
+        """A window containing an unremovable overwrite forces the spec
+        load back below the branch."""
+        prog = assemble(
+            "m:\n  r9 = load [r8+0]\n  beq r9, 0, L\n"
+            "  r1 = load [r2+0]\n"
+            "  r2 = mov 5\n"        # overwrites the load's input register
+            "  r3 = add r1, r2\n"
+            "  halt\nL:\n  halt"
+        )
+        machine = unit_latency_machine(8)
+        result = schedule_block_with_recovery(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        assert check_restartable(result) == []
+
+    def test_equivalence_under_recovery_schedules(self):
+        src = (
+            "e:\n  r2 = mov 100\n  r3 = mov 0\n  r1 = mov 0\n"
+            "loop:\n  r5 = load [r2+0]\n  beq r5, 0, skip\n"
+            "  r3 = add r3, r5\n"
+            "skip:\n  r2 = add r2, 1\n  r1 = add r1, 1\n  blt r1, 6, loop\n"
+            "d:\n  store [r0+60], r3\n  halt"
+        )
+        from repro.arch.memory import Memory
+        from repro.arch.processor import run_scheduled
+        from repro.cfg.basic_block import to_basic_blocks
+        from repro.sched.compiler import compile_program
+
+        mem = Memory()
+        for i in range(6):
+            mem.poke(100 + i, i % 3)
+        prog = assemble(src)
+        ref = run_program(prog, memory=mem.clone())
+        bb = to_basic_blocks(prog)
+        training = run_program(bb, memory=mem.clone())
+        machine = paper_machine(8)
+        comp = compile_program(
+            bb, training.profile, machine, SENTINEL, recovery=True, unroll_factor=2
+        )
+        out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+        assert_equivalent(ref, out)
+
+    def test_recovery_under_store_speculation(self):
+        prog = assemble(
+            "m:\n  beq r9, 0, L\n  r1 = load [r2+0]\n  store [r3+0], r1\n"
+            "  halt\nL:\n  halt"
+        )
+        machine = unit_latency_machine(8)
+        result = schedule_block_with_recovery(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL_STORE
+        )
+        assert check_restartable(result) == []
+
+
+class TestRecoveryCost:
+    def test_recovery_never_faster(self):
+        """The Section 5.2 caveat: recovery constraints can only slow the
+        schedule down (the paper left quantifying this to future work)."""
+        src = (
+            "m:\n  r9 = load [r8+0]\n  beq r9, 0, L\n  r1 = load [r6+0]\n"
+            "  r2 = add r2, 1\n  io\n  r3 = add r1, r2\n  halt\nL:\n  halt"
+        )
+        from repro.sched.list_scheduler import schedule_block
+
+        machine = unit_latency_machine(4)
+        prog_a = assemble(src)
+        plain = schedule_block(
+            prog_a.blocks[0], prog_a, Liveness(prog_a), machine, SENTINEL
+        )
+        prog_b = assemble(src)
+        rename_self_updates(prog_b)
+        recovered = schedule_block_with_recovery(
+            prog_b.blocks[0], prog_b, Liveness(prog_b), machine, SENTINEL
+        )
+        assert recovered.scheduled.length >= plain.scheduled.length

@@ -1,0 +1,146 @@
+from repro.cfg.liveness import Liveness
+from repro.core.reporting import analyze_sentinels
+from repro.deps.reduction import GENERAL, SENTINEL, SENTINEL_STORE
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction, check, confirm, halt, load, mov, store
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import R
+from repro.sched.list_scheduler import schedule_block
+from repro.sched.schedule import ScheduledBlock
+
+from ..conftest import unit_latency_machine
+
+
+def manual_block(words, falls_through=False):
+    uid = 0
+    for word in words:
+        for instr in word:
+            instr.uid = uid
+            uid += 1
+    return ScheduledBlock(label="b", words=words, falls_through=falls_through)
+
+
+class TestAnalysis:
+    def test_shared_sentinel_found(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        use = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), 1))
+        block = manual_block([[ld], [use], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.sentinel_of[0] == 1
+        assert analysis.unreported == set()
+
+    def test_propagation_chain(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        propagate = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), 1), spec=True)
+        reporter = Instruction(Opcode.ADD, dest=R(4), srcs=(R(3), 1))
+        block = manual_block([[ld], [propagate], [reporter], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.sentinel_of[0] == 2  # reported via the chain
+
+    def test_explicit_check_reports(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        chk = check(R(1))
+        block = manual_block([[ld], [chk], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.sentinel_of[0] == 1
+
+    def test_unreported_escape_detected(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        block = manual_block([[ld], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.unreported == {0}
+        assert R(1) in analysis.live_out_carriers
+
+    def test_silent_overwrite_detected(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        clobber = mov(R(1), 0)  # non-speculative clean write kills the tag
+        block = manual_block([[ld], [clobber], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.unreported == {0}
+
+    def test_clrtag_cuts_propagation(self):
+        from repro.isa.instruction import clrtag
+
+        ld = load(R(1), R(2)); ld.spec = True
+        clear = clrtag(R(1))
+        block = manual_block([[ld], [clear], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.unreported == {0}
+
+    def test_confirm_reports_store_chain(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        st = store(R(3), 0, R(1)); st.spec = True
+        conf = confirm(0)
+        block = manual_block([[ld], [st], [conf], [halt()]])
+        conf.sentinel_for = (st.uid,)
+        analysis = analyze_sentinels(block)
+        assert analysis.sentinel_of[ld.uid] == conf.uid
+        assert analysis.sentinel_of[st.uid] == conf.uid
+
+    def test_window(self):
+        ld = load(R(1), R(2)); ld.spec = True
+        use = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), 1))
+        block = manual_block([[ld], [use], [halt()]])
+        analysis = analyze_sentinels(block)
+        assert analysis.window(0) == (0, 1)
+        assert analysis.window(99) is None
+
+
+class TestScheduledInvariant:
+    """Every sentinel-model schedule must report every speculated
+    trap-capable instruction — the paper's central guarantee."""
+
+    SOURCES = [
+        (
+            "main:\n  beq r9, 0, L\n  r1 = load [r2+0]\n  r3 = add r1, 1\n"
+            "  store [r2+8], r3\n  halt\nL:\n  halt"
+        ),
+        (
+            "main:\n  r5 = load [r8+0]\n  beq r5, 0, L\n  r1 = load [r5+0]\n"
+            "  r6 = div r1, r5\n  f1 = cvtif r6\n  f2 = fmul f1, f1\n"
+            "  r7 = cvtfi f2\n  store [r8+4], r7\n  halt\nL:\n  halt"
+        ),
+    ]
+
+    def test_no_unreported_under_sentinel(self):
+        for src in self.SOURCES:
+            prog = assemble(src)
+            for width in (1, 2, 8):
+                machine = unit_latency_machine(width)
+                result = schedule_block(
+                    prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+                )
+                analysis = analyze_sentinels(result.scheduled)
+                assert analysis.unreported == set(), (src, width)
+
+    def test_sentinel_store_also_clean(self):
+        for src in self.SOURCES:
+            prog = assemble(src)
+            machine = unit_latency_machine(8)
+            result = schedule_block(
+                prog.blocks[0], prog, Liveness(prog), machine, SENTINEL_STORE
+            )
+            assert analyze_sentinels(result.scheduled).unreported == set()
+
+    def test_general_may_leak(self):
+        """Negative control: general percolation has no sentinels, so
+        speculated trap-capable results can escape unreported.  (Here the
+        load's consumer also speculates, so no non-speculative reader is
+        left behind.)"""
+        prog = assemble(
+            "main:\n  r9 = load [r8+0]\n  beq r9, 0, L\n"
+            "  r1 = load [r2+0]\n  r3 = add r1, 1\n"
+            "  halt\nL:\n  halt"
+        )
+        machine = unit_latency_machine(8)
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), machine, GENERAL
+        )
+        analysis = analyze_sentinels(result.scheduled)
+        spec_loads = [
+            i.uid
+            for i in result.scheduled.instructions()
+            if i.spec and i.info.can_trap
+        ]
+        # the load speculated with no home use: nothing reports it
+        assert any(uid in analysis.unreported for uid in spec_loads) or not spec_loads

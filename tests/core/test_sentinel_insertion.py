@@ -1,0 +1,85 @@
+from repro.cfg.liveness import Liveness
+from repro.core.sentinel_insertion import TagCarryTracker, make_check, make_confirm
+from repro.deps.builder import build_dependence_graph
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import R
+
+
+def graph_for(src):
+    prog = assemble(src)
+    return prog, build_dependence_graph(prog.blocks[0], Liveness(prog))
+
+
+class TestFactories:
+    def test_make_check(self):
+        prog, graph = graph_for("b:\n  r1 = load [r2+0]\n  halt")
+        sentinel = make_check(prog, graph.nodes[0], "b")
+        assert sentinel.op is Opcode.CHECK
+        assert sentinel.srcs == (R(1),)
+        assert sentinel.dest is None  # R0 convention
+        assert sentinel.sentinel_for == (graph.nodes[0].uid,)
+        assert sentinel.uid is not None
+        assert sentinel.home_block == "b"
+
+    def test_make_check_with_override_register(self):
+        prog, graph = graph_for("b:\n  r1 = mov r3\n  halt")
+        sentinel = make_check(prog, graph.nodes[0], "b", reg=R(3))
+        assert sentinel.srcs == (R(3),)
+
+    def test_make_confirm_placeholder_index(self):
+        prog, graph = graph_for("b:\n  store [r2+0], r3\n  halt")
+        sentinel = make_confirm(prog, graph.nodes[0], "b")
+        assert sentinel.op is Opcode.CONFIRM
+        assert sentinel.srcs == (0,)  # patched after scheduling
+
+
+class TestTagCarryTracker:
+    SRC = (
+        "b:\n  r1 = load [r2+0]\n"   # 0: trap-capable
+        "  r3 = add r1, 1\n"          # 1: consumes 0
+        "  r4 = add r9, 1\n"          # 2: independent, never trapping
+        "  r5 = add r3, r4\n"         # 3: consumes 1 and 2
+        "  halt"
+    )
+
+    def test_speculated_trap_capable_carries(self):
+        _p, graph = graph_for(self.SRC)
+        tracker = TagCarryTracker(graph)
+        tracker.record_issue(0, spec=True)
+        assert tracker.carries_tag(0)
+        assert tracker.needs_explicit_sentinel(0)
+
+    def test_nonspec_never_carries(self):
+        _p, graph = graph_for(self.SRC)
+        tracker = TagCarryTracker(graph)
+        tracker.record_issue(0, spec=False)
+        assert not tracker.carries_tag(0)
+
+    def test_propagation_through_spec_consumers(self):
+        _p, graph = graph_for(self.SRC)
+        tracker = TagCarryTracker(graph)
+        tracker.record_issue(0, spec=True)
+        tracker.record_issue(1, spec=True)
+        tracker.record_issue(2, spec=True)
+        tracker.record_issue(3, spec=True)
+        assert tracker.carries_tag(1)
+        assert not tracker.carries_tag(2)  # clean independent chain
+        assert tracker.carries_tag(3)      # taint flows through one operand
+
+    def test_nonspec_consumer_stops_the_chain(self):
+        """The paper's Section 3.1 optimization: a non-speculative consumer
+        signals, so values derived beyond it are clean."""
+        _p, graph = graph_for(self.SRC)
+        tracker = TagCarryTracker(graph)
+        tracker.record_issue(0, spec=True)
+        tracker.record_issue(1, spec=False)  # reports here
+        tracker.record_issue(2, spec=True)
+        tracker.record_issue(3, spec=True)
+        assert not tracker.carries_tag(3)
+
+    def test_clean_spec_chain_needs_no_sentinel(self):
+        _p, graph = graph_for(self.SRC)
+        tracker = TagCarryTracker(graph)
+        tracker.record_issue(2, spec=True)
+        assert not tracker.needs_explicit_sentinel(2)

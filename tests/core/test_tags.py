@@ -1,0 +1,123 @@
+"""Exhaustive verification of Table 1 (Section 3.2 of the paper)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tags import TABLE1_ROWS, TaggedValue, apply_table1, first_tagged
+
+
+PC_OF_I = 40
+SRC_PC = 17
+RESULT = 99
+
+
+def row(spec, tagged, excepts):
+    sources = [TaggedValue(SRC_PC, True)] if tagged else [TaggedValue(5, False)]
+    return apply_table1(spec, sources, excepts, PC_OF_I, RESULT)
+
+
+class TestTable1Exhaustive:
+    """One test per row of Table 1, in the paper's order."""
+
+    def test_row_000_conventional(self):
+        out = row(False, False, False)
+        assert out.writes_dest and not out.dest_tag
+        assert out.dest_data == RESULT
+        assert out.signal_pc is None
+
+    def test_row_001_precise_exception(self):
+        out = row(False, False, True)
+        assert not out.writes_dest
+        assert out.signal_pc == PC_OF_I and out.signal_own
+
+    def test_row_010_sentinel_report(self):
+        out = row(False, True, False)
+        assert not out.writes_dest
+        assert out.signal_pc == SRC_PC and not out.signal_own
+
+    def test_row_011_sentinel_report_wins_over_own(self):
+        # "yes, except. pc = src.data" even though I itself excepts
+        out = row(False, True, True)
+        assert out.signal_pc == SRC_PC and not out.signal_own
+
+    def test_row_100_speculative_conventional(self):
+        out = row(True, False, False)
+        assert out.writes_dest and not out.dest_tag
+        assert out.dest_data == RESULT and out.signal_pc is None
+
+    def test_row_101_deferred_exception(self):
+        out = row(True, False, True)
+        assert out.writes_dest and out.dest_tag
+        assert out.dest_data == PC_OF_I  # "pc of I" into the data field
+        assert out.signal_pc is None
+
+    def test_row_110_propagation(self):
+        out = row(True, True, False)
+        assert out.dest_tag and out.dest_data == SRC_PC
+        assert out.signal_pc is None
+
+    def test_row_111_propagation_wins_over_own(self):
+        # "This is independent of whether I causes an exception or not."
+        out = row(True, True, True)
+        assert out.dest_tag and out.dest_data == SRC_PC
+        assert out.signal_pc is None
+
+    def test_all_rows_enumerated(self):
+        assert len(TABLE1_ROWS) == 8
+        assert len(set(TABLE1_ROWS)) == 8
+
+
+class TestFirstTaggedSource:
+    """Section 3.2: 'the data field of the first such source is copied'."""
+
+    def test_first_of_several(self):
+        sources = [
+            TaggedValue(1, False),
+            TaggedValue(111, True),
+            TaggedValue(222, True),
+        ]
+        assert first_tagged(sources).data == 111
+        out = apply_table1(True, sources, False, PC_OF_I, RESULT)
+        assert out.dest_data == 111
+        out = apply_table1(False, sources, False, PC_OF_I, RESULT)
+        assert out.signal_pc == 111
+
+    def test_none_tagged(self):
+        assert first_tagged([TaggedValue(1), TaggedValue(2)]) is None
+
+    def test_no_sources(self):
+        out = apply_table1(True, [], True, PC_OF_I, RESULT)
+        assert out.dest_tag and out.dest_data == PC_OF_I
+
+
+class TestProperties:
+    @given(
+        spec=st.booleans(),
+        tags=st.lists(st.booleans(), max_size=3),
+        excepts=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_speculative_never_signals(self, spec, tags, excepts):
+        sources = [TaggedValue(i + 1, t) for i, t in enumerate(tags)]
+        out = apply_table1(spec, sources, excepts, PC_OF_I, RESULT)
+        if spec:
+            assert out.signal_pc is None
+            assert out.writes_dest
+        else:
+            assert not out.dest_tag  # non-speculative writes are clean
+
+    @given(
+        tags=st.lists(st.booleans(), min_size=1, max_size=4),
+        excepts=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tag_out_iff_tag_in_or_exception(self, tags, excepts):
+        sources = [TaggedValue(i + 1, t) for i, t in enumerate(tags)]
+        out = apply_table1(True, sources, excepts, PC_OF_I, RESULT)
+        assert out.dest_tag == (any(tags) or excepts)
+
+    @given(data=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_propagated_pc_is_faithful(self, data):
+        out = apply_table1(True, [TaggedValue(data, True)], False, PC_OF_I, RESULT)
+        assert out.dest_data == data

@@ -1,0 +1,38 @@
+from repro.core.uninit import insert_uninit_tag_clears
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import R
+
+
+class TestClrtagInsertion:
+    def test_live_in_registers_cleared(self):
+        prog = assemble("e:\n  r1 = add r7, r8\n  store [r0+1], r1\n  halt")
+        cleared = insert_uninit_tag_clears(prog)
+        assert set(cleared) == {R(7), R(8)}
+        ops = [i.op for i in prog.entry.instrs[:2]]
+        assert ops == [Opcode.CLRTAG, Opcode.CLRTAG]
+
+    def test_defined_registers_not_cleared(self):
+        prog = assemble("e:\n  r1 = mov 1\n  r2 = add r1, 1\n  halt")
+        assert insert_uninit_tag_clears(prog) == []
+
+    def test_loop_carried_not_flagged(self):
+        prog = assemble(
+            "e:\n  r1 = mov 0\nloop:\n  r1 = add r1, 1\n  blt r1, 3, loop\nd:\n  halt"
+        )
+        assert insert_uninit_tag_clears(prog) == []
+
+    def test_use_on_one_path_only(self):
+        prog = assemble(
+            "e:\n  beq r9, 0, other\n  r1 = add r5, 1\n  halt\n"
+            "other:\n  halt"
+        )
+        cleared = insert_uninit_tag_clears(prog)
+        assert R(5) in cleared and R(9) in cleared
+
+    def test_renumbering_keeps_origins(self):
+        prog = assemble("e:\n  r1 = add r7, 1\n  halt")
+        first = prog.entry.instrs[0]
+        insert_uninit_tag_clears(prog)
+        assert first.origin == 0  # pre-insertion identity preserved
+        assert first.uid == 1  # shifted by the clrtag

@@ -1,0 +1,171 @@
+from repro.cfg.liveness import Liveness
+from repro.deps.builder import build_dependence_graph
+from repro.deps.types import ArcKind
+from repro.isa.assembler import assemble
+
+
+def graph_of(src, recovery=False):
+    prog = assemble(src)
+    lv = Liveness(prog)
+    return prog, build_dependence_graph(
+        prog.blocks[0], lv, irreversible_barriers=recovery
+    )
+
+
+def arcs_between(graph, src_idx, dst_idx):
+    return [a for a in graph.succs(src_idx) if a.dst == dst_idx]
+
+
+class TestRegisterDeps:
+    SRC = (
+        "b:\n  r1 = mov 1\n"      # 0
+        "  r2 = add r1, 1\n"      # 1 flow from 0
+        "  r1 = mov 2\n"          # 2 anti from 1, output from 0
+        "  halt"
+    )
+
+    def test_flow(self):
+        _p, g = graph_of(self.SRC)
+        kinds = {a.kind for a in arcs_between(g, 0, 1)}
+        assert ArcKind.FLOW in kinds
+
+    def test_flow_latency_is_producer_latency(self):
+        _p, g = graph_of("b:\n  r1 = load [r2+0]\n  r3 = add r1, 1\n  halt")
+        arc = next(a for a in arcs_between(g, 0, 1) if a.kind is ArcKind.FLOW)
+        assert arc.latency == 2  # load latency, Table 3
+
+    def test_anti_and_output(self):
+        _p, g = graph_of(self.SRC)
+        assert any(a.kind is ArcKind.ANTI for a in arcs_between(g, 1, 2))
+        assert any(
+            a.kind is ArcKind.OUTPUT and a.latency == 1
+            for a in arcs_between(g, 0, 2)
+        )
+
+    def test_anti_allows_same_cycle(self):
+        _p, g = graph_of(self.SRC)
+        arc = next(a for a in arcs_between(g, 1, 2) if a.kind is ArcKind.ANTI)
+        assert arc.latency == 0
+
+    def test_r0_generates_no_deps(self):
+        _p, g = graph_of("b:\n  r0 = mov 1\n  r1 = add r0, 1\n  halt")
+        assert not arcs_between(g, 0, 1)
+
+
+class TestMemoryDeps:
+    def test_store_load_same_address(self):
+        _p, g = graph_of(
+            "b:\n  store [r2+0], r3\n  r4 = load [r2+0]\n  halt"
+        )
+        arc = next(a for a in arcs_between(g, 0, 1) if a.kind is ArcKind.MEM)
+        assert arc.latency == 1
+
+    def test_same_base_different_offset_independent(self):
+        _p, g = graph_of(
+            "b:\n  store [r2+0], r3\n  r4 = load [r2+4]\n  halt"
+        )
+        assert not any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 1))
+
+    def test_different_bases_conflict(self):
+        _p, g = graph_of(
+            "b:\n  store [r2+0], r3\n  r4 = load [r5+0]\n  halt"
+        )
+        assert any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 1))
+
+    def test_load_load_never_conflicts(self):
+        _p, g = graph_of(
+            "b:\n  r1 = load [r2+0]\n  r4 = load [r5+0]\n  halt"
+        )
+        assert not any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 1))
+
+    def test_symbolic_chain_through_pointer_bump(self):
+        # p' = p + 1; store [p+0] vs load [p'+0] => adjacent words, disjoint
+        _p, g = graph_of(
+            "b:\n  store [r2+0], r3\n  r2 = add r2, 1\n  r4 = load [r2+0]\n  halt"
+        )
+        assert not any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 2))
+
+    def test_symbolic_chain_detects_same_word(self):
+        _p, g = graph_of(
+            "b:\n  store [r2+1], r3\n  r2 = add r2, 1\n  r4 = load [r2+0]\n  halt"
+        )
+        assert any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 2))
+
+    def test_absolute_addresses_compare_across_registers(self):
+        _p, g = graph_of(
+            "b:\n  r2 = mov 100\n  r5 = mov 200\n"
+            "  store [r2+0], r3\n  r4 = load [r5+0]\n  halt"
+        )
+        assert not any(a.kind is ArcKind.MEM for a in arcs_between(g, 2, 3))
+
+    def test_region_tags_prove_disjoint(self):
+        prog = assemble(
+            "b:\n  store [r2+0], r3\n  r4 = load [r5+0]\n  halt"
+        )
+        prog.blocks[0].instrs[0].mem_region = "out"
+        prog.blocks[0].instrs[1].mem_region = "in"
+        g = build_dependence_graph(prog.blocks[0], Liveness(prog))
+        assert not any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 1))
+
+    def test_untagged_vs_tagged_conflicts(self):
+        prog = assemble(
+            "b:\n  store [r2+0], r3\n  r4 = load [r5+0]\n  halt"
+        )
+        prog.blocks[0].instrs[1].mem_region = "in"
+        g = build_dependence_graph(prog.blocks[0], Liveness(prog))
+        assert any(a.kind is ArcKind.MEM for a in arcs_between(g, 0, 1))
+
+
+class TestControlAndGuardArcs:
+    SRC = (
+        "sb:\n  r9 = mov 9\n"           # 0
+        "  beq r1, 0, out\n"            # 1 branch
+        "  r2 = load [r3+0]\n"          # 2 after branch
+        "  store [r3+8], r2\n"          # 3
+        "  halt\n"                      # 4 terminator
+        "out:\n  store [r0+1], r9\n  halt"
+    )
+
+    def test_control_arcs_from_branch(self):
+        _p, g = graph_of(self.SRC)
+        for dst in (2, 3, 4):
+            arc = next(a for a in arcs_between(g, 1, dst) if a.kind is ArcKind.CONTROL)
+            assert arc.latency == 1
+
+    def test_guard_arc_live_dest(self):
+        # r9 is live at `out`, so instruction 0 must not sink below the beq
+        _p, g = graph_of(self.SRC)
+        assert any(a.kind is ArcKind.GUARD for a in arcs_between(g, 0, 1))
+
+    def test_everything_guards_terminator(self):
+        _p, g = graph_of(self.SRC)
+        for src in (0, 1, 2, 3):
+            # the branch already orders against the terminator via its
+            # CONTROL arc; everything else gets a GUARD arc
+            assert any(
+                a.kind in (ArcKind.GUARD, ArcKind.CONTROL)
+                for a in arcs_between(g, src, 4)
+            )
+
+    def test_branches_ordered(self):
+        _p, g = graph_of(
+            "sb:\n  beq r1, 0, o\n  bne r2, 0, o\n  halt\no:\n  halt"
+        )
+        arc = next(a for a in arcs_between(g, 0, 1) if a.kind is ArcKind.CONTROL)
+        assert arc.latency == 1
+
+
+class TestIrreversibleBarriers:
+    SRC = "b:\n  r1 = mov 1\n  io\n  r2 = load [r3+0]\n  io\n  halt"
+
+    def test_io_ordering_without_recovery(self):
+        _p, g = graph_of(self.SRC)
+        assert any(a.kind is ArcKind.GUARD for a in arcs_between(g, 1, 3))
+
+    def test_recovery_barriers_both_directions(self):
+        _p, g = graph_of(self.SRC, recovery=True)
+        # nothing moves above the io (arc io -> later, latency 1)
+        arc = next(a for a in arcs_between(g, 1, 2))
+        assert arc.latency == 1
+        # nothing sinks below it (arc earlier -> io)
+        assert arcs_between(g, 0, 1)

@@ -1,0 +1,171 @@
+from repro.cfg.liveness import Liveness
+from repro.deps.builder import build_dependence_graph
+from repro.deps.reduction import (
+    GENERAL,
+    RESTRICTED,
+    SENTINEL,
+    SENTINEL_STORE,
+    first_home_use,
+    reduce_dependence_graph,
+)
+from repro.deps.types import ArcKind
+from repro.isa.assembler import assemble
+from repro.isa.instruction import load
+from repro.isa.registers import R
+
+
+def reduced(src, policy, **kwargs):
+    prog = assemble(src)
+    lv = Liveness(prog)
+    graph = build_dependence_graph(prog.blocks[0], lv)
+    reduce_dependence_graph(graph, lv, policy, **kwargs)
+    return prog, graph
+
+
+FIG1_SRC = (
+    "main:\n"
+    "  beq r2, 0, L1\n"        # 0 = A
+    "  r1 = load [r2+0]\n"     # 1 = B
+    "  r3 = load [r4+0]\n"     # 2 = C
+    "  r4 = add r1, 1\n"       # 3 = D
+    "  r5 = mul r3, 9\n"       # 4 = E
+    "  store [r2+4], r4\n"     # 5 = F
+    "  halt\n"                 # 6
+    "L1:\n  halt"
+)
+
+
+class TestPolicies:
+    def test_restricted_keeps_trap_control_deps(self):
+        _p, g = reduced(FIG1_SRC, RESTRICTED)
+        # loads keep their control dependence on the branch
+        assert any(a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst == 1)
+        assert 1 not in g.allowed_spec
+        # non-trapping add may move (dest r4 dead at L1)
+        assert 3 in g.allowed_spec
+        assert not any(a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst == 3)
+
+    def test_general_and_sentinel_release_loads(self):
+        for policy in (GENERAL, SENTINEL):
+            _p, g = reduced(FIG1_SRC, policy)
+            assert 1 in g.allowed_spec and 2 in g.allowed_spec
+            assert not any(
+                a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst in (1, 2)
+            )
+
+    def test_stores_held_without_store_spec(self):
+        for policy in (RESTRICTED, GENERAL, SENTINEL):
+            _p, g = reduced(FIG1_SRC, policy)
+            assert 5 not in g.allowed_spec
+            assert any(a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst == 5)
+
+    def test_sentinel_store_releases_stores_unconditionally(self):
+        _p, g = reduced(FIG1_SRC, SENTINEL_STORE)
+        assert 5 in g.allowed_spec
+        assert not any(a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst == 5)
+        assert 5 in g.unprotected  # Section 4.2
+
+    def test_restriction_one_liveness(self):
+        src = (
+            "main:\n  beq r2, 0, L1\n  r1 = mov 7\n  halt\n"
+            "L1:\n  store [r0+1], r1\n  halt"
+        )
+        _p, g = reduced(src, SENTINEL)
+        # r1 is live when the branch is taken: control dep retained
+        assert any(a.kind is ArcKind.CONTROL for a in g.succs(0) if a.dst == 1)
+
+    def test_despeculated_uids_blocked(self):
+        prog = assemble(FIG1_SRC)
+        lv = Liveness(prog)
+        graph = build_dependence_graph(prog.blocks[0], lv)
+        load_uid = prog.blocks[0].instrs[1].uid
+        reduce_dependence_graph(
+            graph, lv, SENTINEL, despeculated=frozenset({load_uid})
+        )
+        assert 1 not in graph.allowed_spec
+        assert 2 in graph.allowed_spec
+
+    def test_trap_to_r0_never_speculative(self):
+        src = "main:\n  beq r2, 0, L1\n  r0 = load [r2+0]\n  halt\nL1:\n  halt"
+        _p, g = reduced(src, SENTINEL)
+        assert 1 not in g.allowed_spec
+
+
+class TestUnprotectedMarking:
+    def test_figure1_unprotected_set(self):
+        """Section 3.4: 'instructions E and F are identified as unprotected,
+        since they are the last uses of the potential trap-causing
+        instructions, B and C'."""
+        _p, g = reduced(FIG1_SRC, SENTINEL)
+        # E (index 4) carries C's duty; F (index 5, store with no dest) is
+        # unprotected in the inert sense.
+        assert 4 in g.unprotected
+        assert 5 in g.unprotected
+        # B and C themselves are protected (their uses carry the duty)
+        assert 1 not in g.unprotected
+        assert 2 not in g.unprotected
+        assert g.shared_sentinel[1] == 3  # B -> D
+        assert g.shared_sentinel[2] == 4  # C -> E
+
+    def test_chain_transfer(self):
+        src = (
+            "main:\n  beq r9, 0, L\n  r1 = load [r2+0]\n"
+            "  r3 = add r1, 1\n  r4 = add r3, 1\n  halt\nL:\n  halt"
+        )
+        _p, g = reduced(src, SENTINEL)
+        # load -> r3-add -> r4-add: the last link holds the duty
+        assert g.shared_sentinel[1] == 2
+        assert g.shared_sentinel[2] == 3
+        assert 3 in g.unprotected
+
+    def test_no_use_means_unprotected(self):
+        src = "main:\n  beq r9, 0, L\n  r1 = load [r2+0]\n  halt\nL:\n  halt"
+        _p, g = reduced(src, SENTINEL)
+        assert 1 in g.unprotected
+
+    def test_redefinition_cuts_chain(self):
+        src = (
+            "main:\n  beq r9, 0, L\n  r1 = load [r2+0]\n"
+            "  r1 = mov 0\n  r3 = add r1, 1\n  halt\nL:\n  halt"
+        )
+        _p, g = reduced(src, SENTINEL)
+        assert 1 in g.unprotected  # the use after redefinition doesn't count
+
+
+class TestFirstHomeUse:
+    def _graph(self, src):
+        prog = assemble(src)
+        lv = Liveness(prog)
+        return build_dependence_graph(prog.blocks[0], lv)
+
+    def test_prefers_never_speculable_use(self):
+        g = self._graph(
+            "main:\n  r1 = load [r2+0]\n  r3 = mov r1\n  beq r1, 0, L\n  halt\nL:\n  halt"
+        )
+        # the mov (index 1) is first, but the branch (index 2) can never be
+        # speculated and is the cheaper sentinel
+        assert first_home_use(g, 0, policy=SENTINEL) == 2
+        assert first_home_use(g, 0) == 1  # appendix default: first use
+
+    def test_home_block_ends_at_control(self):
+        g = self._graph(
+            "main:\n  r1 = load [r2+0]\n  beq r9, 0, L\n  r3 = mov r1\n  halt\nL:\n  halt"
+        )
+        assert first_home_use(g, 0, policy=SENTINEL) is None
+
+    def test_branch_as_use(self):
+        g = self._graph("main:\n  r1 = load [r2+0]\n  beq r1, 0, L\n  halt\nL:\n  halt")
+        assert first_home_use(g, 0, policy=SENTINEL) == 1
+
+    def test_clrtag_cuts_chain(self):
+        g = self._graph(
+            "main:\n  r1 = load [r2+0]\n  clrtag r1\n  r3 = mov r1\n  halt"
+        )
+        assert first_home_use(g, 0, policy=SENTINEL) is None
+
+    def test_recovery_boundary_at_irreversible(self):
+        g = self._graph(
+            "main:\n  r1 = load [r2+0]\n  io\n  r3 = mov r1\n  halt"
+        )
+        assert first_home_use(g, 0, stop_at_irreversible=True, policy=SENTINEL) is None
+        assert first_home_use(g, 0, stop_at_irreversible=False, policy=SENTINEL) == 2

@@ -1,0 +1,45 @@
+"""The harness accepts custom policy tuples (e.g. boosting levels), which
+is how the boosting-vs-sentinel comparison composes with the sweep API."""
+
+from repro.deps.reduction import SENTINEL, boosting_policy
+from repro.eval.harness import SweepConfig, run_sweep
+
+
+def test_sweep_with_boosting_policies():
+    sweep = run_sweep(
+        SweepConfig(
+            benchmarks=("wc",),
+            issue_rates=(8,),
+            policies=(SENTINEL, boosting_policy(2)),
+            scale=0.2,
+            unroll_factor=2,
+        )
+    )
+    assert ("wc", "sentinel", 8) in sweep.cells
+    assert ("wc", "boosting2", 8) in sweep.cells
+    assert sweep.speedup("wc", "boosting2", 8) > 0.8
+
+
+def test_sweep_seed_and_scale_forwarded():
+    a = run_sweep(
+        SweepConfig(benchmarks=("wc",), issue_rates=(2,), seed=1, scale=0.1)
+    )
+    b = run_sweep(
+        SweepConfig(benchmarks=("wc",), issue_rates=(2,), seed=1, scale=0.1)
+    )
+    assert a.base_cycles == b.base_cycles  # fully deterministic
+    c = run_sweep(
+        SweepConfig(benchmarks=("wc",), issue_rates=(2,), seed=1, scale=0.2)
+    )
+    assert c.base_cycles["wc"] > a.base_cycles["wc"]
+
+
+def test_csv_export():
+    sweep = run_sweep(
+        SweepConfig(benchmarks=("wc",), issue_rates=(2, 8), scale=0.1)
+    )
+    csv = sweep.to_csv()
+    lines = csv.splitlines()
+    assert lines[0].startswith("benchmark,numeric,policy")
+    assert len(lines) == 1 + 4 * 2  # header + policies x rates
+    assert any(line.startswith("wc,0,sentinel,8,") for line in lines)

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.eval.figures import (
+    FIGURE4_MODELS,
+    FIGURE5_MODELS,
+    FigureSeries,
+    render_bars,
+    render_table,
+)
+
+
+def tiny_series():
+    series = FigureSeries(
+        title="test figure",
+        models=(("R", "restricted"), ("S", "sentinel")),
+        issue_rates=(2, 8),
+    )
+    series.data["cmp"] = {"R": {2: 1.5, 8: 2.0}, "S": {2: 1.8, 8: 3.0}}
+    series.data["wc"] = {"R": {2: 1.2, 8: 1.4}, "S": {2: 1.3, 8: 1.9}}
+    return series
+
+
+class TestFigureSeries:
+    def test_value_lookup(self):
+        series = tiny_series()
+        assert series.value("cmp", "S", 8) == 3.0
+        with pytest.raises(KeyError):
+            series.value("gcc", "S", 8)
+
+    def test_model_constants(self):
+        assert dict(FIGURE4_MODELS) == {"R": "restricted", "S": "sentinel"}
+        assert dict(FIGURE5_MODELS)["T"] == "sentinel_store"
+
+
+class TestRendering:
+    def test_table_contains_all_cells(self):
+        text = render_table(tiny_series())
+        assert "cmp" in text and "wc" in text
+        assert "3.00" in text and "1.20" in text
+
+    def test_bars_scale_to_peak(self):
+        text = render_bars(tiny_series(), width=10)
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert len(lines) == 8  # 2 benchmarks x 2 models x 2 rates
+        peak_line = next(l for l in lines if "3.00" in l)
+        assert peak_line.count("#") == 10
+        smallest = next(l for l in lines if "1.20" in l)
+        assert 1 <= smallest.count("#") <= 4

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.eval.figures import figure4_series, figure5_series, render_bars, render_table
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.eval.report import headline_numbers, render_report, shape_checks
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A reduced sweep (4 benchmarks, 2 issue rates) for harness testing."""
+    return run_sweep(
+        SweepConfig(
+            benchmarks=("cmp", "wc", "matrix300", "doduc"),
+            issue_rates=(2, 8),
+            scale=0.3,
+            unroll_factor=3,
+        )
+    )
+
+
+class TestSweepMechanics:
+    def test_all_cells_present(self, small_sweep):
+        assert len(small_sweep.cells) == 4 * 4 * 2  # bench x policy x rate
+
+    def test_speedups_positive_and_anchored(self, small_sweep):
+        for cell in small_sweep.cells.values():
+            assert cell.speedup > 0.5
+        # restricted at higher issue must not be slower than at lower
+        for name in small_sweep.benchmarks():
+            assert small_sweep.speedup(name, "restricted", 8) >= (
+                small_sweep.speedup(name, "restricted", 2) * 0.95
+            )
+
+    def test_sentinel_dominates_restricted(self, small_sweep):
+        for name in ("cmp", "wc", "doduc"):
+            assert small_sweep.improvement(name, "restricted", "sentinel", 8) >= 0
+
+    def test_average_improvement(self, small_sweep):
+        value = small_sweep.average_improvement(
+            "restricted", "sentinel", 8, numeric=False
+        )
+        assert -0.1 < value < 3.0
+
+    def test_average_requires_matches(self, small_sweep):
+        with pytest.raises(ValueError):
+            small_sweep.average_improvement("restricted", "sentinel", 99)
+
+
+class TestFigures:
+    def test_figure4_series(self, small_sweep):
+        series = figure4_series(small_sweep)
+        assert series.value("cmp", "S", 8) == small_sweep.speedup("cmp", "sentinel", 8)
+        assert set(series.data) == {"cmp", "wc", "matrix300", "doduc"}
+
+    def test_figure5_series(self, small_sweep):
+        series = figure5_series(small_sweep)
+        assert series.value("cmp", "T", 8) == small_sweep.speedup(
+            "cmp", "sentinel_store", 8
+        )
+
+    def test_renderings_nonempty(self, small_sweep):
+        table = render_table(figure4_series(small_sweep))
+        bars = render_bars(figure5_series(small_sweep))
+        assert "cmp" in table and "matrix300" in table
+        assert "#" in bars
+
+
+class TestReport:
+    def test_headlines(self, small_sweep):
+        headlines = headline_numbers(small_sweep)
+        labels = {h.label for h in headlines}
+        assert "sentinel over restricted" in labels
+        assert any(h.paper is not None for h in headlines)
+        assert all(h.format() for h in headlines)
+
+    def test_full_report_renders(self, small_sweep):
+        text = render_report(small_sweep)
+        assert "Figure 4" in text and "Figure 5" in text
+        assert "Headline aggregates" in text
+
+    def test_shape_checks_run(self, small_sweep):
+        checks = shape_checks(small_sweep)
+        assert checks  # keys exist; a reduced sweep may not satisfy all

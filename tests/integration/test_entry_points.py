@@ -1,0 +1,31 @@
+"""Smoke tests for the public entry points the README advertises."""
+
+from repro import quick_compare
+from repro.eval.harness import SweepConfig, run_sweep
+
+
+def test_quick_compare_shape():
+    speedups = quick_compare("wc", issue_rate=4, unroll_factor=2)
+    assert set(speedups) == {
+        "restricted", "general", "sentinel", "sentinel_store",
+    }
+    assert all(v > 0.5 for v in speedups.values())
+    assert speedups["sentinel"] >= speedups["restricted"] * 0.95
+
+
+def test_sweep_with_recovery_constraints():
+    """The recovery-mode compilation path works through the harness too."""
+    sweep = run_sweep(
+        SweepConfig(
+            benchmarks=("cmp",),
+            issue_rates=(4,),
+            scale=0.15,
+            unroll_factor=2,
+            recovery=True,
+        )
+    )
+    assert sweep.speedup("cmp", "sentinel", 4) > 0.8
+
+
+def test_main_module_importable():
+    import repro.__main__  # noqa: F401

@@ -1,0 +1,150 @@
+import pytest
+
+from repro.arch.exceptions import SimulationError, TrapKind
+from repro.arch.memory import Memory
+from repro.interp.interpreter import ABORT, RECORD, REPAIR, run_program
+from repro.isa.assembler import assemble
+from repro.isa.registers import F, R
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+class TestBasicExecution:
+    def test_arithmetic_and_halt(self):
+        prog = assemble("e:\n  r1 = mov 6\n  r2 = mul r1, 7\n  halt")
+        result = run_program(prog)
+        assert result.halted and not result.aborted
+        assert result.registers[R(2)] == 42
+        assert result.steps == 3
+
+    def test_loop_and_memory(self):
+        prog = assemble(
+            "e:\n  r1 = mov 0\n  r2 = mov 0\n"
+            "loop:\n  r2 = add r2, r1\n  r1 = add r1, 1\n  blt r1, 5, loop\n"
+            "d:\n  store [r0+100], r2\n  halt"
+        )
+        result = run_program(prog)
+        assert result.memory.peek(100) == 10
+
+    def test_fp_pipeline(self):
+        prog = assemble(
+            "e:\n  r1 = mov 3\n  f1 = cvtif r1\n  f2 = fmul f1, f1\n"
+            "  r2 = cvtfi f2\n  store [r0+50], r2\n  halt"
+        )
+        result = run_program(prog)
+        assert result.memory.peek(50) == 9
+
+    def test_fallthrough_between_blocks(self):
+        prog = assemble("a:\n  r1 = mov 1\nb:\n  r1 = add r1, 1\nc:\n  halt")
+        result = run_program(prog)
+        assert result.registers[R(1)] == 2
+        assert result.profile.edge_count("a", "b") == 1
+
+    def test_uninitialized_registers_read_zero(self):
+        prog = assemble("e:\n  r1 = add r60, 5\n  f1 = fadd f60, 1.0\n  halt")
+        result = run_program(prog)
+        assert result.registers[R(1)] == 5
+        assert result.registers[F(1)] == 1.0
+
+    def test_r0_writes_discarded(self):
+        prog = assemble("e:\n  r0 = mov 99\n  r1 = add r0, 1\n  halt")
+        result = run_program(prog)
+        assert result.registers[R(1)] == 1
+
+
+class TestControlAndProfile:
+    def test_branch_profile(self):
+        prog = assemble(GUARDED_LOOP_ASM)
+        result = run_program(prog, memory=guarded_loop_memory(null_at=3))
+        beq = prog.blocks[1].instrs[2]  # the guard in "loop"
+        assert result.profile.branch_executed[beq.uid] == 8
+        assert result.profile.branch_taken[beq.uid] == 1
+        assert result.profile.taken_ratio(beq.uid) == pytest.approx(1 / 8)
+
+    def test_block_visits(self):
+        prog = assemble(GUARDED_LOOP_ASM)
+        result = run_program(prog, memory=guarded_loop_memory())
+        assert result.profile.block_visits["loop"] == 8
+        assert result.profile.block_visits["done"] == 1
+
+    def test_step_limit_guards_infinite_loops(self):
+        prog = assemble("a:\n  jump a\nb:\n  halt")
+        with pytest.raises(SimulationError):
+            run_program(prog, max_steps=100)
+
+
+class TestExceptionPolicies:
+    def _faulting_program(self):
+        return assemble(
+            "e:\n  r1 = mov 100\n  r2 = load [r1+0]\n  r3 = add r2, 1\n"
+            "  store [r1+4], r3\n  halt"
+        )
+
+    def test_abort_stops_at_first_signal(self):
+        prog = self._faulting_program()
+        mem = Memory()
+        mem.inject_page_fault(100)
+        result = run_program(prog, memory=mem, on_exception=ABORT)
+        assert result.aborted and not result.halted
+        assert len(result.exceptions) == 1
+        exc = result.exceptions[0]
+        assert exc.kind is TrapKind.PAGE_FAULT
+        assert exc.origin_pc == 1  # the load
+        assert result.memory.peek(104) == 0  # store never ran
+
+    def test_repair_retries_page_fault(self):
+        prog = self._faulting_program()
+        mem = Memory()
+        mem.poke(100, 7)
+        mem.inject_page_fault(100)
+        result = run_program(prog, memory=mem, on_exception=REPAIR)
+        assert result.halted
+        assert [e.origin_pc for e in result.exceptions] == [1]
+        assert result.memory.peek(104) == 8  # completed after repair
+
+    def test_repair_aborts_on_unrepairable(self):
+        prog = assemble("e:\n  r1 = mov 0\n  r2 = div 10, r1\n  halt")
+        result = run_program(prog, on_exception=REPAIR)
+        assert result.aborted
+        assert result.exceptions[0].kind is TrapKind.DIV_ZERO
+
+    def test_record_continues_with_garbage(self):
+        prog = self._faulting_program()
+        mem = Memory()
+        mem.inject_page_fault(100)
+        result = run_program(prog, memory=mem, on_exception=RECORD)
+        assert result.halted
+        assert len(result.exceptions) == 1
+
+    def test_access_violation_outside_segments(self):
+        prog = assemble("e:\n  r1 = mov 9999999\n  r2 = load [r1+0]\n  halt")
+        mem = Memory(segments=[(0, 1000)])
+        result = run_program(prog, memory=mem)
+        assert result.exceptions[0].kind is TrapKind.ACCESS_VIOLATION
+
+
+class TestSentinelOpsAreNoOps:
+    """The reference machine has no tags: check/confirm/clrtag do nothing
+    architectural (check keeps its move semantics)."""
+
+    def test_check_moves(self):
+        prog = assemble("e:\n  r1 = mov 5\n  check r1 -> r2\n  halt")
+        result = run_program(prog)
+        assert result.registers[R(2)] == 5
+
+    def test_clrtag_confirm_nop(self):
+        prog = assemble("e:\n  r1 = mov 5\n  clrtag r1\n  confirm 0\n  halt")
+        result = run_program(prog)
+        assert result.registers[R(1)] == 5
+
+    def test_io_events_ordered(self):
+        prog = assemble("e:\n  io\n  jsr\n  io\n  halt")
+        result = run_program(prog)
+        assert result.io_events == [0, 1, 2]
+
+    def test_tload_tstore(self):
+        prog = assemble(
+            "e:\n  r1 = mov 7\n  tstore [r0+30], r1\n  r2 = tload [r0+30]\n  halt"
+        )
+        result = run_program(prog)
+        assert result.registers[R(2)] == 7

@@ -1,0 +1,63 @@
+"""Exception-policy corners of the reference interpreter."""
+
+from repro.arch.memory import Memory
+from repro.arch.exceptions import TrapKind
+from repro.interp.interpreter import RECORD, REPAIR, run_program
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+
+
+def faulting_store_program():
+    return assemble(
+        "e:\n  r1 = mov 100\n  store [r1+0], 7\n  r2 = load [r1+0]\n"
+        "  store [r0+500], r2\n  halt"
+    )
+
+
+class TestRecordMode:
+    def test_faulting_store_is_dropped(self):
+        prog = faulting_store_program()
+        mem = Memory()
+        mem.inject_page_fault(100)
+        result = run_program(prog, memory=mem, on_exception=RECORD)
+        assert result.halted
+        assert result.exceptions[0].kind is TrapKind.PAGE_FAULT
+        # two faults: the store, then the load of the same page
+        assert len(result.exceptions) == 2
+        assert result.memory.peek(100) == 0  # the store never landed
+
+    def test_garbage_result_propagates(self):
+        prog = assemble(
+            "e:\n  r1 = mov 0\n  r2 = div 10, r1\n  store [r0+500], r2\n  halt"
+        )
+        result = run_program(prog, on_exception=RECORD)
+        assert result.halted
+        from repro.isa.semantics import GARBAGE_INT
+
+        assert result.memory.peek(500) == GARBAGE_INT
+
+
+class TestRepairMode:
+    def test_store_fault_repaired(self):
+        prog = faulting_store_program()
+        mem = Memory()
+        mem.inject_page_fault(100)
+        result = run_program(prog, memory=mem, on_exception=REPAIR)
+        assert result.halted
+        assert len(result.exceptions) == 1  # load succeeds after the repair
+        assert result.memory.peek(500) == 7
+
+    def test_multiple_faults_all_repaired_in_order(self):
+        prog = assemble(
+            "e:\n  r1 = load [r0+100]\n  r2 = load [r0+101]\n"
+            "  r3 = add r1, r2\n  store [r0+500], r3\n  halt"
+        )
+        mem = Memory()
+        mem.poke(100, 3)
+        mem.poke(101, 4)
+        mem.inject_page_fault(100)
+        mem.inject_page_fault(101)
+        result = run_program(prog, memory=mem, on_exception=REPAIR)
+        assert result.halted
+        assert [e.origin_pc for e in result.exceptions] == [0, 1]
+        assert result.memory.peek(500) == 7

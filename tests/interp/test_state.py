@@ -1,0 +1,69 @@
+import pytest
+
+from repro.arch.memory import Memory
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent, diff_observables, observable_of
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+
+
+def run(src, mem=None):
+    return run_program(assemble(src), memory=mem)
+
+
+class TestObservables:
+    def test_memory_footprint(self):
+        result = run("e:\n  r1 = mov 42\n  store [r0+10], r1\n  halt")
+        obs = observable_of(result)
+        assert obs.memory_words == ((10, 42),)
+
+    def test_zero_stores_elided(self):
+        result = run("e:\n  store [r0+10], 0\n  halt")
+        assert observable_of(result).memory_words == ()
+
+    def test_live_out_registers(self):
+        result = run("e:\n  r1 = mov 3\n  halt")
+        obs = observable_of(result, live_out=[R(1), R(2)])
+        assert dict(obs.live_out) == {"r1": 3, "r2": 0}
+
+    def test_io_events_included(self):
+        result = run("e:\n  io\n  halt")
+        assert observable_of(result).io_events == (0,)
+
+
+class TestComparison:
+    def test_identical_runs_equivalent(self):
+        a = run("e:\n  store [r0+1], 5\n  halt")
+        b = run("e:\n  store [r0+1], 5\n  halt")
+        assert_equivalent(a, b)
+
+    def test_memory_difference_detected(self):
+        a = run("e:\n  store [r0+1], 5\n  halt")
+        b = run("e:\n  store [r0+1], 6\n  halt")
+        with pytest.raises(AssertionError, match="memory"):
+            assert_equivalent(a, b)
+
+    def test_exception_difference_detected(self):
+        mem = Memory()
+        mem.inject_page_fault(100)
+        a = run("e:\n  r1 = load [r0+100]\n  halt", mem)
+        b = run("e:\n  r1 = load [r0+100]\n  halt")
+        problems = diff_observables(observable_of(a), observable_of(b))
+        assert any("exceptions" in p for p in problems)
+
+    def test_io_order_difference_detected(self):
+        a = run("e:\n  io\n  io\n  halt")
+        b = run("e:\n  io\n  halt")
+        with pytest.raises(AssertionError, match="io"):
+            assert_equivalent(a, b)
+
+    def test_nan_values_compare_equal(self):
+        src = "e:\n  f1 = fmov 0.0\n  f2 = fdiv f1, f1\n  halt"
+        # fdiv 0/0 traps; run in record mode so nan garbage lands in f2
+        from repro.interp.interpreter import RECORD, run_program as rp
+
+        a = rp(assemble(src), on_exception=RECORD)
+        b = rp(assemble(src), on_exception=RECORD)
+        from repro.isa.registers import F
+
+        assert_equivalent(a, b, live_out=[F(2)])

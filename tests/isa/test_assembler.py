@@ -1,0 +1,140 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.printer import format_instruction, format_program
+from repro.isa.registers import F, R
+
+
+class TestBasicParsing:
+    def test_alu(self):
+        prog = assemble("entry:\n  r1 = add r2, r3\n  halt")
+        instr = prog.blocks[0].instrs[0]
+        assert instr.op is Opcode.ADD
+        assert instr.dest is R(1)
+        assert instr.srcs == (R(2), R(3))
+
+    def test_immediates(self):
+        prog = assemble("entry:\n  r1 = add r2, -5\n  f1 = fadd f2, 1.5\n  halt")
+        assert prog.blocks[0].instrs[0].srcs == (R(2), -5)
+        assert prog.blocks[0].instrs[1].srcs == (F(2), 1.5)
+
+    def test_memory_forms(self):
+        prog = assemble(
+            "entry:\n"
+            "  r1 = load [r2+0]\n"
+            "  store [r2+4], r1\n"
+            "  f1 = fload [r2-8]\n"
+            "  fstore [r2+12], f1\n"
+            "  halt"
+        )
+        instrs = prog.blocks[0].instrs
+        assert instrs[0].op is Opcode.LOAD and instrs[0].srcs == (R(2), 0)
+        assert instrs[1].srcs == (R(2), 4, R(1))
+        assert instrs[2].srcs == (R(2), -8)
+
+    def test_branches_and_labels(self):
+        prog = assemble(
+            "a:\n  beq r1, 0, b\n  jump a\nb:\n  halt"
+        )
+        assert prog.blocks[0].instrs[0].target == "b"
+        assert prog.blocks[0].instrs[1].target == "a"
+
+    def test_sentinel_ops(self):
+        prog = assemble(
+            "entry:\n  check r5\n  check r5 -> r5\n  confirm 2\n  clrtag r7\n  halt"
+        )
+        instrs = prog.blocks[0].instrs
+        assert instrs[0].op is Opcode.CHECK and instrs[0].dest is None
+        assert instrs[1].dest is R(5)
+        assert instrs[2].srcs == (2,)
+        assert instrs[3].dest is R(7)
+
+    def test_speculative_suffix(self):
+        prog = assemble("entry:\n  r1 = load.s [r2+0]\n  halt")
+        assert prog.blocks[0].instrs[0].spec
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("entry:\n\n  ; whole-line comment\n  r1 = mov 1  ; tail\n  halt")
+        assert prog.instruction_count() == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "entry:\n  r1 = frobnicate r2\n  halt",
+            "entry:\n  beq r1, 0\n  halt",  # missing label
+            "entry:\n  r1 = load r2\n  halt",  # not bracket form
+            "entry:\n  r1 = add r2, r99\n  halt",  # bad register
+            "entry:\n  halt extra",
+            "entry:\n  confirm r5\n  halt",  # confirm wants an int
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises((AssemblerError, ValueError)):
+            assemble(text)
+
+    def test_branch_to_unknown_label(self):
+        with pytest.raises(ValueError):
+            assemble("entry:\n  beq r1, 0, nowhere\n  halt")
+
+    def test_fallthrough_off_end(self):
+        with pytest.raises(ValueError):
+            assemble("entry:\n  r1 = mov 1")
+
+
+class TestRoundTrip:
+    def test_print_then_parse(self):
+        source = (
+            "entry:\n"
+            "  r1 = mov 10\n"
+            "  r2 = load.s [r1+4]\n"
+            "  f1 = fadd f2, f3\n"
+            "  beq r2, 0, out\n"
+            "  store [r1+0], r2\n"
+            "  check r2\n"
+            "  confirm 1\n"
+            "  jump entry\n"
+            "out:\n"
+            "  halt\n"
+        )
+        first = assemble(source)
+        second = assemble(format_program(first))
+        assert format_program(first) == format_program(second)
+        assert first.instruction_count() == second.instruction_count()
+
+    @given(
+        op=st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MUL,
+                            Opcode.SLT, Opcode.AND, Opcode.SRA]),
+        dest=st.integers(min_value=1, max_value=63),
+        a=st.integers(min_value=0, max_value=63),
+        imm=st.integers(min_value=-1000, max_value=1000),
+        spec=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alu_roundtrip_property(self, op, dest, a, imm, spec):
+        instr = Instruction(op, dest=R(dest), srcs=(R(a), imm), spec=spec)
+        text = format_instruction(instr)
+        parsed = assemble(f"e:\n  {text}\n  halt").blocks[0].instrs[0]
+        assert parsed.op is instr.op
+        assert parsed.dest is instr.dest
+        assert parsed.srcs == instr.srcs
+        assert parsed.spec == instr.spec
+
+    @given(
+        base=st.integers(min_value=1, max_value=63),
+        offset=st.integers(min_value=-64, max_value=64),
+        value=st.integers(min_value=1, max_value=63),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_memory_roundtrip_property(self, base, offset, value):
+        from repro.isa.instruction import load, store
+
+        for instr in (load(R(value), R(base), offset), store(R(base), offset, R(value))):
+            text = format_instruction(instr)
+            parsed = assemble(f"e:\n  {text}\n  halt").blocks[0].instrs[0]
+            assert parsed.op is instr.op
+            assert parsed.srcs == instr.srcs

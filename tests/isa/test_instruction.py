@@ -1,0 +1,118 @@
+import pytest
+
+from repro.isa.instruction import (
+    Instruction,
+    alu,
+    branch,
+    check,
+    clrtag,
+    confirm,
+    jump,
+    load,
+    mov,
+    store,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import F, R
+
+
+class TestConstruction:
+    def test_alu_requires_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, srcs=(R(1), R(2)))
+
+    def test_store_rejects_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, dest=R(1), srcs=(R(2), 0, R(3)))
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, srcs=(R(1), 0))
+
+    def test_check_dest_optional(self):
+        assert check(R(5)).dest is None
+        assert check(R(5), dest=R(5)).dest is R(5)
+
+
+class TestUsesDefs:
+    def test_alu(self):
+        instr = alu(Opcode.ADD, R(1), R(2), 5)
+        assert instr.uses() == [R(2)]
+        assert instr.defs() == [R(1)]
+
+    def test_store_uses_base_and_value(self):
+        instr = store(R(2), 4, R(3))
+        assert instr.uses() == [R(2), R(3)]
+        assert instr.defs() == []
+
+    def test_store_immediate_value(self):
+        instr = store(R(2), 4, 17)
+        assert instr.uses() == [R(2)]
+
+    def test_clrtag_reads_and_writes_its_register(self):
+        instr = clrtag(R(7))
+        assert R(7) in instr.uses()
+        assert instr.defs() == [R(7)]
+
+    def test_branch_uses(self):
+        instr = branch(Opcode.BLT, R(1), 10, "L")
+        assert instr.uses() == [R(1)]
+
+
+class TestSpeculability:
+    def test_plain_ops_speculable(self):
+        assert load(R(1), R(2)).is_speculable
+        assert alu(Opcode.ADD, R(1), R(2), 1).is_speculable
+        assert store(R(2), 0, R(3)).is_speculable  # model decides
+
+    def test_control_not_speculable(self):
+        assert not branch(Opcode.BEQ, R(1), 0, "L").is_speculable
+        assert not jump("L").is_speculable
+        assert not Instruction(Opcode.HALT).is_speculable
+
+    def test_irreversible_not_speculable(self):
+        assert not Instruction(Opcode.IO).is_speculable
+        assert not Instruction(Opcode.JSR).is_speculable
+
+    def test_sentinel_support_ops_not_speculable(self):
+        assert not check(R(1)).is_speculable
+        assert not confirm(0).is_speculable
+        assert not clrtag(R(1)).is_speculable
+
+
+class TestCloneAndOrigin:
+    def test_clone_records_origin(self):
+        original = load(R(1), R(2))
+        original.uid = 42
+        clone = original.clone()
+        assert clone.uid is None
+        assert clone.origin == 42
+        assert clone.origin_uid == 42
+
+    def test_clone_of_clone_preserves_root_origin(self):
+        original = load(R(1), R(2))
+        original.uid = 7
+        middle = original.clone()  # uid None, origin 7
+        leaf = middle.clone()
+        assert leaf.origin == 7
+
+    def test_clone_preserves_operands_and_region(self):
+        original = store(R(2), 4, R(3), region="data_x")
+        original.uid = 1
+        clone = original.clone()
+        assert clone.srcs == original.srcs
+        assert clone.mem_region == "data_x"
+
+    def test_origin_uid_of_unnumbered_raises(self):
+        with pytest.raises(ValueError):
+            mov(R(1), 0).origin_uid
+
+
+def test_fp_factories():
+    from repro.isa.instruction import fload, fstore
+
+    instr = fload(F(1), R(2), 3)
+    assert instr.dest is F(1)
+    assert instr.op is Opcode.FLOAD
+    st = fstore(R(2), 3, F(1))
+    assert st.uses() == [R(2), F(1)]

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.isa.opcodes import (
+    LatClass,
+    MNEMONIC_TO_OPCODE,
+    OP_INFO,
+    Opcode,
+    PAPER_LATENCIES,
+    latency_of,
+)
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        assert op in OP_INFO
+        assert op.info is OP_INFO[op]
+
+
+def test_mnemonics_unique_and_roundtrip():
+    assert len(MNEMONIC_TO_OPCODE) == len(Opcode)
+    for op in Opcode:
+        assert MNEMONIC_TO_OPCODE[op.info.mnemonic] is op
+
+
+class TestPaperTrapClasses:
+    """Section 5.1: loads, stores, integer divide and FP instructions trap."""
+
+    def test_memory_ops_trap(self):
+        for op in (Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE):
+            assert op.info.can_trap
+
+    def test_integer_divide_traps(self):
+        assert Opcode.DIV.info.can_trap
+        assert Opcode.REM.info.can_trap
+
+    def test_fp_arithmetic_traps(self):
+        for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+                   Opcode.FCVT_IF, Opcode.FCVT_FI, Opcode.FCLT):
+            assert op.info.can_trap
+
+    def test_int_alu_never_traps(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+                   Opcode.SLL, Opcode.SRA, Opcode.SLT, Opcode.MOV, Opcode.MUL):
+            assert not op.info.can_trap
+
+    def test_tag_preserving_spills_never_signal(self):
+        # Section 3.2: "These instructions do not signal exceptions".
+        assert not Opcode.TLOAD.info.can_trap
+        assert not Opcode.TSTORE.info.can_trap
+
+    def test_register_moves_never_trap(self):
+        assert not Opcode.FMOV.info.can_trap
+
+
+class TestTable3Latencies:
+    """Table 3 of the paper, verbatim."""
+
+    @pytest.mark.parametrize(
+        "cls,expected",
+        [
+            (LatClass.INT_ALU, 1),
+            (LatClass.INT_MUL, 3),
+            (LatClass.INT_DIV, 10),
+            (LatClass.BRANCH, 1),
+            (LatClass.LOAD, 2),
+            (LatClass.STORE, 1),
+            (LatClass.FP_ALU, 3),
+            (LatClass.FP_CVT, 3),
+            (LatClass.FP_MUL, 3),
+            (LatClass.FP_DIV, 10),
+        ],
+    )
+    def test_latency(self, cls, expected):
+        assert PAPER_LATENCIES[cls] == expected
+
+    def test_latency_of_dispatch(self):
+        assert latency_of(Opcode.LOAD) == 2
+        assert latency_of(Opcode.FDIV) == 10
+        assert latency_of(Opcode.ADD) == 1
+
+
+class TestStructuralProperties:
+    def test_control_classification(self):
+        assert Opcode.BEQ.info.is_cond_branch and Opcode.BEQ.info.is_branch
+        assert Opcode.JUMP.info.is_jump and Opcode.JUMP.info.is_branch
+        assert Opcode.HALT.info.is_halt and Opcode.HALT.info.is_control
+        assert not Opcode.JSR.info.is_branch  # opaque call, not a transfer
+
+    def test_irreversible(self):
+        # Section 3.7: "I/O, subroutine call, and synchronization
+        # instructions break restartable sequences"; stores do not.
+        assert Opcode.IO.info.is_irreversible
+        assert Opcode.JSR.info.is_irreversible
+        assert not Opcode.STORE.info.is_irreversible
+
+    def test_memory_classification(self):
+        assert Opcode.LOAD.info.is_load and not Opcode.LOAD.info.is_store
+        assert Opcode.STORE.info.is_store and not Opcode.STORE.info.is_load
+        assert Opcode.TSTORE.info.writes_mem
+
+    def test_dest_classification(self):
+        assert Opcode.FLOAD.info.fp_dest
+        assert not Opcode.FCVT_FI.info.fp_dest  # fp -> int register
+        assert Opcode.FCVT_IF.info.fp_dest
+        assert not Opcode.STORE.info.has_dest

@@ -1,0 +1,68 @@
+from repro.isa.assembler import assemble
+from repro.isa.instruction import (
+    Instruction,
+    check,
+    clrtag,
+    confirm,
+    fload,
+    fstore,
+    jump,
+    load,
+    store,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.printer import format_block, format_instruction, format_program
+from repro.isa.registers import F, R
+
+
+class TestInstructionFormatting:
+    def test_alu(self):
+        instr = Instruction(Opcode.ADD, dest=R(1), srcs=(R(2), 5))
+        assert format_instruction(instr) == "r1 = add r2, 5"
+
+    def test_speculative_suffix(self):
+        instr = load(R(1), R(2), 4)
+        instr.spec = True
+        assert format_instruction(instr) == "r1 = load.s [r2+4]"
+
+    def test_negative_offset(self):
+        assert format_instruction(load(R(1), R(2), -8)) == "r1 = load [r2-8]"
+
+    def test_store_forms(self):
+        assert format_instruction(store(R(2), 4, R(3))) == "store [r2+4], r3"
+        assert format_instruction(fstore(R(2), 0, F(1))) == "fstore [r2+0], f1"
+
+    def test_float_immediates_keep_a_point(self):
+        instr = Instruction(Opcode.FADD, dest=F(1), srcs=(F(2), 2.0))
+        assert "2.0" in format_instruction(instr)
+
+    def test_sentinel_ops(self):
+        assert format_instruction(check(R(5))) == "check r5"
+        assert format_instruction(check(R(5), dest=R(5))) == "check r5 -> r5"
+        assert format_instruction(confirm(3)) == "confirm 3"
+        assert format_instruction(clrtag(R(7))) == "clrtag r7"
+
+    def test_control(self):
+        assert format_instruction(jump("L")) == "jump L"
+        beq = Instruction(Opcode.BEQ, srcs=(R(1), 0), target="L")
+        assert format_instruction(beq) == "beq r1, 0, L"
+
+
+class TestBlockAndProgram:
+    SRC = "a:\n  r1 = mov 1\n  beq r1, 0, b\nb:\n  halt"
+
+    def test_block_with_uids(self):
+        prog = assemble(self.SRC)
+        text = format_block(prog.blocks[0], show_uids=True)
+        assert "{0}" in text and "{1}" in text
+
+    def test_comments_preserved(self):
+        prog = assemble(self.SRC)
+        prog.blocks[0].instrs[0].comment = "hello"
+        assert "; hello" in format_block(prog.blocks[0])
+
+    def test_program_roundtrip_stability(self):
+        prog = assemble(self.SRC)
+        once = format_program(prog)
+        twice = format_program(assemble(once))
+        assert once == twice

@@ -1,0 +1,96 @@
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import halt, jump, load, mov
+from repro.isa.program import Block, Program
+from repro.isa.registers import R
+
+
+def small_program():
+    return assemble(
+        "entry:\n  r1 = mov 1\n  beq r1, 0, out\n  r2 = mov 2\nout:\n  halt"
+    )
+
+
+class TestStructure:
+    def test_uids_sequential(self):
+        prog = small_program()
+        assert [i.uid for i in prog.instructions()] == list(range(4))
+
+    def test_home_blocks_recorded(self):
+        prog = small_program()
+        homes = [i.home_block for i in prog.instructions()]
+        assert homes == ["entry", "entry", "entry", "out"]
+
+    def test_entry_and_lookup(self):
+        prog = small_program()
+        assert prog.entry.label == "entry"
+        assert prog.block("out").label == "out"
+        with pytest.raises(KeyError):
+            prog.block("nope")
+
+    def test_find_by_uid(self):
+        prog = small_program()
+        blk, idx, instr = prog.find(3)
+        assert blk.label == "out" and idx == 0 and instr.info.is_halt
+
+    def test_falls_through(self):
+        prog = small_program()
+        assert prog.blocks[0].falls_through  # ends with mov
+        assert not prog.blocks[1].falls_through  # halt
+
+
+class TestRenumber:
+    def test_renumber_preserves_origin(self):
+        prog = small_program()
+        first = prog.blocks[0].instrs[0]
+        prog.blocks[0].instrs.insert(0, mov(R(9), 0))
+        prog.renumber()
+        assert first.uid == 1
+        assert first.origin == 0  # original identity kept
+
+    def test_adopt_gives_fresh_uids(self):
+        prog = small_program()
+        instr = prog.adopt(halt(), home_block="out")
+        assert instr.uid == 4
+        assert instr.home_block == "out"
+        second = prog.adopt(halt())
+        assert second.uid == 5
+
+
+class TestValidation:
+    def test_duplicate_labels(self):
+        prog = Program([Block("a", [halt()]), Block("a", [halt()])])
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_dangling_branch(self):
+        prog = assemble("a:\n  jump b\nb:\n  halt")
+        prog.blocks[0].instrs[0].target = "ghost"
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_fallthrough_off_end(self):
+        prog = Program([Block("a", [mov(R(1), 0)])])
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_duplicate_uid(self):
+        prog = small_program()
+        prog.blocks[0].instrs[1].uid = 0
+        with pytest.raises(ValueError):
+            prog.validate()
+
+
+class TestForms:
+    def test_basic_block_form_detection(self):
+        bb = assemble("a:\n  beq r1, 0, b\nb:\n  halt")
+        assert bb.is_basic_block_form()
+        sb = assemble("a:\n  beq r1, 0, b\n  r1 = mov 1\n  halt\nb:\n  halt")
+        assert not sb.is_basic_block_form()
+
+    def test_branch_instructions_listing(self):
+        sb = assemble(
+            "a:\n  beq r1, 0, b\n  r1 = mov 1\n  bne r1, 2, b\n  halt\nb:\n  halt"
+        )
+        assert len(sb.blocks[0].branch_instructions()) == 2

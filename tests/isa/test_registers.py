@@ -1,0 +1,76 @@
+import pickle
+
+import pytest
+
+from repro.isa.registers import F, R, Register, all_registers, parse_register
+
+
+class TestInterning:
+    def test_same_register_is_identical(self):
+        assert R(5) is R(5)
+        assert F(3) is F(3)
+
+    def test_int_and_fp_files_are_distinct(self):
+        assert R(3) is not F(3)
+        assert R(3) != F(3) or R(3) is F(3)  # identity is equality
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            R(1).index = 2
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        reg = R(17)
+        assert pickle.loads(pickle.dumps(reg)) is reg
+
+
+class TestProperties:
+    def test_zero_register(self):
+        assert R(0).is_zero
+        assert not R(1).is_zero
+        assert not F(0).is_zero  # only the integer r0 is hardwired
+
+    def test_kinds(self):
+        assert R(4).is_int and not R(4).is_fp
+        assert F(4).is_fp and not F(4).is_int
+
+    def test_names(self):
+        assert R(12).name == "r12"
+        assert F(0).name == "f0"
+        assert repr(R(63)) == "r63"
+
+
+class TestBounds:
+    @pytest.mark.parametrize("index", [-1, 64, 1000])
+    def test_out_of_range_int(self, index):
+        with pytest.raises(ValueError):
+            R(index)
+
+    @pytest.mark.parametrize("index", [-1, 64])
+    def test_out_of_range_fp(self, index):
+        with pytest.raises(ValueError):
+            F(index)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Register("x", 3)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected", [("r0", R(0)), ("r63", R(63)), ("f17", F(17))]
+    )
+    def test_parse(self, text, expected):
+        assert parse_register(text) is expected
+
+    @pytest.mark.parametrize("text", ["", "x5", "r", "rr3", "r64", "f-1", "5"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_register(text)
+
+
+def test_all_registers_covers_both_files():
+    regs = all_registers()
+    assert len(regs) == 128
+    assert regs[0] is R(0)
+    assert regs[64] is F(0)
+    assert len(set(regs)) == 128

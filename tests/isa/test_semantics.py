@@ -1,0 +1,142 @@
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.exceptions import TrapKind
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    GARBAGE_INT,
+    branch_taken,
+    evaluate,
+    garbage_for,
+    wrap64,
+)
+
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+
+class TestWrap64:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (I64_MAX, I64_MAX), (I64_MAX + 1, I64_MIN), (I64_MIN - 1, I64_MAX),
+         (1 << 64, 0), (-1, -1)],
+    )
+    def test_wrapping(self, value, expected):
+        assert wrap64(value) == expected
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    @settings(max_examples=80, deadline=None)
+    def test_always_in_range(self, value):
+        assert I64_MIN <= wrap64(value) <= I64_MAX
+
+    @given(st.integers(min_value=I64_MIN, max_value=I64_MAX),
+           st.integers(min_value=I64_MIN, max_value=I64_MAX))
+    @settings(max_examples=80, deadline=None)
+    def test_add_is_modular(self, a, b):
+        result, trap = evaluate(Opcode.ADD, [a, b])
+        assert trap is None
+        assert result == wrap64(a + b)
+
+
+class TestIntegerOps:
+    def test_basic(self):
+        assert evaluate(Opcode.SUB, [7, 10])[0] == -3
+        assert evaluate(Opcode.AND, [0b1100, 0b1010])[0] == 0b1000
+        assert evaluate(Opcode.NOR, [0, 0])[0] == -1
+        assert evaluate(Opcode.SLT, [3, 4])[0] == 1
+        assert evaluate(Opcode.SLTU, [-1, 1])[0] == 0  # unsigned -1 is huge
+        assert evaluate(Opcode.MOV, [9])[0] == 9
+        assert evaluate(Opcode.MUL, [6, 7])[0] == 42
+
+    def test_shifts(self):
+        assert evaluate(Opcode.SLL, [1, 4])[0] == 16
+        assert evaluate(Opcode.SRA, [-8, 1])[0] == -4
+        assert evaluate(Opcode.SRL, [-1, 60])[0] == 15
+        # shift amounts wrap at 64
+        assert evaluate(Opcode.SLL, [1, 64])[0] == 1
+
+    def test_division_truncates_toward_zero(self):
+        assert evaluate(Opcode.DIV, [7, 2])[0] == 3
+        assert evaluate(Opcode.DIV, [-7, 2])[0] == -3
+        assert evaluate(Opcode.REM, [-7, 2])[0] == -1
+        assert evaluate(Opcode.REM, [7, -2])[0] == 1
+
+    def test_divide_by_zero_traps(self):
+        for op in (Opcode.DIV, Opcode.REM):
+            result, trap = evaluate(op, [5, 0])
+            assert trap is not None and trap.kind is TrapKind.DIV_ZERO
+            assert result == GARBAGE_INT  # the silent-version garbage value
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=-10**4, max_value=10**4).filter(lambda x: x != 0))
+    @settings(max_examples=80, deadline=None)
+    def test_div_rem_identity(self, a, b):
+        q, _ = evaluate(Opcode.DIV, [a, b])
+        r, _ = evaluate(Opcode.REM, [a, b])
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestFloatingPoint:
+    def test_basic(self):
+        assert evaluate(Opcode.FADD, [1.5, 2.5]) == (4.0, None)
+        assert evaluate(Opcode.FMUL, [3.0, 4.0]) == (12.0, None)
+        assert evaluate(Opcode.FDIV, [1.0, 4.0]) == (0.25, None)
+
+    def test_fdiv_by_zero_traps(self):
+        _result, trap = evaluate(Opcode.FDIV, [1.0, 0.0])
+        assert trap.kind is TrapKind.FP_DIV_ZERO
+
+    def test_overflow_traps(self):
+        _result, trap = evaluate(Opcode.FMUL, [1e308, 1e308])
+        assert trap.kind is TrapKind.FP_OVERFLOW
+
+    def test_nan_operand_traps(self):
+        _result, trap = evaluate(Opcode.FADD, [float("nan"), 1.0])
+        assert trap.kind is TrapKind.FP_INVALID
+
+    def test_fmov_never_traps(self):
+        value, trap = evaluate(Opcode.FMOV, [float("nan")])
+        assert trap is None and math.isnan(value)
+
+    def test_conversions(self):
+        assert evaluate(Opcode.FCVT_IF, [7]) == (7.0, None)
+        assert evaluate(Opcode.FCVT_FI, [7.9]) == (7, None)
+        assert evaluate(Opcode.FCVT_FI, [-7.9]) == (-7, None)
+        _r, trap = evaluate(Opcode.FCVT_FI, [1e30])
+        assert trap.kind is TrapKind.FP_OVERFLOW
+        _r, trap = evaluate(Opcode.FCVT_FI, [float("nan")])
+        assert trap.kind is TrapKind.FP_INVALID
+
+    def test_compares(self):
+        assert evaluate(Opcode.FCLT, [1.0, 2.0])[0] == 1
+        assert evaluate(Opcode.FCLE, [2.0, 2.0])[0] == 1
+        assert evaluate(Opcode.FCEQ, [2.0, 3.0])[0] == 0
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Opcode.BEQ, 1, 1, True),
+            (Opcode.BNE, 1, 1, False),
+            (Opcode.BLT, -1, 0, True),
+            (Opcode.BGE, 0, 0, True),
+            (Opcode.BLE, 1, 0, False),
+            (Opcode.BGT, 1, 0, True),
+        ],
+    )
+    def test_outcomes(self, op, a, b, expected):
+        assert branch_taken(op, a, b) is expected
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADD, 1, 2)
+
+
+def test_garbage_values_by_file():
+    assert garbage_for(Opcode.LOAD) == GARBAGE_INT
+    assert math.isnan(garbage_for(Opcode.FLOAD))
+    assert math.isnan(garbage_for(Opcode.FADD))

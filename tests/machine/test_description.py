@@ -1,0 +1,70 @@
+import pytest
+
+from repro.isa.instruction import alu, branch, load, store
+from repro.isa.opcodes import LatClass, Opcode
+from repro.isa.registers import R
+from repro.machine.description import (
+    BASE_MACHINE,
+    MachineDescription,
+    PAPER_ISSUE_RATES,
+    paper_machine,
+)
+from repro.machine.resources import CycleResources
+
+
+class TestDescription:
+    def test_paper_machine_defaults(self):
+        m = paper_machine(4)
+        assert m.issue_width == 4
+        assert m.store_buffer_size == 8  # Section 5.1
+        assert m.latency(Opcode.LOAD) == 2
+        assert m.branches_per_cycle is None  # "no limitation ... combination"
+
+    def test_base_machine(self):
+        assert BASE_MACHINE.issue_width == 1
+        assert PAPER_ISSUE_RATES == (2, 4, 8)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            paper_machine(0)
+        with pytest.raises(ValueError):
+            MachineDescription(name="x", issue_width=2, store_buffer_size=0)
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="x", issue_width=2, latencies={LatClass.INT_ALU: 1}
+            )
+
+
+class TestCycleResources:
+    def test_width_enforced(self):
+        res = CycleResources(paper_machine(2))
+        a = alu(Opcode.ADD, R(1), R(2), 1)
+        assert res.can_issue(a)
+        res.commit(a)
+        assert res.can_issue(a)
+        res.commit(a)
+        assert not res.can_issue(a)
+        assert res.full
+
+    def test_branch_limit(self):
+        m = MachineDescription(name="x", issue_width=8, branches_per_cycle=1)
+        res = CycleResources(m)
+        br = branch(Opcode.BEQ, R(1), 0, "L")
+        res.commit(br)
+        assert not res.can_issue(br)
+        assert res.can_issue(alu(Opcode.ADD, R(1), R(2), 1))
+
+    def test_memory_port_limit(self):
+        m = MachineDescription(name="x", issue_width=8, memory_ops_per_cycle=2)
+        res = CycleResources(m)
+        ld = load(R(1), R(2))
+        res.commit(ld)
+        res.commit(store(R(2), 0, R(3)))
+        assert not res.can_issue(ld)
+
+    def test_unlimited_by_default(self):
+        res = CycleResources(paper_machine(8))
+        ld = load(R(1), R(2))
+        for _ in range(7):
+            res.commit(ld)
+        assert res.can_issue(ld)

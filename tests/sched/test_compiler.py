@@ -1,0 +1,79 @@
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
+
+
+def compile_guarded(policy, machine, **kwargs):
+    prog = assemble(GUARDED_LOOP_ASM)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=guarded_loop_memory())
+    return prog, compile_program(bb, training.profile, machine, policy, **kwargs)
+
+
+class TestPipeline:
+    def test_stats_populated(self):
+        machine = paper_machine(8)
+        _prog, comp = compile_guarded(SENTINEL, machine, unroll_factor=2)
+        stats = comp.stats
+        assert stats.blocks == len(comp.scheduled.blocks)
+        assert stats.instructions > 0
+        assert stats.speculative > 0
+        assert stats.uninit_clears == 0  # nothing used before defined
+        assert stats.schedule_words > 0
+
+    def test_clrtag_only_for_sentinel_policies(self):
+        src = "e:\n  r7 = add r7, 1\n  store [r0+1], r7\n  halt"
+        bb = to_basic_blocks(assemble(src))
+        training = run_program(bb)
+        machine = paper_machine(4)
+        sentinel = compile_program(bb, training.profile, machine, SENTINEL)
+        general = compile_program(bb, training.profile, machine, GENERAL)
+        assert sentinel.stats.uninit_clears == 1
+        assert general.stats.uninit_clears == 0
+
+    def test_uid_stability_across_machines(self):
+        """The superblock-form program must be identical for every issue
+        rate (the harness reuses one profile across widths)."""
+        a = compile_guarded(SENTINEL, paper_machine(2), unroll_factor=2)[1]
+        b = compile_guarded(SENTINEL, paper_machine(8), unroll_factor=2)[1]
+        uids_a = [(i.uid, i.op) for i in a.superblock_program.instructions()]
+        uids_b = [(i.uid, i.op) for i in b.superblock_program.instructions()]
+        assert uids_a == uids_b
+
+    def test_store_speculation_profitability_never_hurts(self):
+        machine = paper_machine(8)
+        _p, with_stores = compile_guarded(SENTINEL_STORE, machine, unroll_factor=2)
+        _p, plain = compile_guarded(SENTINEL, machine, unroll_factor=2)
+        for label_blk in with_stores.scheduled.blocks:
+            plain_blk = plain.scheduled.block(label_blk.label)
+            assert label_blk.length <= plain_blk.length
+
+    def test_rename_disable(self):
+        machine = paper_machine(8)
+        _p, renamed = compile_guarded(SENTINEL, machine, unroll_factor=2)
+        _p, plain = compile_guarded(SENTINEL, machine, unroll_factor=2, rename=False)
+        assert renamed.stats.registers_renamed > 0
+        assert plain.stats.registers_renamed == 0
+
+    def test_equivalence_sweep(self):
+        mem = guarded_loop_memory()
+        ref = run_program(assemble(GUARDED_LOOP_ASM), memory=mem.clone())
+        for policy in (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE):
+            for width in (1, 4):
+                machine = paper_machine(width)
+                _p, comp = compile_guarded(policy, machine, unroll_factor=3)
+                out = run_scheduled(comp.scheduled, machine, memory=mem.clone())
+                assert_equivalent(ref, out, context=f"{policy.name}@{width}")
+
+    def test_unrolling_grows_code(self):
+        machine = paper_machine(8)
+        _p, u1 = compile_guarded(SENTINEL, machine, unroll_factor=1)
+        _p, u3 = compile_guarded(SENTINEL, machine, unroll_factor=3)
+        assert u3.stats.instructions > u1.stats.instructions

@@ -1,0 +1,97 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+from repro.sched.renaming import rename_registers, split_live_out_defs
+from repro.workloads.generator import random_program
+
+
+class TestRenameRegisters:
+    def test_reuse_broken(self):
+        src = (
+            "b:\n  r1 = mov 1\n  store [r0+10], r1\n"
+            "  r1 = mov 2\n  store [r0+11], r1\n  halt"
+        )
+        prog = assemble(src)
+        renamed = rename_registers(prog)
+        assert renamed >= 1
+        defs = [i.dest for i in prog.blocks[0].instrs if i.dest is not None]
+        assert len(set(defs)) == len(defs)  # each def got its own register
+        assert_equivalent(run_program(assemble(src)), run_program(prog))
+
+    def test_live_at_exit_not_renamed(self):
+        src = (
+            "b:\n  r1 = mov 7\n  beq r9, 0, out\n  store [r0+1], r1\n  halt\n"
+            "out:\n  store [r0+2], r1\n  halt"
+        )
+        prog = assemble(src)
+        rename_registers(prog)
+        # r1 is live at `out`, so its def must keep the architectural name
+        assert prog.blocks[0].instrs[0].dest is R(1)
+
+    def test_dead_at_exit_renamed(self):
+        src = (
+            "b:\n  r1 = mov 7\n  store [r0+1], r1\n  beq r9, 0, out\n  halt\n"
+            "out:\n  halt"
+        )
+        prog = assemble(src)
+        renamed = rename_registers(prog)
+        assert renamed == 1
+        assert prog.blocks[0].instrs[0].dest is not R(1)
+
+    def test_semantics_on_loops(self):
+        src = (
+            "e:\n  r1 = mov 0\n  r2 = mov 0\n"
+            "loop:\n  r3 = add r1, 5\n  r2 = add r2, r3\n  r1 = add r1, 1\n"
+            "  blt r1, 6, loop\nd:\n  store [r0+9], r2\n  halt"
+        )
+        prog = assemble(src)
+        rename_registers(prog)
+        assert_equivalent(run_program(assemble(src)), run_program(prog))
+
+
+class TestSplitLiveOutDefs:
+    def test_split_inserts_move(self):
+        src = (
+            "b:\n  r1 = add r1, 1\n  r2 = load [r1+0]\n  beq r9, 0, out\n  halt\n"
+            "out:\n  store [r0+2], r1\n  halt"
+        )
+        prog = assemble(src)
+        splits = split_live_out_defs(prog)
+        assert splits == 1
+        instrs = prog.blocks[0].instrs
+        assert instrs[0].dest is not R(1)     # compute into fresh
+        assert instrs[1].dest is R(1)          # the move restores the name
+        assert instrs[2].srcs[0] is instrs[0].dest  # downstream use renamed
+        assert_equivalent(run_program(assemble(src)), run_program(prog))
+
+    def test_no_split_when_dead_at_exits(self):
+        src = "b:\n  r1 = add r1, 1\n  store [r0+1], r1\n  halt"
+        prog = assemble(src)
+        assert split_live_out_defs(prog) == 0
+
+    def test_semantics_with_side_exit_taken(self):
+        src = (
+            "b:\n  r1 = mov 3\n  r1 = add r1, 1\n  beq r1, 4, out\n  halt\n"
+            "out:\n  store [r0+5], r1\n  halt"
+        )
+        prog = assemble(src)
+        split_live_out_defs(prog)
+        result = run_program(prog)
+        assert result.memory.peek(5) == 4  # exit sees the updated value
+
+
+@given(seed=st.integers(min_value=0, max_value=120))
+@settings(max_examples=20, deadline=None)
+def test_renaming_pipeline_equivalence_property(seed):
+    workload = random_program(seed, n_loops=1, body_size=6, trip=8)
+    reference = run_program(workload.program, memory=workload.make_memory())
+    from repro.cfg.basic_block import to_basic_blocks
+
+    prog = to_basic_blocks(workload.program)
+    split_live_out_defs(prog)
+    rename_registers(prog)
+    transformed = run_program(prog, memory=workload.make_memory())
+    assert_equivalent(reference, transformed, context=f"seed {seed}")

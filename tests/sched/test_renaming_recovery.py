@@ -1,0 +1,66 @@
+"""Register Allocator Support (Section 3.7): recovery mode must not
+recycle renaming registers, extending their live ranges past sentinels."""
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import SENTINEL
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.sched.renaming import rename_registers
+
+
+def _distinct_dests(program):
+    dests = [
+        i.dest
+        for b in program.blocks
+        for i in b.instrs
+        if i.dest is not None and not i.dest.is_zero
+    ]
+    return len(set(dests)), len(dests)
+
+
+def test_no_recycling_uses_more_registers():
+    # a long straight block with many short-lived values
+    body = "".join(
+        f"  r1 = mov {i}\n  store [r0+{100+i}], r1\n" for i in range(20)
+    )
+    src = f"e:\n{body}  halt"
+    recycled = assemble(src)
+    rename_registers(recycled, recycle=True)
+    extended = assemble(src)
+    rename_registers(extended, recycle=False)
+    distinct_recycled, _ = _distinct_dests(recycled)
+    distinct_extended, _ = _distinct_dests(extended)
+    assert distinct_extended >= distinct_recycled
+    # semantics unchanged either way
+    reference = run_program(assemble(src))
+    for prog in (recycled, extended):
+        result = run_program(prog)
+        assert result.memory.peek(119) == reference.memory.peek(119)
+
+
+def test_recovery_compilation_extends_ranges():
+    src = (
+        "e:\n  r2 = mov 100\n  r1 = mov 0\n"
+        "loop:\n  r5 = load [r2+0]\n  beq r5, 9, out\n"
+        "  r6 = add r5, 1\n  store [r2+32], r6\n"
+        "  r2 = add r2, 1\n  r1 = add r1, 1\n  blt r1, 8, loop\n"
+        "out:\n  halt"
+    )
+    from repro.arch.memory import Memory
+
+    mem = Memory()
+    prog = assemble(src)
+    bb = to_basic_blocks(prog)
+    training = run_program(bb, memory=mem.clone())
+    machine = paper_machine(8)
+    plain = compile_program(
+        bb, training.profile, machine, SENTINEL, unroll_factor=3
+    )
+    recovered = compile_program(
+        bb, training.profile, machine, SENTINEL, unroll_factor=3, recovery=True
+    )
+    plain_regs = _distinct_dests(plain.superblock_program)[0]
+    recovered_regs = _distinct_dests(recovered.superblock_program)[0]
+    assert recovered_regs >= plain_regs

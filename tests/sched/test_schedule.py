@@ -1,0 +1,77 @@
+import pytest
+
+from repro.isa.instruction import alu, branch, halt, load, mov
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Block, Program
+from repro.isa.registers import R
+from repro.sched.schedule import ScheduledBlock, ScheduledProgram
+
+
+def make_block():
+    a = mov(R(1), 1)
+    b = branch(Opcode.BEQ, R(1), 0, "other")
+    c = alu(Opcode.ADD, R(2), R(1), 1)
+    d = halt()
+    prog = Program([Block("main", [a, b, c, d]), Block("other", [halt()])])
+    sched = ScheduledBlock(
+        label="main",
+        words=[[a], [b, c], [d]],
+        falls_through=False,
+    )
+    return prog, sched, (a, b, c, d)
+
+
+class TestScheduledBlock:
+    def test_cycle_of(self):
+        _p, sched, (a, b, c, d) = make_block()
+        assert sched.cycle_of(a.uid) == 0
+        assert sched.cycle_of(b.uid) == 1
+        assert sched.cycle_of(c.uid) == 1
+        assert sched.cycle_of(d.uid) == 2
+        assert sched.length == 3
+
+    def test_linear_order(self):
+        _p, sched, instrs = make_block()
+        positions = [(c, s) for c, s, _i in sched.linear()]
+        assert positions == [(0, 0), (1, 0), (1, 1), (2, 0)]
+
+    def test_exit_cycles(self):
+        _p, sched, (a, b, c, d) = make_block()
+        exits = sched.exit_cycles()
+        assert exits[b.uid] == 1
+        assert exits[d.uid] == 2
+        assert a.uid not in exits
+
+    def test_format_shows_words(self):
+        _p, sched, _instrs = make_block()
+        text = sched.format()
+        assert "||" in text and "[1]" in text
+
+
+class TestScheduledProgram:
+    def test_lookup_and_origin(self):
+        prog, sched, (a, _b, _c, _d) = make_block()
+        other = ScheduledBlock(
+            label="other", words=[[prog.blocks[1].instrs[0]]], falls_through=False
+        )
+        sp = ScheduledProgram(
+            blocks=[sched, other], source=prog, policy_name="sentinel"
+        )
+        assert sp.block("other").label == "other"
+        assert sp.block_index("main") == 0
+        assert sp.instruction_by_uid(a.uid) is a
+        assert sp.origin_of(a.uid) == a.uid
+        assert sp.instruction_count() == 5
+        assert sp.total_words() == 4
+
+    def test_find_instruction(self):
+        prog, sched, (_a, b, _c, _d) = make_block()
+        sp = ScheduledProgram(blocks=[sched], source=prog, policy_name="sentinel")
+        assert sp.find_instruction(b.uid) == (0, 1, 0)
+        assert sp.find_instruction(999) is None
+
+    def test_speculative_count(self):
+        prog, sched, (a, _b, c, _d) = make_block()
+        c.spec = True
+        sp = ScheduledProgram(blocks=[sched], source=prog, policy_name="sentinel")
+        assert sp.speculative_count() == 1

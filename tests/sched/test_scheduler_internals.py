@@ -1,0 +1,90 @@
+"""List-scheduler internals: priorities, cycle detection, pinning."""
+
+import pytest
+
+from repro.cfg.liveness import Liveness
+from repro.deps.builder import build_dependence_graph
+from repro.deps.reduction import SENTINEL
+from repro.isa.assembler import assemble
+from repro.machine.description import paper_machine
+from repro.sched.list_scheduler import SchedulingError, schedule_block
+
+from ..conftest import unit_latency_machine
+
+
+class TestCriticalHeights:
+    def test_heights_reflect_latency_chains(self):
+        src = (
+            "b:\n  r1 = load [r2+0]\n"   # 0: starts the long chain
+            "  r3 = add r1, 1\n"          # 1
+            "  r9 = mov 5\n"              # 2: independent leaf
+            "  halt"
+        )
+        prog = assemble(src)
+        graph = build_dependence_graph(prog.blocks[0], Liveness(prog))
+        heights = graph.critical_heights()
+        assert heights[0] > heights[1] > 0
+        assert heights[0] > heights[2]
+
+    def test_longest_chain_scheduled_first(self):
+        # with width 1, the chain head must beat the independent leaf
+        src = (
+            "b:\n  r9 = mov 5\n  r1 = load [r2+0]\n  r3 = add r1, 1\n"
+            "  store [r4+0], r3\n  halt"
+        )
+        prog = assemble(src)
+        machine = paper_machine(1)
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), machine, SENTINEL
+        )
+        sched = result.scheduled
+        assert sched.cycle_of(1) < sched.cycle_of(0)  # load before the mov
+
+
+class TestConstraintCycles:
+    def test_cyclic_extra_arcs_detected(self):
+        src = "b:\n  r1 = mov 1\n  r2 = mov 2\n  halt"
+        prog = assemble(src)
+        uid_a = prog.blocks[0].instrs[0].uid
+        uid_b = prog.blocks[0].instrs[1].uid
+        with pytest.raises(SchedulingError):
+            schedule_block(
+                prog.blocks[0], prog, Liveness(prog),
+                unit_latency_machine(8), SENTINEL,
+                extra_arcs=((uid_a, uid_b, 1), (uid_b, uid_a, 1)),
+            )
+
+    def test_extra_arcs_enforced(self):
+        src = "b:\n  r1 = mov 1\n  r2 = mov 2\n  halt"
+        prog = assemble(src)
+        uid_a = prog.blocks[0].instrs[0].uid
+        uid_b = prog.blocks[0].instrs[1].uid
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog),
+            unit_latency_machine(8), SENTINEL,
+            extra_arcs=((uid_b, uid_a, 2),),
+        )
+        sched = result.scheduled
+        assert sched.cycle_of(uid_a) >= sched.cycle_of(uid_b) + 2
+
+
+class TestDegenerateBlocks:
+    def test_halt_only_block(self):
+        prog = assemble("b:\n  halt")
+        result = schedule_block(
+            prog.blocks[0], prog, Liveness(prog), unit_latency_machine(4), SENTINEL
+        )
+        assert result.scheduled.length == 1
+
+    def test_empty_fallthrough_block(self):
+        prog = assemble("a:\n  r1 = mov 1\nb:\n  halt")
+        from repro.isa.program import Block
+
+        empty = Block("empty")
+        prog.blocks.insert(1, empty)
+        prog.renumber()
+        result = schedule_block(
+            empty, prog, Liveness(prog), unit_latency_machine(4), SENTINEL
+        )
+        assert result.scheduled.length == 0
+        assert result.scheduled.falls_through

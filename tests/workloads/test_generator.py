@@ -1,0 +1,86 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp.interpreter import run_program
+from repro.isa.registers import R
+from repro.workloads.generator import WorkloadBuilder, random_program, small_ints
+
+
+class TestBuilder:
+    def test_arrays_disjoint(self):
+        builder = WorkloadBuilder("t", 0)
+        builder.array("a", 100, small_ints())
+        builder.array("b", 100, small_ints())
+        a, b = builder.arrays
+        assert a.base + a.length <= b.base
+
+    def test_counted_loop_runs_exactly_trip_times(self):
+        builder = WorkloadBuilder("t", 0)
+        builder.array("data", 40, small_ints())
+        acc = R(1)
+        from repro.isa.instruction import Instruction, mov
+        from repro.isa.opcodes import Opcode
+
+        builder.begin().append(mov(acc, 0))
+
+        def body(block, counter, ptrs):
+            block.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, 1)))
+
+        builder.counted_loop(17, body, pointers={"data": 1})
+        workload = builder.finish([acc])
+        result = run_program(workload.program, memory=workload.make_memory())
+        assert result.registers[acc] == 17
+
+    def test_classic_unroll_preserves_iteration_count(self):
+        builder = WorkloadBuilder("t", 0)
+        builder.array("data", 64, small_ints())
+        acc = R(1)
+        from repro.isa.instruction import Instruction, mov
+        from repro.isa.opcodes import Opcode
+
+        builder.begin().append(mov(acc, 0))
+
+        def body(block, counter, ptrs, copy):
+            block.append(Instruction(Opcode.ADD, dest=acc, srcs=(acc, 1)))
+
+        builder.counted_loop_unrolled(16, 4, body, pointers={"data": 1})
+        workload = builder.finish([acc])
+        result = run_program(workload.program, memory=workload.make_memory())
+        assert result.registers[acc] == 16
+        # 16 iterations, 4 copies per backedge -> only 4 backedge branches
+        branches = sum(
+            1 for i in workload.program.instructions() if i.info.is_cond_branch
+        )
+        assert branches == 1
+
+    def test_memory_image_deterministic(self):
+        builder = WorkloadBuilder("t", 5)
+        builder.array("data", 16, small_ints())
+        workload = builder.finish([])
+        assert (
+            workload.make_memory().nonzero_snapshot()
+            == workload.make_memory().nonzero_snapshot()
+        )
+
+
+class TestRandomPrograms:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_always_terminate_cleanly(self, seed):
+        workload = random_program(seed, n_loops=1, body_size=6, trip=8)
+        workload.program.validate()
+        result = run_program(workload.program, memory=workload.make_memory())
+        assert result.halted and result.exceptions == []
+
+    def test_fp_variant(self):
+        workload = random_program(3, fp=True, trip=6)
+        result = run_program(workload.program, memory=workload.make_memory())
+        assert result.halted
+
+    def test_storeless_variant(self):
+        workload = random_program(3, stores=False, trip=6)
+        assert not any(
+            i.info.writes_mem
+            for b in workload.program.blocks[1:-1]
+            for i in b.instrs
+        )

@@ -1,0 +1,66 @@
+"""The hand-written kernels: reference correctness plus full-pipeline
+equivalence under every scheduling model."""
+
+import pytest
+
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import (
+    GENERAL,
+    RESTRICTED,
+    SENTINEL,
+    SENTINEL_STORE,
+    boosting_policy,
+)
+from repro.interp.interpreter import run_program
+from repro.interp.state import assert_equivalent
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.workloads.kernels import KERNELS, build_kernel
+
+ALL_POLICIES = (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE, boosting_policy(2))
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_reference_results(name):
+    program, memory, expected = build_kernel(name)
+    result = run_program(program, memory=memory)
+    assert result.halted
+    for address, value in expected.items():
+        assert result.memory.peek(address) == value, (name, address)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+def test_kernel_equivalence_all_models(name, policy):
+    program, memory, expected = build_kernel(name)
+    reference = run_program(program, memory=memory.clone())
+    basic = to_basic_blocks(program)
+    training = run_program(basic, memory=memory.clone())
+    machine = paper_machine(8)
+    comp = compile_program(
+        basic, training.profile, machine, policy, unroll_factor=3
+    )
+    out = run_scheduled(comp.scheduled, machine, memory=memory.clone())
+    assert_equivalent(reference, out, context=f"{name}/{policy.name}")
+    for address, value in expected.items():
+        assert out.memory.peek(address) == value
+
+
+def test_unknown_kernel():
+    with pytest.raises(KeyError):
+        build_kernel("quicksort")
+
+
+def test_kernels_are_speculation_shapes():
+    """Sanity: the speculation-sensitive kernels really produce speculative
+    schedules under the sentinel model."""
+    for name in ("memcmp_kernel", "strlen_kernel", "list_sum", "hash_probe"):
+        program, memory, _ = build_kernel(name)
+        basic = to_basic_blocks(program)
+        training = run_program(basic, memory=memory.clone())
+        machine = paper_machine(8)
+        comp = compile_program(
+            basic, training.profile, machine, SENTINEL, unroll_factor=3
+        )
+        assert comp.stats.speculative > 0, name

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.interp.interpreter import run_program
+from repro.workloads.suites import (
+    ALL_NAMES,
+    NON_NUMERIC_NAMES,
+    NUMERIC_NAMES,
+    SUITE,
+    build_workload,
+)
+
+
+def test_registry_matches_paper_benchmark_list():
+    """Section 5.1's exact benchmark names: 5 numeric, 12 non-numeric."""
+    assert len(NUMERIC_NAMES) == 5
+    assert len(NON_NUMERIC_NAMES) == 12
+    assert set(NUMERIC_NAMES) == {"doduc", "fpppp", "matrix300", "nasa7", "tomcatv"}
+    assert {"eqntott", "espresso", "xlisp"} <= set(NON_NUMERIC_NAMES)
+    assert set(ALL_NAMES) == set(SUITE)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        build_workload("gcc")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_every_standin_runs_to_halt(name):
+    workload = build_workload(name, scale=0.1)
+    result = run_program(workload.program, memory=workload.make_memory())
+    assert result.halted and not result.aborted
+    assert result.exceptions == []
+    assert result.steps > 100
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_determinism(name):
+    a = build_workload(name, seed=3, scale=0.1)
+    b = build_workload(name, seed=3, scale=0.1)
+    ra = run_program(a.program, memory=a.make_memory())
+    rb = run_program(b.program, memory=b.make_memory())
+    assert ra.steps == rb.steps
+    assert ra.memory.nonzero_snapshot() == rb.memory.nonzero_snapshot()
+
+
+def test_seed_changes_data():
+    a = build_workload("cmp", seed=1, scale=0.1)
+    b = build_workload("cmp", seed=2, scale=0.1)
+    assert (
+        a.make_memory().nonzero_snapshot() != b.make_memory().nonzero_snapshot()
+    )
+
+
+def test_scale_scales_dynamic_size():
+    small = build_workload("wc", scale=0.1)
+    large = build_workload("wc", scale=0.3)
+    rs = run_program(small.program, memory=small.make_memory())
+    rl = run_program(large.program, memory=large.make_memory())
+    assert rl.steps > 2 * rs.steps
+
+
+def test_fault_injection_hits_read_data():
+    workload = build_workload("cmp", scale=0.1)
+    memory = workload.make_memory(page_faults=3)
+    assert len(memory.faulting_addresses()) == 3
+    result = run_program(workload.program, memory=memory)
+    assert result.aborted  # the faults are on addresses the program reads
+
+
+def test_numeric_flags():
+    assert build_workload("matrix300").numeric
+    assert not build_workload("grep").numeric
+
+
+def test_region_tags_present_for_fortran_style_arrays():
+    workload = build_workload("matrix300", scale=0.1)
+    tagged = [
+        i.mem_region
+        for i in workload.program.instructions()
+        if i.info.reads_mem or i.info.writes_mem
+    ]
+    assert any(t is not None for t in tagged)
+
+
+def test_aliased_arrays_untagged_for_c_style_pointers():
+    workload = build_workload("cmp", scale=0.1)
+    mem_ops = [
+        i
+        for i in workload.program.instructions()
+        if i.info.reads_mem or i.info.writes_mem
+    ]
+    hot = [i for i in mem_ops if i.mem_region is None]
+    assert hot  # cmp's pointer arguments may alias
