@@ -7,14 +7,9 @@ table/figure rows (run with ``-s`` to see them) while timing its piece of
 the pipeline.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro.eval.harness import SweepConfig, run_sweep  # noqa: E402
+from repro.eval.harness import SweepConfig, run_sweep
 
 
 @pytest.fixture(scope="session")

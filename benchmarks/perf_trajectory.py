@@ -1,0 +1,138 @@
+"""Performance trajectory of the evaluation pipeline.
+
+Run as a standalone script::
+
+    python benchmarks/perf_trajectory.py
+
+It measures the two optimization layers behind the sweep:
+
+1. **Interpreter microbenchmark** — every workload executed through the
+   reference interpreter and the pre-decoded fast path, asserting the two
+   agree on registers, memory, exceptions and profile counts, then
+   reporting the aggregate speedup and steps/sec.
+2. **Sweep timings** — the full 17-benchmark sweep at ``jobs=1`` and
+   ``jobs=4``, with per-stage breakdowns, asserting both produce the
+   same CSV.
+
+Results land in ``BENCH_sweep.json`` at the repository root so the
+numbers quoted in EXPERIMENTS.md can be regenerated.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cfg.basic_block import to_basic_blocks  # noqa: E402
+from repro.eval.harness import STAGES, SweepConfig, run_sweep  # noqa: E402
+from repro.interp.interpreter import run_program  # noqa: E402
+from repro.workloads.suites import ALL_NAMES, build_workload  # noqa: E402
+
+MAX_STEPS = 10_000_000
+
+
+def _snapshot(result):
+    return {
+        "steps": result.steps,
+        "halted": result.halted,
+        "aborted": result.aborted,
+        "registers": {repr(r): v for r, v in result.registers.items()},
+        "memory": dict(result.memory.snapshot()),
+        "exceptions": [
+            (e.pc, e.reporter_pc, e.origin_pc, e.kind) for e in result.exceptions
+        ],
+        "block_visits": dict(result.profile.block_visits),
+        "branch_executed": dict(result.profile.branch_executed),
+        "branch_taken": dict(result.profile.branch_taken),
+        "edges": dict(result.profile.edges),
+    }
+
+
+def interpreter_microbenchmark():
+    """Reference vs fast-path interpreter over every workload."""
+    ref_seconds = 0.0
+    fast_seconds = 0.0
+    total_steps = 0
+    for name in ALL_NAMES:
+        workload = build_workload(name, seed=0)
+        program = to_basic_blocks(workload.program)
+
+        start = time.perf_counter()
+        ref = run_program(
+            program,
+            memory=workload.make_memory(),
+            max_steps=MAX_STEPS,
+            reference=True,
+        )
+        ref_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast = run_program(
+            program, memory=workload.make_memory(), max_steps=MAX_STEPS
+        )
+        fast_seconds += time.perf_counter() - start
+
+        assert _snapshot(ref) == _snapshot(fast), f"{name}: interpreters disagree"
+        total_steps += fast.steps
+
+    return {
+        "workloads": len(ALL_NAMES),
+        "steps": total_steps,
+        "reference_seconds": round(ref_seconds, 4),
+        "fastpath_seconds": round(fast_seconds, 4),
+        "speedup": round(ref_seconds / fast_seconds, 2),
+        "reference_steps_per_sec": round(total_steps / ref_seconds),
+        "fastpath_steps_per_sec": round(total_steps / fast_seconds),
+    }
+
+
+def sweep_benchmark(jobs):
+    sweep = run_sweep(SweepConfig(jobs=jobs))
+    totals = sweep.stage_totals()
+    steps = sweep.total_steps()
+    interp_seconds = totals["train"] + totals["profile"]
+    return sweep.to_csv(), {
+        "jobs": jobs,
+        "cells": len(sweep.cells),
+        "wall_seconds": round(sweep.wall_seconds, 3),
+        "stage_seconds": {stage: round(totals[stage], 3) for stage in STAGES},
+        "interpreted_steps": steps,
+        "steps_per_sec": round(steps / interp_seconds) if interp_seconds else None,
+    }
+
+
+def main():
+    print("interpreter microbenchmark (17 workloads)...")
+    interp = interpreter_microbenchmark()
+    print(
+        f"  reference {interp['reference_seconds']}s, "
+        f"fastpath {interp['fastpath_seconds']}s -> "
+        f"{interp['speedup']}x, "
+        f"{interp['fastpath_steps_per_sec']:,} steps/sec"
+    )
+
+    print("full sweep, jobs=1...")
+    csv1, sweep1 = sweep_benchmark(jobs=1)
+    print(f"  wall {sweep1['wall_seconds']}s, stages {sweep1['stage_seconds']}")
+
+    print("full sweep, jobs=4...")
+    csv4, sweep4 = sweep_benchmark(jobs=4)
+    print(f"  wall {sweep4['wall_seconds']}s, stages {sweep4['stage_seconds']}")
+
+    assert csv1 == csv4, "jobs=1 and jobs=4 sweeps disagree"
+    print("  jobs=1 and jobs=4 CSVs identical")
+
+    payload = {
+        "interpreter": interp,
+        "sweep": [sweep1, sweep4],
+    }
+    out = REPO_ROOT / "BENCH_sweep.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

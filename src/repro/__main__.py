@@ -23,6 +23,12 @@ def main() -> None:
     parser.add_argument(
         "--skip-tables", action="store_true", help="only run the Figure 4/5 sweep"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep"
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print per-stage wall time"
+    )
     args = parser.parse_args()
 
     if not args.skip_tables:
@@ -30,7 +36,12 @@ def main() -> None:
             print(render())
             print()
 
-    sweep = run_sweep(SweepConfig(scale=args.scale, unroll_factor=args.unroll))
+    sweep = run_sweep(
+        SweepConfig(scale=args.scale, unroll_factor=args.unroll, jobs=args.jobs)
+    )
+    if args.timings:
+        print(sweep.render_timings())
+        print()
     renderer = render_bars if args.bars else render_table
     print(renderer(figure4_series(sweep)))
     print()

@@ -119,6 +119,24 @@ class DepGraph:
                 return arc
         return None
 
+    def copy(self) -> "DepGraph":
+        """Independent copy sharing instructions and (immutable) arcs.
+
+        Scheduling mutates a graph in place — sentinel nodes, SENT/ANTI
+        arcs — so a pristine built-and-reduced graph is copied once per
+        schedule instead of being rebuilt from the block.
+        """
+        other = object.__new__(DepGraph)
+        other.block = self.block
+        other.nodes = list(self.nodes)
+        other.original_count = self.original_count
+        other._succs = [list(arcs) for arcs in self._succs]
+        other._preds = [list(arcs) for arcs in self._preds]
+        other.unprotected = set(self.unprotected)
+        other.allowed_spec = set(self.allowed_spec)
+        other.shared_sentinel = dict(self.shared_sentinel)
+        return other
+
     # ------------------------------------------------------------------
 
     def critical_heights(self) -> List[int]:

@@ -15,7 +15,10 @@ For every benchmark stand-in:
 from __future__ import annotations
 
 import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.timing import estimate_cycles
@@ -29,7 +32,12 @@ from ..deps.reduction import (
 )
 from ..interp.interpreter import run_program
 from ..machine.description import paper_machine
-from ..sched.compiler import CompilationResult, compile_program
+from ..sched.compiler import (
+    CompilationResult,
+    PreparedCompilation,
+    prepare_compilation,
+    schedule_prepared,
+)
 from ..workloads.suites import ALL_NAMES, NUMERIC_NAMES, build_workload
 
 DEFAULT_POLICIES: Tuple[SpeculationPolicy, ...] = (
@@ -38,6 +46,9 @@ DEFAULT_POLICIES: Tuple[SpeculationPolicy, ...] = (
     SENTINEL,
     SENTINEL_STORE,
 )
+
+#: Pipeline stages measured per benchmark, in execution order.
+STAGES: Tuple[str, ...] = ("build", "train", "profile", "compile", "estimate")
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,10 @@ class SweepConfig:
     store_buffer_size: int = 8
     recovery: bool = False
     max_steps: int = 10_000_000
+    #: Worker processes for the benchmark fan-out.  Results are merged in
+    #: ``benchmarks`` order, so any jobs value yields identical sweeps
+    #: (only wall time and the recorded stage timings differ).
+    jobs: int = 1
 
 
 @dataclass
@@ -76,6 +91,41 @@ class SweepResult:
     config: SweepConfig
     base_cycles: Dict[str, int] = field(default_factory=dict)
     cells: Dict[Tuple[str, str, int], CellResult] = field(default_factory=dict)
+    #: benchmark -> stage -> wall seconds (see STAGES).
+    timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> interpreted steps (training + one profile per policy).
+    interp_steps: Dict[str, int] = field(default_factory=dict)
+    #: end-to-end wall seconds of run_sweep, including pool overhead.
+    wall_seconds: float = 0.0
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage wall seconds across benchmarks.
+
+        With ``jobs > 1`` the stages run concurrently, so totals report
+        aggregate work, not elapsed wall time (``wall_seconds``).
+        """
+        totals = {stage: 0.0 for stage in STAGES}
+        for per_stage in self.timings.values():
+            for stage, seconds in per_stage.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def total_steps(self) -> int:
+        return sum(self.interp_steps.values())
+
+    def render_timings(self) -> str:
+        """Per-stage timing table (the ``--timings`` CLI view)."""
+        totals = self.stage_totals()
+        lines = ["stage      seconds"]
+        for stage in STAGES:
+            lines.append(f"{stage:<10} {totals[stage]:8.3f}")
+        lines.append(f"{'(sum)':<10} {sum(totals.values()):8.3f}")
+        lines.append(f"{'wall':<10} {self.wall_seconds:8.3f}")
+        steps = self.total_steps()
+        interp_seconds = totals["train"] + totals["profile"]
+        if steps and interp_seconds > 0:
+            lines.append(f"interpreted {steps} steps, {steps / interp_seconds:,.0f} steps/sec")
+        return "\n".join(lines)
 
     def cell(self, benchmark: str, policy: str, issue_rate: int) -> CellResult:
         return self.cells[(benchmark, policy, issue_rate)]
@@ -133,64 +183,102 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _profile_for(compilation: CompilationResult, workload, max_steps: int):
-    result = run_program(
-        compilation.superblock_program,
-        memory=workload.make_memory(),
-        max_steps=max_steps,
-    )
-    if not result.halted:
-        raise RuntimeError(f"{workload.name}: superblock program did not halt")
-    return result.profile
+@dataclass
+class _BenchmarkShard:
+    """One benchmark's measurements, ready to merge into a SweepResult."""
+
+    name: str
+    base_cycles: int
+    cells: List[CellResult]
+    timings: Dict[str, float]
+    steps: int
 
 
-def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
-    """Run the full model × issue-rate evaluation (Figures 4 and 5)."""
-    sweep = SweepResult(config=config)
+def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
+    """Measure one benchmark under every policy × issue rate.
+
+    The machine-independent compilation stages (superblock formation,
+    renaming, dependence graphs) are prepared once per policy and reused
+    across issue rates; one reference profile run also serves all issue
+    rates of a policy.  Results are identical to compiling each cell from
+    scratch — ``tests/eval/test_parallel_sweep.py`` pins this.
+    """
+    timings = {stage: 0.0 for stage in STAGES}
+    steps = 0
+    clock = time.perf_counter
     base_machine = paper_machine(1, store_buffer_size=config.store_buffer_size)
 
-    for name in config.benchmarks:
-        workload = build_workload(name, seed=config.seed, scale=config.scale)
-        basic = to_basic_blocks(workload.program)
-        training = run_program(
-            basic, memory=workload.make_memory(), max_steps=config.max_steps
-        )
-        if not training.halted:
-            raise RuntimeError(f"{name}: training run did not halt")
+    start = clock()
+    workload = build_workload(name, seed=config.seed, scale=config.scale)
+    basic = to_basic_blocks(workload.program)
+    timings["build"] = clock() - start
 
-        base_comp = compile_program(
-            basic,
-            training.profile,
-            base_machine,
-            RESTRICTED,
-            unroll_factor=config.unroll_factor,
-            recovery=config.recovery,
-        )
-        base_profile = _profile_for(base_comp, workload, config.max_steps)
-        base_cycles = estimate_cycles(base_comp.scheduled, base_profile).total_cycles
-        sweep.base_cycles[name] = base_cycles
+    start = clock()
+    training = run_program(
+        basic, memory=workload.make_memory(), max_steps=config.max_steps
+    )
+    timings["train"] = clock() - start
+    steps += training.steps
+    if not training.halted:
+        raise RuntimeError(f"{name}: training run did not halt")
 
-        for policy in config.policies:
-            profile = None
-            for issue_rate in config.issue_rates:
-                machine = paper_machine(
-                    issue_rate, store_buffer_size=config.store_buffer_size
-                )
-                comp = compile_program(
-                    basic,
-                    training.profile,
-                    machine,
-                    policy,
-                    unroll_factor=config.unroll_factor,
-                    recovery=config.recovery,
-                )
-                if profile is None:
-                    # The superblock-form program (and its uids) is
-                    # machine-independent, so one profile serves all
-                    # issue rates of this policy.
-                    profile = _profile_for(comp, workload, config.max_steps)
-                cycles = estimate_cycles(comp.scheduled, profile).total_cycles
-                cell = CellResult(
+    prepared: Dict[str, PreparedCompilation] = {}
+    profiles: Dict[str, "object"] = {}
+
+    def prepare(policy: SpeculationPolicy) -> PreparedCompilation:
+        if policy.name not in prepared:
+            start = clock()
+            prepared[policy.name] = prepare_compilation(
+                basic,
+                training.profile,
+                policy,
+                unroll_factor=config.unroll_factor,
+                recovery=config.recovery,
+            )
+            timings["compile"] += clock() - start
+        return prepared[policy.name]
+
+    def profile_of(policy: SpeculationPolicy, comp: CompilationResult):
+        # The superblock-form program (and its uids) is machine-independent,
+        # so one profile serves all issue rates of a policy.
+        if policy.name not in profiles:
+            nonlocal steps
+            start = clock()
+            result = run_program(
+                comp.superblock_program,
+                memory=workload.make_memory(),
+                max_steps=config.max_steps,
+            )
+            timings["profile"] += clock() - start
+            steps += result.steps
+            if not result.halted:
+                raise RuntimeError(f"{name}: superblock program did not halt")
+            profiles[policy.name] = result.profile
+        return profiles[policy.name]
+
+    start = clock()
+    base_comp = schedule_prepared(prepare(RESTRICTED), base_machine)
+    timings["compile"] += clock() - start
+    base_profile = profile_of(RESTRICTED, base_comp)
+    start = clock()
+    base_cycles = estimate_cycles(base_comp.scheduled, base_profile).total_cycles
+    timings["estimate"] += clock() - start
+
+    cells: List[CellResult] = []
+    for policy in config.policies:
+        for issue_rate in config.issue_rates:
+            machine = paper_machine(
+                issue_rate, store_buffer_size=config.store_buffer_size
+            )
+            start = clock()
+            comp = schedule_prepared(prepare(policy), machine)
+            timings["compile"] += clock() - start
+            profile = profile_of(policy, comp)
+            start = clock()
+            cycles = estimate_cycles(comp.scheduled, profile).total_cycles
+            timings["estimate"] += clock() - start
+            cells.append(
+                CellResult(
                     benchmark=name,
                     numeric=name in NUMERIC_NAMES,
                     policy=policy.name,
@@ -202,5 +290,33 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
                     confirms_inserted=comp.stats.confirms_inserted,
                     schedule_words=comp.stats.schedule_words,
                 )
-                sweep.cells[(name, policy.name, issue_rate)] = cell
+            )
+    return _BenchmarkShard(
+        name=name, base_cycles=base_cycles, cells=cells, timings=timings, steps=steps
+    )
+
+
+def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
+    """Run the full model × issue-rate evaluation (Figures 4 and 5).
+
+    With ``config.jobs > 1``, benchmarks fan out over a process pool; the
+    per-benchmark shards are merged back in configuration order, so the
+    resulting sweep is identical for any jobs value.
+    """
+    wall_start = time.perf_counter()
+    names = list(config.benchmarks)
+    if config.jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+            shards = list(pool.map(partial(_evaluate_benchmark, config), names))
+    else:
+        shards = [_evaluate_benchmark(config, name) for name in names]
+
+    sweep = SweepResult(config=config)
+    for shard in shards:
+        sweep.base_cycles[shard.name] = shard.base_cycles
+        for cell in shard.cells:
+            sweep.cells[(cell.benchmark, cell.policy, cell.issue_rate)] = cell
+        sweep.timings[shard.name] = shard.timings
+        sweep.interp_steps[shard.name] = shard.steps
+    sweep.wall_seconds = time.perf_counter() - wall_start
     return sweep

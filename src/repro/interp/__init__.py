@@ -1,5 +1,6 @@
 """Reference semantics: sequential interpreter, golden-state comparison."""
 
+from .fastpath import FastInterpreter
 from .interpreter import ABORT, RECORD, REPAIR, Interpreter, RunResult, run_program
 from .state import Observable, assert_equivalent, diff_observables, observable_of
 
@@ -7,6 +8,7 @@ __all__ = [
     "ABORT",
     "RECORD",
     "REPAIR",
+    "FastInterpreter",
     "Interpreter",
     "RunResult",
     "run_program",

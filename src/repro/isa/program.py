@@ -135,6 +135,19 @@ class Program:
         self._next_uid += 1
         return uid
 
+    def uid_watermark(self) -> int:
+        """The next uid this program would hand out."""
+        return self._next_uid
+
+    def reset_uid_watermark(self, watermark: int) -> None:
+        """Rewind uid allocation to a previously captured watermark.
+
+        Used when the same prepared program is scheduled repeatedly (one
+        schedule per issue rate): each run re-allocates sentinel uids from
+        the same base, so results are identical to compiling from scratch.
+        """
+        self._next_uid = watermark
+
     def adopt(self, instr: Instruction, home_block: Optional[str] = None) -> Instruction:
         """Give a fresh uid to a newly created instruction."""
         instr.uid = self.new_uid()

@@ -5,20 +5,37 @@ form superblocks from the profile, then list-schedule each superblock
 under a scheduling model and machine description.  Sentinel-specific
 passes (uninitialized-tag clearing, recovery renaming) run between
 formation and scheduling.
+
+The pipeline is split in two so the evaluation sweep can amortize the
+machine-independent front half across issue rates:
+
+* :func:`prepare_compilation` — superblock formation, unrolling,
+  renaming, recovery renaming, uninit-tag clears, liveness, and (lazily)
+  the per-block dependence graphs built and reduced under the policy.
+  None of this depends on the issue width.
+* :func:`schedule_prepared` — list scheduling under one machine.  It may
+  be called repeatedly on the same :class:`PreparedCompilation`; each
+  call rewinds the uid watermark and schedules from copies of the
+  pristine dependence graphs, so every call produces exactly what a
+  from-scratch :func:`compile_program` would.
+
+:func:`compile_program` composes the two and is unchanged for callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..cfg.liveness import Liveness
 from ..cfg.profile import ProfileData
 from ..cfg.superblock import FormationResult, form_superblocks
 from ..cfg.unroll import unroll_superblock_loops
 from ..core.uninit import insert_uninit_tag_clears
-from ..deps.reduction import SpeculationPolicy
-from ..isa.program import Program
+from ..deps.builder import build_dependence_graph
+from ..deps.reduction import SpeculationPolicy, reduce_dependence_graph
+from ..deps.types import DepGraph
+from ..isa.program import Block, Program
 from ..machine.description import MachineDescription
 from .list_scheduler import BlockScheduleResult, schedule_block
 from .renaming import rename_registers, split_live_out_defs
@@ -51,10 +68,59 @@ class CompilationResult:
     stats: CompilerStats = field(default_factory=CompilerStats)
 
 
-def compile_program(
+@dataclass
+class PreparedCompilation:
+    """The machine-independent front half of one compilation.
+
+    Holds the transformed superblock program and everything scheduling
+    needs that does not depend on the machine: liveness, the uid
+    watermark to rewind to before each schedule, and a cache of pristine
+    (built + policy-reduced) dependence graphs keyed by block and policy.
+    """
+
+    work: Program
+    formation: FormationResult
+    liveness: Liveness
+    policy: SpeculationPolicy
+    recovery: bool
+    stats_template: CompilerStats
+    uid_watermark: int
+    _graphs: Dict[Tuple[str, str], DepGraph] = field(default_factory=dict)
+    _graph_latencies: Optional[Dict] = None
+
+    def pristine_graph(
+        self, block: Block, machine: MachineDescription, policy: SpeculationPolicy
+    ) -> Optional[DepGraph]:
+        """A private copy of the reduced dependence graph for ``block``.
+
+        Graphs embed arc latencies, so the cache serves one latency table
+        (the first machine seen — in a sweep, every issue rate shares
+        Table 3).  A machine with a different table gets ``None`` and the
+        scheduler rebuilds from scratch.  Recovery scheduling varies the
+        reduction inputs per iteration and is never cached.
+        """
+        if self.recovery:
+            return None
+        if self._graph_latencies is None:
+            self._graph_latencies = dict(machine.latencies)
+        elif self._graph_latencies != machine.latencies:
+            return None
+        key = (block.label, policy.name)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = build_dependence_graph(
+                block, self.liveness, machine.latencies, irreversible_barriers=False
+            )
+            reduce_dependence_graph(
+                graph, self.liveness, policy, stop_at_irreversible=False
+            )
+            self._graphs[key] = graph
+        return graph.copy()
+
+
+def prepare_compilation(
     basic_blocks: Program,
     profile: ProfileData,
-    machine: MachineDescription,
     policy: SpeculationPolicy,
     recovery: bool = False,
     clear_uninit_tags: bool = True,
@@ -63,8 +129,8 @@ def compile_program(
     superblock_max_instructions: int = 256,
     unroll_factor: int = 1,
     rename: bool = True,
-) -> CompilationResult:
-    """Compile a basic-block-form program end to end.
+) -> PreparedCompilation:
+    """Run every machine-independent compilation stage once.
 
     ``profile`` must come from executing ``basic_blocks`` (same labels and
     uids) on training input.  ``recovery`` enables the Section 3.7
@@ -102,7 +168,37 @@ def compile_program(
     if clear_uninit_tags and policy.sentinels:
         stats.uninit_clears = len(insert_uninit_tag_clears(work))
 
-    liveness = Liveness(work)
+    return PreparedCompilation(
+        work=work,
+        formation=formation,
+        liveness=Liveness(work),
+        policy=policy,
+        recovery=recovery,
+        stats_template=stats,
+        uid_watermark=work.uid_watermark(),
+    )
+
+
+def schedule_prepared(
+    prepared: PreparedCompilation, machine: MachineDescription
+) -> CompilationResult:
+    """Schedule a prepared program for one machine.
+
+    Repeated calls on one ``prepared`` are independent: the uid watermark
+    is rewound so sentinel uids repeat, and each block is scheduled from
+    a fresh copy of its pristine dependence graph.  Note that scheduling
+    rewrites the speculative modifier flags on the shared work program's
+    instructions, so a *previous* call's ``scheduled`` words reflect the
+    latest call — consume (or measure) each result before the next call,
+    as the evaluation sweep does.
+    """
+    work = prepared.work
+    policy = prepared.policy
+    recovery = prepared.recovery
+    liveness = prepared.liveness
+    work.reset_uid_watermark(prepared.uid_watermark)
+    stats = replace(prepared.stats_template)
+
     scheduled_blocks: List[ScheduledBlock] = []
     block_results: Dict[str, BlockScheduleResult] = {}
     for block in work.blocks:
@@ -113,7 +209,14 @@ def compile_program(
                 block, work, liveness, machine, policy
             )
         else:
-            result = schedule_block(block, work, liveness, machine, policy)
+            result = schedule_block(
+                block,
+                work,
+                liveness,
+                machine,
+                policy,
+                graph=prepared.pristine_graph(block, machine, policy),
+            )
             if policy.store_spec and policy.sentinels:
                 # Speculating stores is not always profitable: probationary
                 # entries occupy the buffer until confirmed and the N-1
@@ -123,12 +226,26 @@ def compile_program(
                 from ..deps.reduction import SENTINEL
 
                 with_stores_length = result.scheduled.length
-                plain = schedule_block(block, work, liveness, machine, SENTINEL)
+                plain = schedule_block(
+                    block,
+                    work,
+                    liveness,
+                    machine,
+                    SENTINEL,
+                    graph=prepared.pristine_graph(block, machine, SENTINEL),
+                )
                 if with_stores_length < plain.scheduled.length:
                     # Re-run the winner: scheduling mutates the speculative
                     # modifier flags on the block's instructions, and the
                     # last run must match the schedule we keep.
-                    result = schedule_block(block, work, liveness, machine, policy)
+                    result = schedule_block(
+                        block,
+                        work,
+                        liveness,
+                        machine,
+                        policy,
+                        graph=prepared.pristine_graph(block, machine, policy),
+                    )
                 else:
                     result = plain
         scheduled_blocks.append(result.scheduled)
@@ -149,7 +266,40 @@ def compile_program(
     return CompilationResult(
         scheduled=scheduled,
         superblock_program=work,
-        formation=formation,
+        formation=prepared.formation,
         block_results=block_results,
         stats=stats,
     )
+
+
+def compile_program(
+    basic_blocks: Program,
+    profile: ProfileData,
+    machine: MachineDescription,
+    policy: SpeculationPolicy,
+    recovery: bool = False,
+    clear_uninit_tags: bool = True,
+    form_superblocks_pass: bool = True,
+    superblock_min_ratio: float = 0.6,
+    superblock_max_instructions: int = 256,
+    unroll_factor: int = 1,
+    rename: bool = True,
+) -> CompilationResult:
+    """Compile a basic-block-form program end to end.
+
+    Equivalent to :func:`prepare_compilation` followed by
+    :func:`schedule_prepared`; see those for parameter semantics.
+    """
+    prepared = prepare_compilation(
+        basic_blocks,
+        profile,
+        policy,
+        recovery=recovery,
+        clear_uninit_tags=clear_uninit_tags,
+        form_superblocks_pass=form_superblocks_pass,
+        superblock_min_ratio=superblock_min_ratio,
+        superblock_max_instructions=superblock_max_instructions,
+        unroll_factor=unroll_factor,
+        rename=rename,
+    )
+    return schedule_prepared(prepared, machine)

@@ -78,22 +78,29 @@ class ListScheduler:
         recovery: bool = False,
         extra_arcs: Sequence[Tuple[int, int, int]] = (),
         despeculated: frozenset = frozenset(),
+        graph: Optional[DepGraph] = None,
     ) -> None:
         self.block = block
         self.program = program
         self.machine = machine
         self.policy = policy
         self.recovery = recovery
-        self.graph = build_dependence_graph(
-            block, liveness, machine.latencies, irreversible_barriers=recovery
-        )
-        reduce_dependence_graph(
-            self.graph,
-            liveness,
-            policy,
-            stop_at_irreversible=recovery,
-            despeculated=despeculated,
-        )
+        if graph is not None:
+            # A pre-built-and-reduced graph (compile-stage sharing across
+            # issue rates).  Scheduling mutates it, so callers hand over a
+            # private copy — see DepGraph.copy().
+            self.graph = graph
+        else:
+            self.graph = build_dependence_graph(
+                block, liveness, machine.latencies, irreversible_barriers=recovery
+            )
+            reduce_dependence_graph(
+                self.graph,
+                liveness,
+                policy,
+                stop_at_irreversible=recovery,
+                despeculated=despeculated,
+            )
         self._apply_extra_arcs(extra_arcs)
 
         n = self.graph.original_count
@@ -464,6 +471,7 @@ def schedule_block(
     recovery: bool = False,
     extra_arcs: Sequence[Tuple[int, int, int]] = (),
     despeculated: frozenset = frozenset(),
+    graph: Optional[DepGraph] = None,
 ) -> BlockScheduleResult:
     """Schedule one (super)block; see :class:`ListScheduler`."""
     scheduler = ListScheduler(
@@ -475,5 +483,6 @@ def schedule_block(
         recovery=recovery,
         extra_arcs=extra_arcs,
         despeculated=despeculated,
+        graph=graph,
     )
     return scheduler.run()

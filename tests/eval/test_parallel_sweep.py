@@ -1,0 +1,82 @@
+"""Determinism of the parallel sweep and its shared-compilation fast path.
+
+The sweep fans benchmarks over a process pool (``SweepConfig.jobs``) and
+amortizes the machine-independent compilation stages across issue rates;
+neither may change a single measured number.
+"""
+
+from repro.arch.timing import estimate_cycles
+from repro.cfg.basic_block import to_basic_blocks
+from repro.eval.harness import STAGES, SweepConfig, run_sweep
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.workloads.suites import build_workload
+
+SMALL = SweepConfig(benchmarks=("matrix300", "grep"), jobs=1)
+
+
+def _comparable(sweep):
+    return (sweep.to_csv(), dict(sweep.base_cycles))
+
+
+class TestJobsDeterminism:
+    def test_jobs_1_equals_jobs_4(self):
+        serial = run_sweep(SMALL)
+        parallel = run_sweep(SweepConfig(benchmarks=SMALL.benchmarks, jobs=4))
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_merge_order_follows_config(self):
+        sweep = run_sweep(SweepConfig(benchmarks=("grep", "matrix300"), jobs=4))
+        assert list(sweep.base_cycles) == ["grep", "matrix300"]
+        assert sweep.benchmarks() == ["grep", "matrix300"]
+
+
+class TestSweepMatchesScratchPipeline:
+    def test_cells_match_fresh_compiles(self):
+        """Every sweep cell equals compiling that cell from scratch."""
+        sweep = run_sweep(SMALL)
+        for name in SMALL.benchmarks:
+            workload = build_workload(name, seed=SMALL.seed, scale=SMALL.scale)
+            basic = to_basic_blocks(workload.program)
+            training = run_program(
+                basic, memory=workload.make_memory(), max_steps=SMALL.max_steps
+            )
+            for policy in SMALL.policies:
+                profile = None
+                for rate in SMALL.issue_rates:
+                    machine = paper_machine(
+                        rate, store_buffer_size=SMALL.store_buffer_size
+                    )
+                    comp = compile_program(
+                        basic,
+                        training.profile,
+                        machine,
+                        policy,
+                        unroll_factor=SMALL.unroll_factor,
+                    )
+                    if profile is None:
+                        profile = run_program(
+                            comp.superblock_program,
+                            memory=workload.make_memory(),
+                            max_steps=SMALL.max_steps,
+                        ).profile
+                    cycles = estimate_cycles(comp.scheduled, profile).total_cycles
+                    cell = sweep.cell(name, policy.name, rate)
+                    assert cell.cycles == cycles
+                    assert cell.speculative == comp.stats.speculative
+                    assert cell.checks_inserted == comp.stats.checks_inserted
+                    assert cell.confirms_inserted == comp.stats.confirms_inserted
+                    assert cell.schedule_words == comp.stats.schedule_words
+
+
+class TestTimings:
+    def test_stage_timings_recorded(self):
+        sweep = run_sweep(SMALL)
+        assert set(sweep.timings) == set(SMALL.benchmarks)
+        for per_stage in sweep.timings.values():
+            assert set(per_stage) == set(STAGES)
+            assert all(seconds >= 0.0 for seconds in per_stage.values())
+        assert sweep.total_steps() > 0
+        assert sweep.wall_seconds > 0.0
+        assert "steps/sec" in sweep.render_timings()

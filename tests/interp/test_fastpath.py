@@ -1,0 +1,145 @@
+"""The pre-decoded fast-path interpreter must match the reference exactly.
+
+``run_program`` dispatches to :class:`repro.interp.fastpath.FastInterpreter`
+by default and to the straight-line reference interpreter with
+``reference=True``; everything observable — registers, memory, signalled
+exceptions (including origin PCs), profile counters, io events — has to be
+identical between the two.
+"""
+
+import pytest
+
+from repro.arch.exceptions import SimulationError, TrapKind
+from repro.arch.memory import Memory
+from repro.cfg.basic_block import to_basic_blocks
+from repro.interp.interpreter import ABORT, RECORD, REPAIR, run_program
+from repro.isa.assembler import assemble
+from repro.isa.registers import R
+from repro.workloads.suites import ALL_NAMES, build_workload
+
+
+def observable(result):
+    """Everything a caller can see from one run, as comparable values."""
+    return {
+        "steps": result.steps,
+        "halted": result.halted,
+        "aborted": result.aborted,
+        "registers": dict(result.registers),
+        "memory": dict(result.memory.snapshot()),
+        "io_events": list(result.io_events),
+        "exceptions": [
+            (e.pc, e.reporter_pc, e.origin_pc, e.kind) for e in result.exceptions
+        ],
+        "block_visits": dict(result.profile.block_visits),
+        "branch_executed": dict(result.profile.branch_executed),
+        "branch_taken": dict(result.profile.branch_taken),
+        "edges": dict(result.profile.edges),
+    }
+
+
+def both(program, memory_factory=None, **kwargs):
+    make = memory_factory if memory_factory is not None else Memory
+    ref = run_program(program, memory=make(), reference=True, **kwargs)
+    fast = run_program(program, memory=make(), **kwargs)
+    return ref, fast
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_basic_block_form(self, name):
+        workload = build_workload(name, seed=0)
+        program = to_basic_blocks(workload.program)
+        ref, fast = both(program, workload.make_memory, max_steps=10_000_000)
+        assert ref.halted
+        assert observable(ref) == observable(fast)
+
+
+class TestExceptionPolicyEquivalence:
+    def _faulting_program(self):
+        return assemble(
+            "e:\n  r1 = mov 100\n  r2 = load [r1+0]\n  r3 = add r2, 1\n"
+            "  store [r1+4], r3\n  halt"
+        )
+
+    def _faulting_memory(self):
+        mem = Memory()
+        mem.poke(100, 41)
+        mem.inject_page_fault(100)
+        return mem
+
+    @pytest.mark.parametrize("policy", [ABORT, REPAIR, RECORD])
+    def test_load_fault(self, policy):
+        ref, fast = both(
+            self._faulting_program(), self._faulting_memory, on_exception=policy
+        )
+        assert observable(ref) == observable(fast)
+        assert ref.exceptions[0].kind is TrapKind.PAGE_FAULT
+
+    @pytest.mark.parametrize("policy", [ABORT, REPAIR, RECORD])
+    def test_store_fault(self, policy):
+        prog = assemble(
+            "e:\n  r1 = mov 100\n  store [r1+0], 7\n  r2 = load [r1+0]\n"
+            "  store [r0+500], r2\n  halt"
+        )
+
+        def memory():
+            mem = Memory()
+            mem.inject_page_fault(100)
+            return mem
+
+        ref, fast = both(prog, memory, on_exception=policy)
+        assert observable(ref) == observable(fast)
+
+    def test_divide_by_zero_garbage(self):
+        prog = assemble(
+            "e:\n  r1 = mov 0\n  r2 = div 10, r1\n  store [r0+500], r2\n  halt"
+        )
+        ref, fast = both(prog, on_exception=RECORD)
+        assert observable(ref) == observable(fast)
+
+    def test_origin_pcs_survive(self):
+        prog = assemble(
+            "e:\n  r1 = load [r0+100]\n  r2 = load [r0+101]\n"
+            "  r3 = add r1, r2\n  store [r0+500], r3\n  halt"
+        )
+
+        def memory():
+            mem = Memory()
+            mem.poke(100, 3)
+            mem.poke(101, 4)
+            mem.inject_page_fault(100)
+            mem.inject_page_fault(101)
+            return mem
+
+        ref, fast = both(prog, memory, on_exception=REPAIR)
+        assert observable(ref) == observable(fast)
+        assert [e.origin_pc for e in fast.exceptions] == [0, 1]
+
+
+class TestControlCorners:
+    def test_step_limit_boundary(self):
+        prog = assemble("a:\n  jump a\nb:\n  halt")
+        with pytest.raises(SimulationError):
+            run_program(prog, max_steps=100, reference=True)
+        with pytest.raises(SimulationError):
+            run_program(prog, max_steps=100)
+
+    def test_exact_step_count_at_limit(self):
+        # 3 steps with a limit of 3: both interpreters must still halt.
+        prog = assemble("e:\n  r1 = mov 6\n  r2 = mul r1, 7\n  halt")
+        ref, fast = both(prog, max_steps=3)
+        assert ref.halted and fast.halted
+        assert observable(ref) == observable(fast)
+
+    def test_fallthrough_chain(self):
+        prog = assemble("a:\n  r1 = mov 1\nb:\n  r1 = add r1, 1\nc:\n  halt")
+        ref, fast = both(prog)
+        assert observable(ref) == observable(fast)
+        assert fast.registers[R(1)] == 2
+        assert fast.profile.edge_count("a", "b") == 1
+
+    def test_io_events(self):
+        prog = assemble("e:\n  jsr\n  io\n  halt")
+        ref, fast = both(prog)
+        assert observable(ref) == observable(fast)
+        assert fast.io_events == ref.io_events
