@@ -19,6 +19,7 @@ numbers quoted in EXPERIMENTS.md can be regenerated.
 """
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -92,13 +93,18 @@ def interpreter_microbenchmark():
 def sweep_benchmark(jobs):
     sweep = run_sweep(SweepConfig(jobs=jobs))
     totals = sweep.stage_totals()
+    maxima = sweep.stage_maxima()
     steps = sweep.total_steps()
     interp_seconds = totals["train"] + totals["profile"]
     return sweep.to_csv(), {
         "jobs": jobs,
+        "effective_jobs": sweep.effective_jobs,
         "cells": len(sweep.cells),
         "wall_seconds": round(sweep.wall_seconds, 3),
         "stage_seconds": {stage: round(totals[stage], 3) for stage in STAGES},
+        "stage_max_worker_seconds": {
+            stage: round(maxima[stage], 3) for stage in STAGES
+        },
         "interpreted_steps": steps,
         "steps_per_sec": round(steps / interp_seconds) if interp_seconds else None,
     }
@@ -122,12 +128,21 @@ def main():
     csv4, sweep4 = sweep_benchmark(jobs=4)
     print(f"  wall {sweep4['wall_seconds']}s, stages {sweep4['stage_seconds']}")
 
+    print("full sweep, jobs=0 (auto)...")
+    csv0, sweep0 = sweep_benchmark(jobs=0)
+    print(
+        f"  resolved to {sweep0['effective_jobs']} worker(s), "
+        f"wall {sweep0['wall_seconds']}s"
+    )
+
     assert csv1 == csv4, "jobs=1 and jobs=4 sweeps disagree"
-    print("  jobs=1 and jobs=4 CSVs identical")
+    assert csv1 == csv0, "jobs=1 and jobs=0 sweeps disagree"
+    print("  jobs=1, jobs=4 and jobs=0 CSVs identical")
 
     payload = {
+        "cpus": os.cpu_count(),
         "interpreter": interp,
-        "sweep": [sweep1, sweep4],
+        "sweep": [sweep1, sweep4, sweep0],
     }
     out = REPO_ROOT / "BENCH_sweep.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -4,11 +4,13 @@ Delegates to the same logic as ``examples/paper_evaluation.py``.
 """
 
 import argparse
+import json
 
 from .eval.figures import figure4_series, figure5_series, render_bars, render_table
 from .eval.harness import SweepConfig, run_sweep
 from .eval.report import headline_numbers, shape_checks
 from .eval.tables import render_table1, render_table2, render_table3
+from .workloads.suites import ALL_NAMES
 
 
 def main() -> None:
@@ -24,12 +26,37 @@ def main() -> None:
         "--skip-tables", action="store_true", help="only run the Figure 4/5 sweep"
     )
     parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the sweep"
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = auto: CPU count, serial "
+        "fallback on small machines/workloads)",
     )
     parser.add_argument(
         "--timings", action="store_true", help="print per-stage wall time"
     )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default=None,
+        metavar="NAMES",
+        help="comma-separated benchmark subset (default: the full suite)",
+    )
+    parser.add_argument(
+        "--timings-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write per-benchmark stage timings as JSON to PATH",
+    )
     args = parser.parse_args()
+
+    benchmarks = tuple(ALL_NAMES)
+    if args.benchmarks is not None:
+        benchmarks = tuple(name.strip() for name in args.benchmarks.split(",") if name.strip())
+        unknown = [name for name in benchmarks if name not in ALL_NAMES]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
 
     if not args.skip_tables:
         for render in (render_table1, render_table2, render_table3):
@@ -37,11 +64,32 @@ def main() -> None:
             print()
 
     sweep = run_sweep(
-        SweepConfig(scale=args.scale, unroll_factor=args.unroll, jobs=args.jobs)
+        SweepConfig(
+            benchmarks=benchmarks,
+            scale=args.scale,
+            unroll_factor=args.unroll,
+            jobs=args.jobs,
+        )
     )
     if args.timings:
         print(sweep.render_timings())
         print()
+    if args.timings_out is not None:
+        with open(args.timings_out, "w") as handle:
+            json.dump(
+                {
+                    "wall_seconds": sweep.wall_seconds,
+                    "effective_jobs": sweep.effective_jobs,
+                    "stage_totals": sweep.stage_totals(),
+                    "stage_maxima": sweep.stage_maxima(),
+                    "per_benchmark": sweep.timings,
+                    "worker_pids": sweep.worker_pids,
+                    "interp_steps": sweep.interp_steps,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
     renderer = render_bars if args.bars else render_table
     print(renderer(figure4_series(sweep)))
     print()

@@ -43,7 +43,44 @@ class Liveness:
         self.program = program
         self.live_in: Dict[str, RegSet] = {blk.label: _EMPTY for blk in program.blocks}
         self._labels = [blk.label for blk in program.blocks]
+        #: branch uid -> live_when_taken result.  Dependence-graph reduction
+        #: queries the same branches once per control arc, and each query
+        #: pays a linear ``program.find`` — memoize (live_in is fixed after
+        #: construction, and a branch's taken target never changes).
+        self._taken_cache: Dict[int, RegSet] = {}
+        #: Per-block compact transfer steps in reverse instruction order:
+        #: (ctrl, target, kill, uses) with ctrl 0=straight-line, 1=cond
+        #: branch, 2=jump, 3=halt.  The fixpoint re-walks every block once
+        #: per iteration, so the per-instruction info/uses/defs extraction
+        #: is hoisted out of the iteration loop.
+        self._steps: List[List[tuple]] = [
+            self._block_steps(blk) for blk in program.blocks
+        ]
         self._compute()
+
+    @staticmethod
+    def _block_steps(blk: Block) -> List[tuple]:
+        steps = []
+        for instr in reversed(blk.instrs):
+            info = instr.info
+            if info.is_cond_branch:
+                ctrl, target = 1, instr.target
+            elif info.is_jump:
+                ctrl, target = 2, instr.target
+            elif info.is_halt:
+                ctrl, target = 3, None
+            else:
+                ctrl, target = 0, None
+            dest = instr.dest
+            # CLRTAG preserves the data field (it also appears in uses()),
+            # so it never kills liveness; plain defs do.
+            kill = (
+                dest
+                if dest is not None and not dest.is_zero and instr.op is not Opcode.CLRTAG
+                else None
+            )
+            steps.append((ctrl, target, kill, tuple(_uses(instr))))
+        return steps
 
     # ------------------------------------------------------------------
 
@@ -54,23 +91,21 @@ class Liveness:
             return self.live_in[self.program.blocks[index + 1].label]
         return _EMPTY
 
-    def _transfer(self, blk: Block, live: RegSet) -> RegSet:
-        """Propagate ``live`` backwards through the whole block."""
+    def _transfer(self, steps: List[tuple], live: RegSet) -> RegSet:
+        """Propagate ``live`` backwards through one block's compact steps."""
         current = set(live)
-        for instr in reversed(blk.instrs):
-            info = instr.info
-            if info.is_cond_branch:
-                current |= self.live_in[instr.target]
-            elif info.is_jump:
-                current = set(self.live_in[instr.target])
-            elif info.is_halt:
-                current = set()
-            for reg in _defs(instr):
-                # CLRTAG preserves the data field (it also appears in uses()),
-                # so it never kills liveness; plain defs do.
-                if instr.op is not Opcode.CLRTAG:
-                    current.discard(reg)
-            current.update(_uses(instr))
+        live_in = self.live_in
+        for ctrl, target, kill, uses in steps:
+            if ctrl:
+                if ctrl == 1:
+                    current |= live_in[target]
+                elif ctrl == 2:
+                    current = set(live_in[target])
+                else:
+                    current = set()
+            if kill is not None:
+                current.discard(kill)
+            current.update(uses)
         return frozenset(current)
 
     def _compute(self) -> None:
@@ -79,7 +114,7 @@ class Liveness:
             changed = False
             for index in range(len(self.program.blocks) - 1, -1, -1):
                 blk = self.program.blocks[index]
-                new_in = self._transfer(blk, self._block_end_live(index))
+                new_in = self._transfer(self._steps[index], self._block_end_live(index))
                 if new_in != self.live_in[blk.label]:
                     self.live_in[blk.label] = new_in
                     changed = True
@@ -100,12 +135,18 @@ class Liveness:
 
     def live_when_taken(self, branch_uid: int) -> RegSet:
         """Registers live when the given branch is taken (Section 3.3's test)."""
+        cached = self._taken_cache.get(branch_uid)
+        if cached is not None:
+            return cached
         _blk, _idx, instr = self.program.find(branch_uid)
         if instr.info.is_halt:
-            return _EMPTY
-        if instr.target is None:
+            result = _EMPTY
+        elif instr.target is None:
             raise ValueError(f"instruction {branch_uid} is not a branch")
-        return self.live_in[instr.target]
+        else:
+            result = self.live_in[instr.target]
+        self._taken_cache[branch_uid] = result
+        return result
 
     def live_before(self, label: str, index: int) -> RegSet:
         """Live registers immediately before instruction ``index`` of block."""

@@ -210,6 +210,7 @@ class SuperblockFormer:
                 # Degenerate both-ways branch: straighten completely.
                 return instrs[:-2]
             branch.op = INVERTED_BRANCH[branch.op]
+            branch.info = branch.op.info
             branch.target = last.target
             return instrs[:-1]
         raise ValueError(f"block {label!r} has no explicit terminator (normalize first)")

@@ -133,6 +133,7 @@ def unroll_superblock_loops(
                     # Early iterations exit the loop through a side exit;
                     # falling through continues into the next copy.
                     clone.op = INVERTED_BRANCH[clone.op]
+                    clone.info = clone.op.info
                     clone.target = continuation
                 new_instrs.append(clone)
         new_instrs.extend(tail)

@@ -82,7 +82,7 @@ class TagCarryTracker:
             return
         self._carries[node] = any(
             self._carries.get(arc.src, False)
-            for arc in self._graph.preds(node)
+            for arc in self._graph.iter_preds(node)
             if arc.kind is ArcKind.FLOW
         )
 

@@ -150,6 +150,12 @@ def build_dependence_graph(
     graph = DepGraph(block)
     instrs = graph.nodes
     n = len(instrs)
+    add_arc = graph.add_arc
+    FLOW, ANTI, OUTPUT = ArcKind.FLOW, ArcKind.ANTI, ArcKind.OUTPUT
+    MEM, CONTROL, GUARD = ArcKind.MEM, ArcKind.CONTROL, ArcKind.GUARD
+
+    infos = [instr.info for instr in instrs]
+    lats = [latency_of(instr.op, latencies) for instr in instrs]
 
     last_def: Dict[Register, int] = {}
     uses_since_def: Dict[Register, List[int]] = {}
@@ -158,42 +164,57 @@ def build_dependence_graph(
     mem_ops: List[Tuple[int, bool, Optional[Tuple[int, int]], Optional[str]]] = []
     branch_nodes: List[int] = []
     last_irreversible: Optional[int] = None
-
-    def _lat(node: int) -> int:
-        return latency_of(instrs[node].op, latencies)
+    #: (src, dst) pairs already connected by any arc.  Emitting arcs through
+    #: this local set (and the per-instruction kind sets below) replaces the
+    #: graph-probing ``find_arc`` dedup of the original builder.
+    linked = set()
 
     for idx, instr in enumerate(instrs):
-        info = instr.info
+        info = infos[idx]
 
         # --- register data dependences -------------------------------
+        flow_done = set()  # producers already given a FLOW arc to idx
         for reg in instr.uses():
             if reg.is_zero:
                 continue
             producer = last_def.get(reg)
-            if producer is not None and graph.find_arc(producer, idx, ArcKind.FLOW) is None:
-                graph.add_arc(producer, idx, ArcKind.FLOW, _lat(producer))
+            if producer is not None and producer not in flow_done:
+                flow_done.add(producer)
+                add_arc(producer, idx, FLOW, lats[producer])
+                linked.add((producer, idx))
             uses_since_def.setdefault(reg, []).append(idx)
+        anti_done = set()  # users already given an ANTI arc to idx
+        output_done = set()
         for reg in instr.defs():
             if reg.is_zero:
                 continue
             for user in uses_since_def.get(reg, ()):
-                if user != idx and graph.find_arc(user, idx) is None:
-                    graph.add_arc(user, idx, ArcKind.ANTI, ANTI_LATENCY)
+                # The dedup is kind-aware: a (user, idx) FLOW or OUTPUT arc
+                # does not suppress the ANTI arc (the seed builder's
+                # kind-agnostic ``find_arc(user, idx)`` probe did, silently
+                # dropping write-after-read constraints that happened to be
+                # subsumed — see tests/deps/test_builder.py).
+                if user != idx and user not in anti_done:
+                    anti_done.add(user)
+                    add_arc(user, idx, ANTI, ANTI_LATENCY)
+                    linked.add((user, idx))
             producer = last_def.get(reg)
-            if producer is not None and producer != idx:
-                if graph.find_arc(producer, idx, ArcKind.OUTPUT) is None:
-                    graph.add_arc(producer, idx, ArcKind.OUTPUT, OUTPUT_LATENCY)
+            if producer is not None and producer != idx and producer not in output_done:
+                output_done.add(producer)
+                add_arc(producer, idx, OUTPUT, OUTPUT_LATENCY)
+                linked.add((producer, idx))
             last_def[reg] = idx
             uses_since_def[reg] = []
 
         # --- memory ordering -----------------------------------------
         if info.reads_mem or info.writes_mem:
             expr = symbolic.address_of(instr)
+            region = instr.mem_region
             is_store = info.writes_mem
             for other, other_is_store, other_expr, other_region in mem_ops:
                 if not is_store and not other_is_store:
                     continue  # load-load never conflicts
-                if not _mem_conflict(expr, instr.mem_region, other_expr, other_region):
+                if not _mem_conflict(expr, region, other_expr, other_region):
                     continue
                 if other_is_store and not is_store:
                     latency = MEM_STORE_LOAD_LATENCY
@@ -201,9 +222,9 @@ def build_dependence_graph(
                     latency = MEM_LOAD_STORE_LATENCY
                 else:
                     latency = MEM_STORE_STORE_LATENCY
-                if graph.find_arc(other, idx, ArcKind.MEM) is None:
-                    graph.add_arc(other, idx, ArcKind.MEM, latency)
-            mem_ops.append((idx, is_store, expr, instr.mem_region))
+                add_arc(other, idx, MEM, latency)
+                linked.add((other, idx))
+            mem_ops.append((idx, is_store, expr, region))
         symbolic.on_instruction(instr)
 
         # --- irreversible-event ordering (I/O and calls are observable) ---
@@ -211,44 +232,55 @@ def build_dependence_graph(
             # Recovery restriction 1: nothing moves above an irreversible
             # instruction ("control dependence arcs from irreversible
             # instructions to all subsequent instructions").
-            graph.add_arc(last_irreversible, idx, ArcKind.GUARD, 1)
+            add_arc(last_irreversible, idx, GUARD, 1)
+            linked.add((last_irreversible, idx))
         if info.is_irreversible:
             if irreversible_barriers:
                 # Restriction 2 makes it a full block boundary: nothing
                 # sinks below it either.
                 for earlier in range(idx):
-                    if graph.find_arc(earlier, idx) is None:
-                        graph.add_arc(earlier, idx, ArcKind.GUARD, GUARD_LATENCY)
+                    if (earlier, idx) not in linked:
+                        add_arc(earlier, idx, GUARD, GUARD_LATENCY)
+                        linked.add((earlier, idx))
             elif last_irreversible is not None:
-                graph.add_arc(last_irreversible, idx, ArcKind.GUARD, GUARD_LATENCY)
+                add_arc(last_irreversible, idx, GUARD, GUARD_LATENCY)
+                linked.add((last_irreversible, idx))
             last_irreversible = idx
 
         # --- control dependences (branch -> later instruction) --------
         for branch_node in branch_nodes:
-            graph.add_arc(branch_node, idx, ArcKind.CONTROL, CONTROL_LATENCY)
+            add_arc(branch_node, idx, CONTROL, CONTROL_LATENCY)
+            linked.add((branch_node, idx))
         if info.is_cond_branch:
             branch_nodes.append(idx)
 
     # --- guard arcs: earlier instruction -> exit it must not sink below
-    terminator = n - 1 if n and instrs[-1].info.is_control and not instrs[-1].info.is_cond_branch else None
+    terminator = n - 1 if n and infos[-1].is_control and not infos[-1].is_cond_branch else None
+    if branch_nodes:
+        # Per-node guard conditions hoisted out of the per-exit loop; only
+        # the liveness term varies with the exit.
+        always_guard = [
+            infos[idx].writes_mem
+            or infos[idx].is_irreversible
+            or (infos[idx].can_trap and _TRAP_SINK_GUARDS)
+            or instrs[idx].op in (Opcode.CHECK, Opcode.CONFIRM, Opcode.CLRTAG)
+            for idx in range(n)
+        ]
+        dests = [instr.dest for instr in instrs]
     for exit_node in branch_nodes:
         branch_uid = instrs[exit_node].uid
         live_taken = liveness.live_when_taken(branch_uid)
         for idx in range(exit_node):
-            instr = instrs[idx]
-            info = instr.info
-            needs_guard = (
-                info.writes_mem
-                or info.is_irreversible
-                or (info.can_trap and _TRAP_SINK_GUARDS)
-                or instr.op in (Opcode.CHECK, Opcode.CONFIRM, Opcode.CLRTAG)
-                or (instr.dest is not None and instr.dest in live_taken)
+            needs_guard = always_guard[idx] or (
+                dests[idx] is not None and dests[idx] in live_taken
             )
-            if needs_guard and graph.find_arc(idx, exit_node) is None:
-                graph.add_arc(idx, exit_node, ArcKind.GUARD, GUARD_LATENCY)
+            if needs_guard and (idx, exit_node) not in linked:
+                add_arc(idx, exit_node, GUARD, GUARD_LATENCY)
+                linked.add((idx, exit_node))
     if terminator is not None:
         for idx in range(terminator):
-            if graph.find_arc(idx, terminator) is None:
-                graph.add_arc(idx, terminator, ArcKind.GUARD, GUARD_LATENCY)
+            if (idx, terminator) not in linked:
+                add_arc(idx, terminator, GUARD, GUARD_LATENCY)
+                linked.add((idx, terminator))
 
     return graph

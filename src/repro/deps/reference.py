@@ -1,0 +1,151 @@
+"""Naive reference dependence-graph builder, retained for differential tests.
+
+This is the seed repository's ``build_dependence_graph`` kept in its original
+shape: every arc lands in one flat list and every dedup probe is a linear
+scan over it, exactly like the pre-index ``DepGraph.find_arc``.  It is
+deliberately slow and deliberately independent of the indexed ``DepGraph``
+internals, so ``tests/deps/test_builder_differential.py`` can assert the
+optimized builder emits the exact same arc multiset.
+
+The single intentional semantic difference from the seed: the anti-arc dedup
+probe is kind-aware (``ANTI`` specifically), matching the fix in
+:mod:`repro.deps.builder` — the seed's kind-agnostic probe skipped an ANTI
+arc whenever *any* arc kind already connected the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.liveness import Liveness
+from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+from ..isa.program import Block
+from ..isa.registers import Register
+from .builder import (
+    ANTI_LATENCY,
+    CONTROL_LATENCY,
+    GUARD_LATENCY,
+    MEM_LOAD_STORE_LATENCY,
+    MEM_STORE_LOAD_LATENCY,
+    MEM_STORE_STORE_LATENCY,
+    OUTPUT_LATENCY,
+    SymbolicAddresses,
+    _mem_conflict,
+    _TRAP_SINK_GUARDS,
+)
+from .types import ArcKind
+
+#: (src, dst, kind, latency)
+RefArc = Tuple[int, int, ArcKind, int]
+
+
+def build_reference_arcs(
+    block: Block,
+    liveness: Liveness,
+    latencies: Dict[LatClass, int] = PAPER_LATENCIES,
+    irreversible_barriers: bool = False,
+) -> List[RefArc]:
+    """Arc list of the unreduced dependence graph, by the naive algorithm."""
+    instrs = list(block.instrs)
+    n = len(instrs)
+    arcs: List[RefArc] = []
+
+    def find(src: int, dst: int, kind: Optional[ArcKind] = None) -> Optional[RefArc]:
+        for arc in arcs:
+            if arc[0] == src and arc[1] == dst and (kind is None or arc[2] is kind):
+                return arc
+        return None
+
+    last_def: Dict[Register, int] = {}
+    uses_since_def: Dict[Register, List[int]] = {}
+    symbolic = SymbolicAddresses()
+    mem_ops: List[Tuple[int, bool, Optional[Tuple[int, int]], Optional[str]]] = []
+    branch_nodes: List[int] = []
+    last_irreversible: Optional[int] = None
+
+    def _lat(node: int) -> int:
+        return latency_of(instrs[node].op, latencies)
+
+    for idx, instr in enumerate(instrs):
+        info = instr.info
+
+        for reg in instr.uses():
+            if reg.is_zero:
+                continue
+            producer = last_def.get(reg)
+            if producer is not None and find(producer, idx, ArcKind.FLOW) is None:
+                arcs.append((producer, idx, ArcKind.FLOW, _lat(producer)))
+            uses_since_def.setdefault(reg, []).append(idx)
+        for reg in instr.defs():
+            if reg.is_zero:
+                continue
+            for user in uses_since_def.get(reg, ()):
+                if user != idx and find(user, idx, ArcKind.ANTI) is None:
+                    arcs.append((user, idx, ArcKind.ANTI, ANTI_LATENCY))
+            producer = last_def.get(reg)
+            if producer is not None and producer != idx:
+                if find(producer, idx, ArcKind.OUTPUT) is None:
+                    arcs.append((producer, idx, ArcKind.OUTPUT, OUTPUT_LATENCY))
+            last_def[reg] = idx
+            uses_since_def[reg] = []
+
+        if info.reads_mem or info.writes_mem:
+            expr = symbolic.address_of(instr)
+            is_store = info.writes_mem
+            for other, other_is_store, other_expr, other_region in mem_ops:
+                if not is_store and not other_is_store:
+                    continue
+                if not _mem_conflict(expr, instr.mem_region, other_expr, other_region):
+                    continue
+                if other_is_store and not is_store:
+                    latency = MEM_STORE_LOAD_LATENCY
+                elif is_store and not other_is_store:
+                    latency = MEM_LOAD_STORE_LATENCY
+                else:
+                    latency = MEM_STORE_STORE_LATENCY
+                if find(other, idx, ArcKind.MEM) is None:
+                    arcs.append((other, idx, ArcKind.MEM, latency))
+            mem_ops.append((idx, is_store, expr, instr.mem_region))
+        symbolic.on_instruction(instr)
+
+        if irreversible_barriers and last_irreversible is not None:
+            arcs.append((last_irreversible, idx, ArcKind.GUARD, 1))
+        if info.is_irreversible:
+            if irreversible_barriers:
+                for earlier in range(idx):
+                    if find(earlier, idx) is None:
+                        arcs.append((earlier, idx, ArcKind.GUARD, GUARD_LATENCY))
+            elif last_irreversible is not None:
+                arcs.append((last_irreversible, idx, ArcKind.GUARD, GUARD_LATENCY))
+            last_irreversible = idx
+
+        for branch_node in branch_nodes:
+            arcs.append((branch_node, idx, ArcKind.CONTROL, CONTROL_LATENCY))
+        if info.is_cond_branch:
+            branch_nodes.append(idx)
+
+    terminator = (
+        n - 1
+        if n and instrs[-1].info.is_control and not instrs[-1].info.is_cond_branch
+        else None
+    )
+    for exit_node in branch_nodes:
+        live_taken = liveness.live_when_taken(instrs[exit_node].uid)
+        for idx in range(exit_node):
+            instr = instrs[idx]
+            info = instr.info
+            needs_guard = (
+                info.writes_mem
+                or info.is_irreversible
+                or (info.can_trap and _TRAP_SINK_GUARDS)
+                or instr.op in (Opcode.CHECK, Opcode.CONFIRM, Opcode.CLRTAG)
+                or (instr.dest is not None and instr.dest in live_taken)
+            )
+            if needs_guard and find(idx, exit_node) is None:
+                arcs.append((idx, exit_node, ArcKind.GUARD, GUARD_LATENCY))
+    if terminator is not None:
+        for idx in range(terminator):
+            if find(idx, terminator) is None:
+                arcs.append((idx, terminator, ArcKind.GUARD, GUARD_LATENCY))
+
+    return arcs

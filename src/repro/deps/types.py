@@ -24,8 +24,7 @@ branch it must precede).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..isa.instruction import Instruction
 from ..isa.program import Block
@@ -41,8 +40,13 @@ class ArcKind(enum.Enum):
     SENT = "sent"
 
 
-@dataclass(frozen=True)
-class Arc:
+_ALL_KINDS: Tuple[ArcKind, ...] = tuple(ArcKind)
+
+
+class Arc(NamedTuple):
+    # A NamedTuple rather than a frozen dataclass: arcs are created in the
+    # builder's innermost loops and tuple construction is measurably cheaper
+    # than dataclass __init__ with frozen-field __setattr__ checks.
     src: int  # node index
     dst: int
     kind: ArcKind
@@ -64,8 +68,16 @@ class DepGraph:
         self.block = block
         self.nodes: List[Instruction] = list(block.instrs)
         self.original_count = len(self.nodes)
-        self._succs: List[List[Arc]] = [[] for _ in self.nodes]
-        self._preds: List[List[Arc]] = [[] for _ in self.nodes]
+        # Arc storage is a per-node insertion-ordered index: node ->
+        # {(other, kind): Arc}.  One dict per direction gives O(1)
+        # find_arc/has_arc/remove_arc while preserving the insertion order
+        # the list-based representation exposed through succs()/preds().
+        # build_dependence_graph probes for existing arcs inside doubly
+        # nested loops over control/guard/anti arcs, so the linear-scan
+        # find_arc made construction effectively cubic on unrolled
+        # superblocks.
+        self._succs: List[Dict[Tuple[int, ArcKind], Arc]] = [{} for _ in self.nodes]
+        self._preds: List[Dict[Tuple[int, ArcKind], Arc]] = [{} for _ in self.nodes]
         #: Instructions needing an explicit sentinel if speculated
         #: (Section 3.1 "unprotected instruction"), set by reduction.
         self.unprotected: Set[int] = set()
@@ -73,6 +85,8 @@ class DepGraph:
         self.allowed_spec: Set[int] = set()
         #: node -> its shared-sentinel node (first home-block use), if any.
         self.shared_sentinel: Dict[int, int] = {}
+        #: Memoized critical_heights(); invalidated by any arc mutation.
+        self._heights: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
 
@@ -84,40 +98,73 @@ class DepGraph:
 
     def add_node(self, instr: Instruction) -> int:
         self.nodes.append(instr)
-        self._succs.append([])
-        self._preds.append([])
+        self._succs.append({})
+        self._preds.append({})
+        self._heights = None
         return len(self.nodes) - 1
 
     def add_arc(self, src: int, dst: int, kind: ArcKind, latency: int) -> Arc:
         if src == dst:
             raise ValueError(f"self arc on node {src}")
+        key = (dst, kind)
+        succs = self._succs[src]
+        if key in succs:
+            raise ValueError(f"duplicate arc {succs[key]!r}")
         arc = Arc(src, dst, kind, latency)
-        self._succs[src].append(arc)
-        self._preds[dst].append(arc)
+        succs[key] = arc
+        self._preds[dst][(src, kind)] = arc
+        self._heights = None
         return arc
 
     def remove_arc(self, arc: Arc) -> None:
-        self._succs[arc.src].remove(arc)
-        self._preds[arc.dst].remove(arc)
+        del self._succs[arc.src][(arc.dst, arc.kind)]
+        del self._preds[arc.dst][(arc.src, arc.kind)]
+        self._heights = None
 
     def succs(self, node: int) -> List[Arc]:
-        return list(self._succs[node])
+        return list(self._succs[node].values())
 
     def preds(self, node: int) -> List[Arc]:
-        return list(self._preds[node])
+        return list(self._preds[node].values())
+
+    def iter_succs(self, node: int) -> Iterable[Arc]:
+        """Live view of ``node``'s outgoing arcs; do not mutate while iterating."""
+        return self._succs[node].values()
+
+    def iter_preds(self, node: int) -> Iterable[Arc]:
+        """Live view of ``node``'s incoming arcs; do not mutate while iterating."""
+        return self._preds[node].values()
+
+    def pred_count(self, node: int) -> int:
+        return len(self._preds[node])
 
     def arcs(self) -> Iterator[Arc]:
         for arcs in self._succs:
-            yield from arcs
+            yield from arcs.values()
 
     def control_preds(self, node: int) -> List[Arc]:
-        return [a for a in self._preds[node] if a.kind is ArcKind.CONTROL]
+        return [a for a in self._preds[node].values() if a.kind is ArcKind.CONTROL]
 
     def find_arc(self, src: int, dst: int, kind: Optional[ArcKind] = None) -> Optional[Arc]:
-        for arc in self._succs[src]:
-            if arc.dst == dst and (kind is None or arc.kind is kind):
+        """The arc ``src -> dst`` of ``kind``, or None.
+
+        With ``kind=None``, returns an arbitrary arc between the pair (every
+        caller only tests existence); prefer :meth:`has_arc` for that.
+        """
+        succs = self._succs[src]
+        if kind is not None:
+            return succs.get((dst, kind))
+        for k in _ALL_KINDS:
+            arc = succs.get((dst, k))
+            if arc is not None:
                 return arc
         return None
+
+    def has_arc(self, src: int, dst: int, kind: Optional[ArcKind] = None) -> bool:
+        succs = self._succs[src]
+        if kind is not None:
+            return (dst, kind) in succs
+        return any((dst, k) in succs for k in _ALL_KINDS)
 
     def copy(self) -> "DepGraph":
         """Independent copy sharing instructions and (immutable) arcs.
@@ -130,11 +177,12 @@ class DepGraph:
         other.block = self.block
         other.nodes = list(self.nodes)
         other.original_count = self.original_count
-        other._succs = [list(arcs) for arcs in self._succs]
-        other._preds = [list(arcs) for arcs in self._preds]
+        other._succs = [dict(arcs) for arcs in self._succs]
+        other._preds = [dict(arcs) for arcs in self._preds]
         other.unprotected = set(self.unprotected)
         other.allowed_spec = set(self.allowed_spec)
         other.shared_sentinel = dict(self.shared_sentinel)
+        other._heights = self._heights
         return other
 
     # ------------------------------------------------------------------
@@ -147,14 +195,21 @@ class DepGraph:
         Computed over the current arc set in reverse topological (original
         position) order — arcs always point from lower to higher original
         position, so a reverse index sweep suffices.
+
+        The result is memoized until the next arc mutation (a pristine
+        reduced graph and every schedule-time copy of it share one
+        computation); callers must treat it as read-only.
         """
+        if self._heights is not None:
+            return self._heights
         n = len(self.nodes)
         height = [1] * n
         for node in range(n - 1, -1, -1):
             best = 1
-            for arc in self._succs[node]:
+            for arc in self._succs[node].values():
                 candidate = arc.latency + height[arc.dst]
                 if candidate > best:
                     best = candidate
             height[node] = best
+        self._heights = height
         return height

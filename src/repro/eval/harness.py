@@ -14,6 +14,7 @@ For every benchmark stand-in:
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -50,6 +51,74 @@ DEFAULT_POLICIES: Tuple[SpeculationPolicy, ...] = (
 #: Pipeline stages measured per benchmark, in execution order.
 STAGES: Tuple[str, ...] = ("build", "train", "profile", "compile", "estimate")
 
+#: Measured serial cost of each benchmark (seconds, order of magnitude only).
+#: Used to order the parallel fan-out longest-first so a big benchmark is
+#: never picked up last and left running alone at the tail of the sweep.
+#: Unknown benchmarks sort by the median hint.  Exact values do not matter —
+#: only the relative order — so these are not regenerated per machine.
+_COST_HINTS: Dict[str, float] = {
+    "doduc": 0.184,
+    "tomcatv": 0.168,
+    "nasa7": 0.140,
+    "yacc": 0.139,
+    "cccp": 0.132,
+    "compress": 0.128,
+    "espresso": 0.122,
+    "lex": 0.119,
+    "tbl": 0.118,
+    "eqn": 0.107,
+    "cmp": 0.095,
+    "xlisp": 0.088,
+    "fpppp": 0.078,
+    "grep": 0.076,
+    "eqntott": 0.074,
+    "wc": 0.058,
+    "matrix300": 0.051,
+}
+
+#: Auto mode never spawns more workers than this: the fan-out unit is one
+#: benchmark, and past ~8 workers the pool spends more time forking than
+#: the tail-benchmark imbalance costs.
+_MAX_AUTO_JOBS = 8
+
+
+def _cost_hint(name: str) -> float:
+    if name in _COST_HINTS:
+        return _COST_HINTS[name]
+    return statistics.median(_COST_HINTS.values())
+
+
+def _resolve_jobs(jobs: int, n_benchmarks: int) -> int:
+    """Effective worker count: ``jobs=0`` is auto, anything else literal.
+
+    Auto picks the CPU count capped at ``_MAX_AUTO_JOBS`` and the benchmark
+    count, and falls back to serial when parallelism cannot win: a single
+    CPU (workers would timeshare one core and pay fork/pickle overhead on
+    top) or a workload too small to amortize pool start-up.
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs != 0:
+        return min(jobs, max(n_benchmarks, 1))
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or n_benchmarks < 4:
+        return 1
+    return min(cpus, _MAX_AUTO_JOBS, n_benchmarks)
+
+
+def _pool_init() -> None:
+    """One-time per-worker set-up.
+
+    Workers are short-lived and process a handful of benchmarks each, so
+    cyclic garbage collection only adds pauses — disable it for the
+    worker's lifetime.  (On fork start the interpreter state, including
+    warm imports, is inherited from the parent; on spawn start the module
+    imports triggered by unpickling the work items serve as the warm-up.)
+    """
+    import gc
+
+    gc.disable()
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -64,7 +133,9 @@ class SweepConfig:
     store_buffer_size: int = 8
     recovery: bool = False
     max_steps: int = 10_000_000
-    #: Worker processes for the benchmark fan-out.  Results are merged in
+    #: Worker processes for the benchmark fan-out.  ``0`` = auto (CPU
+    #: count, capped, with a serial fallback when the machine or workload
+    #: is too small for parallelism to win).  Results are merged in
     #: ``benchmarks`` order, so any jobs value yields identical sweeps
     #: (only wall time and the recorded stage timings differ).
     jobs: int = 1
@@ -97,6 +168,12 @@ class SweepResult:
     interp_steps: Dict[str, int] = field(default_factory=dict)
     #: end-to-end wall seconds of run_sweep, including pool overhead.
     wall_seconds: float = 0.0
+    #: benchmark -> pid of the process that evaluated it (the parent's own
+    #: pid for serial runs).  Lets the timing view attribute work to
+    #: workers when the sweep ran in parallel.
+    worker_pids: Dict[str, int] = field(default_factory=dict)
+    #: Worker count the sweep actually ran with (after jobs=0 resolution).
+    effective_jobs: int = 1
 
     def stage_totals(self) -> Dict[str, float]:
         """Summed per-stage wall seconds across benchmarks.
@@ -113,13 +190,48 @@ class SweepResult:
     def total_steps(self) -> int:
         return sum(self.interp_steps.values())
 
+    def stage_maxima(self) -> Dict[str, float]:
+        """Per-stage wall seconds of the busiest worker.
+
+        Each worker's stage seconds are summed over the benchmarks it
+        evaluated; the maximum across workers bounds that stage's
+        contribution to elapsed wall time.  For serial runs (one pid) this
+        equals :meth:`stage_totals`.
+        """
+        per_worker: Dict[int, Dict[str, float]] = {}
+        for name, per_stage in self.timings.items():
+            pid = self.worker_pids.get(name, 0)
+            worker = per_worker.setdefault(pid, {stage: 0.0 for stage in STAGES})
+            for stage, seconds in per_stage.items():
+                worker[stage] = worker.get(stage, 0.0) + seconds
+        maxima = {stage: 0.0 for stage in STAGES}
+        for worker in per_worker.values():
+            for stage, seconds in worker.items():
+                if seconds > maxima.get(stage, 0.0):
+                    maxima[stage] = seconds
+        return maxima
+
     def render_timings(self) -> str:
-        """Per-stage timing table (the ``--timings`` CLI view)."""
+        """Per-stage timing table (the ``--timings`` CLI view).
+
+        With more than one worker, a ``max-worker`` column reports each
+        stage's busiest-worker seconds next to the summed total: the sum
+        measures aggregate work, the max approximates the stage's wall
+        contribution.
+        """
         totals = self.stage_totals()
-        lines = ["stage      seconds"]
-        for stage in STAGES:
-            lines.append(f"{stage:<10} {totals[stage]:8.3f}")
-        lines.append(f"{'(sum)':<10} {sum(totals.values()):8.3f}")
+        parallel = len(set(self.worker_pids.values())) > 1
+        if parallel:
+            maxima = self.stage_maxima()
+            lines = ["stage      seconds  max-worker"]
+            for stage in STAGES:
+                lines.append(f"{stage:<10} {totals[stage]:8.3f}  {maxima[stage]:8.3f}")
+            lines.append(f"{'(sum)':<10} {sum(totals.values()):8.3f}")
+        else:
+            lines = ["stage      seconds"]
+            for stage in STAGES:
+                lines.append(f"{stage:<10} {totals[stage]:8.3f}")
+            lines.append(f"{'(sum)':<10} {sum(totals.values()):8.3f}")
         lines.append(f"{'wall':<10} {self.wall_seconds:8.3f}")
         steps = self.total_steps()
         interp_seconds = totals["train"] + totals["profile"]
@@ -192,16 +304,20 @@ class _BenchmarkShard:
     cells: List[CellResult]
     timings: Dict[str, float]
     steps: int
+    pid: int = 0
 
 
 def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     """Measure one benchmark under every policy × issue rate.
 
     The machine-independent compilation stages (superblock formation,
-    renaming, dependence graphs) are prepared once per policy and reused
-    across issue rates; one reference profile run also serves all issue
-    rates of a policy.  Results are identical to compiling each cell from
-    scratch — ``tests/eval/test_parallel_sweep.py`` pins this.
+    renaming, dependence graphs) depend on the policy only through its
+    ``sentinels`` flag (see :func:`schedule_prepared`), so they are
+    prepared once per flag value and reused across the policies and issue
+    rates sharing it; likewise one reference profile run serves them all
+    (the superblock-form program, and hence its execution profile, is
+    identical within the group).  Results are identical to compiling each
+    cell from scratch — ``tests/eval/test_parallel_sweep.py`` pins this.
     """
     timings = {stage: 0.0 for stage in STAGES}
     steps = 0
@@ -222,13 +338,13 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     if not training.halted:
         raise RuntimeError(f"{name}: training run did not halt")
 
-    prepared: Dict[str, PreparedCompilation] = {}
-    profiles: Dict[str, "object"] = {}
+    prepared: Dict[bool, PreparedCompilation] = {}
+    profiles: Dict[bool, "object"] = {}
 
     def prepare(policy: SpeculationPolicy) -> PreparedCompilation:
-        if policy.name not in prepared:
+        if policy.sentinels not in prepared:
             start = clock()
-            prepared[policy.name] = prepare_compilation(
+            prepared[policy.sentinels] = prepare_compilation(
                 basic,
                 training.profile,
                 policy,
@@ -236,12 +352,13 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 recovery=config.recovery,
             )
             timings["compile"] += clock() - start
-        return prepared[policy.name]
+        return prepared[policy.sentinels]
 
     def profile_of(policy: SpeculationPolicy, comp: CompilationResult):
-        # The superblock-form program (and its uids) is machine-independent,
-        # so one profile serves all issue rates of a policy.
-        if policy.name not in profiles:
+        # The superblock-form program (and its uids) is machine-independent
+        # and shared within a sentinels group, so one profile serves every
+        # (policy, issue rate) of the group.
+        if policy.sentinels not in profiles:
             nonlocal steps
             start = clock()
             result = run_program(
@@ -253,11 +370,11 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
             steps += result.steps
             if not result.halted:
                 raise RuntimeError(f"{name}: superblock program did not halt")
-            profiles[policy.name] = result.profile
-        return profiles[policy.name]
+            profiles[policy.sentinels] = result.profile
+        return profiles[policy.sentinels]
 
     start = clock()
-    base_comp = schedule_prepared(prepare(RESTRICTED), base_machine)
+    base_comp = schedule_prepared(prepare(RESTRICTED), base_machine, policy=RESTRICTED)
     timings["compile"] += clock() - start
     base_profile = profile_of(RESTRICTED, base_comp)
     start = clock()
@@ -271,7 +388,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 issue_rate, store_buffer_size=config.store_buffer_size
             )
             start = clock()
-            comp = schedule_prepared(prepare(policy), machine)
+            comp = schedule_prepared(prepare(policy), machine, policy=policy)
             timings["compile"] += clock() - start
             profile = profile_of(policy, comp)
             start = clock()
@@ -292,31 +409,50 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 )
             )
     return _BenchmarkShard(
-        name=name, base_cycles=base_cycles, cells=cells, timings=timings, steps=steps
+        name=name,
+        base_cycles=base_cycles,
+        cells=cells,
+        timings=timings,
+        steps=steps,
+        pid=os.getpid(),
     )
 
 
 def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
     """Run the full model × issue-rate evaluation (Figures 4 and 5).
 
-    With ``config.jobs > 1``, benchmarks fan out over a process pool; the
-    per-benchmark shards are merged back in configuration order, so the
-    resulting sweep is identical for any jobs value.
+    With more than one effective job (``config.jobs``; 0 = auto),
+    benchmarks fan out over a process pool longest-first so the expensive
+    ones never run alone at the tail.  The per-benchmark shards are merged
+    back in configuration order, so the resulting sweep — cells, base
+    cycles, CSV — is byte-identical for any jobs value.
     """
     wall_start = time.perf_counter()
     names = list(config.benchmarks)
-    if config.jobs > 1 and len(names) > 1:
-        with ProcessPoolExecutor(max_workers=config.jobs) as pool:
-            shards = list(pool.map(partial(_evaluate_benchmark, config), names))
+    jobs = _resolve_jobs(config.jobs, len(names))
+    if jobs > 1 and len(names) > 1:
+        # Longest-first submission with chunksize 1: each worker pulls the
+        # next-biggest remaining benchmark, which minimizes the straggler
+        # tail.  Chunking larger than 1 would re-introduce head-of-line
+        # blocking behind the big early benchmarks.
+        ordered = sorted(names, key=lambda n: (-_cost_hint(n), names.index(n)))
+        with ProcessPoolExecutor(max_workers=jobs, initializer=_pool_init) as pool:
+            shards = list(
+                pool.map(partial(_evaluate_benchmark, config), ordered, chunksize=1)
+            )
+        by_name = {shard.name: shard for shard in shards}
+        shards = [by_name[name] for name in names]
     else:
+        jobs = 1
         shards = [_evaluate_benchmark(config, name) for name in names]
 
-    sweep = SweepResult(config=config)
+    sweep = SweepResult(config=config, effective_jobs=jobs)
     for shard in shards:
         sweep.base_cycles[shard.name] = shard.base_cycles
         for cell in shard.cells:
             sweep.cells[(cell.benchmark, cell.policy, cell.issue_rate)] = cell
         sweep.timings[shard.name] = shard.timings
         sweep.interp_steps[shard.name] = shard.steps
+        sweep.worker_pids[shard.name] = shard.pid
     sweep.wall_seconds = time.perf_counter() - wall_start
     return sweep

@@ -33,6 +33,7 @@ class Instruction:
     __slots__ = (
         "uid",
         "op",
+        "info",
         "dest",
         "srcs",
         "target",
@@ -68,6 +69,10 @@ class Instruction:
             raise ValueError(f"{op.name} requires a target label")
         self.uid = uid
         self.op = op
+        #: Cached ``op.info``.  Plain attribute, not a property — the info
+        #: chain is hot everywhere.  The rare code that rewrites ``op`` in
+        #: place (branch inversion) must refresh this too.
+        self.info = info
         self.dest = dest
         self.srcs: Tuple[Operand, ...] = tuple(srcs)
         self.target = target
@@ -89,10 +94,6 @@ class Instruction:
     # ------------------------------------------------------------------
     # Structural queries used by the dependence builder and scheduler.
     # ------------------------------------------------------------------
-
-    @property
-    def info(self):
-        return self.op.info
 
     def uses(self) -> List[Register]:
         """Registers read by this instruction (in operand order)."""

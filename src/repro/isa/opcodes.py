@@ -181,9 +181,11 @@ class Opcode(enum.Enum):
     NOP = "nop"
     IO = "io"  # irreversible I/O marker (recovery tests)
 
-    @property
-    def info(self) -> OpInfo:
-        return OP_INFO[self]
+    # ``info`` is attached to each member as a plain attribute after OP_INFO
+    # is defined below — a property here would cost a descriptor call on
+    # every access, and the info chain is hot in both the dependence builder
+    # and the interpreter fast path.
+    info: "OpInfo"
 
 
 def _alu(mn: str) -> OpInfo:
@@ -250,6 +252,10 @@ OP_INFO: Dict[Opcode, OpInfo] = {
     Opcode.NOP: OpInfo("nop", LatClass.SPECIAL),
     Opcode.IO: OpInfo("io", LatClass.SPECIAL, is_io=True),
 }
+
+for _op, _info in OP_INFO.items():
+    _op.info = _info
+del _op, _info
 
 #: Mnemonic -> opcode, for the assembler.
 MNEMONIC_TO_OPCODE: Dict[str, Opcode] = {info.mnemonic: op for op, info in OP_INFO.items()}

@@ -86,6 +86,7 @@ class PreparedCompilation:
     stats_template: CompilerStats
     uid_watermark: int
     _graphs: Dict[Tuple[str, str], DepGraph] = field(default_factory=dict)
+    _raw_graphs: Dict[str, DepGraph] = field(default_factory=dict)
     _graph_latencies: Optional[Dict] = None
 
     def pristine_graph(
@@ -98,6 +99,12 @@ class PreparedCompilation:
         Table 3).  A machine with a different table gets ``None`` and the
         scheduler rebuilds from scratch.  Recovery scheduling varies the
         reduction inputs per iteration and is never cached.
+
+        The unreduced graph is policy-independent, so it is built once per
+        block and each policy reduces a copy — sentinel_store scheduling
+        asks for two policies' graphs per block (its plain-sentinel
+        comparison schedule), and a prepared compilation shared across
+        policies would otherwise rebuild from scratch for each.
         """
         if self.recovery:
             return None
@@ -108,11 +115,14 @@ class PreparedCompilation:
         key = (block.label, policy.name)
         graph = self._graphs.get(key)
         if graph is None:
-            graph = build_dependence_graph(
-                block, self.liveness, machine.latencies, irreversible_barriers=False
-            )
-            reduce_dependence_graph(
-                graph, self.liveness, policy, stop_at_irreversible=False
+            raw = self._raw_graphs.get(block.label)
+            if raw is None:
+                raw = build_dependence_graph(
+                    block, self.liveness, machine.latencies, irreversible_barriers=False
+                )
+                self._raw_graphs[block.label] = raw
+            graph = reduce_dependence_graph(
+                raw.copy(), self.liveness, policy, stop_at_irreversible=False
             )
             self._graphs[key] = graph
         return graph.copy()
@@ -180,7 +190,9 @@ def prepare_compilation(
 
 
 def schedule_prepared(
-    prepared: PreparedCompilation, machine: MachineDescription
+    prepared: PreparedCompilation,
+    machine: MachineDescription,
+    policy: Optional[SpeculationPolicy] = None,
 ) -> CompilationResult:
     """Schedule a prepared program for one machine.
 
@@ -191,9 +203,18 @@ def schedule_prepared(
     instructions, so a *previous* call's ``scheduled`` words reflect the
     latest call — consume (or measure) each result before the next call,
     as the evaluation sweep does.
+
+    ``policy`` overrides the policy the compilation was prepared under.
+    The front half depends on the policy only through ``policy.sentinels``
+    (whether uninit-tag clears were inserted), so one prepared compilation
+    may serve every policy with the same ``sentinels`` flag — the sweep
+    shares one across restricted/general and one across the sentinel
+    models.  Overriding across that boundary would schedule a program
+    missing (or carrying spurious) CLRTAG instructions.
     """
     work = prepared.work
-    policy = prepared.policy
+    if policy is None:
+        policy = prepared.policy
     recovery = prepared.recovery
     liveness = prepared.liveness
     work.reset_uid_watermark(prepared.uid_watermark)

@@ -21,6 +21,7 @@ Cycle-driven list scheduling over the reduced dependence graph:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -101,9 +102,19 @@ class ListScheduler:
                 stop_at_irreversible=recovery,
                 despeculated=despeculated,
             )
+        n = self.graph.original_count
+        #: node -> issue cycle.
+        self._cycle_of: Dict[int, int] = {}
+        # Scheduler state is initialized *before* _apply_extra_arcs runs, so
+        # the extra-arc pass can bump _preds_left like any other arc source.
+        self._earliest: List[int] = [0] * n
+        self._preds_left: List[int] = [self.graph.pred_count(i) for i in range(n)]
+        self._unscheduled: Set[int] = set(range(n))
+        #: ready-cycle bucket queue: cycle -> nodes whose dependences are all
+        #: issued and whose ready cycle is that key (fed by _issue).
+        self._buckets: Dict[int, List[int]] = {}
         self._apply_extra_arcs(extra_arcs)
 
-        n = self.graph.original_count
         self._heights = self.graph.critical_heights()
         self._branch_positions = [
             i for i in range(n) if self.graph.nodes[i].info.is_cond_branch
@@ -117,13 +128,6 @@ class ListScheduler:
             if self.graph.nodes[i].info.is_cond_branch
             or (recovery and self.graph.nodes[i].info.is_irreversible)
         ]
-        #: node -> issue cycle.
-        self._cycle_of: Dict[int, int] = {}
-        self._earliest: Dict[int, int] = {i: 0 for i in range(n)}
-        self._preds_left: Dict[int, int] = {
-            i: len(self.graph.preds(i)) for i in range(n)
-        }
-        self._unscheduled: Set[int] = set(range(n))
         self._carry = TagCarryTracker(self.graph)
         #: pending speculative stores: node -> count of stores issued since.
         self._pending_spec_stores: Dict[int, int] = {}
@@ -146,13 +150,9 @@ class ListScheduler:
             dst = by_uid.get(dst_uid)
             if src is None or dst is None:
                 continue  # constraint refers to another block
-            if self.graph.find_arc(src, dst, ArcKind.SENT) is None:
+            if not self.graph.has_arc(src, dst, ArcKind.SENT):
                 self.graph.add_arc(src, dst, ArcKind.SENT, latency)
-                self._bump_pred_count_safe(dst)
-
-    def _bump_pred_count_safe(self, node: int) -> None:
-        if hasattr(self, "_preds_left") and node in self._preds_left:
-            self._preds_left[node] += 1
+                self._preds_left[dst] += 1
 
     # ------------------------------------------------------------------
     # Original-order neighbours (sentinel home-block pinning).
@@ -183,6 +183,94 @@ class ListScheduler:
     # ------------------------------------------------------------------
 
     def run(self) -> BlockScheduleResult:
+        """Event-driven list scheduling.
+
+        The per-cycle "scan and sort every unscheduled node" loop of the
+        seed scheduler (retained as :meth:`run_reference`) is replaced by a
+        priority heap keyed ``(-height, node)`` — the exact sort key of the
+        reference — fed from an ``earliest``-cycle bucket queue.  A node
+        enters its bucket when its last dependence issues, moves to the heap
+        when its ready cycle arrives, and cycles nothing is ready for are
+        skipped outright, making ``run`` O(E + n log n) per block instead of
+        O(cycles·n).  Issue order is bit-identical to the reference: the
+        differential suite (tests/sched/test_scheduler_differential.py)
+        pins uid-for-uid equality across policies and issue rates.
+
+        Stale heap entries are resolved lazily: a node that was re-pinned by
+        a sentinel (preds outstanding again) or pushed to a later ready
+        cycle is skipped on pop and re-enqueued by whichever event clears
+        it, mirroring the reference loop's per-cycle re-checks.
+        """
+        graph = self.graph
+        unscheduled = self._unscheduled
+        preds_left = self._preds_left
+        earliest = self._earliest
+        buckets = self._buckets
+        heap: List[Tuple[int, int]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
+        max_cycles = 64 * (len(graph) + 16) + sum(self.machine.latencies.values())
+
+        for node in range(graph.original_count):
+            if preds_left[node] == 0:
+                buckets.setdefault(earliest[node], []).append(node)
+
+        cycle = 0
+        while unscheduled:
+            for node in buckets.pop(cycle, ()):
+                heappush(heap, (-self._priority(node), node))
+            self._current_cycle = cycle
+            resources = CycleResources(self.machine)
+            deferred: List[Tuple[int, int]] = []
+            while heap:
+                entry = heappop(heap)
+                node = entry[1]
+                # Lazy deletion: the node may have issued already (duplicate
+                # entry) or a sentinel created this cycle may have pinned
+                # itself before a still-ready exit — re-check, as the
+                # reference loop does on every ready-list element.
+                if node not in unscheduled or preds_left[node] != 0:
+                    continue
+                if earliest[node] > cycle:
+                    # Ready cycle moved while the node sat in the heap (a
+                    # late-issuing new dependence): park it in its bucket.
+                    buckets.setdefault(earliest[node], []).append(node)
+                    continue
+                instr = graph.nodes[node]
+                if not resources.can_issue(instr) or not self._store_constraint_ok(
+                    instr
+                ):
+                    deferred.append(entry)
+                    continue
+                self._issue(node, cycle)
+                resources.commit(instr)
+                if resources.full:
+                    break
+            for entry in deferred:
+                heappush(heap, entry)
+            if not unscheduled:
+                break
+            if heap:
+                cycle += 1
+            elif buckets:
+                cycle = min(buckets)
+            else:
+                raise SchedulingError(
+                    f"no progress scheduling block {self.block.label!r} "
+                    f"(cyclic constraints?)"
+                )
+            if cycle > max_cycles:
+                raise SchedulingError(
+                    f"no progress scheduling block {self.block.label!r} "
+                    f"(cyclic constraints?)"
+                )
+        return self._finish()
+
+    def run_reference(self) -> BlockScheduleResult:
+        """The seed repository's cycle-driven scan loop, retained verbatim.
+
+        Rebuilds and sorts the full ready list every cycle — O(cycles·n) —
+        and serves as the differential-testing oracle for :meth:`run`.
+        """
         max_cycles = 64 * (len(self.graph) + 16) + sum(
             self.machine.latencies.values()
         )
@@ -250,13 +338,28 @@ class ListScheduler:
     def _issue(self, node: int, cycle: int) -> None:
         instr = self.graph.nodes[node]
         self._cycle_of[node] = cycle
+        self._current_cycle = cycle
         self._unscheduled.discard(node)
-        for arc in self.graph.succs(node):
-            if arc.dst in self._preds_left:
-                self._preds_left[arc.dst] -= 1
-                self._earliest[arc.dst] = max(
-                    self._earliest[arc.dst], cycle + arc.latency
-                )
+        earliest = self._earliest
+        preds_left = self._preds_left
+        unscheduled = self._unscheduled
+        buckets = self._buckets
+        for arc in self.graph.iter_succs(node):
+            dst = arc.dst
+            ready = cycle + arc.latency
+            if ready > earliest[dst]:
+                earliest[dst] = ready
+            left = preds_left[dst] - 1
+            preds_left[dst] = left
+            if left == 0 and dst in unscheduled:
+                # Last dependence issued: the node becomes ready — at its
+                # earliest cycle, but never this one (the reference loop
+                # snapshots the ready list at cycle start).
+                if earliest[dst] > cycle:
+                    ready = earliest[dst]
+                else:
+                    ready = cycle + 1
+                buckets.setdefault(ready, []).append(dst)
 
         moved_above = self._moved_above(node, cycle)
         spec = bool(moved_above)
@@ -299,9 +402,23 @@ class ListScheduler:
             self._pending_spec_stores.pop(self._confirm_for[node], None)
 
     def _register_sentinel(self, sentinel_node: int) -> None:
-        self._earliest[sentinel_node] = 0
-        self._preds_left[sentinel_node] = 0
+        # Sentinel nodes are appended in graph order, so the state lists
+        # grow in lockstep with graph.add_node.
+        assert sentinel_node == len(self._preds_left)
+        self._earliest.append(0)
+        self._preds_left.append(0)
         self._unscheduled.add(sentinel_node)
+
+    def _enqueue_if_ready(self, node: int) -> None:
+        """Feed a just-created (and possibly pinned) sentinel to the ready
+        queue; a pinned sentinel is enqueued later, by the pred-count
+        decrement in :meth:`_issue`."""
+        if self._preds_left[node] == 0 and node in self._unscheduled:
+            cycle = self._current_cycle
+            ready = self._earliest[node]
+            if ready <= cycle:
+                ready = cycle + 1
+            self._buckets.setdefault(ready, []).append(node)
 
     def _pin_sentinel(self, protected_node: int, sentinel_node: int) -> None:
         """The Appendix's control dependences keeping a sentinel in the
@@ -365,7 +482,7 @@ class ListScheduler:
             )
         else:
             producer = None
-            for arc in self.graph.preds(node):
+            for arc in self.graph.iter_preds(node):
                 if arc.kind is ArcKind.FLOW:
                     cand = self.graph.nodes[arc.src]
                     if cand.dest == checked_reg:
@@ -386,6 +503,7 @@ class ListScheduler:
                 self.graph.add_arc(sentinel_node, later, ArcKind.ANTI, 1)
                 self._preds_left[later] += 1
         self._pin_sentinel(node, sentinel_node)
+        self._enqueue_if_ready(sentinel_node)
         self._check_for[sentinel_node] = node
         self.stats.checks_inserted += 1
 
@@ -400,6 +518,7 @@ class ListScheduler:
             self._earliest[sentinel_node], self._cycle_of[node] + 1
         )
         self._pin_sentinel(node, sentinel_node)
+        self._enqueue_if_ready(sentinel_node)
         self._confirm_for[sentinel_node] = node
         self.stats.confirms_inserted += 1
 

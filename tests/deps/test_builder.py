@@ -52,6 +52,43 @@ class TestRegisterDeps:
         assert not arcs_between(g, 0, 1)
 
 
+class TestAntiDedupKindAware:
+    """The anti-arc dedup must be kind-aware: an existing FLOW (or OUTPUT)
+    arc between a pair does not subsume the write-after-read constraint.
+    The seed builder probed ``find_arc(user, idx)`` with no kind and
+    silently dropped the ANTI arc whenever any arc already linked the pair.
+    """
+
+    SRC = (
+        "b:\n  r1 = mov 5\n"      # 0
+        "  r2 = add r1, 1\n"      # 1: reads r1
+        "  r1 = add r2, 1\n"      # 2: reads r2 (flow 1->2), redefines r1 (anti 1->2)
+        "  halt"
+    )
+
+    def test_anti_emitted_alongside_flow(self):
+        _p, g = graph_of(self.SRC)
+        kinds = {a.kind for a in arcs_between(g, 1, 2)}
+        assert ArcKind.FLOW in kinds
+        assert ArcKind.ANTI in kinds
+
+    def test_anti_emitted_alongside_output(self):
+        # 1 reads and redefines r1: OUTPUT 0->1 plus... exercise the pair
+        # (0, 2) where 0 produced r1, 1 read it, 2 redefines it after an
+        # intervening read by 0's own consumer chain.
+        src = (
+            "b:\n  r1 = mov 5\n"   # 0
+            "  r3 = add r1, 1\n"   # 1: reads r1
+            "  r1 = mov 9\n"       # 2: redefines r1 -> OUTPUT 0->2, ANTI 1->2
+            "  halt"
+        )
+        _p, g = graph_of(src)
+        kinds_0_2 = {a.kind for a in arcs_between(g, 0, 2)}
+        assert ArcKind.OUTPUT in kinds_0_2
+        kinds_1_2 = {a.kind for a in arcs_between(g, 1, 2)}
+        assert ArcKind.ANTI in kinds_1_2
+
+
 class TestMemoryDeps:
     def test_store_load_same_address(self):
         _p, g = graph_of(

@@ -1,0 +1,96 @@
+"""Differential test: the indexed dependence-graph builder against the
+retained naive reference (:mod:`repro.deps.reference`).
+
+The optimized builder replaces every graph-probing ``find_arc`` dedup with
+local sets; the reference keeps the seed's flat-list linear scans.  On any
+input their arc *multisets* must match exactly — same endpoints, kinds and
+latencies, no duplicates, nothing dropped.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.builder import build_dependence_graph
+from repro.deps.reduction import RESTRICTED, SENTINEL
+from repro.deps.reference import build_reference_arcs
+from repro.interp.interpreter import run_program
+from repro.sched.compiler import prepare_compilation
+from repro.workloads.generator import random_program
+from repro.workloads.suites import build_workload
+
+
+def _superblock_form(workload, policy, unroll=4):
+    """The workload's superblock-form program and its liveness, as the
+    compilation pipeline produces them (profiled formation + unrolling +
+    renaming — the block shapes the builder actually sees)."""
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory(), max_steps=10_000_000)
+    assert training.halted
+    prepared = prepare_compilation(
+        basic, training.profile, policy, unroll_factor=unroll
+    )
+    return prepared.work, prepared.liveness
+
+
+def _assert_same_arcs(work, liveness, irreversible_barriers=False):
+    for block in work.blocks:
+        graph = build_dependence_graph(
+            block, liveness, irreversible_barriers=irreversible_barriers
+        )
+        indexed = Counter(
+            (arc.src, arc.dst, arc.kind, arc.latency) for arc in graph.arcs()
+        )
+        reference = Counter(
+            build_reference_arcs(
+                block, liveness, irreversible_barriers=irreversible_barriers
+            )
+        )
+        assert indexed == reference, f"arc multiset mismatch in block {block.label}"
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        workload = random_program(seed, n_loops=2, body_size=8, trip=6)
+        work, liveness = _superblock_form(workload, SENTINEL)
+        _assert_same_arcs(work, liveness)
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_matches_reference_fp_stores(self, seed):
+        workload = random_program(seed, n_loops=3, body_size=10, trip=5, fp=True)
+        work, liveness = _superblock_form(workload, SENTINEL)
+        _assert_same_arcs(work, liveness)
+
+    @pytest.mark.parametrize("seed", (1, 4))
+    def test_matches_reference_irreversible_barriers(self, seed):
+        """Recovery mode exercises the everything-to-barrier arc path."""
+        workload = random_program(seed, n_loops=2, body_size=8, trip=5)
+        work, liveness = _superblock_form(workload, SENTINEL)
+        _assert_same_arcs(work, liveness, irreversible_barriers=True)
+
+
+class TestSuiteBenchmarks:
+    @pytest.mark.parametrize("name", ("grep", "cmp", "matrix300"))
+    def test_matches_reference(self, name):
+        workload = build_workload(name, seed=0, scale=1.0)
+        work, liveness = _superblock_form(workload, SENTINEL)
+        _assert_same_arcs(work, liveness)
+
+    def test_matches_reference_without_sentinel_passes(self):
+        """The non-sentinel front half (no uninit-tag clears) too."""
+        workload = build_workload("wc", seed=0, scale=1.0)
+        work, liveness = _superblock_form(workload, RESTRICTED)
+        _assert_same_arcs(work, liveness)
+
+
+class TestNoDuplicateArcs:
+    @pytest.mark.parametrize("seed", (0, 2, 5))
+    def test_single_arc_per_src_dst_kind(self, seed):
+        workload = random_program(seed, n_loops=2, body_size=8, trip=5)
+        work, liveness = _superblock_form(workload, SENTINEL)
+        for block in work.blocks:
+            graph = build_dependence_graph(block, liveness)
+            keys = Counter((arc.src, arc.dst, arc.kind) for arc in graph.arcs())
+            assert all(count == 1 for count in keys.values())

@@ -5,9 +5,20 @@ amortizes the machine-independent compilation stages across issue rates;
 neither may change a single measured number.
 """
 
+import os
+
+import pytest
+
 from repro.arch.timing import estimate_cycles
 from repro.cfg.basic_block import to_basic_blocks
-from repro.eval.harness import STAGES, SweepConfig, run_sweep
+from repro.eval.harness import (
+    STAGES,
+    SweepConfig,
+    SweepResult,
+    _cost_hint,
+    _resolve_jobs,
+    run_sweep,
+)
 from repro.interp.interpreter import run_program
 from repro.machine.description import paper_machine
 from repro.sched.compiler import compile_program
@@ -26,10 +37,98 @@ class TestJobsDeterminism:
         parallel = run_sweep(SweepConfig(benchmarks=SMALL.benchmarks, jobs=4))
         assert _comparable(serial) == _comparable(parallel)
 
+    def test_jobs_auto_equals_jobs_1(self):
+        serial = run_sweep(SMALL)
+        auto = run_sweep(SweepConfig(benchmarks=SMALL.benchmarks, jobs=0))
+        assert _comparable(serial) == _comparable(auto)
+
     def test_merge_order_follows_config(self):
         sweep = run_sweep(SweepConfig(benchmarks=("grep", "matrix300"), jobs=4))
         assert list(sweep.base_cycles) == ["grep", "matrix300"]
         assert sweep.benchmarks() == ["grep", "matrix300"]
+
+    def test_merge_order_follows_config_despite_cost_ordering(self):
+        """Longest-first submission must not leak into the merged result:
+        cmp costs more than grep per the hints, but config order wins."""
+        assert _cost_hint("cmp") > _cost_hint("grep")
+        sweep = run_sweep(SweepConfig(benchmarks=("grep", "cmp"), jobs=2))
+        assert list(sweep.base_cycles) == ["grep", "cmp"]
+        assert sweep.benchmarks() == ["grep", "cmp"]
+
+
+class TestResolveJobs:
+    def test_explicit_jobs_passes_through(self):
+        assert _resolve_jobs(1, 17) == 1
+        assert _resolve_jobs(4, 17) == 4
+
+    def test_explicit_jobs_capped_at_benchmark_count(self):
+        assert _resolve_jobs(32, 3) == 3
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_jobs(-1, 17)
+
+    def test_auto_serial_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert _resolve_jobs(0, 17) == 1
+
+    def test_auto_serial_on_tiny_workload(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert _resolve_jobs(0, 2) == 1
+
+    def test_auto_uses_cpus_capped(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert _resolve_jobs(0, 17) == 4
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert _resolve_jobs(0, 17) == 8  # _MAX_AUTO_JOBS
+        assert _resolve_jobs(0, 5) == 5  # never more workers than benchmarks
+
+    def test_cost_hint_unknown_benchmark(self):
+        known = _cost_hint("doduc")
+        unknown = _cost_hint("no-such-benchmark")
+        assert known > 0 and unknown > 0
+
+
+class TestWorkerAttribution:
+    def test_serial_run_records_single_pid(self):
+        sweep = run_sweep(SMALL)
+        assert set(sweep.worker_pids) == set(SMALL.benchmarks)
+        assert len(set(sweep.worker_pids.values())) == 1
+        assert sweep.effective_jobs == 1
+
+    def test_stage_maxima_equal_totals_when_serial(self):
+        sweep = run_sweep(SMALL)
+        totals = sweep.stage_totals()
+        maxima = sweep.stage_maxima()
+        for stage in STAGES:
+            assert maxima[stage] == pytest.approx(totals[stage])
+
+    def test_stage_maxima_across_synthetic_workers(self):
+        sweep = SweepResult(config=SMALL)
+        sweep.timings = {
+            "a": {stage: 1.0 for stage in STAGES},
+            "b": {stage: 2.0 for stage in STAGES},
+            "c": {stage: 4.0 for stage in STAGES},
+        }
+        sweep.worker_pids = {"a": 100, "b": 100, "c": 200}
+        maxima = sweep.stage_maxima()
+        for stage in STAGES:
+            assert maxima[stage] == pytest.approx(4.0)  # max(1+2, 4)
+
+    def test_render_timings_max_worker_column(self):
+        sweep = SweepResult(config=SMALL)
+        sweep.timings = {
+            "a": {stage: 1.0 for stage in STAGES},
+            "b": {stage: 3.0 for stage in STAGES},
+        }
+        sweep.worker_pids = {"a": 100, "b": 200}
+        rendered = sweep.render_timings()
+        assert "max-worker" in rendered
+        assert "3.000" in rendered
+
+    def test_render_timings_no_max_column_when_serial(self):
+        sweep = run_sweep(SMALL)
+        assert "max-worker" not in sweep.render_timings()
 
 
 class TestSweepMatchesScratchPipeline:

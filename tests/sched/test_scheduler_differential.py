@@ -1,0 +1,91 @@
+"""Differential test: the heap-driven list scheduler against the retained
+per-cycle scan reference (``ListScheduler.run_reference``).
+
+The event-driven ``run`` must reproduce the reference schedule *exactly* —
+same instruction in the same cycle and slot, same uids for inserted
+sentinels, same speculative flags — across every policy and issue rate.
+The test compiles each program twice, once per scheduler, by monkeypatching
+``ListScheduler.run`` with the reference loop for the second compilation.
+"""
+
+import pytest
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+from repro.sched.list_scheduler import ListScheduler
+from repro.workloads.generator import random_program
+from repro.workloads.suites import build_workload
+
+POLICIES = (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE)
+RATES = (1, 2, 4, 8)
+
+
+def _fingerprint(comp):
+    """Everything observable about one compilation's schedule."""
+    blocks = []
+    for scheduled in comp.scheduled.blocks:
+        words = [
+            [
+                (instr.uid, instr.op.name, instr.spec, instr.sentinel_for)
+                for instr in word
+            ]
+            for word in scheduled.words
+        ]
+        blocks.append((scheduled.label, words))
+    stats = comp.stats
+    return (
+        blocks,
+        stats.speculative,
+        stats.checks_inserted,
+        stats.confirms_inserted,
+        stats.schedule_words,
+    )
+
+
+def _compile_grid(workload):
+    """Compile under every policy × issue rate with the *current*
+    ``ListScheduler.run`` and return the fingerprints."""
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory(), max_steps=10_000_000)
+    assert training.halted
+    fingerprints = {}
+    for policy in POLICIES:
+        prepared = prepare_compilation(
+            basic, training.profile, policy, unroll_factor=4
+        )
+        for rate in RATES:
+            machine = paper_machine(rate, store_buffer_size=8)
+            comp = schedule_prepared(prepared, machine)
+            fingerprints[(policy.name, rate)] = _fingerprint(comp)
+    return fingerprints
+
+
+def _assert_heap_matches_reference(workload, monkeypatch):
+    heap = _compile_grid(workload)
+    with monkeypatch.context() as patch:
+        patch.setattr(ListScheduler, "run", ListScheduler.run_reference)
+        reference = _compile_grid(workload)
+    assert heap.keys() == reference.keys()
+    for key in heap:
+        assert heap[key] == reference[key], f"schedule mismatch for {key}"
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_uid_identical_schedules(self, seed, monkeypatch):
+        workload = random_program(seed, n_loops=2, body_size=8, trip=6)
+        _assert_heap_matches_reference(workload, monkeypatch)
+
+    def test_uid_identical_schedules_fp(self, monkeypatch):
+        workload = random_program(11, n_loops=2, body_size=10, trip=5, fp=True)
+        _assert_heap_matches_reference(workload, monkeypatch)
+
+
+class TestSuiteBenchmarks:
+    @pytest.mark.parametrize("name", ("grep", "cmp"))
+    def test_uid_identical_schedules(self, name, monkeypatch):
+        workload = build_workload(name, seed=0, scale=1.0)
+        _assert_heap_matches_reference(workload, monkeypatch)
