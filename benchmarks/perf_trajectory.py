@@ -11,8 +11,11 @@ It measures the two optimization layers behind the sweep:
    agree on registers, memory, exceptions and profile counts, then
    reporting the aggregate speedup and steps/sec.
 2. **Sweep timings** — the full 17-benchmark sweep at ``jobs=1`` and
-   ``jobs=4``, with per-stage breakdowns, asserting both produce the
-   same CSV.
+   ``jobs=4``, with per-stage and per-compilation-pass breakdowns,
+   asserting both produce the same CSV.
+3. **IR-verification overhead** — the same sweep with ``--verify-ir``
+   semantics (the verifier interleaved after every compilation pass),
+   asserting byte-identical output and reporting the wall overhead.
 
 Results land in ``BENCH_sweep.json`` at the repository root so the
 numbers quoted in EXPERIMENTS.md can be regenerated.
@@ -90,8 +93,8 @@ def interpreter_microbenchmark():
     }
 
 
-def sweep_benchmark(jobs):
-    sweep = run_sweep(SweepConfig(jobs=jobs))
+def sweep_benchmark(jobs, verify_ir=False):
+    sweep = run_sweep(SweepConfig(jobs=jobs, verify_ir=verify_ir))
     totals = sweep.stage_totals()
     maxima = sweep.stage_maxima()
     steps = sweep.total_steps()
@@ -104,6 +107,10 @@ def sweep_benchmark(jobs):
         "stage_seconds": {stage: round(totals[stage], 3) for stage in STAGES},
         "stage_max_worker_seconds": {
             stage: round(maxima[stage], 3) for stage in STAGES
+        },
+        "pass_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in sweep.pass_totals().items()
         },
         "interpreted_steps": steps,
         "steps_per_sec": round(steps / interp_seconds) if interp_seconds else None,
@@ -139,10 +146,36 @@ def main():
     assert csv1 == csv0, "jobs=1 and jobs=0 sweeps disagree"
     print("  jobs=1, jobs=4 and jobs=0 CSVs identical")
 
+    print("full sweep, jobs=1, --verify-ir...")
+    # Wall-clock noise on a timeshared single core swamps a single A/B
+    # pair, so run two interleaved pairs and compare best-of.
+    plain_walls = [sweep1["wall_seconds"]]
+    verified_walls = []
+    sweep_verified = None
+    for _ in range(2):
+        csv_plain, sweep_plain = sweep_benchmark(jobs=1)
+        csv_verified, sweep_verified = sweep_benchmark(jobs=1, verify_ir=True)
+        assert csv_verified == csv1, "verify-ir sweep changed the output"
+        assert csv_plain == csv1
+        plain_walls.append(sweep_plain["wall_seconds"])
+        verified_walls.append(sweep_verified["wall_seconds"])
+    overhead = min(verified_walls) / min(plain_walls) - 1.0
+    verify = {
+        "wall_seconds": min(verified_walls),
+        "overhead_vs_plain": round(overhead, 3),
+        "verify_pass_seconds": sweep_verified["pass_seconds"].get("verify", 0.0),
+    }
+    print(
+        f"  wall {verify['wall_seconds']}s "
+        f"(+{100 * verify['overhead_vs_plain']:.1f}% vs plain), "
+        "output byte-identical"
+    )
+
     payload = {
         "cpus": os.cpu_count(),
         "interpreter": interp,
         "sweep": [sweep1, sweep4, sweep0],
+        "verify_ir": verify,
     }
     out = REPO_ROOT / "BENCH_sweep.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -18,9 +18,15 @@ Subpackages
 ``repro.machine``
     Machine descriptions (issue rate, Table 3 latencies, store buffer).
 ``repro.sched``
-    List scheduler, renaming, the whole-program compiler pipeline, and
+    List scheduler, renaming, the ``compile_program`` /
+    ``prepare_compilation`` / ``schedule_prepared`` entry points, and
     the four scheduling models (restricted/general percolation, sentinel,
     sentinel + speculative stores).
+``repro.pipeline``
+    The pass-manager compilation pipeline those entry points run:
+    declarative passes over a shared context, per-pass timings, and the
+    IR verifier interleaved at pass boundaries (``verify_ir`` /
+    ``REPRO_VERIFY_IR=1``).
 ``repro.core``
     The paper's contribution: Table 1 tag semantics, sentinel insertion,
     static sentinel analysis, uninitialized-tag clearing, recovery.

@@ -49,7 +49,37 @@ def main() -> None:
         metavar="PATH",
         help="write per-benchmark stage timings as JSON to PATH",
     )
+    parser.add_argument(
+        "--passes",
+        action="store_true",
+        help="print the resolved compilation pipeline (pass table) and exit",
+    )
+    parser.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="run the IR verifier after every compilation pass",
+    )
+    parser.add_argument(
+        "--trace-passes",
+        type=str,
+        default=None,
+        metavar="PATH",
+        const="-",
+        nargs="?",
+        help="dump per-pass, per-block compilation timings (JSON to PATH, "
+        "or a table to stdout when PATH is omitted)",
+    )
     args = parser.parse_args()
+
+    if args.passes:
+        from .pipeline import PassManager, backend_pipeline, default_pipeline
+
+        print("front end (prepare_compilation):")
+        print(PassManager(default_pipeline()).describe())
+        print()
+        print("back end (schedule_prepared, once per machine):")
+        print(PassManager(backend_pipeline()).describe())
+        return
 
     benchmarks = tuple(ALL_NAMES)
     if args.benchmarks is not None:
@@ -69,11 +99,33 @@ def main() -> None:
             scale=args.scale,
             unroll_factor=args.unroll,
             jobs=args.jobs,
+            verify_ir=args.verify_ir,
+            trace_passes=args.trace_passes is not None,
         )
     )
     if args.timings:
         print(sweep.render_timings())
         print()
+    if args.trace_passes is not None:
+        payload = {
+            "pass_totals": sweep.pass_totals(),
+            "per_benchmark_passes": sweep.pass_timings,
+            "trace": sweep.pass_trace,
+        }
+        if args.trace_passes == "-":
+            for bench, events in sweep.pass_trace.items():
+                print(f"{bench}:")
+                for event in events:
+                    unit = event["block"] or "(program)"
+                    print(
+                        f"  {event['pass']:<14} {unit:<24} "
+                        f"{event['wall_seconds'] * 1e3:8.3f} ms"
+                    )
+            print()
+        else:
+            with open(args.trace_passes, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
     if args.timings_out is not None:
         with open(args.timings_out, "w") as handle:
             json.dump(

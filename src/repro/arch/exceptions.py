@@ -18,6 +18,18 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+#: Exception-handling policy names, shared by the reference interpreter
+#: (:mod:`repro.interp.interpreter`) and the cycle-level processor
+#: (:mod:`repro.arch.processor`).  ``ABORT`` stops at the first signal,
+#: ``RECORD`` logs and continues, ``REPAIR``/``RECOVER`` fix repairable
+#: faults and resume — the interpreter repairs in place while the
+#: processor re-executes the restartable sequence (Section 3.7).
+ABORT = "abort"
+RECORD = "record"
+REPAIR = "repair"
+RECOVER = "recover"
+
+
 class TrapKind(enum.Enum):
     """Why an instruction trapped."""
 

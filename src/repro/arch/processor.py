@@ -46,18 +46,22 @@ from ..isa.registers import Register
 from ..isa.semantics import GARBAGE_FP, branch_taken, evaluate, garbage_for
 from ..machine.description import MachineDescription
 from ..sched.schedule import ScheduledProgram
-from .exceptions import SignalledException, SimulationError, Trap, TrapKind
+from .exceptions import (
+    ABORT,
+    RECORD,
+    RECOVER,
+    SignalledException,
+    SimulationError,
+    Trap,
+    TrapKind,
+)
 from .memory import Memory
 from .pc_history import PCHistoryQueue
 from .regfile import TaggedRegisterFile
-from .shadow import ShadowBank, ShadowEntry
+from .shadow import ShadowBank
 from .store_buffer import StoreBuffer
 
 Value = Union[int, float]
-
-ABORT = "abort"
-RECORD = "record"
-RECOVER = "recover"
 
 #: Hardware modes: tag-tracking sentinel hardware vs. silent opcodes vs.
 #: Colwell-style NaN signalling (Section 2.4).

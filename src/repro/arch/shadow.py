@@ -25,7 +25,7 @@ boosting at its best.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple, Union
 
 from ..isa.registers import Register

@@ -167,7 +167,7 @@ def check_restartable(result: BlockScheduleResult) -> List[RestartViolation]:
     inserted_uids = set(result.check_of.values()) | set(result.confirm_of.values())
     violations: List[RestartViolation] = []
 
-    for spec_pos, spec in enumerate(linear):
+    for spec in linear:
         if not spec.spec or not spec.info.can_trap:
             continue
         window = analysis.window(spec.uid)

@@ -27,7 +27,7 @@ from ..isa.instruction import Instruction
 from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
 from ..isa.program import Block
 from ..isa.registers import Register
-from .types import Arc, ArcKind, DepGraph
+from .types import ArcKind, DepGraph
 
 #: Latencies for ordering arcs.
 ANTI_LATENCY = 0  # same-cycle OK: reads happen before writes within a word

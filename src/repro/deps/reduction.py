@@ -31,7 +31,7 @@ from typing import Optional
 from ..cfg.liveness import Liveness
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Opcode
-from .types import ArcKind, DepGraph
+from .types import DepGraph
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ same series as text tables plus ASCII bar groups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from ..workloads.suites import NON_NUMERIC_NAMES, NUMERIC_NAMES
 from .harness import SweepResult

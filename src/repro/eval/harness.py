@@ -20,7 +20,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..arch.timing import estimate_cycles
 from ..cfg.basic_block import to_basic_blocks
@@ -139,6 +139,10 @@ class SweepConfig:
     #: ``benchmarks`` order, so any jobs value yields identical sweeps
     #: (only wall time and the recorded stage timings differ).
     jobs: int = 1
+    #: Run the IR verifier after every compilation pass (``--verify-ir``).
+    verify_ir: bool = False
+    #: Record per-pass, per-block trace events (``--trace-passes``).
+    trace_passes: bool = False
 
 
 @dataclass
@@ -164,6 +168,13 @@ class SweepResult:
     cells: Dict[Tuple[str, str, int], CellResult] = field(default_factory=dict)
     #: benchmark -> stage -> wall seconds (see STAGES).
     timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> compilation pass -> wall seconds.  A finer-grained
+    #: decomposition of the ``compile`` stage (plus the verifier, when
+    #: enabled), keyed by the pipeline's pass names in execution order.
+    pass_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> trace events (pass, block, wall, cpu); populated only
+    #: when the sweep ran with ``trace_passes``.
+    pass_trace: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
     #: benchmark -> interpreted steps (training + one profile per policy).
     interp_steps: Dict[str, int] = field(default_factory=dict)
     #: end-to-end wall seconds of run_sweep, including pool overhead.
@@ -189,6 +200,14 @@ class SweepResult:
 
     def total_steps(self) -> int:
         return sum(self.interp_steps.values())
+
+    def pass_totals(self) -> Dict[str, float]:
+        """Summed per-pass wall seconds across benchmarks, execution order."""
+        totals: Dict[str, float] = {}
+        for per_pass in self.pass_timings.values():
+            for name, seconds in per_pass.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     def stage_maxima(self) -> Dict[str, float]:
         """Per-stage wall seconds of the busiest worker.
@@ -237,6 +256,14 @@ class SweepResult:
         interp_seconds = totals["train"] + totals["profile"]
         if steps and interp_seconds > 0:
             lines.append(f"interpreted {steps} steps, {steps / interp_seconds:,.0f} steps/sec")
+        pass_totals = self.pass_totals()
+        if pass_totals:
+            width = max(14, max(len(name) for name in pass_totals))
+            lines.append("")
+            lines.append(f"{'pass':<{width}} seconds")
+            for name, seconds in pass_totals.items():
+                lines.append(f"{name:<{width}} {seconds:7.3f}")
+            lines.append(f"{'(compile total)':<{width}} {sum(pass_totals.values()):7.3f}")
         return "\n".join(lines)
 
     def cell(self, benchmark: str, policy: str, issue_rate: int) -> CellResult:
@@ -305,6 +332,8 @@ class _BenchmarkShard:
     timings: Dict[str, float]
     steps: int
     pid: int = 0
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    pass_trace: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
@@ -350,6 +379,8 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 policy,
                 unroll_factor=config.unroll_factor,
                 recovery=config.recovery,
+                verify_ir=config.verify_ir,
+                trace_passes=config.trace_passes,
             )
             timings["compile"] += clock() - start
         return prepared[policy.sentinels]
@@ -408,6 +439,20 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                     schedule_words=comp.stats.schedule_words,
                 )
             )
+    pass_timings: Dict[str, float] = {}
+    pass_trace: List[Dict[str, object]] = []
+    for group in prepared.values():
+        for pass_name, seconds in group.pass_seconds().items():
+            pass_timings[pass_name] = pass_timings.get(pass_name, 0.0) + seconds
+        for event in group.context.trace:
+            pass_trace.append(
+                {
+                    "pass": event.pass_name,
+                    "block": event.block,
+                    "wall_seconds": event.wall_seconds,
+                    "cpu_seconds": event.cpu_seconds,
+                }
+            )
     return _BenchmarkShard(
         name=name,
         base_cycles=base_cycles,
@@ -415,6 +460,8 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
         timings=timings,
         steps=steps,
         pid=os.getpid(),
+        pass_timings=pass_timings,
+        pass_trace=pass_trace,
     )
 
 
@@ -452,6 +499,9 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
         for cell in shard.cells:
             sweep.cells[(cell.benchmark, cell.policy, cell.issue_rate)] = cell
         sweep.timings[shard.name] = shard.timings
+        sweep.pass_timings[shard.name] = shard.pass_timings
+        if shard.pass_trace:
+            sweep.pass_trace[shard.name] = shard.pass_trace
         sweep.interp_steps[shard.name] = shard.steps
         sweep.worker_pids[shard.name] = shard.pid
     sweep.wall_seconds = time.perf_counter() - wall_start

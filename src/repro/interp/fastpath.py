@@ -33,7 +33,7 @@ from __future__ import annotations
 import operator
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from ..arch.exceptions import SignalledException, SimulationError, Trap
+from ..arch.exceptions import SignalledException, SimulationError
 from ..arch.memory import Memory
 from ..cfg.profile import ProfileData
 from ..isa.instruction import Instruction

@@ -24,7 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from ..arch.exceptions import SignalledException, SimulationError, Trap
+from ..arch.exceptions import (
+    ABORT,
+    RECORD,
+    REPAIR,
+    SignalledException,
+    SimulationError,
+    Trap,
+)
 from ..arch.memory import Memory
 from ..cfg.profile import ProfileData
 from ..isa.instruction import Instruction, Operand
@@ -34,11 +41,6 @@ from ..isa.registers import Register
 from ..isa.semantics import branch_taken, evaluate, garbage_for
 
 Value = Union[int, float]
-
-ABORT = "abort"
-REPAIR = "repair"
-RECORD = "record"
-
 
 @dataclass
 class RunResult:

@@ -1,0 +1,59 @@
+"""Pass-manager compilation pipeline with IR verification.
+
+The front end of the compiler (Section 5.1's profile -> superblock ->
+renaming -> dependence-graph flow) expressed as declarative passes over a
+shared :class:`PipelineContext`, executed by a :class:`PassManager`,
+optionally checked by an :class:`IRVerifier` at every pass boundary, and
+timed per pass for the evaluation harness's observability surface.
+"""
+
+from .context import (
+    CompilerStats,
+    PassTiming,
+    PipelineContext,
+    PipelineOptions,
+    TraceEvent,
+)
+from .manager import PassManager, PipelineError
+from .passes import (
+    DepGraphBuildPass,
+    DepGraphReducePass,
+    ListSchedulingPass,
+    LivenessPass,
+    LoopUnrollPass,
+    Pass,
+    RecoveryRenamingPass,
+    RegisterRenamingPass,
+    SuperblockFormationPass,
+    UninitTagClearPass,
+    backend_pipeline,
+    default_pipeline,
+    pristine_graph,
+)
+from .verify import IRVerificationError, IRVerifier, verify_context
+
+__all__ = [
+    "CompilerStats",
+    "PassTiming",
+    "PipelineContext",
+    "PipelineOptions",
+    "TraceEvent",
+    "PassManager",
+    "PipelineError",
+    "Pass",
+    "SuperblockFormationPass",
+    "LoopUnrollPass",
+    "RegisterRenamingPass",
+    "RecoveryRenamingPass",
+    "UninitTagClearPass",
+    "LivenessPass",
+    "DepGraphBuildPass",
+    "DepGraphReducePass",
+    "ListSchedulingPass",
+    "default_pipeline",
+    "backend_pipeline",
+    "pristine_graph",
+    "IRVerifier",
+    "IRVerificationError",
+    "verify_context",
+]

@@ -1,0 +1,187 @@
+"""Shared state threaded through the compilation pipeline.
+
+A :class:`PipelineContext` carries everything the front-end passes
+(Section 5.1's profile -> superblock -> renaming -> dependence-graph flow)
+produce and consume: the input program and profile, the transformed
+superblock program, per-block artifacts (liveness, pristine dependence
+graphs), accumulated :class:`CompilerStats`, and per-pass timings.
+
+The context deliberately knows nothing about individual passes — passes
+declare what they ``require``/``produce``/``invalidate`` and the
+:class:`~repro.pipeline.manager.PassManager` enforces those declarations
+against :attr:`PipelineContext.available`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..cfg.profile import ProfileData
+from ..deps.reduction import SpeculationPolicy
+from ..isa.program import Program
+
+if TYPE_CHECKING:  # imported for annotations only — avoids import cycles
+    from ..cfg.liveness import Liveness
+    from ..cfg.superblock import FormationResult
+    from ..deps.types import DepGraph
+    from ..isa.opcodes import LatClass
+    from ..machine.description import MachineDescription
+    from ..sched.compiler import CompilationResult
+
+
+@dataclass
+class CompilerStats:
+    """Aggregated scheduling statistics for one compilation."""
+
+    blocks: int = 0
+    instructions: int = 0
+    speculative: int = 0
+    checks_inserted: int = 0
+    confirms_inserted: int = 0
+    schedule_words: int = 0
+    recovery_renamed: int = 0
+    uninit_clears: int = 0
+    registers_renamed: int = 0
+    defs_split: int = 0
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Configuration of one compilation pipeline run.
+
+    Mirrors the keyword surface of :func:`repro.sched.compiler.compile_program`;
+    the observability knobs (``verify_ir``, ``trace``) and the optional
+    eager-graph latency table are pipeline-only additions.
+    """
+
+    policy: SpeculationPolicy
+    recovery: bool = False
+    clear_uninit_tags: bool = True
+    form_superblocks: bool = True
+    superblock_min_ratio: float = 0.6
+    superblock_max_instructions: int = 256
+    unroll_factor: int = 1
+    rename: bool = True
+    #: Run the IR verifier after every pass (and on lazily built graphs).
+    verify_ir: bool = False
+    #: Record per-pass, per-block trace events (``--trace-passes``).
+    trace: bool = False
+    #: When set, the dependence-graph passes build eagerly under this
+    #: latency table at prepare time; otherwise graphs are built lazily at
+    #: first schedule (identical results — the sweep's machines all share
+    #: Table 3 latencies).
+    latencies: Optional[Dict["LatClass", int]] = None
+
+
+@dataclass
+class PassTiming:
+    """Accumulated cost of one (possibly repeated or lazy) pass."""
+
+    name: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    runs: int = 0
+
+
+@dataclass
+class TraceEvent:
+    """One ``--trace-passes`` record: a pass applied to one unit of work."""
+
+    pass_name: str
+    #: Block label for per-block work, ``None`` for whole-program passes.
+    block: Optional[str]
+    wall_seconds: float
+    cpu_seconds: float
+
+
+class PipelineContext:
+    """Mutable state shared by every pass of one compilation."""
+
+    def __init__(
+        self,
+        program: Program,
+        profile: ProfileData,
+        options: PipelineOptions,
+    ) -> None:
+        self.program = program
+        self.profile = profile
+        self.options = options
+        self.policy = options.policy
+        # ---- artifacts produced by front-end passes -------------------
+        self.formation: Optional["FormationResult"] = None
+        #: The transformed superblock program (owns every uid).
+        self.work: Optional[Program] = None
+        self.liveness: Optional["Liveness"] = None
+        #: block label -> unreduced dependence graph.
+        self.raw_graphs: Dict[str, "DepGraph"] = {}
+        #: (block label, policy name) -> reduced pristine graph.
+        self.reduced_graphs: Dict[Tuple[str, str], "DepGraph"] = {}
+        #: Latency table the cached graphs embed (first machine seen).
+        self.graph_latencies: Optional[Dict["LatClass", int]] = None
+        self.stats = CompilerStats()
+        self.uid_watermark: Optional[int] = None
+        # ---- back-end scratch (set per schedule_prepared call) --------
+        self.machine: Optional["MachineDescription"] = None
+        self.schedule_policy: Optional[SpeculationPolicy] = None
+        self.compilation: Optional["CompilationResult"] = None
+        # ---- observability -------------------------------------------
+        #: Artifact names currently valid (requires/invalidates checking).
+        self.available: Set[str] = {"program", "profile"}
+        #: pass name -> accumulated timing, in first-run order.
+        self.timings: Dict[str, PassTiming] = {}
+        self.trace: List[TraceEvent] = []
+        #: Name of the pass the manager is currently executing, if any.
+        #: Lazy helpers use it to avoid double-charging eager pass runs.
+        self.current_pass: Optional[str] = None
+        #: ids of cached graphs the verifier has already checked.  Pristine
+        #: graphs are immutable once built (schedulers receive copies), so
+        #: each is verified once instead of at every pass boundary.
+        self.verified_graph_ids: Set[int] = set()
+        #: Pass boundaries verified so far (lets repeat backend runs skip
+        #: the redundant entry re-verification).
+        self.verify_boundaries: int = 0
+
+    # ------------------------------------------------------------------
+    # Timing accumulation.
+    # ------------------------------------------------------------------
+
+    def record_pass(self, name: str, wall: float, cpu: float) -> None:
+        """Charge one whole-pass execution (called by the manager)."""
+        timing = self.timings.get(name)
+        if timing is None:
+            timing = self.timings[name] = PassTiming(name)
+        timing.wall_seconds += wall
+        timing.cpu_seconds += cpu
+        timing.runs += 1
+
+    def record_block(
+        self, name: str, block: Optional[str], wall: float, cpu: float
+    ) -> None:
+        """Charge one block's worth of work performed under pass ``name``.
+
+        When the manager is currently executing that very pass the seconds
+        are already covered by its whole-pass measurement, so only the
+        trace event is emitted; lazy work (graphs built at schedule time)
+        is charged to the pass's timing entry as well.
+        """
+        if self.options.trace:
+            self.trace.append(TraceEvent(name, block, wall, cpu))
+        if self.current_pass != name:
+            timing = self.timings.get(name)
+            if timing is None:
+                timing = self.timings[name] = PassTiming(name)
+            timing.wall_seconds += wall
+            timing.cpu_seconds += cpu
+
+    def pass_seconds(self) -> Dict[str, float]:
+        """pass name -> accumulated wall seconds (insertion-ordered)."""
+        return {name: t.wall_seconds for name, t in self.timings.items()}
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def clocks() -> Tuple[float, float]:
+        """(wall, cpu) timestamps from one consistent clock pair."""
+        return time.perf_counter(), time.process_time()

@@ -1,0 +1,129 @@
+"""The pass manager: declarative execution of a compilation pipeline.
+
+Runs a registered pass list over one :class:`~repro.pipeline.context.PipelineContext`,
+enforcing each pass's ``requires`` declaration against the artifacts
+produced so far, timing every pass (wall and CPU), and — when the context
+was built with ``verify_ir`` — interleaving the
+:class:`~repro.pipeline.verify.IRVerifier` after every stage so a broken
+invariant is attributed to the pass that introduced it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .context import PipelineContext
+from .passes import Pass
+from .verify import IRVerificationError, IRVerifier
+
+
+class PipelineError(Exception):
+    """A pass's declared requirements were not met."""
+
+
+class PassManager:
+    """Executes an ordered pass list over a pipeline context."""
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        verifier: Optional[IRVerifier] = None,
+    ) -> None:
+        self.passes: List[Pass] = list(passes)
+        self.verifier = verifier or IRVerifier()
+
+    # ------------------------------------------------------------------
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Run every pass in order; returns ``ctx`` for chaining."""
+        verify = ctx.options.verify_ir
+        if verify and ctx.verify_boundaries == 0:
+            # Verify the pipeline input once; repeat (backend) runs over an
+            # already-verified context skip straight to per-pass checks.
+            self._verify(ctx, after=None)
+        for pipeline_pass in self.passes:
+            ran = self._run_one(pipeline_pass, ctx)
+            if verify and ran:
+                # A skipped pass changed nothing, so only executed passes
+                # get a verification boundary.
+                self._verify(
+                    ctx,
+                    after=pipeline_pass.name,
+                    scope=pipeline_pass.verify_scope,
+                )
+        return ctx
+
+    def _run_one(self, pipeline_pass: Pass, ctx: PipelineContext) -> bool:
+        if not pipeline_pass.enabled(ctx):
+            # A skipped pass neither consumes nor produces artifacts, but
+            # the boundary is still recorded so the pass table is stable.
+            ctx.record_pass(pipeline_pass.name, 0.0, 0.0)
+            return False
+        missing = [
+            artifact
+            for artifact in pipeline_pass.requires
+            if artifact not in ctx.available
+        ]
+        if missing:
+            raise PipelineError(
+                f"pass {pipeline_pass.name!r} requires {missing} but only "
+                f"{sorted(ctx.available)} are available — check pass order"
+            )
+        wall0, cpu0 = ctx.clocks()
+        ctx.current_pass = pipeline_pass.name
+        try:
+            pipeline_pass.run(ctx)
+            ctx.available.update(pipeline_pass.produces)
+            ctx.available.difference_update(pipeline_pass.invalidates)
+        finally:
+            ctx.current_pass = None
+        wall1, cpu1 = ctx.clocks()
+        ctx.record_pass(pipeline_pass.name, wall1 - wall0, cpu1 - cpu0)
+        return True
+
+    def _verify(
+        self, ctx: PipelineContext, after: Optional[str], scope: str = "full"
+    ) -> None:
+        wall0, cpu0 = ctx.clocks()
+        try:
+            self.verifier.verify(ctx, after=after, scope=scope)
+        except IRVerificationError:
+            raise
+        finally:
+            wall1, cpu1 = ctx.clocks()
+            ctx.record_block(self.verifier.name, after, wall1 - wall0, cpu1 - cpu0)
+
+    # ------------------------------------------------------------------
+
+    def describe(self, ctx: Optional[PipelineContext] = None) -> str:
+        """Human-readable pass table (the ``--passes`` CLI view)."""
+        rows = []
+        for pipeline_pass in self.passes:
+            enabled = "-" if ctx is None else ("yes" if pipeline_pass.enabled(ctx) else "no")
+            rows.append(
+                (
+                    pipeline_pass.name,
+                    ", ".join(pipeline_pass.requires) or "-",
+                    ", ".join(pipeline_pass.produces) or "-",
+                    ", ".join(pipeline_pass.invalidates) or "-",
+                    enabled,
+                    pipeline_pass.summary(),
+                )
+            )
+        headers = ("pass", "requires", "produces", "invalidates", "enabled", "what")
+        widths = [
+            max(len(headers[col]), *(len(row[col]) for row in rows))
+            for col in range(5)
+        ]
+        lines = [
+            "  ".join(headers[col].ljust(widths[col]) for col in range(5))
+            + "  "
+            + headers[5]
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(row[col].ljust(widths[col]) for col in range(5))
+                + "  "
+                + row[5]
+            )
+        return "\n".join(lines)

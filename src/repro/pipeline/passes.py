@@ -1,0 +1,416 @@
+"""The compilation stages, re-expressed as declarative passes.
+
+Each pass wraps one stage of the paper's Section 5.1 flow — superblock
+formation, loop unrolling, register renaming, recovery renaming,
+uninitialized-tag clearing, liveness, dependence-graph build/reduce, and
+list scheduling — and declares the artifacts it ``requires``,
+``produces`` and ``invalidates`` so the
+:class:`~repro.pipeline.manager.PassManager` can order-check and time the
+pipeline.  The wrapped implementations are the same functions the
+monolithic compiler called, so the default pipeline is byte-identical to
+the pre-pipeline ``compile_program``.
+
+The dependence-graph passes are *latency-gated*: graphs embed machine
+latencies, so by default they defer to schedule time (see
+:func:`pristine_graph`) and only build eagerly when the pipeline was
+configured with a pinned latency table.  Both paths share the same
+helpers, so timings and verification cover lazy builds too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..cfg.liveness import Liveness
+from ..cfg.profile import ProfileData
+from ..cfg.superblock import form_superblocks
+from ..cfg.unroll import unroll_superblock_loops
+from ..core.uninit import insert_uninit_tag_clears
+from ..deps.builder import build_dependence_graph
+from ..deps.reduction import SpeculationPolicy, reduce_dependence_graph
+from .context import PipelineContext
+from .verify import IRVerifier
+
+if TYPE_CHECKING:
+    from ..deps.types import DepGraph
+    from ..isa.program import Block
+    from ..machine.description import MachineDescription
+
+
+class Pass:
+    """One compilation stage.
+
+    Subclasses set ``name`` and the artifact declarations, and implement
+    :meth:`run`.  :meth:`enabled` lets a pass opt out for configurations
+    that do not need it (the manager still records the boundary, so
+    ``--passes`` and the timing table keep a stable shape).
+    """
+
+    name: str = "?"
+    requires: Tuple[str, ...] = ()
+    produces: Tuple[str, ...] = ()
+    invalidates: Tuple[str, ...] = ()
+    #: What the verifier re-checks after this pass: ``"full"`` covers the
+    #: whole context; ``"backend"`` covers only backend artifacts (the
+    #: scheduled output and newly built graphs) for passes that do not
+    #: restructure the program.
+    verify_scope: str = "full"
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return True
+
+    def run(self, ctx: PipelineContext) -> None:
+        raise NotImplementedError
+
+    def summary(self) -> str:
+        """First docstring line, for the ``--passes`` table."""
+        doc = (self.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+# ----------------------------------------------------------------------
+# Front-end passes (machine-independent).
+# ----------------------------------------------------------------------
+
+
+class SuperblockFormationPass(Pass):
+    """Profile-driven trace selection, linearization, tail duplication."""
+
+    name = "superblock"
+    requires = ("program", "profile")
+    produces = ("work", "formation")
+
+    def run(self, ctx: PipelineContext) -> None:
+        options = ctx.options
+        if options.form_superblocks:
+            formation = form_superblocks(
+                ctx.program,
+                ctx.profile,
+                min_ratio=options.superblock_min_ratio,
+                max_instructions=options.superblock_max_instructions,
+            )
+        else:
+            # ratio > 1: no merging, but the same normalization runs.
+            formation = form_superblocks(ctx.program, ProfileData(), min_ratio=2.0)
+        ctx.formation = formation
+        ctx.work = formation.program
+
+
+class LoopUnrollPass(Pass):
+    """Unroll self-loop superblocks by the configured factor."""
+
+    name = "unroll"
+    requires = ("work",)
+    invalidates = ("liveness", "raw_graphs", "reduced_graphs")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return ctx.options.unroll_factor > 1
+
+    def run(self, ctx: PipelineContext) -> None:
+        unroll_superblock_loops(ctx.work, ctx.options.unroll_factor)
+
+
+class RegisterRenamingPass(Pass):
+    """Live-out def splitting (restriction 1) plus register renaming."""
+
+    name = "rename"
+    requires = ("work",)
+    invalidates = ("liveness", "raw_graphs", "reduced_graphs")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return ctx.options.rename
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..sched.renaming import rename_registers, split_live_out_defs
+
+        ctx.stats.defs_split = split_live_out_defs(ctx.work)
+        # Recovery disables renaming-register recycling: the Section 3.7
+        # Register Allocator Support (live ranges extended past sentinels).
+        ctx.stats.registers_renamed = rename_registers(
+            ctx.work, recycle=not ctx.options.recovery
+        )
+
+
+class RecoveryRenamingPass(Pass):
+    """Rename self-update defs for Section 3.7 restartable sequences."""
+
+    name = "recovery-rename"
+    requires = ("work",)
+    invalidates = ("liveness", "raw_graphs", "reduced_graphs")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return ctx.options.recovery
+
+    def run(self, ctx: PipelineContext) -> None:
+        # Imported lazily: core.recovery needs the scheduler, which this
+        # package anchors.
+        from ..core.recovery import rename_self_updates
+
+        ctx.stats.recovery_renamed = rename_self_updates(ctx.work)
+
+
+class UninitTagClearPass(Pass):
+    """Insert entry-block ``clrtag``\\ s for uninitialized live-ins (§3.5)."""
+
+    name = "uninit-clears"
+    requires = ("work",)
+    invalidates = ("liveness", "raw_graphs", "reduced_graphs")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return ctx.options.clear_uninit_tags and ctx.policy.sentinels
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.stats.uninit_clears = len(insert_uninit_tag_clears(ctx.work))
+
+
+class LivenessPass(Pass):
+    """Iterative live-variable analysis over the transformed program."""
+
+    name = "liveness"
+    requires = ("work",)
+    produces = ("liveness",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.liveness = Liveness(ctx.work)
+
+
+class DepGraphBuildPass(Pass):
+    """Build per-block unreduced dependence graphs (latency-gated)."""
+
+    name = "deps-build"
+    requires = ("work", "liveness")
+    produces = ("raw_graphs",)
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        # Recovery scheduling varies the build inputs per iteration and is
+        # never cached; without a pinned latency table the build defers to
+        # the first schedule (see pristine_graph).
+        return ctx.options.latencies is not None and not ctx.options.recovery
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.graph_latencies = dict(ctx.options.latencies)
+        for block in ctx.work.blocks:
+            build_raw_graph(ctx, block)
+
+
+class DepGraphReducePass(Pass):
+    """Reduce dependence graphs under the scheduling model (Appendix)."""
+
+    name = "deps-reduce"
+    requires = ("work", "liveness", "raw_graphs")
+    produces = ("reduced_graphs",)
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return ctx.options.latencies is not None and not ctx.options.recovery
+
+    def run(self, ctx: PipelineContext) -> None:
+        for block in ctx.work.blocks:
+            reduced_pristine_graph(ctx, block, ctx.policy)
+
+
+#: The Section 5.1 front end, in order.  ``prepare_compilation`` runs this.
+def default_pipeline() -> List[Pass]:
+    return [
+        SuperblockFormationPass(),
+        LoopUnrollPass(),
+        RegisterRenamingPass(),
+        RecoveryRenamingPass(),
+        UninitTagClearPass(),
+        LivenessPass(),
+        DepGraphBuildPass(),
+        DepGraphReducePass(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Dependence-graph helpers shared by the eager passes and the lazy
+# schedule-time path.  Lazy work is charged to the owning pass's timing
+# entry, so per-pass observability is complete either way.
+# ----------------------------------------------------------------------
+
+
+def build_raw_graph(ctx: PipelineContext, block: "Block") -> "DepGraph":
+    """The cached unreduced graph for ``block`` (built on first request)."""
+    raw = ctx.raw_graphs.get(block.label)
+    if raw is None:
+        wall0, cpu0 = ctx.clocks()
+        raw = build_dependence_graph(
+            block, ctx.liveness, ctx.graph_latencies, irreversible_barriers=False
+        )
+        wall1, cpu1 = ctx.clocks()
+        ctx.record_block(
+            DepGraphBuildPass.name, block.label, wall1 - wall0, cpu1 - cpu0
+        )
+        ctx.raw_graphs[block.label] = raw
+        if ctx.options.verify_ir:
+            IRVerifier().check_graph(raw, reduced=False)
+            ctx.verified_graph_ids.add(id(raw))
+    return raw
+
+
+def reduced_pristine_graph(
+    ctx: PipelineContext, block: "Block", policy: SpeculationPolicy
+) -> "DepGraph":
+    """The cached built-and-reduced graph for ``(block, policy)``.
+
+    The unreduced graph is policy-independent, so it is built once per
+    block and each policy reduces a copy — sentinel_store scheduling asks
+    for two policies' graphs per block (its plain-sentinel comparison
+    schedule), and a prepared compilation shared across policies would
+    otherwise rebuild from scratch for each.
+    """
+    key = (block.label, policy.name)
+    graph = ctx.reduced_graphs.get(key)
+    if graph is None:
+        raw = build_raw_graph(ctx, block)
+        wall0, cpu0 = ctx.clocks()
+        graph = reduce_dependence_graph(
+            raw.copy(), ctx.liveness, policy, stop_at_irreversible=False
+        )
+        wall1, cpu1 = ctx.clocks()
+        ctx.record_block(
+            DepGraphReducePass.name, block.label, wall1 - wall0, cpu1 - cpu0
+        )
+        ctx.reduced_graphs[key] = graph
+        if ctx.options.verify_ir:
+            IRVerifier().check_graph(graph, reduced=True)
+            ctx.verified_graph_ids.add(id(graph))
+    return graph
+
+
+def pristine_graph(
+    ctx: PipelineContext,
+    block: "Block",
+    machine: "MachineDescription",
+    policy: SpeculationPolicy,
+) -> Optional["DepGraph"]:
+    """A private copy of the reduced dependence graph for ``block``.
+
+    Graphs embed arc latencies, so the cache serves one latency table
+    (the first machine seen — in a sweep, every issue rate shares
+    Table 3).  A machine with a different table gets ``None`` and the
+    scheduler rebuilds from scratch.  Recovery scheduling varies the
+    reduction inputs per iteration and is never cached.
+    """
+    if ctx.options.recovery:
+        return None
+    if ctx.graph_latencies is None:
+        ctx.graph_latencies = dict(machine.latencies)
+    elif ctx.graph_latencies != machine.latencies:
+        return None
+    return reduced_pristine_graph(ctx, block, policy).copy()
+
+
+# ----------------------------------------------------------------------
+# Back end: list scheduling as a pass.
+# ----------------------------------------------------------------------
+
+
+class ListSchedulingPass(Pass):
+    """List-schedule every block for one machine (with sentinel insertion)."""
+
+    name = "schedule"
+    requires = ("work", "liveness")
+    produces = ("compilation",)
+    # Scheduling reorders instructions into words and toggles speculative
+    # modifiers but never restructures the superblock program, so the
+    # post-pass verification covers the scheduled output (which re-checks
+    # the modifier invariant) instead of re-walking the whole program.
+    verify_scope = "backend"
+
+    def run(self, ctx: PipelineContext) -> None:
+        from dataclasses import replace
+
+        from ..sched.compiler import CompilationResult
+        from ..sched.list_scheduler import schedule_block
+        from ..sched.schedule import ScheduledBlock, ScheduledProgram
+
+        work = ctx.work
+        machine = ctx.machine
+        policy = ctx.schedule_policy or ctx.policy
+        recovery = ctx.options.recovery
+        liveness = ctx.liveness
+        work.reset_uid_watermark(ctx.uid_watermark)
+        stats = replace(ctx.stats)
+
+        scheduled_blocks: List[ScheduledBlock] = []
+        block_results = {}
+        for block in work.blocks:
+            wall0, cpu0 = ctx.clocks()
+            if recovery:
+                from ..core.recovery import schedule_block_with_recovery
+
+                result = schedule_block_with_recovery(
+                    block, work, liveness, machine, policy
+                )
+            else:
+                result = schedule_block(
+                    block,
+                    work,
+                    liveness,
+                    machine,
+                    policy,
+                    graph=pristine_graph(ctx, block, machine, policy),
+                )
+                if policy.store_spec and policy.sentinels:
+                    # Speculating stores is not always profitable:
+                    # probationary entries occupy the buffer until confirmed
+                    # and the N-1 separation constraint can stretch the
+                    # schedule.  Keep the store-speculation schedule only
+                    # when it is strictly shorter than the plain sentinel
+                    # schedule for this block.
+                    from ..deps.reduction import SENTINEL
+
+                    with_stores_length = result.scheduled.length
+                    plain = schedule_block(
+                        block,
+                        work,
+                        liveness,
+                        machine,
+                        SENTINEL,
+                        graph=pristine_graph(ctx, block, machine, SENTINEL),
+                    )
+                    if with_stores_length < plain.scheduled.length:
+                        # Re-run the winner: scheduling mutates the
+                        # speculative modifier flags on the block's
+                        # instructions, and the last run must match the
+                        # schedule we keep.
+                        result = schedule_block(
+                            block,
+                            work,
+                            liveness,
+                            machine,
+                            policy,
+                            graph=pristine_graph(ctx, block, machine, policy),
+                        )
+                    else:
+                        result = plain
+            wall1, cpu1 = ctx.clocks()
+            ctx.record_block(self.name, block.label, wall1 - wall0, cpu1 - cpu0)
+            scheduled_blocks.append(result.scheduled)
+            block_results[block.label] = result
+            stats.blocks += 1
+            stats.instructions += result.stats.instructions
+            stats.speculative += result.stats.speculative
+            stats.checks_inserted += result.stats.checks_inserted
+            stats.confirms_inserted += result.stats.confirms_inserted
+            stats.schedule_words += result.stats.length
+
+        scheduled = ScheduledProgram(
+            blocks=scheduled_blocks,
+            source=work,
+            policy_name=policy.name,
+            machine_name=machine.name,
+        )
+        ctx.compilation = CompilationResult(
+            scheduled=scheduled,
+            superblock_program=work,
+            formation=ctx.formation,
+            block_results=block_results,
+            stats=stats,
+        )
+
+
+def backend_pipeline() -> List[Pass]:
+    """The machine-dependent back half; ``schedule_prepared`` runs this."""
+    return [ListSchedulingPass()]

@@ -1,0 +1,456 @@
+"""IR verification between compilation passes.
+
+The verifier checks the invariants every pass boundary must preserve:
+
+* **CFG well-formedness** — unique labels, unique uids, branch targets
+  that exist, control that never falls off the end of the program.
+* **Operand/def-use consistency** — destination presence matching the
+  opcode, operands of legal types, cached ``info`` in sync with the
+  opcode, liveness artifacts computed over the current program.
+* **Home-block and sentinel invariants** (paper Tables 1-2 and the
+  Appendix) — every instruction's home block resolves to a current or
+  merged-into-superblock label; ``CHECK``/``CONFIRM`` sentinels name the
+  instructions they protect and, once scheduled, sit inside their home
+  block; the speculative modifier appears only on speculable opcodes.
+* **Dependence-graph validity** — acyclicity, arc kinds consistent with
+  their endpoint instructions, non-negative latencies, mirror-consistent
+  adjacency storage.
+
+A violation raises :class:`IRVerificationError` carrying the pass
+boundary (``after_pass``) and the offending block, which is what lets a
+corrupted stage be localized instead of surfacing as a scheduler crash
+three passes later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from ..deps.types import ArcKind, DepGraph
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Block, Program
+from ..isa.registers import Register
+
+if TYPE_CHECKING:
+    from .context import PipelineContext
+
+
+class IRVerificationError(Exception):
+    """An IR invariant does not hold at a pass boundary."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        after_pass: Optional[str] = None,
+        block: Optional[str] = None,
+    ) -> None:
+        self.reason = message
+        self.after_pass = after_pass
+        self.block = block
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        where = f"after pass {self.after_pass!r}" if self.after_pass else "at entry"
+        if self.block is not None:
+            where += f", block {self.block!r}"
+        return f"IR verification failed {where}: {self.reason}"
+
+
+class IRVerifier:
+    """Checks the full pipeline context; stateless and reusable."""
+
+    name = "verify"
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def verify(
+        self,
+        ctx: "PipelineContext",
+        after: Optional[str] = None,
+        scope: str = "full",
+    ) -> None:
+        """Verify every artifact currently present in ``ctx``.
+
+        ``after`` names the pass boundary for error attribution.  A
+        ``"backend"`` scope (pass boundaries that cannot restructure the
+        program, declared via :attr:`Pass.verify_scope`) skips the
+        program/liveness walk and checks the scheduled output and any
+        newly cached graphs.
+        """
+        try:
+            if scope == "full":
+                program = ctx.work if ctx.work is not None else ctx.program
+                merged = self._merged_labels(ctx)
+                self.check_program(program, merged_labels=merged)
+                if ctx.liveness is not None and ctx.work is not None:
+                    self.check_liveness(ctx.work, ctx.liveness)
+            # Pristine graphs are immutable once cached (schedulers get
+            # copies), so each object is verified once — new cache entries
+            # are picked up here, rebuilt ones by the build helpers.
+            for graph in ctx.raw_graphs.values():
+                if id(graph) not in ctx.verified_graph_ids:
+                    self.check_graph(graph, reduced=False)
+                    ctx.verified_graph_ids.add(id(graph))
+            for graph in ctx.reduced_graphs.values():
+                if id(graph) not in ctx.verified_graph_ids:
+                    self.check_graph(graph, reduced=True)
+                    ctx.verified_graph_ids.add(id(graph))
+            if ctx.compilation is not None:
+                issue_rate = ctx.machine.issue_width if ctx.machine else None
+                self.check_scheduled(ctx.compilation, issue_rate=issue_rate)
+        except IRVerificationError as exc:
+            if exc.after_pass is None:
+                exc.after_pass = after
+            raise
+        ctx.verify_boundaries += 1
+
+    @staticmethod
+    def _merged_labels(ctx: "PipelineContext") -> Set[str]:
+        if ctx.formation is None:
+            return set()
+        merged: Set[str] = set()
+        for info in ctx.formation.superblocks.values():
+            merged.update(info.merged_labels)
+        return merged
+
+    @staticmethod
+    def _fail(message: str, block: Optional[str] = None) -> None:
+        raise IRVerificationError(message, block=block)
+
+    # ------------------------------------------------------------------
+    # Program structure and operands.
+    # ------------------------------------------------------------------
+
+    def check_program(
+        self, program: Program, merged_labels: Optional[Set[str]] = None
+    ) -> None:
+        if not program.blocks:
+            self._fail("program has no blocks")
+        labels: Set[str] = set()
+        for blk in program.blocks:
+            if blk.label in labels:
+                self._fail(f"duplicate block label {blk.label!r}")
+            labels.add(blk.label)
+        home_universe = labels | (merged_labels or set())
+        seen_uids: Set[int] = set()
+        for blk in program.blocks:
+            for instr in blk.instrs:
+                self._check_instruction(instr, blk, labels, home_universe, seen_uids)
+        last = program.blocks[-1]
+        if last.falls_through:
+            self._fail(
+                "control falls off the end of the program "
+                f"(last block {last.label!r} has no terminator)",
+                block=last.label,
+            )
+
+    def _check_instruction(
+        self,
+        instr: Instruction,
+        blk: Block,
+        labels: Set[str],
+        home_universe: Set[str],
+        seen_uids: Set[int],
+    ) -> None:
+        label = blk.label
+        if instr.uid is None:
+            self._fail(f"instruction without uid: {instr!r}", block=label)
+        if instr.uid in seen_uids:
+            self._fail(f"duplicate uid {instr.uid}", block=label)
+        seen_uids.add(instr.uid)
+        info = instr.info
+        if info is not instr.op.info:
+            self._fail(
+                f"uid {instr.uid}: cached info is stale for opcode {instr.op.name}",
+                block=label,
+            )
+        # Destination/operand shape.
+        if info.has_dest:
+            if instr.dest is None:
+                self._fail(
+                    f"uid {instr.uid}: {instr.op.name} requires a destination",
+                    block=label,
+                )
+        elif instr.dest is not None and instr.op not in (Opcode.CHECK, Opcode.CLRTAG):
+            self._fail(
+                f"uid {instr.uid}: {instr.op.name} must not write a destination",
+                block=label,
+            )
+        if instr.dest is not None and not isinstance(instr.dest, Register):
+            self._fail(
+                f"uid {instr.uid}: destination {instr.dest!r} is not a register",
+                block=label,
+            )
+        for operand in instr.srcs:
+            if not isinstance(operand, (Register, int, float)):
+                self._fail(
+                    f"uid {instr.uid}: operand {operand!r} is neither a "
+                    "register nor an immediate",
+                    block=label,
+                )
+        # Control-flow targets.
+        if info.is_branch:
+            if instr.target is None:
+                self._fail(
+                    f"uid {instr.uid}: branch {instr.op.name} has no target",
+                    block=label,
+                )
+            if instr.target not in labels:
+                self._fail(
+                    f"uid {instr.uid}: dangling branch target {instr.target!r}",
+                    block=label,
+                )
+        elif instr.target is not None and not info.is_call:
+            self._fail(
+                f"uid {instr.uid}: non-branch {instr.op.name} carries "
+                f"target {instr.target!r}",
+                block=label,
+            )
+        # Home-block invariant: the recorded home must resolve to a block
+        # that still exists or was merged into a superblock.
+        if instr.home_block is not None and instr.home_block not in home_universe:
+            self._fail(
+                f"uid {instr.uid}: home block {instr.home_block!r} names "
+                "neither a current nor a merged label",
+                block=label,
+            )
+        # Speculative modifier only on speculable opcodes (Appendix).
+        if instr.spec and not instr.is_speculable:
+            self._fail(
+                f"uid {instr.uid}: speculative modifier on non-speculable "
+                f"{instr.op.name}",
+                block=label,
+            )
+        # Sentinel invariants: a sentinel protects at least one real uid.
+        if instr.op in (Opcode.CHECK, Opcode.CONFIRM) and not instr.sentinel_for:
+            self._fail(
+                f"uid {instr.uid}: {instr.op.name} sentinel protects nothing",
+                block=label,
+            )
+
+    # ------------------------------------------------------------------
+    # Liveness / def-use consistency.
+    # ------------------------------------------------------------------
+
+    def check_liveness(self, work: Program, liveness) -> None:
+        if liveness.program is not work:
+            self._fail("liveness was computed over a different program (stale)")
+        labels = {blk.label for blk in work.blocks}
+        if set(liveness.live_in) != labels:
+            missing = labels - set(liveness.live_in)
+            extra = set(liveness.live_in) - labels
+            self._fail(
+                f"liveness out of sync with blocks (missing={sorted(missing)}, "
+                f"stale={sorted(extra)})"
+            )
+        used = set()
+        for instr in work.instructions():
+            used.update(instr.uses())
+        for label, live in liveness.live_in.items():
+            for reg in live:
+                if reg.is_zero:
+                    self._fail(
+                        f"zero register marked live-in at {label!r}", block=label
+                    )
+                if reg not in used:
+                    self._fail(
+                        f"register {reg!r} live-in at {label!r} but never used",
+                        block=label,
+                    )
+
+    # ------------------------------------------------------------------
+    # Dependence graphs.
+    # ------------------------------------------------------------------
+
+    def check_graph(self, graph: DepGraph, reduced: bool) -> None:
+        block = graph.block
+        label = block.label
+        n = len(graph.nodes)
+        if graph.original_count > n:
+            self._fail("graph original_count exceeds node count", block=label)
+        if graph.original_count != len(block.instrs):
+            self._fail(
+                f"graph covers {graph.original_count} instructions but block "
+                f"holds {len(block.instrs)}",
+                block=label,
+            )
+        for idx in range(graph.original_count):
+            if graph.nodes[idx] is not block.instrs[idx]:
+                self._fail(
+                    f"graph node {idx} is not the block's instruction {idx}",
+                    block=label,
+                )
+        if reduced:
+            for name, members in (
+                ("allowed_spec", graph.allowed_spec),
+                ("unprotected", graph.unprotected),
+            ):
+                bad = [i for i in members if not 0 <= i < n]
+                if bad:
+                    self._fail(
+                        f"reduction set {name} references missing nodes {bad}",
+                        block=label,
+                    )
+        # Per-node register sets, hoisted out of the per-arc checks (zero
+        # registers never carry a dependence, so they are excluded once).
+        defs_nz = [
+            frozenset(r for r in node.defs() if not r.is_zero)
+            for node in graph.nodes
+        ]
+        uses_nz = [
+            frozenset(r for r in node.uses() if not r.is_zero)
+            for node in graph.nodes
+        ]
+        indegree = [0] * n
+        for arc in graph.arcs():
+            self._check_arc(graph, arc, label, defs_nz, uses_nz)
+            indegree[arc.dst] += 1
+        # Mirror consistency plus Kahn's algorithm for acyclicity.
+        pred_total = sum(len(graph.preds(i)) for i in range(n))
+        if pred_total != sum(indegree):
+            self._fail("succ/pred adjacency out of sync", block=label)
+        ready = [i for i in range(n) if indegree[i] == 0]
+        emitted = 0
+        while ready:
+            node = ready.pop()
+            emitted += 1
+            for arc in graph.iter_succs(node):
+                indegree[arc.dst] -= 1
+                if indegree[arc.dst] == 0:
+                    ready.append(arc.dst)
+        if emitted != n:
+            cyclic = [i for i in range(n) if indegree[i] > 0]
+            self._fail(
+                f"dependence graph has a cycle through nodes {cyclic}",
+                block=label,
+            )
+
+    def _check_arc(
+        self, graph: DepGraph, arc, label: str, defs_nz, uses_nz
+    ) -> None:
+        n = len(graph.nodes)
+        if not (0 <= arc.src < n and 0 <= arc.dst < n):
+            self._fail(f"arc {arc!r} references missing nodes", block=label)
+        if arc.src == arc.dst:
+            self._fail(f"self arc {arc!r}", block=label)
+        if not isinstance(arc.kind, ArcKind):
+            self._fail(f"arc {arc!r} has invalid kind {arc.kind!r}", block=label)
+        if not isinstance(arc.latency, int) or arc.latency < 0:
+            self._fail(f"arc {arc!r} has invalid latency", block=label)
+        src = graph.nodes[arc.src]
+        dst = graph.nodes[arc.dst]
+        kind = arc.kind
+        if kind is ArcKind.FLOW:
+            if not defs_nz[arc.src].intersection(uses_nz[arc.dst]):
+                self._fail(
+                    f"FLOW arc {arc!r} without a produced-and-used register",
+                    block=label,
+                )
+        elif kind is ArcKind.ANTI:
+            if not uses_nz[arc.src].intersection(defs_nz[arc.dst]):
+                self._fail(
+                    f"ANTI arc {arc!r} without a read-then-written register",
+                    block=label,
+                )
+        elif kind is ArcKind.OUTPUT:
+            if not defs_nz[arc.src].intersection(defs_nz[arc.dst]):
+                self._fail(
+                    f"OUTPUT arc {arc!r} without a common destination",
+                    block=label,
+                )
+        elif kind is ArcKind.MEM:
+            for end, instr in (("src", src), ("dst", dst)):
+                if not (instr.info.reads_mem or instr.info.writes_mem):
+                    self._fail(
+                        f"MEM arc {arc!r}: {end} does not access memory",
+                        block=label,
+                    )
+        elif kind is ArcKind.CONTROL:
+            if not src.info.is_cond_branch:
+                self._fail(
+                    f"CONTROL arc {arc!r} whose source is not a branch",
+                    block=label,
+                )
+        elif kind is ArcKind.GUARD:
+            if not (dst.info.is_control or src.info.is_irreversible):
+                self._fail(
+                    f"GUARD arc {arc!r} guarding neither an exit nor an "
+                    "irreversible instruction",
+                    block=label,
+                )
+        elif kind is ArcKind.SENT:
+            if arc.src < graph.original_count and arc.dst < graph.original_count:
+                self._fail(
+                    f"SENT arc {arc!r} between two original instructions",
+                    block=label,
+                )
+
+    # ------------------------------------------------------------------
+    # Scheduled output (sentinel/home-block placement, issue width).
+    # ------------------------------------------------------------------
+
+    def check_scheduled(self, compilation, issue_rate: Optional[int] = None) -> None:
+        source = compilation.superblock_program
+        source_blocks = source.block_map()
+        for sched in compilation.scheduled.blocks:
+            block = source_blocks.get(sched.label)
+            if block is None:
+                self._fail(
+                    f"scheduled block {sched.label!r} has no source block",
+                    block=sched.label,
+                )
+            scheduled_uids = set()
+            for cycle, word in enumerate(sched.words):
+                if issue_rate is not None and len(word) > issue_rate:
+                    self._fail(
+                        f"cycle {cycle} issues {len(word)} ops on a "
+                        f"{issue_rate}-issue machine",
+                        block=sched.label,
+                    )
+                for instr in word:
+                    if instr.uid in scheduled_uids:
+                        self._fail(
+                            f"uid {instr.uid} scheduled twice", block=sched.label
+                        )
+                    scheduled_uids.add(instr.uid)
+                    if instr.spec and not instr.is_speculable:
+                        self._fail(
+                            f"uid {instr.uid}: speculative modifier on "
+                            f"non-speculable {instr.op.name}",
+                            block=sched.label,
+                        )
+                    if instr.op in (Opcode.CHECK, Opcode.CONFIRM):
+                        # The Appendix pins sentinels inside their home block.
+                        if instr.home_block != sched.label:
+                            self._fail(
+                                f"sentinel uid {instr.uid} (home "
+                                f"{instr.home_block!r}) scheduled outside its "
+                                "home block",
+                                block=sched.label,
+                            )
+                        if not instr.sentinel_for:
+                            self._fail(
+                                f"sentinel uid {instr.uid} protects nothing",
+                                block=sched.label,
+                            )
+            missing = [
+                i.uid for i in block.instrs if i.uid not in scheduled_uids
+            ]
+            if missing:
+                self._fail(
+                    f"source instructions missing from schedule: {missing}",
+                    block=sched.label,
+                )
+
+
+def verify_context(
+    ctx: "PipelineContext",
+    after: Optional[str] = None,
+    verifier: Optional[IRVerifier] = None,
+) -> None:
+    """Convenience wrapper: run a (possibly shared) verifier over ``ctx``."""
+    (verifier or IRVerifier()).verify(ctx, after=after)

@@ -1,4 +1,8 @@
-"""Scheduler framework: list scheduling, models, whole-program pipeline."""
+"""Scheduler framework: list scheduling, models, whole-program pipeline.
+
+``compile_program`` / ``prepare_compilation`` / ``schedule_prepared``
+are thin wrappers over the pass pipeline in :mod:`repro.pipeline`.
+"""
 
 from ..deps.reduction import (
     GENERAL,
@@ -10,7 +14,14 @@ from ..deps.reduction import (
     SpeculationPolicy,
     boosting_policy,
 )
-from .compiler import CompilationResult, CompilerStats, compile_program
+from .compiler import (
+    CompilationResult,
+    CompilerStats,
+    PreparedCompilation,
+    compile_program,
+    prepare_compilation,
+    schedule_prepared,
+)
 from .list_scheduler import (
     BlockScheduleResult,
     BlockScheduleStats,
@@ -31,7 +42,10 @@ __all__ = [
     "boosting_policy",
     "CompilationResult",
     "CompilerStats",
+    "PreparedCompilation",
     "compile_program",
+    "prepare_compilation",
+    "schedule_prepared",
     "BlockScheduleResult",
     "BlockScheduleStats",
     "ListScheduler",

@@ -6,56 +6,61 @@ under a scheduling model and machine description.  Sentinel-specific
 passes (uninitialized-tag clearing, recovery renaming) run between
 formation and scheduling.
 
-The pipeline is split in two so the evaluation sweep can amortize the
-machine-independent front half across issue rates:
+Since the pass-manager refactor the stages live in
+:mod:`repro.pipeline`: each is a :class:`~repro.pipeline.passes.Pass`
+with declared requires/produces/invalidates, executed by a
+:class:`~repro.pipeline.manager.PassManager` over a shared
+:class:`~repro.pipeline.context.PipelineContext`.  The functions here are
+thin wrappers that assemble and run the default pipeline, so existing
+callers see identical behavior (and byte-identical output):
 
-* :func:`prepare_compilation` — superblock formation, unrolling,
-  renaming, recovery renaming, uninit-tag clears, liveness, and (lazily)
-  the per-block dependence graphs built and reduced under the policy.
-  None of this depends on the issue width.
-* :func:`schedule_prepared` — list scheduling under one machine.  It may
-  be called repeatedly on the same :class:`PreparedCompilation`; each
-  call rewinds the uid watermark and schedules from copies of the
-  pristine dependence graphs, so every call produces exactly what a
-  from-scratch :func:`compile_program` would.
+* :func:`prepare_compilation` — the machine-independent front half
+  (superblock formation through liveness; dependence graphs lazily or,
+  with a pinned latency table, eagerly).
+* :func:`schedule_prepared` — the back half: list scheduling under one
+  machine.  It may be called repeatedly on the same
+  :class:`PreparedCompilation`; each call rewinds the uid watermark and
+  schedules from copies of the pristine dependence graphs, so every call
+  produces exactly what a from-scratch :func:`compile_program` would.
+* :func:`compile_program` composes the two and is unchanged for callers.
 
-:func:`compile_program` composes the two and is unchanged for callers.
+Observability: per-pass wall/CPU timings accumulate on the context
+(``prepared.pass_seconds()``), the CLI exposes them via ``--timings`` /
+``--trace-passes``, and ``verify_ir=True`` (or ``REPRO_VERIFY_IR=1`` in
+the environment) interleaves :class:`~repro.pipeline.verify.IRVerifier`
+after every pass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from ..cfg.liveness import Liveness
 from ..cfg.profile import ProfileData
-from ..cfg.superblock import FormationResult, form_superblocks
-from ..cfg.unroll import unroll_superblock_loops
-from ..core.uninit import insert_uninit_tag_clears
-from ..deps.builder import build_dependence_graph
-from ..deps.reduction import SpeculationPolicy, reduce_dependence_graph
+from ..cfg.superblock import FormationResult
+from ..deps.reduction import SpeculationPolicy
 from ..deps.types import DepGraph
 from ..isa.program import Block, Program
 from ..machine.description import MachineDescription
-from .list_scheduler import BlockScheduleResult, schedule_block
-from .renaming import rename_registers, split_live_out_defs
-from .schedule import ScheduledBlock, ScheduledProgram
+from ..pipeline.context import CompilerStats, PipelineContext, PipelineOptions
+from .list_scheduler import BlockScheduleResult
+from .schedule import ScheduledProgram
+
+__all__ = [
+    "CompilerStats",
+    "CompilationResult",
+    "PreparedCompilation",
+    "prepare_compilation",
+    "schedule_prepared",
+    "compile_program",
+]
 
 
-@dataclass
-class CompilerStats:
-    """Aggregated scheduling statistics for one compilation."""
-
-    blocks: int = 0
-    instructions: int = 0
-    speculative: int = 0
-    checks_inserted: int = 0
-    confirms_inserted: int = 0
-    schedule_words: int = 0
-    recovery_renamed: int = 0
-    uninit_clears: int = 0
-    registers_renamed: int = 0
-    defs_split: int = 0
+def _verify_env() -> bool:
+    """``REPRO_VERIFY_IR=1`` forces IR verification on for every compile."""
+    return os.environ.get("REPRO_VERIFY_IR", "") == "1"
 
 
 @dataclass
@@ -74,8 +79,9 @@ class PreparedCompilation:
 
     Holds the transformed superblock program and everything scheduling
     needs that does not depend on the machine: liveness, the uid
-    watermark to rewind to before each schedule, and a cache of pristine
-    (built + policy-reduced) dependence graphs keyed by block and policy.
+    watermark to rewind to before each schedule, and (via the pipeline
+    context) the cache of pristine dependence graphs keyed by block and
+    policy, plus the accumulated per-pass timings.
     """
 
     work: Program
@@ -85,47 +91,25 @@ class PreparedCompilation:
     recovery: bool
     stats_template: CompilerStats
     uid_watermark: int
-    _graphs: Dict[Tuple[str, str], DepGraph] = field(default_factory=dict)
-    _raw_graphs: Dict[str, DepGraph] = field(default_factory=dict)
-    _graph_latencies: Optional[Dict] = None
+    #: The pipeline context the front end ran over; carries the graph
+    #: caches, pass timings, trace events and verification settings.
+    context: PipelineContext = None
 
     def pristine_graph(
         self, block: Block, machine: MachineDescription, policy: SpeculationPolicy
     ) -> Optional[DepGraph]:
         """A private copy of the reduced dependence graph for ``block``.
 
-        Graphs embed arc latencies, so the cache serves one latency table
-        (the first machine seen — in a sweep, every issue rate shares
-        Table 3).  A machine with a different table gets ``None`` and the
-        scheduler rebuilds from scratch.  Recovery scheduling varies the
-        reduction inputs per iteration and is never cached.
-
-        The unreduced graph is policy-independent, so it is built once per
-        block and each policy reduces a copy — sentinel_store scheduling
-        asks for two policies' graphs per block (its plain-sentinel
-        comparison schedule), and a prepared compilation shared across
-        policies would otherwise rebuild from scratch for each.
+        See :func:`repro.pipeline.passes.pristine_graph` for the caching
+        and latency-table semantics.
         """
-        if self.recovery:
-            return None
-        if self._graph_latencies is None:
-            self._graph_latencies = dict(machine.latencies)
-        elif self._graph_latencies != machine.latencies:
-            return None
-        key = (block.label, policy.name)
-        graph = self._graphs.get(key)
-        if graph is None:
-            raw = self._raw_graphs.get(block.label)
-            if raw is None:
-                raw = build_dependence_graph(
-                    block, self.liveness, machine.latencies, irreversible_barriers=False
-                )
-                self._raw_graphs[block.label] = raw
-            graph = reduce_dependence_graph(
-                raw.copy(), self.liveness, policy, stop_at_irreversible=False
-            )
-            self._graphs[key] = graph
-        return graph.copy()
+        from ..pipeline.passes import pristine_graph
+
+        return pristine_graph(self.context, block, machine, policy)
+
+    def pass_seconds(self) -> Dict[str, float]:
+        """Accumulated per-pass wall seconds (front end + every schedule)."""
+        return self.context.pass_seconds()
 
 
 def prepare_compilation(
@@ -139,6 +123,10 @@ def prepare_compilation(
     superblock_max_instructions: int = 256,
     unroll_factor: int = 1,
     rename: bool = True,
+    verify_ir: bool = False,
+    trace_passes: bool = False,
+    latencies=None,
+    pipeline: Optional[Sequence] = None,
 ) -> PreparedCompilation:
     """Run every machine-independent compilation stage once.
 
@@ -147,45 +135,41 @@ def prepare_compilation(
     constraints; the paper's performance experiments run with it off
     ("the experiments do not take into account compiler constraints to
     ensure recovery", Section 5.2).
+
+    ``pipeline`` overrides the default pass list (an extension point for
+    custom stages); ``latencies`` pins a latency table so the
+    dependence-graph passes run eagerly here instead of lazily at first
+    schedule.  ``verify_ir`` interleaves the IR verifier after every pass.
     """
-    if form_superblocks_pass:
-        formation = form_superblocks(
-            basic_blocks,
-            profile,
-            min_ratio=superblock_min_ratio,
-            max_instructions=superblock_max_instructions,
-        )
-    else:
-        formation = form_superblocks(
-            basic_blocks, ProfileData(), min_ratio=2.0  # ratio > 1: no merging
-        )
-    work = formation.program
-    if unroll_factor > 1:
-        unroll_superblock_loops(work, unroll_factor)
+    from ..pipeline.manager import PassManager
+    from ..pipeline.passes import default_pipeline
 
-    stats = CompilerStats()
-    if rename:
-        stats.defs_split = split_live_out_defs(work)
-        # Recovery disables renaming-register recycling: the Section 3.7
-        # Register Allocator Support (live ranges extended past sentinels).
-        stats.registers_renamed = rename_registers(work, recycle=not recovery)
-    if recovery:
-        # Imported lazily: core.recovery needs the scheduler, which this
-        # module anchors.
-        from ..core.recovery import rename_self_updates
-
-        stats.recovery_renamed = rename_self_updates(work)
-    if clear_uninit_tags and policy.sentinels:
-        stats.uninit_clears = len(insert_uninit_tag_clears(work))
-
-    return PreparedCompilation(
-        work=work,
-        formation=formation,
-        liveness=Liveness(work),
+    options = PipelineOptions(
         policy=policy,
         recovery=recovery,
-        stats_template=stats,
-        uid_watermark=work.uid_watermark(),
+        clear_uninit_tags=clear_uninit_tags,
+        form_superblocks=form_superblocks_pass,
+        superblock_min_ratio=superblock_min_ratio,
+        superblock_max_instructions=superblock_max_instructions,
+        unroll_factor=unroll_factor,
+        rename=rename,
+        verify_ir=verify_ir or _verify_env(),
+        trace=trace_passes,
+        latencies=latencies,
+    )
+    ctx = PipelineContext(basic_blocks, profile, options)
+    manager = PassManager(pipeline if pipeline is not None else default_pipeline())
+    manager.run(ctx)
+    ctx.uid_watermark = ctx.work.uid_watermark()
+    return PreparedCompilation(
+        work=ctx.work,
+        formation=ctx.formation,
+        liveness=ctx.liveness,
+        policy=policy,
+        recovery=recovery,
+        stats_template=ctx.stats,
+        uid_watermark=ctx.uid_watermark,
+        context=ctx,
     )
 
 
@@ -212,85 +196,23 @@ def schedule_prepared(
     models.  Overriding across that boundary would schedule a program
     missing (or carrying spurious) CLRTAG instructions.
     """
-    work = prepared.work
-    if policy is None:
-        policy = prepared.policy
-    recovery = prepared.recovery
-    liveness = prepared.liveness
-    work.reset_uid_watermark(prepared.uid_watermark)
-    stats = replace(prepared.stats_template)
+    from ..pipeline.manager import PassManager
+    from ..pipeline.passes import backend_pipeline
 
-    scheduled_blocks: List[ScheduledBlock] = []
-    block_results: Dict[str, BlockScheduleResult] = {}
-    for block in work.blocks:
-        if recovery:
-            from ..core.recovery import schedule_block_with_recovery
-
-            result = schedule_block_with_recovery(
-                block, work, liveness, machine, policy
-            )
-        else:
-            result = schedule_block(
-                block,
-                work,
-                liveness,
-                machine,
-                policy,
-                graph=prepared.pristine_graph(block, machine, policy),
-            )
-            if policy.store_spec and policy.sentinels:
-                # Speculating stores is not always profitable: probationary
-                # entries occupy the buffer until confirmed and the N-1
-                # separation constraint can stretch the schedule.  Keep the
-                # store-speculation schedule only when it is strictly
-                # shorter than the plain sentinel schedule for this block.
-                from ..deps.reduction import SENTINEL
-
-                with_stores_length = result.scheduled.length
-                plain = schedule_block(
-                    block,
-                    work,
-                    liveness,
-                    machine,
-                    SENTINEL,
-                    graph=prepared.pristine_graph(block, machine, SENTINEL),
-                )
-                if with_stores_length < plain.scheduled.length:
-                    # Re-run the winner: scheduling mutates the speculative
-                    # modifier flags on the block's instructions, and the
-                    # last run must match the schedule we keep.
-                    result = schedule_block(
-                        block,
-                        work,
-                        liveness,
-                        machine,
-                        policy,
-                        graph=prepared.pristine_graph(block, machine, policy),
-                    )
-                else:
-                    result = plain
-        scheduled_blocks.append(result.scheduled)
-        block_results[block.label] = result
-        stats.blocks += 1
-        stats.instructions += result.stats.instructions
-        stats.speculative += result.stats.speculative
-        stats.checks_inserted += result.stats.checks_inserted
-        stats.confirms_inserted += result.stats.confirms_inserted
-        stats.schedule_words += result.stats.length
-
-    scheduled = ScheduledProgram(
-        blocks=scheduled_blocks,
-        source=work,
-        policy_name=policy.name,
-        machine_name=machine.name,
-    )
-    return CompilationResult(
-        scheduled=scheduled,
-        superblock_program=work,
-        formation=prepared.formation,
-        block_results=block_results,
-        stats=stats,
-    )
+    ctx = prepared.context
+    ctx.machine = machine
+    ctx.schedule_policy = policy if policy is not None else prepared.policy
+    # Each backend run stands alone: a previous call's result reflects a
+    # different machine (and its words are invalidated by the spec-flag
+    # rewrites of the next schedule), so it is dropped before scheduling.
+    ctx.compilation = None
+    ctx.available.discard("compilation")
+    manager = PassManager(backend_pipeline())
+    manager.run(ctx)
+    result = ctx.compilation
+    ctx.machine = None
+    ctx.schedule_policy = None
+    return result
 
 
 def compile_program(
@@ -305,6 +227,8 @@ def compile_program(
     superblock_max_instructions: int = 256,
     unroll_factor: int = 1,
     rename: bool = True,
+    verify_ir: bool = False,
+    trace_passes: bool = False,
 ) -> CompilationResult:
     """Compile a basic-block-form program end to end.
 
@@ -322,5 +246,7 @@ def compile_program(
         superblock_max_instructions=superblock_max_instructions,
         unroll_factor=unroll_factor,
         rename=rename,
+        verify_ir=verify_ir,
+        trace_passes=trace_passes,
     )
     return schedule_prepared(prepared, machine)

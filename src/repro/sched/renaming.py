@@ -21,7 +21,7 @@ keeps its name.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..cfg.liveness import Liveness
 from ..isa.instruction import Instruction

@@ -28,11 +28,11 @@ fault injection composes naturally.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from ..arch.memory import Memory
-from ..isa.instruction import Instruction, branch, fload, fstore, halt, jump, load, mov, store
+from ..isa.instruction import Instruction, branch, fstore, halt, load, mov, store
 from ..isa.opcodes import Opcode
 from ..isa.program import Block, Program
 from ..isa.registers import F, R, Register

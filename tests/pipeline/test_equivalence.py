@@ -1,0 +1,117 @@
+"""The pipeline refactor is byte-identical to the monolithic compiler.
+
+``golden_compile.json`` pins sha256 digests of full schedule dumps
+(cycle, uid, formatted text, speculative flag, home block, sentinel set,
+plus compiler stats) captured from ``compile_program`` *before* the
+pass-manager refactor — 3 benchmarks x 4 policies x issue rates 1/2/4/8.
+Any uid-level or stats-level divergence introduced by the pipeline shows
+up as a digest mismatch naming the exact configuration.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.isa.printer import format_instruction
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program, prepare_compilation, schedule_prepared
+from repro.workloads.suites import build_workload
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_compile.json").read_text()
+)
+
+POLICIES = {
+    "restricted": RESTRICTED,
+    "general": GENERAL,
+    "sentinel": SENTINEL,
+    "sentinel_store": SENTINEL_STORE,
+}
+RATES = (1, 2, 4, 8)
+BENCHMARKS = ("wc", "cmp", "grep")
+
+
+def schedule_digest(comp) -> str:
+    lines = []
+    for blk in comp.scheduled.blocks:
+        lines.append(f"== {blk.label} falls_through={blk.falls_through}")
+        for cycle, word in enumerate(blk.words):
+            for instr in word:
+                lines.append(
+                    f"{cycle}|{instr.uid}|{format_instruction(instr)}"
+                    f"|spec={instr.spec}|home={instr.home_block}"
+                    f"|sf={instr.sentinel_for}"
+                )
+    lines.append(json.dumps(vars(comp.stats), sort_keys=True))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def profiled(bench):
+    workload = build_workload(bench, seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(
+        basic, memory=workload.make_memory(), max_steps=10_000_000
+    )
+    assert training.halted
+    return basic, training.profile
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_pinned_digests(bench):
+    basic, profile = profiled(bench)
+    for pname, policy in POLICIES.items():
+        for rate in RATES:
+            comp = compile_program(
+                basic, profile, paper_machine(rate), policy, unroll_factor=2
+            )
+            assert schedule_digest(comp) == GOLDEN[f"{bench}/{pname}/{rate}"], (
+                f"pipeline output diverged for {bench}/{pname}/{rate}"
+            )
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_prepare_then_schedule_matches_compile_program(bench):
+    """One prepared front end reused across machines == per-machine compiles."""
+    basic, profile = profiled(bench)
+    policy = SENTINEL
+    prepared = prepare_compilation(basic, profile, policy, unroll_factor=2)
+    for rate in RATES:
+        comp = schedule_prepared(prepared, paper_machine(rate), policy=policy)
+        assert schedule_digest(comp) == GOLDEN[f"{bench}/sentinel/{rate}"]
+
+
+def test_eager_graphs_match_lazy():
+    """Pinning the latency table (eager dep passes) changes nothing."""
+    basic, profile = profiled("wc")
+    policy = SENTINEL
+    machine = paper_machine(4)
+    lazy = prepare_compilation(basic, profile, policy, unroll_factor=2)
+    eager = prepare_compilation(
+        basic, profile, policy, unroll_factor=2, latencies=machine.latencies
+    )
+    # The eager pipeline ran the dep passes up front...
+    assert eager.context.raw_graphs and eager.context.reduced_graphs
+    assert not lazy.context.raw_graphs
+    # ...and both schedule to the same pinned digest.
+    for prepared in (lazy, eager):
+        comp = schedule_prepared(prepared, machine, policy=policy)
+        assert schedule_digest(comp) == GOLDEN["wc/sentinel/4"]
+
+
+def test_verify_ir_does_not_change_output():
+    basic, profile = profiled("cmp")
+    for pname, policy in POLICIES.items():
+        comp = compile_program(
+            basic,
+            profile,
+            paper_machine(2),
+            policy,
+            unroll_factor=2,
+            verify_ir=True,
+        )
+        assert schedule_digest(comp) == GOLDEN[f"cmp/{pname}/2"]

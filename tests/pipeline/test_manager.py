@@ -1,0 +1,117 @@
+"""PassManager mechanics: declarations, timings, trace, extension."""
+
+import pytest
+
+from repro.cfg.profile import ProfileData
+from repro.deps.reduction import SENTINEL
+from repro.isa.assembler import assemble
+from repro.pipeline import (
+    Pass,
+    PassManager,
+    PipelineContext,
+    PipelineError,
+    PipelineOptions,
+    default_pipeline,
+)
+
+ASM = """
+main:
+    r1 = mov 1
+    r2 = add r1, 2
+    halt
+"""
+
+
+def make_context(**overrides):
+    options = PipelineOptions(policy=SENTINEL, **overrides)
+    return PipelineContext(assemble(ASM), ProfileData(), options)
+
+
+class StampPass(Pass):
+    """Records its execution on the context and produces an artifact."""
+
+    def __init__(self, name, requires=(), produces=(), invalidates=()):
+        self.name = name
+        self.requires = tuple(requires)
+        self.produces = tuple(produces)
+        self.invalidates = tuple(invalidates)
+
+    def run(self, ctx):
+        ctx.__dict__.setdefault("ran", []).append(self.name)
+
+
+def test_requires_enforced_in_order():
+    ctx = make_context()
+    needs_missing = StampPass("late", requires=("made-by-early",))
+    with pytest.raises(PipelineError, match="late.*made-by-early"):
+        PassManager([needs_missing]).run(ctx)
+    # The same pass succeeds once a producer runs first.
+    ctx = make_context()
+    early = StampPass("early", produces=("made-by-early",))
+    PassManager([early, needs_missing]).run(ctx)
+    assert ctx.ran == ["early", "late"]
+
+
+def test_produces_and_invalidates_update_availability():
+    ctx = make_context()
+    a = StampPass("a", produces=("x",))
+    b = StampPass("b", requires=("x",), produces=("y",), invalidates=("x",))
+    PassManager([a, b]).run(ctx)
+    assert "y" in ctx.available
+    assert "x" not in ctx.available
+
+
+def test_every_pass_gets_a_timing_entry():
+    ctx = make_context()
+    PassManager(default_pipeline()).run(ctx)
+    expected = [p.name for p in default_pipeline()]
+    assert list(ctx.timings) == expected
+    for name in expected:
+        assert ctx.timings[name].runs == 1
+        assert ctx.timings[name].wall_seconds >= 0.0
+    # Disabled passes cost nothing but still appear (stable table shape).
+    assert ctx.timings["recovery-rename"].wall_seconds == 0.0
+    assert ctx.pass_seconds()["superblock"] == ctx.timings["superblock"].wall_seconds
+
+
+def test_trace_events_recorded_per_block():
+    ctx = make_context(trace=True)
+    PassManager(default_pipeline()).run(ctx)
+    ctx.uid_watermark = ctx.work.uid_watermark()
+    from repro.machine.description import paper_machine
+    from repro.pipeline import backend_pipeline
+
+    ctx.machine = paper_machine(2)
+    ctx.schedule_policy = SENTINEL
+    PassManager(backend_pipeline()).run(ctx)
+    schedule_events = [e for e in ctx.trace if e.pass_name == "schedule"]
+    assert {e.block for e in schedule_events} == {
+        blk.label for blk in ctx.work.blocks
+    }
+
+
+def test_describe_lists_all_passes():
+    table = PassManager(default_pipeline()).describe()
+    for pipeline_pass in default_pipeline():
+        assert pipeline_pass.name in table
+    assert "requires" in table and "produces" in table
+
+
+def test_custom_pass_extends_default_pipeline():
+    """A user pass slots in anywhere its requirements are met."""
+
+    class CountInstrs(Pass):
+        name = "count-instrs"
+        requires = ("work",)
+        produces = ("instr-count",)
+
+        def run(self, ctx):
+            ctx.instr_count = sum(len(b.instrs) for b in ctx.work.blocks)
+
+    passes = default_pipeline()
+    passes.insert(1, CountInstrs())
+    ctx = make_context()
+    PassManager(passes).run(ctx)
+    assert ctx.instr_count == sum(len(b.instrs) for b in ctx.work.blocks)
+    assert "instr-count" in ctx.available
+    assert "count-instrs" in ctx.timings

@@ -1,0 +1,203 @@
+"""The IR verifier localizes a corrupted stage to its pass boundary.
+
+Each test injects a ``CorruptorPass`` into the pipeline right after a
+real pass and asserts that the run fails with an
+:class:`IRVerificationError` whose ``after_pass`` names the corruptor's
+boundary — i.e. the verifier catches the break at the first boundary
+after it is introduced, not as a scheduler crash several passes later.
+"""
+
+import pytest
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import SENTINEL
+from repro.deps.types import ArcKind
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.pipeline import (
+    IRVerificationError,
+    IRVerifier,
+    ListSchedulingPass,
+    Pass,
+    PassManager,
+    PipelineContext,
+    PipelineOptions,
+    default_pipeline,
+)
+from repro.sched.compiler import compile_program, prepare_compilation, schedule_prepared
+from repro.workloads.suites import build_workload
+
+
+class CorruptorPass(Pass):
+    """Applies an arbitrary mutation at a chosen point in the pipeline."""
+
+    def __init__(self, name, action, requires=()):
+        self.name = name
+        self.requires = tuple(requires)
+        self.action = action
+
+    def run(self, ctx):
+        self.action(ctx)
+
+
+def fresh_context(verify_ir=True, latencies=None, bench="wc", policy=SENTINEL):
+    workload = build_workload(bench, seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    options = PipelineOptions(
+        policy=policy, unroll_factor=2, verify_ir=verify_ir, latencies=latencies
+    )
+    return PipelineContext(basic, training.profile, options)
+
+
+def run_with_corruptor(after, corruptor, latencies=None):
+    ctx = fresh_context(latencies=latencies)
+    passes = []
+    for pipeline_pass in default_pipeline():
+        passes.append(pipeline_pass)
+        if pipeline_pass.name == after:
+            passes.append(corruptor)
+    with pytest.raises(IRVerificationError) as excinfo:
+        PassManager(passes).run(ctx)
+    return excinfo.value
+
+
+def first_branch(program):
+    for instr in program.instructions():
+        if instr.info.is_branch:
+            return instr
+    raise AssertionError("no branch found")
+
+
+def test_dangling_branch_target_localized():
+    def corrupt(ctx):
+        first_branch(ctx.work).target = "no-such-block"
+
+    err = run_with_corruptor(
+        "superblock", CorruptorPass("corrupt-target", corrupt)
+    )
+    assert err.after_pass == "corrupt-target"
+    assert "dangling branch target" in err.reason
+
+
+def test_duplicate_uid_localized():
+    def corrupt(ctx):
+        instrs = ctx.work.blocks[0].instrs
+        instrs[1].uid = instrs[0].uid
+
+    err = run_with_corruptor("rename", CorruptorPass("corrupt-uid", corrupt))
+    assert err.after_pass == "corrupt-uid"
+    assert "duplicate uid" in err.reason
+
+
+def test_spec_on_non_speculable_localized():
+    def corrupt(ctx):
+        first_branch(ctx.work).spec = True
+
+    err = run_with_corruptor("liveness", CorruptorPass("corrupt-spec", corrupt))
+    assert err.after_pass == "corrupt-spec"
+    assert "speculative modifier" in err.reason
+
+
+def test_dep_graph_cycle_localized():
+    machine = paper_machine(4)
+
+    def corrupt(ctx):
+        graph = next(g for g in ctx.raw_graphs.values() if any(g.arcs()))
+        arc = next(graph.arcs())
+        graph.add_arc(arc.dst, arc.src, ArcKind.FLOW, 1)
+        # The graph was already verified when it was built; a real pass
+        # mutating it must invalidate that record.
+        ctx.verified_graph_ids.discard(id(graph))
+
+    err = run_with_corruptor(
+        "deps-build",
+        CorruptorPass("corrupt-graph", corrupt, requires=("raw_graphs",)),
+        latencies=machine.latencies,
+    )
+    assert err.after_pass == "corrupt-graph"
+    assert "cycle" in err.reason or "FLOW arc" in err.reason
+
+
+def test_stale_liveness_localized():
+    def corrupt(ctx):
+        from repro.cfg.liveness import Liveness
+        from repro.isa.program import Program
+
+        other = Program(blocks=list(ctx.work.blocks))
+        ctx.liveness = Liveness(other)
+
+    err = run_with_corruptor(
+        "liveness", CorruptorPass("corrupt-liveness", corrupt)
+    )
+    assert err.after_pass == "corrupt-liveness"
+    assert "stale" in err.reason
+
+
+def test_sentinel_outside_home_block_localized():
+    """Backend corruption: a sentinel moved into a foreign block's schedule."""
+    from repro.deps.reduction import SENTINEL_STORE
+
+    # cmp under sentinel_store schedules explicit CONFIRM sentinels.
+    ctx = fresh_context(bench="cmp", policy=SENTINEL_STORE)
+    PassManager(default_pipeline()).run(ctx)
+    ctx.uid_watermark = ctx.work.uid_watermark()
+    ctx.machine = paper_machine(8)
+    ctx.schedule_policy = SENTINEL_STORE
+
+    def corrupt(ctx):
+        from repro.isa.opcodes import Opcode
+
+        blocks = ctx.compilation.scheduled.blocks
+        for sched in blocks:
+            for word in sched.words:
+                for instr in word:
+                    if instr.op in (Opcode.CHECK, Opcode.CONFIRM):
+                        victim = next(b for b in blocks if b.label != sched.label)
+                        victim.words.insert(0, [instr])
+                        word.remove(instr)
+                        return
+        raise AssertionError("no CHECK scheduled")
+
+    corruptor = CorruptorPass(
+        "corrupt-schedule", corrupt, requires=("compilation",)
+    )
+    with pytest.raises(IRVerificationError) as excinfo:
+        PassManager([ListSchedulingPass(), corruptor]).run(ctx)
+    assert excinfo.value.after_pass == "corrupt-schedule"
+    assert "home block" in str(excinfo.value) or "scheduled outside" in excinfo.value.reason
+
+
+def test_clean_pipeline_verifies_everywhere():
+    """No false positives: a clean run passes every boundary, and the
+    boundary counter reflects executed passes only."""
+    ctx = fresh_context()
+    PassManager(default_pipeline()).run(ctx)
+    assert ctx.verify_boundaries > 0
+    # Skipped passes (recovery-rename, deps under the lazy default) record
+    # a zero-cost timing entry but no verification boundary.
+    assert ctx.timings["recovery-rename"].runs == 1
+    assert ctx.timings["recovery-rename"].wall_seconds == 0.0
+
+
+def test_verify_env_forces_verification(monkeypatch):
+    """REPRO_VERIFY_IR=1 turns verification on for plain compile_program."""
+    monkeypatch.setenv("REPRO_VERIFY_IR", "1")
+    workload = build_workload("wc", seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    comp = compile_program(
+        basic, training.profile, paper_machine(2), SENTINEL, unroll_factor=2
+    )
+    assert comp.stats.schedule_words > 0
+
+
+def test_check_scheduled_rejects_overwide_word():
+    workload = build_workload("wc", seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    prepared = prepare_compilation(basic, training.profile, SENTINEL)
+    comp = schedule_prepared(prepared, paper_machine(8), policy=SENTINEL)
+    with pytest.raises(IRVerificationError) as excinfo:
+        IRVerifier().check_scheduled(comp, issue_rate=1)
+    assert "issues" in excinfo.value.reason
