@@ -13,6 +13,72 @@ from .eval.tables import render_table1, render_table2, render_table3
 from .workloads.suites import ALL_NAMES
 
 
+def run_fuzz(args) -> int:
+    """``--fuzz N``: run a differential fuzz campaign and summarize it."""
+    import os
+    import sys
+
+    from .fuzz.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(seeds=args.fuzz, base_seed=args.fuzz_seed)
+    heartbeat = max(1, config.seeds // 10)
+
+    def progress(seed: int, partial) -> None:
+        done = partial.seeds_run
+        if done % heartbeat == 0 or not partial.ok:
+            status = "ok" if partial.ok else f"{len(partial.findings)} failing"
+            print(
+                f"  ... {done}/{config.seeds} seeds, "
+                f"{partial.cells_checked} cells, {status}",
+                file=sys.stderr,
+            )
+
+    result = run_campaign(config, progress=progress)
+    print(result.render_summary())
+
+    written = []
+    if args.fuzz_out is not None and result.findings:
+        os.makedirs(args.fuzz_out, exist_ok=True)
+        for finding in result.findings:
+            for index, case in enumerate(finding.cases):
+                name = f"seed{finding.seed}_{case.category}_{index}.json"
+                path = os.path.join(args.fuzz_out, name)
+                with open(path, "w") as handle:
+                    handle.write(case.dumps())
+                written.append(path)
+        print(f"wrote {len(written)} reproducers to {args.fuzz_out}")
+    if args.fuzz_report is not None:
+        with open(args.fuzz_report, "w") as handle:
+            json.dump(
+                {
+                    "seeds": result.seeds_run,
+                    "base_seed": config.base_seed,
+                    "cells_checked": result.cells_checked,
+                    "wall_seconds": result.wall_seconds,
+                    "planned_traps": result.planned_traps,
+                    "benign_seeds": result.benign_seeds,
+                    "traps_by_kind": result.coverage.traps_by_kind,
+                    "guarded_executed": result.coverage.guarded_executed,
+                    "guarded_skipped": result.coverage.guarded_skipped,
+                    "unguarded": result.coverage.unguarded,
+                    "failing_seeds": [f.seed for f in result.findings],
+                    "failures_by_category": result.failures_by_category,
+                    "reproducers": written,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+    if not result.ok:
+        for finding in result.findings:
+            print(
+                f"FAIL seed={finding.seed} model={finding.model} "
+                f"categories={','.join(finding.categories)}"
+            )
+        return 1
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -69,7 +135,40 @@ def main() -> None:
         help="dump per-pass, per-block compilation timings (JSON to PATH, "
         "or a table to stdout when PATH is omitted)",
     )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the differential fault-injection fuzzer over N seeds "
+        "(4 policies x issue rates 1/2/4/8 per seed) instead of the sweep",
+    )
+    parser.add_argument(
+        "--fuzz-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first campaign seed (seeds S..S+N-1; default 0)",
+    )
+    parser.add_argument(
+        "--fuzz-out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write minimized reproducers for failing fuzz seeds into DIR",
+    )
+    parser.add_argument(
+        "--fuzz-report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the fuzz campaign summary (counts, coverage, wall time) "
+        "as JSON to PATH",
+    )
     args = parser.parse_args()
+
+    if args.fuzz is not None:
+        raise SystemExit(run_fuzz(args))
 
     if args.passes:
         from .pipeline import PassManager, backend_pipeline, default_pipeline

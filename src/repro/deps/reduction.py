@@ -31,7 +31,7 @@ from typing import Optional
 from ..cfg.liveness import Liveness
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Opcode
-from .types import DepGraph
+from .types import ArcKind, DepGraph
 
 
 @dataclass(frozen=True)
@@ -237,5 +237,29 @@ def reduce_dependence_graph(
                 _release_control_arcs(node)
         elif allowed:
             _release_control_arcs(node)
+
+    # --- shared-sentinel home-block pinning ---------------------------
+    # A sentinel must stay in its protected instruction's home block.  The
+    # builder's guard arcs pin a consumer above a later exit only while its
+    # result is live on the taken path; when that result is dead there
+    # (accumulator chains killed at the loop top, recovery renaming into a
+    # throwaway register), nothing stops downward code motion from sinking
+    # the sentinel below the exit — and a tag set on a looping traversal is
+    # then overwritten, unreported, by the next iteration (found by
+    # differential fuzzing).  Pin every shared sentinel of a speculable
+    # instruction above the next conditional branch, mirroring what
+    # ``_pin_sentinel`` does for inserted checks.
+    if policy.sentinels and graph.shared_sentinel:
+        branch_nodes = [
+            i
+            for i in range(graph.original_count)
+            if graph.nodes[i].info.is_cond_branch
+        ]
+        for protected, use in graph.shared_sentinel.items():
+            if protected not in graph.allowed_spec:
+                continue
+            next_branch = next((b for b in branch_nodes if b > use), None)
+            if next_branch is not None and not graph.has_arc(use, next_branch):
+                graph.add_arc(use, next_branch, ArcKind.GUARD, 0)
 
     return graph

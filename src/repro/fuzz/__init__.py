@@ -1,0 +1,52 @@
+"""Differential fault-injection fuzzer for exception/recovery semantics.
+
+The paper's claim under test is behavioural: a sentinel-scheduled program
+must detect and report exactly the exceptions its sequential execution
+would, and recovery re-execution must be transparent (Sections 1, 3.6,
+3.7).  This package stresses that claim adversarially:
+
+* :mod:`~repro.fuzz.programs` — seeded random programs whose fault sites
+  are armed purely through the memory image,
+* :mod:`~repro.fuzz.planner` — injection plans (which site, which dynamic
+  occurrence, which trap kind, which guard outcome) plus an independent
+  prediction of the reference exception sequence,
+* :mod:`~repro.fuzz.oracle` — the differential check across the reference
+  interpreter, the fastpath interpreter, and the cycle-level processor at
+  every policy x issue-rate cell,
+* :mod:`~repro.fuzz.minimize` — failing-case shrinking and replayable
+  JSON reproducers (the committed corpus in ``tests/fuzz/corpus/``),
+* :mod:`~repro.fuzz.campaign` — the multi-seed driver behind
+  ``python -m repro --fuzz N``.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    spec_for_seed,
+)
+from .minimize import FuzzCase, minimize_case, replay_case
+from .oracle import ISSUE_RATES, POLICIES, check_case, check_cell
+from .planner import InjectionPlan, build_memory, expected_exceptions, plan_injections
+from .programs import FuzzProgram, FuzzSpec, build_fuzz_program
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FuzzCase",
+    "FuzzProgram",
+    "FuzzSpec",
+    "InjectionPlan",
+    "ISSUE_RATES",
+    "POLICIES",
+    "build_fuzz_program",
+    "build_memory",
+    "check_case",
+    "check_cell",
+    "expected_exceptions",
+    "minimize_case",
+    "plan_injections",
+    "replay_case",
+    "run_campaign",
+    "spec_for_seed",
+]

@@ -1,0 +1,168 @@
+"""Campaign driver: many seeds through the differential oracle, with
+shape variation, coverage accounting, minimization and a summary table.
+
+One *seed* produces one program (shape knobs drawn from the seed itself,
+so the corpus spans small/large, guarded/straight-line, FP/integer,
+store-free/store-heavy programs) and one injection plan, then runs the
+full policy × issue-rate cell matrix under :func:`repro.fuzz.oracle.check_case`.
+Failures are minimized on the spot and collected as replayable
+:class:`~repro.fuzz.minimize.FuzzCase` reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .minimize import FuzzCase, failure_to_case, minimize_case
+from .oracle import ISSUE_RATES, POLICIES, CaseResult, check_case, model_for_seed
+from .planner import PlanCoverage, build_memory, plan_coverage, plan_injections
+from .programs import FuzzSpec, build_fuzz_program
+
+#: Mixed into the seed to derive the plan RNG, so program shape and plan
+#: are independent draws.
+PLAN_SALT = 0x9E3779B9
+
+
+def spec_for_seed(seed: int) -> FuzzSpec:
+    """Shape variation: every knob is a deterministic function of the seed."""
+    rng = random.Random(seed * 2654435761 + 1)
+    return FuzzSpec(
+        seed=seed,
+        n_loops=rng.choice((1, 1, 2, 2, 3)),
+        n_sites=rng.choice((2, 3, 4, 4, 5, 6)),
+        body_alu=rng.choice((0, 1, 2, 3, 4)),
+        trip=rng.choice((4, 6, 8, 8, 10)),
+        fp=rng.random() < 0.7,
+        stores=rng.random() < 0.8,
+        guard_bias=rng.choice((0.3, 0.5, 0.7, 0.9)),
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    seeds: int = 300
+    base_seed: int = 0
+    policies: Sequence[str] = POLICIES
+    rates: Sequence[int] = ISSUE_RATES
+    #: None = alternate sentinel / sentinel_store by seed parity.
+    model: Optional[str] = None
+    minimize: bool = True
+
+
+@dataclass
+class Finding:
+    """One failing seed, with its minimized reproducers."""
+
+    seed: int
+    model: str
+    categories: Tuple[str, ...]
+    cases: List[FuzzCase] = field(default_factory=list)
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    seeds_run: int = 0
+    cells_checked: int = 0
+    wall_seconds: float = 0.0
+    coverage: PlanCoverage = field(default_factory=PlanCoverage)
+    #: armed traps across all plans (coverage.traps_by_kind totals these).
+    planned_traps: int = 0
+    benign_seeds: int = 0
+    failures_by_category: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render_summary(self) -> str:
+        cfg = self.config
+        lines = [
+            "fuzz campaign summary",
+            f"  seeds           {self.seeds_run} (base {cfg.base_seed})",
+            f"  cells checked   {self.cells_checked} "
+            f"({len(cfg.policies)} policies x rates {','.join(map(str, cfg.rates))})",
+            f"  wall time       {self.wall_seconds:.1f}s",
+            f"  planned traps   {self.planned_traps} "
+            f"({self.benign_seeds} benign seeds)",
+        ]
+        for kind in sorted(self.coverage.traps_by_kind):
+            lines.append(f"    {kind:<14} {self.coverage.traps_by_kind[kind]}")
+        lines.append(
+            f"  guarded sites   executed={self.coverage.guarded_executed} "
+            f"skipped={self.coverage.guarded_skipped} "
+            f"unguarded={self.coverage.unguarded}"
+        )
+        if self.failures_by_category:
+            lines.append(f"  FAILING SEEDS   {len(self.findings)}")
+            for category in sorted(self.failures_by_category):
+                lines.append(
+                    f"    {category:<20} {self.failures_by_category[category]} cells"
+                )
+        else:
+            lines.append("  divergences     none")
+        return "\n".join(lines)
+
+
+def run_case_for_seed(
+    seed: int, config: CampaignConfig
+) -> Tuple[FuzzSpec, object, CaseResult]:
+    """Build and check the (program, plan) pair for one campaign seed."""
+    spec = spec_for_seed(seed)
+    program = build_fuzz_program(spec)
+    plan = plan_injections(program, seed ^ PLAN_SALT)
+    model = config.model if config.model is not None else model_for_seed(seed)
+    result = check_case(
+        spec,
+        plan,
+        model=model,
+        policies=config.policies,
+        rates=config.rates,
+        program=program,
+    )
+    return spec, plan, result
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: Optional[Callable[[int, CampaignResult], None]] = None,
+) -> CampaignResult:
+    start = time.perf_counter()
+    out = CampaignResult(config=config)
+    for index in range(config.seeds):
+        seed = config.base_seed + index
+        spec, plan, result = run_case_for_seed(seed, config)
+        out.seeds_run += 1
+        out.cells_checked += result.cells
+        try:
+            program = build_fuzz_program(spec)
+            memory = build_memory(program, plan)
+            out.coverage.merge(plan_coverage(program, plan, memory))
+            out.planned_traps += len(plan.traps)
+            if not plan.traps:
+                out.benign_seeds += 1
+        except Exception:  # noqa: BLE001 — crash already reported by the oracle
+            pass
+        if not result.ok:
+            finding = Finding(
+                seed=seed,
+                model=result.model,
+                categories=tuple(sorted({f.category for f in result.failures})),
+            )
+            for failure in result.failures:
+                out.failures_by_category[failure.category] = (
+                    out.failures_by_category.get(failure.category, 0) + 1
+                )
+                case = failure_to_case(spec, plan, result.model, failure)
+                if config.minimize:
+                    case = minimize_case(case)
+                finding.cases.append(case)
+            out.findings.append(finding)
+        if progress is not None:
+            progress(seed, out)
+    out.wall_seconds = time.perf_counter() - start
+    return out

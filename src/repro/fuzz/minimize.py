@@ -1,0 +1,179 @@
+"""Failing-case minimization and reproducer (de)serialization.
+
+Given a failing cell, greedily shrink first the *plan* (drop traps, drop
+guard pins — program unchanged, so these candidates are cheap and always
+valid) and then the *spec* (fewer loops, less filler, fewer sites, shorter
+trip, no FP, no stores).  A candidate is accepted only when the cell still
+fails **in the same category** — shrinking must preserve the bug, not just
+some bug.  Spec shrinks regenerate the program, which can orphan the plan
+(a trap pointing at a site that no longer exists or changed kind); such
+candidates are skipped via plan validation rather than repaired, keeping
+the search deterministic.
+
+Reproducers serialize to a small JSON object (spec + plan + failing cell
+coordinates) that :func:`replay_case` re-checks from scratch — the corpus
+under ``tests/fuzz/corpus/`` is exactly these files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from .oracle import CellFailure, check_cell
+from .planner import InjectionPlan, PlanError, validate_plan
+from .programs import FuzzProgram, FuzzSpec, build_fuzz_program
+
+#: Hard cap on oracle probes per minimization, so a flaky failure cannot
+#: stall a campaign.
+MAX_PROBES = 200
+
+
+@dataclass
+class FuzzCase:
+    """One reproducer: everything needed to re-run a single cell."""
+
+    spec: FuzzSpec
+    plan: InjectionPlan
+    policy: str
+    issue_rate: Optional[int]
+    model: str
+    category: str = ""
+    #: "invariant" = must pass; "xfail" = pinned known-failure.
+    status: str = "invariant"
+    note: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_json(),
+            "plan": self.plan.to_json(),
+            "policy": self.policy,
+            "issue_rate": self.issue_rate,
+            "model": self.model,
+            "category": self.category,
+            "status": self.status,
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "FuzzCase":
+        rate = data.get("issue_rate")
+        return FuzzCase(
+            spec=FuzzSpec.from_json(data["spec"]),
+            plan=InjectionPlan.from_json(data.get("plan", {})),
+            policy=str(data.get("policy", "abort")),
+            issue_rate=None if rate is None else int(rate),
+            model=str(data.get("model", "sentinel")),
+            category=str(data.get("category", "")),
+            status=str(data.get("status", "invariant")),
+            note=str(data.get("note", "")),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def loads(text: str) -> "FuzzCase":
+        return FuzzCase.from_json(json.loads(text))
+
+
+def replay_case(case: FuzzCase) -> Optional[CellFailure]:
+    """Re-run a reproducer's cell; None means the cell now passes."""
+    return check_cell(case.spec, case.plan, case.policy, case.issue_rate, case.model)
+
+
+def _plan_fits(spec: FuzzSpec, plan: InjectionPlan) -> Optional[FuzzProgram]:
+    try:
+        program = build_fuzz_program(spec)
+        validate_plan(program, plan)
+    except (PlanError, ValueError):
+        return None
+    return program
+
+
+def _spec_candidates(spec: FuzzSpec) -> List[FuzzSpec]:
+    candidates: List[FuzzSpec] = []
+    if spec.n_loops > 1:
+        candidates.append(replace(spec, n_loops=spec.n_loops - 1))
+    if spec.body_alu > 0:
+        candidates.append(replace(spec, body_alu=0))
+        if spec.body_alu > 1:
+            candidates.append(replace(spec, body_alu=spec.body_alu - 1))
+    if spec.n_sites > 1:
+        candidates.append(replace(spec, n_sites=spec.n_sites - 1))
+    if spec.trip > 2:
+        candidates.append(replace(spec, trip=max(2, spec.trip // 2)))
+        candidates.append(replace(spec, trip=spec.trip - 1))
+    if spec.fp:
+        candidates.append(replace(spec, fp=False))
+    if spec.stores:
+        candidates.append(replace(spec, stores=False))
+    return candidates
+
+
+def minimize_case(case: FuzzCase, max_probes: int = MAX_PROBES) -> FuzzCase:
+    """Greedy shrink of ``case`` preserving its failure category."""
+    probes = 0
+
+    def still_fails(spec: FuzzSpec, plan: InjectionPlan) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        failure = check_cell(spec, plan, case.policy, case.issue_rate, case.model)
+        return failure is not None and failure.category == case.category
+
+    spec, plan = case.spec, case.plan
+
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        # Plan shrinks first: cheapest, and most reproducers boil down to a
+        # single trap once the irrelevant ones are gone.
+        for index in range(len(plan.traps) - 1, -1, -1):
+            candidate = plan.without_trap(index)
+            if still_fails(spec, candidate):
+                plan = candidate
+                changed = True
+        for index in range(len(plan.guards) - 1, -1, -1):
+            candidate = plan.without_guard(index)
+            if still_fails(spec, candidate):
+                plan = candidate
+                changed = True
+        for candidate_spec in _spec_candidates(spec):
+            if _plan_fits(candidate_spec, plan) is None:
+                continue
+            if still_fails(candidate_spec, plan):
+                spec = candidate_spec
+                changed = True
+                break  # re-derive candidates from the smaller spec
+
+    return replace(case, spec=spec, plan=plan)
+
+
+def case_size(case: FuzzCase) -> Tuple[int, int, int]:
+    """Rough size metric (for reporting shrink effectiveness)."""
+    program = build_fuzz_program(case.spec)
+    n_instrs = sum(
+        len(block.instrs) for block in program.workload.program.blocks
+    )
+    return (n_instrs, len(case.plan.traps), len(case.plan.guards))
+
+
+def failure_to_case(
+    spec: FuzzSpec, plan: InjectionPlan, model: str, failure: CellFailure
+) -> FuzzCase:
+    # Whole-case failures ("*": generator/compile crashes) re-probe under
+    # recover, which walks both the recovery compile and the repair
+    # reference path — the widest single-policy net.
+    policy = failure.policy if failure.policy != "*" else "recover"
+    return FuzzCase(
+        spec=spec,
+        plan=plan,
+        policy=policy,
+        issue_rate=failure.issue_rate,
+        model=model,
+        category=failure.category,
+        note=failure.problems[0][:400] if failure.problems else "",
+    )

@@ -1,0 +1,537 @@
+"""Differential oracle: run one fuzz cell through every executor and
+cross-check.
+
+A *cell* is (program, injection plan, policy, issue rate).  Three executors
+see each cell:
+
+1. the sequential **reference interpreter** (golden semantics),
+2. the pre-decoded **fastpath interpreter** — compared *strictly*: final
+   registers, memory (values and outstanding faults), full exception
+   records, I/O events, step count, halt/abort flag and the execution
+   profile must all be identical,
+3. the cycle-level **processor** on sentinel-scheduled code at the cell's
+   issue rate — compared against the reference under the per-policy
+   observable-equivalence contract the paper defines (exact first
+   exception under ``abort``, ordered superset under ``record``,
+   transparent re-execution under ``recover``), plus store-buffer and
+   recovery-counter sanity.
+
+Independently, the reference run itself is checked against the *planner's
+prediction* (:func:`repro.fuzz.planner.expected_exceptions`) so a bug that
+breaks both interpreters identically — or a planner that silently arms
+nothing — still fails loudly.
+
+Policy mapping: the interpreters accept abort/repair/record and the
+processor abort/record/recover, so a ``recover`` cell uses the ``repair``
+reference semantics and a ``repair`` cell exercises the processor's
+``recover`` machinery — the same OS contract seen from both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.exceptions import ABORT, RECORD, RECOVER, REPAIR, SimulationError
+from ..arch.processor import run_scheduled
+from ..cfg.basic_block import to_basic_blocks
+from ..deps.reduction import SENTINEL, SENTINEL_STORE
+from ..interp.interpreter import run_program
+from ..interp.state import diff_observables, observable_of
+from ..machine.description import paper_machine
+from ..sched.compiler import prepare_compilation, schedule_prepared
+from .planner import (
+    ExceptionEvent,
+    InjectionPlan,
+    build_memory,
+    expected_exception_events,
+    expected_exceptions,
+)
+from .programs import DIV, MEM_STORE, FuzzProgram, FuzzSpec, build_fuzz_program
+
+POLICIES = (ABORT, REPAIR, RECORD, RECOVER)
+ISSUE_RATES = (1, 2, 4, 8)
+MODELS = {"sentinel": SENTINEL, "sentinel_store": SENTINEL_STORE}
+UNROLL = 2
+
+
+def interp_policy_for(policy: str) -> str:
+    """The interpreter-side policy realizing a cell policy."""
+    return REPAIR if policy == RECOVER else policy
+
+
+def processor_policy_for(policy: str) -> str:
+    """The processor-side policy realizing a cell policy."""
+    return RECOVER if policy == REPAIR else policy
+
+
+@dataclass
+class CellFailure:
+    """One divergent (or crashed) cell."""
+
+    policy: str
+    issue_rate: Optional[int]  # None = interpreter-level check
+    category: str
+    problems: List[str]
+
+    def headline(self) -> str:
+        rate = "interp" if self.issue_rate is None else f"rate={self.issue_rate}"
+        first = self.problems[0] if self.problems else ""
+        return f"[{self.category}] policy={self.policy} {rate}: {first}"
+
+
+@dataclass
+class CaseResult:
+    """All cell outcomes for one (program, plan, model)."""
+
+    spec: FuzzSpec
+    plan: InjectionPlan
+    model: str
+    cells: int = 0
+    failures: List[CellFailure] = field(default_factory=list)
+    #: reference exception counts per policy, for campaign statistics.
+    ref_exceptions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Interpreter-level strict diff.
+# ----------------------------------------------------------------------
+
+
+def _exc_records(result) -> List[Tuple[int, object, int, int, str]]:
+    return [
+        (e.pc, e.kind, e.reporter_pc, e.origin_pc, e.detail) for e in result.exceptions
+    ]
+
+
+def diff_interpreters(ref, fast) -> List[str]:
+    """Strict reference-vs-fastpath comparison: the two interpreters claim
+    execution equivalence, so *everything* observable must match."""
+    problems: List[str] = []
+    if ref.halted != fast.halted or ref.aborted != fast.aborted:
+        problems.append(
+            f"termination: ref halted={ref.halted}/aborted={ref.aborted}, "
+            f"fast halted={fast.halted}/aborted={fast.aborted}"
+        )
+    if ref.steps != fast.steps:
+        problems.append(f"steps: {ref.steps} != {fast.steps}")
+    problems.extend(diff_observables(observable_of(ref), observable_of(fast)))
+    if _exc_records(ref) != _exc_records(fast):
+        problems.append(
+            f"exception records: {_exc_records(ref)} != {_exc_records(fast)}"
+        )
+    if ref.memory.faulting_addresses() != fast.memory.faulting_addresses():
+        problems.append(
+            f"outstanding faults: {ref.memory.faulting_addresses()} != "
+            f"{fast.memory.faulting_addresses()}"
+        )
+    ref_regs = {r: v for r, v in ref.registers.items()}
+    fast_regs = {r: v for r, v in fast.registers.items()}
+    if set(ref_regs) != set(fast_regs):
+        extra = set(ref_regs) ^ set(fast_regs)
+        problems.append(f"register sets differ on {sorted(r.name for r in extra)}")
+    else:
+        for reg in ref_regs:
+            a, b = ref_regs[reg], fast_regs[reg]
+            if a != b and not (a != a and b != b):  # NaN == NaN for our purposes
+                problems.append(f"register {reg.name}: {a!r} != {b!r}")
+    for attr in ("block_visits", "branch_executed", "branch_taken", "edges"):
+        pa, pb = getattr(ref.profile, attr), getattr(fast.profile, attr)
+        if +pa != +pb:
+            problems.append(f"profile {attr}: {dict(+pa)} != {dict(+pb)}")
+    return problems
+
+
+def check_plan_conformance(
+    program: FuzzProgram, plan: InjectionPlan, memory, policy: str, ref
+) -> List[str]:
+    """The reference run must signal exactly the planner's prediction."""
+    predicted = expected_exceptions(program, plan, memory, policy)
+    actual = [(e.origin_pc, e.kind) for e in ref.exceptions]
+    problems: List[str] = []
+    if actual != predicted:
+        problems.append(f"planned {predicted} but reference signalled {actual}")
+    interp = interp_policy_for(policy)
+    fatal = any(not kind.repairable for _uid, kind in predicted)
+    if interp == ABORT:
+        should_abort = bool(predicted)
+    elif interp == REPAIR:
+        should_abort = fatal
+    else:  # RECORD runs to completion regardless
+        should_abort = False
+    if ref.aborted != should_abort or ref.halted == should_abort:
+        problems.append(
+            f"planned abort={should_abort} but reference "
+            f"halted={ref.halted} aborted={ref.aborted}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Scheduled-processor invariants.
+# ----------------------------------------------------------------------
+
+
+def _first_exc(result) -> Optional[Tuple[int, object]]:
+    if not result.exceptions:
+        return None
+    exc = result.exceptions[0]
+    return (exc.origin_pc, exc.kind)
+
+
+def _exc_pairs(result) -> List[Tuple[int, object]]:
+    return [(e.origin_pc, e.kind) for e in result.exceptions]
+
+
+def _find_event(
+    events: Sequence[ExceptionEvent], pair: Optional[Tuple[int, object]]
+) -> Optional[ExceptionEvent]:
+    """The earliest predicted event matching an observed (origin, kind)."""
+    if pair is None:
+        return None
+    for event in events:
+        if event.pair == pair:
+            return event
+    return None
+
+
+def _window_pairs(
+    events: Sequence[ExceptionEvent], anchor: Optional[ExceptionEvent]
+) -> set:
+    """Section 3.6: exceptions in *different* blocks are detected in proper
+    order; within one block the order is explicitly not guaranteed.  After
+    superblock formation one block spans up to ``UNROLL`` original loop
+    iterations, so the scheduled run's first detection may be any predicted
+    event from the anchor's loop within one unroll window of it."""
+    if anchor is None:
+        return set()
+    return {
+        event.pair
+        for event in events
+        if event.loop == anchor.loop
+        and abs(event.occurrence - anchor.occurrence) <= UNROLL
+    }
+
+
+def _maskable_pairs(events: Sequence[ExceptionEvent]) -> set:
+    """Events whose own exception a record-only run may legitimately lose.
+
+    Table 1 row 6: a speculative instruction with a tagged source operand
+    propagates that tag and its own exception is never evaluated.  In the
+    generated programs the ``div`` dividend and the ``mem_store`` value read
+    a live accumulator, so any earlier (or same-window) fault can taint the
+    operand and mask the site's own trap.  Without re-execution the masked
+    exception is unrecoverable — ``recover`` cells therefore still demand
+    the full set.  (Conservative over-approximation: the taint is assumed
+    reachable whenever another event exists at or before the window.)
+    """
+    masked = set()
+    for event in events:
+        if event.site_kind not in (DIV, MEM_STORE):
+            continue
+        for other in events:
+            if other is event:
+                continue
+            before_window = other.loop < event.loop or (
+                other.loop == event.loop
+                and other.occurrence <= event.occurrence + UNROLL
+            )
+            if before_window:
+                masked.add(event.pair)
+                break
+    return masked
+
+
+def _store_buffer_sanity(out) -> List[str]:
+    # A probationary store may only be cancelled by a mispredicted branch,
+    # a recovery restart, or teardown after a signal — never spontaneously.
+    if out.cancelled_stores and not (
+        out.mispredictions or out.recoveries or out.exceptions or out.aborted
+    ):
+        return [
+            f"{out.cancelled_stores} stores cancelled with no mispredict, "
+            "recovery or exception"
+        ]
+    return []
+
+
+def check_scheduled_cell(
+    ref, out, policy: str, events: Sequence[ExceptionEvent] = ()
+) -> List[str]:
+    """Per-policy observable-equivalence contract, reference vs processor.
+
+    ``events`` is the planner's full predicted exception sequence (the
+    ``record`` shape), used for two architecture-mandated relaxations:
+    the same-block detection-order window (Section 3.6) and record-mode
+    chain masking (Table 1 row 6) — see :func:`_window_pairs` and
+    :func:`_maskable_pairs`.
+    """
+    problems: List[str] = []
+    proc_policy = processor_policy_for(policy)
+    event_pairs = {event.pair for event in events}
+
+    def first_ok() -> bool:
+        """Scheduled first detection vs reference first, window-relaxed."""
+        if _first_exc(out) == _first_exc(ref):
+            return True
+        window = _window_pairs(events, _find_event(events, _first_exc(ref)))
+        return _first_exc(out) in window
+
+    if proc_policy == ABORT:
+        if ref.aborted:
+            if not out.aborted:
+                problems.append("reference aborted but scheduled run did not")
+            elif not first_ok():
+                problems.append(
+                    f"first exception {_first_exc(out)} != reference "
+                    f"{_first_exc(ref)} (nor in its same-block window)"
+                )
+        else:
+            if not out.halted:
+                problems.append("reference halted but scheduled run did not")
+            problems.extend(
+                diff_observables(observable_of(ref), observable_of(out))
+            )
+    elif proc_policy == RECORD:
+        if not ref.exceptions:
+            if not out.halted:
+                problems.append("benign record cell did not halt")
+            problems.extend(
+                diff_observables(observable_of(ref), observable_of(out))
+            )
+        else:
+            if not out.halted:
+                problems.append("record cell did not run to completion")
+            if out.io_events != ref.io_events:
+                problems.append(f"io events {out.io_events} != {ref.io_events}")
+            if not first_ok():
+                problems.append(
+                    f"first exception {_first_exc(out)} != reference "
+                    f"{_first_exc(ref)} (nor in its same-block window)"
+                )
+            ghosts = set(_exc_pairs(out)) - set(_exc_pairs(ref))
+            if ghosts:
+                problems.append(f"exceptions the reference never signalled: {ghosts}")
+            missing = (
+                set(_exc_pairs(ref))
+                - set(_exc_pairs(out))
+                - _maskable_pairs(events)
+            )
+            if missing:
+                problems.append(f"reference exceptions never reported: {missing}")
+    else:  # RECOVER
+        if ref.halted:
+            if not out.halted:
+                problems.append("repair-surviving cell did not halt under recover")
+            problems.extend(
+                p
+                for p in diff_observables(observable_of(ref), observable_of(out))
+                if not p.startswith("exceptions")
+            )
+            # Recovery re-executes the speculative window, so chain masking
+            # cannot lose a fault here: the full set is required.
+            missing = set(_exc_pairs(ref)) - set(_exc_pairs(out))
+            if missing:
+                problems.append(f"reference faults never reported: {missing}")
+            bad = [k for _pc, k in _exc_pairs(out) if not k.repairable]
+            if bad:
+                problems.append(f"non-repairable kinds signalled under recover: {bad}")
+            if out.recoveries != len(out.exceptions):
+                problems.append(
+                    f"{out.recoveries} recoveries for {len(out.exceptions)} signals"
+                )
+        else:  # fatal (non-repairable) plan: recovery must abort like repair
+            ref_fatal = _exc_pairs(ref)[-1] if ref.exceptions else None
+            if not out.aborted:
+                problems.append("fatal cell did not abort under recover")
+            elif not out.exceptions:
+                problems.append(f"aborted with no exception (reference {ref_fatal})")
+            else:
+                got = _exc_pairs(out)[-1]
+                fatal_window = {
+                    pair
+                    for pair in _window_pairs(events, _find_event(events, ref_fatal))
+                    if not pair[1].repairable
+                }
+                if got != ref_fatal and got not in fatal_window:
+                    problems.append(
+                        f"fatal exception {got} != reference {ref_fatal} "
+                        "(nor a non-repairable in its same-block window)"
+                    )
+                ghosts = set(_exc_pairs(out)) - event_pairs
+                if ghosts:
+                    problems.append(
+                        f"exceptions the plan never armed: {ghosts}"
+                    )
+    problems.extend(_store_buffer_sanity(out))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Full-case driver.
+# ----------------------------------------------------------------------
+
+
+def model_for_seed(seed: int) -> str:
+    """Campaign default: alternate the two sentinel models by seed parity."""
+    return "sentinel_store" if seed % 2 else "sentinel"
+
+
+def check_case(
+    spec: FuzzSpec,
+    plan: InjectionPlan,
+    model: Optional[str] = None,
+    policies: Sequence[str] = POLICIES,
+    rates: Sequence[int] = ISSUE_RATES,
+    program: Optional[FuzzProgram] = None,
+) -> CaseResult:
+    """Run every (policy, rate) cell of one (program, plan) and report."""
+    model = model if model is not None else model_for_seed(spec.seed)
+    result = CaseResult(spec=spec, plan=plan, model=model)
+
+    try:
+        fuzzprog = program if program is not None else build_fuzz_program(spec)
+        memory = build_memory(fuzzprog, plan)
+    except Exception as exc:  # noqa: BLE001 — any generator crash is a finding
+        result.cells = 1
+        result.failures.append(
+            CellFailure("*", None, "crash-generate", [f"{type(exc).__name__}: {exc}"])
+        )
+        return result
+
+    workload = fuzzprog.workload
+    basic = to_basic_blocks(workload.program)
+    events = expected_exception_events(fuzzprog, plan, memory)
+
+    # Interpreter-level cells: one strict diff per distinct interp policy.
+    refs: Dict[str, object] = {}
+    for policy in policies:
+        interp = interp_policy_for(policy)
+        if interp in refs:
+            continue
+        result.cells += 1
+        try:
+            ref = run_program(
+                workload.program,
+                memory=memory.clone(),
+                on_exception=interp,
+                reference=True,
+            )
+            fast = run_program(
+                workload.program, memory=memory.clone(), on_exception=interp
+            )
+        except SimulationError as exc:
+            result.failures.append(
+                CellFailure(policy, None, "crash-interp", [str(exc)])
+            )
+            continue
+        refs[interp] = ref
+        result.ref_exceptions[interp] = len(ref.exceptions)
+        problems = diff_interpreters(ref, fast)
+        if problems:
+            result.failures.append(
+                CellFailure(policy, None, "interp-diff", problems)
+            )
+        conformance = check_plan_conformance(fuzzprog, plan, memory, policy, ref)
+        if conformance:
+            result.failures.append(
+                CellFailure(policy, None, "plan-conformance", conformance)
+            )
+
+    if not rates:
+        return result
+
+    # Training profile from the benign image: compilation must never see
+    # the armed input (the fuzzer's "compile once, attack many" stance).
+    training = run_program(basic, memory=workload.make_memory())
+    if not training.halted:
+        result.failures.append(
+            CellFailure("*", None, "training-nontermination", ["benign run did not halt"])
+        )
+        return result
+
+    policy_obj = MODELS[model]
+    needs_plain = any(processor_policy_for(p) in (ABORT, RECORD) for p in policies)
+    needs_recovery = any(processor_policy_for(p) == RECOVER for p in policies)
+    prepared: Dict[bool, object] = {}
+    try:
+        if needs_plain:
+            prepared[False] = prepare_compilation(
+                basic, training.profile, policy_obj, recovery=False, unroll_factor=UNROLL
+            )
+        if needs_recovery:
+            prepared[True] = prepare_compilation(
+                basic, training.profile, policy_obj, recovery=True, unroll_factor=UNROLL
+            )
+    except Exception as exc:  # noqa: BLE001
+        result.cells += 1
+        result.failures.append(
+            CellFailure("*", None, "crash-compile", [f"{type(exc).__name__}: {exc}"])
+        )
+        return result
+
+    for rate in rates:
+        machine = paper_machine(rate)
+        for recovery in (False, True):
+            if recovery not in prepared:
+                continue
+            # schedule_prepared invalidates the previous result on the same
+            # prepared compilation, so run every cell of this (rate,
+            # recovery) batch before the next schedule call.
+            try:
+                comp = schedule_prepared(prepared[recovery], machine)
+            except Exception as exc:  # noqa: BLE001
+                result.cells += 1
+                result.failures.append(
+                    CellFailure(
+                        "*", rate, "crash-compile", [f"{type(exc).__name__}: {exc}"]
+                    )
+                )
+                continue
+            for policy in policies:
+                proc_policy = processor_policy_for(policy)
+                if (proc_policy == RECOVER) != recovery:
+                    continue
+                result.cells += 1
+                ref = refs.get(interp_policy_for(policy))
+                if ref is None:
+                    continue  # interpreter cell crashed; already reported
+                try:
+                    out = run_scheduled(
+                        comp.scheduled,
+                        machine,
+                        memory=memory.clone(),
+                        on_exception=proc_policy,
+                    )
+                except SimulationError as exc:
+                    result.failures.append(
+                        CellFailure(policy, rate, "crash-sched", [str(exc)])
+                    )
+                    continue
+                problems = check_scheduled_cell(ref, out, policy, events=events)
+                if problems:
+                    result.failures.append(
+                        CellFailure(policy, rate, f"sched-{proc_policy}", problems)
+                    )
+    return result
+
+
+def check_cell(
+    spec: FuzzSpec,
+    plan: InjectionPlan,
+    policy: str,
+    issue_rate: Optional[int],
+    model: str,
+) -> Optional[CellFailure]:
+    """Re-run one cell (the minimizer's probe).  ``issue_rate=None`` checks
+    only the interpreter level."""
+    rates: Sequence[int] = () if issue_rate is None else (issue_rate,)
+    result = check_case(spec, plan, model=model, policies=(policy,), rates=rates)
+    for failure in result.failures:
+        if failure.issue_rate == issue_rate or failure.issue_rate is None:
+            return failure
+    return result.failures[0] if result.failures else None

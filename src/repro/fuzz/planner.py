@@ -1,0 +1,348 @@
+"""Fault-injection planning: arm fuzz-program sites through the memory image.
+
+A :class:`InjectionPlan` is pure data — which site traps at which dynamic
+occurrence with which trap kind, plus explicit guard outcomes for the
+iterations that matter.  :func:`build_memory` realizes a plan as a memory
+image (control-word overrides + injected page faults), and
+:func:`expected_exceptions` predicts, from the plan and that image alone,
+the exact exception sequence the sequential reference execution must
+signal under each policy.  The differential oracle checks the reference
+run against this prediction *and* the other executors against the
+reference, so a planner/generator bug cannot silently weaken the
+cross-check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.exceptions import ABORT, RECORD, RECOVER, REPAIR, TrapKind
+from ..arch.memory import Memory
+from .programs import DIV, FP, FP_TRAP_CTL, MEM_LOAD, MEM_STORE, FuzzProgram
+
+#: Plannable trap kinds per site kind.
+PAGE_FAULT = "page_fault"
+UNMAPPED = "unmapped"
+DIV_ZERO = "div_zero"
+FP_OVERFLOW = "fp_overflow"
+
+TRAP_KINDS_FOR_SITE: Dict[str, Tuple[str, ...]] = {
+    MEM_LOAD: (PAGE_FAULT, UNMAPPED),
+    MEM_STORE: (PAGE_FAULT, UNMAPPED),
+    DIV: (DIV_ZERO,),
+    FP: (FP_OVERFLOW,),
+}
+
+#: The architectural trap each planned kind produces.
+TRAP_KIND_MAP: Dict[str, TrapKind] = {
+    PAGE_FAULT: TrapKind.PAGE_FAULT,
+    UNMAPPED: TrapKind.ACCESS_VIOLATION,
+    DIV_ZERO: TrapKind.DIV_ZERO,
+    FP_OVERFLOW: TrapKind.FP_OVERFLOW,
+}
+
+#: First word past the generator's single mapped segment (see
+#: Workload.make_memory): pointers at/after this address raise
+#: ACCESS_VIOLATION.
+UNMAPPED_BASE = 1 << 22
+
+
+@dataclass(frozen=True)
+class PlannedTrap:
+    """Arm ``site`` at dynamic occurrence ``occurrence`` (loop iteration)."""
+
+    site: int
+    occurrence: int
+    kind: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {"site": self.site, "occurrence": self.occurrence, "kind": self.kind}
+
+
+@dataclass(frozen=True)
+class GuardSet:
+    """Pin guard region ``region`` at iteration ``occurrence``: home block
+    executed (``executed=True``) or skipped."""
+
+    region: int
+    occurrence: int
+    executed: bool
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "region": self.region,
+            "occurrence": self.occurrence,
+            "executed": self.executed,
+        }
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    traps: Tuple[PlannedTrap, ...] = ()
+    guards: Tuple[GuardSet, ...] = ()
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "traps": [t.to_json() for t in self.traps],
+            "guards": [g.to_json() for g in self.guards],
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "InjectionPlan":
+        traps = tuple(
+            PlannedTrap(int(t["site"]), int(t["occurrence"]), str(t["kind"]))
+            for t in data.get("traps", ())
+        )
+        guards = tuple(
+            GuardSet(int(g["region"]), int(g["occurrence"]), bool(g["executed"]))
+            for g in data.get("guards", ())
+        )
+        return InjectionPlan(traps=traps, guards=guards)
+
+    def without_trap(self, index: int) -> "InjectionPlan":
+        return InjectionPlan(
+            traps=self.traps[:index] + self.traps[index + 1 :], guards=self.guards
+        )
+
+    def without_guard(self, index: int) -> "InjectionPlan":
+        return InjectionPlan(
+            traps=self.traps, guards=self.guards[:index] + self.guards[index + 1 :]
+        )
+
+
+class PlanError(ValueError):
+    """The plan does not fit the program (bad site/occurrence/kind)."""
+
+
+def validate_plan(program: FuzzProgram, plan: InjectionPlan) -> None:
+    trip = program.trip
+    for trap in plan.traps:
+        if not 0 <= trap.site < len(program.sites):
+            raise PlanError(f"no such site {trap.site}")
+        site = program.sites[trap.site]
+        if trap.kind not in TRAP_KINDS_FOR_SITE[site.kind]:
+            raise PlanError(f"site {trap.site} ({site.kind}) cannot raise {trap.kind}")
+        if not 0 <= trap.occurrence < trip:
+            raise PlanError(f"occurrence {trap.occurrence} outside trip {trip}")
+    for guard in plan.guards:
+        if not 0 <= guard.region < len(program.regions):
+            raise PlanError(f"no such guard region {guard.region}")
+        if not 0 <= guard.occurrence < trip:
+            raise PlanError(f"occurrence {guard.occurrence} outside trip {trip}")
+
+
+# ----------------------------------------------------------------------
+# Random planning.
+# ----------------------------------------------------------------------
+
+
+def plan_injections(program: FuzzProgram, plan_seed: int) -> InjectionPlan:
+    """A seeded random plan for ``program``.
+
+    Scenario mix: ~1 in 5 plans is benign (no traps — the pure state
+    equivalence check); the rest arm 1-3 traps.  Every trap at a guarded
+    site pins its guard explicitly, with ~40% of them pinned *skipped* —
+    the speculative-trap-whose-home-block-is-not-taken case the sentinel
+    tag machinery exists for.  A few extra guard pins add control-path
+    variety even where no trap fires.
+    """
+    rng = random.Random(plan_seed)
+    trip = program.trip
+    traps: List[PlannedTrap] = []
+    guards: List[GuardSet] = []
+    pinned: Dict[Tuple[int, int], bool] = {}
+
+    if program.sites and rng.random() >= 0.2:
+        n_traps = rng.choice((1, 1, 2, 2, 3))
+        chosen: List[Tuple[int, int]] = []
+        for _ in range(n_traps):
+            site = rng.randrange(len(program.sites))
+            occurrence = rng.randrange(trip)
+            if (site, occurrence) in chosen:
+                continue
+            chosen.append((site, occurrence))
+            kind = rng.choice(TRAP_KINDS_FOR_SITE[program.sites[site].kind])
+            traps.append(PlannedTrap(site, occurrence, kind))
+            region = program.sites[site].region
+            if region is not None:
+                executed = rng.random() >= 0.4
+                key = (region, occurrence)
+                if key not in pinned:
+                    pinned[key] = executed
+                    guards.append(GuardSet(region, occurrence, executed))
+    for _ in range(rng.randrange(3)):
+        if not program.regions:
+            break
+        region = rng.randrange(len(program.regions))
+        occurrence = rng.randrange(trip)
+        key = (region, occurrence)
+        if key not in pinned:
+            executed = rng.random() < 0.5
+            pinned[key] = executed
+            guards.append(GuardSet(region, occurrence, executed))
+    return InjectionPlan(traps=tuple(traps), guards=tuple(guards))
+
+
+# ----------------------------------------------------------------------
+# Memory realization.
+# ----------------------------------------------------------------------
+
+
+def _pf_slot(program: FuzzProgram, trap: PlannedTrap) -> int:
+    """A page-fault target address unique to (site, occurrence).
+
+    Indexed by the site's rank *among memory sites* — the pool only has
+    ``n_mem_sites * trip`` words, so indexing by global site number would
+    alias two planned faults onto one address, and the first repair would
+    silently disarm the second trap (found by plan-conformance checking in
+    the first campaign).
+    """
+    mem_rank = sum(
+        1
+        for other in program.sites[: trap.site]
+        if other.kind in (MEM_LOAD, MEM_STORE)
+    )
+    return program.pf_base + mem_rank * program.trip + trap.occurrence
+
+
+def build_memory(program: FuzzProgram, plan: InjectionPlan) -> Memory:
+    """The benign memory image with the plan's overrides applied."""
+    validate_plan(program, plan)
+    memory = program.workload.make_memory()
+    for guard in plan.guards:
+        region = program.regions[guard.region]
+        memory.poke(region.g_base + guard.occurrence, 1 if guard.executed else 0)
+    for index, trap in enumerate(plan.traps):
+        site = program.sites[trap.site]
+        ctl_addr = site.ctl_base + trap.occurrence
+        if trap.kind == PAGE_FAULT:
+            target = _pf_slot(program, trap)
+            memory.poke(ctl_addr, target)
+            memory.inject_page_fault(target)
+        elif trap.kind == UNMAPPED:
+            memory.poke(ctl_addr, UNMAPPED_BASE + 64 + index)
+        elif trap.kind == DIV_ZERO:
+            memory.poke(ctl_addr, 0)
+        else:  # FP_OVERFLOW
+            memory.poke(ctl_addr, FP_TRAP_CTL)
+    return memory
+
+
+# ----------------------------------------------------------------------
+# Expected-exception prediction (the planner-side oracle).
+# ----------------------------------------------------------------------
+
+
+def _guard_executed(
+    program: FuzzProgram, memory: Memory, region: Optional[int], occurrence: int
+) -> bool:
+    if region is None:
+        return True
+    g_base = program.regions[region].g_base
+    return memory.peek(g_base + occurrence) != 0
+
+
+@dataclass(frozen=True)
+class ExceptionEvent:
+    """One predicted reference exception, with its dynamic coordinates."""
+
+    origin: int  #: trap uid of the faulting instruction
+    kind: TrapKind
+    loop: int
+    occurrence: int
+    site_kind: str  #: generator site kind (mem_load / mem_store / div / fp)
+
+    @property
+    def pair(self) -> Tuple[int, TrapKind]:
+        return (self.origin, self.kind)
+
+
+def expected_exception_events(
+    program: FuzzProgram, plan: InjectionPlan, memory: Memory
+) -> List[ExceptionEvent]:
+    """Every exception the sequential reference execution reaches, in
+    reference order, with the (loop, occurrence) coordinates the oracle's
+    same-block reordering window needs.
+
+    Derived from program order: loops run in order, iterations ascend, and
+    sites within an iteration fire in emission (index) order.  Guard words
+    are read from the *actual* memory image, so un-pinned iterations are
+    predicted correctly too.
+    """
+    armed: Dict[Tuple[int, int], TrapKind] = {
+        (t.site, t.occurrence): TRAP_KIND_MAP[t.kind] for t in plan.traps
+    }
+    events: List[ExceptionEvent] = []
+    n_loops = max((s.loop for s in program.sites), default=-1) + 1
+    for loop in range(n_loops):
+        loop_sites = [s for s in program.sites if s.loop == loop]
+        for occurrence in range(program.trip):
+            for site in loop_sites:
+                kind = armed.get((site.index, occurrence))
+                if kind is None:
+                    continue
+                if not _guard_executed(program, memory, site.region, occurrence):
+                    continue
+                events.append(
+                    ExceptionEvent(site.trap_uid, kind, loop, occurrence, site.kind)
+                )
+    return events
+
+
+def expected_exceptions(
+    program: FuzzProgram, plan: InjectionPlan, memory: Memory, policy: str
+) -> List[Tuple[int, TrapKind]]:
+    """The (origin uid, trap kind) sequence the reference run must signal.
+
+    Policy shaping over :func:`expected_exception_events`: ``abort``
+    truncates after the first signal, ``repair``/``recover`` truncate after
+    the first non-repairable signal, ``record`` keeps the full sequence.
+    """
+    sequence = [e.pair for e in expected_exception_events(program, plan, memory)]
+    if policy == ABORT:
+        return sequence[:1]
+    if policy in (REPAIR, RECOVER):
+        shaped: List[Tuple[int, TrapKind]] = []
+        for origin, kind in sequence:
+            shaped.append((origin, kind))
+            if not kind.repairable:
+                break
+        return shaped
+    if policy == RECORD:
+        return sequence
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+@dataclass
+class PlanCoverage:
+    """What one (program, plan) pair exercises — campaign bookkeeping."""
+
+    traps_by_kind: Dict[str, int] = field(default_factory=dict)
+    guarded_executed: int = 0
+    guarded_skipped: int = 0
+    unguarded: int = 0
+
+    def merge(self, other: "PlanCoverage") -> None:
+        for kind, count in other.traps_by_kind.items():
+            self.traps_by_kind[kind] = self.traps_by_kind.get(kind, 0) + count
+        self.guarded_executed += other.guarded_executed
+        self.guarded_skipped += other.guarded_skipped
+        self.unguarded += other.unguarded
+
+
+def plan_coverage(
+    program: FuzzProgram, plan: InjectionPlan, memory: Memory
+) -> PlanCoverage:
+    coverage = PlanCoverage()
+    for trap in plan.traps:
+        coverage.traps_by_kind[trap.kind] = coverage.traps_by_kind.get(trap.kind, 0) + 1
+        site = program.sites[trap.site]
+        if site.region is None:
+            coverage.unguarded += 1
+        elif _guard_executed(program, memory, site.region, trap.occurrence):
+            coverage.guarded_executed += 1
+        else:
+            coverage.guarded_skipped += 1
+    return coverage

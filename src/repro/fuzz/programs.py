@@ -1,0 +1,353 @@
+"""Fuzz-program generation: random programs with designated fault sites.
+
+The differential fuzzer does not mutate instruction bytes — every trap in
+this reproduction is *data-driven* (an access to a faulting or unmapped
+address, a zero divisor, an FP overflow), so a fuzz program is an ordinary
+generated workload whose potentially-trapping instructions read their
+dangerous operand **from memory**.  The fault-injection planner
+(:mod:`repro.fuzz.planner`) then arms or disarms each site purely by
+choosing the words of the memory image: the same program text runs benignly,
+traps at iteration 3 of site 2, or traps speculatively under a not-taken
+guard, depending only on data.  That is what keeps the reference
+interpreter, the fast-path interpreter and the scheduled processor exactly
+comparable — they all see one program and one memory image.
+
+Shapes generated (on top of :class:`~repro.workloads.generator.WorkloadBuilder`):
+
+* counted loops whose bodies mix ALU filler with **fault sites**,
+* each site reads a per-iteration *control word* from its own ``ctl`` array
+  (``ctl[site][iteration]``), so the planner can target one dynamic
+  occurrence of one static instruction,
+* guard regions: a *late* data-dependent branch around part of the body,
+  reading a per-iteration word of a ``g`` array — the planner decides, per
+  iteration, whether a guarded site's home block executes, which is how
+  traps land on speculative instructions whose home-block branch is and is
+  not taken,
+* site kinds (the paper's trap classes, Section 5.1):
+
+  - ``mem_load`` / ``mem_store`` — the control word is a pointer; the
+    planner points it at mapped data (benign), a page-faulting address
+    (repairable), or an unmapped address (access violation),
+  - ``div`` — the control word is the divisor (0 = integer divide trap),
+  - ``fp`` — the control word scales a large FP constant through
+    ``FMUL`` + ``FCVT_FI`` (a huge word = FP overflow on the convert).
+
+Garbage values produced by trapped-and-continued sites flow only into
+integer accumulators, never into addresses or guard words, so control flow
+and the address trace stay identical across executors even under the
+``record`` policy — divergence there is always a bug, never noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction, branch, load, mov, store
+from ..isa.opcodes import Opcode
+from ..isa.program import Block
+from ..isa.registers import F, R, Register
+from ..workloads.generator import Workload, WorkloadBuilder, small_ints
+
+#: Site kinds and the trap kinds the planner may arm them with.
+MEM_LOAD = "mem_load"
+MEM_STORE = "mem_store"
+DIV = "div"
+FP = "fp"
+
+SITE_KINDS = (MEM_LOAD, MEM_STORE, DIV, FP)
+
+#: The FP site multiplies ``float(ctl)`` by this constant and converts the
+#: product back to int: benign control words (1 or 2) convert fine, a
+#: control word of ``FP_TRAP_CTL`` pushes the product past 2**63 and the
+#: convert traps with FP_OVERFLOW.
+FP_BIG_INT = 1 << 40
+FP_TRAP_CTL = 1 << 40
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Deterministic description of one fuzz program.
+
+    Everything the generator does is a pure function of this record, which
+    is what makes reproducers (tests/fuzz/corpus) replayable: serialize the
+    spec, not the program.
+    """
+
+    seed: int
+    n_loops: int = 2
+    n_sites: int = 4
+    body_alu: int = 3
+    trip: int = 8
+    fp: bool = True
+    stores: bool = True
+    #: Probability that an un-overridden guard word is nonzero (home block
+    #: executed).  Drives the default branch bias of guard regions.
+    guard_bias: float = 0.7
+
+    def to_json(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "FuzzSpec":
+        names = {f.name for f in fields(FuzzSpec)}
+        return FuzzSpec(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass
+class Site:
+    """One fault site: a static trap-capable instruction plus its control
+    array.  ``trap_uid`` is the uid (in the original program, which is what
+    ``origin_pc`` reporting maps back to) of the instruction that traps when
+    the site is armed."""
+
+    index: int
+    kind: str
+    loop: int
+    #: Guard region index when the site sits under a guard, else None.
+    region: Optional[int]
+    ctl_base: int = -1
+    trap_uid: int = -1
+
+
+@dataclass
+class GuardRegion:
+    """One guarded (data-dependent-branch) region."""
+
+    index: int
+    loop: int
+    g_base: int = -1
+    #: uid of the guard branch instruction.
+    branch_uid: int = -1
+
+
+@dataclass
+class FuzzProgram:
+    """A generated fuzz program plus the metadata the planner needs."""
+
+    spec: FuzzSpec
+    workload: Workload
+    sites: List[Site]
+    regions: List[GuardRegion]
+    #: Base address of the page-fault target pool (one distinct word per
+    #: (mem site, occurrence) so repairs never mask each other).
+    pf_base: int = -1
+    #: Base address of the benign pointer target pool.
+    sink_base: int = -1
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trip(self) -> int:
+        # The builder clamps the spec's trip; notes holds the real value.
+        return self.notes.get("trip", self.spec.trip)
+
+    def site_uids(self) -> Dict[int, str]:
+        """trap uid -> site kind, for exception-conformance checks."""
+        return {site.trap_uid: site.kind for site in self.sites}
+
+
+# ----------------------------------------------------------------------
+# Layout: decide sites, guard regions and element order up front so the
+# emitted program is a stable function of the spec.
+# ----------------------------------------------------------------------
+
+
+def _layout(spec: FuzzSpec, rng: random.Random):
+    kinds = [MEM_LOAD]
+    if spec.stores:
+        kinds.append(MEM_STORE)
+    kinds.append(DIV)
+    if spec.fp:
+        kinds.append(FP)
+
+    n_sites = max(0, min(spec.n_sites, 6))
+    n_loops = max(1, min(spec.n_loops, 3))
+    sites = [
+        Site(index=i, kind=kinds[i % len(kinds)], loop=rng.randrange(n_loops), region=None)
+        for i in range(n_sites)
+    ]
+    # Per-loop element sequence: sites (in index order) interleaved with
+    # ALU filler; a random subset of consecutive elements goes under a
+    # guard region (at most 4 regions program-wide, base-register budget).
+    regions: List[GuardRegion] = []
+    per_loop: List[List[Tuple[str, int]]] = []
+    for loop in range(n_loops):
+        elements: List[Tuple[str, int]] = [("site", s.index) for s in sites if s.loop == loop]
+        for _ in range(max(0, spec.body_alu)):
+            elements.insert(rng.randrange(len(elements) + 1), ("alu", rng.randrange(4)))
+        cursor = 0
+        while cursor < len(elements) and len(regions) < 4:
+            if rng.random() < 0.45:
+                length = rng.randint(1, min(2, len(elements) - cursor))
+                region = GuardRegion(index=len(regions), loop=loop)
+                regions.append(region)
+                for el_kind, el_idx in elements[cursor : cursor + length]:
+                    if el_kind == "site":
+                        sites[el_idx].region = region.index
+                elements.insert(cursor, ("open", region.index))
+                cursor += length + 1
+                elements.insert(cursor, ("close", region.index))
+                cursor += 1
+            else:
+                cursor += 1
+        per_loop.append(elements)
+    return sites, regions, per_loop, n_loops
+
+
+# ----------------------------------------------------------------------
+# Emission.
+# ----------------------------------------------------------------------
+
+
+def build_fuzz_program(spec: FuzzSpec) -> FuzzProgram:
+    """Generate the fuzz program described by ``spec``."""
+    rng = random.Random(spec.seed)
+    sites, regions, per_loop, n_loops = _layout(spec, rng)
+    trip = max(2, min(spec.trip, 16))
+
+    builder = WorkloadBuilder(f"fuzz{spec.seed}", spec.seed, numeric=spec.fp)
+    builder.array("data", 32, small_ints(1, 6))
+    out = builder.array("out", 32, lambda _r, _i: 0)
+    sink = builder.array("sink", 16, small_ints(1, 3))
+    sink_base = builder.arrays[-1].base
+    n_mem_sites = sum(1 for s in sites if s.kind in (MEM_LOAD, MEM_STORE))
+    pf_pool = max(1, n_mem_sites * trip)
+    builder.array("pf", pf_pool, lambda _r, _i: 0)
+    pf_base = builder.arrays[-1].base
+
+    ctl_regs: Dict[int, Register] = {}
+    for site in sites:
+        reg = builder.array(f"ctl{site.index}", trip, _benign_ctl(site.kind, sink_base))
+        site.ctl_base = builder.arrays[-1].base
+        ctl_regs[site.index] = reg
+    g_regs: Dict[int, Register] = {}
+    for region in regions:
+        reg = builder.array(f"g{region.index}", trip, _guard_init(spec.guard_bias))
+        region.g_base = builder.arrays[-1].base
+        g_regs[region.index] = reg
+
+    accs = [R(1), R(2), R(3)]
+    entry = builder.begin()
+    for reg in accs:
+        entry.append(mov(reg, 0))
+    fbig = F(10)
+    if any(site.kind == FP for site in sites):
+        entry.append(mov(R(9), FP_BIG_INT))
+        entry.append(Instruction(Opcode.FCVT_IF, dest=fbig, srcs=(R(9),)))
+
+    #: (site index) -> the Instruction object that traps when armed;
+    #: (region index) -> the guard branch Instruction.  uids resolve after
+    #: finish() renumbers.
+    trap_instrs: Dict[int, Instruction] = {}
+    guard_instrs: Dict[int, Instruction] = {}
+
+    def emit_site(block: Block, site: Site, counter: Register) -> None:
+        s = site.index
+        a_reg = R(4 + (3 * s) % 9)
+        p_reg = R(5 + (3 * s) % 9)
+        v_reg = R(6 + (3 * s) % 9)
+        block.append(
+            Instruction(Opcode.ADD, dest=a_reg, srcs=(ctl_regs[s], counter))
+        )
+        block.append(load(p_reg, a_reg, 0, region=f"ctl{s}"))
+        if site.kind == MEM_LOAD:
+            instr = block.append(load(v_reg, p_reg, 0))
+            block.append(Instruction(Opcode.ADD, dest=accs[0], srcs=(accs[0], v_reg)))
+        elif site.kind == MEM_STORE:
+            instr = block.append(store(p_reg, 0, accs[0]))
+        elif site.kind == DIV:
+            instr = block.append(
+                Instruction(Opcode.DIV, dest=v_reg, srcs=(accs[0], p_reg))
+            )
+            block.append(Instruction(Opcode.ADD, dest=accs[1], srcs=(accs[1], v_reg)))
+        else:  # FP: FMUL is benign for every planned word; the convert traps.
+            fd = F(4 + s % 4)
+            fprod = F(8)
+            block.append(Instruction(Opcode.FCVT_IF, dest=fd, srcs=(p_reg,)))
+            block.append(Instruction(Opcode.FMUL, dest=fprod, srcs=(fbig, fd)))
+            instr = block.append(
+                Instruction(Opcode.FCVT_FI, dest=v_reg, srcs=(fprod,))
+            )
+            block.append(Instruction(Opcode.ADD, dest=accs[2], srcs=(accs[2], v_reg)))
+        trap_instrs[s] = instr
+
+    alu_rng = random.Random(spec.seed ^ 0xA11)
+
+    def emit_alu(block: Block, salt: int) -> None:
+        op = (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MUL)[salt % 4]
+        dst = accs[alu_rng.randrange(3)]
+        src = accs[alu_rng.randrange(3)]
+        block.append(Instruction(op, dest=dst, srcs=(src, salt + 1)))
+
+    def make_body(loop_idx: int):
+        elements = per_loop[loop_idx]
+
+        def body(block: Block, counter: Register) -> None:
+            current = block
+            for el_kind, el_idx in elements:
+                if el_kind == "open":
+                    region = regions[el_idx]
+                    skip = builder.label(f"skip{el_idx}_")
+                    current.append(
+                        Instruction(
+                            Opcode.ADD, dest=R(13), srcs=(g_regs[el_idx], counter)
+                        )
+                    )
+                    current.append(load(R(14), R(13), 0, region=f"g{el_idx}"))
+                    guard = current.append(branch(Opcode.BEQ, R(14), 0, skip))
+                    guard_instrs[el_idx] = guard
+                    region.pending_skip = skip  # type: ignore[attr-defined]
+                elif el_kind == "close":
+                    join = Block(regions[el_idx].pending_skip)  # type: ignore[attr-defined]
+                    builder.program.blocks.append(join)
+                    current = join
+                elif el_kind == "site":
+                    emit_site(current, sites[el_idx], counter)
+                else:
+                    emit_alu(current, el_idx)
+
+        return body
+
+    for loop_idx in range(n_loops):
+        builder.counted_loop(trip, make_body(loop_idx), prefix=f"l{loop_idx}_")
+
+    # Mirror the accumulators into `out` so divergence in any of them is
+    # visible in the committed-memory comparison.
+    done_src = builder.current_tail()
+    for slot, acc in enumerate(accs):
+        done_src.append(Instruction(Opcode.ADD, dest=R(8), srcs=(out, slot)))
+        done_src.append(store(R(8), 0, acc, region="out"))
+
+    workload = builder.finish(accs)
+    for site in sites:
+        site.trap_uid = trap_instrs[site.index].uid
+    for region in regions:
+        if region.index in guard_instrs:
+            region.branch_uid = guard_instrs[region.index].uid
+
+    return FuzzProgram(
+        spec=spec,
+        workload=workload,
+        sites=sites,
+        regions=regions,
+        pf_base=pf_base,
+        sink_base=sink_base,
+        notes={"pf_pool": pf_pool, "trip": trip},
+    )
+
+
+def _benign_ctl(kind: str, sink_base: int):
+    """Default (unarmed) control-word initializer for a site's ctl array."""
+    if kind in (MEM_LOAD, MEM_STORE):
+        return lambda rng, index: sink_base + (index % 16)
+    if kind == DIV:
+        return lambda rng, index: rng.randint(1, 4)
+    return lambda rng, index: rng.randint(1, 2)  # FP
+
+
+def _guard_init(bias: float):
+    def init(rng: random.Random, _index: int) -> int:
+        return 1 if rng.random() < bias else 0
+
+    return init

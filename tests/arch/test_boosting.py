@@ -11,7 +11,6 @@ exception precision at commit.
 import pytest
 
 from repro.arch.exceptions import SimulationError, Trap, TrapKind
-from repro.arch.memory import Memory
 from repro.arch.processor import run_scheduled
 from repro.arch.shadow import ShadowBank
 from repro.cfg.basic_block import to_basic_blocks

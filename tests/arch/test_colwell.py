@@ -13,12 +13,11 @@ conditional-use miss — each contrasted with sentinel scheduling, which
 gets all three right.
 """
 
-import pytest
 
 from repro.arch.memory import Memory
 from repro.arch.processor import run_scheduled
 from repro.cfg.basic_block import to_basic_blocks
-from repro.deps.reduction import COLWELL, GENERAL, SENTINEL
+from repro.deps.reduction import COLWELL, SENTINEL
 from repro.interp.interpreter import run_program
 from repro.interp.state import assert_equivalent
 from repro.machine.description import paper_machine

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.arch.exceptions import TrapKind
 from repro.arch.memory import Memory

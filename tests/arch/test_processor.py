@@ -2,7 +2,7 @@ import pytest
 
 from repro.arch.exceptions import SimulationError, TrapKind
 from repro.arch.memory import Memory
-from repro.arch.processor import ABORT, RECORD, RECOVER, run_scheduled
+from repro.arch.processor import RECOVER, run_scheduled
 from repro.cfg.basic_block import to_basic_blocks
 from repro.cfg.liveness import Liveness
 from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
@@ -10,13 +10,12 @@ from repro.interp.interpreter import run_program
 from repro.interp.state import assert_equivalent
 from repro.isa.assembler import assemble
 from repro.isa.registers import R
-from repro.isa.semantics import GARBAGE_INT
 from repro.machine.description import paper_machine
 from repro.sched.compiler import compile_program
 from repro.sched.list_scheduler import schedule_block
 from repro.sched.schedule import ScheduledProgram
 
-from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory, unit_latency_machine
+from ..conftest import GUARDED_LOOP_ASM, guarded_loop_memory
 
 
 def compile_src(src, policy, machine, memory=None, unroll=1):

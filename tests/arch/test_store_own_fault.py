@@ -1,0 +1,95 @@
+"""Processor-level Table 2 row (1,0,1): a speculative store's own fault.
+
+The unit matrix in ``test_store_buffer.py`` covers the buffer in
+isolation; this drives the whole machine — a sentinel-with-speculative-
+stores compile whose store faults on translation must record the fault in
+a probationary entry and surface it through ``confirm_store``, never
+through a precise trap at the (speculatively early) store itself.
+"""
+
+from repro.arch.exceptions import TrapKind
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import SENTINEL_STORE
+from repro.fuzz.planner import GuardSet, InjectionPlan, PlannedTrap, build_memory
+from repro.fuzz.programs import FuzzSpec, build_fuzz_program
+from repro.interp.interpreter import run_program
+from repro.isa.opcodes import Opcode
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+
+SPEC = FuzzSpec(
+    seed=9013, n_loops=1, n_sites=4, body_alu=1, trip=4,
+    fp=True, stores=True, guard_bias=0.6,
+)
+
+
+def compile_cell(plan, rate=8):
+    program = build_fuzz_program(SPEC)
+    memory = build_memory(program, plan)
+    basic = to_basic_blocks(program.workload.program)
+    training = run_program(basic, memory=program.workload.make_memory())
+    prepared = prepare_compilation(
+        basic, training.profile, SENTINEL_STORE, recovery=False, unroll_factor=2
+    )
+    compiled = schedule_prepared(prepared, paper_machine(rate))
+    return program, memory, compiled.scheduled
+
+
+def scheduled_ops(sched):
+    return [
+        instr.op
+        for block in sched.blocks
+        for word in block.words
+        for instr in word
+    ]
+
+
+class TestSpeculativeStoreOwnFault:
+    def plan(self, program):
+        store_site = next(s for s in program.sites if s.kind == "mem_store")
+        guards = ()
+        if store_site.region is not None:
+            guards = (GuardSet(store_site.region, 0, True),)
+        return InjectionPlan(
+            traps=(PlannedTrap(store_site.index, 0, "unmapped"),),
+            guards=guards,
+        ), store_site
+
+    def test_own_fault_surfaces_via_confirm(self):
+        program = build_fuzz_program(SPEC)
+        plan, store_site = self.plan(program)
+        program, memory, sched = compile_cell(plan)
+        # The model must actually be exercising probationary stores.
+        assert Opcode.CONFIRM in scheduled_ops(sched)
+
+        out = run_scheduled(
+            sched, paper_machine(8), memory=memory.clone(), on_exception="record"
+        )
+        assert out.halted
+        pairs = {(e.origin_pc, e.kind) for e in out.exceptions}
+        assert (store_site.trap_uid, TrapKind.ACCESS_VIOLATION) in pairs
+
+    def test_faulting_store_never_updates_memory(self):
+        program = build_fuzz_program(SPEC)
+        plan, store_site = self.plan(program)
+        program, memory, sched = compile_cell(plan)
+        out = run_scheduled(
+            sched, paper_machine(8), memory=memory.clone(), on_exception="record"
+        )
+        # The reference under record drops the faulting store; the
+        # scheduled machine's probationary entry must likewise never land.
+        ref = run_program(
+            program.workload.program, memory=memory.clone(), on_exception="record"
+        )
+        for address in range(0, 1 << 12):
+            assert out.memory.peek(address) == ref.memory.peek(address)
+
+    def test_benign_store_confirms_cleanly(self):
+        plan = InjectionPlan()
+        _program, memory, sched = compile_cell(plan)
+        out = run_scheduled(
+            sched, paper_machine(8), memory=memory.clone(), on_exception="record"
+        )
+        assert out.halted and not out.exceptions
+        assert not out.cancelled_stores or out.mispredictions

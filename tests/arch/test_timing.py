@@ -5,7 +5,7 @@ import pytest
 from repro.arch.processor import run_scheduled
 from repro.arch.timing import estimate_cycles, speedup
 from repro.cfg.basic_block import to_basic_blocks
-from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.deps.reduction import RESTRICTED, SENTINEL
 from repro.interp.interpreter import run_program
 from repro.machine.description import paper_machine
 from repro.sched.compiler import compile_program

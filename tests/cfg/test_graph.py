@@ -1,4 +1,4 @@
-from repro.cfg.basic_block import normalize_fallthroughs, to_basic_blocks
+from repro.cfg.basic_block import normalize_fallthroughs
 from repro.cfg.graph import CFG, FALL, JUMP, TAKEN, remove_unreachable_blocks
 from repro.isa.assembler import assemble
 

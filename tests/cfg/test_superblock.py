@@ -1,7 +1,5 @@
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.arch.memory import Memory
 from repro.cfg.basic_block import to_basic_blocks
 from repro.cfg.superblock import form_superblocks
 from repro.interp.interpreter import run_program

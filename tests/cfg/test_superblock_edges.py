@@ -1,6 +1,5 @@
 """Superblock-formation edge cases beyond the happy path."""
 
-from repro.arch.memory import Memory
 from repro.cfg.basic_block import to_basic_blocks
 from repro.cfg.superblock import SuperblockFormer, form_superblocks
 from repro.interp.interpreter import run_program

@@ -6,7 +6,6 @@ issued in the same cycle", so these tests run on a unit-latency, wide
 machine.
 """
 
-import pytest
 
 from repro.arch.memory import Memory
 from repro.arch.processor import run_scheduled

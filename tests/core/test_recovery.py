@@ -1,4 +1,3 @@
-import pytest
 
 from repro.cfg.liveness import Liveness
 from repro.core.recovery import (
@@ -9,7 +8,6 @@ from repro.core.recovery import (
 from repro.deps.reduction import SENTINEL, SENTINEL_STORE
 from repro.isa.assembler import assemble
 from repro.isa.opcodes import Opcode
-from repro.isa.printer import format_program
 from repro.isa.registers import R
 from repro.interp.interpreter import run_program
 from repro.interp.state import assert_equivalent

@@ -1,6 +1,5 @@
 """Exhaustive verification of Table 1 (Section 3.2 of the paper)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tags import TABLE1_ROWS, TaggedValue, apply_table1, first_tagged

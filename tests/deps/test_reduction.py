@@ -10,8 +10,6 @@ from repro.deps.reduction import (
 )
 from repro.deps.types import ArcKind
 from repro.isa.assembler import assemble
-from repro.isa.instruction import load
-from repro.isa.registers import R
 
 
 def reduced(src, policy, **kwargs):

@@ -1,0 +1,37 @@
+"""Replay the committed regression corpus.
+
+Every file under ``tests/fuzz/corpus/`` is a minimized reproducer from a
+fuzzing campaign (or a hand-pinned scenario cell).  Cases with status
+``invariant`` must pass — they pin fixed bugs fixed; cases with status
+``xfail`` are known-open failures and must still fail (a pass means the
+bug got fixed and the pin should be promoted to ``invariant``).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.minimize import FuzzCase, replay_case
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 10
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_case(path):
+    case = FuzzCase.loads(path.read_text())
+    failure = replay_case(case)
+    if case.status == "invariant":
+        assert failure is None, (
+            f"{path.name} regressed: {failure.headline()}\n  note: {case.note}"
+        )
+    elif case.status == "xfail":
+        assert failure is not None, (
+            f"{path.name} now passes — promote its status to 'invariant'"
+        )
+    else:
+        pytest.fail(f"{path.name}: unknown status {case.status!r}")

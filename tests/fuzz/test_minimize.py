@@ -1,0 +1,123 @@
+"""Case minimization and reproducer (de)serialization."""
+
+import json
+
+import repro.fuzz.minimize as minimize_mod
+from repro.fuzz.minimize import (
+    FuzzCase,
+    case_size,
+    failure_to_case,
+    minimize_case,
+)
+from repro.fuzz.oracle import CellFailure
+from repro.fuzz.planner import GuardSet, InjectionPlan, PlannedTrap
+from repro.fuzz.programs import FuzzSpec
+
+SPEC = FuzzSpec(
+    seed=42, n_loops=2, n_sites=3, body_alu=2, trip=8,
+    fp=False, stores=True, guard_bias=0.5,
+)
+
+CASE = FuzzCase(
+    spec=SPEC,
+    plan=InjectionPlan(
+        traps=(
+            PlannedTrap(0, 1, "page_fault"),
+            PlannedTrap(1, 3, "unmapped"),
+            PlannedTrap(2, 0, "div_zero"),
+        ),
+        guards=(GuardSet(0, 1, True),),
+    ),
+    policy="record",
+    issue_rate=4,
+    model="sentinel_store",
+    category="sched-record",
+    note="synthetic",
+)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        assert FuzzCase.loads(CASE.dumps()) == CASE
+
+    def test_dumps_is_stable_json(self):
+        text = CASE.dumps()
+        assert text.endswith("\n")
+        data = json.loads(text)
+        assert data == json.loads(CASE.dumps())
+        assert list(data) == sorted(data)
+
+    def test_interp_level_rate_roundtrips(self):
+        case = FuzzCase(
+            spec=SPEC, plan=InjectionPlan(), policy="repair",
+            issue_rate=None, model="sentinel",
+        )
+        assert FuzzCase.loads(case.dumps()).issue_rate is None
+
+
+class TestFailureToCase:
+    def test_whole_case_failure_reprobes_under_recover(self):
+        failure = CellFailure("*", None, "crash-generate", ["TypeError: boom"])
+        case = failure_to_case(SPEC, InjectionPlan(), "sentinel", failure)
+        assert case.policy == "recover"
+        assert case.category == "crash-generate"
+        assert case.note == "TypeError: boom"
+
+
+class TestMinimize:
+    def test_shrinks_to_single_relevant_trap(self, monkeypatch):
+        """Greedy shrink with a deterministic stand-in oracle: the 'bug'
+        depends only on the site-0 page fault, so every other trap, every
+        guard pin, and most of the spec must be shed."""
+
+        def fake_check_cell(spec, plan, policy, issue_rate, model):
+            hit = any(
+                t.site == 0 and t.kind == "page_fault" for t in plan.traps
+            )
+            if hit:
+                return CellFailure(policy, issue_rate, "sched-record", ["boom"])
+            return None
+
+        monkeypatch.setattr(minimize_mod, "check_cell", fake_check_cell)
+        small = minimize_case(CASE)
+        assert small.plan.traps == (PlannedTrap(0, 1, "page_fault"),)
+        assert small.plan.guards == ()
+        assert small.spec.n_loops == 1
+        assert small.spec.body_alu == 0
+        assert small.spec.n_sites == 1
+        assert small.spec.trip <= 2  # occurrence 1 needs trip >= 2
+        assert not small.spec.stores
+        # The failing cell's coordinates are preserved verbatim.
+        assert (small.policy, small.issue_rate, small.model) == (
+            CASE.policy, CASE.issue_rate, CASE.model,
+        )
+
+    def test_category_change_rejects_shrink(self, monkeypatch):
+        """A candidate that still fails but in a *different* category must
+        be rejected — shrinking has to preserve the original bug."""
+
+        def fake_check_cell(spec, plan, policy, issue_rate, model):
+            original = spec == CASE.spec and plan == CASE.plan
+            category = "sched-record" if original else "other-bug"
+            return CellFailure(policy, issue_rate, category, ["boom"])
+
+        monkeypatch.setattr(minimize_mod, "check_cell", fake_check_cell)
+        small = minimize_case(CASE)
+        assert small.plan == CASE.plan
+        assert small.spec == CASE.spec
+
+    def test_probe_budget_bounds_work(self, monkeypatch):
+        probes = 0
+
+        def fake_check_cell(spec, plan, policy, issue_rate, model):
+            nonlocal probes
+            probes += 1
+            return CellFailure(policy, issue_rate, "sched-record", ["boom"])
+
+        monkeypatch.setattr(minimize_mod, "check_cell", fake_check_cell)
+        minimize_case(CASE, max_probes=5)
+        assert probes <= 5
+
+    def test_case_size_reports_shrink_axes(self):
+        instrs, traps, guards = case_size(CASE)
+        assert instrs > 0 and traps == 3 and guards == 1

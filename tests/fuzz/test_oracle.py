@@ -1,0 +1,183 @@
+"""Differential oracle: relaxation helpers, contract checks, end-to-end."""
+
+from types import SimpleNamespace
+
+from repro.arch.exceptions import TrapKind
+from repro.fuzz.oracle import (
+    _find_event,
+    _maskable_pairs,
+    _store_buffer_sanity,
+    _window_pairs,
+    check_case,
+    check_cell,
+    check_scheduled_cell,
+)
+from repro.fuzz.planner import ExceptionEvent, InjectionPlan, PlannedTrap
+from repro.fuzz.programs import FuzzSpec
+
+SMALL = FuzzSpec(
+    seed=7, n_loops=1, n_sites=2, body_alu=0, trip=2,
+    fp=False, stores=False, guard_bias=0.5,
+)
+
+PF = TrapKind.PAGE_FAULT
+AV = TrapKind.ACCESS_VIOLATION
+DZ = TrapKind.DIV_ZERO
+
+
+def ev(origin, kind, loop, occurrence, site_kind="mem_load"):
+    return ExceptionEvent(origin, kind, loop, occurrence, site_kind)
+
+
+class TestWindowRule:
+    """Section 3.6: within-block detection order is not guaranteed; one
+    superblock spans up to UNROLL original iterations."""
+
+    EVENTS = [
+        ev(10, PF, 0, 0),
+        ev(20, AV, 0, 1),
+        ev(30, DZ, 0, 4),
+        ev(40, PF, 1, 0),
+    ]
+
+    def test_window_spans_unroll_iterations(self):
+        anchor = _find_event(self.EVENTS, (10, PF))
+        window = _window_pairs(self.EVENTS, anchor)
+        assert (10, PF) in window and (20, AV) in window
+        assert (30, DZ) not in window  # 4 iterations away
+        assert (40, PF) not in window  # different loop
+
+    def test_no_anchor_no_window(self):
+        assert _window_pairs(self.EVENTS, None) == set()
+
+    def test_find_event_earliest_match(self):
+        events = [ev(10, PF, 0, 0), ev(10, PF, 0, 3)]
+        assert _find_event(events, (10, PF)).occurrence == 0
+        assert _find_event(events, (99, PF)) is None
+
+
+class TestMaskablePairs:
+    """Table 1 row 6: a tagged source operand masks the consumer's own
+    exception; only div dividends and store values read the live chain."""
+
+    def test_store_masked_by_earlier_fault(self):
+        events = [ev(10, PF, 0, 0), ev(20, AV, 0, 1, "mem_store")]
+        assert _maskable_pairs(events) == {(20, AV)}
+
+    def test_load_never_maskable(self):
+        events = [ev(10, PF, 0, 0), ev(20, AV, 0, 1, "mem_load")]
+        assert _maskable_pairs(events) == set()
+
+    def test_div_masked_within_window_only(self):
+        events = [ev(10, DZ, 0, 0, "div"), ev(20, PF, 0, 5)]
+        # The only other event is 5 iterations later: out of reach.
+        assert _maskable_pairs(events) == set()
+
+    def test_cross_loop_masking(self):
+        events = [ev(10, PF, 0, 3), ev(20, DZ, 1, 0, "div")]
+        assert _maskable_pairs(events) == {(20, DZ)}
+
+
+def run_stub(
+    exceptions=(),
+    aborted=False,
+    halted=True,
+    recoveries=0,
+    cancelled_stores=0,
+    mispredictions=0,
+    io_events=(),
+):
+    return SimpleNamespace(
+        exceptions=[
+            SimpleNamespace(origin_pc=pc, kind=kind) for pc, kind in exceptions
+        ],
+        aborted=aborted,
+        halted=halted,
+        recoveries=recoveries,
+        cancelled_stores=cancelled_stores,
+        mispredictions=mispredictions,
+        io_events=list(io_events),
+    )
+
+
+class TestNegativeControls:
+    """The oracle must still *fail* cells the relaxations do not cover."""
+
+    def test_abort_lost_exception(self):
+        ref = run_stub(exceptions=[(10, PF)], aborted=True, halted=False)
+        out = run_stub(exceptions=[], aborted=False, halted=True)
+        problems = check_scheduled_cell(ref, out, "abort", events=[ev(10, PF, 0, 0)])
+        assert any("did not" in p for p in problems)
+
+    def test_abort_wrong_exception_outside_window(self):
+        events = [ev(10, PF, 0, 0), ev(30, DZ, 0, 4, "div")]
+        ref = run_stub(exceptions=[(10, PF)], aborted=True, halted=False)
+        out = run_stub(exceptions=[(30, DZ)], aborted=True, halted=False)
+        problems = check_scheduled_cell(ref, out, "abort", events=events)
+        assert problems, "a detection 4 iterations early must not be accepted"
+
+    def test_abort_reorder_inside_window_accepted(self):
+        events = [ev(10, PF, 0, 0), ev(20, AV, 0, 1)]
+        ref = run_stub(exceptions=[(10, PF)], aborted=True, halted=False)
+        out = run_stub(exceptions=[(20, AV)], aborted=True, halted=False)
+        assert check_scheduled_cell(ref, out, "abort", events=events) == []
+
+    def test_record_ghost_exception(self):
+        events = [ev(10, PF, 0, 0)]
+        ref = run_stub(exceptions=[(10, PF)])
+        out = run_stub(exceptions=[(10, PF), (77, AV)])
+        problems = check_scheduled_cell(ref, out, "record", events=events)
+        assert any("never signalled" in p for p in problems)
+
+    def test_record_missing_unmaskable_exception(self):
+        events = [ev(10, PF, 0, 0), ev(20, AV, 0, 1, "mem_load")]
+        ref = run_stub(exceptions=[(10, PF), (20, AV)])
+        out = run_stub(exceptions=[(10, PF)])
+        problems = check_scheduled_cell(ref, out, "record", events=events)
+        assert any("never reported" in p for p in problems)
+
+    def test_record_masked_store_fault_accepted(self):
+        events = [ev(10, PF, 0, 0), ev(20, AV, 0, 1, "mem_store")]
+        ref = run_stub(exceptions=[(10, PF), (20, AV)])
+        out = run_stub(exceptions=[(10, PF)])
+        assert check_scheduled_cell(ref, out, "record", events=events) == []
+
+    def test_recover_must_abort_on_fatal(self):
+        events = [ev(10, DZ, 0, 0, "div")]
+        ref = run_stub(exceptions=[(10, DZ)], aborted=True, halted=False)
+        out = run_stub(exceptions=[], aborted=False, halted=True)
+        problems = check_scheduled_cell(ref, out, "recover", events=events)
+        assert any("did not abort" in p for p in problems)
+
+    def test_recover_ghost_unplanned_exception(self):
+        events = [ev(10, DZ, 0, 0, "div")]
+        ref = run_stub(exceptions=[(10, DZ)], aborted=True, halted=False)
+        out = run_stub(exceptions=[(99, AV), (10, DZ)], aborted=True, halted=False)
+        problems = check_scheduled_cell(ref, out, "recover", events=events)
+        assert any("never armed" in p for p in problems)
+
+    def test_spontaneous_store_cancellation(self):
+        out = run_stub(cancelled_stores=3)
+        assert any("cancelled" in p for p in _store_buffer_sanity(out))
+
+    def test_explained_store_cancellation_accepted(self):
+        out = run_stub(cancelled_stores=3, mispredictions=1)
+        assert _store_buffer_sanity(out) == []
+
+
+class TestEndToEnd:
+    def test_benign_cell_passes(self):
+        result = check_case(
+            SMALL, InjectionPlan(), model="sentinel",
+            policies=("abort", "record"), rates=(1, 4),
+        )
+        assert result.ok, [f.headline() for f in result.failures]
+
+    def test_armed_cell_passes_all_policies(self):
+        plan = InjectionPlan(traps=(PlannedTrap(0, 1, "page_fault"),))
+        result = check_case(SMALL, plan, model="sentinel", rates=(1, 8))
+        assert result.ok, [f.headline() for f in result.failures]
+
+    def test_check_cell_single_probe(self):
+        plan = InjectionPlan(traps=(PlannedTrap(1, 0, "div_zero"),))
+        assert check_cell(SMALL, plan, "abort", 4, "sentinel") is None

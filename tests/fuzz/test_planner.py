@@ -1,0 +1,163 @@
+"""Injection planner: validation, memory arming, exception prediction."""
+
+import pytest
+
+from repro.arch.exceptions import TrapKind
+from repro.fuzz.planner import (
+    DIV_ZERO,
+    FP_OVERFLOW,
+    PAGE_FAULT,
+    UNMAPPED,
+    UNMAPPED_BASE,
+    GuardSet,
+    InjectionPlan,
+    PlanError,
+    PlannedTrap,
+    _pf_slot,
+    build_memory,
+    expected_exception_events,
+    expected_exceptions,
+    plan_injections,
+    validate_plan,
+)
+from repro.fuzz.programs import FP_TRAP_CTL, MEM_LOAD, MEM_STORE, FuzzSpec, build_fuzz_program
+
+#: Every site guarded, all four site kinds present (load/store/div/fp).
+SPEC = FuzzSpec(
+    seed=9013, n_loops=1, n_sites=4, body_alu=1, trip=4,
+    fp=True, stores=True, guard_bias=0.6,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_fuzz_program(SPEC)
+
+
+class TestValidatePlan:
+    def test_valid_plan_passes(self, program):
+        validate_plan(program, InjectionPlan(traps=(PlannedTrap(0, 0, PAGE_FAULT),)))
+
+    def test_unknown_site(self, program):
+        with pytest.raises(PlanError):
+            validate_plan(program, InjectionPlan(traps=(PlannedTrap(99, 0, PAGE_FAULT),)))
+
+    def test_kind_mismatch(self, program):
+        # Site 2 is a div site: it cannot raise a page fault.
+        assert program.sites[2].kind == "div"
+        with pytest.raises(PlanError):
+            validate_plan(program, InjectionPlan(traps=(PlannedTrap(2, 0, PAGE_FAULT),)))
+
+    def test_occurrence_past_trip(self, program):
+        with pytest.raises(PlanError):
+            validate_plan(
+                program,
+                InjectionPlan(traps=(PlannedTrap(0, program.trip, PAGE_FAULT),)),
+            )
+
+    def test_unknown_guard_region(self, program):
+        with pytest.raises(PlanError):
+            validate_plan(program, InjectionPlan(guards=(GuardSet(99, 0, True),)))
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self, program):
+        assert plan_injections(program, 1234) == plan_injections(program, 1234)
+
+    def test_plans_validate(self, program):
+        for seed in range(50):
+            validate_plan(program, plan_injections(program, seed))
+
+
+class TestPfSlots:
+    def test_slots_unique_across_mem_sites(self, program):
+        """Regression: slots were once indexed by global site number, so a
+        mem site after a non-mem site aliased into a neighbour's pool row
+        and the first repair silently disarmed the second trap."""
+        slots = set()
+        mem_sites = [s for s in program.sites if s.kind in (MEM_LOAD, MEM_STORE)]
+        for site in mem_sites:
+            for occurrence in range(program.trip):
+                slot = _pf_slot(program, PlannedTrap(site.index, occurrence, PAGE_FAULT))
+                assert slot not in slots
+                slots.add(slot)
+                assert 0 <= slot - program.pf_base < len(mem_sites) * program.trip
+
+    def test_distinct_sites_distinct_pages(self, program):
+        # Sites 0 (load, after nothing) and 1 (store, after one mem site)
+        # must fault on different addresses even at the same occurrence.
+        a = _pf_slot(program, PlannedTrap(0, 2, PAGE_FAULT))
+        b = _pf_slot(program, PlannedTrap(1, 2, PAGE_FAULT))
+        assert a != b
+
+
+class TestBuildMemory:
+    def test_guard_words(self, program):
+        plan = InjectionPlan(guards=(GuardSet(0, 1, True), GuardSet(1, 2, False)))
+        memory = build_memory(program, plan)
+        assert memory.peek(program.regions[0].g_base + 1) == 1
+        assert memory.peek(program.regions[1].g_base + 2) == 0
+
+    def test_div_zero_arming(self, program):
+        plan = InjectionPlan(traps=(PlannedTrap(2, 3, DIV_ZERO),))
+        memory = build_memory(program, plan)
+        assert memory.peek(program.sites[2].ctl_base + 3) == 0
+
+    def test_fp_overflow_arming(self, program):
+        plan = InjectionPlan(traps=(PlannedTrap(3, 0, FP_OVERFLOW),))
+        memory = build_memory(program, plan)
+        assert memory.peek(program.sites[3].ctl_base + 0) == FP_TRAP_CTL
+
+    def test_unmapped_arming(self, program):
+        plan = InjectionPlan(traps=(PlannedTrap(0, 1, UNMAPPED),))
+        memory = build_memory(program, plan)
+        assert memory.peek(program.sites[0].ctl_base + 1) >= UNMAPPED_BASE
+
+    def test_page_fault_points_into_pool(self, program):
+        plan = InjectionPlan(traps=(PlannedTrap(1, 2, PAGE_FAULT),))
+        memory = build_memory(program, plan)
+        target = memory.peek(program.sites[1].ctl_base + 2)
+        assert target == _pf_slot(program, plan.traps[0])
+
+
+class TestExpectedExceptions:
+    def two_trap_plan(self, program):
+        # A repairable page fault at occurrence 0, then a fatal div-by-zero
+        # at occurrence 1; both guard regions pinned executed.
+        return InjectionPlan(
+            traps=(PlannedTrap(0, 0, PAGE_FAULT), PlannedTrap(2, 1, DIV_ZERO)),
+            guards=(
+                GuardSet(program.sites[0].region, 0, True),
+                GuardSet(program.sites[2].region, 1, True),
+            ),
+        )
+
+    def test_event_coordinates(self, program):
+        plan = self.two_trap_plan(program)
+        memory = build_memory(program, plan)
+        events = expected_exception_events(program, plan, memory)
+        assert [e.pair for e in events] == [
+            (program.sites[0].trap_uid, TrapKind.PAGE_FAULT),
+            (program.sites[2].trap_uid, TrapKind.DIV_ZERO),
+        ]
+        assert [(e.loop, e.occurrence) for e in events] == [(0, 0), (0, 1)]
+        assert [e.site_kind for e in events] == ["mem_load", "div"]
+
+    def test_policy_shaping(self, program):
+        plan = self.two_trap_plan(program)
+        memory = build_memory(program, plan)
+        full = expected_exceptions(program, plan, memory, "record")
+        assert len(full) == 2
+        assert expected_exceptions(program, plan, memory, "abort") == full[:1]
+        # Repair continues through the repairable fault, stops at DIV_ZERO.
+        assert expected_exceptions(program, plan, memory, "repair") == full
+        assert expected_exceptions(program, plan, memory, "recover") == full
+
+    def test_skipped_guard_suppresses_event(self, program):
+        site = program.sites[0]
+        plan = InjectionPlan(
+            traps=(PlannedTrap(0, 2, PAGE_FAULT),),
+            guards=(GuardSet(site.region, 2, False),),
+        )
+        memory = build_memory(program, plan)
+        assert expected_exception_events(program, plan, memory) == []

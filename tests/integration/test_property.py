@@ -4,7 +4,6 @@ sentinel schedule must satisfy the reporting invariant."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.arch.processor import run_scheduled

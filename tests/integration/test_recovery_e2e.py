@@ -10,7 +10,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.arch.processor import RECOVER, run_scheduled
 from repro.cfg.basic_block import to_basic_blocks
 from repro.core.recovery import check_restartable
-from repro.core.recovery import schedule_block_with_recovery  # noqa: F401
 from repro.deps.reduction import SENTINEL, SENTINEL_STORE
 from repro.interp.interpreter import REPAIR, run_program
 from repro.interp.state import assert_equivalent

@@ -4,7 +4,6 @@ from repro.arch.memory import Memory
 from repro.arch.exceptions import TrapKind
 from repro.interp.interpreter import RECORD, REPAIR, run_program
 from repro.isa.assembler import assemble
-from repro.isa.registers import R
 
 
 def faulting_store_program():

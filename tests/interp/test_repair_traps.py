@@ -1,0 +1,102 @@
+"""``TrapKind.repairable`` handling on the interpreters' REPAIR path.
+
+The repair branch retries only faults that are both repairable *and* carry
+a faulting address; everything else aborts precisely.  Both interpreters
+(reference and fastpath) must agree bit-for-bit.
+"""
+
+import pytest
+
+from repro.arch.exceptions import REPAIR, TrapKind
+from repro.arch.memory import Memory
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+
+BOTH = pytest.mark.parametrize("reference", [True, False], ids=["ref", "fast"])
+
+
+def pf_program():
+    return assemble(
+        "e:\n  r1 = mov 100\n  r2 = load [r1+0]\n  store [r0+500], r2\n  halt"
+    )
+
+
+@BOTH
+class TestRepairableTrap:
+    def test_page_fault_repaired_and_retried(self, reference):
+        mem = Memory()
+        mem.poke(100, 42)
+        mem.inject_page_fault(100)
+        result = run_program(
+            pf_program(), memory=mem, on_exception=REPAIR, reference=reference
+        )
+        assert result.halted and not result.aborted
+        # One signal, then the retried load sees the repaired page's value.
+        assert [e.kind for e in result.exceptions] == [TrapKind.PAGE_FAULT]
+        assert result.memory.peek(500) == 42
+
+    def test_repair_signals_each_fault_once(self, reference):
+        prog = assemble(
+            "e:\n  r1 = mov 100\n  r2 = load [r1+0]\n"
+            "  r3 = load [r1+8]\n  store [r0+500], r3\n  halt"
+        )
+        mem = Memory()
+        mem.inject_page_fault(100)
+        mem.inject_page_fault(108)
+        result = run_program(prog, memory=mem, on_exception=REPAIR, reference=reference)
+        assert result.halted
+        assert [e.kind for e in result.exceptions] == [TrapKind.PAGE_FAULT] * 2
+        assert [e.origin_pc for e in result.exceptions] == sorted(
+            {e.origin_pc for e in result.exceptions}
+        )
+
+
+@BOTH
+class TestNonRepairableTrap:
+    def test_div_zero_aborts(self, reference):
+        prog = assemble(
+            "e:\n  r1 = mov 0\n  r2 = div 10, r1\n  store [r0+500], r2\n  halt"
+        )
+        result = run_program(prog, on_exception=REPAIR, reference=reference)
+        assert result.aborted and not result.halted
+        assert result.exceptions[-1].kind is TrapKind.DIV_ZERO
+        assert not TrapKind.DIV_ZERO.repairable
+
+    def test_access_violation_aborts(self, reference):
+        prog = assemble(
+            "e:\n  r1 = mov 8388608\n  r2 = load [r1+0]\n"
+            "  store [r0+500], r2\n  halt"
+        )
+        result = run_program(prog, on_exception=REPAIR, reference=reference)
+        assert result.aborted
+        assert result.exceptions[-1].kind is TrapKind.ACCESS_VIOLATION
+        # The store after the fault never executed.
+        assert result.memory.peek(500) == 0
+
+    def test_repairable_property_matrix(self, reference):
+        assert TrapKind.PAGE_FAULT.repairable
+        for kind in TrapKind:
+            if kind is not TrapKind.PAGE_FAULT:
+                assert not kind.repairable
+
+
+@BOTH
+class TestInterpreterAgreement:
+    def test_repair_run_is_identical_across_interpreters(self, reference):
+        # Run both and compare — parametrization keeps ids readable, the
+        # comparison itself is symmetric so run it once.
+        if not reference:
+            pytest.skip("covered by the ref-parametrized run")
+        mem_a, mem_b = Memory(), Memory()
+        for mem in (mem_a, mem_b):
+            mem.poke(100, 7)
+            mem.inject_page_fault(100)
+        ref = run_program(pf_program(), memory=mem_a, on_exception=REPAIR, reference=True)
+        fast = run_program(pf_program(), memory=mem_b, on_exception=REPAIR, reference=False)
+        assert [(e.pc, e.kind, e.origin_pc) for e in ref.exceptions] == [
+            (e.pc, e.kind, e.origin_pc) for e in fast.exceptions
+        ]
+        assert ref.registers == fast.registers
+        assert (ref.halted, ref.aborted, ref.steps) == (
+            fast.halted, fast.aborted, fast.steps,
+        )

@@ -1,15 +1,5 @@
 from repro.isa.assembler import assemble
-from repro.isa.instruction import (
-    Instruction,
-    check,
-    clrtag,
-    confirm,
-    fload,
-    fstore,
-    jump,
-    load,
-    store,
-)
+from repro.isa.instruction import Instruction, check, clrtag, confirm, fstore, jump, load, store
 from repro.isa.opcodes import Opcode
 from repro.isa.printer import format_block, format_instruction, format_program
 from repro.isa.registers import F, R

@@ -1,7 +1,7 @@
 import pytest
 
 from repro.isa.assembler import assemble
-from repro.isa.instruction import halt, jump, load, mov
+from repro.isa.instruction import halt, mov
 from repro.isa.program import Block, Program
 from repro.isa.registers import R
 

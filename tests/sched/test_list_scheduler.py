@@ -1,12 +1,10 @@
-import pytest
 
 from repro.cfg.liveness import Liveness
 from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
-from repro.deps.types import ArcKind
 from repro.isa.assembler import assemble
 from repro.isa.opcodes import Opcode
 from repro.machine.description import MachineDescription, paper_machine
-from repro.sched.list_scheduler import ListScheduler, SchedulingError, schedule_block
+from repro.sched.list_scheduler import schedule_block
 
 from ..conftest import unit_latency_machine
 

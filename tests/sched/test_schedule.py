@@ -1,6 +1,5 @@
-import pytest
 
-from repro.isa.instruction import alu, branch, halt, load, mov
+from repro.isa.instruction import alu, branch, halt, mov
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Block, Program
 from repro.isa.registers import R

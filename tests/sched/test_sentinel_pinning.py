@@ -1,0 +1,102 @@
+"""Shared sentinels must stay in the protected instruction's home block.
+
+Found by differential fuzzing (campaign seeds 692/697): the builder's
+guard arcs pin a consumer above a later exit only while its result is live
+on the taken path.  A shared (ordinary-consumer) sentinel whose result is
+dead on the back-edge path — an accumulator killed at the loop top, or a
+recovery rename into a throwaway register — could sink below the loop's
+exit branch, and a tag set on one traversal was silently overwritten by
+the next.  ``reduce_dependence_graph`` now pins every shared sentinel of a
+speculable instruction above the next conditional branch.
+"""
+
+from repro.arch.exceptions import TrapKind
+from repro.arch.processor import run_scheduled
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.liveness import Liveness
+from repro.deps.builder import build_dependence_graph
+from repro.deps.reduction import SENTINEL, reduce_dependence_graph
+from repro.fuzz.planner import GuardSet, InjectionPlan, PlannedTrap, build_memory
+from repro.fuzz.programs import FuzzSpec, build_fuzz_program
+from repro.interp.interpreter import run_program
+from repro.isa.assembler import assemble
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+
+#: Minimized reproducer of campaign seed 692: a speculative div whose
+#: shared sentinel is a dead-on-exit accumulator add inside a counted loop.
+SPEC_692 = FuzzSpec(
+    seed=692, n_loops=2, n_sites=4, body_alu=2, trip=8,
+    fp=False, stores=False, guard_bias=0.5,
+)
+PLAN_692 = InjectionPlan(
+    traps=(PlannedTrap(3, 1, "div_zero"),),
+    guards=(GuardSet(1, 1, True),),
+)
+
+
+def compile_and_run(spec, plan, recovery, rate=8):
+    program = build_fuzz_program(spec)
+    memory = build_memory(program, plan)
+    basic = to_basic_blocks(program.workload.program)
+    training = run_program(basic, memory=program.workload.make_memory())
+    prepared = prepare_compilation(
+        basic, training.profile, SENTINEL, recovery=recovery, unroll_factor=2
+    )
+    compiled = schedule_prepared(prepared, paper_machine(rate))
+    return run_scheduled(
+        compiled.scheduled, paper_machine(rate),
+        memory=memory.clone(), on_exception="record",
+    )
+
+
+class TestSentinelSinkRegression:
+    def test_div_zero_survives_recovery_compile(self):
+        out = compile_and_run(SPEC_692, PLAN_692, recovery=True)
+        assert TrapKind.DIV_ZERO in {e.kind for e in out.exceptions}
+
+    def test_div_zero_survives_plain_compile(self):
+        out = compile_and_run(SPEC_692, PLAN_692, recovery=False)
+        assert TrapKind.DIV_ZERO in {e.kind for e in out.exceptions}
+
+
+class TestReductionPinsSharedSentinels:
+    def test_shared_sentinel_pinned_above_exit(self):
+        # The load's sentinel (the add) feeds only the store, so its dest
+        # r2 is dead on the taken back-edge path — liveness alone adds no
+        # guard arc, and before the fix the sentinel could sink below bne.
+        program = assemble(
+            "top:\n"
+            "  r4 = mov 8\n"
+            "loop:\n"
+            "  r3 = load [r5+0]\n"
+            "  r2 = add r3, 1\n"
+            "  store [r6+0], r2\n"
+            "  r4 = sub r4, 1\n"
+            "  bne r4, 0, loop\n"
+            "  halt"
+        )
+        blocks = to_basic_blocks(program)
+        loop = next(b for b in blocks.blocks if b.label == "loop")
+        liveness = Liveness(blocks)
+        graph = build_dependence_graph(loop, liveness)
+        reduce_dependence_graph(graph, liveness, SENTINEL)
+
+        load = next(
+            i for i in range(graph.original_count)
+            if graph.nodes[i].info.can_trap
+        )
+        assert load in graph.allowed_spec
+        assert load in graph.shared_sentinel
+        sentinel = graph.shared_sentinel[load]
+        branch = next(
+            i for i in range(graph.original_count)
+            if graph.nodes[i].info.is_cond_branch
+        )
+        # The sentinel's result is NOT live when the back edge is taken …
+        dest = graph.nodes[sentinel].dest
+        assert dest not in liveness.live_when_taken(graph.nodes[branch].uid)
+        # … yet the reduced graph still pins it above the exit.
+        assert graph.has_arc(sentinel, branch), (
+            "shared sentinel must carry an arc pinning it above the exit"
+        )
