@@ -5,6 +5,7 @@ Delegates to the same logic as ``examples/paper_evaluation.py``.
 
 import argparse
 import json
+import os
 
 from .eval.figures import figure4_series, figure5_series, render_bars, render_table
 from .eval.harness import SweepConfig, run_sweep
@@ -20,12 +21,14 @@ def run_fuzz(args) -> int:
 
     from .fuzz.campaign import CampaignConfig, run_campaign
 
-    config = CampaignConfig(seeds=args.fuzz, base_seed=args.fuzz_seed)
+    config = CampaignConfig(
+        seeds=args.fuzz, base_seed=args.fuzz_seed, jobs=args.fuzz_jobs
+    )
     heartbeat = max(1, config.seeds // 10)
 
     def progress(seed: int, partial) -> None:
         done = partial.seeds_run
-        if done % heartbeat == 0 or not partial.ok:
+        if done % heartbeat == 0 or not partial.ok or config.jobs != 1:
             status = "ok" if partial.ok else f"{len(partial.findings)} failing"
             print(
                 f"  ... {done}/{config.seeds} seeds, "
@@ -136,6 +139,18 @@ def main() -> None:
         "or a table to stdout when PATH is omitted)",
     )
     parser.add_argument(
+        "--no-compile-cache",
+        action="store_true",
+        help="disable the content-addressed on-disk compile cache "
+        "(cache directory: $REPRO_CACHE_DIR or ~/.cache/repro-sentinel)",
+    )
+    parser.add_argument(
+        "--no-fast-proc",
+        action="store_true",
+        help="run cycle-level simulations on the reference Processor "
+        "instead of the pre-decoded fast engine",
+    )
+    parser.add_argument(
         "--fuzz",
         type=int,
         default=None,
@@ -149,6 +164,16 @@ def main() -> None:
         default=0,
         metavar="S",
         help="first campaign seed (seeds S..S+N-1; default 0)",
+    )
+    parser.add_argument(
+        "--fuzz-jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help="worker processes for the fuzz campaign (0 = auto: CPU count, "
+        "serial fallback on one CPU or small campaigns); seeds are sharded "
+        "round-robin and merged deterministically, so results are identical "
+        "for any value",
     )
     parser.add_argument(
         "--fuzz-out",
@@ -166,6 +191,12 @@ def main() -> None:
         "as JSON to PATH",
     )
     args = parser.parse_args()
+
+    if args.no_fast_proc:
+        # run_scheduled consults this env knob whenever ``fast`` is not
+        # passed explicitly, so one switch covers every simulation the
+        # process runs (sweep cells, fuzz oracle, examples).
+        os.environ["REPRO_FAST_PROC"] = "0"
 
     if args.fuzz is not None:
         raise SystemExit(run_fuzz(args))
@@ -200,6 +231,7 @@ def main() -> None:
             jobs=args.jobs,
             verify_ir=args.verify_ir,
             trace_passes=args.trace_passes is not None,
+            compile_cache=not args.no_compile_cache,
         )
     )
     if args.timings:

@@ -33,6 +33,10 @@ RECOVER = "recover"
 class TrapKind(enum.Enum):
     """Why an instruction trapped."""
 
+    # Identity hash (singletons; hash values never persisted) — trap-plan
+    # lookups key dicts by TrapKind in the fuzz oracle's hot path.
+    __hash__ = object.__hash__
+
     ACCESS_VIOLATION = "access_violation"  # address outside any mapped segment
     PAGE_FAULT = "page_fault"  # mapped but faulting (repairable)
     DIV_ZERO = "div_zero"

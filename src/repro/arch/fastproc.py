@@ -1,0 +1,1291 @@
+"""Specializing fast-path engine for the cycle-level processor.
+
+Mirrors the :mod:`repro.interp.fastpath` recipe for VLIW bundles: each
+:class:`~repro.sched.schedule.ScheduledProgram` is pre-decoded **once**
+into flat per-word execution records — resolved operand indices,
+opcode-specialized handlers, pre-resolved branch targets, speculative and
+sentinel flags — so the steady-state word loop does no dict lookups, no
+``Opcode`` attribute chasing and no per-cycle object allocation:
+
+* the tagged register file becomes four flat arrays (data, tag bits,
+  written bits, ready times) indexed by a dense register number
+  (``r0..r63`` = 0..63, ``f0..f63`` = 64..127; index 0 is the hardwired
+  zero register and is never written, which reproduces the dict file's
+  semantics exactly),
+* per-word CRAY-1 interlock source sets are precomputed per resume slot,
+* the store buffer is a slab of plain lists managed by
+  :class:`_FastStoreBuffer`, re-implementing Table 2 and the release /
+  confirm / cancel rules of :class:`~repro.arch.store_buffer.StoreBuffer`
+  field for field,
+* Table 1 is inlined into every operation family instead of allocating
+  ``TaggedValue``/``TagOutcome`` objects,
+* the PC History Queue is dropped: the reference pushes ``uid`` and looks
+  the same ``uid`` up in the same cycle, so the reported PC is always the
+  executing instruction's uid and the queue itself is unobservable.
+
+The engine is **bit-identical to the reference** :class:`Processor` on
+all observable state (registers, memory, exception records, counters,
+cycle counts) — ``tests/arch/test_fastproc_diff.py`` pins this over the
+workload suite and the fuzz corpus.  Boosting schedules keep the shadow
+bank machinery of the reference engine; :func:`repro.arch.processor.run_scheduled`
+falls back automatically.
+
+Decoded programs are cached on the ``ScheduledProgram`` object keyed by
+the machine's latency table, so repeated runs of one schedule (the fuzz
+oracle's per-policy cells) decode once.  The cache follows the
+``schedule_prepared`` contract: a schedule is consumed before the next
+backend call invalidates its words, so a decode snapshot taken at first
+run is never stale.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.opcodes import Opcode
+from ..isa.registers import Register, all_registers
+from ..isa.semantics import (
+    GARBAGE_FP,
+    GARBAGE_INT,
+    evaluate,
+    garbage_for,
+    wrap64,
+)
+from ..machine.description import MachineDescription
+from ..sched.schedule import ScheduledProgram
+from .exceptions import (
+    ABORT,
+    RECORD,
+    RECOVER,
+    SignalledException,
+    SimulationError,
+    Trap,
+    TrapKind,
+)
+from .memory import Memory
+from .processor import (
+    INT_NAN,
+    SILENT_MODES,
+    TAGGED_MODES,
+    ProcessorResult,
+    Value,
+    _Signal,
+    _StallStore,
+)
+
+__all__ = ["FastProcessor", "decode_scheduled"]
+
+#: Dense register numbering: integer file first, then the FP file.
+_REG_OBJECTS: Tuple[Register, ...] = all_registers()
+_REG_COUNT = len(_REG_OBJECTS)
+_FP_BASE = _REG_COUNT // 2
+
+
+#: Register -> dense index.  Registers are interned singletons, so the
+#: lookup is an identity-hash hit — cheaper than the two property reads
+#: a computed index would cost in the decode loops.
+_REG_INDEX: Dict[Register, int] = {
+    reg: (reg.index if reg.is_int else _FP_BASE + reg.index) for reg in _REG_OBJECTS
+}
+#: As above, minus ``r0`` — the keys a tag/NaN operand scan cares about.
+_TAGGABLE_INDEX: Dict[Register, int] = {
+    reg: ri for reg, ri in _REG_INDEX.items() if not reg.is_zero
+}
+
+
+def _reg_index(reg: Register) -> int:
+    return _REG_INDEX[reg]
+
+
+# ----------------------------------------------------------------------
+# Record kinds (tuple slot 0).
+# ----------------------------------------------------------------------
+
+K_COND = 0
+K_JUMP = 1
+K_HALT = 2
+K_IO = 3
+K_NOP = 4
+K_CLRTAG = 5
+K_CHECK = 6
+K_CONFIRM = 7
+K_TLOAD = 8
+K_TSTORE = 9
+K_LOAD = 10
+K_STORE = 11
+K_ALU = 12  # specialized never-trapping integer compute
+K_COMPUTE = 13  # generic compute through evaluate()
+
+_BRANCH_CMP = {
+    Opcode.BEQ: operator.eq,
+    Opcode.BNE: operator.ne,
+    Opcode.BLT: operator.lt,
+    Opcode.BGE: operator.ge,
+    Opcode.BLE: operator.le,
+    Opcode.BGT: operator.gt,
+}
+
+_U64 = 1 << 64
+
+
+def _srl(a, b) -> int:
+    return wrap64((int(a) % _U64) >> (int(b) & 63))
+
+
+def _sltu(a, b) -> int:
+    return int(int(a) % _U64 < int(b) % _U64)
+
+
+#: Two-operand integer opcodes that can never trap, as (a, b) functions
+#: mirroring :func:`repro.isa.semantics.evaluate` exactly — including the
+#: per-operand ``int()`` coercion, which is observable when a float value
+#: reaches an integer register through ``tload``.  ``MOV`` rides along
+#: with a dummy second operand.
+_FAST_ALU = {
+    Opcode.ADD: lambda a, b: wrap64(int(a) + int(b)),
+    Opcode.SUB: lambda a, b: wrap64(int(a) - int(b)),
+    Opcode.AND: lambda a, b: wrap64(int(a) & int(b)),
+    Opcode.OR: lambda a, b: wrap64(int(a) | int(b)),
+    Opcode.XOR: lambda a, b: wrap64(int(a) ^ int(b)),
+    Opcode.NOR: lambda a, b: wrap64(~(int(a) | int(b))),
+    Opcode.SLL: lambda a, b: wrap64(int(a) << (int(b) & 63)),
+    Opcode.SRL: _srl,
+    Opcode.SRA: lambda a, b: wrap64(int(a) >> (int(b) & 63)),
+    Opcode.SLT: lambda a, b: int(int(a) < int(b)),
+    Opcode.SLTU: _sltu,
+    Opcode.MUL: lambda a, b: wrap64(int(a) * int(b)),
+    Opcode.MOV: lambda a, b: wrap64(int(a)),
+}
+
+
+def _operand_pair(src) -> Tuple[int, Value]:
+    """(register index, immediate) — index -1 means use the immediate."""
+    ri = _REG_INDEX.get(src)
+    if ri is None:
+        return -1, src
+    return ri, 0
+
+
+# Decode dispatch class per opcode, precomputed so the per-instruction
+# decode does one dict lookup instead of walking an if-chain of identity
+# tests for every computational instruction (the overwhelming majority).
+(
+    _D_COMPUTE,
+    _D_LOAD,
+    _D_STORE,
+    _D_COND,
+    _D_CHECK,
+    _D_CONFIRM,
+    _D_CLRTAG,
+    _D_JUMP,
+    _D_HALT,
+    _D_IO,
+    _D_NOP,
+    _D_TLOAD,
+    _D_TSTORE,
+) = range(13)
+
+
+def _classify_opcode(op) -> int:
+    info = op.info
+    if info.is_cond_branch:
+        return _D_COND
+    if op is Opcode.JUMP:
+        return _D_JUMP
+    if op is Opcode.HALT:
+        return _D_HALT
+    if op in (Opcode.JSR, Opcode.IO):
+        return _D_IO
+    if op is Opcode.NOP:
+        return _D_NOP
+    if op is Opcode.CLRTAG:
+        return _D_CLRTAG
+    if op is Opcode.CHECK:
+        return _D_CHECK
+    if op is Opcode.CONFIRM:
+        return _D_CONFIRM
+    if op is Opcode.TLOAD:
+        return _D_TLOAD
+    if op is Opcode.TSTORE:
+        return _D_TSTORE
+    if op in (Opcode.LOAD, Opcode.FLOAD):
+        return _D_LOAD
+    if op in (Opcode.STORE, Opcode.FSTORE):
+        return _D_STORE
+    return _D_COMPUTE
+
+
+_DECODE_CLASS: Dict[Opcode, int] = {op: _classify_opcode(op) for op in Opcode}
+
+
+def _tag_check_indices(instr) -> Tuple[int, ...]:
+    """Register-operand indices in operand order, for tag / NaN scans.
+
+    ``r0`` is skipped: it can never be tagged and always reads 0, so it
+    contributes nothing to a first-tagged or NaN-operand scan.
+    """
+    get = _TAGGABLE_INDEX.get
+    return tuple(ri for ri in map(get, instr.srcs) if ri is not None)
+
+
+class _DecodedWord:
+    """One VLIW word: execution records + per-resume-slot interlock sets."""
+
+    __slots__ = ("records", "interlock")
+
+    def __init__(self, records: List[tuple], interlock: List[Tuple[int, ...]]):
+        self.records = records
+        self.interlock = interlock
+
+
+class _DecodedBlock:
+    __slots__ = ("label", "words", "falls_through")
+
+    def __init__(self, label: str, words: List[_DecodedWord], falls_through: bool):
+        self.label = label
+        self.words = words
+        self.falls_through = falls_through
+
+
+class _DecodedProgram:
+    __slots__ = ("blocks", "origin_by_uid", "location_by_uid", "instr_by_uid")
+
+    def __init__(self, scheduled: ScheduledProgram, machine: MachineDescription):
+        latency = machine.latency
+        block_index = {blk.label: i for i, blk in enumerate(scheduled.blocks)}
+        self.origin_by_uid: Dict[int, int] = {}
+        self.location_by_uid: Dict[int, Tuple[int, int, int]] = {}
+        self.instr_by_uid: Dict[int, object] = {}
+        self.blocks: List[_DecodedBlock] = []
+        for block_idx, blk in enumerate(scheduled.blocks):
+            words: List[_DecodedWord] = []
+            for cycle, word in enumerate(blk.words):
+                records: List[tuple] = []
+                for slot, instr in enumerate(word):
+                    self.origin_by_uid[instr.uid] = instr.origin_uid
+                    self.location_by_uid[instr.uid] = (block_idx, cycle, slot)
+                    self.instr_by_uid[instr.uid] = instr
+                    records.append(self._decode(instr, latency, block_index))
+                # Interlock source sets for each possible resume slot: the
+                # union of register operands of word[s:], r0 included (its
+                # ready time is tracked like any other register's).
+                suffix: List[Tuple[int, ...]] = [()] * len(word)
+                acc: Tuple[int, ...] = ()
+                reg_of = _REG_INDEX.get
+                for s in range(len(word) - 1, -1, -1):
+                    seen = set(acc)
+                    merged = list(acc)
+                    for src in word[s].srcs:
+                        ri = reg_of(src)
+                        if ri is not None and ri not in seen:
+                            seen.add(ri)  # dedup inside one instruction too
+                            merged.append(ri)
+                    acc = tuple(merged)
+                    suffix[s] = acc
+                words.append(_DecodedWord(records, suffix))
+            self.blocks.append(_DecodedBlock(blk.label, words, blk.falls_through))
+
+    @staticmethod
+    def _decode(instr, latency, block_index) -> tuple:
+        op = instr.op
+        info = op.info
+        uid = instr.uid
+        kind = _DECODE_CLASS[op]
+        if kind == _D_COMPUTE:
+            dest_ri = -1 if instr.dest is None else _reg_index(instr.dest)
+            operands = tuple(_operand_pair(s) for s in instr.srcs)
+            fast_fn = _FAST_ALU.get(op)
+            if fast_fn is not None and len(operands) <= 2 and not info.can_trap:
+                a_ri, a_imm = operands[0]
+                b_ri, b_imm = operands[1] if len(operands) > 1 else (-1, 0)
+                return (
+                    K_ALU,
+                    instr,
+                    bool(instr.spec),
+                    _tag_check_indices(instr),
+                    a_ri,
+                    a_imm,
+                    b_ri,
+                    b_imm,
+                    dest_ri,
+                    latency(op),
+                    uid,
+                    fast_fn,
+                )
+            #: colwell-mode poison value (Section 2.4).
+            poison = GARBAGE_FP if info.fp_dest else INT_NAN
+            return (
+                K_COMPUTE,
+                instr,
+                op,
+                bool(instr.spec),
+                _tag_check_indices(instr),
+                operands,
+                dest_ri,
+                bool(info.can_trap),
+                poison,
+                latency(op),
+                uid,
+            )
+        if kind == _D_LOAD:
+            dest_ri = -1 if instr.dest is None else _reg_index(instr.dest)
+            return (
+                K_LOAD,
+                instr,
+                op,
+                bool(instr.spec),
+                _tag_check_indices(instr),
+                _reg_index(instr.srcs[0]),
+                int(instr.srcs[1]),
+                dest_ri,
+                op is Opcode.FLOAD,
+                latency(op),
+                uid,
+            )
+        if kind == _D_STORE:
+            val_ri, val_imm = _operand_pair(instr.srcs[2])
+            return (
+                K_STORE,
+                instr,
+                bool(instr.spec),
+                _tag_check_indices(instr),
+                _reg_index(instr.srcs[0]),
+                int(instr.srcs[1]),
+                val_ri,
+                val_imm,
+                uid,
+            )
+        if kind == _D_COND:
+            a_ri, a_imm = _operand_pair(instr.srcs[0])
+            b_ri, b_imm = _operand_pair(instr.srcs[1])
+            return (
+                K_COND,
+                instr,
+                _tag_check_indices(instr),
+                a_ri,
+                a_imm,
+                b_ri,
+                b_imm,
+                _BRANCH_CMP[op],
+                instr.target,
+                block_index.get(instr.target, -1),
+            )
+        if kind == _D_CHECK:
+            dest_ri = -1 if instr.dest is None else _reg_index(instr.dest)
+            return (K_CHECK, instr, _reg_index(instr.srcs[0]), dest_ri, latency(op))
+        if kind == _D_CONFIRM:
+            return (K_CONFIRM, instr, int(instr.srcs[0]), uid)
+        if kind == _D_CLRTAG:
+            dest_ri = -1 if instr.dest is None else _reg_index(instr.dest)
+            return (K_CLRTAG, instr, dest_ri)
+        if kind == _D_JUMP:
+            return (K_JUMP, instr, instr.target, block_index.get(instr.target, -1))
+        if kind == _D_HALT:
+            return (K_HALT, instr)
+        if kind == _D_IO:
+            return (K_IO, instr, instr.origin_uid)
+        if kind == _D_NOP:
+            return (K_NOP, instr)
+        if kind == _D_TLOAD:
+            dest_ri = -1 if instr.dest is None else _reg_index(instr.dest)
+            return (
+                K_TLOAD,
+                instr,
+                _reg_index(instr.srcs[0]),
+                int(instr.srcs[1]),
+                dest_ri,
+                latency(op),
+            )
+        assert kind == _D_TSTORE
+        val_ri, val_imm = _operand_pair(instr.srcs[2])
+        return (
+            K_TSTORE,
+            instr,
+            _reg_index(instr.srcs[0]),
+            int(instr.srcs[1]),
+            val_ri,
+            val_imm,
+        )
+
+
+def decode_scheduled(
+    scheduled: ScheduledProgram, machine: MachineDescription
+) -> _DecodedProgram:
+    """Decode (or fetch the cached decode of) one scheduled program.
+
+    The cache key is the machine's latency table — the only part of the
+    machine description that shapes the records (issue width and buffer
+    size live in the run-time state, not in the decode).
+    """
+    key = tuple(sorted((cls.value, lat) for cls, lat in machine.latencies.items()))
+    cache = getattr(scheduled, "_fastproc_decode", None)
+    if cache is None:
+        cache = {}
+        scheduled._fastproc_decode = cache
+    decoded = cache.get(key)
+    if decoded is None:
+        decoded = _DecodedProgram(scheduled, machine)
+        cache[key] = decoded
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# Slab store buffer.
+# ----------------------------------------------------------------------
+
+# Entry layout (plain list, mutated in place):
+_E_ADDR = 0
+_E_VALUE = 1
+_E_CONFIRMED = 2
+_E_VALID = 3
+_E_EXC_TAG = 4
+_E_EXC_PC = 5
+_E_TRAP = 6
+_E_STORE_PC = 7
+
+
+class _FastStoreBuffer:
+    """Table 2 store buffer over plain-list entries.
+
+    Mirrors :class:`repro.arch.store_buffer.StoreBuffer` exactly —
+    occupancy counts invalid-but-unreclaimed entries, release reclaims
+    only from the head, confirm indexes valid entries from the tail — but
+    avoids dataclass allocation and deque attribute chasing.  The slab is
+    a growing list with a head cursor, compacted periodically.
+    """
+
+    __slots__ = ("size", "memory", "_mem_data", "entries", "head", "cancellations", "releases")
+
+    def __init__(self, size: int, memory: Memory) -> None:
+        self.size = size
+        self.memory = memory
+        self._mem_data = memory._data
+        self.entries: List[list] = []
+        self.head = 0
+        self.cancellations = 0
+        self.releases = 0
+
+    def occupancy(self) -> int:
+        return len(self.entries) - self.head
+
+    def can_insert(self) -> bool:
+        return len(self.entries) - self.head < self.size
+
+    def _reclaim_invalid_head(self) -> None:
+        entries = self.entries
+        head = self.head
+        n = len(entries)
+        while head < n and not entries[head][_E_VALID]:
+            head += 1
+        self.head = head
+        if head >= 64:
+            del entries[:head]
+            self.head = 0
+
+    def search(self, address: int):
+        entries = self.entries
+        for i in range(len(entries) - 1, self.head - 1, -1):
+            e = entries[i]
+            # searchable: valid, tag clear, address present (Section 4.1).
+            if e[_E_VALID] and not e[_E_EXC_TAG] and e[_E_ADDR] is not None:
+                if e[_E_ADDR] == address:
+                    return e[_E_VALUE]
+        return None
+
+    def release_cycle(self) -> bool:
+        # Fast path: the buffer is empty on most cycles.  Nothing can be
+        # released; compact the spent prefix so the slab stays small.
+        if self.head >= len(self.entries):
+            if self.head:
+                del self.entries[:]
+                self.head = 0
+            return False
+        self._reclaim_invalid_head()
+        if self.head >= len(self.entries):
+            return False
+        entry = self.entries[self.head]
+        if not entry[_E_CONFIRMED]:
+            return False
+        self.head += 1
+        if entry[_E_ADDR] is not None:
+            self._mem_data[entry[_E_ADDR]] = entry[_E_VALUE]
+        self.releases += 1
+        self._reclaim_invalid_head()
+        return True
+
+    def confirm(self, index: int, pc: int):
+        """``confirm_store(index)``: ``index`` counts valid entries from
+        the tail.  Returns the entry list when its recorded exception must
+        be signalled, None for a clean confirmation."""
+        entries = self.entries
+        target = None
+        seen = 0
+        for i in range(len(entries) - 1, self.head - 1, -1):
+            e = entries[i]
+            if not e[_E_VALID]:
+                continue
+            if seen == index:
+                target = e
+                break
+            seen += 1
+        if target is None:
+            raise SimulationError(f"confirm_store({index}) at pc={pc}: no such entry")
+        if not (target[_E_VALID] and not target[_E_CONFIRMED]):
+            raise SimulationError(
+                f"confirm_store({index}) at pc={pc} hit a non-probationary entry "
+                f"(store pc={target[_E_STORE_PC]}) — bad confirm index in the schedule"
+            )
+        if target[_E_EXC_TAG]:
+            target[_E_VALID] = False
+            return target
+        target[_E_CONFIRMED] = True
+        return None
+
+    def cancel_probationary(self) -> int:
+        count = 0
+        for i in range(self.head, len(self.entries)):
+            e = self.entries[i]
+            if e[_E_VALID] and not e[_E_CONFIRMED]:
+                e[_E_VALID] = False
+                count += 1
+        self.cancellations += count
+        self._reclaim_invalid_head()
+        return count
+
+    def drain(self) -> None:
+        self._reclaim_invalid_head()
+        for i in range(self.head, len(self.entries)):
+            e = self.entries[i]
+            if e[_E_VALID] and not e[_E_CONFIRMED]:
+                raise SimulationError(
+                    f"probationary store (pc={e[_E_STORE_PC]}) left in buffer at drain"
+                )
+        while self.head < len(self.entries):
+            self.release_cycle()
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+
+
+class FastProcessor:
+    """Pre-decoded drop-in for :class:`repro.arch.processor.Processor`.
+
+    Supports the tagged and silent hardware modes; boosting schedules
+    (shadow register banks, Section 2.3) stay on the reference engine —
+    ``run_scheduled`` routes them there automatically.
+    """
+
+    def __init__(
+        self,
+        scheduled: ScheduledProgram,
+        machine: MachineDescription,
+        memory: Optional[Memory] = None,
+        on_exception: str = ABORT,
+        init_regs: Optional[Dict[Register, Value]] = None,
+        init_tags: Optional[Dict[Register, int]] = None,
+        max_cycles: int = 5_000_000,
+        max_recoveries: int = 64,
+    ) -> None:
+        if on_exception not in (ABORT, RECORD, RECOVER):
+            raise ValueError(f"unknown exception policy {on_exception!r}")
+        mode = scheduled.policy_name
+        if mode.startswith("boosting"):
+            raise ValueError(
+                "FastProcessor does not model boosting shadow banks; "
+                "use the reference Processor"
+            )
+        if mode not in TAGGED_MODES + SILENT_MODES:
+            raise ValueError(f"unknown scheduling model {mode!r}")
+        self.scheduled = scheduled
+        self.machine = machine
+        self.tagged_mode = mode in TAGGED_MODES
+        self.colwell_mode = mode == "colwell"
+        self.on_exception = on_exception
+        self.memory = memory if memory is not None else Memory()
+        self.max_cycles = max_cycles
+        self.max_recoveries = max_recoveries
+        self.decoded = decode_scheduled(scheduled, machine)
+
+        # Flat register file: data / tag / written / ready-time arrays.
+        self.data: List[Value] = [0] * _FP_BASE + [0.0] * _FP_BASE
+        self.tags = bytearray(_REG_COUNT)
+        self.written = bytearray(_REG_COUNT)
+        self.ready: List[int] = [0] * _REG_COUNT
+        if init_regs:
+            for reg, value in init_regs.items():
+                if reg.is_zero:
+                    continue
+                ri = _reg_index(reg)
+                self.data[ri] = value
+                self.tags[ri] = 0
+                self.written[ri] = 1
+        if init_tags:
+            for reg, pc in init_tags.items():
+                if reg.is_zero:
+                    continue
+                ri = _reg_index(reg)
+                self.data[ri] = pc
+                self.tags[ri] = 1
+                self.written[ri] = 1
+
+        self.buffer = _FastStoreBuffer(machine.store_buffer_size, self.memory)
+        self._pending_traps: Dict[Value, Trap] = {}
+        self._clock = 0
+        self._exceptions: List[SignalledException] = []
+        self._io_events: List[int] = []
+        self._dyn = 0
+        self._interlock_stalls = 0
+        self._buffer_stalls = 0
+        self._recoveries = 0
+        self._mispredictions = 0
+
+    # ------------------------------------------------------------------
+    # Cold paths: signal recording, RECORD disposition, recovery.
+    # These mirror Processor._signal_record / _handle_signal / _recover.
+    # ------------------------------------------------------------------
+
+    def _signal_record(self, signal: _Signal) -> SignalledException:
+        if signal.own and signal.trap is not None:
+            kind = signal.trap.kind
+        else:
+            pending = self._pending_traps.get(signal.reported_pc)
+            kind = pending.kind if pending is not None else TrapKind.ACCESS_VIOLATION
+        pc = int(signal.reported_pc)
+        origin = self.decoded.origin_by_uid.get(pc, pc)
+        record = SignalledException(
+            pc=pc,
+            kind=kind,
+            reporter_pc=signal.reporter.uid,
+            origin_pc=origin,
+            detail="" if signal.trap is None else signal.trap.detail,
+        )
+        self._exceptions.append(record)
+        return record
+
+    def _handle_signal(self, signal: _Signal):
+        self._signal_record(signal)
+        if self.on_exception == ABORT:
+            return "abort"
+        if self.on_exception == RECORD:
+            if signal.own:
+                reporter = signal.reporter
+                if reporter.dest is not None:
+                    ri = _reg_index(reporter.dest)
+                    self.ready[ri] = self._clock + self.machine.latency(reporter.op)
+                    if ri:
+                        self.data[ri] = garbage_for(reporter.op)
+                        self.tags[ri] = 0
+                        self.written[ri] = 1
+                return "record-skip"
+            if signal.reporter.op is Opcode.CONFIRM:
+                return "record-skip"
+            for src in signal.reporter.srcs:
+                if isinstance(src, Register) and not src.is_zero:
+                    self.tags[_reg_index(src)] = 0
+            return "record-reexecute"
+        return self._recover(signal)
+
+    def _recover(self, signal: _Signal):
+        self._recoveries += 1
+        if self._recoveries > self.max_recoveries:
+            return "abort"
+        pc = int(signal.reported_pc)
+        trap = signal.trap if signal.own else self._pending_traps.get(pc)
+        if trap is None or not trap.kind.repairable:
+            return "abort"
+        culprit = self.decoded.instr_by_uid.get(pc)
+        if culprit is None:
+            return "abort"
+        if culprit.info.reads_mem or culprit.info.writes_mem:
+            base = culprit.srcs[0]
+            base_val = self.data[_reg_index(base)] if isinstance(base, Register) else base
+            address = int(base_val) + int(culprit.srcs[1])
+            self.memory.repair(address)
+        else:
+            return "abort"
+        self._pending_traps.pop(pc, None)
+        location = self.decoded.location_by_uid.get(pc)
+        if location is None:
+            return "abort"
+        self.buffer.cancel_probationary()
+        return location
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProcessorResult:  # noqa: C901 — deliberately monolithic
+        decoded = self.decoded
+        blocks = decoded.blocks
+        if not blocks:
+            raise SimulationError("empty scheduled program")
+
+        # Hot state in locals.
+        data = self.data
+        tags = self.tags
+        written = self.written
+        ready = self.ready
+        buffer = self.buffer
+        release_cycle = buffer.release_cycle
+        memory = self.memory
+        mem_check = memory.check
+        mem_data = memory._data
+        mem_faulting = memory._faulting
+        single_segment = len(memory.segments) == 1
+        if single_segment:
+            seg_lo, seg_hi = memory.segments[0]
+        else:
+            seg_lo = seg_hi = 0
+        tagged_mode = self.tagged_mode
+        colwell_mode = self.colwell_mode
+        pending_traps = self._pending_traps
+        io_events = self._io_events
+        max_cycles = self.max_cycles
+        stall_limit = self.machine.store_buffer_size + 32
+        isnan = math.isnan
+
+        clock = self._clock
+        dyn = 0
+        interlock_stalls = 0
+        buffer_stalls = 0
+        mispredictions = 0
+
+        block_idx = 0
+        word_idx = 0
+        slot_idx = 0
+        halted = False
+        aborted = False
+        stall_watchdog = 0
+        pending_taken: Optional[str] = None
+        pending_bidx = -1
+        pending_taken_conditional = False
+
+        while True:
+            block = blocks[block_idx]
+            words = block.words
+            if word_idx >= len(words):
+                if not block.falls_through:
+                    raise SimulationError(
+                        f"control fell off non-fall-through block {block.label}"
+                    )
+                if block_idx + 1 >= len(blocks):
+                    raise SimulationError("control fell off the end of the program")
+                block_idx += 1
+                word_idx = 0
+                slot_idx = 0
+                continue
+
+            word = words[word_idx]
+            records = word.records
+            n_slots = len(records)
+
+            # CRAY-1 interlock over the remaining slots' sources.
+            needed = clock
+            for ri in word.interlock[slot_idx] if slot_idx < n_slots else ():
+                t = ready[ri]
+                if t > needed:
+                    needed = t
+            while clock < needed:
+                interlock_stalls += 1
+                release_cycle()
+                clock += 1
+                if clock > max_cycles:
+                    raise SimulationError(f"cycle limit {max_cycles} exceeded")
+
+            if slot_idx == 0:
+                pending_taken = None
+                pending_bidx = -1
+                pending_taken_conditional = False
+            outcome: Optional[_Signal] = None
+            stalled = False
+            slot = slot_idx
+            while slot < n_slots:
+                rec = records[slot]
+                kind = rec[0]
+                taken: Optional[str] = None
+                taken_bidx = -1
+                taken_conditional = False
+                try:
+                    if kind == K_ALU:
+                        (_, instr, spec, chk, a_ri, a_imm, b_ri, b_imm,
+                         dest_ri, lat, uid, fn) = rec
+                        if tagged_mode:
+                            tagged_data = None
+                            for ri in chk:
+                                if tags[ri]:
+                                    tagged_data = data[ri]
+                                    break
+                            if tagged_data is not None:
+                                if not spec:
+                                    raise _Signal(tagged_data, False, None, instr)
+                                # Table 1 rows 6: propagate the tag.
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = tagged_data
+                                        tags[dest_ri] = 1
+                                        written[dest_ri] = 1
+                                dyn += 1
+                                slot += 1
+                                continue
+                        result = fn(
+                            data[a_ri] if a_ri >= 0 else a_imm,
+                            data[b_ri] if b_ri >= 0 else b_imm,
+                        )
+                        if dest_ri >= 0:
+                            ready[dest_ri] = clock + lat
+                            if dest_ri:
+                                data[dest_ri] = result
+                                tags[dest_ri] = 0
+                                written[dest_ri] = 1
+                    elif kind == K_LOAD:
+                        (_, instr, op, spec, chk, base_ri, off, dest_ri,
+                         is_fload, lat, uid) = rec
+                        if tagged_mode:
+                            tagged_data = None
+                            for ri in chk:
+                                if tags[ri]:
+                                    tagged_data = data[ri]
+                                    break
+                            if tagged_data is not None:
+                                if not spec:
+                                    raise _Signal(tagged_data, False, None, instr)
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = tagged_data
+                                        tags[dest_ri] = 1
+                                        written[dest_ri] = 1
+                                dyn += 1
+                                slot += 1
+                                continue
+                        address = int(data[base_ri]) + off
+                        if single_segment and seg_lo <= address < seg_hi:
+                            fk = mem_faulting.get(address)
+                            trap = None if fk is None else Trap(fk, address=address)
+                        else:
+                            trap = mem_check(address)
+                        if trap is None:
+                            value = buffer.search(address)
+                            if value is None:
+                                value = mem_data.get(address, 0)
+                            if is_fload and isinstance(value, int):
+                                value = float(value)
+                        else:
+                            value = None
+                        if tagged_mode:
+                            if not spec:
+                                if trap is not None:
+                                    raise _Signal(uid, True, trap, instr)
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = value
+                                        tags[dest_ri] = 0
+                                        written[dest_ri] = 1
+                            else:
+                                if trap is not None:
+                                    pending_traps[uid] = trap
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = uid
+                                            tags[dest_ri] = 1
+                                            written[dest_ri] = 1
+                                else:
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = value
+                                            tags[dest_ri] = 0
+                                            written[dest_ri] = 1
+                        else:
+                            if colwell_mode and not spec:
+                                # loads can trap; NaN operand check.
+                                for ri in chk:
+                                    v = data[ri]
+                                    if (
+                                        isnan(v)
+                                        if isinstance(v, float)
+                                        else v == INT_NAN
+                                    ):
+                                        raise _Signal(
+                                            uid,
+                                            True,
+                                            Trap(
+                                                TrapKind.FP_INVALID,
+                                                detail="NaN detected (colwell)",
+                                            ),
+                                            instr,
+                                        )
+                            if trap is not None:
+                                if spec:
+                                    if colwell_mode:
+                                        poison = GARBAGE_FP if is_fload else INT_NAN
+                                    else:
+                                        poison = GARBAGE_FP if is_fload else GARBAGE_INT
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = poison
+                                            tags[dest_ri] = 0
+                                            written[dest_ri] = 1
+                                else:
+                                    raise _Signal(uid, True, trap, instr)
+                            else:
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = value
+                                        tags[dest_ri] = 0
+                                        written[dest_ri] = 1
+                    elif kind == K_COMPUTE:
+                        (_, instr, op, spec, chk, operands, dest_ri, can_trap,
+                         poison_val, lat, uid) = rec
+                        if tagged_mode:
+                            tagged_data = None
+                            for ri in chk:
+                                if tags[ri]:
+                                    tagged_data = data[ri]
+                                    break
+                            if tagged_data is not None:
+                                if not spec:
+                                    raise _Signal(tagged_data, False, None, instr)
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = tagged_data
+                                        tags[dest_ri] = 1
+                                        written[dest_ri] = 1
+                                dyn += 1
+                                slot += 1
+                                continue
+                        vals = [
+                            data[ri] if ri >= 0 else imm for ri, imm in operands
+                        ]
+                        result, trap = evaluate(op, vals)
+                        if tagged_mode:
+                            if not spec:
+                                if trap is not None:
+                                    raise _Signal(uid, True, trap, instr)
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = result
+                                        tags[dest_ri] = 0
+                                        written[dest_ri] = 1
+                            else:
+                                if trap is not None:
+                                    pending_traps[uid] = trap
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = uid
+                                            tags[dest_ri] = 1
+                                            written[dest_ri] = 1
+                                else:
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = result
+                                            tags[dest_ri] = 0
+                                            written[dest_ri] = 1
+                        else:
+                            if colwell_mode and not spec and can_trap:
+                                for ri in chk:
+                                    v = data[ri]
+                                    if (
+                                        isnan(v)
+                                        if isinstance(v, float)
+                                        else v == INT_NAN
+                                    ):
+                                        raise _Signal(
+                                            uid,
+                                            True,
+                                            Trap(
+                                                TrapKind.FP_INVALID,
+                                                detail="NaN detected (colwell)",
+                                            ),
+                                            instr,
+                                        )
+                            if trap is not None:
+                                if spec:
+                                    poison = poison_val if colwell_mode else result
+                                    if dest_ri >= 0:
+                                        ready[dest_ri] = clock + lat
+                                        if dest_ri:
+                                            data[dest_ri] = poison
+                                            tags[dest_ri] = 0
+                                            written[dest_ri] = 1
+                                else:
+                                    raise _Signal(uid, True, trap, instr)
+                            else:
+                                if dest_ri >= 0:
+                                    ready[dest_ri] = clock + lat
+                                    if dest_ri:
+                                        data[dest_ri] = result
+                                        tags[dest_ri] = 0
+                                        written[dest_ri] = 1
+                    elif kind == K_STORE:
+                        (_, instr, spec, chk, base_ri, off, val_ri, val_imm,
+                         uid) = rec
+                        if not tagged_mode and spec:
+                            raise SimulationError(
+                                f"speculative store {uid} under a silent-mode schedule"
+                            )
+                        tagged_data = None
+                        if tagged_mode:
+                            for ri in chk:
+                                if tags[ri]:
+                                    tagged_data = data[ri]
+                                    break
+                        address = None
+                        value = None
+                        trap = None
+                        if tagged_data is None:
+                            address = int(data[base_ri]) + off
+                            value = data[val_ri] if val_ri >= 0 else val_imm
+                            if single_segment and seg_lo <= address < seg_hi:
+                                fk = mem_faulting.get(address)
+                                trap = (
+                                    None if fk is None else Trap(fk, address=address)
+                                )
+                            else:
+                                trap = mem_check(address)
+                        if not tagged_mode:
+                            if colwell_mode:
+                                # stores can trap; NaN operand check (spec
+                                # stores already errored above).
+                                for ri in chk:
+                                    v = data[ri]
+                                    if (
+                                        isnan(v)
+                                        if isinstance(v, float)
+                                        else v == INT_NAN
+                                    ):
+                                        raise _Signal(
+                                            uid,
+                                            True,
+                                            Trap(
+                                                TrapKind.FP_INVALID,
+                                                detail="NaN detected (colwell)",
+                                            ),
+                                            instr,
+                                        )
+                            if trap is not None:
+                                raise _Signal(uid, True, trap, instr)
+                            if not buffer.can_insert():
+                                raise _StallStore()
+                            # Row (0,0,0): confirmed entry.
+                            buffer.entries.append(
+                                [address, value, True, True, False, None, None, uid]
+                            )
+                        else:
+                            # Table 2; insertion rows need a free slot.
+                            will_insert = spec or (
+                                tagged_data is None and trap is None
+                            )
+                            if will_insert and not buffer.can_insert():
+                                raise _StallStore()
+                            if not spec:
+                                if tagged_data is not None:
+                                    # Rows (0,1,*): sentinel store.
+                                    raise _Signal(tagged_data, False, trap, instr)
+                                if trap is not None:
+                                    # Row (0,0,1): precise store exception.
+                                    raise _Signal(uid, True, trap, instr)
+                                buffer.entries.append(
+                                    [address, value, True, True, False, None, None, uid]
+                                )
+                            else:
+                                if tagged_data is not None:
+                                    # Rows (1,1,*): propagate the tag.
+                                    buffer.entries.append(
+                                        [None, None, False, True, True,
+                                         tagged_data, None, uid]
+                                    )
+                                elif trap is not None:
+                                    # Row (1,0,1): record the store's own fault.
+                                    buffer.entries.append(
+                                        [address, value, False, True, True,
+                                         uid, trap, uid]
+                                    )
+                                    pending_traps[uid] = trap
+                                else:
+                                    # Row (1,0,0): clean pending entry.
+                                    buffer.entries.append(
+                                        [address, value, False, True, False,
+                                         None, None, uid]
+                                    )
+                    elif kind == K_COND:
+                        (_, instr, chk, a_ri, a_imm, b_ri, b_imm, cmp,
+                         target, target_bidx) = rec
+                        if tagged_mode:
+                            for ri in chk:
+                                if tags[ri]:
+                                    raise _Signal(data[ri], False, None, instr)
+                        a = data[a_ri] if a_ri >= 0 else a_imm
+                        b = data[b_ri] if b_ri >= 0 else b_imm
+                        if cmp(a, b):
+                            taken = target
+                            taken_bidx = target_bidx
+                            taken_conditional = True
+                    elif kind == K_CHECK:
+                        _, instr, src_ri, dest_ri, lat = rec
+                        if tagged_mode and tags[src_ri]:
+                            raise _Signal(data[src_ri], False, None, instr)
+                        if dest_ri >= 0:
+                            ready[dest_ri] = clock + lat
+                            if dest_ri:
+                                data[dest_ri] = data[src_ri]
+                                tags[dest_ri] = 0
+                                written[dest_ri] = 1
+                    elif kind == K_CONFIRM:
+                        _, instr, index, uid = rec
+                        entry = buffer.confirm(index, uid)
+                        if entry is not None:
+                            raise _Signal(
+                                entry[_E_EXC_PC], False, entry[_E_TRAP], instr
+                            )
+                    elif kind == K_CLRTAG:
+                        dest_ri = rec[2]
+                        if dest_ri >= 0:
+                            tags[dest_ri] = 0
+                    elif kind == K_JUMP:
+                        taken = rec[2]
+                        taken_bidx = rec[3]
+                    elif kind == K_HALT:
+                        taken = "__halt__"
+                    elif kind == K_IO:
+                        io_events.append(rec[2])
+                    elif kind == K_TLOAD:
+                        _, instr, base_ri, off, dest_ri, lat = rec
+                        address = int(data[base_ri]) + off
+                        value, tag = memory.peek_tagged(address)
+                        if dest_ri >= 0:
+                            ready[dest_ri] = clock + lat
+                            if dest_ri:
+                                data[dest_ri] = value
+                                tags[dest_ri] = 1 if (tag and tagged_mode) else 0
+                                written[dest_ri] = 1
+                    elif kind == K_TSTORE:
+                        _, instr, base_ri, off, val_ri, val_imm = rec
+                        address = int(data[base_ri]) + off
+                        if val_ri >= 0:
+                            memory.poke_tagged(
+                                address, data[val_ri], bool(tags[val_ri])
+                            )
+                        else:
+                            memory.poke_tagged(address, val_imm, False)
+                    # else: K_NOP — nothing.
+                except _StallStore:
+                    stalled = True
+                    break
+                except _Signal as signal:
+                    dyn += 1
+                    outcome = signal
+                    break
+                dyn += 1
+                if taken is not None:
+                    if pending_taken is not None:
+                        raise SimulationError("two taken branches in one word")
+                    pending_taken = taken
+                    pending_bidx = taken_bidx
+                    pending_taken_conditional = taken_conditional
+                slot += 1
+
+            if stalled:
+                slot_idx = slot
+                buffer_stalls += 1
+                stall_watchdog += 1
+                if stall_watchdog > stall_limit:
+                    raise SimulationError(
+                        "store buffer deadlock: head probationary and no "
+                        "confirm in flight (N-1 separation violated?)"
+                    )
+                release_cycle()
+                clock += 1
+                if clock > max_cycles:
+                    raise SimulationError(f"cycle limit {max_cycles} exceeded")
+                continue
+            stall_watchdog = 0
+
+            if outcome is not None:
+                self._clock = clock
+                self._sync_counters(dyn, interlock_stalls, buffer_stalls, mispredictions)
+                disposition = self._handle_signal(outcome)
+                if disposition == "abort":
+                    aborted = True
+                    release_cycle()
+                    clock += 1
+                    if clock > max_cycles:
+                        raise SimulationError(f"cycle limit {max_cycles} exceeded")
+                    break
+                if isinstance(disposition, tuple):
+                    block_idx, word_idx, slot_idx = disposition
+                    pending_taken = None
+                    pending_bidx = -1
+                    pending_taken_conditional = False
+                    release_cycle()
+                    clock += 1
+                    if clock > max_cycles:
+                        raise SimulationError(f"cycle limit {max_cycles} exceeded")
+                    continue
+                slot_idx = slot if disposition == "record-reexecute" else slot + 1
+                if slot_idx < n_slots:
+                    continue
+                # fall through: the word completed despite the signal
+
+            release_cycle()  # the word consumed its cycle
+            clock += 1
+            if clock > max_cycles:
+                raise SimulationError(f"cycle limit {max_cycles} exceeded")
+            if pending_taken == "__halt__":
+                halted = True
+                break
+            if pending_taken is not None:
+                buffer.cancel_probationary()
+                if pending_taken_conditional:
+                    mispredictions += 1
+                if pending_bidx < 0:
+                    raise KeyError(pending_taken)
+                block_idx = pending_bidx
+                word_idx = 0
+                slot_idx = 0
+            else:
+                word_idx += 1
+                slot_idx = 0
+
+        if halted:
+            buffer.drain()
+        self._clock = clock
+        registers = {
+            _REG_OBJECTS[i]: data[i] for i in range(_REG_COUNT) if written[i]
+        }
+        return ProcessorResult(
+            registers=registers,
+            memory=self.memory,
+            exceptions=self._exceptions,
+            cycles=clock,
+            dynamic_instructions=dyn,
+            halted=halted,
+            aborted=aborted,
+            io_events=io_events,
+            stall_cycles=interlock_stalls + buffer_stalls,
+            interlock_stalls=interlock_stalls,
+            store_buffer_stalls=buffer_stalls,
+            recoveries=self._recoveries,
+            mispredictions=mispredictions,
+            cancelled_stores=buffer.cancellations,
+        )
+
+    def _sync_counters(self, dyn, interlock, bufstalls, mispred) -> None:
+        """Flush hot-loop locals into attributes before a cold-path call."""
+        self._dyn = dyn
+        self._interlock_stalls = interlock
+        self._buffer_stalls = bufstalls
+        self._mispredictions = mispred

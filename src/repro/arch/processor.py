@@ -747,6 +747,13 @@ class Processor:
         return None
 
 
+def _fast_default() -> bool:
+    """``REPRO_FAST_PROC=0`` forces the reference engine suite-wide."""
+    import os
+
+    return os.environ.get("REPRO_FAST_PROC", "") != "0"
+
+
 def run_scheduled(
     scheduled: ScheduledProgram,
     machine: MachineDescription,
@@ -755,8 +762,31 @@ def run_scheduled(
     init_regs: Optional[Dict[Register, Value]] = None,
     init_tags: Optional[Dict[Register, int]] = None,
     max_cycles: int = 5_000_000,
+    fast: Optional[bool] = None,
 ) -> ProcessorResult:
-    """Convenience wrapper: build a processor and run once."""
+    """Convenience wrapper: build a processor and run once.
+
+    ``fast`` selects the pre-decoded engine
+    (:class:`repro.arch.fastproc.FastProcessor`, bit-identical on all
+    observable state).  The default (``None``) is fast unless the
+    ``REPRO_FAST_PROC=0`` environment escape hatch is set; ``fast=False``
+    forces the reference engine for one run.  Boosting schedules always
+    use the reference engine (the fast path does not model shadow banks).
+    """
+    if fast is None:
+        fast = _fast_default()
+    if fast and not scheduled.policy_name.startswith("boosting"):
+        from .fastproc import FastProcessor
+
+        return FastProcessor(
+            scheduled,
+            machine,
+            memory=memory,
+            on_exception=on_exception,
+            init_regs=init_regs,
+            init_tags=init_tags,
+            max_cycles=max_cycles,
+        ).run()
     processor = Processor(
         scheduled,
         machine,

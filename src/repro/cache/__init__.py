@@ -1,0 +1,27 @@
+"""Content-addressed on-disk caching of compilation results."""
+
+from .compile_cache import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION_SALT,
+    CompileCache,
+    canonical_machine,
+    canonical_policy,
+    canonical_profile,
+    canonical_program,
+    default_cache_dir,
+    digest_parts,
+    pipeline_pass_names,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_VERSION_SALT",
+    "CompileCache",
+    "canonical_machine",
+    "canonical_policy",
+    "canonical_profile",
+    "canonical_program",
+    "default_cache_dir",
+    "digest_parts",
+    "pipeline_pass_names",
+]

@@ -1,0 +1,248 @@
+"""Content-addressed on-disk cache for compilation results.
+
+Repeated sweeps, fuzz replays, and CI jobs compile the same programs
+under the same policies and machines over and over; the schedule is a
+pure function of those inputs, so it can be memoized on disk.  Entries
+are *content-addressed*: the file name is a SHA-256 digest over every
+input that can influence the produced schedule —
+
+- the canonical program text (labels + printed instructions; deliberately
+  **not** instruction uids, which are process-global counters and differ
+  from run to run for identical programs),
+- the training profile, canonicalized the same way (block labels and
+  instruction positions instead of uids),
+- the speculation policy identity (name and all flags),
+- the machine description(s): issue width, latency table, store buffer
+  size, per-cycle limits,
+- the compilation options (unroll factor, recovery) and the pipeline's
+  pass list,
+- :data:`CACHE_VERSION_SALT`, bumped whenever a pipeline or ISA change
+  alters what any existing key should map to.
+
+Because the key covers the full input content, entries never go stale by
+content — only by code change, which the salt captures.  Values are
+pickled Python objects (the harness stores one *group bundle* — every
+``CompilationResult`` of a front-end sharing group in a single pickle, so
+the results keep sharing one superblock program and one uid space after
+a round trip; see :mod:`repro.eval.harness`).
+
+The cache is crash- and corruption-tolerant by construction: writes go
+to a temporary file in the same directory and are published with an
+atomic :func:`os.replace`, so readers never observe a partial entry, and
+:meth:`CompileCache.get` treats *any* failure to read or unpickle an
+entry as a miss (deleting the offender) — a corrupted cache can cost a
+recompile, never a wrong result or a failed run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = [
+    "CACHE_VERSION_SALT",
+    "CompileCache",
+    "canonical_machine",
+    "canonical_profile",
+    "canonical_program",
+    "default_cache_dir",
+    "digest_parts",
+]
+
+#: Version salt mixed into every cache key.  Bump the trailing number on
+#: any change to the compilation pipeline, the scheduler, or the ISA that
+#: alters the schedule produced for an existing input — or the pickled
+#: layout of the cached objects: old entries then stop matching any key
+#: and die by attrition.  (v2: Instruction grew a memoized-operands slot.)
+CACHE_VERSION_SALT = "repro-compile-v2"
+
+#: Environment override for the cache directory (highest precedence after
+#: an explicit constructor argument).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sentinel" / "compile"
+
+
+def digest_parts(*parts: str) -> str:
+    """SHA-256 over a sequence of strings with unambiguous framing."""
+    h = hashlib.sha256()
+    for part in parts:
+        data = part.encode("utf-8")
+        h.update(str(len(data)).encode("ascii"))
+        h.update(b":")
+        h.update(data)
+    return h.hexdigest()
+
+
+def canonical_program(program) -> str:
+    """Deterministic text of a program, independent of instruction uids.
+
+    Uids are allocated from a process-global counter, so two identical
+    programs built in different runs (or by different pool workers) carry
+    different uids; the printed form without uids is what actually
+    determines the schedule shape.
+    """
+    from ..isa.printer import format_program
+
+    return format_program(program, show_uids=False)
+
+
+def canonical_profile(program, profile) -> str:
+    """Deterministic text of an execution profile for ``program``.
+
+    Block visit counts are keyed by label (stable); branch-taken counts
+    are uid-keyed and are re-expressed positionally as
+    ``(block label, instruction index, taken)``.
+    """
+    lines: List[str] = []
+    for block in program.blocks:
+        lines.append(f"B {block.label} {profile.block_visits.get(block.label, 0)}")
+        for idx, instr in enumerate(block.instrs):
+            taken = profile.branch_taken.get(instr.uid, 0)
+            if taken:
+                lines.append(f"T {block.label} {idx} {taken}")
+    return "\n".join(lines)
+
+
+def canonical_machine(machine) -> str:
+    """Deterministic text of a machine description (all schedule inputs)."""
+    latencies = ",".join(
+        f"{cls.value}={lat}" for cls, lat in sorted(machine.latencies.items(), key=lambda kv: kv[0].value)
+    )
+    return (
+        f"issue={machine.issue_width};lat={latencies};"
+        f"sbuf={machine.store_buffer_size};"
+        f"br/cyc={machine.branches_per_cycle};mem/cyc={machine.memory_ops_per_cycle}"
+    )
+
+
+def canonical_policy(policy) -> str:
+    """Deterministic text of a speculation policy (name and all flags)."""
+    flags = ",".join(
+        f"{name}={getattr(policy, name)!r}"
+        for name in sorted(vars(policy))
+    )
+    return f"{policy.name}[{flags}]"
+
+
+def pipeline_pass_names() -> Tuple[str, ...]:
+    """Names of the default compilation pipeline's passes, in order."""
+    from ..pipeline.passes import backend_pipeline, default_pipeline
+
+    return tuple(p.name for p in default_pipeline()) + tuple(
+        p.name for p in backend_pipeline()
+    )
+
+
+class CompileCache:
+    """A directory of content-addressed pickled entries.
+
+    ``root=None`` resolves via :func:`default_cache_dir` (which honours
+    ``$REPRO_CACHE_DIR``).  ``salt`` defaults to
+    :data:`CACHE_VERSION_SALT`; it participates in every key *and* is
+    stored inside each entry, so entries written under another salt are
+    unreachable by key and rejected on read even if a key collides.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        salt: str = CACHE_VERSION_SALT,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------
+
+    def key(self, *parts: str) -> str:
+        """Digest ``parts`` together with this cache's version salt."""
+        return digest_parts(self.salt, *parts)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- entries ------------------------------------------------------
+
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None``.
+
+        Any failure — missing file, truncated or corrupted pickle, salt
+        mismatch, unpicklable content — is a miss; a damaged entry is
+        deleted so the recompiled value can replace it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                salt, value = pickle.load(fh)
+            if salt != self.salt:
+                raise ValueError(f"cache entry salt {salt!r} != {self.salt!r}")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> Optional[Path]:
+        """Atomically publish ``value`` under ``key``.
+
+        Written via a same-directory temporary file and
+        :func:`os.replace`, so concurrent readers and writers only ever
+        see complete entries (concurrent writers of one key race
+        harmlessly: both write the same content).  I/O errors are
+        swallowed — a read-only or full disk degrades to an always-miss
+        cache, never a failed compile.
+        """
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((self.salt, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+        return path
+
+    # -- maintenance --------------------------------------------------
+
+    def entries(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -35,6 +35,9 @@ from ..isa.instruction import Instruction
 from ..isa.opcodes import Opcode
 from ..isa.program import Block, Program
 from ..isa.registers import F, R, FP_REG_COUNT, INT_REG_COUNT, Register
+from ..deps.builder import build_dependence_graph
+from ..deps.reduction import reduce_dependence_graph
+from ..deps.types import DepGraph
 from ..machine.description import MachineDescription
 from ..sched.list_scheduler import (
     BlockScheduleResult,
@@ -166,6 +169,14 @@ def check_restartable(result: BlockScheduleResult) -> List[RestartViolation]:
     linear = [instr for _c, _s, instr in result.scheduled.linear()]
     inserted_uids = set(result.check_of.values()) | set(result.confirm_of.values())
     violations: List[RestartViolation] = []
+    # Operand lists are rebuilt on every uses()/defs() call; hoisting them
+    # out of the O(window^2) pair scan below is the recovery verifier's
+    # hot-loop win (registers are interned, so set membership is the same
+    # identity test as tuple membership).
+    all_uses: List[Tuple[Register, ...]] = [tuple(i.uses()) for i in linear]
+    all_defs: List[frozenset] = [frozenset(i.defs()) for i in linear]
+    reads_mem: List[bool] = [i.info.reads_mem for i in linear]
+    writes_mem: List[bool] = [i.info.writes_mem for i in linear]
 
     for spec in linear:
         if not spec.spec or not spec.info.can_trap:
@@ -187,17 +198,31 @@ def check_restartable(result: BlockScheduleResult) -> List[RestartViolation]:
                         "irreversible", spec.uid, sentinel.uid, earlier.uid, inserted
                     )
                 )
-            for later in segment[p:]:
-                for reg in earlier.uses():
-                    if reg in later.defs() and not (
-                        later.op is Opcode.CLRTAG  # preserves the data field
-                    ):
-                        violations.append(
-                            RestartViolation(
-                                "overwrite", spec.uid, sentinel.uid, later.uid, inserted
+            uses = all_uses[start + p]
+            earlier_reads = reads_mem[start + p]
+            if not uses and not earlier_reads:
+                continue
+            for q in range(start + p, end + 1):
+                later = linear[q]
+                if uses and later.op is not Opcode.CLRTAG:  # CLRTAG keeps data
+                    defs = all_defs[q]
+                    for reg in uses:
+                        if reg in defs:
+                            violations.append(
+                                RestartViolation(
+                                    "overwrite",
+                                    spec.uid,
+                                    sentinel.uid,
+                                    later.uid,
+                                    inserted,
+                                )
                             )
-                        )
-                if _memory_overwrite(earlier, later) and later is not earlier:
+                if (
+                    earlier_reads
+                    and writes_mem[q]
+                    and later is not earlier
+                    and _memory_overwrite(earlier, later)
+                ):
                     violations.append(
                         RestartViolation(
                             "memory", spec.uid, sentinel.uid, later.uid, inserted
@@ -217,14 +242,48 @@ def schedule_block_with_recovery(
     liveness: Liveness,
     machine: MachineDescription,
     policy: SpeculationPolicy,
+    raw_graph: Optional[DepGraph] = None,
+    reduce_cache: Optional[dict] = None,
 ) -> BlockScheduleResult:
-    """Schedule ``block`` so every speculative window is restartable."""
+    """Schedule ``block`` so every speculative window is restartable.
+
+    The unreduced recovery graph (irreversible barriers in) depends only
+    on the block and the latency table — not on the ``extra_arcs`` /
+    ``despeculated`` state the restart loop varies — so it is built once
+    and each iteration reduces a private copy.  The reduction itself
+    depends only on the despeculation set, so reductions are memoized by
+    that set: arc-only restarts reuse the previous one, and callers that
+    schedule the same block repeatedly (one compile per issue rate) can
+    pass a shared ``raw_graph`` and ``reduce_cache`` to reuse them across
+    calls — restart loops at different rates walk largely the same
+    despeculation states.  Cached graphs are pristine: only ever copied
+    here, never mutated (extra arcs are applied by the scheduler to its
+    private copy).
+    """
     extra_arcs: Set[Tuple[int, int, int]] = set()
     despeculated: Set[int] = set()
     seen: Set[Tuple] = set()
     last_result: Optional[BlockScheduleResult] = None
+    if raw_graph is None:
+        raw_graph = build_dependence_graph(
+            block, liveness, machine.latencies, irreversible_barriers=True
+        )
+    if reduce_cache is None:
+        reduce_cache = {}
 
     for _iteration in range(MAX_RECOVERY_ITERATIONS):
+        despec = frozenset(despeculated)
+        base = reduce_cache.get(despec)
+        if base is None:
+            base = reduce_dependence_graph(
+                raw_graph.copy(),
+                liveness,
+                policy,
+                stop_at_irreversible=True,
+                despeculated=despec,
+            )
+            reduce_cache[despec] = base
+        graph = base.copy()
         try:
             result = schedule_block(
                 block,
@@ -234,7 +293,8 @@ def schedule_block_with_recovery(
                 policy,
                 recovery=True,
                 extra_arcs=tuple(sorted(extra_arcs)),
-                despeculated=frozenset(despeculated),
+                despeculated=despec,
+                graph=graph,
             )
         except SchedulingError:
             # An ordering arc made the constraint graph cyclic: fall back

@@ -69,10 +69,13 @@ def analyze_sentinels(block: "ScheduledBlock") -> SentinelAnalysis:
     linear: List[Instruction] = [instr for _c, _s, instr in block.linear()]
     for pos, instr in enumerate(linear):
         result.position[instr.uid] = pos
-        incoming: Set[int] = set()
-        for src in instr.srcs:
-            if isinstance(src, Register):
-                incoming |= carrier.get(src, _EMPTY)
+        if carrier:
+            incoming: Set[int] = set()
+            for src in instr.srcs:
+                if isinstance(src, Register):
+                    incoming |= carrier.get(src, _EMPTY)
+        else:
+            incoming = _EMPTY  # no register carries a tag: skip the scan
         if instr.op is Opcode.CLRTAG and instr.dest is not None:
             carrier.pop(instr.dest, None)
             continue
@@ -83,9 +86,10 @@ def analyze_sentinels(block: "ScheduledBlock") -> SentinelAnalysis:
             continue
 
         if instr.spec:
-            outgoing: FrozenSet[int] = frozenset(
-                incoming | ({instr.uid} if instr.info.can_trap else set())
-            )
+            if instr.info.can_trap:
+                outgoing: FrozenSet[int] = frozenset(incoming | {instr.uid})
+            else:
+                outgoing = frozenset(incoming)
             if instr.info.writes_mem:
                 store_entry_tags[instr.uid] = outgoing
             elif instr.dest is not None and not instr.dest.is_zero:

@@ -144,10 +144,11 @@ def first_home_use(
     if dest is None or dest.is_zero:
         return None
     first: Optional[int] = None
+    # Registers are interned singletons, so identity comparison suffices.
     for later in range(node + 1, graph.original_count):
         candidate = graph.nodes[later]
         if candidate.op is Opcode.CLRTAG:
-            if candidate.dest == dest:
+            if candidate.dest is dest:
                 return first  # tag reset: the chain cannot pass through
             continue
         if dest in candidate.uses():
@@ -155,7 +156,7 @@ def first_home_use(
                 first = later
             if policy is None or not policy.allows(candidate):
                 return later  # guaranteed-resident sentinel
-        if candidate.dest is not None and candidate.dest == dest:
+        if candidate.dest is dest:
             return first  # redefined: chain ends here
         if candidate.info.is_control:
             return first

@@ -31,6 +31,12 @@ from ..isa.program import Block
 
 
 class ArcKind(enum.Enum):
+    # Identity hash: members are singletons and (node, kind) tuples key
+    # the per-node arc dicts in every graph operation; the default
+    # ``Enum.__hash__`` re-hashes the name string each time.  Hash values
+    # are never persisted.
+    __hash__ = object.__hash__
+
     FLOW = "flow"
     ANTI = "anti"
     OUTPUT = "output"

@@ -11,9 +11,12 @@ Failures are minimized on the spot and collected as replayable
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .minimize import FuzzCase, failure_to_case, minimize_case
@@ -24,6 +27,13 @@ from .programs import FuzzSpec, build_fuzz_program
 #: Mixed into the seed to derive the plan RNG, so program shape and plan
 #: are independent draws.
 PLAN_SALT = 0x9E3779B9
+
+#: Auto mode (``jobs=0``) never spawns more workers than this; past it
+#: the shards get too small to amortize pool start-up.
+_MAX_AUTO_JOBS = 8
+
+#: Minimum seeds per worker for auto mode to bother going parallel.
+_MIN_SEEDS_PER_JOB = 25
 
 
 def spec_for_seed(seed: int) -> FuzzSpec:
@@ -50,6 +60,12 @@ class CampaignConfig:
     #: None = alternate sentinel / sentinel_store by seed parity.
     model: Optional[str] = None
     minimize: bool = True
+    #: Worker processes for the seed fan-out (``--fuzz-jobs``).  ``0`` =
+    #: auto (CPU count capped, serial fallback on one CPU or small
+    #: campaigns).  Seeds are sharded round-robin and the shards merged
+    #: back in seed order, so any jobs value yields the identical result
+    #: (only wall time differs).
+    jobs: int = 1
 
 
 @dataclass
@@ -127,42 +143,117 @@ def run_case_for_seed(
     return spec, plan, result
 
 
+def _run_seed(out: CampaignResult, seed: int, config: CampaignConfig) -> None:
+    """Check one seed and accumulate everything into ``out``."""
+    spec, plan, result = run_case_for_seed(seed, config)
+    out.seeds_run += 1
+    out.cells_checked += result.cells
+    try:
+        program = build_fuzz_program(spec)
+        memory = build_memory(program, plan)
+        out.coverage.merge(plan_coverage(program, plan, memory))
+        out.planned_traps += len(plan.traps)
+        if not plan.traps:
+            out.benign_seeds += 1
+    except Exception:  # noqa: BLE001 — crash already reported by the oracle
+        pass
+    if not result.ok:
+        finding = Finding(
+            seed=seed,
+            model=result.model,
+            categories=tuple(sorted({f.category for f in result.failures})),
+        )
+        for failure in result.failures:
+            out.failures_by_category[failure.category] = (
+                out.failures_by_category.get(failure.category, 0) + 1
+            )
+            case = failure_to_case(spec, plan, result.model, failure)
+            if config.minimize:
+                case = minimize_case(case)
+            finding.cases.append(case)
+        out.findings.append(finding)
+
+
+def _campaign_shard(config: CampaignConfig, seeds: Sequence[int]) -> CampaignResult:
+    """Worker entry: run a subset of seeds serially, return the partial."""
+    out = CampaignResult(config=config)
+    for seed in seeds:
+        _run_seed(out, seed, config)
+    return out
+
+
+def _merge_shard(total: CampaignResult, shard: CampaignResult) -> None:
+    """Fold one shard's counters, coverage and findings into ``total``.
+
+    Every field is commutative (sums, additive coverage, an unordered
+    finding list normalized by the caller), so merge order cannot change
+    the final result.
+    """
+    total.seeds_run += shard.seeds_run
+    total.cells_checked += shard.cells_checked
+    total.coverage.merge(shard.coverage)
+    total.planned_traps += shard.planned_traps
+    total.benign_seeds += shard.benign_seeds
+    for category, count in shard.failures_by_category.items():
+        total.failures_by_category[category] = (
+            total.failures_by_category.get(category, 0) + count
+        )
+    total.findings.extend(shard.findings)
+
+
+def _resolve_jobs(jobs: int, n_seeds: int) -> int:
+    """Effective worker count: ``jobs=0`` is auto, anything else literal.
+
+    Auto picks the CPU count capped at ``_MAX_AUTO_JOBS`` (and at a shard
+    size of ``_MIN_SEEDS_PER_JOB`` seeds), and falls back to serial when
+    parallelism cannot win: a single CPU, or a campaign too small to
+    amortize pool start-up.
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs != 0:
+        return max(1, min(jobs, n_seeds))
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or n_seeds < 2 * _MIN_SEEDS_PER_JOB:
+        return 1
+    return min(cpus, _MAX_AUTO_JOBS, max(1, n_seeds // _MIN_SEEDS_PER_JOB))
+
+
 def run_campaign(
     config: CampaignConfig,
     progress: Optional[Callable[[int, CampaignResult], None]] = None,
 ) -> CampaignResult:
+    """Run the campaign, fanning seeds out over a process pool.
+
+    With more than one effective job (``config.jobs``; 0 = auto), seeds
+    are sharded round-robin over the workers — the cheap and expensive
+    program shapes are spread evenly, so shards finish together — and the
+    partial results are merged back deterministically: the result is
+    identical for any jobs value, only wall time differs.  In parallel
+    mode ``progress`` fires once per completed shard (with the merged
+    seeds-run count as its first argument) instead of once per seed.
+    """
     start = time.perf_counter()
+    seeds = [config.base_seed + index for index in range(config.seeds)]
+    jobs = _resolve_jobs(config.jobs, len(seeds))
     out = CampaignResult(config=config)
-    for index in range(config.seeds):
-        seed = config.base_seed + index
-        spec, plan, result = run_case_for_seed(seed, config)
-        out.seeds_run += 1
-        out.cells_checked += result.cells
-        try:
-            program = build_fuzz_program(spec)
-            memory = build_memory(program, plan)
-            out.coverage.merge(plan_coverage(program, plan, memory))
-            out.planned_traps += len(plan.traps)
-            if not plan.traps:
-                out.benign_seeds += 1
-        except Exception:  # noqa: BLE001 — crash already reported by the oracle
-            pass
-        if not result.ok:
-            finding = Finding(
-                seed=seed,
-                model=result.model,
-                categories=tuple(sorted({f.category for f in result.failures})),
-            )
-            for failure in result.failures:
-                out.failures_by_category[failure.category] = (
-                    out.failures_by_category.get(failure.category, 0) + 1
-                )
-                case = failure_to_case(spec, plan, result.model, failure)
-                if config.minimize:
-                    case = minimize_case(case)
-                finding.cases.append(case)
-            out.findings.append(finding)
-        if progress is not None:
-            progress(seed, out)
+    if jobs > 1 and len(seeds) > 1:
+        from ..core.parallel import pool_init
+
+        shards = [seeds[k::jobs] for k in range(jobs)]
+        worker = partial(_campaign_shard, replace(config, jobs=1))
+        with ProcessPoolExecutor(max_workers=jobs, initializer=pool_init) as pool:
+            for shard_result in pool.map(worker, shards):
+                _merge_shard(out, shard_result)
+                if progress is not None:
+                    progress(out.seeds_run, out)
+        # Normalize orderings the round-robin merge scrambled.
+        out.findings.sort(key=lambda finding: finding.seed)
+        out.failures_by_category = dict(sorted(out.failures_by_category.items()))
+    else:
+        for seed in seeds:
+            _run_seed(out, seed, config)
+            if progress is not None:
+                progress(seed, out)
     out.wall_seconds = time.perf_counter() - start
     return out

@@ -44,6 +44,7 @@ class Instruction:
         "comment",
         "mem_region",
         "boost_branches",
+        "_uses_cache",
     )
 
     def __init__(
@@ -90,17 +91,33 @@ class Instruction:
         #: result when all of them resolve fall-through and squashes it when
         #: any is taken.  Empty for non-boosted instructions.
         self.boost_branches: Tuple[int, ...] = ()
+        self._uses_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Structural queries used by the dependence builder and scheduler.
     # ------------------------------------------------------------------
 
     def uses(self) -> List[Register]:
-        """Registers read by this instruction (in operand order)."""
+        """Registers read by this instruction (in operand order).
+
+        Memoized on the identity of the operand fields: ``srcs`` is only
+        ever replaced wholesale (a new tuple) and ``op``/``dest`` are
+        rebound, never mutated, so identity checks catch every rewrite.
+        Callers treat the returned list as read-only (none mutate it).
+        """
+        cached = self._uses_cache
+        if (
+            cached is not None
+            and cached[0] is self.op
+            and cached[1] is self.srcs
+            and cached[2] is self.dest
+        ):
+            return cached[3]
         regs = [s for s in self.srcs if isinstance(s, Register)]
         if self.op is Opcode.CLRTAG and self.dest is not None:
             # CLRTAG preserves the data field, so it reads its own register.
             regs.append(self.dest)
+        self._uses_cache = (self.op, self.srcs, self.dest, regs)
         return regs
 
     def defs(self) -> List[Register]:

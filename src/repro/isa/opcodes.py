@@ -26,12 +26,18 @@ Architectural extensions from the paper are first-class opcodes:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 
 class LatClass(enum.Enum):
     """Latency classes, one per row of Table 3."""
+
+    # Members are singletons compared by identity; the default
+    # ``Enum.__hash__`` re-hashes the name string on every dict lookup,
+    # which shows up in the scheduler and simulator hot loops.  Identity
+    # hashing is observably identical (hash values are never persisted).
+    __hash__ = object.__hash__
 
     INT_ALU = "int_alu"
     INT_MUL = "int_mul"
@@ -88,36 +94,40 @@ class OpInfo:
     #: (Section 3.7 "irreversible instructions").  Calls are irreversible too.
     is_io: bool = False
 
-    @property
-    def is_branch(self) -> bool:
-        """Any control transfer with a target (conditional or jump)."""
-        return self.is_cond_branch or self.is_jump
+    # Derived flags, precomputed in __post_init__ rather than properties:
+    # they gate the hot loops of the dependence builder, scheduler and
+    # both execution engines, where the descriptor call dominated.
+    #: Any control transfer with a target (conditional or jump).
+    is_branch: bool = field(init=False, repr=False)
+    #: Any instruction that redirects or terminates control flow.
+    is_control: bool = field(init=False, repr=False)
+    is_store: bool = field(init=False, repr=False)
+    is_load: bool = field(init=False, repr=False)
+    #: Irreversible per Section 3.7: I/O, subroutine call, synchronization.
+    #: Memory stores are *not* irreversible under the paper's weak-ordering
+    #: assumption.
+    is_irreversible: bool = field(init=False, repr=False)
 
-    @property
-    def is_control(self) -> bool:
-        """Any instruction that redirects or terminates control flow."""
-        return self.is_cond_branch or self.is_jump or self.is_return or self.is_halt
-
-    @property
-    def is_store(self) -> bool:
-        return self.writes_mem
-
-    @property
-    def is_load(self) -> bool:
-        return self.reads_mem and not self.writes_mem
-
-    @property
-    def is_irreversible(self) -> bool:
-        """Irreversible per Section 3.7: I/O, subroutine call, synchronization.
-
-        Memory stores are *not* irreversible under the paper's weak-ordering
-        assumption.
-        """
-        return self.is_io or self.is_call
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "is_branch", self.is_cond_branch or self.is_jump)
+        set_(
+            self,
+            "is_control",
+            self.is_cond_branch or self.is_jump or self.is_return or self.is_halt,
+        )
+        set_(self, "is_store", self.writes_mem)
+        set_(self, "is_load", self.reads_mem and not self.writes_mem)
+        set_(self, "is_irreversible", self.is_io or self.is_call)
 
 
 class Opcode(enum.Enum):
     """Every opcode of the simulated instruction set."""
+
+    # Identity hash, for the same reason as LatClass above: opcode-keyed
+    # tables (latencies, semantics, decode dispatch) are consulted in
+    # every hot loop of the compiler and both execution engines.
+    __hash__ = object.__hash__
 
     # Integer ALU (latency 1, never traps).
     ADD = "add"

@@ -25,7 +25,11 @@ FP = "f"
 class Register:
     """A single architectural register (integer ``r``-file or FP ``f``-file)."""
 
-    __slots__ = ("kind", "index")
+    # ``is_int``/``is_fp``/``is_zero``/``name`` are precomputed at intern
+    # time rather than properties: registers are immutable singletons and
+    # these predicates are consulted in the dependence builder, scheduler
+    # and decode hot loops, where the descriptor call dominated.
+    __slots__ = ("kind", "index", "is_int", "is_fp", "is_zero", "name")
 
     _interned: Dict[Tuple[str, int], "Register"] = {}
 
@@ -39,30 +43,19 @@ class Register:
             if not 0 <= index < limit:
                 raise ValueError(f"register index {index} out of range for {kind!r}")
             reg = object.__new__(cls)
-            object.__setattr__(reg, "kind", kind)
-            object.__setattr__(reg, "index", index)
+            set_ = object.__setattr__
+            set_(reg, "kind", kind)
+            set_(reg, "index", index)
+            set_(reg, "is_int", kind == INT)
+            set_(reg, "is_fp", kind == FP)
+            #: True for ``r0``, the register hardwired to zero.
+            set_(reg, "is_zero", kind == INT and index == 0)
+            set_(reg, "name", f"{kind}{index}")
             cls._interned[key] = reg
         return reg
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Register instances are immutable")
-
-    @property
-    def is_int(self) -> bool:
-        return self.kind == INT
-
-    @property
-    def is_fp(self) -> bool:
-        return self.kind == FP
-
-    @property
-    def is_zero(self) -> bool:
-        """True for ``r0``, the register hardwired to zero."""
-        return self.kind == INT and self.index == 0
-
-    @property
-    def name(self) -> str:
-        return f"{self.kind}{self.index}"
 
     def __repr__(self) -> str:
         return self.name

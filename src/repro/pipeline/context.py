@@ -118,6 +118,14 @@ class PipelineContext:
         self.raw_graphs: Dict[str, "DepGraph"] = {}
         #: (block label, policy name) -> reduced pristine graph.
         self.reduced_graphs: Dict[Tuple[str, str], "DepGraph"] = {}
+        #: block label -> unreduced recovery graph (irreversible barriers
+        #: in); shared by every issue rate's restart loop.
+        self.recovery_raw_graphs: Dict[str, "DepGraph"] = {}
+        #: (block label, policy name) -> {despeculated set -> pristine
+        #: recovery-mode reduction}.  Restart loops at different issue
+        #: rates walk the same despeculation states, so the reductions are
+        #: shared across rates (and across arc-only restarts within one).
+        self.recovery_reduce_memo: Dict[Tuple[str, str], Dict[frozenset, "DepGraph"]] = {}
         #: Latency table the cached graphs embed (first machine seen).
         self.graph_latencies: Optional[Dict["LatClass", int]] = None
         self.stats = CompilerStats()

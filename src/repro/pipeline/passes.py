@@ -301,6 +301,39 @@ def pristine_graph(
     return reduced_pristine_graph(ctx, block, policy).copy()
 
 
+def recovery_pristine_graphs(
+    ctx: PipelineContext,
+    block: "Block",
+    machine: "MachineDescription",
+    policy: SpeculationPolicy,
+) -> Tuple[Optional["DepGraph"], Optional[dict]]:
+    """Shared pristine graph state for the recovery restart loop.
+
+    Recovery scheduling builds its graph with irreversible barriers and
+    re-reduces per restart iteration, so :func:`pristine_graph`'s cache
+    does not apply to it.  What *is* iteration- and machine-independent
+    (one latency table serves every issue rate, as above) is cached here
+    instead: the unreduced barrier graph, and the per-despeculation-set
+    reduction memo the restart loop fills and reuses.
+    :func:`~repro.core.recovery.schedule_block_with_recovery` copies the
+    graphs before use; the cached objects are never mutated.  The build
+    work stays charged to the schedule pass's timing entry, like every
+    other recovery-mode graph cost.
+    """
+    if ctx.graph_latencies is None:
+        ctx.graph_latencies = dict(machine.latencies)
+    elif ctx.graph_latencies != machine.latencies:
+        return None, None
+    raw = ctx.recovery_raw_graphs.get(block.label)
+    if raw is None:
+        raw = build_dependence_graph(
+            block, ctx.liveness, machine.latencies, irreversible_barriers=True
+        )
+        ctx.recovery_raw_graphs[block.label] = raw
+    memo = ctx.recovery_reduce_memo.setdefault((block.label, policy.name), {})
+    return raw, memo
+
+
 # ----------------------------------------------------------------------
 # Back end: list scheduling as a pass.
 # ----------------------------------------------------------------------
@@ -340,8 +373,15 @@ class ListSchedulingPass(Pass):
             if recovery:
                 from ..core.recovery import schedule_block_with_recovery
 
+                raw, memo = recovery_pristine_graphs(ctx, block, machine, policy)
                 result = schedule_block_with_recovery(
-                    block, work, liveness, machine, policy
+                    block,
+                    work,
+                    liveness,
+                    machine,
+                    policy,
+                    raw_graph=raw,
+                    reduce_cache=memo,
                 )
             else:
                 result = schedule_block(

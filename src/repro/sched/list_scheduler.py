@@ -38,6 +38,11 @@ from ..machine.description import MachineDescription
 from ..machine.resources import CycleResources
 from .schedule import ScheduledBlock
 
+#: Store opcodes that occupy the probationary store buffer (identity
+#: membership; built once so the hot issue path skips per-call tuple
+#: construction).
+_BUFFER_STORE_OPS = frozenset((Opcode.STORE, Opcode.FSTORE))
+
 
 class SchedulingError(RuntimeError):
     """The scheduler could not make progress (cyclic constraints)."""
@@ -208,6 +213,8 @@ class ListScheduler:
         buckets = self._buckets
         heap: List[Tuple[int, int]] = []
         heappush, heappop = heapq.heappush, heapq.heappop
+        heights = self._heights
+        n_heights = len(heights)
         max_cycles = 64 * (len(graph) + 16) + sum(self.machine.latencies.values())
 
         for node in range(graph.original_count):
@@ -217,7 +224,11 @@ class ListScheduler:
         cycle = 0
         while unscheduled:
             for node in buckets.pop(cycle, ()):
-                heappush(heap, (-self._priority(node), node))
+                # Inlined _priority: sentinels (nodes past the original
+                # heights) fill empty slots at priority 1 (Section 5.2).
+                heappush(
+                    heap, (-heights[node] if node < n_heights else -1, node)
+                )
             self._current_cycle = cycle
             resources = CycleResources(self.machine)
             deferred: List[Tuple[int, int]] = []
@@ -317,7 +328,7 @@ class ListScheduler:
     def _store_constraint_ok(self, instr: Instruction) -> bool:
         """Deadlock avoidance (Section 4.2): a speculative store may be
         separated from its confirm by at most N-1 stores."""
-        if instr.op not in (Opcode.STORE, Opcode.FSTORE):
+        if instr.op not in _BUFFER_STORE_OPS:
             return True
         limit = self.machine.store_buffer_size - 1
         return all(count < limit for count in self._pending_spec_stores.values())
@@ -382,7 +393,7 @@ class ListScheduler:
         if spec:
             self.stats.speculative += 1
 
-        is_buffer_store = instr.op in (Opcode.STORE, Opcode.FSTORE)
+        is_buffer_store = instr.op in _BUFFER_STORE_OPS
         if is_buffer_store:
             for pending in self._pending_spec_stores:
                 self._pending_spec_stores[pending] += 1
@@ -571,7 +582,7 @@ class ListScheduler:
             stores_between = sum(
                 1
                 for instr in linear[start + 1 : end]
-                if instr.op in (Opcode.STORE, Opcode.FSTORE)
+                if instr.op in _BUFFER_STORE_OPS
             )
             if stores_between > self.machine.store_buffer_size - 1:
                 raise SchedulingError(

@@ -89,6 +89,15 @@ class ScheduledProgram:
             for instr in blk.instructions():
                 self._by_uid[instr.uid] = instr
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Execution-engine decode caches (attached lazily by
+        # repro.arch.fastproc) hold opcode-specialized handlers that
+        # cannot be pickled; they are rebuilt on demand, so serialization
+        # drops them.
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_fastproc")
+        }
+
     def block(self, label: str) -> ScheduledBlock:
         return self.blocks[self._index[label]]
 

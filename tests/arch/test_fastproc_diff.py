@@ -1,0 +1,122 @@
+"""Differential suite: the fast engine vs the reference ``Processor``.
+
+Every test runs the same scheduled cell on both engines and compares the
+full observable state: raised ``SimulationError`` messages, signalled
+exceptions (pc/kind/reporter/origin), final registers, final memory
+words and faulting set, halt/abort flags, cycle and stall counters,
+store-buffer commits and cancellations, recoveries, and I/O events.
+The fast engine must be bit-identical — there are no tolerances here.
+
+Two sources of cells:
+
+- the full workload suite × 4 scheduling policies × issue rates 1/2/4/8
+  (benign executions exercising the steady-state hot loop, interlocks,
+  store-buffer pressure, and branch handling), and
+- the committed fuzz corpus (minimized fault-injection reproducers
+  exercising exception tags, sentinels, recovery, record mode and the
+  probationary store buffer) replayed through both engines.
+"""
+
+import pathlib
+from functools import lru_cache
+
+import pytest
+
+from repro.arch.exceptions import RECOVER, SimulationError
+from repro.arch.fastproc import FastProcessor
+from repro.arch.processor import Processor
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.fuzz.minimize import FuzzCase
+from repro.fuzz.oracle import MODELS, UNROLL, processor_policy_for
+from repro.fuzz.planner import build_memory
+from repro.fuzz.programs import build_fuzz_program
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+from repro.workloads.suites import ALL_NAMES, build_workload
+
+RATES = (1, 2, 4, 8)
+POLICIES = (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE)
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "fuzz" / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def observable(out, memory):
+    """Everything a program (or its OS) can see after a run."""
+    state = dict(vars(out))
+    state.pop("memory")
+    state["memory_words"] = memory.snapshot()
+    state["memory_faulting"] = memory.faulting_addresses()
+    return state
+
+
+def run_engine(engine_cls, scheduled, machine, memory, **kwargs):
+    try:
+        out = engine_cls(scheduled, machine, memory=memory, **kwargs).run()
+    except SimulationError as exc:
+        return {
+            "raised": f"{type(exc).__name__}: {exc}",
+            "memory_words": memory.snapshot(),
+            "memory_faulting": memory.faulting_addresses(),
+        }
+    return observable(out, memory)
+
+
+def assert_engines_agree(scheduled, machine, make_memory, **kwargs):
+    ref = run_engine(Processor, scheduled, machine, make_memory(), **kwargs)
+    fast = run_engine(FastProcessor, scheduled, machine, make_memory(), **kwargs)
+    assert fast == ref
+
+
+@lru_cache(maxsize=None)
+def _workload_inputs(name):
+    workload = build_workload(name, scale=0.2)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    assert training.halted
+    return workload, basic, training.profile
+
+
+class TestWorkloadMatrix:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_suite_policies_rates(self, name):
+        workload, basic, profile = _workload_inputs(name)
+        for policy in POLICIES:
+            prepared = prepare_compilation(basic, profile, policy, unroll_factor=2)
+            for rate in RATES:
+                machine = paper_machine(rate)
+                # schedule_prepared invalidates the previous schedule of
+                # the same prepared compilation, so each cell is run on
+                # both engines before the next one is scheduled.
+                comp = schedule_prepared(prepared, machine, policy=policy)
+                assert_engines_agree(comp.scheduled, machine, workload.make_memory)
+
+
+class TestCorpusReplay:
+    def test_corpus_is_populated(self):
+        assert len(CORPUS_FILES) >= 10
+
+    @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+    def test_corpus_case_both_engines(self, path):
+        case = FuzzCase.loads(path.read_text())
+        fuzzprog = build_fuzz_program(case.spec)
+        memory = build_memory(fuzzprog, case.plan)
+        basic = to_basic_blocks(fuzzprog.workload.program)
+        training = run_program(basic, memory=fuzzprog.workload.make_memory())
+        assert training.halted
+        proc_policy = processor_policy_for(case.policy)
+        prepared = prepare_compilation(
+            basic,
+            training.profile,
+            MODELS[case.model],
+            recovery=proc_policy == RECOVER,
+            unroll_factor=UNROLL,
+        )
+        rates = (case.issue_rate,) if case.issue_rate else RATES
+        for rate in rates:
+            machine = paper_machine(rate)
+            comp = schedule_prepared(prepared, machine)
+            assert_engines_agree(
+                comp.scheduled, machine, memory.clone, on_exception=proc_policy
+            )

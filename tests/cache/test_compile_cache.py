@@ -1,0 +1,198 @@
+"""Hygiene tests for the content-addressed compile cache.
+
+The cache must never be able to fail a run or change a result: damaged
+entries fall back to a recompile, version-salt bumps invalidate old
+entries, and both the CLI flag and the environment override are honored.
+"""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.cache import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION_SALT,
+    CompileCache,
+    default_cache_dir,
+    digest_parts,
+)
+from repro.eval.harness import SweepConfig, run_sweep
+
+TINY = SweepConfig(benchmarks=("wc", "cmp"), issue_rates=(2, 8), scale=0.5)
+
+
+def _tiny(tmp_path, **overrides):
+    return run_sweep(
+        dataclasses.replace(
+            TINY, compile_cache=True, cache_dir=str(tmp_path), **overrides
+        )
+    )
+
+
+class TestEntryLifecycle:
+    def test_round_trip(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        key = cache.key("some", "content")
+        assert cache.get(key) is None
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_content_distinct_keys(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        assert cache.key("program-a") != cache.key("program-b")
+        assert digest_parts("ab", "c") != digest_parts("a", "bc")
+
+    def test_corrupted_entry_is_a_miss_and_deleted(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        key = cache.key("x")
+        cache.put(key, [1, 2, 3])
+        path = cache.path_for(key)
+        path.write_bytes(b"\x80\x05 this is not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+        # ... and the slot is reusable after the recompute.
+        cache.put(key, [1, 2, 3])
+        assert cache.get(key) == [1, 2, 3]
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        key = cache.key("y")
+        cache.put(key, list(range(1000)))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:17])
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_stale_version_salt_invalidates(self, tmp_path):
+        old = CompileCache(root=tmp_path, salt="repro-compile-v0")
+        new = CompileCache(root=tmp_path, salt="repro-compile-v1")
+        old.put(old.key("prog"), "old-schedule")
+        # The salt participates in the key, so the new cache never even
+        # looks at the old entry ...
+        assert new.key("prog") != old.key("prog")
+        assert new.get(new.key("prog")) is None
+        # ... and even a forced key collision is rejected by the salt
+        # stored inside the entry.
+        old.put("deadbeef", "old-schedule")
+        assert new.get("deadbeef") is None
+
+    def test_unwritable_root_degrades_to_miss(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should go")
+        cache = CompileCache(root=blocked / "sub")
+        assert cache.put(cache.key("k"), "v") is None
+        assert cache.get(cache.key("k")) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        for i in range(3):
+            cache.put(cache.key(str(i)), i)
+        assert cache.clear() == 3
+        assert list(cache.entries()) == []
+
+
+class TestDirectoryResolution:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))
+        assert default_cache_dir() == tmp_path / "via-env"
+        assert CompileCache().root == tmp_path / "via-env"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_dir()).startswith(str(os.path.expanduser("~")))
+
+    def test_explicit_root_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))
+        assert CompileCache(root=tmp_path / "explicit").root == tmp_path / "explicit"
+
+
+class TestSweepIntegration:
+    def test_cold_then_warm_sweep_identical(self, tmp_path):
+        plain = run_sweep(TINY)
+        cold = _tiny(tmp_path)
+        assert list(tmp_path.glob("*.pkl")), "cold sweep must populate the cache"
+        warm = _tiny(tmp_path)
+        assert cold.to_csv() == plain.to_csv()
+        assert warm.to_csv() == plain.to_csv()
+
+    def test_corrupted_cache_recompiles_to_same_result(self, tmp_path):
+        cold = _tiny(tmp_path)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(entry.read_bytes()[:11])
+        recovered = _tiny(tmp_path)
+        assert recovered.to_csv() == cold.to_csv()
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        run_sweep(
+            dataclasses.replace(TINY, compile_cache=False, cache_dir=str(tmp_path))
+        )
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_verify_ir_bypasses_cache(self, tmp_path):
+        _tiny(tmp_path)  # populate
+        before = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.pkl")}
+        verified = _tiny(tmp_path, verify_ir=True)
+        # verify-ir runs compile the pipeline (to verify it) and must not
+        # read or write cache entries.
+        after = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.pkl")}
+        assert after == before
+        assert any(verified.pass_timings.values())
+
+
+class TestCLIFlags:
+    def _run_main(self, monkeypatch, argv):
+        import repro.__main__ as cli
+
+        captured = {}
+
+        def fake_run_sweep(config):
+            captured["config"] = config
+            raise SystemExit(0)  # skip rendering; config already captured
+
+        monkeypatch.setattr(cli, "run_sweep", fake_run_sweep)
+        monkeypatch.setattr("sys.argv", ["repro"] + argv)
+        with pytest.raises(SystemExit):
+            cli.main()
+        return captured["config"]
+
+    def test_cache_on_by_default(self, monkeypatch):
+        config = self._run_main(monkeypatch, ["--skip-tables"])
+        assert config.compile_cache is True
+
+    def test_no_compile_cache_flag(self, monkeypatch):
+        config = self._run_main(
+            monkeypatch, ["--skip-tables", "--no-compile-cache"]
+        )
+        assert config.compile_cache is False
+
+
+class TestPicklability:
+    def test_decoded_schedule_round_trips(self):
+        """A ScheduledProgram that has been pre-decoded by the fast engine
+        must still pickle (the decode cache holds unpicklable handlers and
+        is dropped on serialization, then rebuilt on demand)."""
+        from repro.arch.fastproc import FastProcessor, decode_scheduled
+        from repro.arch.processor import Processor
+        from repro.cfg.basic_block import to_basic_blocks
+        from repro.deps.reduction import SENTINEL
+        from repro.interp.interpreter import run_program
+        from repro.machine.description import paper_machine
+        from repro.sched.compiler import compile_program
+        from repro.workloads.suites import build_workload
+
+        workload = build_workload("wc", scale=0.3)
+        basic = to_basic_blocks(workload.program)
+        training = run_program(basic, memory=workload.make_memory())
+        machine = paper_machine(4)
+        comp = compile_program(
+            basic, training.profile, machine, SENTINEL, unroll_factor=2
+        )
+        decode_scheduled(comp.scheduled, machine)
+        revived = pickle.loads(pickle.dumps(comp.scheduled))
+        ref = Processor(revived, machine, memory=workload.make_memory()).run()
+        fast = FastProcessor(revived, machine, memory=workload.make_memory()).run()
+        assert fast.registers == ref.registers
+        assert fast.cycles == ref.cycles

@@ -1,0 +1,92 @@
+"""Determinism of the parallel fuzz campaign (``--fuzz-jobs``).
+
+Seeds fan out round-robin over a process pool; the shard merge must be
+deterministic — counters, coverage, findings and their order identical
+for any jobs value.  Only wall time may differ.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    _MAX_AUTO_JOBS,
+    _resolve_jobs,
+    run_campaign,
+)
+
+SMALL = CampaignConfig(seeds=12, jobs=1, minimize=False)
+
+
+def _comparable(result):
+    return (
+        result.seeds_run,
+        result.cells_checked,
+        result.planned_traps,
+        result.benign_seeds,
+        dict(result.coverage.traps_by_kind),
+        result.coverage.guarded_executed,
+        result.coverage.guarded_skipped,
+        result.coverage.unguarded,
+        dict(result.failures_by_category),
+        [(f.seed, f.model, f.categories) for f in result.findings],
+    )
+
+
+class TestJobsDeterminism:
+    def test_jobs_1_equals_jobs_3(self):
+        serial = run_campaign(SMALL)
+        parallel = run_campaign(
+            CampaignConfig(seeds=SMALL.seeds, jobs=3, minimize=False)
+        )
+        assert _comparable(serial) == _comparable(parallel)
+        assert serial.ok and parallel.ok
+
+    def test_base_seed_respected_across_shards(self):
+        serial = run_campaign(
+            CampaignConfig(seeds=9, base_seed=100, jobs=1, minimize=False)
+        )
+        parallel = run_campaign(
+            CampaignConfig(seeds=9, base_seed=100, jobs=4, minimize=False)
+        )
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_parallel_progress_reports_merged_counts(self):
+        ticks = []
+        run_campaign(
+            CampaignConfig(seeds=8, jobs=2, minimize=False),
+            progress=lambda seed, partial: ticks.append(partial.seeds_run),
+        )
+        assert ticks, "parallel campaigns must still emit progress"
+        assert ticks[-1] == 8
+        assert ticks == sorted(ticks)
+
+
+class TestResolveJobs:
+    def test_explicit_jobs_passes_through(self):
+        assert _resolve_jobs(1, 1000) == 1
+        assert _resolve_jobs(4, 1000) == 4
+
+    def test_explicit_jobs_capped_at_seed_count(self):
+        assert _resolve_jobs(32, 5) == 5
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_jobs(-1, 1000)
+
+    def test_auto_serial_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert _resolve_jobs(0, 1000) == 1
+
+    def test_auto_serial_on_small_campaign(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert _resolve_jobs(0, 30) == 1
+
+    def test_auto_uses_cpus_capped(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert _resolve_jobs(0, 1000) == 4
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert _resolve_jobs(0, 1000) == _MAX_AUTO_JOBS
+        # shards never drop below the minimum useful size
+        assert _resolve_jobs(0, 60) == 2
