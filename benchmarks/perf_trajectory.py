@@ -23,9 +23,12 @@ It measures the optimization layers behind the sweep:
 5. **IR-verification overhead** — the same sweep with ``--verify-ir``
    semantics (the verifier interleaved after every compilation pass),
    asserting byte-identical output and reporting the wall overhead.
-6. **Fuzz campaign** — the 1000-seed differential campaign, serial,
-   reporting wall time and seeds/sec (the numbers the hardening work is
-   graded on).
+6. **Batch executor** — the vectorized lockstep engine vs per-cell
+   execution at batch widths 1/16/64/256 on the sweep's costliest cell
+   shape, asserting bit-identical observables at every width.
+7. **Fuzz campaign** — the 1000-seed differential campaign, serial,
+   batched and per-cell, reporting wall time, seeds/sec and cells/sec
+   (the numbers the hardening work is graded on).
 
 Results land in ``BENCH_sweep.json`` at the repository root so the
 numbers quoted in EXPERIMENTS.md can be regenerated.
@@ -237,33 +240,136 @@ def fuzz_benchmark(seeds=1000, trials=2):
     Best-of-``trials`` wall time, for the same reason as the verify-ir
     stanza: single-shot measurements on a timeshared core swing ±10%,
     and the minimum across trials is the standard estimator of the true
-    cost.  Every trial's wall is recorded alongside the best.
+    cost.  Every trial's wall is recorded alongside the best.  Each trial
+    runs a batched *and* a per-cell campaign back to back (alternating
+    order would not help here: the pair is interleaved by construction),
+    so the executor A/B is order-controlled.
     """
+    import dataclasses
     import gc
 
     from repro.fuzz.campaign import CampaignConfig, run_campaign
 
+    config = CampaignConfig(seeds=seeds)
     walls = []
+    nobatch_walls = []
     report = None
     for _ in range(trials):
         # The earlier stanzas leave a large heap behind; compact it so
         # the timing reflects the campaign, not prior sweeps' garbage.
         gc.collect()
         start = time.perf_counter()
-        report = run_campaign(CampaignConfig(seeds=seeds))
+        report = run_campaign(dataclasses.replace(config, batch=True))
         walls.append(time.perf_counter() - start)
         assert (
             not report.findings
         ), f"fuzz campaign found {len(report.findings)} divergences"
+        gc.collect()
+        start = time.perf_counter()
+        nobatch = run_campaign(dataclasses.replace(config, batch=False))
+        nobatch_walls.append(time.perf_counter() - start)
+        assert not nobatch.findings
+        assert nobatch.cells_checked == report.cells_checked
     wall = min(walls)
+    nobatch_wall = min(nobatch_walls)
     return {
         "seeds": report.seeds_run,
         "cells_checked": report.cells_checked,
         "planned_traps": report.planned_traps,
+        "trials": trials,
         "wall_seconds": round(wall, 2),
         "wall_seconds_trials": [round(w, 2) for w in walls],
+        "wall_seconds_nobatch": round(nobatch_wall, 2),
+        "wall_seconds_nobatch_trials": [round(w, 2) for w in nobatch_walls],
+        "speedup_vs_nobatch": round(nobatch_wall / wall, 2),
         "seeds_per_second": round(report.seeds_run / wall, 1),
+        "cells_per_second": round(report.cells_checked / wall, 1),
+        "batch_counters": report.batch_counters,
         "findings": len(report.findings),
+    }
+
+
+def batch_benchmark(widths=(1, 16, 64, 256), trials=2):
+    """Lockstep throughput vs per-cell at increasing batch widths.
+
+    One FP-heavy schedule (tomcatv under the sentinel model at issue
+    rate 8 — the sweep's costliest cell shape) executed over per-lane
+    perturbed inputs, per-cell and in lockstep, asserting bit-identical
+    observables at every width.  Reported as cells/s; best-of-``trials``
+    per executor, interleaved so machine drift hits both equally.
+    """
+    from repro.arch.batchproc import BatchCell, run_batch
+    from repro.arch.exceptions import ABORT
+    from repro.arch.fastproc import FastProcessor
+    from repro.deps.reduction import SENTINEL
+    from repro.eval.harness import _lane_memory
+    from repro.machine.description import paper_machine
+    from repro.sched.compiler import prepare_compilation, schedule_prepared
+
+    workload = build_workload("tomcatv", scale=0.3)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    assert training.halted
+    machine = paper_machine(8)
+    prepared = prepare_compilation(
+        basic, training.profile, SENTINEL, unroll_factor=4
+    )
+    comp = schedule_prepared(prepared, machine, policy=SENTINEL)
+    scheduled = comp.scheduled
+
+    def observable(out):
+        state = dict(vars(out))
+        memory = state.pop("memory")
+        state["memory_words"] = memory.snapshot()
+        return state
+
+    stanza = {}
+    for width in widths:
+        best_cell = best_lock = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            per_cell = [
+                FastProcessor(
+                    scheduled,
+                    machine,
+                    memory=_lane_memory(workload, lane),
+                    on_exception=ABORT,
+                ).run()
+                for lane in range(width)
+            ]
+            best_cell = min(best_cell, time.perf_counter() - start)
+
+            cells = [
+                BatchCell(
+                    scheduled,
+                    machine,
+                    _lane_memory(workload, lane),
+                    on_exception=ABORT,
+                )
+                for lane in range(width)
+            ]
+            start = time.perf_counter()
+            batched = run_batch(cells)
+            best_lock = min(best_lock, time.perf_counter() - start)
+            for lane in range(width):
+                assert observable(batched[lane]) == observable(per_cell[lane]), (
+                    f"width {width} lane {lane}: lockstep diverged"
+                )
+        stanza[str(width)] = {
+            "per_cell_seconds": round(best_cell, 3),
+            "lockstep_seconds": round(best_lock, 3),
+            "per_cell_cells_per_second": round(width / best_cell, 1),
+            "lockstep_cells_per_second": round(width / best_lock, 1),
+            "speedup": round(best_cell / best_lock, 2),
+        }
+    return {
+        "benchmark": "tomcatv",
+        "model": "sentinel",
+        "issue_rate": 8,
+        "scale": 0.3,
+        "unroll": 4,
+        "trials": trials,
+        "widths": stanza,
     }
 
 
@@ -338,11 +444,24 @@ def main():
         f"({cache['compile_speedup']}x), output byte-identical"
     )
 
-    print("fuzz campaign, 1000 seeds, serial...")
+    print("batch executor: lockstep vs per-cell at widths 1/16/64/256...")
+    batch = batch_benchmark()
+    for width, numbers in batch["widths"].items():
+        print(
+            f"  width {width:>4}: per-cell "
+            f"{numbers['per_cell_cells_per_second']:,} cells/s, lockstep "
+            f"{numbers['lockstep_cells_per_second']:,} cells/s "
+            f"({numbers['speedup']}x), bit-identical"
+        )
+
+    print("fuzz campaign, 1000 seeds, serial, batched and per-cell...")
     fuzz = fuzz_benchmark(seeds=1000)
     print(
-        f"  wall {fuzz['wall_seconds']}s, "
+        f"  wall {fuzz['wall_seconds']}s batched / "
+        f"{fuzz['wall_seconds_nobatch']}s per-cell "
+        f"({fuzz['speedup_vs_nobatch']}x), "
         f"{fuzz['seeds_per_second']} seeds/sec, "
+        f"{fuzz['cells_per_second']} cells/sec, "
         f"{fuzz['cells_checked']} cells, {fuzz['findings']} findings"
     )
 
@@ -353,6 +472,7 @@ def main():
         "sweep": [sweep1, sweep4, sweep0],
         "verify_ir": verify,
         "compile_cache": cache,
+        "batch": batch,
         "fuzz": fuzz,
     }
     out = REPO_ROOT / "BENCH_sweep.json"

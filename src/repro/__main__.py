@@ -19,6 +19,7 @@ def run_fuzz(args) -> int:
     import os
     import sys
 
+    from .arch.batchproc import batch_default
     from .fuzz.campaign import CampaignConfig, run_campaign
 
     config = CampaignConfig(
@@ -58,6 +59,10 @@ def run_fuzz(args) -> int:
                     "base_seed": config.base_seed,
                     "cells_checked": result.cells_checked,
                     "wall_seconds": result.wall_seconds,
+                    "seeds_per_second": result.seeds_per_second,
+                    "cells_per_second": result.cells_per_second,
+                    "batch_proc": batch_default(),
+                    "batch_counters": result.batch_counters,
                     "planned_traps": result.planned_traps,
                     "benign_seeds": result.benign_seeds,
                     "traps_by_kind": result.coverage.traps_by_kind,
@@ -151,6 +156,21 @@ def main() -> None:
         "instead of the pre-decoded fast engine",
     )
     parser.add_argument(
+        "--no-batch-proc",
+        action="store_true",
+        help="disable the vectorized batch executor (coalescing + numpy "
+        "lockstep) for sweep/fuzz cells; results are bit-identical either "
+        "way (equivalent to REPRO_BATCH_PROC=0)",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cycle-level-simulate N input lanes per sweep cell through the "
+        "batch executor (default 0: analytic cycle estimates only)",
+    )
+    parser.add_argument(
         "--fuzz",
         type=int,
         default=None,
@@ -198,6 +218,12 @@ def main() -> None:
         # process runs (sweep cells, fuzz oracle, examples).
         os.environ["REPRO_FAST_PROC"] = "0"
 
+    if args.no_batch_proc:
+        # batch_default() consults this knob wherever ``batch`` is not
+        # passed explicitly — and pool_env() forwards it to sweep/fuzz
+        # worker processes.
+        os.environ["REPRO_BATCH_PROC"] = "0"
+
     if args.fuzz is not None:
         raise SystemExit(run_fuzz(args))
 
@@ -229,6 +255,7 @@ def main() -> None:
             scale=args.scale,
             unroll_factor=args.unroll,
             jobs=args.jobs,
+            simulate=args.simulate,
             verify_ir=args.verify_ir,
             trace_passes=args.trace_passes is not None,
             compile_cache=not args.no_compile_cache,

@@ -1,0 +1,1898 @@
+"""Vectorized lockstep batch executor for independent simulation cells.
+
+The fuzz oracle and the eval sweep run thousands of independent
+(program x policy x issue-rate) *cells*.  This module executes many
+cells at once through three cooperating strategies, all pinned
+bit-identical to :class:`~repro.arch.fastproc.FastProcessor` (and hence
+to the reference :class:`~repro.arch.processor.Processor`):
+
+**Coalescing** (:func:`_run_coalesced`): cells that share a schedule,
+machine and initial memory *content* but differ only in exception policy
+are one physical run.  Engines consult ``on_exception`` only when a
+signal fires, so the signal-free prefix of every policy is bit-identical
+(the policy-invariance property the differential suite pins).  The host
+cell runs with a one-shot ``_fork_hook``; at the first signal the hook
+clones the processor once per remaining policy
+(:func:`~repro.arch.fastproc.fork_processor`) and each clone resumes
+mid-word under its own policy.  A run with no signal is shared outright
+— one execution serves every policy.
+
+**Lockstep** (:func:`run_lockstep`): cells that share a schedule (and
+memory *mapping* — segments and fault plan — but not memory content)
+advance through the decoded word stream together, columnar-style:
+
+- register data / tag / written files are 2-D numpy arrays of shape
+  ``(n_active, n_regs)``, *compacted* — retired and spilled rows are
+  physically removed and ``rows`` maps compact index back to cell;
+- memory is three read layers: a ``written_mem`` overlay of store
+  columns, per-address *init columns* where the cells' initial images
+  differ, and a shared scalar image where they agree.  Per-row dicts are
+  reconstructed only when a row leaves the batch;
+- there is ONE store buffer for the whole batch
+  (:class:`_ColBuffer`): converged rows are on the same cycle of the
+  same word, so addresses, occupancy, confirm indices and release
+  bookkeeping are shared — only the value of each entry is a per-row
+  column.  ``release_cycle`` runs once per cycle, not once per row;
+- never-trapping integer ALU records, FP arithmetic (with exact
+  NaN/overflow trap masks mirroring ``evaluate``), loads and stores to
+  a batch-uniform address, branches and tag scans all dispatch once per
+  record across every active row.
+
+Shared scalars (clock, dynamic instruction count, interlock stalls, the
+ready-time file, pending speculative traps) stay scalar by construction.
+The moment a row diverges — a signal, a store-buffer stall, a branch or
+store address the majority did not take, a per-row pending trap, a value
+numpy cannot represent — it *spills*: its scalar memory and buffer are
+materialized from the columns and a :class:`FastProcessor` resumes the
+row mid-word (``_resume``), exactly like the engine's own post-signal
+re-entry.  Branch divergence is resolved at word boundaries: the largest
+outcome group stays in lockstep, the rest spill.
+
+**Fallback**: anything the batch engine cannot express — boosting
+schedules (shadow banks), ``REPRO_FAST_PROC=0`` (reference engine
+requested), initial register files, missing numpy — runs per-cell
+through the ordinary single-cell path.
+
+Escape hatches: ``run_batch(..., batch=False)``, the ``--no-batch-proc``
+CLI flag, and ``REPRO_BATCH_PROC=0`` in the environment all force the
+per-cell path.  The executor choice never reaches the compile cache:
+batching happens strictly after scheduling, on decoded programs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+try:  # soft dependency: the lockstep engine needs numpy, nothing else does
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via batch_default()
+    _np = None
+
+from ..isa.opcodes import Opcode
+from ..isa.registers import Register
+from ..isa.semantics import GARBAGE_FP, GARBAGE_INT, evaluate
+from ..machine.description import MachineDescription
+from ..sched.schedule import ScheduledProgram
+from .exceptions import ABORT, RECORD, RECOVER, SimulationError, Trap
+from .fastproc import (
+    _E_ADDR,
+    _E_CONFIRMED,
+    _E_EXC_TAG,
+    _E_STORE_PC,
+    _E_VALID,
+    _E_VALUE,
+    _FP_BASE,
+    _REG_COUNT,
+    _REG_OBJECTS,
+    _FastStoreBuffer,
+    FastProcessor,
+    K_ALU,
+    K_CHECK,
+    K_CLRTAG,
+    K_COMPUTE,
+    K_COND,
+    K_CONFIRM,
+    K_HALT,
+    K_IO,
+    K_JUMP,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+    K_TLOAD,
+    K_TSTORE,
+    decode_scheduled,
+    fork_processor,
+)
+from .memory import Memory
+from .processor import (
+    INT_NAN,
+    SILENT_MODES,
+    TAGGED_MODES,
+    ProcessorResult,
+    Value,
+    run_scheduled,
+    _fast_default,
+)
+
+__all__ = [
+    "BatchCell",
+    "BATCH_COUNTERS",
+    "batch_default",
+    "reset_counters",
+    "counters_snapshot",
+    "run_batch",
+    "run_lockstep",
+]
+
+_POLICIES = (ABORT, RECORD, RECOVER)
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+#: Base registers beyond this magnitude take the scalar path: adding the
+#: offset in int64 could wrap where unbounded python ints would not.
+_ADDR_LIM = 1 << 62
+_S63F = float(1 << 63)
+
+#: Observability counters for the batch executor (fallback-rate reporting).
+#: Additive across calls; campaign shards merge them per process.
+BATCH_COUNTERS: Dict[str, int] = {}
+
+
+def reset_counters() -> None:
+    BATCH_COUNTERS.clear()
+
+
+def counters_snapshot() -> Dict[str, int]:
+    return dict(BATCH_COUNTERS)
+
+
+def _count(key: str, n: int = 1) -> None:
+    BATCH_COUNTERS[key] = BATCH_COUNTERS.get(key, 0) + n
+
+
+def batch_default() -> bool:
+    """Batched execution is the default wherever numpy is importable;
+    ``REPRO_BATCH_PROC=0`` is the suite-wide escape hatch."""
+    if os.environ.get("REPRO_BATCH_PROC", "") == "0":
+        return False
+    return _np is not None
+
+
+@dataclass
+class BatchCell:
+    """One independent simulation: the arguments of a ``run_scheduled`` call.
+
+    ``memory`` is owned by the cell and mutated by the run, exactly like
+    the single-cell API.  Results are aligned to the input order of
+    :func:`run_batch`; coalesced cells may *share* one result object
+    (its ``memory`` field is then the host cell's memory — equal in
+    content, not identity, to the other cells' memories).
+    """
+
+    scheduled: ScheduledProgram
+    machine: MachineDescription
+    memory: Memory
+    on_exception: str = ABORT
+    init_regs: Optional[Dict[Register, Value]] = None
+    init_tags: Optional[Dict[Register, int]] = None
+    max_cycles: int = 5_000_000
+    max_recoveries: int = 64
+
+
+def _run_single(cell: BatchCell):
+    """The per-cell fallback: identical to a direct engine call."""
+    _count("cells_fallback")
+    try:
+        if _fast_default() and not cell.scheduled.policy_name.startswith("boosting"):
+            return FastProcessor(
+                cell.scheduled,
+                cell.machine,
+                memory=cell.memory,
+                on_exception=cell.on_exception,
+                init_regs=cell.init_regs,
+                init_tags=cell.init_tags,
+                max_cycles=cell.max_cycles,
+                max_recoveries=cell.max_recoveries,
+            ).run()
+        return run_scheduled(
+            cell.scheduled,
+            cell.machine,
+            memory=cell.memory,
+            on_exception=cell.on_exception,
+            init_regs=cell.init_regs,
+            init_tags=cell.init_tags,
+            max_cycles=cell.max_cycles,
+        )
+    except SimulationError as exc:
+        return exc
+
+
+def _latency_key(machine: MachineDescription) -> tuple:
+    return tuple(sorted((cls.value, lat) for cls, lat in machine.latencies.items()))
+
+
+def _memory_key(memory: Memory) -> tuple:
+    """Content key for coalescing.  NaN payloads compare unequal, which
+    conservatively splits such memories into separate classes — correct,
+    merely less shared."""
+    return (
+        tuple(memory.segments),
+        tuple(sorted(memory._data.items())),
+        tuple(sorted(memory._faulting.items())),
+        tuple(sorted(memory._tag_bits.items())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Coalescing: one run serves every policy of one (schedule, memory) cell.
+# ----------------------------------------------------------------------
+
+
+def _run_coalesced(cells: List[BatchCell]):
+    """Run cells identical up to ``on_exception`` as one host + forks.
+
+    The host executes under the first cell's policy with a one-shot fork
+    hook; at the first signal the hook snapshots one clone per remaining
+    distinct policy, each of which then resumes under its own policy.
+    If no signal ever fires the host result is policy-invariant and is
+    shared by every cell.
+    """
+    host = cells[0]
+    policies = []
+    for cell in cells:
+        if cell.on_exception not in policies:
+            policies.append(cell.on_exception)
+    forks: Dict[str, FastProcessor] = {}
+
+    def hook(proc, resume, clock, signal):
+        for policy in policies[1:]:
+            forks[policy] = fork_processor(proc, resume, clock, policy)
+
+    proc = FastProcessor(
+        host.scheduled,
+        host.machine,
+        memory=host.memory,
+        on_exception=host.on_exception,
+        max_cycles=host.max_cycles,
+        max_recoveries=host.max_recoveries,
+    )
+    proc._fork_hook = hook
+    try:
+        host_result = proc.run()
+    except SimulationError as exc:
+        host_result = exc
+
+    by_policy = {policies[0]: host_result}
+    for policy, clone in forks.items():
+        try:
+            by_policy[policy] = clone.run()
+        except SimulationError as exc:
+            by_policy[policy] = exc
+    if not forks:
+        # Signal-free run: bit-identical under every policy.
+        for policy in policies[1:]:
+            by_policy[policy] = host_result
+
+    out = []
+    for i, cell in enumerate(cells):
+        if i:
+            _count("cells_shared" if cell.on_exception not in forks else "cells_forked")
+        out.append(by_policy[cell.on_exception])
+    _count("cells_coalesced", len(cells))
+    _count("coalesced_runs")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Lockstep numpy engine.
+# ----------------------------------------------------------------------
+
+if _np is not None:
+    _U63 = _np.uint64(63)
+
+    def _vu(a):
+        return a.view(_np.uint64)
+
+    def _v_add(a, b):
+        return (_vu(a) + _vu(b)).view(_np.int64)
+
+    def _v_sub(a, b):
+        return (_vu(a) - _vu(b)).view(_np.int64)
+
+    def _v_sll(a, b):
+        return (_vu(a) << (_vu(b) & _U63)).view(_np.int64)
+
+    def _v_srl(a, b):
+        return (_vu(a) >> (_vu(b) & _U63)).view(_np.int64)
+
+    def _v_mul(a, b):
+        return (_vu(a) * _vu(b)).view(_np.int64)
+
+    #: Vector twins of fastproc's ``_FAST_ALU`` over int64 rows.  Exactness:
+    #: uint64 views give mod-2^64 arithmetic, the reinterpreting view back
+    #: to int64 *is* ``wrap64``; int64 ``>>`` is arithmetic shift; register
+    #: values are wrap64-normalized so the int() coercions of the scalar
+    #: forms are identities here (float-valued operands take the scalar
+    #: path — see the K_ALU handler).
+    _VEC_ALU = {
+        Opcode.ADD: _v_add,
+        Opcode.SUB: _v_sub,
+        Opcode.AND: lambda a, b: a & b,
+        Opcode.OR: lambda a, b: a | b,
+        Opcode.XOR: lambda a, b: a ^ b,
+        Opcode.NOR: lambda a, b: ~(a | b),
+        Opcode.SLL: _v_sll,
+        Opcode.SRL: _v_srl,
+        Opcode.SRA: lambda a, b: a >> (b & 63),
+        Opcode.SLT: lambda a, b: (a < b).astype(_np.int64),
+        Opcode.SLTU: lambda a, b: (_vu(a) < _vu(b)).astype(_np.int64),
+        Opcode.MUL: _v_mul,
+        Opcode.MOV: lambda a, b: a.copy(),
+    }
+else:  # pragma: no cover
+    _VEC_ALU = {}
+
+_FP_BIN_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV)
+_FP_CMP_OPS = (Opcode.FCLT, Opcode.FCLE, Opcode.FCEQ)
+
+
+def _imm_i64(imm) -> bool:
+    return isinstance(imm, int) and _I64_MIN <= imm <= _I64_MAX
+
+
+def _cget(col, r: int):
+    """Row ``r``'s scalar from a column value.
+
+    A column is one of: a shared python scalar (all rows equal), a numpy
+    array indexed by *original* row, or a python list likewise (mixed
+    types or values int64 cannot hold).
+    """
+    if isinstance(col, _np.ndarray):
+        v = col[r]
+        return float(v) if col.dtype == _np.float64 else int(v)
+    if isinstance(col, list):
+        return col[r]
+    return col
+
+
+def _make_column(values: list):
+    """Pack per-row python values into the densest exact representation."""
+    has_float = False
+    for v in values:
+        t = type(v)
+        if t is float:
+            has_float = True
+        elif t is not int:
+            return list(values)
+    if has_float:
+        for v in values:
+            if type(v) is not float:
+                return list(values)
+        return _np.array(values, dtype=_np.float64)
+    for v in values:
+        if not _I64_MIN <= v <= _I64_MAX:
+            return list(values)
+    return _np.array(values, dtype=_np.int64)
+
+
+class _Spill(Exception):
+    """Internal: row must leave the lockstep batch at the current slot."""
+
+
+class _ColBuffer:
+    """The batch's single store buffer: shared Table 2 bookkeeping over
+    per-row value columns.
+
+    Mirrors :class:`_FastStoreBuffer` field for field.  Lockstep rows are
+    on the same cycle of the same word with the same store addresses
+    (divergent rows spill *before* any shared mutation), so entry
+    addresses, validity/confirm flags, head cursor and counters are
+    row-invariant; only ``_E_VALUE`` differs per row and is stored as a
+    column.  Releases land in the owner's ``written_mem`` overlay.
+    """
+
+    __slots__ = ("size", "owner", "entries", "head", "cancellations", "releases")
+
+    def __init__(self, size: int, owner: "_Lockstep") -> None:
+        self.size = size
+        self.owner = owner
+        self.entries: List[list] = []
+        self.head = 0
+        self.cancellations = 0
+        self.releases = 0
+
+    def occupancy(self) -> int:
+        return len(self.entries) - self.head
+
+    def can_insert(self) -> bool:
+        return len(self.entries) - self.head < self.size
+
+    def _reclaim_invalid_head(self) -> None:
+        entries = self.entries
+        head = self.head
+        n = len(entries)
+        while head < n and not entries[head][_E_VALID]:
+            head += 1
+        self.head = head
+        if head >= 64:
+            del entries[:head]
+            self.head = 0
+
+    def search(self, address: int):
+        """Newest searchable entry's value *column* for ``address``."""
+        entries = self.entries
+        for i in range(len(entries) - 1, self.head - 1, -1):
+            e = entries[i]
+            if e[_E_VALID] and not e[_E_EXC_TAG] and e[_E_ADDR] is not None:
+                if e[_E_ADDR] == address:
+                    return e[_E_VALUE]
+        return None
+
+    def release_cycle(self) -> bool:
+        if self.head >= len(self.entries):
+            if self.head:
+                del self.entries[:]
+                self.head = 0
+            return False
+        self._reclaim_invalid_head()
+        if self.head >= len(self.entries):
+            return False
+        entry = self.entries[self.head]
+        if not entry[_E_CONFIRMED]:
+            return False
+        self.head += 1
+        if entry[_E_ADDR] is not None:
+            self.owner.written_mem[entry[_E_ADDR]] = entry[_E_VALUE]
+        self.releases += 1
+        self._reclaim_invalid_head()
+        return True
+
+    def confirm(self, index: int, pc: int):
+        """Identical to :meth:`_FastStoreBuffer.confirm` (excepting entry
+        returned *without* invalidation — the whole batch then spills and
+        each resumed engine re-runs the confirm against unmutated state)."""
+        entries = self.entries
+        target = None
+        seen = 0
+        for i in range(len(entries) - 1, self.head - 1, -1):
+            e = entries[i]
+            if not e[_E_VALID]:
+                continue
+            if seen == index:
+                target = e
+                break
+            seen += 1
+        if target is None:
+            raise SimulationError(f"confirm_store({index}) at pc={pc}: no such entry")
+        if not (target[_E_VALID] and not target[_E_CONFIRMED]):
+            raise SimulationError(
+                f"confirm_store({index}) at pc={pc} hit a non-probationary entry "
+                f"(store pc={target[_E_STORE_PC]}) — bad confirm index in the schedule"
+            )
+        if target[_E_EXC_TAG]:
+            return target
+        target[_E_CONFIRMED] = True
+        return None
+
+    def cancel_probationary(self) -> int:
+        count = 0
+        for i in range(self.head, len(self.entries)):
+            e = self.entries[i]
+            if e[_E_VALID] and not e[_E_CONFIRMED]:
+                e[_E_VALID] = False
+                count += 1
+        self.cancellations += count
+        self._reclaim_invalid_head()
+        return count
+
+
+class _Lockstep:
+    """One lockstep run: n cells, one schedule, one latency table.
+
+    Compact row ``k`` of every 2-D register array belongs to cell
+    ``rows[k]``.  Memory reads resolve ``written_mem`` (store overlay) →
+    ``mem_init_cols`` (addresses where the initial images differ) →
+    ``mem_shared`` (the agreeing image); scalar per-row state exists only
+    transiently, when a row spills to a resumed :class:`FastProcessor`
+    or finishes (``_materialize_row`` writes the row's column values into
+    the cell's own, never-mutated-meanwhile ``Memory``).
+    """
+
+    def __init__(
+        self,
+        scheduled: ScheduledProgram,
+        machine: MachineDescription,
+        cells: List[BatchCell],
+    ) -> None:
+        mode = scheduled.policy_name
+        if mode.startswith("boosting"):
+            raise ValueError("lockstep does not model boosting shadow banks")
+        self.scheduled = scheduled
+        self.machine = machine
+        self.cells = cells
+        self.decoded = decode_scheduled(scheduled, machine)
+        n = len(cells)
+        self.n = n
+        if mode not in TAGGED_MODES + SILENT_MODES:
+            raise ValueError(f"unknown scheduling model {mode!r}")
+        self.tagged_mode = mode in TAGGED_MODES
+        self.colwell_mode = mode == "colwell"
+        self.max_cycles = cells[0].max_cycles
+
+        base = cells[0].memory
+        for cell in cells[1:]:
+            if (
+                cell.memory.segments != base.segments
+                or cell.memory._faulting != base._faulting
+            ):
+                raise ValueError("lockstep cells must share segments and fault plan")
+        #: Mapping/fault oracle only — shared across the batch, never mutated.
+        self.check_memory = base
+        #: Copies: a spilled row's resumed engine mutates its cell's dicts,
+        #: which must not leak into the other rows' shared image.
+        self.mem_shared: Dict[int, Value] = dict(base._data)
+        self.tag_shared: Dict[int, bool] = dict(base._tag_bits)
+        self.mem_init_cols: Dict[int, object] = {}
+        self.tag_init_cols: Dict[int, object] = {}
+        if n > 1:
+            self._build_init_columns()
+
+        # Compacted (n_active, n_regs) register files.
+        self.di = _np.zeros((n, _REG_COUNT), dtype=_np.int64)
+        self.df = _np.zeros((n, _REG_COUNT), dtype=_np.float64)
+        self.isf = _np.zeros((n, _REG_COUNT), dtype=bool)
+        self.isf[:, _FP_BASE:] = True  # FP file defaults to 0.0
+        self.tg = _np.zeros((n, _REG_COUNT), dtype=_np.uint8)
+        self.wr = _np.zeros((n, _REG_COUNT), dtype=_np.uint8)
+        self.ready: List[int] = [0] * _REG_COUNT  # shared: same clock, same lat
+
+        self.rows = _np.arange(n, dtype=_np.intp)  # compact -> original
+        self.rows_list: List[int] = list(range(n))
+        self.full = True  # rows is still the identity map
+        #: False = provably no tag bit set anywhere: tag scans are free.
+        self.any_tags = False
+
+        #: Store overlay: address -> value column (original-row indexed).
+        self.written_mem: Dict[int, object] = {}
+        self.written_tags: Dict[int, object] = {}
+        self.buffer = _ColBuffer(machine.store_buffer_size, self)
+        #: Pending speculative traps — shared: per-row-divergent traps spill.
+        self.ptraps: Dict[Value, Trap] = {}
+
+        # Pending control flow, compact-row aligned.
+        self.pk = _np.zeros(n, dtype=_np.uint8)  # 0 none / 1 halt / 2 branch
+        self.pb = _np.full(n, -1, dtype=_np.int64)
+        self.pcnd = _np.zeros(n, dtype=bool)
+        #: Branch-target label per decoded block index (resume bookkeeping).
+        self.label_of_bidx: Dict[int, Optional[str]] = {}
+        self.results: List[object] = [None] * n
+
+        # Shared scalars (identical across lockstep rows by construction).
+        self.clock = 0
+        self.dyn = 0
+        self.interlock_stalls = 0
+        self.mispredictions = 0
+        self.io_events: List[int] = []
+        self.block_idx = 0
+        self.word_idx = 0
+
+    def _build_init_columns(self) -> None:
+        """Addresses where the cells' initial images disagree (in value
+        *or* type — int 1 and float 1.0 behave differently downstream)
+        become per-row columns; everywhere else the shared image serves."""
+        cells = self.cells
+        base_data = self.mem_shared
+        base_tags = self.tag_shared
+        diff = set()
+        tdiff = set()
+        for cell in cells[1:]:
+            data = cell.memory._data
+            for addr, val in data.items():
+                bv = base_data.get(addr, 0)
+                if type(bv) is not type(val) or bv != val:
+                    diff.add(addr)
+            for addr, bv in base_data.items():
+                if addr not in data and (type(bv) is not int or bv != 0):
+                    diff.add(addr)
+            tags = cell.memory._tag_bits
+            for addr, val in tags.items():
+                if base_tags.get(addr, False) != val:
+                    tdiff.add(addr)
+            for addr, bv in base_tags.items():
+                if bv and addr not in tags:
+                    tdiff.add(addr)
+        for addr in diff:
+            self.mem_init_cols[addr] = _make_column(
+                [cell.memory._data.get(addr, 0) for cell in cells]
+            )
+        for addr in tdiff:
+            self.tag_init_cols[addr] = [
+                cell.memory._tag_bits.get(addr, False) for cell in cells
+            ]
+
+    # -- column access helpers -----------------------------------------
+
+    def _align(self, col):
+        """Restrict a full-width column to the active rows (compact
+        order); shared scalars pass through."""
+        if isinstance(col, _np.ndarray):
+            return col if self.full else col[self.rows]
+        if isinstance(col, list):
+            return col if self.full else [col[r] for r in self.rows_list]
+        return col
+
+    def _mem_active(self, address):
+        """Memory value at ``address`` for the active rows (store overlay
+        → init columns → shared image), compact-aligned."""
+        col = self.written_mem.get(address)
+        if col is None:
+            col = self.mem_init_cols.get(address)
+            if col is None:
+                return self.mem_shared.get(address, 0)
+        return self._align(col)
+
+    def _tag_active(self, address):
+        col = self.written_tags.get(address)
+        if col is None:
+            col = self.tag_init_cols.get(address)
+            if col is None:
+                return self.tag_shared.get(address, False)
+        return self._align(col)
+
+    def _mem_row(self, r: int, address):
+        """Scalar memory read for *original* row ``r``."""
+        col = self.written_mem.get(address)
+        if col is not None:
+            return _cget(col, r)
+        col = self.mem_init_cols.get(address)
+        if col is not None:
+            return _cget(col, r)
+        return self.mem_shared.get(address, 0)
+
+    def _tag_row(self, r: int, address):
+        col = self.written_tags.get(address)
+        if col is not None:
+            return _cget(col, r)
+        col = self.tag_init_cols.get(address)
+        if col is not None:
+            return _cget(col, r)
+        return self.tag_shared.get(address, False)
+
+    def _poke_row(self, k: int, address, value, tag) -> None:
+        """Per-row ``poke_tagged``: promote the address to list columns."""
+        r = self.rows_list[k]
+        mcol = self.written_mem.get(address)
+        if not isinstance(mcol, list):
+            mcol = [self._mem_row(rr, address) for rr in range(self.n)]
+            self.written_mem[address] = mcol
+        mcol[r] = value
+        tcol = self.written_tags.get(address)
+        if not isinstance(tcol, list):
+            tcol = [self._tag_row(rr, address) for rr in range(self.n)]
+            self.written_tags[address] = tcol
+        tcol[r] = tag
+
+    def _reg_column(self, ri: int):
+        """Register ``ri``'s current values as a full-width column (store
+        entries outlive compactions, so columns are original-row indexed)."""
+        isfc = self.isf[:, ri]
+        if not isfc.any():
+            comp = self.di[:, ri].copy()
+        elif isfc.all():
+            comp = self.df[:, ri].copy()
+        else:
+            flags = isfc.tolist()
+            fl = self.df[:, ri].tolist()
+            il = self.di[:, ri].tolist()
+            comp = [fl[k] if flags[k] else il[k] for k in range(len(flags))]
+        if self.full:
+            return comp
+        if isinstance(comp, list):
+            out = [0] * self.n
+            for k, r in enumerate(self.rows_list):
+                out[r] = comp[k]
+            return out
+        out = _np.zeros(self.n, dtype=comp.dtype)
+        out[self.rows] = comp
+        return out
+
+    # -- scalar boundary helpers ---------------------------------------
+
+    def _rowval(self, k: int, ri: int):
+        if self.isf[k, ri]:
+            return float(self.df[k, ri])
+        return int(self.di[k, ri])
+
+    def _write(self, k: int, ri: int, value, tag: int) -> None:
+        """Scalar register write for compact row ``k``.  Raises
+        :class:`_Spill` when the value cannot live in an int64 row (the
+        spilled cell re-executes the record on the scalar engine)."""
+        if isinstance(value, float):
+            self.df[k, ri] = value
+            self.isf[k, ri] = True
+        else:
+            if not _I64_MIN <= value <= _I64_MAX:
+                raise _Spill()
+            self.di[k, ri] = value
+            self.isf[k, ri] = False
+        self.tg[k, ri] = tag
+        self.wr[k, ri] = 1
+        if tag:
+            self.any_tags = True
+
+    def _write_active(self, dest_ri: int, colv, to_float: bool):
+        """Write a value column (compact-aligned or shared scalar) into
+        ``dest_ri`` for every active row, with the engine's int→float
+        promotion on FP loads.  Returns compact rows that must spill."""
+        di, df, isf, tg, wr = self.di, self.df, self.isf, self.tg, self.wr
+        if isinstance(colv, _np.ndarray):
+            if colv.dtype == _np.float64:
+                df[:, dest_ri] = colv
+                isf[:, dest_ri] = True
+            elif to_float:
+                df[:, dest_ri] = colv.astype(_np.float64)
+                isf[:, dest_ri] = True
+            else:
+                di[:, dest_ri] = colv
+                isf[:, dest_ri] = False
+            tg[:, dest_ri] = 0
+            wr[:, dest_ri] = 1
+            return None
+        if isinstance(colv, list):
+            spill = []
+            for k, value in enumerate(colv):
+                if to_float and isinstance(value, int):
+                    value = float(value)
+                try:
+                    self._write(k, dest_ri, value, 0)
+                except _Spill:
+                    spill.append(k)
+            return spill or None
+        value = colv
+        if to_float and isinstance(value, int):
+            value = float(value)
+        if isinstance(value, float):
+            df[:, dest_ri] = value
+            isf[:, dest_ri] = True
+        else:
+            if not _I64_MIN <= value <= _I64_MAX:
+                return list(range(len(self.rows_list)))
+            di[:, dest_ri] = value
+            isf[:, dest_ri] = False
+        tg[:, dest_ri] = 0
+        wr[:, dest_ri] = 1
+        return None
+
+    def _row_data(self, k: int) -> List[Value]:
+        ints = self.di[k].tolist()
+        floats = self.df[k].tolist()
+        flags = self.isf[k].tolist()
+        return [floats[i] if flags[i] else ints[i] for i in range(_REG_COUNT)]
+
+    # -- tag / NaN scans -----------------------------------------------
+
+    def _tag_mask(self, chk):
+        """Bool mask of rows with a tagged check-source; None when clean."""
+        if not self.any_tags:
+            return None
+        m = self.tg[:, list(chk)].any(axis=1)
+        return m if m.any() else None
+
+    def _tag_scan(self, k: int, chk):
+        for ri in chk:
+            if self.tg[k, ri]:
+                return self._rowval(k, ri)
+        return None
+
+    def _nan_mask(self, chk):
+        """Colwell NaN-poison scan, vectorized over the active rows."""
+        m = _np.zeros(len(self.rows_list), dtype=bool)
+        for ri in chk:
+            m |= _np.where(
+                self.isf[:, ri],
+                _np.isnan(self.df[:, ri]),
+                self.di[:, ri] == INT_NAN,
+            )
+        return m
+
+    # -- leaving the batch ---------------------------------------------
+
+    def _materialize_row(self, k: int):
+        """Reconstruct scalar (memory, buffer) for one row.  The cell's
+        own ``Memory`` — untouched since init — absorbs the store overlay
+        in place, preserving exact key-presence semantics; the shared
+        buffer's entries are copied with the row's value scalars."""
+        r = self.rows_list[k]
+        memory = self.cells[r].memory
+        data = memory._data
+        for address, col in self.written_mem.items():
+            data[address] = _cget(col, r)
+        if self.written_tags:
+            tag_bits = memory._tag_bits
+            for address, col in self.written_tags.items():
+                if _cget(col, r):
+                    tag_bits[address] = True
+                else:
+                    tag_bits.pop(address, None)
+        src = self.buffer
+        buf = _FastStoreBuffer(self.machine.store_buffer_size, memory)
+        buf.head = src.head
+        buf.cancellations = src.cancellations
+        buf.releases = src.releases
+        buf.entries = [
+            [e[0], _cget(e[1], r), e[2], e[3], e[4], e[5], e[6], e[7]]
+            for e in src.entries
+        ]
+        return memory, buf
+
+    def _make_proc(self, k: int, slot: int, cancel: bool = False) -> FastProcessor:
+        """Build the resumable FastProcessor for a spilled row."""
+        r = self.rows_list[k]
+        cell = self.cells[r]
+        memory, buf = self._materialize_row(k)
+        if cancel:
+            buf.cancel_probationary()
+        proc = FastProcessor.__new__(FastProcessor)
+        proc.scheduled = self.scheduled
+        proc.machine = cell.machine
+        proc.tagged_mode = self.tagged_mode
+        proc.colwell_mode = self.colwell_mode
+        proc.on_exception = cell.on_exception
+        proc.memory = memory
+        proc.max_cycles = cell.max_cycles
+        proc.max_recoveries = cell.max_recoveries
+        proc.decoded = self.decoded
+        proc.data = self._row_data(k)
+        proc.tags = bytearray(self.tg[k].tobytes())
+        proc.written = bytearray(self.wr[k].tobytes())
+        proc.ready = list(self.ready)
+        proc.buffer = buf
+        proc._pending_traps = dict(self.ptraps)
+        proc._clock = self.clock
+        proc._exceptions = []
+        proc._io_events = list(self.io_events)
+        proc._dyn = 0
+        proc._interlock_stalls = 0
+        proc._buffer_stalls = 0
+        proc._recoveries = 0
+        proc._mispredictions = 0
+        proc._fork_hook = None
+        pkv = int(self.pk[k])
+        pbv = int(self.pb[k])
+        if pkv == 1:
+            label = "__halt__"
+        elif pkv == 2:
+            label = self.label_of_bidx.get(pbv)
+        else:
+            label = None
+        # Lockstep rows never stall (stalls spill), so the shared
+        # buffer-stall and watchdog counters are identically zero.
+        proc._resume = (
+            self.block_idx,
+            self.word_idx,
+            slot,
+            label,
+            pbv,
+            bool(self.pcnd[k]),
+            self.dyn,
+            self.interlock_stalls,
+            0,
+            self.mispredictions,
+            0,
+        )
+        return proc
+
+    def _spill(self, k: int, slot: int, cancel: bool = False) -> None:
+        """Resume compact row k on the scalar engine from the current
+        position (``cancel``: apply the branch-taken buffer cancel the
+        row earned before resuming at the target)."""
+        _count("lockstep_spills")
+        proc = self._make_proc(k, slot, cancel=cancel)
+        try:
+            self.results[self.rows_list[k]] = proc.run()
+        except SimulationError as exc:
+            self.results[self.rows_list[k]] = exc
+
+    def _finish(self, k: int) -> None:
+        """Compact row k halted in lockstep: drain and assemble its result."""
+        memory, buffer = self._materialize_row(k)
+        r = self.rows_list[k]
+        try:
+            buffer.drain()
+        except SimulationError as exc:
+            self.results[r] = exc
+            return
+        data = self._row_data(k)
+        written = self.wr[k].tolist()
+        registers = {
+            _REG_OBJECTS[i]: data[i] for i in range(_REG_COUNT) if written[i]
+        }
+        self.results[r] = ProcessorResult(
+            registers=registers,
+            memory=memory,
+            exceptions=[],
+            cycles=self.clock,
+            dynamic_instructions=self.dyn,
+            halted=True,
+            aborted=False,
+            io_events=list(self.io_events),
+            stall_cycles=self.interlock_stalls,
+            interlock_stalls=self.interlock_stalls,
+            store_buffer_stalls=0,
+            recoveries=0,
+            mispredictions=self.mispredictions,
+            cancelled_stores=buffer.cancellations,
+        )
+
+    def _compact(self, keep) -> None:
+        """Physically remove retired/spilled rows from every compact array."""
+        if keep.all():
+            return
+        self.di = self.di[keep]
+        self.df = self.df[keep]
+        self.isf = self.isf[keep]
+        self.tg = self.tg[keep]
+        self.wr = self.wr[keep]
+        self.pk = self.pk[keep]
+        self.pb = self.pb[keep]
+        self.pcnd = self.pcnd[keep]
+        self.rows = self.rows[keep]
+        self.rows_list = self.rows.tolist()
+        self.full = False
+
+    def _error_all(self, message: str) -> None:
+        for r in self.rows_list:
+            self.results[r] = SimulationError(message)
+        self.rows = self.rows[:0]
+        self.rows_list = []
+
+    # -- scalar per-row record fallbacks -------------------------------
+
+    def _alu_scalar(self, rec, excl) -> List[int]:
+        (_, instr, spec, chk, a_ri, a_imm, b_ri, b_imm,
+         dest_ri, lat, uid, fn) = rec
+        sp: List[int] = []
+        for k in range(len(self.rows_list)):
+            if excl is not None and excl[k]:
+                continue
+            result = fn(
+                self._rowval(k, a_ri) if a_ri >= 0 else a_imm,
+                self._rowval(k, b_ri) if b_ri >= 0 else b_imm,
+            )
+            if dest_ri > 0:
+                try:
+                    self._write(k, dest_ri, result, 0)
+                except _Spill:
+                    sp.append(k)
+        return sp
+
+    def _load_scalar(self, rec, excl) -> List[int]:
+        """Per-row loads: non-uniform or unusual addresses.  A per-row
+        pending trap cannot live in the shared ``ptraps`` dict, so a
+        speculative sentinel load that traps here spills the row."""
+        (_, instr, op, spec, chk, base_ri, off, dest_ri,
+         is_fload, lat, uid) = rec
+        sp: List[int] = []
+        for k in range(len(self.rows_list)):
+            if excl is not None and excl[k]:
+                continue
+            r = self.rows_list[k]
+            address = int(self._rowval(k, base_ri)) + off
+            trap = self.check_memory.check(address)
+            if trap is None:
+                col = self.buffer.search(address)
+                value = _cget(col, r) if col is not None else self._mem_row(r, address)
+                if is_fload and isinstance(value, int):
+                    value = float(value)
+                if dest_ri > 0:
+                    try:
+                        self._write(k, dest_ri, value, 0)
+                    except _Spill:
+                        sp.append(k)
+            elif spec:
+                if self.tagged_mode:
+                    sp.append(k)  # row-private pending trap: leave the batch
+                else:
+                    if self.colwell_mode:
+                        poison = GARBAGE_FP if is_fload else INT_NAN
+                    else:
+                        poison = GARBAGE_FP if is_fload else GARBAGE_INT
+                    if dest_ri > 0:
+                        self._write(k, dest_ri, poison, 0)
+            else:
+                sp.append(k)  # signal
+        return sp
+
+    def _compute_scalar(self, rec, excl) -> List[int]:
+        (_, instr, op, spec, chk, operands, dest_ri, can_trap,
+         poison_val, lat, uid) = rec
+        sp: List[int] = []
+        for k in range(len(self.rows_list)):
+            if excl is not None and excl[k]:
+                continue
+            vals = [
+                self._rowval(k, ri) if ri >= 0 else imm for ri, imm in operands
+            ]
+            result, trap = evaluate(op, vals)
+            if trap is None:
+                if dest_ri > 0:
+                    try:
+                        self._write(k, dest_ri, result, 0)
+                    except _Spill:
+                        sp.append(k)
+            elif spec:
+                if self.tagged_mode:
+                    sp.append(k)  # row-private pending trap
+                else:
+                    poison = poison_val if self.colwell_mode else result
+                    if dest_ri > 0:
+                        try:
+                            self._write(k, dest_ri, poison, 0)
+                        except _Spill:
+                            sp.append(k)
+            else:
+                sp.append(k)  # signal
+        return sp
+
+    def _fp_col(self, ri: int, imm):
+        """Float operand column for vector FP compute, or None when the
+        register file holds mixed int/float rows (scalar path)."""
+        if ri < 0:
+            return float(imm)
+        isfc = self.isf[:, ri]
+        if isfc.all():
+            return self.df[:, ri]
+        if not isfc.any():
+            return self.di[:, ri].astype(_np.float64)
+        return None
+
+    # -- the word loop -------------------------------------------------
+
+    def run(self) -> List[object]:  # noqa: C901 — mirrors the engine loop
+        decoded = self.decoded
+        blocks = decoded.blocks
+        if not blocks:
+            self._error_all("empty scheduled program")
+            return self.results
+        tagged_mode = self.tagged_mode
+        colwell_mode = self.colwell_mode
+        max_cycles = self.max_cycles
+        ready = self.ready
+        buffer = self.buffer
+        io_events = self.io_events
+
+        def spill_list(ks, slot) -> None:
+            if not ks:
+                return
+            for k in ks:
+                self._spill(k, slot)
+            keep = _np.ones(len(self.rows_list), dtype=bool)
+            keep[list(ks)] = False
+            self._compact(keep)
+
+        def spill_mask(mask, slot):
+            """Spill all rows in ``mask``; returns the keep mask for
+            slicing any record-local arrays, or None if nothing spilled."""
+            ks = _np.nonzero(mask)[0].tolist()
+            if not ks:
+                return None
+            for k in ks:
+                self._spill(k, slot)
+            keep = ~mask
+            self._compact(keep)
+            return keep
+
+        def spill_all(slot) -> None:
+            spill_list(list(range(len(self.rows_list))), slot)
+
+        def tag_phase(spec, chk, dest_ri, slot):
+            """Handle tagged check-sources before a vector record: spill
+            non-speculative rows (signal), propagate the tag for
+            speculative ones (Table 1 row 6).  Returns the mask of rows
+            that already completed the record via propagation."""
+            m = self._tag_mask(chk)
+            if m is None:
+                return None
+            to_spill = []
+            for k in _np.nonzero(m)[0].tolist():
+                if not spec:
+                    to_spill.append(k)
+                elif dest_ri > 0:
+                    try:
+                        self._write(k, dest_ri, self._tag_scan(k, chk), 1)
+                    except _Spill:
+                        to_spill.append(k)
+            spill_list(to_spill, slot)
+            if not self.rows_list:
+                return None
+            return self._tag_mask(chk)
+
+        while self.rows_list:
+            block_idx = self.block_idx
+            block = blocks[block_idx]
+            words = block.words
+            if self.word_idx >= len(words):
+                if not block.falls_through:
+                    self._error_all(
+                        f"control fell off non-fall-through block {block.label}"
+                    )
+                    return self.results
+                if block_idx + 1 >= len(blocks):
+                    self._error_all("control fell off the end of the program")
+                    return self.results
+                self.block_idx += 1
+                self.word_idx = 0
+                continue
+
+            word = words[self.word_idx]
+            records = word.records
+            n_slots = len(records)
+
+            # CRAY-1 interlock over the word's sources (always slot 0:
+            # lockstep rows never re-enter a word mid-way — those spill).
+            needed = self.clock
+            for ri in word.interlock[0] if n_slots else ():
+                t = ready[ri]
+                if t > needed:
+                    needed = t
+            while self.clock < needed:
+                self.interlock_stalls += 1
+                buffer.release_cycle()
+                self.clock += 1
+                if self.clock > max_cycles:
+                    self._error_all(f"cycle limit {max_cycles} exceeded")
+                    return self.results
+
+            self.pk[:] = 0
+            self.pb[:] = -1
+            self.pcnd[:] = False
+
+            clock = self.clock
+            for slot in range(n_slots):
+                if not self.rows_list:
+                    break
+                rec = records[slot]
+                kind = rec[0]
+
+                if kind == K_ALU:
+                    (_, instr, spec, chk, a_ri, a_imm, b_ri, b_imm,
+                     dest_ri, lat, uid, fn) = rec
+                    excl = None
+                    if tagged_mode and chk:
+                        excl = tag_phase(spec, chk, dest_ri, slot)
+                    if self.rows_list:
+                        if not (_imm_i64(a_imm) and _imm_i64(b_imm)):
+                            spill_list(self._alu_scalar(rec, excl), slot)
+                        else:
+                            fmask = None
+                            if a_ri >= 0:
+                                fmask = self.isf[:, a_ri].copy()
+                            if b_ri >= 0:
+                                fb = self.isf[:, b_ri]
+                                fmask = fb.copy() if fmask is None else fmask | fb
+                            has_f = fmask is not None and fmask.any()
+                            vec = None
+                            if has_f or excl is not None:
+                                vec = _np.ones(len(self.rows_list), dtype=bool)
+                                if has_f:
+                                    vec &= ~fmask
+                                if excl is not None:
+                                    vec &= ~excl
+                            if dest_ri > 0:
+                                na = len(self.rows_list)
+                                a = (
+                                    self.di[:, a_ri]
+                                    if a_ri >= 0
+                                    else _np.full(na, a_imm, _np.int64)
+                                )
+                                b = (
+                                    self.di[:, b_ri]
+                                    if b_ri >= 0
+                                    else _np.full(na, b_imm, _np.int64)
+                                )
+                                res = _VEC_ALU[instr.op](a, b)
+                                if vec is None:
+                                    self.di[:, dest_ri] = res
+                                    self.isf[:, dest_ri] = False
+                                    self.tg[:, dest_ri] = 0
+                                    self.wr[:, dest_ri] = 1
+                                else:
+                                    self.di[vec, dest_ri] = res[vec]
+                                    self.isf[vec, dest_ri] = False
+                                    self.tg[vec, dest_ri] = 0
+                                    self.wr[vec, dest_ri] = 1
+                            if has_f:
+                                scal = fmask if excl is None else (fmask & ~excl)
+                                sp = []
+                                for k in _np.nonzero(scal)[0].tolist():
+                                    result = fn(
+                                        self._rowval(k, a_ri) if a_ri >= 0 else a_imm,
+                                        self._rowval(k, b_ri) if b_ri >= 0 else b_imm,
+                                    )
+                                    if dest_ri > 0:
+                                        try:
+                                            self._write(k, dest_ri, result, 0)
+                                        except _Spill:
+                                            sp.append(k)
+                                spill_list(sp, slot)
+                    if dest_ri >= 0 and self.rows_list:
+                        ready[dest_ri] = clock + lat
+
+                elif kind == K_COND:
+                    (_, instr, chk, a_ri, a_imm, b_ri, b_imm, cmp,
+                     target, target_bidx) = rec
+                    if tagged_mode and chk:
+                        m = self._tag_mask(chk)
+                        if m is not None:
+                            spill_mask(m, slot)
+                    if self.rows_list:
+                        na = len(self.rows_list)
+                        use_vector = (
+                            _imm_i64(a_imm)
+                            and _imm_i64(b_imm)
+                            and not (a_ri >= 0 and self.isf[:, a_ri].any())
+                            and not (b_ri >= 0 and self.isf[:, b_ri].any())
+                        )
+                        if use_vector:
+                            a = (
+                                self.di[:, a_ri]
+                                if a_ri >= 0
+                                else _np.full(na, a_imm, _np.int64)
+                            )
+                            b = (
+                                self.di[:, b_ri]
+                                if b_ri >= 0
+                                else _np.full(na, b_imm, _np.int64)
+                            )
+                            outcome = cmp(a, b)
+                        else:
+                            outcome = _np.fromiter(
+                                (
+                                    bool(
+                                        cmp(
+                                            self._rowval(k, a_ri)
+                                            if a_ri >= 0
+                                            else a_imm,
+                                            self._rowval(k, b_ri)
+                                            if b_ri >= 0
+                                            else b_imm,
+                                        )
+                                    )
+                                    for k in range(na)
+                                ),
+                                dtype=bool,
+                                count=na,
+                            )
+                        if outcome.any():
+                            if target_bidx < 0:
+                                bad = outcome
+                                good = None
+                            else:
+                                # two-taken-branches error: re-raised
+                                # naturally by the resumed engine.
+                                bad = outcome & (self.pk != 0)
+                                good = outcome & ~bad
+                            if good is not None and good.any():
+                                self.pk[good] = 2
+                                self.pb[good] = target_bidx
+                                self.pcnd[good] = True
+                                self.label_of_bidx[target_bidx] = target
+                            if bad.any():
+                                spill_mask(bad, slot)
+
+                elif kind == K_CHECK:
+                    _, instr, src_ri, dest_ri, lat = rec
+                    if tagged_mode and self.any_tags:
+                        m = self.tg[:, src_ri] != 0
+                        if m.any():
+                            spill_mask(m, slot)
+                    if dest_ri >= 0 and self.rows_list:
+                        ready[dest_ri] = clock + lat
+                        if dest_ri:
+                            self.di[:, dest_ri] = self.di[:, src_ri]
+                            self.df[:, dest_ri] = self.df[:, src_ri]
+                            self.isf[:, dest_ri] = self.isf[:, src_ri]
+                            self.tg[:, dest_ri] = 0
+                            self.wr[:, dest_ri] = 1
+
+                elif kind == K_CLRTAG:
+                    dest_ri = rec[2]
+                    if dest_ri >= 0:
+                        self.tg[:, dest_ri] = 0
+
+                elif kind == K_JUMP:
+                    target, target_bidx = rec[2], rec[3]
+                    if target_bidx < 0:
+                        spill_all(slot)
+                    else:
+                        bad = self.pk != 0
+                        if bad.any():
+                            spill_mask(bad, slot)
+                        if self.rows_list:
+                            self.pk[:] = 2
+                            self.pb[:] = target_bidx
+                            self.pcnd[:] = False
+                            self.label_of_bidx[target_bidx] = target
+
+                elif kind == K_HALT:
+                    bad = self.pk != 0
+                    if bad.any():
+                        spill_mask(bad, slot)
+                    if self.rows_list:
+                        self.pk[:] = 1
+
+                elif kind == K_IO:
+                    io_events.append(rec[2])
+
+                elif kind == K_NOP:
+                    pass
+
+                elif kind == K_TLOAD:
+                    _, instr, base_ri, off, dest_ri, lat = rec
+                    sp = None
+                    vec_done = False
+                    if not self.isf[:, base_ri].any():
+                        bases = self.di[:, base_ri]
+                        if not (
+                            (bases > _ADDR_LIM) | (bases < -_ADDR_LIM)
+                        ).any():
+                            bcol = bases + off
+                            address = int(bcol[0])
+                            if bool((bcol == address).all()):
+                                coltag = self._tag_active(address)
+                                if not isinstance(coltag, (list, _np.ndarray)):
+                                    if dest_ri > 0:
+                                        sp = self._write_active(
+                                            dest_ri,
+                                            self._mem_active(address),
+                                            False,
+                                        )
+                                        if coltag and tagged_mode:
+                                            self.tg[:, dest_ri] = 1
+                                            self.any_tags = True
+                                    vec_done = True
+                    if not vec_done:
+                        sp = []
+                        for k in range(len(self.rows_list)):
+                            r = self.rows_list[k]
+                            address = int(self._rowval(k, base_ri)) + off
+                            value = self._mem_row(r, address)
+                            tag = self._tag_row(r, address)
+                            if dest_ri > 0:
+                                try:
+                                    self._write(
+                                        k,
+                                        dest_ri,
+                                        value,
+                                        1 if (tag and tagged_mode) else 0,
+                                    )
+                                except _Spill:
+                                    sp.append(k)
+                    spill_list(sp or [], slot)
+                    if dest_ri >= 0 and self.rows_list:
+                        ready[dest_ri] = clock + lat
+
+                elif kind == K_TSTORE:
+                    _, instr, base_ri, off, val_ri, val_imm = rec
+                    done = False
+                    if not self.isf[:, base_ri].any():
+                        bases = self.di[:, base_ri]
+                        if not (
+                            (bases > _ADDR_LIM) | (bases < -_ADDR_LIM)
+                        ).any():
+                            bcol = bases + off
+                            address = int(bcol[0])
+                            if bool((bcol == address).all()):
+                                if val_ri >= 0:
+                                    value_col = self._reg_column(val_ri)
+                                    tcomp = self.tg[:, val_ri]
+                                    if tcomp.any():
+                                        tag_col: object = [False] * self.n
+                                        tl = tcomp.tolist()
+                                        for k2, r2 in enumerate(self.rows_list):
+                                            tag_col[r2] = bool(tl[k2])
+                                    else:
+                                        tag_col = False
+                                else:
+                                    value_col = val_imm
+                                    tag_col = False
+                                self.written_mem[address] = value_col
+                                self.written_tags[address] = tag_col
+                                done = True
+                    if not done:
+                        for k in range(len(self.rows_list)):
+                            address = int(self._rowval(k, base_ri)) + off
+                            if val_ri >= 0:
+                                self._poke_row(
+                                    k,
+                                    address,
+                                    self._rowval(k, val_ri),
+                                    bool(self.tg[k, val_ri]),
+                                )
+                            else:
+                                self._poke_row(k, address, val_imm, False)
+
+                elif kind == K_LOAD:
+                    (_, instr, op, spec, chk, base_ri, off, dest_ri,
+                     is_fload, lat, uid) = rec
+                    excl = None
+                    if tagged_mode and chk:
+                        excl = tag_phase(spec, chk, dest_ri, slot)
+                    if colwell_mode and not spec and chk and self.rows_list:
+                        nm = self._nan_mask(chk)
+                        if nm.any():
+                            spill_mask(nm, slot)
+                    if self.rows_list:
+                        bcol = None
+                        if excl is None and not self.isf[:, base_ri].any():
+                            bases = self.di[:, base_ri]
+                            if not (
+                                (bases > _ADDR_LIM) | (bases < -_ADDR_LIM)
+                            ).any():
+                                bcol = bases + off
+                        if bcol is None or not bool((bcol == bcol[0]).all()):
+                            spill_list(self._load_scalar(rec, excl), slot)
+                        else:
+                            address = int(bcol[0])
+                            trap = self.check_memory.check(address)
+                            if trap is None:
+                                value_col = buffer.search(address)
+                                value_col = (
+                                    self._align(value_col)
+                                    if value_col is not None
+                                    else self._mem_active(address)
+                                )
+                                if dest_ri > 0:
+                                    sp = self._write_active(
+                                        dest_ri, value_col, is_fload
+                                    )
+                                    spill_list(sp or [], slot)
+                            elif spec:
+                                if tagged_mode:
+                                    # Batch-uniform pending trap: shareable.
+                                    self.ptraps[uid] = trap
+                                    if dest_ri > 0:
+                                        self.di[:, dest_ri] = uid
+                                        self.isf[:, dest_ri] = False
+                                        self.tg[:, dest_ri] = 1
+                                        self.wr[:, dest_ri] = 1
+                                        self.any_tags = True
+                                else:
+                                    if colwell_mode:
+                                        poison = GARBAGE_FP if is_fload else INT_NAN
+                                    else:
+                                        poison = (
+                                            GARBAGE_FP if is_fload else GARBAGE_INT
+                                        )
+                                    if dest_ri > 0:
+                                        if isinstance(poison, float):
+                                            self.df[:, dest_ri] = poison
+                                            self.isf[:, dest_ri] = True
+                                        else:
+                                            self.di[:, dest_ri] = poison
+                                            self.isf[:, dest_ri] = False
+                                        self.tg[:, dest_ri] = 0
+                                        self.wr[:, dest_ri] = 1
+                            else:
+                                spill_all(slot)  # signal
+                    if dest_ri >= 0 and self.rows_list:
+                        ready[dest_ri] = clock + lat
+
+                elif kind == K_COMPUTE:
+                    (_, instr, op, spec, chk, operands, dest_ri, can_trap,
+                     poison_val, lat, uid) = rec
+                    excl = None
+                    if tagged_mode and chk:
+                        excl = tag_phase(spec, chk, dest_ri, slot)
+                    if (
+                        colwell_mode
+                        and not spec
+                        and can_trap
+                        and chk
+                        and self.rows_list
+                    ):
+                        nm = self._nan_mask(chk)
+                        if nm.any():
+                            spill_mask(nm, slot)
+                    if self.rows_list:
+                        a_col = b_col = None
+                        res = tmask = None
+                        res_f = True
+                        fp_bin = op in _FP_BIN_OPS
+                        fp_cmp = op in _FP_CMP_OPS
+                        ok = False
+                        if fp_bin or fp_cmp:
+                            a_col = self._fp_col(*operands[0])
+                            b_col = self._fp_col(*operands[1])
+                            ok = (
+                                a_col is not None
+                                and b_col is not None
+                                and (
+                                    isinstance(a_col, _np.ndarray)
+                                    or isinstance(b_col, _np.ndarray)
+                                )
+                            )
+                        elif op is Opcode.FMOV or op is Opcode.FCVT_FI:
+                            a_col = self._fp_col(*operands[0])
+                            ok = isinstance(a_col, _np.ndarray)
+                        elif op is Opcode.FCVT_IF:
+                            ri0 = operands[0][0]
+                            if ri0 >= 0 and not self.isf[:, ri0].any():
+                                a_col = self.di[:, ri0]
+                                ok = True
+                        if not ok:
+                            spill_list(self._compute_scalar(rec, excl), slot)
+                        else:
+                            # Exact mirrors of evaluate()/_fp_binary: NaN
+                            # operands, FDIV by zero, fresh infinities and
+                            # NaN results trap; everything else is IEEE.
+                            with _np.errstate(all="ignore"):
+                                if fp_bin:
+                                    if op is Opcode.FADD:
+                                        res = a_col + b_col
+                                    elif op is Opcode.FSUB:
+                                        res = a_col - b_col
+                                    elif op is Opcode.FMUL:
+                                        res = a_col * b_col
+                                    else:
+                                        res = a_col / b_col
+                                    tmask = _np.isnan(a_col) | _np.isnan(b_col)
+                                    if op is Opcode.FDIV:
+                                        tmask = tmask | (b_col == 0.0)
+                                    tmask = tmask | (
+                                        _np.isinf(res)
+                                        & ~(_np.isinf(a_col) | _np.isinf(b_col))
+                                    )
+                                    tmask = tmask | _np.isnan(res)
+                                elif fp_cmp:
+                                    tmask = _np.isnan(a_col) | _np.isnan(b_col)
+                                    if op is Opcode.FCLT:
+                                        res = a_col < b_col
+                                    elif op is Opcode.FCLE:
+                                        res = a_col <= b_col
+                                    else:
+                                        res = a_col == b_col
+                                    res = res.astype(_np.int64)
+                                    res_f = False
+                                elif op is Opcode.FMOV:
+                                    res = a_col.copy()
+                                elif op is Opcode.FCVT_IF:
+                                    res = a_col.astype(_np.float64)
+                                else:  # FCVT_FI: trunc toward zero
+                                    tmask = _np.isnan(a_col) | (
+                                        _np.abs(a_col) >= _S63F
+                                    )
+                                    res = _np.where(tmask, 0.0, a_col).astype(
+                                        _np.int64
+                                    )
+                                    res_f = False
+                            if tmask is not None and tmask.any():
+                                tsp = tmask if excl is None else (tmask & ~excl)
+                                if tsp.any():
+                                    if tagged_mode or not spec:
+                                        # Pending trap or signal: spill.
+                                        keep = spill_mask(tsp, slot)
+                                        if keep is not None:
+                                            res = res[keep]
+                                            if excl is not None:
+                                                excl = excl[keep]
+                                    else:
+                                        if colwell_mode:
+                                            pv = poison_val
+                                        else:
+                                            pv = GARBAGE_FP if res_f else GARBAGE_INT
+                                        res[tsp] = pv
+                            if self.rows_list and dest_ri > 0:
+                                if excl is None:
+                                    if res_f:
+                                        self.df[:, dest_ri] = res
+                                        self.isf[:, dest_ri] = True
+                                    else:
+                                        self.di[:, dest_ri] = res
+                                        self.isf[:, dest_ri] = False
+                                    self.tg[:, dest_ri] = 0
+                                    self.wr[:, dest_ri] = 1
+                                else:
+                                    vec = ~excl
+                                    if res_f:
+                                        self.df[vec, dest_ri] = res[vec]
+                                        self.isf[vec, dest_ri] = True
+                                    else:
+                                        self.di[vec, dest_ri] = res[vec]
+                                        self.isf[vec, dest_ri] = False
+                                    self.tg[vec, dest_ri] = 0
+                                    self.wr[vec, dest_ri] = 1
+                    if dest_ri >= 0 and self.rows_list:
+                        ready[dest_ri] = clock + lat
+
+                elif kind == K_STORE:
+                    (_, instr, spec, chk, base_ri, off, val_ri, val_imm,
+                     uid) = rec
+                    if not tagged_mode and spec:
+                        self._error_all(
+                            f"speculative store {uid} under a silent-mode schedule"
+                        )
+                        break
+                    if tagged_mode and chk:
+                        # Divergent buffer actions are impossible: tagged
+                        # rows spill and re-run the store on their own
+                        # engine (exc-tag entries included).
+                        m = self._tag_mask(chk)
+                        if m is not None:
+                            spill_mask(m, slot)
+                    if colwell_mode and chk and self.rows_list:
+                        nm = self._nan_mask(chk)
+                        if nm.any():
+                            spill_mask(nm, slot)
+                    if self.rows_list:
+                        bad = None
+                        if self.isf[:, base_ri].any():
+                            bad = self.isf[:, base_ri]
+                        else:
+                            bases = self.di[:, base_ri]
+                            big = (bases > _ADDR_LIM) | (bases < -_ADDR_LIM)
+                            if big.any():
+                                bad = big
+                        if bad is not None and bad.any():
+                            spill_mask(bad, slot)
+                    if self.rows_list:
+                        addrs = self.di[:, base_ri] + off
+                        address = int(addrs[0])
+                        if len(self.rows_list) > 1 and not bool(
+                            (addrs == address).all()
+                        ):
+                            # Shared bookkeeping needs one address: the
+                            # largest group stays (ties: lowest address),
+                            # the rest spill before any buffer mutation.
+                            uniq, counts = _np.unique(addrs, return_counts=True)
+                            address = int(uniq[counts == counts.max()].min())
+                            _count(
+                                "lockstep_store_splits",
+                                int((addrs != address).sum()),
+                            )
+                            spill_mask(addrs != address, slot)
+                    if self.rows_list:
+                        trap = self.check_memory.check(address)
+                        value_col = (
+                            self._reg_column(val_ri) if val_ri >= 0 else val_imm
+                        )
+                        if not tagged_mode:
+                            if trap is not None or not buffer.can_insert():
+                                spill_all(slot)  # signal / store-buffer stall
+                            else:
+                                buffer.entries.append(
+                                    [address, value_col, True, True, False,
+                                     None, None, uid]
+                                )
+                        else:
+                            will_insert = spec or trap is None
+                            if will_insert and not buffer.can_insert():
+                                spill_all(slot)  # store-buffer stall
+                            elif not spec:
+                                if trap is not None:
+                                    spill_all(slot)  # signal
+                                else:
+                                    buffer.entries.append(
+                                        [address, value_col, True, True, False,
+                                         None, None, uid]
+                                    )
+                            elif trap is not None:
+                                buffer.entries.append(
+                                    [address, value_col, False, True, True,
+                                     uid, trap, uid]
+                                )
+                                self.ptraps[uid] = trap
+                            else:
+                                buffer.entries.append(
+                                    [address, value_col, False, True, False,
+                                     None, None, uid]
+                                )
+
+                elif kind == K_CONFIRM:
+                    _, instr, index, uid = rec
+                    try:
+                        entry = buffer.confirm(index, uid)
+                    except SimulationError as exc:
+                        self._error_all(str(exc))
+                        break
+                    if entry is not None:
+                        # Excepting entry: every row spills; the entry was
+                        # deliberately not invalidated, so each resumed
+                        # engine re-runs the confirm and raises the signal
+                        # under its own policy.
+                        spill_all(slot)
+
+                if not self.rows_list:
+                    break
+                self.dyn += 1
+
+            if not self.rows_list:
+                break
+
+            # Word end: release a buffer slot (once — shared bookkeeping),
+            # advance the clock.
+            buffer.release_cycle()
+            self.clock += 1
+            if self.clock > max_cycles:
+                self._error_all(f"cycle limit {max_cycles} exceeded")
+                return self.results
+
+            # Resolve control flow.  All rows took the same records, so a
+            # halt is unanimous (a second taken branch spills at its slot);
+            # conditional branches may split the batch.
+            na = len(self.rows_list)
+            if na > 1 and not bool(
+                (self.pk == self.pk[0]).all()
+                and (self.pb == self.pb[0]).all()
+                and (self.pcnd == self.pcnd[0]).all()
+            ):
+                pkl = self.pk.tolist()
+                pbl = self.pb.tolist()
+                pcl = self.pcnd.tolist()
+                groups: Dict[tuple, List[int]] = {}
+                for k in range(na):
+                    groups.setdefault((pkl[k], pbl[k], pcl[k]), []).append(k)
+                # Majority stays in lockstep; ties break deterministically.
+                stay_key = max(
+                    groups,
+                    key=lambda key: (len(groups[key]), -int(key[0]), -int(key[1])),
+                )
+                bi, wi = self.block_idx, self.word_idx
+                saved_mis = self.mispredictions
+                drop: List[int] = []
+                for key, ks in groups.items():
+                    if key == stay_key:
+                        continue
+                    kind_, bidx_, cond_ = key
+                    _count("lockstep_divergences", len(ks))
+                    for k in ks:
+                        if kind_ == 1:
+                            self._finish(k)
+                            continue
+                        self.pk[k] = 0
+                        if kind_ == 2:
+                            # Post-word spill: apply this row's branch
+                            # bookkeeping, then resume at the target top.
+                            self.mispredictions = saved_mis + (1 if cond_ else 0)
+                            self.block_idx, self.word_idx = int(bidx_), 0
+                            self._spill(k, 0, cancel=True)
+                        else:
+                            # Fall-through minority (kind 0): next word.
+                            self.word_idx = wi + 1
+                            self._spill(k, 0)
+                        self.block_idx, self.word_idx = bi, wi
+                        self.mispredictions = saved_mis
+                    drop.extend(ks)
+                keep = _np.ones(na, dtype=bool)
+                keep[drop] = False
+                self._compact(keep)
+                kind_, bidx_, cond_ = stay_key
+            else:
+                kind_ = int(self.pk[0])
+                bidx_ = int(self.pb[0])
+                cond_ = bool(self.pcnd[0])
+            if kind_ == 1:
+                for k in range(len(self.rows_list)):
+                    self._finish(k)
+                break
+            if kind_ == 2:
+                buffer.cancel_probationary()
+                if cond_:
+                    self.mispredictions += 1
+                self.block_idx = int(bidx_)
+                self.word_idx = 0
+            else:
+                self.word_idx += 1
+
+        return self.results
+
+
+def run_lockstep(
+    scheduled: ScheduledProgram,
+    machine: MachineDescription,
+    cells: List[BatchCell],
+) -> List[object]:
+    """Run cells sharing one schedule in columnar numpy lockstep.
+
+    Returns results aligned to ``cells``: :class:`ProcessorResult` or the
+    :class:`SimulationError` the single-cell engine would have raised.
+    Cells must share ``scheduled``, the machine latency table and store
+    buffer size, ``max_cycles``, the memory *mapping* (segments and fault
+    plan — contents may differ arbitrarily), and have no initial register
+    file.
+    """
+    if _np is None:
+        raise RuntimeError("run_lockstep requires numpy")
+    if not cells:
+        return []
+    for cell in cells:
+        if cell.on_exception not in _POLICIES:
+            raise ValueError(f"unknown exception policy {cell.on_exception!r}")
+        if cell.init_regs or cell.init_tags:
+            raise ValueError("lockstep cells cannot carry initial register files")
+    _count("cells_lockstep", len(cells))
+    _count("lockstep_runs")
+    return _Lockstep(scheduled, machine, cells).run()
+
+
+# ----------------------------------------------------------------------
+# The batch front door.
+# ----------------------------------------------------------------------
+
+
+def run_batch(cells: List[BatchCell], batch: Optional[bool] = None) -> List[object]:
+    """Execute independent cells, batched where profitable.
+
+    Results are aligned to the input: each entry is the
+    :class:`ProcessorResult` of the cell, or the :class:`SimulationError`
+    the single-cell run would have raised (``KeyError`` and friends —
+    internal errors — propagate, as they do from ``run_scheduled``).
+
+    ``batch=False`` (or ``REPRO_BATCH_PROC=0``, or a missing numpy)
+    degrades to per-cell execution with identical results.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if batch is None:
+        batch = batch_default()
+    for cell in cells:
+        if cell.on_exception not in _POLICIES:
+            raise ValueError(f"unknown exception policy {cell.on_exception!r}")
+    _count("cells_total", len(cells))
+    results: List[object] = [None] * len(cells)
+    usable = batch and _fast_default()
+
+    groups: Dict[tuple, List[int]] = {}
+    for idx, cell in enumerate(cells):
+        if (
+            not usable
+            or cell.scheduled.policy_name.startswith("boosting")
+            or cell.init_regs
+            or cell.init_tags
+        ):
+            results[idx] = _run_single(cell)
+            continue
+        key = (
+            id(cell.scheduled),
+            _latency_key(cell.machine),
+            cell.machine.store_buffer_size,
+            cell.max_cycles,
+            cell.max_recoveries,
+        )
+        groups.setdefault(key, []).append(idx)
+
+    for idxs in groups.values():
+        # Partition the group by initial memory content: equal-content
+        # cells coalesce into one run; distinct-content cells go lockstep.
+        classes: Dict[tuple, List[int]] = {}
+        for idx in idxs:
+            classes.setdefault(_memory_key(cells[idx].memory), []).append(idx)
+        # Lockstep additionally needs a shared mapping: same segments
+        # (key[0]) and fault plan (key[2]); content (key[1]/key[3]) may
+        # differ per lane.
+        lanes: Dict[tuple, List[int]] = {}
+        for mkey, members in classes.items():
+            if len(members) > 1:
+                for idx, res in zip(
+                    members, _run_coalesced([cells[i] for i in members])
+                ):
+                    results[idx] = res
+            else:
+                lanes.setdefault((mkey[0], mkey[2]), []).append(members[0])
+        for members in lanes.values():
+            if len(members) >= 2 and _np is not None:
+                first = cells[members[0]]
+                for idx, res in zip(
+                    members,
+                    run_lockstep(
+                        first.scheduled, first.machine, [cells[i] for i in members]
+                    ),
+                ):
+                    results[idx] = res
+            else:
+                for idx in members:
+                    results[idx] = _run_single(cells[idx])
+    return results

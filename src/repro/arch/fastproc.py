@@ -75,7 +75,7 @@ from .processor import (
     _StallStore,
 )
 
-__all__ = ["FastProcessor", "decode_scheduled"]
+__all__ = ["FastProcessor", "decode_scheduled", "fork_processor"]
 
 #: Dense register numbering: integer file first, then the FP file.
 _REG_OBJECTS: Tuple[Register, ...] = all_registers()
@@ -518,7 +518,14 @@ class _FastStoreBuffer:
     def confirm(self, index: int, pc: int):
         """``confirm_store(index)``: ``index`` counts valid entries from
         the tail.  Returns the entry list when its recorded exception must
-        be signalled, None for a clean confirmation."""
+        be signalled, None for a clean confirmation.
+
+        Unlike the reference buffer, the excepting entry is *not*
+        invalidated here: the caller raises a :class:`_Signal` carrying the
+        entry and the run loop invalidates it after any fork snapshot has
+        been taken (see ``_Signal.invalidate``), so a processor forked at
+        the signal point re-executes the confirm against unmutated state.
+        """
         entries = self.entries
         target = None
         seen = 0
@@ -538,7 +545,6 @@ class _FastStoreBuffer:
                 f"(store pc={target[_E_STORE_PC]}) — bad confirm index in the schedule"
             )
         if target[_E_EXC_TAG]:
-            target[_E_VALID] = False
             return target
         target[_E_CONFIRMED] = True
         return None
@@ -642,6 +648,14 @@ class FastProcessor:
         self._buffer_stalls = 0
         self._recoveries = 0
         self._mispredictions = 0
+        #: Fork support for the batch executor (:mod:`repro.arch.batchproc`):
+        #: a one-shot callback fired at the *first* signal, before any
+        #: policy-dependent state change, receiving
+        #: ``(processor, resume_tuple, clock, signal)``.  ``_resume`` is a
+        #: position/counter tuple produced by :func:`fork_processor` that
+        #: makes ``run()`` continue mid-word instead of starting fresh.
+        self._fork_hook = None
+        self._resume: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Cold paths: signal recording, RECORD disposition, recovery.
@@ -749,20 +763,40 @@ class FastProcessor:
         isnan = math.isnan
 
         clock = self._clock
-        dyn = 0
-        interlock_stalls = 0
-        buffer_stalls = 0
-        mispredictions = 0
-
-        block_idx = 0
-        word_idx = 0
-        slot_idx = 0
         halted = False
         aborted = False
-        stall_watchdog = 0
-        pending_taken: Optional[str] = None
-        pending_bidx = -1
-        pending_taken_conditional = False
+        fork_hook = self._fork_hook
+        resume = self._resume
+        if resume is None:
+            dyn = 0
+            interlock_stalls = 0
+            buffer_stalls = 0
+            mispredictions = 0
+            block_idx = 0
+            word_idx = 0
+            slot_idx = 0
+            stall_watchdog = 0
+            pending_taken: Optional[str] = None
+            pending_bidx = -1
+            pending_taken_conditional = False
+        else:
+            # Mid-run transplant (fork/spill from the batch executor): the
+            # loop re-enters at the recorded position with the recorded
+            # counters, exactly like the engine's own post-signal re-entry.
+            self._resume = None
+            (
+                block_idx,
+                word_idx,
+                slot_idx,
+                pending_taken,
+                pending_bidx,
+                pending_taken_conditional,
+                dyn,
+                interlock_stalls,
+                buffer_stalls,
+                mispredictions,
+                stall_watchdog,
+            ) = resume
 
         while True:
             block = blocks[block_idx]
@@ -1148,9 +1182,11 @@ class FastProcessor:
                         _, instr, index, uid = rec
                         entry = buffer.confirm(index, uid)
                         if entry is not None:
-                            raise _Signal(
+                            signal = _Signal(
                                 entry[_E_EXC_PC], False, entry[_E_TRAP], instr
                             )
+                            signal.invalidate = entry
+                            raise signal
                     elif kind == K_CLRTAG:
                         dest_ri = rec[2]
                         if dest_ri >= 0:
@@ -1186,6 +1222,33 @@ class FastProcessor:
                     stalled = True
                     break
                 except _Signal as signal:
+                    if fork_hook is not None:
+                        # First signal of the run: snapshot point for the
+                        # batch executor's policy forks.  Fired before the
+                        # signalling record mutates anything (the record's
+                        # own ``dyn`` increment included), so a forked
+                        # processor re-executes it bit-identically.
+                        fork_hook(
+                            self,
+                            (
+                                block_idx,
+                                word_idx,
+                                slot,
+                                pending_taken,
+                                pending_bidx,
+                                pending_taken_conditional,
+                                dyn,
+                                interlock_stalls,
+                                buffer_stalls,
+                                mispredictions,
+                                stall_watchdog,
+                            ),
+                            clock,
+                            signal,
+                        )
+                        fork_hook = self._fork_hook = None
+                    if signal.invalidate is not None:
+                        signal.invalidate[_E_VALID] = False
                     dyn += 1
                     outcome = signal
                     break
@@ -1289,3 +1352,53 @@ class FastProcessor:
         self._interlock_stalls = interlock
         self._buffer_stalls = bufstalls
         self._mispredictions = mispred
+
+
+def fork_processor(
+    proc: FastProcessor, resume: tuple, clock: int, on_exception: str
+) -> FastProcessor:
+    """Clone a mid-run :class:`FastProcessor` into a resumable twin.
+
+    Called from a ``_fork_hook`` at the first signal of a coalesced run
+    (:mod:`repro.arch.batchproc`): every policy of the batch shares the
+    signal-free prefix bit for bit, so the clone — deep copies of the
+    register file, store buffer, pending traps and memory, plus the hook's
+    position/counter tuple — continues under ``on_exception`` exactly as a
+    from-scratch run of that policy would.  ``resume`` is the position
+    tuple the hook received; ``clock`` is the live cycle count (the
+    instance attribute is only synced on cold paths and may be stale).
+    """
+    if on_exception not in (ABORT, RECORD, RECOVER):
+        raise ValueError(f"unknown exception policy {on_exception!r}")
+    clone = FastProcessor.__new__(FastProcessor)
+    clone.scheduled = proc.scheduled
+    clone.machine = proc.machine
+    clone.tagged_mode = proc.tagged_mode
+    clone.colwell_mode = proc.colwell_mode
+    clone.on_exception = on_exception
+    clone.memory = proc.memory.clone()
+    clone.max_cycles = proc.max_cycles
+    clone.max_recoveries = proc.max_recoveries
+    clone.decoded = proc.decoded
+    clone.data = list(proc.data)
+    clone.tags = bytearray(proc.tags)
+    clone.written = bytearray(proc.written)
+    clone.ready = list(proc.ready)
+    buffer = _FastStoreBuffer(proc.buffer.size, clone.memory)
+    buffer.entries = [list(entry) for entry in proc.buffer.entries]
+    buffer.head = proc.buffer.head
+    buffer.cancellations = proc.buffer.cancellations
+    buffer.releases = proc.buffer.releases
+    clone.buffer = buffer
+    clone._pending_traps = dict(proc._pending_traps)
+    clone._clock = clock
+    clone._exceptions = list(proc._exceptions)
+    clone._io_events = list(proc._io_events)
+    clone._dyn = 0
+    clone._interlock_stalls = 0
+    clone._buffer_stalls = 0
+    clone._recoveries = proc._recoveries
+    clone._mispredictions = 0
+    clone._fork_hook = None
+    clone._resume = resume
+    return clone

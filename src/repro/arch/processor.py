@@ -111,6 +111,9 @@ class _Signal(Exception):
         self.own = own
         self.trap = trap
         self.reporter = reporter
+        #: Store-buffer entry to invalidate when the signal is handled
+        #: (fast-path confirm defers the mutation past fork snapshots).
+        self.invalidate = None
 
 
 class _StallStore(Exception):

@@ -59,9 +59,37 @@ def prewarm_pipeline() -> None:
     compile_program(program, training.profile, machine, SENTINEL, unroll_factor=2)
 
 
-def pool_init() -> None:
-    """One-time per-worker set-up for every process-pool fan-out."""
-    import gc
+#: Environment overrides that must behave identically inside pool workers.
+#: Fork-start platforms inherit the parent environment, but spawn-start
+#: platforms (and any worker respawned after an env change in-process)
+#: would silently drop an override set via ``os.environ`` after launch —
+#: so the pool snapshot is passed explicitly through ``initargs``.
+_POOL_ENV_KEYS = ("REPRO_FAST_PROC", "REPRO_BATCH_PROC", "REPRO_CACHE_DIR")
 
+
+def pool_env() -> dict:
+    """Snapshot the ``REPRO_*`` overrides to ship to pool workers."""
+    import os
+
+    return {k: os.environ[k] for k in _POOL_ENV_KEYS if k in os.environ}
+
+
+def pool_init(env: dict = None) -> None:
+    """One-time per-worker set-up for every process-pool fan-out.
+
+    ``env`` is the parent's :func:`pool_env` snapshot: the listed keys
+    are forced to the parent's values (and *removed* when the parent has
+    them unset), so escape hatches like ``REPRO_BATCH_PROC=0`` behave
+    identically under ``--jobs``/``--fuzz-jobs``.
+    """
+    import gc
+    import os
+
+    if env is not None:
+        for key in _POOL_ENV_KEYS:
+            if key in env:
+                os.environ[key] = env[key]
+            else:
+                os.environ.pop(key, None)
     gc.disable()
     prewarm_pipeline()

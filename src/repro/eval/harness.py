@@ -49,8 +49,9 @@ DEFAULT_POLICIES: Tuple[SpeculationPolicy, ...] = (
     SENTINEL_STORE,
 )
 
-#: Pipeline stages measured per benchmark, in execution order.
-STAGES: Tuple[str, ...] = ("build", "train", "profile", "compile", "estimate")
+#: Pipeline stages measured per benchmark, in execution order.  The
+#: ``simulate`` stage only does work when ``SweepConfig.simulate`` > 0.
+STAGES: Tuple[str, ...] = ("build", "train", "profile", "compile", "estimate", "simulate")
 
 #: Measured serial cost of each benchmark (seconds, order of magnitude only).
 #: Used to order the parallel fan-out longest-first so a big benchmark is
@@ -107,17 +108,18 @@ def _resolve_jobs(jobs: int, n_benchmarks: int) -> int:
     return min(cpus, _MAX_AUTO_JOBS, n_benchmarks)
 
 
-def _pool_init() -> None:
+def _pool_init(env: Optional[dict] = None) -> None:
     """One-time per-worker set-up: gc off + a pipeline warm-up compile.
 
     See :func:`repro.core.parallel.pool_init` — the warm-up keeps
     pass-manager construction and lazy table initialization out of the
     first benchmark's measured stages, so per-stage timings stay
-    comparable between serial and parallel runs.
+    comparable between serial and parallel runs.  ``env`` is the parent's
+    ``REPRO_*`` override snapshot (:func:`repro.core.parallel.pool_env`).
     """
     from ..core.parallel import pool_init
 
-    pool_init()
+    pool_init(env)
 
 
 @dataclass(frozen=True)
@@ -152,6 +154,18 @@ class SweepConfig:
     #: Cache directory override (``None`` = ``$REPRO_CACHE_DIR`` or the
     #: per-user default; see :func:`repro.cache.default_cache_dir`).
     cache_dir: Optional[str] = None
+    #: Cycle-accurate simulation lanes per (policy, issue rate) cell
+    #: (``--simulate N``).  Each lane executes the scheduled code on the
+    #: processor over a deterministically perturbed input image (lane 0 is
+    #: the training image), batched through
+    #: :func:`repro.arch.batchproc.run_batch`.  ``0`` (the default) skips
+    #: the stage entirely; the sweep's cells and CSV are identical either
+    #: way — only ``timings`` and the ``sim_*`` counters change.
+    simulate: int = 0
+    #: Batched executor toggle for the simulate stage (``None`` follows
+    #: ``REPRO_BATCH_PROC``; ``False`` = per-cell execution).  Results are
+    #: bit-identical either way.
+    batch: Optional[bool] = None
 
 
 @dataclass
@@ -194,6 +208,15 @@ class SweepResult:
     worker_pids: Dict[str, int] = field(default_factory=dict)
     #: Worker count the sweep actually ran with (after jobs=0 resolution).
     effective_jobs: int = 1
+    #: Simulation lanes executed / completed without a simulation error,
+    #: summed over every (policy, issue rate) cell.  Zero unless the sweep
+    #: ran with ``simulate > 0``.
+    sim_lanes: int = 0
+    sim_ok: int = 0
+    #: batch-executor observability counters for the simulate stage
+    #: (sharing, lockstep rows, fallbacks); see
+    #: :data:`repro.arch.batchproc.BATCH_COUNTERS`.
+    sim_counters: Dict[str, int] = field(default_factory=dict)
 
     def stage_totals(self) -> Dict[str, float]:
         """Summed per-stage wall seconds across benchmarks.
@@ -261,6 +284,12 @@ class SweepResult:
                 lines.append(f"{stage:<10} {totals[stage]:8.3f}")
             lines.append(f"{'(sum)':<10} {sum(totals.values()):8.3f}")
         lines.append(f"{'wall':<10} {self.wall_seconds:8.3f}")
+        if self.sim_lanes:
+            rate = self.sim_lanes / totals["simulate"] if totals["simulate"] else 0.0
+            lines.append(
+                f"simulated {self.sim_lanes} lanes ({self.sim_ok} clean), "
+                f"{rate:,.0f} cells/sec"
+            )
         steps = self.total_steps()
         interp_seconds = totals["train"] + totals["profile"]
         if steps and interp_seconds > 0:
@@ -343,6 +372,35 @@ class _BenchmarkShard:
     pid: int = 0
     pass_timings: Dict[str, float] = field(default_factory=dict)
     pass_trace: List[Dict[str, object]] = field(default_factory=list)
+    sim_lanes: int = 0
+    sim_ok: int = 0
+    sim_counters: Dict[str, int] = field(default_factory=dict)
+
+
+def _lane_memory(workload, lane: int):
+    """Deterministic input image for one simulation lane.
+
+    Lane 0 is the training image; lane ``k`` nudges every float in the
+    image by a tiny lane-dependent amount.  Floats feed the numeric
+    kernels' arithmetic but not their counted-loop exits, so FP lanes
+    produce different results over *identical* control flow — the shape
+    the lockstep executor vectorizes.  Integer data is left alone (the
+    non-numeric stand-ins branch on it, and diverged lanes would only
+    spill out of lockstep); their lanes are identical images, which the
+    batch executor detects and coalesces into one shared run.  The nudge
+    cannot introduce traps: the workloads contain no division and the
+    generator's inits are finite.
+    """
+    memory = workload.make_memory()
+    if lane == 0:
+        return memory
+    for plan in workload.arrays:
+        for index in range(plan.length):
+            address = plan.base + index
+            value, tag = memory.peek_tagged(address)
+            if isinstance(value, float):
+                memory.poke_tagged(address, value + lane * 2.0**-16, tag)
+    return memory
 
 
 def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
@@ -502,6 +560,14 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     base_cycles = estimate_cycles(base_comp.scheduled, base_profile).total_cycles
     timings["estimate"] += clock() - start
 
+    sim_lanes = 0
+    sim_ok = 0
+    sim_counters: Dict[str, int] = {}
+    if config.simulate:
+        from ..arch.batchproc import counters_snapshot
+
+        counters_before = counters_snapshot()
+
     cells: List[CellResult] = []
     for policy in config.policies:
         for issue_rate in config.issue_rates:
@@ -510,6 +576,31 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
             )
             comp = comp_of(policy, machine)
             profile = profile_of(policy, comp)
+            if config.simulate:
+                # Execute the cell's schedule cycle-accurately over the
+                # lane matrix, batched (lockstep + fallback) unless the
+                # batch executor is disabled.  Runs against this cell's
+                # ``comp`` before the loop compiles the next one, per the
+                # decode-cache invalidation contract.
+                from ..arch.batchproc import BatchCell, run_batch
+                from ..arch.exceptions import ABORT, SimulationError
+
+                start = clock()
+                sim_cells = [
+                    BatchCell(
+                        comp.scheduled,
+                        machine,
+                        _lane_memory(workload, lane),
+                        on_exception=ABORT,
+                    )
+                    for lane in range(config.simulate)
+                ]
+                outs = run_batch(sim_cells, batch=config.batch)
+                sim_lanes += len(outs)
+                sim_ok += sum(
+                    1 for out in outs if not isinstance(out, SimulationError)
+                )
+                timings["simulate"] += clock() - start
             start = clock()
             cycles = estimate_cycles(comp.scheduled, profile).total_cycles
             timings["estimate"] += clock() - start
@@ -533,6 +624,13 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
             if flag not in bundles:
                 cache.put(group_keys[flag], bundle)
         timings["compile"] += clock() - start
+    if config.simulate:
+        after = counters_snapshot()
+        sim_counters = {
+            key: after[key] - counters_before.get(key, 0)
+            for key in after
+            if after[key] != counters_before.get(key, 0)
+        }
     pass_timings: Dict[str, float] = {}
     pass_trace: List[Dict[str, object]] = []
     for group in prepared.values():
@@ -556,6 +654,9 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
         pid=os.getpid(),
         pass_timings=pass_timings,
         pass_trace=pass_trace,
+        sim_lanes=sim_lanes,
+        sim_ok=sim_ok,
+        sim_counters=sim_counters,
     )
 
 
@@ -576,8 +677,12 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
         # next-biggest remaining benchmark, which minimizes the straggler
         # tail.  Chunking larger than 1 would re-introduce head-of-line
         # blocking behind the big early benchmarks.
+        from ..core.parallel import pool_env
+
         ordered = sorted(names, key=lambda n: (-_cost_hint(n), names.index(n)))
-        with ProcessPoolExecutor(max_workers=jobs, initializer=_pool_init) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_pool_init, initargs=(pool_env(),)
+        ) as pool:
             shards = list(
                 pool.map(partial(_evaluate_benchmark, config), ordered, chunksize=1)
             )
@@ -598,5 +703,9 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
             sweep.pass_trace[shard.name] = shard.pass_trace
         sweep.interp_steps[shard.name] = shard.steps
         sweep.worker_pids[shard.name] = shard.pid
+        sweep.sim_lanes += shard.sim_lanes
+        sweep.sim_ok += shard.sim_ok
+        for key, count in shard.sim_counters.items():
+            sweep.sim_counters[key] = sweep.sim_counters.get(key, 0) + count
     sweep.wall_seconds = time.perf_counter() - wall_start
     return sweep

@@ -66,6 +66,10 @@ class CampaignConfig:
     #: back in seed order, so any jobs value yields the identical result
     #: (only wall time differs).
     jobs: int = 1
+    #: Batched cell executor (:mod:`repro.arch.batchproc`).  ``None``
+    #: follows ``REPRO_BATCH_PROC`` (on unless set to ``0``); ``False``
+    #: forces per-cell execution.  Results are bit-identical either way.
+    batch: Optional[bool] = None
 
 
 @dataclass
@@ -84,6 +88,8 @@ class CampaignResult:
     seeds_run: int = 0
     cells_checked: int = 0
     wall_seconds: float = 0.0
+    #: batch-executor observability counters (fallback rate, sharing).
+    batch_counters: Dict[str, int] = field(default_factory=dict)
     coverage: PlanCoverage = field(default_factory=PlanCoverage)
     #: armed traps across all plans (coverage.traps_by_kind totals these).
     planned_traps: int = 0
@@ -95,6 +101,14 @@ class CampaignResult:
     def ok(self) -> bool:
         return not self.findings
 
+    @property
+    def seeds_per_second(self) -> float:
+        return self.seeds_run / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.cells_checked / self.wall_seconds if self.wall_seconds else 0.0
+
     def render_summary(self) -> str:
         cfg = self.config
         lines = [
@@ -102,7 +116,9 @@ class CampaignResult:
             f"  seeds           {self.seeds_run} (base {cfg.base_seed})",
             f"  cells checked   {self.cells_checked} "
             f"({len(cfg.policies)} policies x rates {','.join(map(str, cfg.rates))})",
-            f"  wall time       {self.wall_seconds:.1f}s",
+            f"  wall time       {self.wall_seconds:.1f}s "
+            f"({self.seeds_per_second:.1f} seeds/s, "
+            f"{self.cells_per_second:.1f} cells/s)",
             f"  planned traps   {self.planned_traps} "
             f"({self.benign_seeds} benign seeds)",
         ]
@@ -113,6 +129,17 @@ class CampaignResult:
             f"skipped={self.coverage.guarded_skipped} "
             f"unguarded={self.coverage.unguarded}"
         )
+        bc = self.batch_counters
+        if bc.get("cells_total"):
+            total = bc["cells_total"]
+            shared = bc.get("cells_shared", 0)
+            forked = bc.get("cells_forked", 0)
+            fallback = bc.get("cells_fallback", 0)
+            lines.append(
+                f"  batch executor  {total} proc cells: {shared} shared, "
+                f"{forked} forked, {fallback} fallback "
+                f"({100.0 * fallback / total:.1f}%)"
+            )
         if self.failures_by_category:
             lines.append(f"  FAILING SEEDS   {len(self.findings)}")
             for category in sorted(self.failures_by_category):
@@ -139,6 +166,7 @@ def run_case_for_seed(
         policies=config.policies,
         rates=config.rates,
         program=program,
+        batch=config.batch,
     )
     return spec, plan, result
 
@@ -174,11 +202,26 @@ def _run_seed(out: CampaignResult, seed: int, config: CampaignConfig) -> None:
         out.findings.append(finding)
 
 
+def _counters_delta(before: Dict[str, int]) -> Dict[str, int]:
+    from ..arch import batchproc
+
+    after = batchproc.counters_snapshot()
+    return {
+        key: after[key] - before.get(key, 0)
+        for key in after
+        if after[key] != before.get(key, 0)
+    }
+
+
 def _campaign_shard(config: CampaignConfig, seeds: Sequence[int]) -> CampaignResult:
     """Worker entry: run a subset of seeds serially, return the partial."""
+    from ..arch import batchproc
+
+    before = batchproc.counters_snapshot()
     out = CampaignResult(config=config)
     for seed in seeds:
         _run_seed(out, seed, config)
+    out.batch_counters = _counters_delta(before)
     return out
 
 
@@ -191,6 +234,8 @@ def _merge_shard(total: CampaignResult, shard: CampaignResult) -> None:
     """
     total.seeds_run += shard.seeds_run
     total.cells_checked += shard.cells_checked
+    for key, count in shard.batch_counters.items():
+        total.batch_counters[key] = total.batch_counters.get(key, 0) + count
     total.coverage.merge(shard.coverage)
     total.planned_traps += shard.planned_traps
     total.benign_seeds += shard.benign_seeds
@@ -238,11 +283,13 @@ def run_campaign(
     jobs = _resolve_jobs(config.jobs, len(seeds))
     out = CampaignResult(config=config)
     if jobs > 1 and len(seeds) > 1:
-        from ..core.parallel import pool_init
+        from ..core.parallel import pool_env, pool_init
 
         shards = [seeds[k::jobs] for k in range(jobs)]
         worker = partial(_campaign_shard, replace(config, jobs=1))
-        with ProcessPoolExecutor(max_workers=jobs, initializer=pool_init) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=pool_init, initargs=(pool_env(),)
+        ) as pool:
             for shard_result in pool.map(worker, shards):
                 _merge_shard(out, shard_result)
                 if progress is not None:
@@ -251,9 +298,13 @@ def run_campaign(
         out.findings.sort(key=lambda finding: finding.seed)
         out.failures_by_category = dict(sorted(out.failures_by_category.items()))
     else:
+        from ..arch import batchproc
+
+        before = batchproc.counters_snapshot()
         for seed in seeds:
             _run_seed(out, seed, config)
             if progress is not None:
                 progress(seed, out)
+        out.batch_counters = _counters_delta(before)
     out.wall_seconds = time.perf_counter() - start
     return out

@@ -32,10 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..arch.batchproc import BatchCell, batch_default, run_batch
 from ..arch.exceptions import ABORT, RECORD, RECOVER, REPAIR, SimulationError
-from ..arch.processor import run_scheduled
 from ..cfg.basic_block import to_basic_blocks
 from ..deps.reduction import SENTINEL, SENTINEL_STORE
+from ..interp.batch import run_interp_pairs
 from ..interp.interpreter import run_program
 from ..interp.state import diff_observables, observable_of
 from ..machine.description import paper_machine
@@ -388,8 +389,18 @@ def check_case(
     policies: Sequence[str] = POLICIES,
     rates: Sequence[int] = ISSUE_RATES,
     program: Optional[FuzzProgram] = None,
+    batch: Optional[bool] = None,
 ) -> CaseResult:
-    """Run every (policy, rate) cell of one (program, plan) and report."""
+    """Run every (policy, rate) cell of one (program, plan) and report.
+
+    ``batch`` selects the batched executor (:mod:`repro.arch.batchproc`)
+    for the per-cell simulations — cross-policy coalescing and shared
+    exception-free interpreter runs.  The default follows
+    ``REPRO_BATCH_PROC``; results are bit-identical either way (the
+    batch differential suite pins this).
+    """
+    if batch is None:
+        batch = batch_default()
     model = model if model is not None else model_for_seed(spec.seed)
     result = CaseResult(spec=spec, plan=plan, model=model)
 
@@ -408,30 +419,34 @@ def check_case(
     events = expected_exception_events(fuzzprog, plan, memory)
 
     # Interpreter-level cells: one strict diff per distinct interp policy.
+    # Exception-free runs are shared across policies (policy invariance);
+    # the strict diff is deduplicated by result-object identity.
+    interp_policies: List[str] = []
+    for policy in policies:
+        interp = interp_policy_for(policy)
+        if interp not in interp_policies:
+            interp_policies.append(interp)
+    pairs = run_interp_pairs(workload.program, memory, interp_policies, batch=batch)
     refs: Dict[str, object] = {}
+    diffed: Dict[int, List[str]] = {}
     for policy in policies:
         interp = interp_policy_for(policy)
         if interp in refs:
             continue
         result.cells += 1
-        try:
-            ref = run_program(
-                workload.program,
-                memory=memory.clone(),
-                on_exception=interp,
-                reference=True,
-            )
-            fast = run_program(
-                workload.program, memory=memory.clone(), on_exception=interp
-            )
-        except SimulationError as exc:
+        pair = pairs[interp]
+        if isinstance(pair, SimulationError):
             result.failures.append(
-                CellFailure(policy, None, "crash-interp", [str(exc)])
+                CellFailure(policy, None, "crash-interp", [str(pair)])
             )
             continue
+        ref, fast = pair
         refs[interp] = ref
         result.ref_exceptions[interp] = len(ref.exceptions)
-        problems = diff_interpreters(ref, fast)
+        key = id(ref)
+        if key not in diffed:
+            diffed[key] = diff_interpreters(ref, fast)
+        problems = diffed[key]
         if problems:
             result.failures.append(
                 CellFailure(policy, None, "interp-diff", problems)
@@ -492,6 +507,11 @@ def check_case(
                     )
                 )
                 continue
+            # All cells of the (rate, recovery) batch go through the batch
+            # executor at once: equal-memory cells differing only in
+            # policy coalesce into one run (forked at the first signal).
+            batch_cells: List[BatchCell] = []
+            batch_meta: List[tuple] = []
             for policy in policies:
                 proc_policy = processor_policy_for(policy)
                 if (proc_policy == RECOVER) != recovery:
@@ -500,16 +520,20 @@ def check_case(
                 ref = refs.get(interp_policy_for(policy))
                 if ref is None:
                     continue  # interpreter cell crashed; already reported
-                try:
-                    out = run_scheduled(
+                batch_cells.append(
+                    BatchCell(
                         comp.scheduled,
                         machine,
-                        memory=memory.clone(),
+                        memory.clone(),
                         on_exception=proc_policy,
                     )
-                except SimulationError as exc:
+                )
+                batch_meta.append((policy, proc_policy, ref))
+            outs = run_batch(batch_cells, batch=batch)
+            for (policy, proc_policy, ref), out in zip(batch_meta, outs):
+                if isinstance(out, SimulationError):
                     result.failures.append(
-                        CellFailure(policy, rate, "crash-sched", [str(exc)])
+                        CellFailure(policy, rate, "crash-sched", [str(out)])
                     )
                     continue
                 problems = check_scheduled_cell(ref, out, policy, events=events)
@@ -526,11 +550,14 @@ def check_cell(
     policy: str,
     issue_rate: Optional[int],
     model: str,
+    batch: Optional[bool] = None,
 ) -> Optional[CellFailure]:
     """Re-run one cell (the minimizer's probe).  ``issue_rate=None`` checks
     only the interpreter level."""
     rates: Sequence[int] = () if issue_rate is None else (issue_rate,)
-    result = check_case(spec, plan, model=model, policies=(policy,), rates=rates)
+    result = check_case(
+        spec, plan, model=model, policies=(policy,), rates=rates, batch=batch
+    )
     for failure in result.failures:
         if failure.issue_rate == issue_rate or failure.issue_rate is None:
             return failure

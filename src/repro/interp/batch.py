@@ -1,0 +1,66 @@
+"""Optimistic cross-policy sharing for interpreter cells.
+
+The interpreters consult ``on_exception`` only when a trap is signalled
+(:class:`~repro.interp.interpreter.Interpreter` dispatches the policy
+inside its ``Trap`` branch and nowhere else), so a run that signals *no*
+exceptions is bit-identical under every policy — the policy-invariance
+property the batch executor's differential suite pins.  The fuzz oracle
+runs one (reference, fastpath) pair per distinct interpreter policy of a
+cell; this helper runs the first policy as a *probe* and shares its
+result objects with the remaining policies whenever the probe was
+exception-free, eliminating redundant full re-executions for the ~30%
+of campaign seeds whose armed input never reaches a fault.
+
+No engine changes are involved: the decision is keyed on the *observed*
+exception list of the completed probe run, never on planner predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..arch.exceptions import SimulationError
+from .interpreter import run_program
+
+__all__ = ["run_interp_pairs"]
+
+
+def run_interp_pairs(
+    program,
+    memory,
+    policies: Sequence[str],
+    batch: bool = True,
+) -> Dict[str, object]:
+    """Run (reference, fastpath) interpreter pairs for each policy.
+
+    Returns ``{policy: (ref_result, fast_result)}`` — entries may *share*
+    result objects across policies when sharing is provably exact (the
+    probe signalled no exceptions).  A :class:`SimulationError` from
+    either engine is stored as the entry instead of a pair, mirroring
+    what a per-policy run would have raised.  ``memory`` is cloned per
+    actual execution, exactly like the unshared path.
+
+    ``batch=False`` disables sharing: every policy runs its own pair.
+    """
+    results: Dict[str, object] = {}
+    share: Tuple[object, object] = None
+    for policy in policies:
+        if policy in results:
+            continue
+        if share is not None:
+            results[policy] = share
+            continue
+        try:
+            ref = run_program(
+                program, memory=memory.clone(), on_exception=policy, reference=True
+            )
+            fast = run_program(program, memory=memory.clone(), on_exception=policy)
+        except SimulationError as exc:
+            results[policy] = exc
+            continue
+        results[policy] = (ref, fast)
+        if batch and not ref.exceptions and not fast.exceptions:
+            # Exception-free run: the engines never consulted the
+            # policy, so every remaining policy's run is this run.
+            share = (ref, fast)
+    return results

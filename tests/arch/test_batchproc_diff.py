@@ -1,0 +1,198 @@
+"""Differential suite: the batch executor vs per-cell ``FastProcessor``.
+
+:func:`repro.arch.batchproc.run_batch` (coalescing + numpy lockstep) must
+be *bit-identical* to running every cell through the single-cell engine:
+same raised errors, exception sequences, registers, memory words,
+faulting sets, cycle/stall counters, buffer commits/cancellations and
+I/O events.  There are no tolerances and no oracle relaxations here.
+
+Cells come from the same two sources as the fastproc suite:
+
+- the workload matrix (suite × policies × issue rates), run in lockstep
+  over per-lane *perturbed* memories (distinct contents, shared mapping —
+  the shape the columnar engine vectorizes), and
+- the committed fuzz corpus (minimized fault-injection reproducers),
+  whose injected traps force heavy mid-word spilling.
+"""
+
+import pathlib
+from functools import lru_cache
+
+import pytest
+
+from repro.arch.batchproc import BatchCell, run_batch, run_lockstep
+from repro.arch.exceptions import ABORT, RECORD, RECOVER, SimulationError
+from repro.arch.fastproc import FastProcessor
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.fuzz.minimize import FuzzCase
+from repro.fuzz.oracle import MODELS, UNROLL, processor_policy_for
+from repro.fuzz.planner import build_memory
+from repro.fuzz.programs import build_fuzz_program
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+from repro.workloads.suites import ALL_NAMES, build_workload
+
+RATES = (2, 8)
+POLICIES = (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE)
+PROC_POLICIES = (ABORT, RECORD, RECOVER)
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "fuzz" / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+pytest.importorskip("numpy")
+
+
+def observable(out, memory):
+    """Everything a program (or its OS) can see after a run."""
+    state = dict(vars(out))
+    state.pop("memory")
+    state["memory_words"] = memory.snapshot()
+    state["memory_faulting"] = memory.faulting_addresses()
+    return state
+
+
+def serial_obs(scheduled, machine, memory, policy):
+    try:
+        out = FastProcessor(
+            scheduled, machine, memory=memory, on_exception=policy
+        ).run()
+    except SimulationError as exc:
+        return {
+            "raised": f"{type(exc).__name__}: {exc}",
+            "memory_words": memory.snapshot(),
+            "memory_faulting": memory.faulting_addresses(),
+        }
+    return observable(out, memory)
+
+
+def batch_obs(result, memory):
+    if isinstance(result, SimulationError):
+        return {
+            "raised": f"{type(result).__name__}: {result}",
+            "memory_words": memory.snapshot(),
+            "memory_faulting": memory.faulting_addresses(),
+        }
+    return observable(result, memory)
+
+
+def perturb(memory, lane):
+    """Distinct-but-mapping-compatible input image for one lane."""
+    lo, hi = memory.segments[0]
+    memory.poke(hi - 1 - (lane % 16), lane * 7 + 1)
+    if lane % 3 == 1:
+        memory.poke(lo + (lane % 8), -lane)
+    return memory
+
+
+def assert_batch_agrees(scheduled, machine, make_memory, width, lockstep=True):
+    refs = [
+        serial_obs(
+            scheduled,
+            machine,
+            perturb(make_memory(), lane),
+            PROC_POLICIES[lane % 3],
+        )
+        for lane in range(width)
+    ]
+    memories = [perturb(make_memory(), lane) for lane in range(width)]
+    cells = [
+        BatchCell(
+            scheduled, machine, memories[lane], on_exception=PROC_POLICIES[lane % 3]
+        )
+        for lane in range(width)
+    ]
+    if lockstep:
+        outs = run_lockstep(scheduled, machine, cells)
+    else:
+        outs = run_batch(cells)
+    assert len(outs) == width
+    for lane in range(width):
+        assert batch_obs(outs[lane], memories[lane]) == refs[lane], (
+            f"lane {lane} diverged from per-cell FastProcessor"
+        )
+
+
+@lru_cache(maxsize=None)
+def _workload_inputs(name):
+    workload = build_workload(name, scale=0.2)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    assert training.halted
+    return workload, basic, training.profile
+
+
+class TestWorkloadMatrix:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_lockstep_policies_rates(self, name):
+        workload, basic, profile = _workload_inputs(name)
+        for policy in POLICIES:
+            prepared = prepare_compilation(basic, profile, policy, unroll_factor=2)
+            for rate in RATES:
+                machine = paper_machine(rate)
+                comp = schedule_prepared(prepared, machine, policy=policy)
+                assert_batch_agrees(
+                    comp.scheduled, machine, workload.make_memory, width=6
+                )
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+    def test_corpus_case_batched(self, path):
+        """Fault-injection reproducers: injected traps hit every lane, so
+        these pin the spill/resume path (mid-word FastProcessor handoff)."""
+        case = FuzzCase.loads(path.read_text())
+        fuzzprog = build_fuzz_program(case.spec)
+        memory = build_memory(fuzzprog, case.plan)
+        basic = to_basic_blocks(fuzzprog.workload.program)
+        training = run_program(basic, memory=fuzzprog.workload.make_memory())
+        assert training.halted
+        proc_policy = processor_policy_for(case.policy)
+        prepared = prepare_compilation(
+            basic,
+            training.profile,
+            MODELS[case.model],
+            recovery=proc_policy == RECOVER,
+            unroll_factor=UNROLL,
+        )
+        for rate in (1, 4):
+            machine = paper_machine(rate)
+            comp = schedule_prepared(prepared, machine)
+            assert_batch_agrees(comp.scheduled, machine, memory.clone, width=5)
+
+
+class TestCoalescing:
+    def test_identical_memories_share_or_fork(self):
+        """Equal-content cells differing only in policy coalesce into one
+        host run (+ policy forks at the first signal) with identical
+        observables."""
+        path = CORPUS_FILES[0]
+        case = FuzzCase.loads(path.read_text())
+        fuzzprog = build_fuzz_program(case.spec)
+        memory = build_memory(fuzzprog, case.plan)
+        basic = to_basic_blocks(fuzzprog.workload.program)
+        training = run_program(basic, memory=fuzzprog.workload.make_memory())
+        prepared = prepare_compilation(
+            basic, training.profile, MODELS[case.model], unroll_factor=UNROLL
+        )
+        machine = paper_machine(4)
+        comp = schedule_prepared(prepared, machine)
+        refs = [
+            serial_obs(comp.scheduled, machine, memory.clone(), policy)
+            for policy in PROC_POLICIES
+        ]
+        memories = [memory.clone() for _ in PROC_POLICIES]
+        cells = [
+            BatchCell(comp.scheduled, machine, mem, on_exception=policy)
+            for mem, policy in zip(memories, PROC_POLICIES)
+        ]
+        outs = run_batch(cells)
+        for k, policy in enumerate(PROC_POLICIES):
+            got = batch_obs(outs[k], memories[k])
+            # Coalesced results may share the host's memory object; the
+            # comparison must therefore use the *host* memory for shared
+            # entries — observable() already reads outs[k].memory when the
+            # run succeeded, so compare against that instead.
+            if not isinstance(outs[k], SimulationError):
+                got = observable(outs[k], outs[k].memory)
+            assert got == refs[k], f"policy {policy} diverged under coalescing"

@@ -1,0 +1,229 @@
+"""Batch-width edge cases for the lockstep executor.
+
+The corners that historically break vectorized engines: degenerate
+width 1, widths that are not powers of two, a step where *every* lane
+faults simultaneously, inexpressible cells mixed into an otherwise
+batchable set, and the empty batch.  Everything is pinned byte-for-byte
+against the per-cell engine.
+"""
+
+import pytest
+
+from repro.arch.batchproc import (
+    BATCH_COUNTERS,
+    BatchCell,
+    counters_snapshot,
+    reset_counters,
+    run_batch,
+    run_lockstep,
+)
+from repro.arch.exceptions import ABORT, RECORD, RECOVER, SimulationError
+from repro.arch.fastproc import FastProcessor
+from repro.isa.registers import R
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import SENTINEL
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+from repro.workloads.suites import build_workload
+
+pytest.importorskip("numpy")
+
+PROC_POLICIES = (ABORT, RECORD, RECOVER)
+
+
+def observable(out, memory):
+    state = dict(vars(out))
+    state.pop("memory")
+    state["memory_words"] = memory.snapshot()
+    state["memory_faulting"] = memory.faulting_addresses()
+    return state
+
+
+def obs_of(result, memory):
+    if isinstance(result, SimulationError):
+        return {
+            "raised": f"{type(result).__name__}: {result}",
+            "memory_words": memory.snapshot(),
+            "memory_faulting": memory.faulting_addresses(),
+        }
+    return observable(result, memory)
+
+
+@pytest.fixture(scope="module")
+def cell_kit():
+    """One compiled sentinel workload everything in this file reuses."""
+    workload = build_workload("cmp", scale=0.1)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory())
+    assert training.halted
+    prepared = prepare_compilation(
+        basic, training.profile, SENTINEL, unroll_factor=2
+    )
+    machine = paper_machine(4)
+    comp = schedule_prepared(prepared, machine, policy=SENTINEL)
+    return workload, machine, comp.scheduled
+
+
+def perturbed(workload, lane):
+    memory = workload.make_memory()
+    lo, hi = memory.segments[0]
+    memory.poke(hi - 1 - lane, lane + 1)
+    if lane:
+        memory.poke(lo + lane, lane * 3)
+    return memory
+
+
+def serial_ref(scheduled, machine, memory, policy=ABORT):
+    try:
+        out = FastProcessor(
+            scheduled, machine, memory=memory, on_exception=policy
+        ).run()
+    except SimulationError as exc:
+        return obs_of(exc, memory)
+    return observable(out, memory)
+
+
+def test_width_one_equals_fastproc(cell_kit):
+    """A lockstep batch of one cell is byte-for-byte the scalar engine."""
+    workload, machine, scheduled = cell_kit
+    ref = serial_ref(scheduled, machine, perturbed(workload, 0))
+    memory = perturbed(workload, 0)
+    (out,) = run_lockstep(
+        scheduled, machine, [BatchCell(scheduled, machine, memory)]
+    )
+    assert obs_of(out, memory) == ref
+
+
+@pytest.mark.parametrize("width", (3, 7, 13))
+def test_ragged_widths(cell_kit, width):
+    """Widths with no round structure: results aligned and identical."""
+    workload, machine, scheduled = cell_kit
+    refs = [
+        serial_ref(
+            scheduled, machine, perturbed(workload, k), PROC_POLICIES[k % 3]
+        )
+        for k in range(width)
+    ]
+    memories = [perturbed(workload, k) for k in range(width)]
+    outs = run_batch(
+        [
+            BatchCell(
+                scheduled, machine, memories[k], on_exception=PROC_POLICIES[k % 3]
+            )
+            for k in range(width)
+        ]
+    )
+    assert len(outs) == width
+    for k in range(width):
+        got = obs_of(outs[k], memories[k])
+        if not isinstance(outs[k], SimulationError):
+            got = observable(outs[k], outs[k].memory)
+        assert got == refs[k]
+
+
+def test_all_cells_fault_same_step(cell_kit):
+    """Every lane faults at the same load: the whole batch spills at one
+    slot and each resumed engine signals under its own policy."""
+    workload, machine, scheduled = cell_kit
+
+    def faulted(lane):
+        memory = perturbed(workload, lane)
+        # Fault the first data word every lane reads.
+        target = workload.arrays[0].base
+        memory.inject_page_fault(target)
+        return memory
+
+    width = 5
+    refs = [
+        serial_ref(scheduled, machine, faulted(k), PROC_POLICIES[k % 3])
+        for k in range(width)
+    ]
+    memories = [faulted(k) for k in range(width)]
+    cells = [
+        BatchCell(
+            scheduled, machine, memories[k], on_exception=PROC_POLICIES[k % 3]
+        )
+        for k in range(width)
+    ]
+    outs = run_lockstep(scheduled, machine, cells)
+    for k in range(width):
+        assert obs_of(outs[k], memories[k]) == refs[k]
+
+
+def test_inexpressible_cell_falls_back_mid_batch(cell_kit):
+    """A cell the lockstep engine cannot express (initial register file)
+    runs per-cell; its neighbours still batch, and order is preserved."""
+    workload, machine, scheduled = cell_kit
+    width = 4
+    init_regs = {R(1): 17}
+    refs = []
+    for k in range(width):
+        kwargs = {"init_regs": init_regs} if k == 2 else {}
+        try:
+            out = FastProcessor(
+                scheduled, machine, memory=perturbed(workload, k), **kwargs
+            ).run()
+            refs.append(observable(out, out.memory))
+        except SimulationError as exc:
+            refs.append(f"{type(exc).__name__}: {exc}")
+    memories = [perturbed(workload, k) for k in range(width)]
+    reset_counters()
+    outs = run_batch(
+        [
+            BatchCell(
+                scheduled,
+                machine,
+                memories[k],
+                init_regs=init_regs if k == 2 else None,
+            )
+            for k in range(width)
+        ]
+    )
+    counters = counters_snapshot()
+    assert counters.get("cells_fallback") == 1
+    assert counters.get("cells_lockstep", 0) == 3
+    for k in range(width):
+        got = obs_of(outs[k], memories[k])
+        if not isinstance(outs[k], SimulationError):
+            got = observable(outs[k], outs[k].memory)
+        assert got == refs[k]
+
+
+def test_empty_cell_set():
+    assert run_batch([]) == []
+
+
+def test_batch_false_is_per_cell(cell_kit):
+    """The escape hatch: ``batch=False`` degrades to per-cell execution
+    with identical observables."""
+    workload, machine, scheduled = cell_kit
+    width = 4
+    refs = [
+        serial_ref(scheduled, machine, perturbed(workload, k)) for k in range(width)
+    ]
+    memories = [perturbed(workload, k) for k in range(width)]
+    reset_counters()
+    outs = run_batch(
+        [BatchCell(scheduled, machine, memories[k]) for k in range(width)],
+        batch=False,
+    )
+    assert counters_snapshot().get("cells_fallback") == width
+    assert "cells_lockstep" not in BATCH_COUNTERS
+    for k in range(width):
+        assert obs_of(outs[k], memories[k]) == refs[k]
+
+
+def test_env_escape_hatch(cell_kit, monkeypatch):
+    """``REPRO_BATCH_PROC=0`` forces the per-cell path by default."""
+    monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+    workload, machine, scheduled = cell_kit
+    memories = [perturbed(workload, k) for k in range(3)]
+    reset_counters()
+    outs = run_batch([BatchCell(scheduled, machine, m) for m in memories])
+    assert counters_snapshot().get("cells_fallback") == 3
+    refs = [
+        serial_ref(scheduled, machine, perturbed(workload, k)) for k in range(3)
+    ]
+    for k in range(3):
+        assert obs_of(outs[k], memories[k]) == refs[k]

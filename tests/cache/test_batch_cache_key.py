@@ -1,0 +1,60 @@
+"""The batch executor must be invisible to the compile cache.
+
+Batching happens strictly *after* scheduling, on decoded programs, so the
+executor choice (batched vs per-cell, ``--no-batch-proc``,
+``REPRO_BATCH_PROC=0``) must not perturb cache keys: a cache populated by
+a batched sweep serves a per-cell sweep at 100% hit rate, and vice versa
+— with byte-identical results either way.
+"""
+
+import dataclasses
+
+from repro.eval.harness import SweepConfig, run_sweep
+
+TINY = SweepConfig(
+    benchmarks=("wc", "cmp"),
+    issue_rates=(2, 8),
+    scale=0.5,
+    simulate=2,
+)
+
+
+def _sweep(tmp_path, **overrides):
+    return run_sweep(
+        dataclasses.replace(
+            TINY, compile_cache=True, cache_dir=str(tmp_path), **overrides
+        )
+    )
+
+
+def _entries(tmp_path):
+    return {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.pkl")}
+
+
+class TestExecutorInvariantKeys:
+    def test_batched_cache_serves_per_cell_sweep(self, tmp_path):
+        batched = _sweep(tmp_path, batch=True)
+        populated = _entries(tmp_path)
+        assert populated, "cold sweep must populate the cache"
+        per_cell = _sweep(tmp_path, batch=False)
+        # Same key set, nothing recompiled or rewritten ...
+        assert _entries(tmp_path) == populated
+        # ... and identical published numbers.
+        assert per_cell.to_csv() == batched.to_csv()
+
+    def test_per_cell_cache_serves_batched_sweep(self, tmp_path):
+        per_cell = _sweep(tmp_path, batch=False)
+        populated = _entries(tmp_path)
+        assert populated
+        batched = _sweep(tmp_path, batch=True)
+        assert _entries(tmp_path) == populated
+        assert batched.to_csv() == per_cell.to_csv()
+
+    def test_env_hatch_does_not_touch_keys(self, tmp_path, monkeypatch):
+        _sweep(tmp_path)  # batch=None: follows the environment (on)
+        populated = _entries(tmp_path)
+        monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+        hatch = _sweep(tmp_path)
+        assert _entries(tmp_path) == populated
+        monkeypatch.delenv("REPRO_BATCH_PROC")
+        assert hatch.to_csv() == _sweep(tmp_path).to_csv()

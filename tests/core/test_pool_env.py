@@ -1,0 +1,72 @@
+"""Regression: pool workers must inherit the ``REPRO_*`` escape hatches.
+
+``--no-fast-proc`` / ``--no-batch-proc`` set environment knobs *after*
+process start; a spawn-start worker (or one forked before the flag was
+applied) would silently ignore them.  ``pool_env()``/``pool_init(env)``
+ship the parent's snapshot explicitly through ``initargs`` — these tests
+pin that round trip, including the removal of keys the parent unset.
+"""
+
+import gc
+import os
+
+import pytest
+
+from repro.core.parallel import _POOL_ENV_KEYS, pool_env, pool_init
+
+
+@pytest.fixture(autouse=True)
+def _restore_gc():
+    yield
+    gc.enable()  # pool_init disables collection; undo for the test process
+
+
+class TestPoolEnv:
+    def test_snapshot_contains_only_set_keys(self, monkeypatch):
+        for key in _POOL_ENV_KEYS:
+            monkeypatch.delenv(key, raising=False)
+        monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+        assert pool_env() == {"REPRO_BATCH_PROC": "0"}
+
+    def test_all_keys_covered(self, monkeypatch):
+        assert "REPRO_FAST_PROC" in _POOL_ENV_KEYS
+        assert "REPRO_BATCH_PROC" in _POOL_ENV_KEYS
+        assert "REPRO_CACHE_DIR" in _POOL_ENV_KEYS
+        for key in _POOL_ENV_KEYS:
+            monkeypatch.setenv(key, "sentinel-value")
+        snap = pool_env()
+        assert all(snap[key] == "sentinel-value" for key in _POOL_ENV_KEYS)
+
+
+class TestPoolInit:
+    def test_sets_parent_values(self, monkeypatch):
+        for key in _POOL_ENV_KEYS:
+            monkeypatch.delenv(key, raising=False)
+        pool_init({"REPRO_FAST_PROC": "0", "REPRO_BATCH_PROC": "0"})
+        assert os.environ["REPRO_FAST_PROC"] == "0"
+        assert os.environ["REPRO_BATCH_PROC"] == "0"
+        assert "REPRO_CACHE_DIR" not in os.environ
+
+    def test_removes_keys_parent_unset(self, monkeypatch):
+        """A worker recycled across pools must not keep a stale override."""
+        monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/stale")
+        pool_init({})
+        for key in _POOL_ENV_KEYS:
+            assert key not in os.environ
+
+    def test_none_env_leaves_environment_alone(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+        pool_init(None)
+        assert os.environ["REPRO_BATCH_PROC"] == "0"
+
+    def test_batch_default_follows_shipped_env(self, monkeypatch):
+        """End-to-end: the knob pool_init applies is the one
+        batch_default() consults, so workers honor --no-batch-proc."""
+        from repro.arch.batchproc import batch_default
+
+        monkeypatch.delenv("REPRO_BATCH_PROC", raising=False)
+        pool_init({"REPRO_BATCH_PROC": "0"})
+        assert batch_default() is False
+        pool_init({})
+        assert batch_default() is True

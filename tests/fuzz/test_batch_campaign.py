@@ -1,0 +1,74 @@
+"""The fuzz campaign under the batch executor vs per-cell execution.
+
+The batch executor is the campaign's default inner loop; these tests pin
+that its results (verdicts, coverage, failure sets) are *identical* to
+per-cell execution — only wall time and the observability counters may
+differ — and that the throughput metrics in the summary are wired up.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+pytest.importorskip("numpy")
+
+SMALL = CampaignConfig(seeds=12, minimize=False, jobs=1)
+
+
+def _digest(result):
+    """Everything a campaign publishes, minus wall time and counters."""
+    return {
+        "seeds_run": result.seeds_run,
+        "cells_checked": result.cells_checked,
+        "planned_traps": result.planned_traps,
+        "benign_seeds": result.benign_seeds,
+        "traps_by_kind": dict(result.coverage.traps_by_kind),
+        "guarded": (
+            result.coverage.guarded_executed,
+            result.coverage.guarded_skipped,
+            result.coverage.unguarded,
+        ),
+        "failures_by_category": dict(result.failures_by_category),
+        "findings": [
+            (f.seed, f.model, f.categories) for f in result.findings
+        ],
+    }
+
+
+class TestBatchEquivalence:
+    def test_batch_and_per_cell_agree(self):
+        batched = run_campaign(dataclasses.replace(SMALL, batch=True))
+        per_cell = run_campaign(dataclasses.replace(SMALL, batch=False))
+        assert _digest(batched) == _digest(per_cell)
+
+    def test_env_hatch_matches_config_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_PROC", "0")
+        via_env = run_campaign(SMALL)  # batch=None follows the environment
+        monkeypatch.delenv("REPRO_BATCH_PROC")
+        via_config = run_campaign(dataclasses.replace(SMALL, batch=False))
+        assert _digest(via_env) == _digest(via_config)
+        # Per-cell runs never enter the batched paths.
+        assert "cells_coalesced" not in via_env.batch_counters
+        assert "cells_lockstep" not in via_env.batch_counters
+
+
+class TestThroughputMetrics:
+    def test_counters_and_rates_populated(self):
+        result = run_campaign(dataclasses.replace(SMALL, batch=True))
+        assert result.batch_counters.get("cells_total", 0) > 0
+        assert result.seeds_per_second > 0
+        assert result.cells_per_second > result.seeds_per_second
+        summary = result.render_summary()
+        assert "seeds/s" in summary and "cells/s" in summary
+        assert "batch executor" in summary
+
+    def test_fallback_rate_is_low_on_campaign_cells(self):
+        """Campaign cells share schedules and memories by construction;
+        the batch executor must express (nearly) all of them."""
+        result = run_campaign(dataclasses.replace(SMALL, batch=True))
+        total = result.batch_counters.get("cells_total", 0)
+        fallback = result.batch_counters.get("cells_fallback", 0)
+        assert total > 0
+        assert fallback / total < 0.10

@@ -1,0 +1,67 @@
+"""Optimistic cross-policy sharing for interpreter (reference, fast) pairs.
+
+:func:`repro.interp.batch.run_interp_pairs` may share one probe run's
+results across policies only when the probe signalled no exceptions —
+the policy-invariance property.  These tests pin both directions: exact
+sharing on clean runs, and no sharing (per-policy execution, identical
+to the unshared path) the moment any exception fires.
+"""
+
+from repro.arch.exceptions import ABORT, RECORD, REPAIR
+from repro.fuzz.planner import build_memory, plan_injections
+from repro.fuzz.programs import build_fuzz_program
+from repro.interp.batch import run_interp_pairs
+from repro.interp.interpreter import run_program
+from repro.interp.state import observable_of
+
+POLICIES = (ABORT, REPAIR, RECORD)
+
+
+def _case(seed):
+    from repro.fuzz.campaign import PLAN_SALT, spec_for_seed
+
+    spec = spec_for_seed(seed)
+    program = build_fuzz_program(spec)
+    plan = plan_injections(program, seed ^ PLAN_SALT)
+    memory = build_memory(program, plan)
+    return program.workload.program, memory, plan
+
+
+def _find_seed(want_exceptions):
+    for seed in range(60):
+        program, memory, plan = _case(seed)
+        probe = run_program(program, memory=memory.clone(), on_exception=ABORT)
+        if bool(probe.exceptions) == want_exceptions:
+            return program, memory
+    raise AssertionError("no seed with the requested exception profile")
+
+
+class TestSharing:
+    def test_clean_run_shares_objects(self):
+        program, memory = _find_seed(want_exceptions=False)
+        pairs = run_interp_pairs(program, memory, POLICIES, batch=True)
+        ref0, fast0 = pairs[POLICIES[0]]
+        for policy in POLICIES[1:]:
+            assert pairs[policy] == (ref0, fast0)
+            assert pairs[policy][0] is ref0  # shared, not re-run
+
+    def test_excepting_run_never_shares(self):
+        program, memory = _find_seed(want_exceptions=True)
+        pairs = run_interp_pairs(program, memory, POLICIES, batch=True)
+        unshared = run_interp_pairs(program, memory, POLICIES, batch=False)
+        for policy in POLICIES:
+            got, want = pairs[policy], unshared[policy]
+            assert observable_of(got[0]) == observable_of(want[0])
+            assert observable_of(got[1]) == observable_of(want[1])
+        # Distinct objects per policy: the probe excepted, sharing is off.
+        assert pairs[POLICIES[0]][0] is not pairs[POLICIES[1]][0]
+
+    def test_shared_equals_unshared_observables(self):
+        for seed in range(8):
+            program, memory, _ = _case(seed)
+            shared = run_interp_pairs(program, memory, POLICIES, batch=True)
+            plain = run_interp_pairs(program, memory, POLICIES, batch=False)
+            for policy in POLICIES:
+                a, b = shared[policy], plain[policy]
+                assert observable_of(a[0]) == observable_of(b[0])
+                assert observable_of(a[1]) == observable_of(b[1])
