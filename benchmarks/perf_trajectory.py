@@ -373,6 +373,127 @@ def batch_benchmark(widths=(1, 16, 64, 256), trials=2):
     }
 
 
+def tune_benchmark(trials=2):
+    """Scheduler priority-weight autotuning (the ``repro.tune`` harness).
+
+    1. The committed ``tuned_weights.json`` is applied to the benchmarks
+       it covers: ``trials`` sweeps per arm (default vs ``--weights``),
+       asserting each arm's CSV is byte-identical across trials — the
+       tuned result must reproduce deterministically.
+    2. Per-(policy, issue rate) geomean cycle reductions are computed
+       from the two sweeps, asserting the headline cell still clears the
+       3% bar the tuning was graded on.
+    3. A small grid+beam search smoke runs end to end for per-stage
+       timings (the full search that produced the committed file is a
+       one-off; its configuration is recorded alongside).
+    """
+    import math
+
+    from repro.sched.priority import load_weights_file
+    from repro.tune import TuneConfig, TuneTarget, run_search
+
+    weights = load_weights_file(REPO_ROOT / "tuned_weights.json")
+    benchmarks = tuple(name for name, _ in weights.per_benchmark)
+    assert benchmarks, "tuned_weights.json carries no per-benchmark entries"
+
+    default_csvs, tuned_csvs = [], []
+    default_walls, tuned_walls = [], []
+    default_sweep = tuned_sweep = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        default_sweep = run_sweep(SweepConfig(benchmarks=benchmarks))
+        default_walls.append(round(time.perf_counter() - start, 3))
+        default_csvs.append(default_sweep.to_csv())
+        start = time.perf_counter()
+        tuned_sweep = run_sweep(
+            SweepConfig(benchmarks=benchmarks, weights=weights)
+        )
+        tuned_walls.append(round(time.perf_counter() - start, 3))
+        tuned_csvs.append(tuned_sweep.to_csv())
+    assert len(set(default_csvs)) == 1, "default sweep not deterministic"
+    assert len(set(tuned_csvs)) == 1, "tuned sweep not deterministic"
+    assert tuned_csvs[0] != default_csvs[0], "tuned weights changed nothing"
+
+    cells = sorted(
+        {(cell.policy, cell.issue_rate) for cell in default_sweep.cells.values()}
+    )
+    reductions = {}
+    for policy, rate in cells:
+        logs = [
+            math.log(
+                tuned_sweep.cell(name, policy, rate).cycles
+                / default_sweep.cell(name, policy, rate).cycles
+            )
+            for name in benchmarks
+        ]
+        reductions[f"{policy}@{rate}"] = round(
+            1.0 - math.exp(sum(logs) / len(logs)), 4
+        )
+    best_cell = max(reductions, key=lambda cell: reductions[cell])
+    assert reductions[best_cell] >= 0.03, (
+        f"headline tuned cell {best_cell} fell to "
+        f"{100 * reductions[best_cell]:.2f}% (< 3%)"
+    )
+
+    per_benchmark = {}
+    policy, rate = best_cell.split("@")
+    for name in benchmarks:
+        default_cycles = default_sweep.cell(name, policy, int(rate)).cycles
+        tuned_cycles = tuned_sweep.cell(name, policy, int(rate)).cycles
+        per_benchmark[name] = {
+            "default_cycles": default_cycles,
+            "tuned_cycles": tuned_cycles,
+            "reduction": round(1.0 - tuned_cycles / default_cycles, 4),
+        }
+
+    smoke = run_search(
+        TuneConfig(
+            benchmarks=("wc", "cmp"),
+            target=TuneTarget(
+                policy_names=("restricted", "sentinel"),
+                issue_rates=(2, 8),
+                scale=0.5,
+            ),
+            budget=15,
+            stages=("grid", "beam"),
+            jobs=1,
+            validate=False,
+        )
+    )
+    assert all(
+        bench.best_score <= 1.0 for bench in smoke.per_benchmark.values()
+    ), "search smoke regressed below the default heuristic"
+
+    return {
+        "benchmarks": list(benchmarks),
+        "trials": trials,
+        "default_wall_seconds": default_walls,
+        "tuned_wall_seconds": tuned_walls,
+        "geomean_reductions": reductions,
+        "headline_cell": best_cell,
+        "headline_reduction": reductions[best_cell],
+        "per_benchmark_headline": per_benchmark,
+        "search_config": {
+            "mode": "per_benchmark",
+            "budget": 400,
+            "seed": 1,
+            "stages": ["grid", "beam", "anneal"],
+            "objective_policies": ["general", "sentinel", "sentinel_store"],
+            "objective_rates": [2],
+        },
+        "search_smoke": {
+            "benchmarks": list(smoke.config.benchmarks),
+            "budget": smoke.config.budget,
+            "evaluations": smoke.total_evaluations(),
+            "stage_seconds": {
+                stage: round(seconds, 3)
+                for stage, seconds in smoke.stage_seconds().items()
+            },
+            "wall_seconds": round(smoke.wall_seconds, 3),
+        },
+    }
+
+
 def main():
     print("interpreter microbenchmark (17 workloads)...")
     interp = interpreter_microbenchmark()
@@ -465,6 +586,17 @@ def main():
         f"{fuzz['cells_checked']} cells, {fuzz['findings']} findings"
     )
 
+    print("priority autotuning: committed tuned_weights.json vs default...")
+    tune = tune_benchmark()
+    print(
+        f"  {tune['headline_cell']}: "
+        f"{100 * tune['headline_reduction']:.2f}% geomean cycle reduction "
+        f"over {', '.join(tune['benchmarks'])} "
+        f"({tune['trials']} deterministic trials per arm); search smoke "
+        f"{tune['search_smoke']['evaluations']} evals in "
+        f"{tune['search_smoke']['wall_seconds']}s"
+    )
+
     payload = {
         "cpus": os.cpu_count(),
         "interpreter": interp,
@@ -474,6 +606,7 @@ def main():
         "compile_cache": cache,
         "batch": batch,
         "fuzz": fuzz,
+        "tune": tune,
     }
     out = REPO_ROOT / "BENCH_sweep.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")

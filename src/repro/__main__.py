@@ -87,6 +87,48 @@ def run_fuzz(args) -> int:
     return 0
 
 
+def run_tune(args, benchmarks) -> int:
+    """``--tune``: search priority weights and report the winners."""
+    from .tune import TuneConfig, TuneTarget, run_search
+
+    policies = tuple(
+        name.strip() for name in args.tune_policies.split(",") if name.strip()
+    )
+    rates = tuple(
+        int(rate) for rate in args.tune_rates.split(",") if rate.strip()
+    )
+    stages = tuple(
+        stage.strip() for stage in args.tune_stages.split(",") if stage.strip()
+    )
+    config = TuneConfig(
+        benchmarks=benchmarks,
+        target=TuneTarget(
+            policy_names=policies,
+            issue_rates=rates,
+            unroll_factor=args.unroll,
+            scale=args.scale,
+        ),
+        budget=args.tune_budget,
+        stages=stages,
+        mode=args.tune_mode,
+        jobs=args.tune_jobs,
+        seed=args.tune_seed,
+    )
+    report = run_search(config)
+    print(report.render_summary())
+    if args.tune_out is not None:
+        with open(args.tune_out, "w") as handle:
+            json.dump(report.to_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote search report to {args.tune_out}")
+    if args.tune_weights_out is not None:
+        with open(args.tune_weights_out, "w") as handle:
+            json.dump(report.tuned().to_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote winning weights to {args.tune_weights_out}")
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -171,6 +213,88 @@ def main() -> None:
         "batch executor (default 0: analytic cycle estimates only)",
     )
     parser.add_argument(
+        "--weights",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="run the sweep under tuned scheduler priority weights "
+        "(a tuned_weights.json written by --tune)",
+    )
+    parser.add_argument(
+        "--tune",
+        action="store_true",
+        help="search scheduler priority weights (grid -> beam -> annealing) "
+        "over the selected benchmarks instead of running the sweep",
+    )
+    parser.add_argument(
+        "--tune-budget",
+        type=int,
+        default=120,
+        metavar="N",
+        help="fresh candidate evaluations per benchmark (default 120)",
+    )
+    parser.add_argument(
+        "--tune-stages",
+        type=str,
+        default="grid,beam,anneal",
+        metavar="NAMES",
+        help="comma-separated search stages to run, in order "
+        "(default grid,beam,anneal)",
+    )
+    parser.add_argument(
+        "--tune-jobs",
+        type=int,
+        default=0,
+        metavar="J",
+        help="worker processes for the tuning fan-out (0 = auto); results "
+        "are identical for any value",
+    )
+    parser.add_argument(
+        "--tune-mode",
+        type=str,
+        default="per_benchmark",
+        choices=("per_benchmark", "global"),
+        help="per_benchmark = one tuned vector per benchmark (default); "
+        "global = one shared vector for the whole selection",
+    )
+    parser.add_argument(
+        "--tune-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="search RNG seed (default 0)",
+    )
+    parser.add_argument(
+        "--tune-policies",
+        type=str,
+        default="restricted,general,sentinel,sentinel_store",
+        metavar="NAMES",
+        help="policies in the tuning objective (comma-separated)",
+    )
+    parser.add_argument(
+        "--tune-rates",
+        type=str,
+        default="2,4,8",
+        metavar="RATES",
+        help="issue rates in the tuning objective (comma-separated)",
+    )
+    parser.add_argument(
+        "--tune-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the full search report (per-benchmark winners, per-cell "
+        "geomean reductions, stage timings) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--tune-weights-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the winning weights as a tuned_weights.json loadable "
+        "via --weights",
+    )
+    parser.add_argument(
         "--fuzz",
         type=int,
         default=None,
@@ -244,6 +368,15 @@ def main() -> None:
         if unknown:
             parser.error(f"unknown benchmarks: {', '.join(unknown)}")
 
+    if args.tune:
+        raise SystemExit(run_tune(args, benchmarks))
+
+    weights = None
+    if args.weights is not None:
+        from .sched.priority import load_weights_file
+
+        weights = load_weights_file(args.weights)
+
     if not args.skip_tables:
         for render in (render_table1, render_table2, render_table3):
             print(render())
@@ -259,6 +392,7 @@ def main() -> None:
             verify_ir=args.verify_ir,
             trace_passes=args.trace_passes is not None,
             compile_cache=not args.no_compile_cache,
+            weights=weights,
         )
     )
     if args.timings:

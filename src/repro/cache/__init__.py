@@ -8,6 +8,7 @@ from .compile_cache import (
     canonical_policy,
     canonical_profile,
     canonical_program,
+    canonical_weights,
     default_cache_dir,
     digest_parts,
     pipeline_pass_names,
@@ -21,6 +22,7 @@ __all__ = [
     "canonical_policy",
     "canonical_profile",
     "canonical_program",
+    "canonical_weights",
     "default_cache_dir",
     "digest_parts",
     "pipeline_pass_names",

@@ -49,6 +49,7 @@ __all__ = [
     "canonical_machine",
     "canonical_profile",
     "canonical_program",
+    "canonical_weights",
     "default_cache_dir",
     "digest_parts",
 ]
@@ -133,6 +134,23 @@ def canonical_policy(policy) -> str:
         for name in sorted(vars(policy))
     )
     return f"{policy.name}[{flags}]"
+
+
+def canonical_weights(weights) -> str:
+    """Deterministic text of a list-scheduler priority-weight vector.
+
+    ``None`` (the paper-default heuristic) canonicalizes to the default
+    vector's text, so explicitly passing :data:`~repro.sched.priority.
+    DEFAULT_WEIGHTS` and passing nothing hash identically.  Callers that
+    need *key compatibility* with pre-weights cache entries must instead
+    omit the weights part entirely when ``weights.is_default`` — see
+    :mod:`repro.eval.harness`.
+    """
+    from ..sched.priority import DEFAULT_WEIGHTS
+
+    if weights is None:
+        weights = DEFAULT_WEIGHTS
+    return weights.canonical()
 
 
 def pipeline_pass_names() -> Tuple[str, ...]:

@@ -244,6 +244,7 @@ def schedule_block_with_recovery(
     policy: SpeculationPolicy,
     raw_graph: Optional[DepGraph] = None,
     reduce_cache: Optional[dict] = None,
+    weights=None,
 ) -> BlockScheduleResult:
     """Schedule ``block`` so every speculative window is restartable.
 
@@ -295,6 +296,7 @@ def schedule_block_with_recovery(
                 extra_arcs=tuple(sorted(extra_arcs)),
                 despeculated=despec,
                 graph=graph,
+                weights=weights,
             )
         except SchedulingError:
             # An ordering arc made the constraint graph cyclic: fall back

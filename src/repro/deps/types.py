@@ -144,6 +144,9 @@ class DepGraph:
     def pred_count(self, node: int) -> int:
         return len(self._preds[node])
 
+    def succ_count(self, node: int) -> int:
+        return len(self._succs[node])
+
     def arcs(self) -> Iterator[Arc]:
         for arcs in self._succs:
             yield from arcs.values()

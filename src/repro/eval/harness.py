@@ -166,6 +166,16 @@ class SweepConfig:
     #: ``REPRO_BATCH_PROC``; ``False`` = per-cell execution).  Results are
     #: bit-identical either way.
     batch: Optional[bool] = None
+    #: List-scheduler priority weights (``--weights``): ``None`` = the
+    #: paper-default heuristic, a
+    #: :class:`~repro.sched.priority.PriorityWeights` applies one vector
+    #: to every benchmark, a :class:`~repro.sched.priority.TunedWeights`
+    #: resolves per benchmark (falling back to its global vector, then the
+    #: default).  Default-valued weights are normalized away before the
+    #: compile-cache key is formed, so a sweep with explicit default
+    #: weights shares cache entries — and produces byte-identical cells —
+    #: with a weightless sweep.
+    weights: Optional[object] = None
 
 
 @dataclass
@@ -403,6 +413,24 @@ def _lane_memory(workload, lane: int):
     return memory
 
 
+def _resolve_weights(weights, benchmark: str):
+    """The effective non-default PriorityWeights for one benchmark.
+
+    Accepts ``None``, a single :class:`PriorityWeights`, or a
+    :class:`TunedWeights` file (resolved per benchmark).  Returns ``None``
+    whenever the resolved vector equals the paper default, so downstream
+    code — ``schedule_prepared`` and the compile-cache key — takes the
+    exact pre-weights path and keys.
+    """
+    if weights is None:
+        return None
+    from ..sched.priority import TunedWeights
+
+    if isinstance(weights, TunedWeights):
+        weights = weights.resolve(benchmark)
+    return None if weights.is_default else weights
+
+
 def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     """Measure one benchmark under every policy × issue rate.
 
@@ -419,6 +447,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     steps = 0
     clock = time.perf_counter
     base_machine = paper_machine(1, store_buffer_size=config.store_buffer_size)
+    weights = _resolve_weights(config.weights, name)
 
     start = clock()
     workload = build_workload(name, seed=config.seed, scale=config.scale)
@@ -485,6 +514,14 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
         program_text = canonical_program(basic)
         profile_text = canonical_profile(basic, training.profile)
         passes = ",".join(pipeline_pass_names())
+        # Non-default weights change the schedules, so they must change
+        # the key; the default path appends nothing, keeping every
+        # pre-weights cache entry reachable (cold-cache compatibility).
+        weight_parts: Tuple[str, ...] = ()
+        if weights is not None:
+            from ..cache import canonical_weights
+
+            weight_parts = (f"weights={canonical_weights(weights)}",)
         for flag, group_cells in group_plan.items():
             descriptor = ";".join(
                 f"{canonical_policy(p)}@{canonical_machine(m)}"
@@ -497,6 +534,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 f"recovery={config.recovery}",
                 f"passes={passes}",
                 descriptor,
+                *weight_parts,
             )
             bundle = cache.get(group_keys[flag])
             if isinstance(bundle, dict):
@@ -510,7 +548,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
             return bundle[cell_key]
         prep = prepare(policy)
         start = clock()
-        comp = schedule_prepared(prep, machine, policy=policy)
+        comp = schedule_prepared(prep, machine, policy=policy, weights=weights)
         timings["compile"] += clock() - start
         if cache is not None:
             # Bundle a slim copy: per-block scheduling artifacts (private

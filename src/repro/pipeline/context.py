@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # imported for annotations only — avoids import cycles
     from ..isa.opcodes import LatClass
     from ..machine.description import MachineDescription
     from ..sched.compiler import CompilationResult
+    from ..sched.priority import PriorityWeights
 
 
 @dataclass
@@ -73,6 +74,11 @@ class PipelineOptions:
     #: first schedule (identical results — the sweep's machines all share
     #: Table 3 latencies).
     latencies: Optional[Dict["LatClass", int]] = None
+    #: List-scheduler priority weights (``None`` = the paper's default
+    #: heuristic, byte-identical schedules).  Overridable per schedule via
+    #: ``schedule_prepared(weights=...)`` — the front end is
+    #: weight-independent, so one prepared compilation serves any vector.
+    weights: Optional["PriorityWeights"] = None
 
 
 @dataclass
@@ -133,6 +139,9 @@ class PipelineContext:
         # ---- back-end scratch (set per schedule_prepared call) --------
         self.machine: Optional["MachineDescription"] = None
         self.schedule_policy: Optional[SpeculationPolicy] = None
+        #: Per-schedule priority-weights override (falls back to
+        #: ``options.weights``, then the paper default).
+        self.schedule_weights: Optional["PriorityWeights"] = None
         self.compilation: Optional["CompilationResult"] = None
         # ---- observability -------------------------------------------
         #: Artifact names currently valid (requires/invalidates checking).

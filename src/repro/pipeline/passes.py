@@ -361,6 +361,15 @@ class ListSchedulingPass(Pass):
         work = ctx.work
         machine = ctx.machine
         policy = ctx.schedule_policy or ctx.policy
+        # Priority weights: per-schedule override, then the pipeline
+        # option, then (None) the paper's default heuristic.  The front
+        # end is weight-independent — weights only order the ready list —
+        # so any vector schedules from the same prepared artifacts.
+        weights = (
+            ctx.schedule_weights
+            if ctx.schedule_weights is not None
+            else ctx.options.weights
+        )
         recovery = ctx.options.recovery
         liveness = ctx.liveness
         work.reset_uid_watermark(ctx.uid_watermark)
@@ -382,6 +391,7 @@ class ListSchedulingPass(Pass):
                     policy,
                     raw_graph=raw,
                     reduce_cache=memo,
+                    weights=weights,
                 )
             else:
                 result = schedule_block(
@@ -391,6 +401,7 @@ class ListSchedulingPass(Pass):
                     machine,
                     policy,
                     graph=pristine_graph(ctx, block, machine, policy),
+                    weights=weights,
                 )
                 if policy.store_spec and policy.sentinels:
                     # Speculating stores is not always profitable:
@@ -409,6 +420,7 @@ class ListSchedulingPass(Pass):
                         machine,
                         SENTINEL,
                         graph=pristine_graph(ctx, block, machine, SENTINEL),
+                        weights=weights,
                     )
                     if with_stores_length < plain.scheduled.length:
                         # Re-run the winner: scheduling mutates the
@@ -422,6 +434,7 @@ class ListSchedulingPass(Pass):
                             machine,
                             policy,
                             graph=pristine_graph(ctx, block, machine, policy),
+                            weights=weights,
                         )
                     else:
                         result = plain

@@ -29,6 +29,12 @@ from .list_scheduler import (
     SchedulingError,
     schedule_block,
 )
+from .priority import (
+    DEFAULT_WEIGHTS,
+    PriorityWeights,
+    TunedWeights,
+    load_weights_file,
+)
 from .schedule import ScheduledBlock, ScheduledProgram
 
 __all__ = [
@@ -51,6 +57,10 @@ __all__ = [
     "ListScheduler",
     "SchedulingError",
     "schedule_block",
+    "DEFAULT_WEIGHTS",
+    "PriorityWeights",
+    "TunedWeights",
+    "load_weights_file",
     "ScheduledBlock",
     "ScheduledProgram",
 ]

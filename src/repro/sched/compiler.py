@@ -46,6 +46,7 @@ from ..isa.program import Block, Program
 from ..machine.description import MachineDescription
 from ..pipeline.context import CompilerStats, PipelineContext, PipelineOptions
 from .list_scheduler import BlockScheduleResult
+from .priority import PriorityWeights
 from .schedule import ScheduledProgram
 
 __all__ = [
@@ -127,6 +128,7 @@ def prepare_compilation(
     trace_passes: bool = False,
     latencies=None,
     pipeline: Optional[Sequence] = None,
+    weights: Optional[PriorityWeights] = None,
 ) -> PreparedCompilation:
     """Run every machine-independent compilation stage once.
 
@@ -156,6 +158,7 @@ def prepare_compilation(
         verify_ir=verify_ir or _verify_env(),
         trace=trace_passes,
         latencies=latencies,
+        weights=weights,
     )
     ctx = PipelineContext(basic_blocks, profile, options)
     manager = PassManager(pipeline if pipeline is not None else default_pipeline())
@@ -177,6 +180,7 @@ def schedule_prepared(
     prepared: PreparedCompilation,
     machine: MachineDescription,
     policy: Optional[SpeculationPolicy] = None,
+    weights: Optional[PriorityWeights] = None,
 ) -> CompilationResult:
     """Schedule a prepared program for one machine.
 
@@ -202,6 +206,7 @@ def schedule_prepared(
     ctx = prepared.context
     ctx.machine = machine
     ctx.schedule_policy = policy if policy is not None else prepared.policy
+    ctx.schedule_weights = weights
     # Each backend run stands alone: a previous call's result reflects a
     # different machine (and its words are invalidated by the spec-flag
     # rewrites of the next schedule), so it is dropped before scheduling.
@@ -212,6 +217,7 @@ def schedule_prepared(
     result = ctx.compilation
     ctx.machine = None
     ctx.schedule_policy = None
+    ctx.schedule_weights = None
     return result
 
 
@@ -229,6 +235,7 @@ def compile_program(
     rename: bool = True,
     verify_ir: bool = False,
     trace_passes: bool = False,
+    weights: Optional[PriorityWeights] = None,
 ) -> CompilationResult:
     """Compile a basic-block-form program end to end.
 
@@ -248,5 +255,6 @@ def compile_program(
         rename=rename,
         verify_ir=verify_ir,
         trace_passes=trace_passes,
+        weights=weights,
     )
     return schedule_prepared(prepared, machine)

@@ -36,6 +36,7 @@ from ..isa.program import Block, Program
 from ..isa.registers import Register
 from ..machine.description import MachineDescription
 from ..machine.resources import CycleResources
+from .priority import DEFAULT_WEIGHTS, PriorityWeights
 from .schedule import ScheduledBlock
 
 #: Store opcodes that occupy the probationary store buffer (identity
@@ -85,12 +86,14 @@ class ListScheduler:
         extra_arcs: Sequence[Tuple[int, int, int]] = (),
         despeculated: frozenset = frozenset(),
         graph: Optional[DepGraph] = None,
+        weights: Optional[PriorityWeights] = None,
     ) -> None:
         self.block = block
         self.program = program
         self.machine = machine
         self.policy = policy
         self.recovery = recovery
+        self.weights = weights if weights is not None else DEFAULT_WEIGHTS
         if graph is not None:
             # A pre-built-and-reduced graph (compile-stage sharing across
             # issue rates).  Scheduling mutates it, so callers hand over a
@@ -121,6 +124,7 @@ class ListScheduler:
         self._apply_extra_arcs(extra_arcs)
 
         self._heights = self.graph.critical_heights()
+        self._init_priorities()
         self._branch_positions = [
             i for i in range(n) if self.graph.nodes[i].info.is_cond_branch
         ]
@@ -140,6 +144,67 @@ class ListScheduler:
         self._confirm_for: Dict[int, int] = {}
         self._check_for: Dict[int, int] = {}
         self.stats = BlockScheduleStats(label=block.label, instructions=n)
+
+    # ------------------------------------------------------------------
+    # Priority function (Section 5.2, parameterized).
+    # ------------------------------------------------------------------
+
+    def _init_priorities(self) -> None:
+        """Precompute per-node priorities under ``self.weights``.
+
+        The single weight-aware code path behind both :meth:`run` (heap
+        keys) and :meth:`run_reference` (ready-list sort keys): each asks
+        :meth:`_heap_key` for its ordering, so the two schedulers stay
+        pin-equal for *every* weight vector, not just the default.
+
+        Default weights keep the heights list itself as the priority
+        array (integer priorities, sentinels at 1), so default heap
+        entries are the exact ``(-height, node)`` tuples of the
+        pre-weights scheduler.  Priorities are static for the lifetime of
+        one scheduling run, exactly as the reference scheduler's were —
+        arcs added for sentinels never feed back into them.
+        """
+        w = self.weights
+        graph = self.graph
+        if w.is_default:
+            self._prio: List = self._heights
+            self._sentinel_prio = 1
+        else:
+            heights = self._heights
+            machine = self.machine
+            allowed = graph.allowed_spec
+            prio = []
+            for node in range(graph.original_count):
+                info = graph.nodes[node].info
+                p = w.height * heights[node]
+                if w.succs:
+                    p += w.succs * graph.succ_count(node)
+                if w.latency:
+                    p += w.latency * machine.latency(graph.nodes[node].op)
+                if w.memory and (info.reads_mem or info.writes_mem):
+                    p += w.memory
+                if w.branch and info.is_cond_branch:
+                    p += w.branch
+                if w.speculative and node in allowed:
+                    p += w.speculative
+                prio.append(p)
+            self._prio = prio
+            self._sentinel_prio = w.sentinel
+        self._tie_source_last = w.tie_break == "source_last"
+
+    def _priority(self, node: int):
+        """Scalar priority of ``node`` (sentinels take the slot-fill weight)."""
+        if node < len(self._prio):
+            return self._prio[node]
+        return self._sentinel_prio
+
+    def _heap_key(self, node: int) -> Tuple:
+        """Total order of ready instructions: highest priority first, then
+        the configured tie break.  The node is always the last element, so
+        heap consumers recover it with ``entry[-1]``."""
+        if self._tie_source_last:
+            return (-self._priority(node), -node, node)
+        return (-self._priority(node), node)
 
     # ------------------------------------------------------------------
 
@@ -192,8 +257,10 @@ class ListScheduler:
 
         The per-cycle "scan and sort every unscheduled node" loop of the
         seed scheduler (retained as :meth:`run_reference`) is replaced by a
-        priority heap keyed ``(-height, node)`` — the exact sort key of the
-        reference — fed from an ``earliest``-cycle bucket queue.  A node
+        priority heap keyed by :meth:`_heap_key` — the exact sort key of
+        the reference (``(-height, node)`` under the default
+        :class:`PriorityWeights`) — fed from an ``earliest``-cycle bucket
+        queue.  A node
         enters its bucket when its last dependence issues, moves to the heap
         when its ready cycle arrives, and cycles nothing is ready for are
         skipped outright, making ``run`` O(E + n log n) per block instead of
@@ -211,10 +278,9 @@ class ListScheduler:
         preds_left = self._preds_left
         earliest = self._earliest
         buckets = self._buckets
-        heap: List[Tuple[int, int]] = []
+        heap: List[Tuple] = []
         heappush, heappop = heapq.heappush, heapq.heappop
-        heights = self._heights
-        n_heights = len(heights)
+        heap_key = self._heap_key
         max_cycles = 64 * (len(graph) + 16) + sum(self.machine.latencies.values())
 
         for node in range(graph.original_count):
@@ -224,17 +290,15 @@ class ListScheduler:
         cycle = 0
         while unscheduled:
             for node in buckets.pop(cycle, ()):
-                # Inlined _priority: sentinels (nodes past the original
-                # heights) fill empty slots at priority 1 (Section 5.2).
-                heappush(
-                    heap, (-heights[node] if node < n_heights else -1, node)
-                )
+                # Sentinels (nodes past the original priorities) fill
+                # empty slots at the sentinel weight (Section 5.2).
+                heappush(heap, heap_key(node))
             self._current_cycle = cycle
             resources = CycleResources(self.machine)
-            deferred: List[Tuple[int, int]] = []
+            deferred: List[Tuple] = []
             while heap:
                 entry = heappop(heap)
-                node = entry[1]
+                node = entry[-1]
                 # Lazy deletion: the node may have issued already (duplicate
                 # entry) or a sentinel created this cycle may have pinned
                 # itself before a still-ready exit — re-check, as the
@@ -292,7 +356,7 @@ class ListScheduler:
                 for node in self._unscheduled
                 if self._preds_left[node] == 0 and self._earliest[node] <= cycle
             ]
-            ready.sort(key=lambda node: (-self._priority(node), node))
+            ready.sort(key=self._heap_key)
             resources = CycleResources(self.machine)
             for node in ready:
                 # A sentinel created earlier in this same cycle may have
@@ -315,11 +379,6 @@ class ListScheduler:
                     f"(cyclic constraints?)"
                 )
         return self._finish()
-
-    def _priority(self, node: int) -> int:
-        if node < len(self._heights):
-            return self._heights[node]
-        return 1  # sentinels fill empty slots (Section 5.2)
 
     # ------------------------------------------------------------------
     # Issue-time actions (the Appendix's modified list scheduling).
@@ -602,6 +661,7 @@ def schedule_block(
     extra_arcs: Sequence[Tuple[int, int, int]] = (),
     despeculated: frozenset = frozenset(),
     graph: Optional[DepGraph] = None,
+    weights: Optional[PriorityWeights] = None,
 ) -> BlockScheduleResult:
     """Schedule one (super)block; see :class:`ListScheduler`."""
     scheduler = ListScheduler(
@@ -614,5 +674,6 @@ def schedule_block(
         extra_arcs=extra_arcs,
         despeculated=despeculated,
         graph=graph,
+        weights=weights,
     )
     return scheduler.run()

@@ -1,0 +1,203 @@
+"""Parameterized list-scheduler priority function.
+
+The paper's list scheduler ranks ready instructions by critical height
+alone (Section 5.2), with sentinels filling empty slots at priority 1 and
+original program order as the tie break.  How aggressively long-latency
+operations, memory references, speculative candidates and sentinels are
+prioritized is a free design axis the paper never explores —
+:class:`PriorityWeights` makes that axis a first-class, serializable
+object the whole pipeline threads through (``PipelineOptions.weights``,
+``schedule_prepared(weights=...)``, ``SweepConfig.weights``, the compile
+cache key, and the ``repro.tune`` search harness).
+
+The **default weights reproduce the paper's heuristic exactly**: integer
+priorities equal to critical height (sentinels at 1) keyed
+``(-height, node)``, so every default-weight schedule is byte-identical
+to the pre-weights scheduler — the 48 pinned golden digests enforce it.
+
+Priority of an original node under non-default weights::
+
+    p(n) = height * critical_height(n)
+         + succs * outgoing_arc_count(n)
+         + latency * op_latency_cycles(n)
+         + memory * [n reads or writes memory]
+         + branch * [n is a conditional branch]
+         + speculative * [the policy may speculate n]
+
+Sentinel nodes created during scheduling take priority ``sentinel``
+(slot-fill priority).  ``tie_break`` orders equal priorities: ``"source"``
+is original program order (the paper's behaviour), ``"source_last"``
+reverses it.  Priorities are computed once per block from the reduced
+dependence graph — the reference scheduler's priorities were equally
+static, so the two code paths stay pin-equal for every weight vector.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "PriorityWeights",
+    "TIE_BREAKS",
+    "TunedWeights",
+    "load_weights_file",
+]
+
+#: Recognized tie-break orders for equal-priority ready instructions.
+TIE_BREAKS = ("source", "source_last")
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Weight vector of the list scheduler's priority function.
+
+    Frozen and hashable so it can ride inside ``PipelineOptions`` and
+    ``SweepConfig`` (both pickled to pool workers) and key memo tables in
+    the tuning harness.
+    """
+
+    #: Weight on the critical (longest-path) height — the paper's sole
+    #: criterion.
+    height: float = 1.0
+    #: Weight on the node's outgoing dependence-arc count (uses).
+    succs: float = 0.0
+    #: Weight on the operation's latency in cycles (Table 3 classes).
+    latency: float = 0.0
+    #: Flat bias for memory operations (loads and stores).
+    memory: float = 0.0
+    #: Flat bias for conditional branches (the BRANCH latency class).
+    branch: float = 0.0
+    #: Flat bias for instructions the active policy may speculate
+    #: (``graph.allowed_spec``) — per-policy speculation aggressiveness:
+    #: positive hoists speculative candidates eagerly, negative holds
+    #: them back.
+    speculative: float = 0.0
+    #: Priority of sentinel (check/confirm) nodes — the paper fills empty
+    #: slots with sentinels at priority 1 (Section 5.2).
+    sentinel: float = 1.0
+    #: Tie-break among equal priorities: ``"source"`` = original program
+    #: order (the paper), ``"source_last"`` = reversed.
+    tie_break: str = "source"
+
+    def __post_init__(self) -> None:
+        if self.tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"tie_break must be one of {TIE_BREAKS}, got {self.tie_break!r}"
+            )
+        for f in fields(self):
+            if f.name == "tie_break":
+                continue
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"weight {f.name} must be a number, got {value!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """Does this vector reproduce the paper's heuristic bit-for-bit?"""
+        return self == DEFAULT_WEIGHTS
+
+    def canonical(self) -> str:
+        """Deterministic text for cache keys and memo tables.
+
+        Numeric weights are normalized through ``repr(float(...))`` so
+        ``1`` and ``1.0`` produce one key.
+        """
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name != "tie_break":
+                value = repr(float(value))
+            parts.append(f"{f.name}={value}")
+        return "pw[" + ",".join(parts) + "]"
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value if f.name == "tie_break" else float(value)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PriorityWeights":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown weight fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def perturbed(self, field_name: str, delta: float) -> "PriorityWeights":
+        """A copy with one numeric weight nudged by ``delta``."""
+        value = getattr(self, field_name)
+        return replace(self, **{field_name: round(value + delta, 6)})
+
+
+#: The paper's priority function: critical height, sentinels at 1,
+#: program-order tie break.  Must schedule byte-identically to the
+#: pre-weights scheduler.
+DEFAULT_WEIGHTS = PriorityWeights()
+
+
+@dataclass(frozen=True)
+class TunedWeights:
+    """A weights file resolved against the benchmark suite.
+
+    ``per_benchmark`` entries win over the ``global`` vector, which wins
+    over the paper default — so one file can carry a global winner plus
+    per-benchmark refinements, and benchmarks the search never saw fall
+    back to the default heuristic.
+    """
+
+    global_weights: Optional[PriorityWeights] = None
+    per_benchmark: "tuple" = ()  # tuple of (name, PriorityWeights), hashable
+
+    def resolve(self, benchmark: str) -> PriorityWeights:
+        for name, weights in self.per_benchmark:
+            if name == benchmark:
+                return weights
+        if self.global_weights is not None:
+            return self.global_weights
+        return DEFAULT_WEIGHTS
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "global": None
+            if self.global_weights is None
+            else self.global_weights.to_dict(),
+            "per_benchmark": {
+                name: weights.to_dict() for name, weights in self.per_benchmark
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TunedWeights":
+        version = payload.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported weights file version {version!r}")
+        global_weights = payload.get("global")
+        per_benchmark = payload.get("per_benchmark") or {}
+        return cls(
+            global_weights=None
+            if global_weights is None
+            else PriorityWeights.from_dict(global_weights),
+            per_benchmark=tuple(
+                sorted(
+                    (name, PriorityWeights.from_dict(data))
+                    for name, data in per_benchmark.items()
+                )
+            ),
+        )
+
+
+def load_weights_file(path) -> TunedWeights:
+    """Parse a ``tuned_weights.json`` file (see :meth:`TunedWeights.to_payload`)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return TunedWeights.from_payload(payload)

@@ -1,0 +1,26 @@
+"""Scheduler priority-weight autotuning.
+
+:mod:`repro.tune.evaluator` turns one benchmark into a cheap objective
+function over :class:`~repro.sched.priority.PriorityWeights` (prepare
+once, re-schedule per candidate); :mod:`repro.tune.search` runs the
+staged grid -> beam -> annealing search over it, in parallel across
+benchmarks, and reports tuned weights with their measured cycle
+reductions.
+"""
+
+from .evaluator import BenchmarkEvaluator, TuneTarget
+from .search import (
+    SearchReport,
+    TuneConfig,
+    grid_candidates,
+    run_search,
+)
+
+__all__ = [
+    "BenchmarkEvaluator",
+    "TuneTarget",
+    "SearchReport",
+    "TuneConfig",
+    "grid_candidates",
+    "run_search",
+]

@@ -1,0 +1,200 @@
+"""Per-benchmark objective function for priority-weight search.
+
+A :class:`BenchmarkEvaluator` pays the machine- and weight-independent
+work once — workload build, training run, front-end
+:func:`~repro.sched.compiler.prepare_compilation` per sentinels group,
+one superblock profile per group — and then prices a candidate
+:class:`~repro.sched.priority.PriorityWeights` vector as just the
+backend :func:`~repro.sched.compiler.schedule_prepared` calls plus the
+analytic :func:`~repro.arch.timing.estimate_cycles` model, the same
+metric the evaluation sweep reports.  Repeated vectors are memoized by
+canonical text, so search stages revisiting a point (beam backtracking,
+annealing rejections) cost nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..arch.timing import estimate_cycles
+from ..cfg.basic_block import to_basic_blocks
+from ..deps.reduction import POLICIES, SpeculationPolicy
+from ..interp.interpreter import run_program
+from ..machine.description import paper_machine
+from ..sched.compiler import prepare_compilation, schedule_prepared
+from ..sched.priority import DEFAULT_WEIGHTS, PriorityWeights
+from ..workloads.suites import build_workload
+
+#: (policy name, issue rate) -> estimated cycles.
+CellCycles = Dict[Tuple[str, int], int]
+
+DEFAULT_POLICY_NAMES: Tuple[str, ...] = (
+    "restricted",
+    "general",
+    "sentinel",
+    "sentinel_store",
+)
+
+
+@dataclass(frozen=True)
+class TuneTarget:
+    """The sweep slice a tuning run optimizes over.
+
+    Mirrors the corresponding :class:`~repro.eval.harness.SweepConfig`
+    knobs so tuned weights transfer to the sweep that validates them.
+    Frozen and hashable: worker processes key their evaluator cache on
+    ``(target, benchmark)``.
+    """
+
+    policy_names: Tuple[str, ...] = DEFAULT_POLICY_NAMES
+    issue_rates: Tuple[int, ...] = (2, 4, 8)
+    unroll_factor: int = 4
+    seed: int = 0
+    scale: float = 1.0
+    store_buffer_size: int = 8
+    max_steps: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        for name in self.policy_names:
+            if name not in POLICIES:
+                raise ValueError(f"unknown policy {name!r}")
+
+    def policies(self) -> Tuple[SpeculationPolicy, ...]:
+        return tuple(POLICIES[name] for name in self.policy_names)
+
+
+class BenchmarkEvaluator:
+    """Cycle-count oracle for one benchmark under candidate weights."""
+
+    def __init__(self, name: str, target: TuneTarget = TuneTarget()) -> None:
+        self.name = name
+        self.target = target
+        self.workload = build_workload(name, seed=target.seed, scale=target.scale)
+        self.basic = to_basic_blocks(self.workload.program)
+        training = run_program(
+            self.basic,
+            memory=self.workload.make_memory(),
+            max_steps=target.max_steps,
+        )
+        if not training.halted:
+            raise RuntimeError(f"{name}: training run did not halt")
+        self.training = training
+        self._machines = {
+            rate: paper_machine(rate, store_buffer_size=target.store_buffer_size)
+            for rate in target.issue_rates
+        }
+        self._prepared: Dict[bool, object] = {}
+        self._profiles: Dict[bool, object] = {}
+        self._memo: Dict[str, CellCycles] = {}
+        #: Fresh (non-memoized) candidate evaluations performed so far —
+        #: the unit the search budget is charged in.
+        self.evaluations = 0
+        self.default_cells = self.cells(None)
+
+    # -- shared front-end artifacts ------------------------------------
+
+    def _prepare(self, policy: SpeculationPolicy):
+        flag = policy.sentinels
+        if flag not in self._prepared:
+            self._prepared[flag] = prepare_compilation(
+                self.basic,
+                self.training.profile,
+                policy,
+                unroll_factor=self.target.unroll_factor,
+            )
+        return self._prepared[flag]
+
+    def _profile(self, policy: SpeculationPolicy, comp):
+        flag = policy.sentinels
+        if flag not in self._profiles:
+            result = run_program(
+                comp.superblock_program,
+                memory=self.workload.make_memory(),
+                max_steps=self.target.max_steps,
+            )
+            if not result.halted:
+                raise RuntimeError(f"{self.name}: superblock run did not halt")
+            self._profiles[flag] = result.profile
+        return self._profiles[flag]
+
+    # -- the objective -------------------------------------------------
+
+    def cells(self, weights: Optional[PriorityWeights]) -> CellCycles:
+        """Estimated cycles of every (policy, issue rate) cell under
+        ``weights`` (``None`` or the default vector = the paper
+        heuristic)."""
+        if weights is not None and weights.is_default:
+            weights = None
+        key = (weights or DEFAULT_WEIGHTS).canonical()
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        out: CellCycles = {}
+        for policy in self.target.policies():
+            prep = self._prepare(policy)
+            for rate in self.target.issue_rates:
+                comp = schedule_prepared(
+                    prep, self._machines[rate], policy=policy, weights=weights
+                )
+                profile = self._profile(policy, comp)
+                out[(policy.name, rate)] = estimate_cycles(
+                    comp.scheduled, profile
+                ).total_cycles
+        self._memo[key] = out
+        self.evaluations += 1
+        return out
+
+    def objective(self, weights: Optional[PriorityWeights]) -> float:
+        """Geomean of tuned/default cycle ratios over the target cells
+        (lower is better; the default vector scores exactly 1.0)."""
+        cells = self.cells(weights)
+        log_sum = sum(
+            math.log(cells[cell] / self.default_cells[cell])
+            for cell in self.default_cells
+        )
+        return math.exp(log_sum / len(self.default_cells))
+
+    # -- cycle-level validation ----------------------------------------
+
+    def validate(self, weights: Optional[PriorityWeights]) -> Dict[str, object]:
+        """Execute one tuned schedule cycle-accurately on the fast engine.
+
+        The analytic model is the search objective; this confirms the
+        winning schedule actually runs — same observable state as the
+        sequential reference — on the pre-decoded
+        :class:`~repro.arch.fastproc.FastProcessor`, and records its
+        measured cycle count.  Uses the most aggressive target cell
+        (last policy at the highest issue rate), where a bad weight
+        vector would bite first.
+        """
+        from ..arch.processor import run_scheduled
+        from ..interp.state import assert_equivalent
+
+        policy = self.target.policies()[-1]
+        rate = max(self.target.issue_rates)
+        comp = schedule_prepared(
+            self._prepare(policy),
+            self._machines[rate],
+            policy=policy,
+            weights=None if weights is None or weights.is_default else weights,
+        )
+        reference = run_program(
+            self.workload.program,
+            memory=self.workload.make_memory(),
+            max_steps=self.target.max_steps,
+        )
+        out = run_scheduled(
+            comp.scheduled,
+            self._machines[rate],
+            memory=self.workload.make_memory(),
+        )
+        cell = f"{policy.name}@{rate}"
+        try:
+            assert_equivalent(
+                reference, out, context=f"{self.name} {cell} tuned-weights"
+            )
+        except AssertionError as exc:
+            return {"cell": cell, "ok": False, "error": str(exc)}
+        return {"cell": cell, "ok": True, "fast_cycles": out.cycles}

@@ -1,0 +1,563 @@
+"""Staged parallel search over scheduler priority weights.
+
+Three budgeted stages, each seeded by the previous one's results:
+
+1. **grid** — a fixed axis-aligned candidate set (one field perturbed at
+   a time, plus a few known-good combinations) maps the response
+   surface cheaply,
+2. **beam** — the best ``beam_width`` vectors expand neighborhoods at
+   geometrically shrinking steps, keeping the best pool each round,
+3. **anneal** — seeded simulated annealing walks from the incumbent,
+   accepting uphill moves with shrinking probability to escape the
+   beam's local minimum.
+
+The objective is the geomean of tuned/default cycle ratios over the
+target's (policy x issue rate) cells, per benchmark — exactly the
+metric the evaluation sweep reports, so a search win is a sweep win by
+construction.  ``per_benchmark`` mode runs one independent search per
+benchmark and fans the benchmarks out over a process pool
+(longest-first, like the sweep); ``global`` mode searches one shared
+vector, fanning each candidate's per-benchmark evaluations out instead.
+Every random choice draws from ``random.Random`` seeded by the config
+seed and a crc32 of the benchmark name (never ``hash()``, which is
+salted per process), so results are bit-identical for any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from ..sched.priority import DEFAULT_WEIGHTS, PriorityWeights, TunedWeights
+from .evaluator import BenchmarkEvaluator, TuneTarget
+
+#: Numeric fields the search moves (``height`` stays pinned at 1.0:
+#: priorities only compare against each other, so it is pure scale).
+SEARCH_FIELDS: Tuple[str, ...] = (
+    "succs",
+    "latency",
+    "memory",
+    "branch",
+    "speculative",
+    "sentinel",
+)
+
+STAGES: Tuple[str, ...] = ("grid", "beam", "anneal")
+
+#: Advisory budget share per stage (rolls forward when a stage cannot
+#: spend its share, e.g. the finite grid).
+_STAGE_SHARE = {"grid": 0.35, "beam": 0.35, "anneal": 0.30}
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """Knobs of one tuning run."""
+
+    benchmarks: Tuple[str, ...]
+    target: TuneTarget = TuneTarget()
+    #: Fresh candidate evaluations per benchmark (``per_benchmark``) or
+    #: candidate vectors overall (``global``); the default baseline is
+    #: free.
+    budget: int = 120
+    stages: Tuple[str, ...] = STAGES
+    #: ``per_benchmark`` = one independent search (and weight vector)
+    #: per benchmark; ``global`` = one shared vector for the suite.
+    mode: str = "per_benchmark"
+    jobs: int = 0
+    seed: int = 0
+    beam_width: int = 4
+    #: Cycle-accurately execute each winning schedule on the fast engine
+    #: and differential-check it against the sequential reference.
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("no benchmarks to tune")
+        if self.mode not in ("per_benchmark", "global"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        unknown = [s for s in self.stages if s not in STAGES]
+        if unknown:
+            raise ValueError(f"unknown stages {unknown}")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+
+
+def grid_candidates() -> List[PriorityWeights]:
+    """The fixed stage-1 candidate set (deterministic order)."""
+    out: List[PriorityWeights] = []
+    for name in ("succs", "latency", "memory", "branch", "speculative"):
+        for delta in (-0.5, -0.25, 0.25, 0.5):
+            out.append(DEFAULT_WEIGHTS.perturbed(name, delta))
+    for sentinel in (0.25, 0.5, 2.0, 4.0):
+        out.append(DEFAULT_WEIGHTS.perturbed("sentinel", sentinel - 1.0))
+    out.append(PriorityWeights(tie_break="source_last"))
+    # A few multi-field combinations the axis sweep cannot see.
+    out.append(
+        DEFAULT_WEIGHTS.perturbed("succs", 0.25).perturbed("latency", 0.25)
+    )
+    out.append(
+        DEFAULT_WEIGHTS.perturbed("memory", 0.5).perturbed("branch", 0.5)
+    )
+    out.append(
+        DEFAULT_WEIGHTS.perturbed("branch", 0.5).perturbed("speculative", -0.25)
+    )
+    return out
+
+
+def _bench_seed(seed: int, name: str) -> int:
+    """Stable per-benchmark RNG seed (crc32, never the salted hash())."""
+    return (seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+
+
+def _stage_caps(stages: Tuple[str, ...], budget: int) -> Dict[str, int]:
+    """Advisory per-stage budgets; the driver rolls unspent budget
+    forward, and the final stage absorbs the remainder exactly."""
+    share_total = sum(_STAGE_SHARE[s] for s in stages)
+    caps: Dict[str, int] = {}
+    used = 0
+    for index, stage in enumerate(stages):
+        if index == len(stages) - 1:
+            caps[stage] = budget - used
+        else:
+            caps[stage] = int(round(budget * _STAGE_SHARE[stage] / share_total))
+            used += caps[stage]
+    return caps
+
+
+class _Search:
+    """One staged search over a ``score(weights) -> float`` oracle."""
+
+    def __init__(
+        self,
+        score,
+        budget: int,
+        stages: Tuple[str, ...],
+        beam_width: int,
+        rng: Random,
+    ) -> None:
+        self._score = score
+        self.budget = budget
+        self.stages = stages
+        self.beam_width = beam_width
+        self.rng = rng
+        self.spent = 0
+        #: canonical -> (score, weights); the beam pool and the memo.
+        self.seen: Dict[str, Tuple[float, PriorityWeights]] = {
+            DEFAULT_WEIGHTS.canonical(): (1.0, DEFAULT_WEIGHTS)
+        }
+        self.best_key = DEFAULT_WEIGHTS.canonical()
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_evals: Dict[str, int] = {}
+
+    @property
+    def best(self) -> Tuple[float, PriorityWeights]:
+        return self.seen[self.best_key]
+
+    def consider(self, weights: PriorityWeights) -> Optional[float]:
+        """Score ``weights`` if fresh and affordable; None = skipped."""
+        key = weights.canonical()
+        if key in self.seen:
+            return self.seen[key][0]
+        if self.spent >= self.budget:
+            return None
+        score = self._score(weights)
+        self.spent += 1
+        self.seen[key] = (score, weights)
+        best_score = self.seen[self.best_key][0]
+        # Strict improvement, canonical-text tie-break: deterministic
+        # regardless of evaluation order.
+        if score < best_score or (score == best_score and key < self.best_key):
+            self.best_key = key
+        return score
+
+    def run(self) -> None:
+        caps = _stage_caps(self.stages, self.budget)
+        allowed = 0
+        for stage in self.stages:
+            allowed = min(allowed + caps[stage], self.budget)
+            start = time.perf_counter()
+            before = self.spent
+            getattr(self, f"_stage_{stage}")(allowed)
+            self.stage_seconds[stage] = time.perf_counter() - start
+            self.stage_evals[stage] = self.spent - before
+
+    # -- stages --------------------------------------------------------
+
+    def _stage_grid(self, allowed: int) -> None:
+        for candidate in grid_candidates():
+            if self.spent >= allowed:
+                return
+            self.consider(candidate)
+
+    def _beam(self) -> List[PriorityWeights]:
+        ranked = sorted(self.seen.items(), key=lambda kv: (kv[1][0], kv[0]))
+        return [weights for _, (_, weights) in ranked[: self.beam_width]]
+
+    def _stage_beam(self, allowed: int) -> None:
+        step = 0.5
+        for _round in range(6):
+            if self.spent >= allowed:
+                return
+            for member in self._beam():
+                for name in SEARCH_FIELDS:
+                    for delta in (step, -step):
+                        if self.spent >= allowed:
+                            return
+                        self.consider(member.perturbed(name, delta))
+                if self.spent >= allowed:
+                    return
+                toggled = "source_last" if member.tie_break == "source" else "source"
+                self.consider(
+                    PriorityWeights(**{**member.to_dict(), "tie_break": toggled})
+                )
+            step /= 2.0
+
+    def _stage_anneal(self, allowed: int) -> None:
+        rng = self.rng
+        current_score, current = self.best
+        temperature = 0.01
+        while self.spent < allowed:
+            candidate = current
+            for _ in range(rng.choice((1, 1, 2))):
+                name = rng.choice(SEARCH_FIELDS)
+                candidate = candidate.perturbed(name, rng.gauss(0.0, 0.2))
+            if rng.random() < 0.1:
+                toggled = (
+                    "source_last" if candidate.tie_break == "source" else "source"
+                )
+                candidate = PriorityWeights(
+                    **{**candidate.to_dict(), "tie_break": toggled}
+                )
+            score = self.consider(candidate)
+            if score is None:
+                return
+            if score <= current_score or rng.random() < math.exp(
+                -(score - current_score) / temperature
+            ):
+                current, current_score = candidate, score
+            temperature = max(temperature * 0.95, 1e-4)
+
+
+# -- per-benchmark fan-out ---------------------------------------------
+
+
+@dataclass
+class BenchmarkReport:
+    """Search outcome for one benchmark."""
+
+    name: str
+    best: Dict[str, object]
+    best_score: float
+    #: "policy@rate" -> estimated cycles.
+    default_cells: Dict[str, int]
+    tuned_cells: Dict[str, int]
+    evaluations: int
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    stage_evals: Dict[str, int] = field(default_factory=dict)
+    validation: Optional[Dict[str, object]] = None
+    pid: int = 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "best": self.best,
+            "best_score": self.best_score,
+            "default_cells": self.default_cells,
+            "tuned_cells": self.tuned_cells,
+            "evaluations": self.evaluations,
+            "stage_seconds": self.stage_seconds,
+            "stage_evals": self.stage_evals,
+            "validation": self.validation,
+        }
+
+
+def _cells_payload(cells) -> Dict[str, int]:
+    return {f"{policy}@{rate}": cycles for (policy, rate), cycles in cells.items()}
+
+
+def _search_benchmark(config: TuneConfig, name: str) -> BenchmarkReport:
+    """Run the full staged search for one benchmark (one pool task)."""
+    evaluator = BenchmarkEvaluator(name, config.target)
+    search = _Search(
+        evaluator.objective,
+        config.budget,
+        config.stages,
+        config.beam_width,
+        Random(_bench_seed(config.seed, name)),
+    )
+    search.run()
+    best_score, best = search.best
+    validation = None
+    if config.validate and not best.is_default:
+        validation = evaluator.validate(best)
+    return BenchmarkReport(
+        name=name,
+        best=best.to_dict(),
+        best_score=best_score,
+        default_cells=_cells_payload(evaluator.default_cells),
+        tuned_cells=_cells_payload(evaluator.cells(best)),
+        evaluations=evaluator.evaluations - 1,
+        stage_seconds=search.stage_seconds,
+        stage_evals=search.stage_evals,
+        validation=validation,
+        pid=os.getpid(),
+    )
+
+
+# -- global mode -------------------------------------------------------
+
+#: Worker-global evaluator cache: (target, benchmark) -> evaluator.
+#: Lives for the pool worker's lifetime, so every candidate after a
+#: worker's first on a benchmark costs only the backend schedules.
+_WORKER_EVALUATORS: Dict[Tuple[TuneTarget, str], BenchmarkEvaluator] = {}
+
+
+def _worker_evaluator(target: TuneTarget, name: str) -> BenchmarkEvaluator:
+    key = (target, name)
+    evaluator = _WORKER_EVALUATORS.get(key)
+    if evaluator is None:
+        evaluator = _WORKER_EVALUATORS[key] = BenchmarkEvaluator(name, target)
+    return evaluator
+
+
+def _eval_cells(
+    target: TuneTarget, payload: Optional[Dict[str, object]], name: str
+) -> Tuple[str, Dict[str, int], Dict[str, int]]:
+    """Pool task: (benchmark, default cells, cells under ``payload``)."""
+    evaluator = _worker_evaluator(target, name)
+    weights = None if payload is None else PriorityWeights.from_dict(payload)
+    return (
+        name,
+        _cells_payload(evaluator.default_cells),
+        _cells_payload(evaluator.cells(weights)),
+    )
+
+
+class _GlobalScorer:
+    """Scores one shared vector as the geomean ratio over every
+    (benchmark, cell); fans per-benchmark evaluation out over ``pool``."""
+
+    def __init__(self, config: TuneConfig, pool: Optional[ProcessPoolExecutor]):
+        self.config = config
+        self.pool = pool
+        #: benchmark -> ("policy@rate" -> cycles), from the latest call.
+        self.default_cells: Dict[str, Dict[str, int]] = {}
+        self.last_cells: Dict[str, Dict[str, int]] = {}
+
+    def cells_for(self, weights: Optional[PriorityWeights]):
+        payload = None if weights is None or weights.is_default else weights.to_dict()
+        task = partial(_eval_cells, self.config.target, payload)
+        if self.pool is not None:
+            rows = list(self.pool.map(task, self.config.benchmarks, chunksize=1))
+        else:
+            rows = [task(name) for name in self.config.benchmarks]
+        for name, default_cells, cells in rows:
+            self.default_cells[name] = default_cells
+            self.last_cells[name] = cells
+        return {name: cells for name, _, cells in rows}
+
+    def score(self, weights: PriorityWeights) -> float:
+        per_bench = self.cells_for(weights)
+        logs = [
+            math.log(cells[cell] / self.default_cells[name][cell])
+            for name, cells in per_bench.items()
+            for cell in cells
+        ]
+        return math.exp(sum(logs) / len(logs))
+
+
+# -- the driver --------------------------------------------------------
+
+
+@dataclass
+class SearchReport:
+    """Everything a tuning run learned, JSON-serializable."""
+
+    config: TuneConfig
+    per_benchmark: Dict[str, BenchmarkReport]
+    global_best: Optional[Dict[str, object]] = None
+    global_score: Optional[float] = None
+    global_stage_seconds: Dict[str, float] = field(default_factory=dict)
+    global_stage_evals: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    effective_jobs: int = 1
+
+    def tuned(self) -> TunedWeights:
+        """The winning weights as a loadable :class:`TunedWeights`.
+
+        Benchmarks whose search never beat the default are omitted, so
+        applying the file leaves them byte-identical to a weightless
+        sweep.
+        """
+        if self.config.mode == "global":
+            best = (
+                PriorityWeights.from_dict(self.global_best)
+                if self.global_best is not None
+                else DEFAULT_WEIGHTS
+            )
+            return TunedWeights(
+                global_weights=None if best.is_default else best
+            )
+        per_benchmark = []
+        for name, report in self.per_benchmark.items():
+            weights = PriorityWeights.from_dict(report.best)
+            if report.best_score < 1.0 and not weights.is_default:
+                per_benchmark.append((name, weights))
+        return TunedWeights(per_benchmark=tuple(per_benchmark))
+
+    def geomean_reductions(self) -> Dict[str, float]:
+        """"policy@rate" -> geomean fractional cycle reduction vs the
+        default heuristic across benchmarks (positive = tuned faster)."""
+        logs: Dict[str, List[float]] = {}
+        for report in self.per_benchmark.values():
+            for cell, default_cycles in report.default_cells.items():
+                tuned_cycles = report.tuned_cells[cell]
+                logs.setdefault(cell, []).append(
+                    math.log(tuned_cycles / default_cycles)
+                )
+        return {
+            cell: 1.0 - math.exp(sum(values) / len(values))
+            for cell, values in sorted(logs.items())
+        }
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Summed per-stage wall seconds across the whole search."""
+        totals: Dict[str, float] = dict(self.global_stage_seconds)
+        for report in self.per_benchmark.values():
+            for stage, seconds in report.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def total_evaluations(self) -> int:
+        return sum(r.evaluations for r in self.per_benchmark.values())
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "mode": self.config.mode,
+            "budget": self.config.budget,
+            "stages": list(self.config.stages),
+            "seed": self.config.seed,
+            "benchmarks": list(self.config.benchmarks),
+            "issue_rates": list(self.config.target.issue_rates),
+            "policies": list(self.config.target.policy_names),
+            "per_benchmark": {
+                name: report.to_payload()
+                for name, report in self.per_benchmark.items()
+            },
+            "global_best": self.global_best,
+            "global_score": self.global_score,
+            "geomean_reductions": self.geomean_reductions(),
+            "stage_seconds": self.stage_seconds(),
+            "total_evaluations": self.total_evaluations(),
+            "wall_seconds": self.wall_seconds,
+            "effective_jobs": self.effective_jobs,
+            "weights": self.tuned().to_payload(),
+        }
+
+    def render_summary(self) -> str:
+        lines = [
+            f"tuned {len(self.per_benchmark)} benchmarks "
+            f"({self.config.mode}, budget {self.config.budget}, "
+            f"{self.total_evaluations()} evaluations, "
+            f"{self.wall_seconds:.1f}s wall, jobs {self.effective_jobs})"
+        ]
+        improved = sorted(
+            (r for r in self.per_benchmark.values() if r.best_score < 1.0),
+            key=lambda r: r.best_score,
+        )
+        for report in improved:
+            lines.append(
+                f"  {report.name:<12} {(1 - report.best_score) * 100:5.2f}% "
+                f"geomean cycle reduction ({report.evaluations} evals)"
+            )
+        unimproved = len(self.per_benchmark) - len(improved)
+        if unimproved:
+            lines.append(f"  ({unimproved} benchmarks kept the default heuristic)")
+        lines.append("per-cell geomean cycle reduction vs default:")
+        for cell, reduction in self.geomean_reductions().items():
+            lines.append(f"  {cell:<20} {reduction * 100:6.2f}%")
+        return "\n".join(lines)
+
+
+def run_search(config: TuneConfig) -> SearchReport:
+    """Run the configured search; deterministic for any ``jobs``."""
+    from ..eval.harness import _cost_hint, _pool_init, _resolve_jobs
+    from ..core.parallel import pool_env
+
+    wall_start = time.perf_counter()
+    names = list(config.benchmarks)
+    jobs = _resolve_jobs(config.jobs, len(names))
+
+    if config.mode == "global":
+        pool = None
+        if jobs > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_pool_init, initargs=(pool_env(),)
+            )
+        try:
+            scorer = _GlobalScorer(config, pool)
+            search = _Search(
+                scorer.score,
+                config.budget,
+                config.stages,
+                config.beam_width,
+                Random(_bench_seed(config.seed, "__global__")),
+            )
+            search.run()
+            best_score, best = search.best
+            # Re-evaluate the winner so last_cells reflects it, then fold
+            # the per-benchmark cells into reports for the shared views.
+            final_cells = scorer.cells_for(best)
+            per_benchmark = {
+                name: BenchmarkReport(
+                    name=name,
+                    best=best.to_dict(),
+                    best_score=best_score,
+                    default_cells=scorer.default_cells[name],
+                    tuned_cells=final_cells[name],
+                    evaluations=search.spent,
+                )
+                for name in names
+            }
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        report = SearchReport(
+            config=config,
+            per_benchmark=per_benchmark,
+            global_best=best.to_dict(),
+            global_score=best_score,
+            global_stage_seconds=search.stage_seconds,
+            global_stage_evals=search.stage_evals,
+            effective_jobs=jobs,
+        )
+        report.wall_seconds = time.perf_counter() - wall_start
+        return report
+
+    if jobs > 1 and len(names) > 1:
+        ordered = sorted(names, key=lambda n: (-_cost_hint(n), names.index(n)))
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_pool_init, initargs=(pool_env(),)
+        ) as pool:
+            shards = list(
+                pool.map(partial(_search_benchmark, config), ordered, chunksize=1)
+            )
+        by_name = {shard.name: shard for shard in shards}
+        shards = [by_name[name] for name in names]
+    else:
+        jobs = 1
+        shards = [_search_benchmark(config, name) for name in names]
+
+    report = SearchReport(
+        config=config,
+        per_benchmark={shard.name: shard for shard in shards},
+        effective_jobs=jobs,
+    )
+    report.wall_seconds = time.perf_counter() - wall_start
+    return report

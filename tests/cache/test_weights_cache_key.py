@@ -1,0 +1,83 @@
+"""Compile-cache key coverage of scheduler priority weights.
+
+Non-default :class:`PriorityWeights` change the schedules a sweep
+produces, so they must change the cache key (distinct weights ->
+distinct keys); the default vector must leave the key byte-identical to
+a weightless sweep, so caches populated before weights existed stay
+warm (cold-cache compatibility).
+"""
+
+import dataclasses
+
+from repro.cache import canonical_weights
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.sched.priority import DEFAULT_WEIGHTS, PriorityWeights
+
+TINY = SweepConfig(benchmarks=("wc",), issue_rates=(2,), scale=0.5)
+
+
+def _entries(tmp_path):
+    return sorted(p.name for p in tmp_path.glob("*.pkl"))
+
+
+def _tiny(tmp_path, **overrides):
+    return run_sweep(
+        dataclasses.replace(
+            TINY, compile_cache=True, cache_dir=str(tmp_path), **overrides
+        )
+    )
+
+
+class TestCanonicalWeights:
+    def test_none_equals_default(self):
+        assert canonical_weights(None) == canonical_weights(DEFAULT_WEIGHTS)
+
+    def test_distinct_vectors_distinct_text(self):
+        texts = {
+            canonical_weights(PriorityWeights()),
+            canonical_weights(PriorityWeights(height=1.5)),
+            canonical_weights(PriorityWeights(succs=0.25)),
+            canonical_weights(PriorityWeights(tie_break="source_last")),
+        }
+        assert len(texts) == 4
+
+    def test_every_field_participates(self):
+        default = canonical_weights(DEFAULT_WEIGHTS)
+        for field in dataclasses.fields(PriorityWeights):
+            if field.name == "tie_break":
+                changed = PriorityWeights(tie_break="source_last")
+            else:
+                changed = DEFAULT_WEIGHTS.perturbed(field.name, 0.125)
+            assert canonical_weights(changed) != default, field.name
+
+
+class TestSweepCacheKeys:
+    def test_default_weights_reuse_weightless_entries(self, tmp_path):
+        """Explicit default weights must hit the exact keys a weightless
+        sweep wrote — the compatibility contract for pre-weights caches."""
+        _tiny(tmp_path)  # weightless cold sweep populates
+        cold_entries = _entries(tmp_path)
+        assert cold_entries
+        mtimes = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.pkl")}
+        warm = _tiny(tmp_path, weights=DEFAULT_WEIGHTS)
+        assert _entries(tmp_path) == cold_entries  # no new keys
+        assert {
+            p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.pkl")
+        } == mtimes  # pure hits, nothing rewritten
+        assert warm.to_csv() == run_sweep(TINY).to_csv()
+
+    def test_distinct_weights_distinct_keys(self, tmp_path):
+        _tiny(tmp_path)
+        baseline = set(_entries(tmp_path))
+        _tiny(tmp_path, weights=PriorityWeights(height=1.5, succs=0.25))
+        first = set(_entries(tmp_path))
+        assert first > baseline  # new keys, old entries untouched
+        _tiny(tmp_path, weights=PriorityWeights(height=1.5, succs=0.5))
+        second = set(_entries(tmp_path))
+        assert second > first  # a different vector keys differently
+
+    def test_weighted_entries_round_trip(self, tmp_path):
+        weights = PriorityWeights(height=1.25, memory=0.5)
+        cold = _tiny(tmp_path, weights=weights)
+        warm = _tiny(tmp_path, weights=weights)
+        assert warm.to_csv() == cold.to_csv()

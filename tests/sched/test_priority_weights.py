@@ -1,0 +1,193 @@
+"""PriorityWeights: serialization, default-path byte-identity, threading
+through the pipeline, and heap-vs-reference pinning under non-default
+vectors."""
+
+import json
+
+import pytest
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import SENTINEL
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program, prepare_compilation, schedule_prepared
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.priority import (
+    DEFAULT_WEIGHTS,
+    PriorityWeights,
+    TunedWeights,
+    load_weights_file,
+)
+from repro.workloads.generator import random_program
+from repro.workloads.suites import build_workload
+
+
+class TestVector:
+    def test_default_is_default(self):
+        assert DEFAULT_WEIGHTS.is_default
+        assert PriorityWeights().is_default
+        assert not PriorityWeights(succs=0.5).is_default
+
+    def test_canonical_normalizes_int_and_float(self):
+        assert PriorityWeights(height=1).canonical() == (
+            PriorityWeights(height=1.0).canonical()
+        )
+
+    def test_rejects_bad_tie_break(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            PriorityWeights(tie_break="alphabetical")
+
+    def test_rejects_non_numeric_weight(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            PriorityWeights(memory="lots")
+
+    def test_dict_round_trip(self):
+        vector = PriorityWeights(
+            succs=0.25, latency=-0.5, sentinel=2.0, tie_break="source_last"
+        )
+        assert PriorityWeights.from_dict(vector.to_dict()) == vector
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown weight fields"):
+            PriorityWeights.from_dict({"heigth": 1.0})
+
+    def test_perturbed(self):
+        nudged = DEFAULT_WEIGHTS.perturbed("memory", 0.5)
+        assert nudged.memory == 0.5
+        assert nudged.perturbed("memory", -0.5) == DEFAULT_WEIGHTS
+
+
+class TestTunedWeights:
+    def test_resolution_precedence(self):
+        special = PriorityWeights(succs=0.25)
+        shared = PriorityWeights(latency=0.125)
+        tuned = TunedWeights(
+            global_weights=shared, per_benchmark=(("wc", special),)
+        )
+        assert tuned.resolve("wc") == special
+        assert tuned.resolve("grep") == shared
+        assert TunedWeights().resolve("grep") == DEFAULT_WEIGHTS
+
+    def test_payload_round_trip(self, tmp_path):
+        tuned = TunedWeights(
+            global_weights=PriorityWeights(branch=0.5),
+            per_benchmark=(("cmp", PriorityWeights(memory=-1.0)),),
+        )
+        path = tmp_path / "weights.json"
+        path.write_text(json.dumps(tuned.to_payload()))
+        assert load_weights_file(path) == tuned
+
+    def test_rejects_future_version(self):
+        with pytest.raises(ValueError, match="version"):
+            TunedWeights.from_payload({"version": 99})
+
+
+class TestSchedulerIntegration:
+    def _schedule(self, workload, weights, rate=4):
+        basic = to_basic_blocks(workload.program)
+        training = run_program(basic, memory=workload.make_memory())
+        machine = paper_machine(rate)
+        return compile_program(
+            basic, training.profile, machine, SENTINEL,
+            unroll_factor=2, weights=weights,
+        )
+
+    def test_default_weights_use_legacy_integer_priorities(self, monkeypatch):
+        """The default path must reuse the memoized height list and the
+        exact ``(-height, node)`` integer heap keys of the pre-weights
+        scheduler — that is what keeps golden digests byte-identical."""
+        workload = random_program(3, n_loops=1, body_size=6, trip=4)
+        captured = []
+        original = ListScheduler.run
+
+        def spy(self):
+            captured.append(
+                (
+                    self._prio is self._heights,
+                    self._sentinel_prio,
+                    self._heap_key(0),
+                    -self._heights[0],
+                )
+            )
+            return original(self)
+
+        monkeypatch.setattr(ListScheduler, "run", spy)
+        self._schedule(workload, None)
+        assert captured
+        for shares_heights, sentinel_prio, key, neg_height in captured:
+            assert shares_heights
+            assert sentinel_prio == 1
+            assert key == (neg_height, 0)
+            assert all(isinstance(part, int) for part in key)
+
+    def test_explicit_default_weights_schedule_identically(self):
+        workload = random_program(5, n_loops=1, body_size=8, trip=5)
+        plain = self._schedule(workload, None)
+        explicit = self._schedule(workload, PriorityWeights())
+        assert _digest(plain) == _digest(explicit)
+
+    def test_nondefault_weights_change_some_schedule(self):
+        """At least one vector must actually steer the scheduler — the
+        threading is pointless (and the tuner blind) otherwise."""
+        workload = build_workload("tomcatv", scale=1.0)
+        plain = self._schedule(workload, None, rate=2)
+        tuned = self._schedule(
+            workload, PriorityWeights(succs=1.0, memory=0.5), rate=2
+        )
+        assert _digest(plain) != _digest(tuned)
+
+    def test_schedule_prepared_override_beats_options(self):
+        """Per-schedule weights override the prepared options vector, and
+        the override is cleared afterwards (repeatable backend runs)."""
+        workload = random_program(7, n_loops=1, body_size=8, trip=5)
+        basic = to_basic_blocks(workload.program)
+        training = run_program(basic, memory=workload.make_memory())
+        machine = paper_machine(4)
+        option_weights = PriorityWeights(succs=0.5)
+        prepared = prepare_compilation(
+            basic, training.profile, SENTINEL, weights=option_weights
+        )
+        via_options = schedule_prepared(prepared, machine)
+        overridden = schedule_prepared(
+            prepared, machine, weights=DEFAULT_WEIGHTS
+        )
+        again = schedule_prepared(prepared, machine)
+        baseline = compile_program(basic, training.profile, machine, SENTINEL)
+        assert _digest(overridden) == _digest(baseline)
+        assert _digest(via_options) == _digest(again)
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            PriorityWeights(succs=0.5, latency=0.25),
+            PriorityWeights(memory=-1.0, branch=0.5, sentinel=2.0),
+            PriorityWeights(speculative=-0.75, tie_break="source_last"),
+        ],
+        ids=("succs-latency", "memory-branch-sentinel", "spec-tie"),
+    )
+    def test_heap_matches_reference_under_weights(self, weights, monkeypatch):
+        """Satellite 2: one weight-aware priority path drives both the
+        heap scheduler and the reference scan loop — they must produce
+        uid-identical schedules for non-default vectors too."""
+        workload = random_program(2, n_loops=2, body_size=8, trip=5)
+        heap = self._schedule(workload, weights)
+        with monkeypatch.context() as patch:
+            patch.setattr(ListScheduler, "run", ListScheduler.run_reference)
+            reference = self._schedule(workload, weights)
+        assert _digest(heap) == _digest(reference)
+
+
+def _digest(comp):
+    return [
+        (
+            scheduled.label,
+            [
+                [
+                    (instr.uid, instr.op.name, instr.spec, instr.sentinel_for)
+                    for instr in word
+                ]
+                for word in scheduled.words
+            ],
+        )
+        for scheduled in comp.scheduled.blocks
+    ]

@@ -1,0 +1,181 @@
+"""The priority-weight search harness: budget discipline, determinism
+(including across jobs counts), never-worse-than-default winners, and
+the weights-file round trip into the sweep."""
+
+import json
+
+import pytest
+
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.sched.priority import (
+    DEFAULT_WEIGHTS,
+    PriorityWeights,
+    TunedWeights,
+    load_weights_file,
+)
+from repro.tune import (
+    BenchmarkEvaluator,
+    TuneConfig,
+    TuneTarget,
+    grid_candidates,
+    run_search,
+)
+
+#: Small but real: two policies, two rates, half-scale workloads.
+TARGET = TuneTarget(
+    policy_names=("restricted", "sentinel"), issue_rates=(2, 8), scale=0.5
+)
+SMALL = TuneConfig(
+    benchmarks=("wc", "cmp"),
+    target=TARGET,
+    budget=15,
+    stages=("grid", "beam"),
+    jobs=1,
+    validate=False,
+)
+
+
+class TestGrid:
+    def test_candidates_valid_and_unique(self):
+        candidates = grid_candidates()
+        assert len({c.canonical() for c in candidates}) == len(candidates)
+        assert all(not c.is_default for c in candidates)
+
+
+class TestEvaluator:
+    def test_default_cells_and_memoization(self):
+        evaluator = BenchmarkEvaluator("wc", TARGET)
+        assert set(evaluator.default_cells) == {
+            (policy, rate)
+            for policy in TARGET.policy_names
+            for rate in TARGET.issue_rates
+        }
+        assert evaluator.objective(None) == 1.0
+        before = evaluator.evaluations
+        vector = PriorityWeights(succs=0.25)
+        first = evaluator.cells(vector)
+        assert evaluator.evaluations == before + 1
+        assert evaluator.cells(vector) is first  # memoized
+        assert evaluator.evaluations == before + 1
+
+    def test_explicit_default_is_free(self):
+        evaluator = BenchmarkEvaluator("wc", TARGET)
+        before = evaluator.evaluations
+        assert evaluator.cells(DEFAULT_WEIGHTS) == evaluator.default_cells
+        assert evaluator.evaluations == before
+
+    def test_validation_runs_clean(self):
+        evaluator = BenchmarkEvaluator("wc", TARGET)
+        outcome = evaluator.validate(PriorityWeights(succs=0.5, memory=0.25))
+        assert outcome["ok"], outcome
+        assert outcome["fast_cycles"] > 0
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            TuneTarget(policy_names=("sentinel", "turbo"))
+
+
+class TestSearch:
+    def test_budget_respected_and_never_worse(self):
+        report = run_search(SMALL)
+        for bench in report.per_benchmark.values():
+            assert bench.evaluations <= SMALL.budget
+            assert bench.best_score <= 1.0
+            assert sum(bench.stage_evals.values()) == bench.evaluations
+            assert set(bench.stage_seconds) == set(SMALL.stages)
+
+    def test_deterministic_across_runs_and_jobs(self):
+        first = run_search(SMALL)
+        again = run_search(SMALL)
+        parallel = run_search(
+            TuneConfig(**{**_as_kwargs(SMALL), "jobs": 2})
+        )
+        baseline = _comparable(first)
+        assert _comparable(again) == baseline
+        assert _comparable(parallel) == baseline
+
+    def test_report_payload_is_json(self):
+        report = run_search(SMALL)
+        payload = json.loads(json.dumps(report.to_payload()))
+        assert payload["mode"] == "per_benchmark"
+        assert set(payload["per_benchmark"]) == set(SMALL.benchmarks)
+        assert set(payload["geomean_reductions"]) == {
+            f"{policy}@{rate}"
+            for policy in TARGET.policy_names
+            for rate in TARGET.issue_rates
+        }
+
+    def test_global_mode(self):
+        config = TuneConfig(**{**_as_kwargs(SMALL), "mode": "global", "budget": 8})
+        report = run_search(config)
+        assert report.global_best is not None
+        assert report.global_score <= 1.0
+        tuned = report.tuned()
+        assert tuned.per_benchmark == ()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TuneConfig(benchmarks=())
+        with pytest.raises(ValueError):
+            TuneConfig(benchmarks=("wc",), mode="evolutionary")
+        with pytest.raises(ValueError):
+            TuneConfig(benchmarks=("wc",), stages=("grid", "bogo"))
+
+
+class TestWeightsFileFlow:
+    def test_tuned_weights_round_trip_into_sweep(self, tmp_path):
+        """tuned() -> JSON -> load_weights_file -> SweepConfig.weights
+        must reproduce the searched cycle counts in the real sweep."""
+        report = run_search(SMALL)
+        path = tmp_path / "tuned_weights.json"
+        path.write_text(json.dumps(report.tuned().to_payload()))
+        loaded = load_weights_file(path)
+        assert loaded == report.tuned()
+        sweep = run_sweep(
+            SweepConfig(
+                benchmarks=SMALL.benchmarks,
+                policies=_policies(TARGET.policy_names),
+                issue_rates=TARGET.issue_rates,
+                scale=TARGET.scale,
+                weights=loaded,
+            )
+        )
+        for name, bench in report.per_benchmark.items():
+            for cell, cycles in bench.tuned_cells.items():
+                policy, rate = cell.split("@")
+                assert sweep.cell(name, policy, int(rate)).cycles == cycles
+
+    def test_omits_unimproved_benchmarks(self):
+        report = run_search(SMALL)
+        tuned = report.tuned()
+        for name, _weights in tuned.per_benchmark:
+            assert report.per_benchmark[name].best_score < 1.0
+        assert isinstance(tuned, TunedWeights)
+
+
+def _as_kwargs(config: TuneConfig) -> dict:
+    return {
+        "benchmarks": config.benchmarks,
+        "target": config.target,
+        "budget": config.budget,
+        "stages": config.stages,
+        "mode": config.mode,
+        "jobs": config.jobs,
+        "seed": config.seed,
+        "beam_width": config.beam_width,
+        "validate": config.validate,
+    }
+
+
+def _comparable(report) -> dict:
+    """The jobs- and wall-time-independent view of a search report."""
+    return {
+        name: (bench.best, bench.best_score, bench.default_cells, bench.tuned_cells)
+        for name, bench in report.per_benchmark.items()
+    }
+
+
+def _policies(names):
+    from repro.deps.reduction import POLICIES
+
+    return tuple(POLICIES[name] for name in names)
