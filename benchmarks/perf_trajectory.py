@@ -23,10 +23,14 @@ It measures the optimization layers behind the sweep:
 5. **IR-verification overhead** — the same sweep with ``--verify-ir``
    semantics (the verifier interleaved after every compilation pass),
    asserting byte-identical output and reporting the wall overhead.
-6. **Batch executor** — the vectorized lockstep engine vs per-cell
+6. **Machine timing layer** — the sweep under the ``realistic`` machine
+   preset vs the default, asserting the ``paper`` preset is
+   byte-identical to the flagless sweep, plus the fast engine's
+   per-cycle cost of the MicroTiming hooks.
+7. **Batch executor** — the vectorized lockstep engine vs per-cell
    execution at batch widths 1/16/64/256 on the sweep's costliest cell
    shape, asserting bit-identical observables at every width.
-7. **Fuzz campaign** — the 1000-seed differential campaign, serial,
+8. **Fuzz campaign** — the 1000-seed differential campaign, serial,
    batched and per-cell, reporting wall time, seeds/sec and cells/sec
    (the numbers the hardening work is graded on).
 
@@ -373,6 +377,80 @@ def batch_benchmark(widths=(1, 16, 64, 256), trials=2):
     }
 
 
+def machine_benchmark(trials=2):
+    """Cost of the microarchitectural timing layer (the machine axis).
+
+    1. A sweep with an explicit ``paper`` preset template must be
+       byte-identical to the flagless sweep — the default machine *is*
+       the paper machine, not merely equivalent to it.
+    2. The full sweep under the ``realistic`` preset (taken-branch fetch
+       breaks, bimodal predictor, I/D caches) is timed against the
+       default sweep, best-of-``trials`` per arm, interleaved.
+    3. One schedule runs cycle-level on both machines to price the
+       per-cycle ``MicroTiming`` hooks in the fast engine, normalized
+       per simulated cycle (the realistic run executes more cycles).
+    """
+    from repro.arch.fastproc import FastProcessor
+    from repro.deps.reduction import SENTINEL_STORE
+    from repro.machine.presets import machine_preset
+    from repro.sched.compiler import compile_program
+
+    default_walls, realistic_walls = [], []
+    default_csvs, realistic_csvs = [], []
+    for _ in range(trials):
+        start = time.perf_counter()
+        default = run_sweep(SweepConfig(jobs=1))
+        default_walls.append(time.perf_counter() - start)
+        default_csvs.append(default.to_csv())
+        start = time.perf_counter()
+        realistic = run_sweep(
+            SweepConfig(jobs=1, machine=machine_preset("realistic"))
+        )
+        realistic_walls.append(time.perf_counter() - start)
+        realistic_csvs.append(realistic.to_csv())
+    assert len(set(default_csvs)) == 1, "default sweep not deterministic"
+    assert len(set(realistic_csvs)) == 1, "realistic sweep not deterministic"
+    assert realistic_csvs[0] != default_csvs[0], "realistic machine changed nothing"
+
+    paper = run_sweep(SweepConfig(jobs=1, machine=machine_preset("paper")))
+    assert paper.to_csv() == default_csvs[0], "paper preset changed the sweep"
+
+    workload = build_workload("grep", seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(basic, memory=workload.make_memory(), max_steps=MAX_STEPS)
+    assert training.halted
+    engine = {}
+    for preset in ("paper", "realistic"):
+        machine = machine_preset(preset, 8)
+        comp = compile_program(
+            basic, training.profile, machine, SENTINEL_STORE, unroll_factor=2
+        )
+        best = float("inf")
+        out = None
+        for _ in range(trials):
+            memory = workload.make_memory()
+            start = time.perf_counter()
+            out = FastProcessor(comp.scheduled, machine, memory=memory).run()
+            best = min(best, time.perf_counter() - start)
+        engine[preset] = {
+            "cycles": out.cycles,
+            "seconds": round(best, 4),
+            "cycles_per_sec": round(out.cycles / best),
+        }
+    overhead = (
+        engine["paper"]["cycles_per_sec"] / engine["realistic"]["cycles_per_sec"]
+    )
+
+    return {
+        "trials": trials,
+        "default_wall_seconds": round(min(default_walls), 3),
+        "realistic_wall_seconds": round(min(realistic_walls), 3),
+        "paper_preset_byte_identical": True,
+        "engine": engine,
+        "engine_overhead_per_cycle": round(overhead, 2),
+    }
+
+
 def tune_benchmark(trials=2):
     """Scheduler priority-weight autotuning (the ``repro.tune`` harness).
 
@@ -565,6 +643,17 @@ def main():
         f"({cache['compile_speedup']}x), output byte-identical"
     )
 
+    print("machine timing layer: default vs realistic preset...")
+    machine = machine_benchmark()
+    print(
+        f"  sweep wall {machine['default_wall_seconds']}s default -> "
+        f"{machine['realistic_wall_seconds']}s realistic; fast engine "
+        f"{machine['engine']['paper']['cycles_per_sec']:,} -> "
+        f"{machine['engine']['realistic']['cycles_per_sec']:,} cycles/sec "
+        f"({machine['engine_overhead_per_cycle']}x per-cycle overhead); "
+        "paper preset byte-identical"
+    )
+
     print("batch executor: lockstep vs per-cell at widths 1/16/64/256...")
     batch = batch_benchmark()
     for width, numbers in batch["widths"].items():
@@ -604,6 +693,7 @@ def main():
         "sweep": [sweep1, sweep4, sweep0],
         "verify_ir": verify,
         "compile_cache": cache,
+        "machine": machine,
         "batch": batch,
         "fuzz": fuzz,
         "tune": tune,

@@ -221,6 +221,30 @@ def main() -> None:
         "(a tuned_weights.json written by --tune)",
     )
     parser.add_argument(
+        "--machine",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="run the sweep on the machine described by a machine JSON "
+        "file (see --dump-machine; rescaled to every issue rate)",
+    )
+    parser.add_argument(
+        "--machine-preset",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="run the sweep on a named machine preset "
+        "(paper, fetchbreak, btfn, bimodal, cache, realistic)",
+    )
+    parser.add_argument(
+        "--dump-machine",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="print a preset's machine JSON (editable, loadable via "
+        "--machine) and exit",
+    )
+    parser.add_argument(
         "--tune",
         action="store_true",
         help="search scheduler priority weights (grid -> beam -> annealing) "
@@ -348,6 +372,33 @@ def main() -> None:
         # worker processes.
         os.environ["REPRO_BATCH_PROC"] = "0"
 
+    if args.dump_machine is not None:
+        from .machine.presets import machine_preset
+
+        try:
+            print(machine_preset(args.dump_machine).to_json())
+        except ValueError as exc:
+            parser.error(str(exc))
+        return
+
+    machine = None
+    if args.machine is not None and args.machine_preset is not None:
+        parser.error("--machine and --machine-preset are mutually exclusive")
+    if args.machine is not None:
+        from .machine.presets import load_machine_file
+
+        try:
+            machine = load_machine_file(args.machine)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+    elif args.machine_preset is not None:
+        from .machine.presets import machine_preset
+
+        try:
+            machine = machine_preset(args.machine_preset)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     if args.fuzz is not None:
         raise SystemExit(run_fuzz(args))
 
@@ -393,6 +444,7 @@ def main() -> None:
             trace_passes=args.trace_passes is not None,
             compile_cache=not args.no_compile_cache,
             weights=weights,
+            machine=machine,
         )
     )
     if args.timings:

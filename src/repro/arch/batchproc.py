@@ -837,6 +837,9 @@ class _Lockstep:
         proc = FastProcessor.__new__(FastProcessor)
         proc.scheduled = self.scheduled
         proc.machine = cell.machine
+        # Lockstep only ever runs timing-ideal machines (non-ideal cells
+        # route to per-cell execution before rows form).
+        proc.timing = None
         proc.tagged_mode = self.tagged_mode
         proc.colwell_mode = self.colwell_mode
         proc.on_exception = cell.on_exception
@@ -1853,6 +1856,15 @@ def run_batch(cells: List[BatchCell], batch: Optional[bool] = None) -> List[obje
             or cell.init_regs
             or cell.init_tags
         ):
+            results[idx] = _run_single(cell)
+            continue
+        if not cell.machine.is_ideal_timing:
+            # Fetch/predictor/cache state is per-cell and history-
+            # dependent, so neither coalescing (fork would have to clone
+            # it) nor lockstep (lanes would diverge on cache contents)
+            # applies; the per-cell fast engine threads the full timing
+            # model and stays bit-identical to the reference.
+            _count("cells_machine_timing")
             results[idx] = _run_single(cell)
             continue
         key = (

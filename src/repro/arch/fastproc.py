@@ -54,7 +54,9 @@ from ..isa.semantics import (
     wrap64,
 )
 from ..machine.description import MachineDescription
+from ..machine.resources import word_resource_violation
 from ..sched.schedule import ScheduledProgram
+from .microtiming import MicroTiming
 from .exceptions import (
     ABORT,
     RECORD,
@@ -639,6 +641,21 @@ class FastProcessor:
                 self.written[ri] = 1
 
         self.buffer = _FastStoreBuffer(machine.store_buffer_size, self.memory)
+        #: Microarchitectural timing state; None on a timing-ideal machine.
+        #: Shared implementation with the reference Processor, called at
+        #: the same points of the cycle loop — bit-identity by construction.
+        self.timing = MicroTiming.for_run(machine, scheduled)
+        if (
+            machine.branches_per_cycle is not None
+            or machine.memory_ops_per_cycle is not None
+        ):
+            for blk in scheduled.blocks:
+                for cycle, word in enumerate(blk.words):
+                    violation = word_resource_violation(word, machine)
+                    if violation is not None:
+                        raise SimulationError(
+                            f"block {blk.label} cycle {cycle}: {violation}"
+                        )
         self._pending_traps: Dict[Value, Trap] = {}
         self._clock = 0
         self._exceptions: List[SignalledException] = []
@@ -767,6 +784,11 @@ class FastProcessor:
         aborted = False
         fork_hook = self._fork_hook
         resume = self._resume
+        timing = self.timing
+        #: Mirrors the reference engine: a word's front-end cost is charged
+        #: exactly once, at its first fetch.
+        fetch_pending = resume is None
+        fetch_redirect = False
         if resume is None:
             dyn = 0
             interlock_stalls = 0
@@ -816,6 +838,19 @@ class FastProcessor:
             word = words[word_idx]
             records = word.records
             n_slots = len(records)
+
+            if fetch_pending:
+                fetch_pending = False
+                if timing is not None:
+                    for _ in range(
+                        timing.fetch_word(block_idx, word_idx, n_slots, fetch_redirect)
+                    ):
+                        release_cycle()
+                        clock += 1
+                        if clock > max_cycles:
+                            raise SimulationError(
+                                f"cycle limit {max_cycles} exceeded"
+                            )
 
             # CRAY-1 interlock over the remaining slots' sources.
             needed = clock
@@ -903,10 +938,15 @@ class FastProcessor:
                             trap = None if fk is None else Trap(fk, address=address)
                         else:
                             trap = mem_check(address)
+                        extra = 0
                         if trap is None:
                             value = buffer.search(address)
                             if value is None:
                                 value = mem_data.get(address, 0)
+                                # Only an actual memory read probes the
+                                # D-cache (mirrors the reference engine).
+                                if timing is not None:
+                                    extra = timing.load_extra(address)
                             if is_fload and isinstance(value, int):
                                 value = float(value)
                         else:
@@ -916,7 +956,7 @@ class FastProcessor:
                                 if trap is not None:
                                     raise _Signal(uid, True, trap, instr)
                                 if dest_ri >= 0:
-                                    ready[dest_ri] = clock + lat
+                                    ready[dest_ri] = clock + lat + extra
                                     if dest_ri:
                                         data[dest_ri] = value
                                         tags[dest_ri] = 0
@@ -932,7 +972,7 @@ class FastProcessor:
                                             written[dest_ri] = 1
                                 else:
                                     if dest_ri >= 0:
-                                        ready[dest_ri] = clock + lat
+                                        ready[dest_ri] = clock + lat + extra
                                         if dest_ri:
                                             data[dest_ri] = value
                                             tags[dest_ri] = 0
@@ -972,7 +1012,7 @@ class FastProcessor:
                                     raise _Signal(uid, True, trap, instr)
                             else:
                                 if dest_ri >= 0:
-                                    ready[dest_ri] = clock + lat
+                                    ready[dest_ri] = clock + lat + extra
                                     if dest_ri:
                                         data[dest_ri] = value
                                         tags[dest_ri] = 0
@@ -1164,7 +1204,10 @@ class FastProcessor:
                                     raise _Signal(data[ri], False, None, instr)
                         a = data[a_ri] if a_ri >= 0 else a_imm
                         b = data[b_ri] if b_ri >= 0 else b_imm
-                        if cmp(a, b):
+                        branch_went = cmp(a, b)
+                        if timing is not None:
+                            timing.branch_resolved(instr.uid, branch_went)
+                        if branch_went:
                             taken = target
                             taken_bidx = target_bidx
                             taken_conditional = True
@@ -1293,6 +1336,8 @@ class FastProcessor:
                     pending_taken = None
                     pending_bidx = -1
                     pending_taken_conditional = False
+                    fetch_pending = True
+                    fetch_redirect = True
                     release_cycle()
                     clock += 1
                     if clock > max_cycles:
@@ -1319,9 +1364,13 @@ class FastProcessor:
                 block_idx = pending_bidx
                 word_idx = 0
                 slot_idx = 0
+                fetch_pending = True
+                fetch_redirect = True
             else:
                 word_idx += 1
                 slot_idx = 0
+                fetch_pending = True
+                fetch_redirect = False
 
         if halted:
             buffer.drain()
@@ -1329,6 +1378,7 @@ class FastProcessor:
         registers = {
             _REG_OBJECTS[i]: data[i] for i in range(_REG_COUNT) if written[i]
         }
+        fetch_stalls = 0 if timing is None else timing.fetch_stalls
         return ProcessorResult(
             registers=registers,
             memory=self.memory,
@@ -1338,12 +1388,16 @@ class FastProcessor:
             halted=halted,
             aborted=aborted,
             io_events=io_events,
-            stall_cycles=interlock_stalls + buffer_stalls,
+            stall_cycles=interlock_stalls + buffer_stalls + fetch_stalls,
             interlock_stalls=interlock_stalls,
             store_buffer_stalls=buffer_stalls,
             recoveries=self._recoveries,
             mispredictions=mispredictions,
             cancelled_stores=buffer.cancellations,
+            fetch_stalls=fetch_stalls,
+            branch_mispredicts=0 if timing is None else timing.branch_mispredicts,
+            icache_misses=0 if timing is None else timing.icache_misses,
+            dcache_misses=0 if timing is None else timing.dcache_misses,
         )
 
     def _sync_counters(self, dyn, interlock, bufstalls, mispred) -> None:
@@ -1370,9 +1424,16 @@ def fork_processor(
     """
     if on_exception not in (ABORT, RECORD, RECOVER):
         raise ValueError(f"unknown exception policy {on_exception!r}")
+    if proc.timing is not None:
+        # The batch executor routes non-ideal-timing machines to per-cell
+        # runs, so a fork never has predictor/cache state to clone.
+        raise SimulationError(
+            "cannot fork a processor with microarchitectural timing state"
+        )
     clone = FastProcessor.__new__(FastProcessor)
     clone.scheduled = proc.scheduled
     clone.machine = proc.machine
+    clone.timing = None
     clone.tagged_mode = proc.tagged_mode
     clone.colwell_mode = proc.colwell_mode
     clone.on_exception = on_exception

@@ -1,0 +1,229 @@
+"""The shared microarchitectural timing layer of the cycle simulators.
+
+:class:`MicroTiming` is the runtime state machine behind the three
+optional axes of :class:`~repro.machine.description.MachineDescription`
+— variable-bandwidth fetch with taken-branch breaks, a branch direction
+predictor with a redirect penalty, and direct-mapped I/D caches.  The
+reference :class:`~repro.arch.processor.Processor` and the fast engine
+(:mod:`repro.arch.fastproc`) both drive *one* implementation at the same
+points of their cycle loops:
+
+* ``fetch_word`` — once per fetched word, before issue: returns the
+  front-end stall (fetch-width assembly cycles + taken-redirect break +
+  I-cache miss + any owed misprediction redirect penalty).
+* ``branch_resolved`` — when a conditional branch executes: consults and
+  updates the predictor; a misprediction banks its redirect penalty,
+  which the *next* ``fetch_word`` charges.
+* ``load_extra`` — when a load actually reads memory (not a store-buffer
+  forward, not a faulting access, not a tag propagation): returns the
+  D-cache miss penalty, which rides into the destination's ready time
+  and surfaces downstream as CRAY-1 interlock stalls.
+
+Determinism: predictor table indices use *static word addresses* (layout
+position of the branch), never instruction uids — uids are allocated
+from a process-global counter and differ across runs for identical
+programs, and timing must not.  The caches model timing only; data
+always comes from memory or the store buffer, so a stale line can cost
+cycles but never correctness.  Stores write around both caches.
+
+For a timing-ideal machine :meth:`MicroTiming.for_run` returns ``None``
+and the engines skip every call — the default paper machine's cycle
+counts are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..machine.description import MachineDescription
+from ..sched.schedule import ScheduledProgram
+
+__all__ = ["MicroTiming", "word_width_extra"]
+
+
+def word_width_extra(n_slots: int, fetch_width: int) -> int:
+    """Extra cycles to assemble an ``n_slots``-wide word at ``fetch_width``."""
+    if n_slots <= fetch_width:
+        return 0
+    return (n_slots + fetch_width - 1) // fetch_width - 1
+
+
+class MicroTiming:
+    """Mutable per-run timing state; construct one per simulation run."""
+
+    __slots__ = (
+        "machine",
+        "word_base",
+        "_fetch_variable",
+        "_fetch_width",
+        "_taken_break",
+        "_pred_kind",
+        "_pred_penalty",
+        "_pred_static",
+        "_pred_table",
+        "_pred_size",
+        "_branch_pc",
+        "_ic_enabled",
+        "_ic_tags",
+        "_ic_lines",
+        "_ic_line_size",
+        "_ic_penalty",
+        "_dc_enabled",
+        "_dc_tags",
+        "_dc_lines",
+        "_dc_line_size",
+        "_dc_penalty",
+        "_owed_redirect",
+        "fetch_stalls",
+        "icache_misses",
+        "dcache_misses",
+        "branch_mispredicts",
+    )
+
+    @staticmethod
+    def for_run(
+        machine: MachineDescription, scheduled: ScheduledProgram
+    ) -> Optional["MicroTiming"]:
+        """A fresh timing state, or ``None`` for a timing-ideal machine."""
+        if machine.is_ideal_timing:
+            return None
+        return MicroTiming(machine, scheduled)
+
+    def __init__(self, machine: MachineDescription, scheduled: ScheduledProgram) -> None:
+        self.machine = machine
+
+        # Static layout: the global word address of each block's word 0.
+        # Both engines run the same ScheduledProgram, so these addresses
+        # (and everything derived from them) are identical across engines
+        # and across runs.
+        base = 0
+        self.word_base = []
+        for blk in scheduled.blocks:
+            self.word_base.append(base)
+            base += len(blk.words)
+
+        fetch = machine.fetch
+        self._fetch_variable = fetch.mode == "variable"
+        self._fetch_width = machine.fetch_width
+        self._taken_break = fetch.taken_branch_break
+
+        pred = machine.predictor
+        self._pred_kind = pred.kind
+        self._pred_penalty = pred.mispredict_penalty
+        self._pred_size = pred.table_size
+        self._pred_table = (
+            [1] * pred.table_size if pred.kind == "bimodal" else []
+        )
+        # Static per-branch facts, keyed by uid *within this run only*:
+        # the word address (predictor index) and the BTFN direction
+        # (backward = target block laid out at or before the branch's).
+        self._pred_static: Dict[int, bool] = {}
+        self._branch_pc: Dict[int, int] = {}
+        for block_idx, blk in enumerate(scheduled.blocks):
+            for cycle, _slot, instr in blk.linear():
+                target = getattr(instr, "target", None)
+                if target is None or not instr.info.is_control:
+                    continue
+                self._branch_pc[instr.uid] = self.word_base[block_idx] + cycle
+                try:
+                    backward = scheduled.block_index(target) <= block_idx
+                except KeyError:
+                    backward = False
+                self._pred_static[instr.uid] = backward
+
+        icache = machine.icache
+        self._ic_enabled = icache.kind == "direct"
+        self._ic_lines = icache.lines
+        self._ic_line_size = icache.line_size
+        self._ic_penalty = icache.miss_penalty
+        self._ic_tags = [-1] * icache.lines if self._ic_enabled else []
+
+        dcache = machine.dcache
+        self._dc_enabled = dcache.kind == "direct"
+        self._dc_lines = dcache.lines
+        self._dc_line_size = dcache.line_size
+        self._dc_penalty = dcache.miss_penalty
+        self._dc_tags = [-1] * dcache.lines if self._dc_enabled else []
+
+        self._owed_redirect = 0
+        self.fetch_stalls = 0
+        self.icache_misses = 0
+        self.dcache_misses = 0
+        self.branch_mispredicts = 0
+
+    # -- front end ----------------------------------------------------
+
+    def fetch_word(
+        self, block_idx: int, word_idx: int, n_slots: int, redirect: bool
+    ) -> int:
+        """Front-end stall cycles for fetching one word.
+
+        Charged exactly once per fetch (the engines consume a pending
+        flag, so re-entry into a word after a store-buffer stall or a
+        sentinel re-execution does not re-charge).  ``redirect`` is True
+        when control arrived here via a taken transfer (branch, jump, or
+        recovery re-entry) rather than sequential fall-through.
+        """
+        stall = self._owed_redirect
+        self._owed_redirect = 0
+        if self._fetch_variable:
+            if redirect:
+                stall += self._taken_break
+            stall += word_width_extra(n_slots, self._fetch_width)
+        if self._ic_enabled:
+            addr = self.word_base[block_idx] + word_idx
+            line = (addr // self._ic_line_size) % self._ic_lines
+            tag = addr // (self._ic_line_size * self._ic_lines)
+            if self._ic_tags[line] != tag:
+                self._ic_tags[line] = tag
+                self.icache_misses += 1
+                stall += self._ic_penalty
+        self.fetch_stalls += stall
+        return stall
+
+    # -- branch predictor ---------------------------------------------
+
+    def static_prediction(self, uid: int) -> bool:
+        """The BTFN static direction for a branch (taken iff backward)."""
+        return self._pred_static.get(uid, False)
+
+    def branch_resolved(self, uid: int, taken: bool) -> bool:
+        """Record one conditional branch resolving; True on mispredict.
+
+        A misprediction banks ``mispredict_penalty`` redirect cycles
+        against the next fetch, whichever path it fetches — the front
+        end was running down the predicted path either way.
+        """
+        kind = self._pred_kind
+        if kind == "perfect":
+            return False
+        if kind == "btfn":
+            predicted = self._pred_static.get(uid, False)
+        else:  # bimodal
+            index = self._branch_pc.get(uid, 0) % self._pred_size
+            counter = self._pred_table[index]
+            predicted = counter >= 2
+            if taken:
+                if counter < 3:
+                    self._pred_table[index] = counter + 1
+            elif counter > 0:
+                self._pred_table[index] = counter - 1
+        if predicted == taken:
+            return False
+        self.branch_mispredicts += 1
+        self._owed_redirect += self._pred_penalty
+        return True
+
+    # -- data cache ---------------------------------------------------
+
+    def load_extra(self, address: int) -> int:
+        """Extra load latency for one successful memory read (D-cache)."""
+        if not self._dc_enabled:
+            return 0
+        line = (address // self._dc_line_size) % self._dc_lines
+        tag = address // (self._dc_line_size * self._dc_lines)
+        if self._dc_tags[line] != tag:
+            self._dc_tags[line] = tag
+            self.dcache_misses += 1
+            return self._dc_penalty
+        return 0

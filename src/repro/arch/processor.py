@@ -45,7 +45,9 @@ from ..isa.opcodes import Opcode
 from ..isa.registers import Register
 from ..isa.semantics import GARBAGE_FP, branch_taken, evaluate, garbage_for
 from ..machine.description import MachineDescription
+from ..machine.resources import word_resource_violation
 from ..sched.schedule import ScheduledProgram
+from .microtiming import MicroTiming
 from .exceptions import (
     ABORT,
     RECORD,
@@ -95,8 +97,17 @@ class ProcessorResult:
     interlock_stalls: int = 0
     store_buffer_stalls: int = 0
     recoveries: int = 0
+    #: Taken conditional branches (the redirect count of an ideal front
+    #: end); kept under its historical name.  Predictor *misses* are
+    #: :attr:`branch_mispredicts`.
     mispredictions: int = 0
     cancelled_stores: int = 0
+    #: Microarchitectural-timing counters; all zero on a timing-ideal
+    #: machine (the paper default).
+    fetch_stalls: int = 0
+    branch_mispredicts: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
 
     def exception_origins(self) -> List[int]:
         return [exc.origin_pc for exc in self.exceptions]
@@ -165,6 +176,19 @@ class Processor:
         self.history = PCHistoryQueue(machine.pc_history_depth)
         self.max_cycles = max_cycles
         self.max_recoveries = max_recoveries
+        #: Microarchitectural timing state; None on a timing-ideal machine.
+        self.timing = MicroTiming.for_run(machine, scheduled)
+        if (
+            machine.branches_per_cycle is not None
+            or machine.memory_ops_per_cycle is not None
+        ):
+            for blk in scheduled.blocks:
+                for cycle, word in enumerate(blk.words):
+                    violation = word_resource_violation(word, machine)
+                    if violation is not None:
+                        raise SimulationError(
+                            f"block {blk.label} cycle {cycle}: {violation}"
+                        )
 
         self._ready_time: Dict[Register, int] = {}
         #: footnote-3 side channel: pc -> the trap recorded when its tag was
@@ -207,12 +231,16 @@ class Processor:
             return self._read(operand).data
         return operand
 
-    def _write(self, instr: Instruction, value: Value, tag: bool) -> None:
+    def _write(
+        self, instr: Instruction, value: Value, tag: bool, extra_latency: int = 0
+    ) -> None:
         dest = instr.dest
         if dest is None:
             return
         self.regs.write(dest, value, tag)
-        self._ready_time[dest] = self._clock + self.machine.latency(instr.op)
+        self._ready_time[dest] = (
+            self._clock + self.machine.latency(instr.op) + extra_latency
+        )
 
     # ------------------------------------------------------------------
     # Main loop.
@@ -232,6 +260,12 @@ class Processor:
         #: by a stall or a signal; survives the word's resumption.
         pending_taken: Optional[str] = None
         pending_taken_conditional = False
+        timing = self.timing
+        #: A word's front-end cost is charged exactly once, at its first
+        #: fetch; re-entry after a store-buffer stall or a sentinel
+        #: re-execution is not a refetch.
+        fetch_pending = True
+        fetch_redirect = False
 
         while True:
             block = blocks[block_idx]
@@ -248,6 +282,13 @@ class Processor:
                 continue
 
             word = block.words[word_idx]
+            if fetch_pending:
+                fetch_pending = False
+                if timing is not None:
+                    for _ in range(
+                        timing.fetch_word(block_idx, word_idx, len(word), fetch_redirect)
+                    ):
+                        self._tick()
             # CRAY-1 interlock: wait for the remaining slots' sources.
             needed = self._clock
             for instr in word[slot_idx:]:
@@ -304,10 +345,13 @@ class Processor:
                     self._tick()
                     break
                 if isinstance(disposition, tuple):
-                    # Recovery: branch back to the reported pc.
+                    # Recovery: branch back to the reported pc.  The
+                    # re-entry is a redirect — the front end refetches.
                     block_idx, word_idx, slot_idx = disposition
                     pending_taken = None
                     pending_taken_conditional = False
+                    fetch_pending = True
+                    fetch_redirect = True
                     self._tick()
                     continue
                 # RECORD: a sentinel report had its tags neutralized — the
@@ -334,14 +378,19 @@ class Processor:
                 block_idx = self.scheduled.block_index(taken_target)
                 word_idx = 0
                 slot_idx = 0
+                fetch_pending = True
+                fetch_redirect = True
             else:
                 word_idx += 1
                 slot_idx = 0
+                fetch_pending = True
+                fetch_redirect = False
 
         if halted:
             if self.boost_mode:
                 self.shadow.assert_empty()
             self.buffer.drain()
+        fetch_stalls = 0 if timing is None else timing.fetch_stalls
         return ProcessorResult(
             registers=self.regs.values(),
             memory=self.memory,
@@ -351,12 +400,16 @@ class Processor:
             halted=halted,
             aborted=aborted,
             io_events=self._io_events,
-            stall_cycles=self._interlock_stalls + self._buffer_stalls,
+            stall_cycles=self._interlock_stalls + self._buffer_stalls + fetch_stalls,
             interlock_stalls=self._interlock_stalls,
             store_buffer_stalls=self._buffer_stalls,
             recoveries=self._recoveries,
             mispredictions=self._mispredictions,
             cancelled_stores=self.buffer.cancellations,
+            fetch_stalls=fetch_stalls,
+            branch_mispredicts=0 if timing is None else timing.branch_mispredicts,
+            icache_misses=0 if timing is None else timing.icache_misses,
+            dcache_misses=0 if timing is None else timing.dcache_misses,
         )
 
     # ------------------------------------------------------------------
@@ -510,6 +563,8 @@ class Processor:
             a = self._operand(instr.srcs[0])
             b = self._operand(instr.srcs[1])
             taken = branch_taken(op, a, b)
+            if self.timing is not None:
+                self.timing.branch_resolved(instr.uid, taken)
             if self.boost_mode:
                 # Shadow resolution happens when the word completes.
                 self._resolved_branches.append((instr.uid, taken))
@@ -597,28 +652,38 @@ class Processor:
                 trap=Trap(TrapKind.FP_INVALID, detail="NaN detected (colwell)"),
             )
 
-    def _shadow_write(self, instr: Instruction, value, trap, pc: int) -> None:
+    def _shadow_write(
+        self, instr: Instruction, value, trap, pc: int, extra_latency: int = 0
+    ) -> None:
         """Route a boosted result into the shadow files (Section 2.3)."""
         self.shadow.write_register(
             instr.dest, value, trap, pc, instr.boost_branches
         )
-        self._ready_time[instr.dest] = self._clock + self.machine.latency(instr.op)
+        self._ready_time[instr.dest] = (
+            self._clock + self.machine.latency(instr.op) + extra_latency
+        )
 
     def _execute_load(self, instr: Instruction, pc: int) -> None:
         if self.boost_mode and instr.boost_branches:
             base = self._read(instr.srcs[0])
             address = int(base.data) + int(instr.srcs[1])
             trap = self.memory.check(address)
+            extra = 0
             if trap is None:
                 value = self.shadow.search_store(address)
                 if value is None:
                     forwarded = self.buffer.search(address)
-                    value = forwarded if forwarded is not None else self.memory.peek(address)
+                    if forwarded is not None:
+                        value = forwarded
+                    else:
+                        value = self.memory.peek(address)
+                        if self.timing is not None:
+                            extra = self.timing.load_extra(address)
                 if instr.op is Opcode.FLOAD and isinstance(value, int):
                     value = float(value)
             else:
                 value = garbage_for(instr.op)
-            self._shadow_write(instr, value, trap, pc)
+            self._shadow_write(instr, value, trap, pc, extra)
             return None
         sources = self._sources(instr)
         tagged = first_tagged(sources) if self.tagged_mode else None
@@ -631,12 +696,17 @@ class Processor:
         base = self._read(instr.srcs[0])
         address = int(base.data) + int(instr.srcs[1])
         trap = self.memory.check(address)
+        extra = 0
         if trap is None:
             forwarded = self.buffer.search(address)
             if forwarded is not None:
                 value: Value = forwarded
             else:
                 value = self.memory.peek(address)
+                # Only an actual memory read probes the D-cache; buffer
+                # forwards and faulting accesses never reach it.
+                if self.timing is not None:
+                    extra = self.timing.load_extra(address)
             if instr.op is Opcode.FLOAD and isinstance(value, int):
                 value = float(value)
         else:
@@ -647,7 +717,7 @@ class Processor:
                 self._raise_signal(instr, outcome.signal_pc, own=True, trap=trap)
             if outcome.dest_tag:
                 self._pending_traps[pc] = trap
-            self._write(instr, outcome.dest_data, outcome.dest_tag)
+            self._write(instr, outcome.dest_data, outcome.dest_tag, extra)
         else:
             self._colwell_signal_if_poisoned(instr, pc)
             if trap is not None:
@@ -661,7 +731,7 @@ class Processor:
                 else:
                     self._raise_signal(instr, pc, own=True, trap=trap)
             else:
-                self._write(instr, value, False)
+                self._write(instr, value, False, extra)
         return None
 
     def _execute_store(self, instr: Instruction, pc: int) -> None:

@@ -10,6 +10,25 @@ cross-block interlock stalls and store-buffer stalls, which the cycle
 simulator (:mod:`repro.arch.processor`) measures exactly; the test suite
 cross-checks the two on small runs.
 
+With a non-ideal :class:`~repro.machine.description.MachineDescription`
+the estimate adds the front-end penalty terms the cycle simulator's
+:class:`~repro.arch.microtiming.MicroTiming` charges:
+
+* **variable fetch** — each fetched word's assembly extra
+  (``ceil(slots/width) - 1``) plus a fetch break per taken redirect
+  (conditional-branch exits and jump exits) — exact;
+* **misprediction redirects** — per-branch, from taken counts and the
+  per-branch execution count (visits minus earlier taken exits): exact
+  for the static ``btfn`` predictor, and a per-branch best-static lower
+  bound (``min(taken, not-taken)`` mispredicts) for ``bimodal``, whose
+  table state the trace-driven model cannot replay;
+* **caches — deliberately not modeled**: D-cache misses extend load
+  latency and surface as interlock stalls, which this model never
+  covered; I-cache miss stalls are likewise left to the simulator.
+
+``tests/arch/test_timing_machines.py`` pins exactly these divergence
+terms against the cycle simulator.
+
 The profile must come from executing the *source* (superblock-form)
 program of the schedule, so its labels and branch uids match.
 """
@@ -17,10 +36,12 @@ program of the schedule, so its labels and branch uids match.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..cfg.profile import ProfileData
+from ..machine.description import MachineDescription
 from ..sched.schedule import ScheduledProgram
+from .microtiming import word_width_extra
 
 
 @dataclass
@@ -28,25 +49,51 @@ class TimingBreakdown:
     total_cycles: int
     per_block: Dict[str, int] = field(default_factory=dict)
     visits: Dict[str, int] = field(default_factory=dict)
+    #: Front-end cycles (fetch-width assembly + taken-redirect breaks)
+    #: included in ``total_cycles``; zero on a timing-ideal machine.
+    fetch_cycles: int = 0
+    #: Misprediction redirect cycles included in ``total_cycles``; zero
+    #: on a timing-ideal machine (estimated for bimodal predictors).
+    mispredict_cycles: int = 0
 
 
-def estimate_cycles(scheduled: ScheduledProgram, profile: ProfileData) -> TimingBreakdown:
-    """Estimate total execution cycles of ``scheduled`` under ``profile``."""
+def estimate_cycles(
+    scheduled: ScheduledProgram,
+    profile: ProfileData,
+    machine: Optional[MachineDescription] = None,
+) -> TimingBreakdown:
+    """Estimate total execution cycles of ``scheduled`` under ``profile``.
+
+    ``machine=None`` (or any timing-ideal machine) reproduces the paper
+    model exactly; a non-ideal machine adds the penalty terms above.
+    """
     breakdown = TimingBreakdown(total_cycles=0)
-    for block in scheduled.blocks:
+    ideal = machine is None or machine.is_ideal_timing
+    if not ideal:
+        variable = machine.fetch.mode == "variable"
+        fetch_width = machine.fetch_width
+        taken_break = machine.fetch.taken_branch_break if variable else 0
+        pred_kind = machine.predictor.kind
+        pred_penalty = machine.predictor.mispredict_penalty
+    for block_idx, block in enumerate(scheduled.blocks):
         visits = profile.block_visits.get(block.label, 0)
         if visits == 0:
             continue
         block_cycles = 0
         taken_exits = 0
         terminator_cycle = None
+        terminator_is_jump = False
+        branches = []  # (cycle, instr, taken count), in issue order
         for cycle, _slot, instr in block.linear():
             if instr.info.is_cond_branch:
                 taken = profile.branch_taken.get(instr.uid, 0)
                 block_cycles += taken * (cycle + 1)
                 taken_exits += taken
+                if not ideal:
+                    branches.append((cycle, instr, taken))
             elif instr.info.is_jump or instr.info.is_halt:
                 terminator_cycle = cycle
+                terminator_is_jump = instr.info.is_jump
         through = visits - taken_exits
         if through < 0:
             raise ValueError(
@@ -57,6 +104,57 @@ def estimate_cycles(scheduled: ScheduledProgram, profile: ProfileData) -> Timing
             through_cost = terminator_cycle + 1
         else:
             through_cost = block.length
+
+        if not ideal:
+            fetch_extra = 0
+            if variable:
+                # prefix[c] = assembly extra of fetching words 0..c-1.
+                prefix = [0] * (block.length + 1)
+                acc = 0
+                for c, word in enumerate(block.words):
+                    acc += word_width_extra(len(word), fetch_width)
+                    prefix[c + 1] = acc
+                for cycle, _instr, taken in branches:
+                    fetch_extra += taken * prefix[cycle + 1]
+                fetch_extra += through * prefix[through_cost]
+                # Every taken redirect breaks the fetch pipeline:
+                # conditional exits, and through-exits via a jump.
+                fetch_extra += taken_exits * taken_break
+                if terminator_is_jump:
+                    fetch_extra += through * taken_break
+            mispredict_extra = 0
+            if pred_kind != "perfect" and branches:
+                # A branch executes on every visit not already taken out
+                # by a branch in a strictly earlier cycle (same-word
+                # branches all execute together).
+                earlier_taken = 0
+                group_cycle: Optional[int] = None
+                group_taken = 0
+                for cycle, instr, taken in branches:
+                    if cycle != group_cycle:
+                        earlier_taken += group_taken
+                        group_cycle = cycle
+                        group_taken = 0
+                    executions = visits - earlier_taken
+                    not_taken = executions - taken
+                    if not_taken < 0:
+                        not_taken = 0
+                    if pred_kind == "btfn":
+                        try:
+                            predict_taken = (
+                                scheduled.block_index(instr.target) <= block_idx
+                            )
+                        except KeyError:
+                            predict_taken = False
+                        mispredicts = not_taken if predict_taken else taken
+                    else:  # bimodal: best-static per-branch approximation
+                        mispredicts = taken if taken < not_taken else not_taken
+                    mispredict_extra += mispredicts * pred_penalty
+                    group_taken += taken
+            block_cycles += fetch_extra + mispredict_extra
+            breakdown.fetch_cycles += fetch_extra
+            breakdown.mispredict_cycles += mispredict_extra
+
         block_cycles += through * through_cost
         breakdown.per_block[block.label] = block_cycles
         breakdown.visits[block.label] = visits

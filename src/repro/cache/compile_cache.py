@@ -116,15 +116,42 @@ def canonical_profile(program, profile) -> str:
 
 
 def canonical_machine(machine) -> str:
-    """Deterministic text of a machine description (all schedule inputs)."""
+    """Deterministic text of a machine description (all schedule inputs).
+
+    The microarchitectural timing axes (fetch / predictor / caches) are
+    appended *only when non-default*: they do not change what the
+    compiler produces today, but they are part of the machine's identity
+    and future passes may consult them.  Default-normalization keeps
+    every paper-machine key byte-identical to the pre-timing-layer era,
+    so existing cache entries stay reachable without a salt bump
+    (``tests/cache/test_machine_keys.py`` pins the default string).
+    """
     latencies = ",".join(
         f"{cls.value}={lat}" for cls, lat in sorted(machine.latencies.items(), key=lambda kv: kv[0].value)
     )
-    return (
+    text = (
         f"issue={machine.issue_width};lat={latencies};"
         f"sbuf={machine.store_buffer_size};"
         f"br/cyc={machine.branches_per_cycle};mem/cyc={machine.memory_ops_per_cycle}"
     )
+    fetch = machine.fetch
+    if not fetch.is_ideal:
+        text += (
+            f";fetch=variable,width={machine.fetch_width},"
+            f"break={fetch.taken_branch_break}"
+        )
+    predictor = machine.predictor
+    if not predictor.is_ideal:
+        text += f";pred={predictor.kind},pen={predictor.mispredict_penalty}"
+        if predictor.kind == "bimodal":
+            text += f",table={predictor.table_size}"
+    for label, cache in (("icache", machine.icache), ("dcache", machine.dcache)):
+        if not cache.is_ideal:
+            text += (
+                f";{label}={cache.kind},lines={cache.lines},"
+                f"line={cache.line_size},miss={cache.miss_penalty}"
+            )
+    return text
 
 
 def canonical_policy(policy) -> str:

@@ -24,9 +24,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cfg.liveness import Liveness
 from ..isa.instruction import Instruction
-from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+from ..isa.opcodes import LatClass, Opcode
 from ..isa.program import Block
 from ..isa.registers import Register
+from ..machine.description import BASE_MACHINE
 from .types import ArcKind, DepGraph
 
 #: Latencies for ordering arcs.
@@ -135,10 +136,17 @@ def _mem_conflict(
 def build_dependence_graph(
     block: Block,
     liveness: Liveness,
-    latencies: Dict[LatClass, int] = PAPER_LATENCIES,
+    latencies: Optional[Dict[LatClass, int]] = None,
     irreversible_barriers: bool = False,
 ) -> DepGraph:
     """Build the full (unreduced) dependence graph for ``block``.
+
+    ``latencies`` is a machine's latency table
+    (:attr:`~repro.machine.description.MachineDescription.latencies`);
+    ``None`` uses the base machine's — the paper's Table 3.  Callers on
+    the compilation path always thread the table of the machine being
+    scheduled for, so the graph's flow-arc latencies follow the machine,
+    not a global constant.
 
     With ``irreversible_barriers`` (recovery mode, Section 3.7 restriction
     1), every irreversible instruction gets an arc to *all* subsequent
@@ -147,6 +155,8 @@ def build_dependence_graph(
     dependence arcs from irreversible instructions to all subsequent
     instructions in the superblock."
     """
+    if latencies is None:
+        latencies = BASE_MACHINE.latencies
     graph = DepGraph(block)
     instrs = graph.nodes
     n = len(instrs)
@@ -155,7 +165,7 @@ def build_dependence_graph(
     MEM, CONTROL, GUARD = ArcKind.MEM, ArcKind.CONTROL, ArcKind.GUARD
 
     infos = [instr.info for instr in instrs]
-    lats = [latency_of(instr.op, latencies) for instr in instrs]
+    lats = [latencies[info.lat_class] for info in infos]
 
     last_def: Dict[Register, int] = {}
     uses_since_def: Dict[Register, List[int]] = {}

@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..cfg.liveness import Liveness
-from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+from ..isa.opcodes import LatClass, Opcode
 from ..isa.program import Block
+from ..machine.description import BASE_MACHINE
 from ..isa.registers import Register
 from .builder import (
     ANTI_LATENCY,
@@ -42,10 +43,16 @@ RefArc = Tuple[int, int, ArcKind, int]
 def build_reference_arcs(
     block: Block,
     liveness: Liveness,
-    latencies: Dict[LatClass, int] = PAPER_LATENCIES,
+    latencies: Optional[Dict[LatClass, int]] = None,
     irreversible_barriers: bool = False,
 ) -> List[RefArc]:
-    """Arc list of the unreduced dependence graph, by the naive algorithm."""
+    """Arc list of the unreduced dependence graph, by the naive algorithm.
+
+    ``latencies=None`` uses the base machine's table, mirroring
+    :func:`repro.deps.builder.build_dependence_graph`.
+    """
+    if latencies is None:
+        latencies = BASE_MACHINE.latencies
     instrs = list(block.instrs)
     n = len(instrs)
     arcs: List[RefArc] = []
@@ -64,7 +71,7 @@ def build_reference_arcs(
     last_irreversible: Optional[int] = None
 
     def _lat(node: int) -> int:
-        return latency_of(instrs[node].op, latencies)
+        return latencies[instrs[node].op.info.lat_class]
 
     for idx, instr in enumerate(instrs):
         info = instr.info

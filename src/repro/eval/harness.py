@@ -33,7 +33,7 @@ from ..deps.reduction import (
     SpeculationPolicy,
 )
 from ..interp.interpreter import run_program
-from ..machine.description import paper_machine
+from ..machine.description import MachineDescription, paper_machine
 from ..sched.compiler import (
     CompilationResult,
     PreparedCompilation,
@@ -176,6 +176,17 @@ class SweepConfig:
     #: weights shares cache entries — and produces byte-identical cells —
     #: with a weightless sweep.
     weights: Optional[object] = None
+    #: Machine template for the sweep (``--machine`` / ``--machine-preset``):
+    #: a :class:`~repro.machine.description.MachineDescription`, rescaled to
+    #: the base machine and to every issue rate via
+    #: :meth:`~repro.machine.description.MachineDescription.at_issue_width`
+    #: (the template's own issue width is irrelevant).  ``None`` = the paper
+    #: machine at ``store_buffer_size`` — byte-identical sweeps to passing
+    #: ``paper_machine(1, store_buffer_size=...)`` explicitly.  A template
+    #: overrides ``store_buffer_size`` (it carries its own).  Non-ideal
+    #: timing axes feed the trace-driven estimator's penalty terms and the
+    #: ``simulate`` stage's cycle simulators.
+    machine: Optional[MachineDescription] = None
 
 
 @dataclass
@@ -446,7 +457,10 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     timings = {stage: 0.0 for stage in STAGES}
     steps = 0
     clock = time.perf_counter
-    base_machine = paper_machine(1, store_buffer_size=config.store_buffer_size)
+    template = config.machine
+    if template is None:
+        template = paper_machine(1, store_buffer_size=config.store_buffer_size)
+    base_machine = template.at_issue_width(1)
     weights = _resolve_weights(config.weights, name)
 
     start = clock()
@@ -480,14 +494,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     plan: List[Tuple[SpeculationPolicy, "object"]] = [base_cell]
     for policy in config.policies:
         for issue_rate in config.issue_rates:
-            plan.append(
-                (
-                    policy,
-                    paper_machine(
-                        issue_rate, store_buffer_size=config.store_buffer_size
-                    ),
-                )
-            )
+            plan.append((policy, template.at_issue_width(issue_rate)))
     group_plan: Dict[bool, List[Tuple[SpeculationPolicy, "object"]]] = {}
     for policy, machine in plan:
         group_plan.setdefault(policy.sentinels, []).append((policy, machine))
@@ -595,7 +602,9 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     base_comp = comp_of(RESTRICTED, base_machine)
     base_profile = profile_of(RESTRICTED, base_comp)
     start = clock()
-    base_cycles = estimate_cycles(base_comp.scheduled, base_profile).total_cycles
+    base_cycles = estimate_cycles(
+        base_comp.scheduled, base_profile, base_machine
+    ).total_cycles
     timings["estimate"] += clock() - start
 
     sim_lanes = 0
@@ -609,9 +618,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     cells: List[CellResult] = []
     for policy in config.policies:
         for issue_rate in config.issue_rates:
-            machine = paper_machine(
-                issue_rate, store_buffer_size=config.store_buffer_size
-            )
+            machine = template.at_issue_width(issue_rate)
             comp = comp_of(policy, machine)
             profile = profile_of(policy, comp)
             if config.simulate:
@@ -640,7 +647,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
                 )
                 timings["simulate"] += clock() - start
             start = clock()
-            cycles = estimate_cycles(comp.scheduled, profile).total_cycles
+            cycles = estimate_cycles(comp.scheduled, profile, machine).total_cycles
             timings["estimate"] += clock() - start
             cells.append(
                 CellResult(

@@ -1,17 +1,32 @@
-"""Machine model: issue width, Table 3 latencies, store buffer size."""
+"""Machine model: issue width, Table 3 latencies, store buffer size,
+and the configurable microarchitectural timing axes (fetch / branch
+predictor / I-D caches)."""
 
 from .description import (
     BASE_MACHINE,
+    BranchPredictorModel,
+    CacheModel,
+    FetchModel,
+    MACHINE_JSON_VERSION,
     MachineDescription,
     PAPER_ISSUE_RATES,
     paper_machine,
 )
-from .resources import CycleResources
+from .presets import MACHINE_PRESETS, load_machine_file, machine_preset
+from .resources import CycleResources, word_resource_violation
 
 __all__ = [
     "BASE_MACHINE",
+    "BranchPredictorModel",
+    "CacheModel",
+    "FetchModel",
+    "MACHINE_JSON_VERSION",
+    "MACHINE_PRESETS",
     "MachineDescription",
     "PAPER_ISSUE_RATES",
     "paper_machine",
+    "machine_preset",
+    "load_machine_file",
     "CycleResources",
+    "word_resource_violation",
 ]

@@ -13,14 +13,136 @@ Section 5.2: "No limitation has been placed on the combination of
 instructions that can be issued in the same cycle" — so the only hard
 resource is the issue width; optional per-class limits exist for ablation
 studies and default to unlimited.
+
+Beyond the paper machine, the description carries three optional
+microarchitectural axes, each defaulting to the paper's ideal setting:
+
+* :class:`FetchModel` — ideal single-cycle fetch of any word, or variable
+  bandwidth (a word wider than the fetch width takes extra cycles to
+  assemble) with a fetch break on every taken redirect, after
+  Ramachandran & Johnson's variable-instruction-fetch-rate model.
+* :class:`BranchPredictorModel` — perfect prediction (the paper),
+  static backward-taken/forward-not-taken, or a small bimodal table of
+  2-bit counters; mispredictions charge a redirect penalty on the next
+  fetch.
+* :class:`CacheModel` (one instance each for I and D) — perfect caches
+  (the paper's 100% hit rate) or a sized direct-mapped cache whose
+  misses stall fetch (I-side) or extend load latency (D-side).
+
+A machine whose three axes are all ideal is *timing-ideal*
+(:attr:`MachineDescription.is_ideal_timing`), and every executor takes a
+zero-cost fast path that is bit-identical to the pre-axis behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from ..isa.opcodes import LatClass, Opcode, PAPER_LATENCIES, latency_of
+
+#: Version tag of the machine JSON schema (``to_json`` / ``from_json``).
+MACHINE_JSON_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FetchModel:
+    """Front-end fetch bandwidth model.
+
+    ``mode="ideal"`` (the paper): any word issues the cycle it is
+    reached, taken branches redirect for free.  ``mode="variable"``:
+    fetching a word with more than ``width`` operations (``None`` =
+    the machine's issue width) takes ``ceil(slots / width)`` cycles,
+    and every taken redirect (branch, jump, recovery re-entry) breaks
+    the fetch pipeline for ``taken_branch_break`` extra cycles.
+    """
+
+    mode: str = "ideal"
+    #: Operations fetched per cycle; ``None`` means the issue width.
+    width: Optional[int] = None
+    #: Extra cycles lost on every taken redirect (variable mode only).
+    taken_branch_break: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("ideal", "variable"):
+            raise ValueError(f"unknown fetch mode {self.mode!r}")
+        if self.width is not None and self.width < 1:
+            raise ValueError("fetch width must be >= 1 (or None)")
+        if self.taken_branch_break < 0:
+            raise ValueError("taken-branch fetch break must be >= 0")
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.mode == "ideal"
+
+
+@dataclass(frozen=True)
+class BranchPredictorModel:
+    """Conditional-branch direction predictor.
+
+    ``kind="perfect"`` (the paper) never mispredicts.  ``kind="btfn"``
+    statically predicts backward branches taken and forward branches
+    not-taken.  ``kind="bimodal"`` keeps ``table_size`` two-bit
+    saturating counters indexed by the branch's static word address,
+    initialized to weakly-not-taken.  A mispredicted direction charges
+    ``mispredict_penalty`` redirect cycles against the next fetch.
+    """
+
+    kind: str = "perfect"
+    #: Redirect cycles charged on each misprediction.
+    mispredict_penalty: int = 3
+    #: Number of 2-bit counters (bimodal only).
+    table_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("perfect", "btfn", "bimodal"):
+            raise ValueError(f"unknown predictor kind {self.kind!r}")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict penalty must be >= 0")
+        if self.table_size < 1:
+            raise ValueError("predictor table needs at least one entry")
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.kind == "perfect"
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """A direct-mapped cache, or the paper's perfect (always-hit) cache.
+
+    The cache models *timing only* — values always come from memory (or
+    the store buffer), so a stale line can cost cycles but never
+    correctness.  Addresses are word-granular; a line holds
+    ``line_size`` words and a miss costs ``miss_penalty`` extra cycles.
+    Stores write around the cache (no allocate, no invalidate).
+    """
+
+    kind: str = "perfect"
+    lines: int = 64
+    line_size: int = 4
+    miss_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("perfect", "direct"):
+            raise ValueError(f"unknown cache kind {self.kind!r}")
+        if self.lines < 1:
+            raise ValueError("cache needs at least one line")
+        if self.line_size < 1:
+            raise ValueError("cache line size must be >= 1")
+        if self.miss_penalty < 0:
+            raise ValueError("cache miss penalty must be >= 0")
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.kind == "perfect"
+
+
+#: Shared ideal singletons so default machines compare cheaply.
+IDEAL_FETCH = FetchModel()
+PERFECT_PREDICTOR = BranchPredictorModel()
+PERFECT_CACHE = CacheModel()
 
 
 @dataclass(frozen=True)
@@ -40,15 +162,160 @@ class MachineDescription:
     #: Depth of the PC History Queue used to report exceptions of
     #: non-uniform-latency units (Section 3.2).
     pc_history_depth: int = 32
+    #: Front-end fetch bandwidth model (ideal by default).
+    fetch: FetchModel = IDEAL_FETCH
+    #: Conditional-branch predictor (perfect by default).
+    predictor: BranchPredictorModel = PERFECT_PREDICTOR
+    #: Instruction cache (perfect by default); misses stall fetch.
+    icache: CacheModel = PERFECT_CACHE
+    #: Data cache (perfect by default); misses extend load latency.
+    dcache: CacheModel = PERFECT_CACHE
 
     def latency(self, op: Opcode) -> int:
         return latency_of(op, self.latencies)
+
+    @property
+    def is_ideal_timing(self) -> bool:
+        """True when every microarchitectural axis is the paper's ideal.
+
+        Executors use this to skip the timing layer entirely, making the
+        default machine's cycle counts bit-identical by construction.
+        """
+        return (
+            self.fetch.is_ideal
+            and self.predictor.is_ideal
+            and self.icache.is_ideal
+            and self.dcache.is_ideal
+        )
+
+    @property
+    def fetch_width(self) -> int:
+        """Effective fetch bandwidth (``fetch.width`` or the issue width)."""
+        return self.fetch.width if self.fetch.width is not None else self.issue_width
+
+    def at_issue_width(self, issue_width: int) -> "MachineDescription":
+        """This machine rescaled to another issue rate.
+
+        Strips any ``-issue<N>`` suffix from the name before re-tagging,
+        so ``paper_machine(4).at_issue_width(8)`` is exactly
+        ``paper_machine(8)`` — the sweep derives its per-rate machines
+        from one template this way.
+        """
+        base = self.name
+        suffix = f"-issue{self.issue_width}"
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+        return replace(self, name=f"{base}-issue{issue_width}", issue_width=issue_width)
+
+    # -- JSON round trip ----------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A versioned, JSON-serializable dict of every field."""
+
+        def cache_dict(cache: CacheModel) -> Dict[str, object]:
+            return {
+                "kind": cache.kind,
+                "lines": cache.lines,
+                "line_size": cache.line_size,
+                "miss_penalty": cache.miss_penalty,
+            }
+
+        return {
+            "version": MACHINE_JSON_VERSION,
+            "name": self.name,
+            "issue_width": self.issue_width,
+            "latencies": {
+                cls.value: lat
+                for cls, lat in sorted(self.latencies.items(), key=lambda kv: kv[0].value)
+            },
+            "store_buffer_size": self.store_buffer_size,
+            "branches_per_cycle": self.branches_per_cycle,
+            "memory_ops_per_cycle": self.memory_ops_per_cycle,
+            "pc_history_depth": self.pc_history_depth,
+            "fetch": {
+                "mode": self.fetch.mode,
+                "width": self.fetch.width,
+                "taken_branch_break": self.fetch.taken_branch_break,
+            },
+            "predictor": {
+                "kind": self.predictor.kind,
+                "mispredict_penalty": self.predictor.mispredict_penalty,
+                "table_size": self.predictor.table_size,
+            },
+            "icache": cache_dict(self.icache),
+            "dcache": cache_dict(self.dcache),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "MachineDescription":
+        """Rebuild a machine from :meth:`to_json_dict` output.
+
+        Every field is optional except ``version``, ``name`` and
+        ``issue_width``; omitted fields take the paper defaults, so a
+        minimal file only has to name what it changes.
+        """
+        version = data.get("version")
+        if version != MACHINE_JSON_VERSION:
+            raise ValueError(
+                f"unsupported machine JSON version {version!r} "
+                f"(this build reads version {MACHINE_JSON_VERSION})"
+            )
+        unknown = set(data) - {
+            "version", "name", "issue_width", "latencies", "store_buffer_size",
+            "branches_per_cycle", "memory_ops_per_cycle", "pc_history_depth",
+            "fetch", "predictor", "icache", "dcache",
+        }
+        if unknown:
+            raise ValueError(f"unknown machine JSON fields: {sorted(unknown)}")
+        for req in ("name", "issue_width"):
+            if req not in data:
+                raise ValueError(f"machine JSON missing required field {req!r}")
+
+        latencies = dict(PAPER_LATENCIES)
+        for key, lat in (data.get("latencies") or {}).items():
+            latencies[LatClass(key)] = int(lat)
+
+        def cache_from(payload: Optional[Dict[str, object]]) -> CacheModel:
+            if not payload:
+                return PERFECT_CACHE
+            return CacheModel(**payload)
+
+        fetch = FetchModel(**data["fetch"]) if data.get("fetch") else IDEAL_FETCH
+        predictor = (
+            BranchPredictorModel(**data["predictor"])
+            if data.get("predictor")
+            else PERFECT_PREDICTOR
+        )
+        return cls(
+            name=str(data["name"]),
+            issue_width=int(data["issue_width"]),
+            latencies=latencies,
+            store_buffer_size=int(data.get("store_buffer_size", 8)),
+            branches_per_cycle=data.get("branches_per_cycle"),
+            memory_ops_per_cycle=data.get("memory_ops_per_cycle"),
+            pc_history_depth=int(data.get("pc_history_depth", 32)),
+            fetch=fetch,
+            predictor=predictor,
+            icache=cache_from(data.get("icache")),
+            dcache=cache_from(data.get("dcache")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineDescription":
+        return cls.from_json_dict(json.loads(text))
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
             raise ValueError("issue width must be >= 1")
         if self.store_buffer_size < 1:
             raise ValueError("store buffer needs at least one entry")
+        if self.branches_per_cycle is not None and self.branches_per_cycle < 1:
+            raise ValueError("branches_per_cycle must be >= 1 (or None)")
+        if self.memory_ops_per_cycle is not None and self.memory_ops_per_cycle < 1:
+            raise ValueError("memory_ops_per_cycle must be >= 1 (or None)")
         missing = [cls for cls in LatClass if cls not in self.latencies]
         if missing:
             raise ValueError(f"latency table missing classes: {missing}")

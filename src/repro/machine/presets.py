@@ -1,0 +1,114 @@
+"""Named machine presets and machine-file loading for the CLI and tests.
+
+Presets are *templates*: each factory returns the machine at issue rate
+1, and consumers rescale with
+:meth:`~repro.machine.description.MachineDescription.at_issue_width`
+(the evaluation sweep does this per rate, exactly as it builds the paper
+machine today).  ``paper`` is the default and is bit-identical to
+:func:`~repro.machine.description.paper_machine`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict
+
+from .description import (
+    BranchPredictorModel,
+    CacheModel,
+    FetchModel,
+    MachineDescription,
+    paper_machine,
+)
+
+__all__ = ["MACHINE_PRESETS", "machine_preset", "load_machine_file"]
+
+
+def _paper() -> MachineDescription:
+    return paper_machine(1)
+
+
+def _fetchbreak() -> MachineDescription:
+    """Variable fetch bandwidth with a 1-cycle break on taken redirects."""
+    return MachineDescription(
+        name="fetchbreak-issue1",
+        issue_width=1,
+        fetch=FetchModel(mode="variable", taken_branch_break=1),
+    )
+
+
+def _btfn() -> MachineDescription:
+    """Static backward-taken/forward-not-taken predictor, 3-cycle redirect."""
+    return MachineDescription(
+        name="btfn-issue1",
+        issue_width=1,
+        predictor=BranchPredictorModel(kind="btfn", mispredict_penalty=3),
+    )
+
+
+def _bimodal() -> MachineDescription:
+    """256-entry bimodal predictor, 3-cycle redirect."""
+    return MachineDescription(
+        name="bimodal-issue1",
+        issue_width=1,
+        predictor=BranchPredictorModel(
+            kind="bimodal", mispredict_penalty=3, table_size=256
+        ),
+    )
+
+
+def _cache() -> MachineDescription:
+    """Small direct-mapped I/D caches, perfect fetch and prediction."""
+    return MachineDescription(
+        name="cache-issue1",
+        issue_width=1,
+        icache=CacheModel(kind="direct", lines=64, line_size=4, miss_penalty=8),
+        dcache=CacheModel(kind="direct", lines=64, line_size=4, miss_penalty=6),
+    )
+
+
+def _realistic() -> MachineDescription:
+    """All three axes on: variable fetch + bimodal predictor + I/D caches."""
+    return MachineDescription(
+        name="realistic-issue1",
+        issue_width=1,
+        fetch=FetchModel(mode="variable", taken_branch_break=1),
+        predictor=BranchPredictorModel(
+            kind="bimodal", mispredict_penalty=3, table_size=256
+        ),
+        icache=CacheModel(kind="direct", lines=64, line_size=4, miss_penalty=8),
+        dcache=CacheModel(kind="direct", lines=64, line_size=4, miss_penalty=6),
+    )
+
+
+#: Name -> factory for every named machine template (issue rate 1).
+MACHINE_PRESETS: Dict[str, Callable[[], MachineDescription]] = {
+    "paper": _paper,
+    "fetchbreak": _fetchbreak,
+    "btfn": _btfn,
+    "bimodal": _bimodal,
+    "cache": _cache,
+    "realistic": _realistic,
+}
+
+
+def machine_preset(name: str, issue_width: int = 1) -> MachineDescription:
+    """A preset machine by name, optionally rescaled to an issue rate."""
+    try:
+        factory = MACHINE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINE_PRESETS))
+        raise ValueError(f"unknown machine preset {name!r} (known: {known})") from None
+    machine = factory()
+    if issue_width != machine.issue_width:
+        machine = machine.at_issue_width(issue_width)
+    return machine
+
+
+def load_machine_file(path) -> MachineDescription:
+    """Load a versioned machine JSON file (see ``MachineDescription.to_json``)."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        return MachineDescription.from_json(text)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

@@ -2,8 +2,40 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from ..isa.instruction import Instruction
 from .description import MachineDescription
+
+
+def word_resource_violation(
+    word: Sequence[Instruction], machine: MachineDescription
+) -> Optional[str]:
+    """``None``, or a message describing how ``word`` exceeds the machine's
+    per-cycle limits (issue width, branches, memory operations).
+
+    This is the single definition of "fits in one cycle" shared by the
+    schedule verifier and the execution engines; it counts exactly what
+    :class:`CycleResources` charges the scheduler for.
+    """
+    if len(word) > machine.issue_width:
+        return f"{len(word)} ops exceed issue width {machine.issue_width}"
+    br_limit = machine.branches_per_cycle
+    mem_limit = machine.memory_ops_per_cycle
+    if br_limit is None and mem_limit is None:
+        return None
+    branches = memory_ops = 0
+    for instr in word:
+        info = instr.info
+        if info.is_control:
+            branches += 1
+        if info.reads_mem or info.writes_mem:
+            memory_ops += 1
+    if br_limit is not None and branches > br_limit:
+        return f"{branches} control ops exceed branches_per_cycle={br_limit}"
+    if mem_limit is not None and memory_ops > mem_limit:
+        return f"{memory_ops} memory ops exceed memory_ops_per_cycle={mem_limit}"
+    return None
 
 
 class CycleResources:

@@ -100,8 +100,7 @@ class IRVerifier:
                     self.check_graph(graph, reduced=True)
                     ctx.verified_graph_ids.add(id(graph))
             if ctx.compilation is not None:
-                issue_rate = ctx.machine.issue_width if ctx.machine else None
-                self.check_scheduled(ctx.compilation, issue_rate=issue_rate)
+                self.check_scheduled(ctx.compilation, machine=ctx.machine)
         except IRVerificationError as exc:
             if exc.after_pass is None:
                 exc.after_pass = after
@@ -393,7 +392,29 @@ class IRVerifier:
     # Scheduled output (sentinel/home-block placement, issue width).
     # ------------------------------------------------------------------
 
-    def check_scheduled(self, compilation, issue_rate: Optional[int] = None) -> None:
+    def check_scheduled(
+        self,
+        compilation,
+        issue_rate: Optional[int] = None,
+        machine=None,
+    ) -> None:
+        """Check the scheduled output against the source program.
+
+        ``machine`` (a :class:`~repro.machine.description.MachineDescription`)
+        subsumes ``issue_rate`` and additionally enforces the per-cycle
+        resource limits (``branches_per_cycle`` / ``memory_ops_per_cycle``)
+        on every word, via the same
+        :func:`~repro.machine.resources.word_resource_violation` predicate
+        the cycle simulators apply at run time.
+        """
+        check_limits = machine is not None and (
+            machine.branches_per_cycle is not None
+            or machine.memory_ops_per_cycle is not None
+        )
+        if check_limits:
+            from ..machine.resources import word_resource_violation
+        if issue_rate is None and machine is not None:
+            issue_rate = machine.issue_width
         source = compilation.superblock_program
         source_blocks = source.block_map()
         for sched in compilation.scheduled.blocks:
@@ -411,6 +432,12 @@ class IRVerifier:
                         f"{issue_rate}-issue machine",
                         block=sched.label,
                     )
+                if check_limits:
+                    violation = word_resource_violation(word, machine)
+                    if violation:
+                        self._fail(
+                            f"cycle {cycle}: {violation}", block=sched.label
+                        )
                 for instr in word:
                     if instr.uid in scheduled_uids:
                         self._fail(

@@ -1,0 +1,108 @@
+"""Compile-cache keys and the machine timing axes.
+
+The timing axes must not invalidate the existing cache population: a
+default (paper) machine's canonical string — and therefore every cache
+key formed from it — is byte-identical to what the pre-timing-layer code
+produced.  Non-default axes append distinguishing suffixes, so two
+machines that differ in any timing axis can never share an entry.
+"""
+
+from repro.cache.compile_cache import CACHE_VERSION_SALT, canonical_machine
+from repro.machine.description import (
+    BranchPredictorModel,
+    CacheModel,
+    FetchModel,
+    MachineDescription,
+    paper_machine,
+)
+from repro.machine.presets import machine_preset
+
+#: The exact pre-timing-layer canonical string of the paper 4-issue
+#: machine.  If this changes, every existing cache entry goes cold —
+#: which is only acceptable alongside a CACHE_VERSION_SALT bump.
+PAPER4_CANONICAL = (
+    "issue=4;lat=branch=1,fp_alu=3,fp_cvt=3,fp_div=10,fp_mul=3,int_alu=1,"
+    "int_div=10,int_mul=3,load=2,special=1,store=1;sbuf=8;"
+    "br/cyc=None;mem/cyc=None"
+)
+
+
+class TestDefaultNormalization:
+    def test_paper_machine_string_is_pinned(self):
+        assert canonical_machine(paper_machine(4)) == PAPER4_CANONICAL
+
+    def test_salt_is_not_bumped(self):
+        assert CACHE_VERSION_SALT == "repro-compile-v2"
+
+    def test_paper_preset_keys_like_paper_machine(self):
+        assert canonical_machine(machine_preset("paper", 4)) == PAPER4_CANONICAL
+
+    def test_rescaled_template_keys_like_direct_construction(self):
+        template = paper_machine(1)
+        for rate in (1, 2, 4, 8):
+            assert canonical_machine(template.at_issue_width(rate)) == (
+                canonical_machine(paper_machine(rate))
+            )
+
+    def test_ideal_axes_spelled_explicitly_still_normalize(self):
+        explicit = MachineDescription(
+            name="paper-issue4",
+            issue_width=4,
+            fetch=FetchModel(mode="ideal"),
+            predictor=BranchPredictorModel(kind="perfect"),
+            icache=CacheModel(kind="perfect"),
+            dcache=CacheModel(kind="perfect"),
+        )
+        assert canonical_machine(explicit) == PAPER4_CANONICAL
+
+
+class TestNonDefaultAxesChangeTheKey:
+    def test_each_axis_appends_a_suffix(self):
+        for preset in ("fetchbreak", "btfn", "bimodal", "cache", "realistic"):
+            text = canonical_machine(machine_preset(preset, 4))
+            assert text.startswith(PAPER4_CANONICAL), preset
+            assert text != PAPER4_CANONICAL, preset
+
+    def test_distinct_configs_get_distinct_strings(self):
+        variants = [
+            paper_machine(4),
+            machine_preset("fetchbreak", 4),
+            machine_preset("btfn", 4),
+            machine_preset("bimodal", 4),
+            machine_preset("cache", 4),
+            machine_preset("realistic", 4),
+            MachineDescription(
+                name="x-issue4",
+                issue_width=4,
+                predictor=BranchPredictorModel(kind="bimodal", table_size=512),
+            ),
+            MachineDescription(
+                name="x-issue4",
+                issue_width=4,
+                dcache=CacheModel(kind="direct", lines=128),
+            ),
+        ]
+        texts = [canonical_machine(m) for m in variants]
+        assert len(set(texts)) == len(texts)
+
+    def test_penalty_parameters_participate(self):
+        a = MachineDescription(
+            name="x-issue4",
+            issue_width=4,
+            predictor=BranchPredictorModel(kind="btfn", mispredict_penalty=3),
+        )
+        b = MachineDescription(
+            name="x-issue4",
+            issue_width=4,
+            predictor=BranchPredictorModel(kind="btfn", mispredict_penalty=5),
+        )
+        assert canonical_machine(a) != canonical_machine(b)
+
+    def test_fetch_width_override_participates(self):
+        a = MachineDescription(
+            name="x-issue4", issue_width=4, fetch=FetchModel(mode="variable")
+        )
+        b = MachineDescription(
+            name="x-issue4", issue_width=4, fetch=FetchModel(mode="variable", width=2)
+        )
+        assert canonical_machine(a) != canonical_machine(b)

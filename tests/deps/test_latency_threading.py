@@ -1,0 +1,108 @@
+"""Latency tables flow from the MachineDescription, not a global constant.
+
+The dependence-graph builders take the latency table of the machine
+being scheduled for (``machine.latencies``); the paper table is only the
+default via ``BASE_MACHINE``.  A machine with non-default latencies must
+produce graphs, schedules, and simulations consistent with *its* table.
+"""
+
+from repro.arch.processor import Processor
+from repro.cfg.basic_block import to_basic_blocks
+from repro.cfg.liveness import Liveness
+from repro.deps.builder import build_dependence_graph
+from repro.deps.reduction import SENTINEL
+from repro.deps.reference import build_reference_arcs
+from repro.deps.types import ArcKind
+from repro.interp.interpreter import run_program
+from repro.isa.instruction import alu, halt, load
+from repro.isa.opcodes import LatClass, Opcode
+from repro.isa.program import Block, Program
+from repro.isa.registers import R
+from repro.machine.description import (
+    BASE_MACHINE,
+    MachineDescription,
+    paper_machine,
+)
+from repro.sched.compiler import compile_program
+from repro.workloads.suites import build_workload
+
+from ..arch.test_fastproc_diff import assert_engines_agree
+
+
+def _slow_load_machine(issue_width=4, load_latency=5):
+    latencies = dict(BASE_MACHINE.latencies)
+    latencies[LatClass.LOAD] = load_latency
+    return MachineDescription(
+        name=f"slowload-issue{issue_width}",
+        issue_width=issue_width,
+        latencies=latencies,
+    )
+
+
+def _load_use_program():
+    ld = load(R(1), R(0), 100)
+    use = alu(Opcode.ADD, R(2), R(1), 1)
+    prog = Program(blocks=[Block("entry", [ld, use, halt()])])
+    for instr in prog.instructions():
+        instr.ensure_uid()
+    return prog, ld, use
+
+
+class TestGraphLatencies:
+    def test_default_is_the_base_machine_table(self):
+        prog, _, _ = _load_use_program()
+        lv = Liveness(prog)
+        block = prog.blocks[0]
+        default = build_dependence_graph(block, lv)
+        explicit = build_dependence_graph(block, lv, BASE_MACHINE.latencies)
+        assert sorted(
+            (a.src, a.dst, a.kind.name, a.latency) for a in default.arcs()
+        ) == sorted((a.src, a.dst, a.kind.name, a.latency) for a in explicit.arcs())
+
+    def test_flow_arc_uses_machine_latency(self):
+        prog, ld, use = _load_use_program()
+        lv = Liveness(prog)
+        machine = _slow_load_machine(load_latency=7)
+        graph = build_dependence_graph(prog.blocks[0], lv, machine.latencies)
+        flow = [
+            arc
+            for arc in graph.arcs()
+            if arc.kind is ArcKind.FLOW
+            and graph.nodes[arc.src] is ld
+            and graph.nodes[arc.dst] is use
+        ]
+        assert len(flow) == 1
+        assert flow[0].latency == 7
+
+    def test_reference_builder_matches_under_custom_latencies(self):
+        prog, _, _ = _load_use_program()
+        lv = Liveness(prog)
+        machine = _slow_load_machine(load_latency=7)
+        graph = build_dependence_graph(prog.blocks[0], lv, machine.latencies)
+        got = sorted((a.src, a.dst, a.kind, a.latency) for a in graph.arcs())
+        want = sorted(build_reference_arcs(prog.blocks[0], lv, machine.latencies))
+        assert got == want
+
+
+class TestEndToEndDifferential:
+    def test_slow_load_machine_compiles_and_simulates_consistently(self):
+        workload = build_workload("wc", scale=0.2)
+        basic = to_basic_blocks(workload.program)
+        training = run_program(basic, memory=workload.make_memory())
+        assert training.halted
+        slow = _slow_load_machine(load_latency=4)
+        comp = compile_program(basic, training.profile, slow, SENTINEL, unroll_factor=2)
+        # Both engines agree bit-for-bit under the non-default table.
+        assert_engines_agree(comp.scheduled, slow, workload.make_memory)
+        # And the longer load latency costs cycles vs the paper machine.
+        fast = paper_machine(4)
+        comp_fast = compile_program(
+            basic, training.profile, fast, SENTINEL, unroll_factor=2
+        )
+        out_slow = Processor(
+            comp.scheduled, slow, memory=workload.make_memory()
+        ).run()
+        out_fast = Processor(
+            comp_fast.scheduled, fast, memory=workload.make_memory()
+        ).run()
+        assert out_slow.cycles > out_fast.cycles

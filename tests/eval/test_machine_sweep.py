@@ -1,0 +1,110 @@
+"""The evaluation sweep's machine axis (``SweepConfig.machine``)."""
+
+import pytest
+
+from repro.eval.harness import SweepConfig, run_sweep
+from repro.machine.description import paper_machine
+from repro.machine.presets import machine_preset
+
+BENCHES = ("wc", "cmp")
+
+
+@pytest.fixture(scope="module")
+def default_sweep():
+    return run_sweep(
+        SweepConfig(benchmarks=BENCHES, issue_rates=(2, 4), scale=0.3, unroll_factor=2)
+    )
+
+
+class TestDefaultByteIdentity:
+    def test_explicit_paper_template_is_byte_identical(self, default_sweep):
+        explicit = run_sweep(
+            SweepConfig(
+                benchmarks=BENCHES,
+                issue_rates=(2, 4),
+                scale=0.3,
+                unroll_factor=2,
+                machine=paper_machine(1),
+            )
+        )
+        assert explicit.to_csv() == default_sweep.to_csv()
+        assert explicit.base_cycles == default_sweep.base_cycles
+
+    def test_paper_preset_is_byte_identical(self, default_sweep):
+        preset = run_sweep(
+            SweepConfig(
+                benchmarks=BENCHES,
+                issue_rates=(2, 4),
+                scale=0.3,
+                unroll_factor=2,
+                machine=machine_preset("paper"),
+            )
+        )
+        assert preset.to_csv() == default_sweep.to_csv()
+
+    def test_template_issue_width_is_irrelevant(self, default_sweep):
+        wide = run_sweep(
+            SweepConfig(
+                benchmarks=BENCHES,
+                issue_rates=(2, 4),
+                scale=0.3,
+                unroll_factor=2,
+                machine=paper_machine(8),
+            )
+        )
+        assert wide.to_csv() == default_sweep.to_csv()
+
+
+class TestNonIdealMachineSweep:
+    def test_realistic_machine_costs_cycles_everywhere(self, default_sweep):
+        realistic = run_sweep(
+            SweepConfig(
+                benchmarks=BENCHES,
+                issue_rates=(2, 4),
+                scale=0.3,
+                unroll_factor=2,
+                machine=machine_preset("realistic"),
+            )
+        )
+        assert set(realistic.cells) == set(default_sweep.cells)
+        for key, cell in realistic.cells.items():
+            assert cell.cycles >= default_sweep.cells[key].cycles, key
+        # The base machine pays the penalties too.
+        for name in BENCHES:
+            assert realistic.base_cycles[name] > default_sweep.base_cycles[name]
+
+    def test_btfn_speedups_stay_sane(self):
+        sweep = run_sweep(
+            SweepConfig(
+                benchmarks=("wc",),
+                issue_rates=(4,),
+                scale=0.3,
+                unroll_factor=2,
+                machine=machine_preset("btfn"),
+            )
+        )
+        for cell in sweep.cells.values():
+            assert cell.speedup > 0.5
+
+    def test_machine_rides_through_parallel_workers(self):
+        serial = run_sweep(
+            SweepConfig(
+                benchmarks=("wc", "cmp", "grep", "lex"),
+                issue_rates=(4,),
+                scale=0.2,
+                unroll_factor=2,
+                machine=machine_preset("btfn"),
+                jobs=1,
+            )
+        )
+        parallel = run_sweep(
+            SweepConfig(
+                benchmarks=("wc", "cmp", "grep", "lex"),
+                issue_rates=(4,),
+                scale=0.2,
+                unroll_factor=2,
+                machine=machine_preset("btfn"),
+                jobs=2,
+            )
+        )
+        assert parallel.to_csv() == serial.to_csv()

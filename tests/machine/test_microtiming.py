@@ -1,0 +1,161 @@
+"""Unit semantics of the shared microarchitectural timing layer."""
+
+from repro.arch.microtiming import MicroTiming, word_width_extra
+from repro.isa.instruction import branch, halt
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import R
+from repro.machine.description import (
+    BranchPredictorModel,
+    CacheModel,
+    FetchModel,
+    MachineDescription,
+    paper_machine,
+)
+from repro.sched.schedule import ScheduledBlock, ScheduledProgram
+
+
+def _program(blocks):
+    source = Program(blocks=[])
+    return ScheduledProgram(blocks=blocks, source=source, policy_name="test")
+
+
+def _machine(**axes):
+    return MachineDescription(name="t-issue4", issue_width=4, **axes)
+
+
+def _two_block_program():
+    """loop: word0 [beq -> loop]; word1 [halt] // exit block after it."""
+    back = branch(Opcode.BEQ, R(1), R(2), "loop")
+    fwd = branch(Opcode.BEQ, R(3), R(4), "exit")
+    stop = halt()
+    for instr in (back, fwd, stop):
+        instr.ensure_uid()
+    blocks = [
+        ScheduledBlock("loop", [[back], [fwd]], falls_through=True),
+        ScheduledBlock("exit", [[stop]], falls_through=False),
+    ]
+    return _program(blocks), back, fwd
+
+
+class TestWordWidthExtra:
+    def test_fits_in_one_fetch(self):
+        assert word_width_extra(1, 4) == 0
+        assert word_width_extra(4, 4) == 0
+
+    def test_extra_cycles(self):
+        assert word_width_extra(5, 4) == 1
+        assert word_width_extra(8, 4) == 1
+        assert word_width_extra(9, 4) == 2
+        assert word_width_extra(8, 1) == 7
+
+
+class TestForRun:
+    def test_ideal_machine_has_no_timing(self):
+        prog, _, _ = _two_block_program()
+        assert MicroTiming.for_run(paper_machine(4), prog) is None
+
+    def test_non_ideal_machine_gets_state(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(fetch=FetchModel(mode="variable"))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing is not None
+        assert timing.word_base == [0, 2]
+
+
+class TestFetch:
+    def test_wide_word_costs_extra(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(fetch=FetchModel(mode="variable", width=2))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.fetch_word(0, 0, 5, False) == 2  # ceil(5/2) - 1
+        assert timing.fetch_stalls == 2
+
+    def test_taken_redirect_break(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(fetch=FetchModel(mode="variable", taken_branch_break=2))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.fetch_word(0, 0, 1, False) == 0
+        assert timing.fetch_word(0, 0, 1, True) == 2
+
+    def test_ideal_fetch_with_predictor_charges_nothing_per_word(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(predictor=BranchPredictorModel(kind="btfn"))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.fetch_word(0, 0, 8, True) == 0
+
+
+class TestPredictor:
+    def test_btfn_directions_from_layout(self):
+        prog, back, fwd = _two_block_program()
+        machine = _machine(predictor=BranchPredictorModel(kind="btfn"))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.static_prediction(back.uid) is True  # backward
+        assert timing.static_prediction(fwd.uid) is False  # forward
+
+    def test_btfn_mispredict_banks_penalty_into_next_fetch(self):
+        prog, back, _ = _two_block_program()
+        machine = _machine(
+            predictor=BranchPredictorModel(kind="btfn", mispredict_penalty=3)
+        )
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.branch_resolved(back.uid, True) is False  # predicted taken
+        assert timing.branch_resolved(back.uid, False) is True  # mispredict
+        assert timing.branch_mispredicts == 1
+        # The penalty is charged by the NEXT fetch, then cleared.
+        assert timing.fetch_word(0, 1, 1, False) == 3
+        assert timing.fetch_word(0, 1, 1, False) == 0
+        assert timing.fetch_stalls == 3
+
+    def test_bimodal_counters_learn(self):
+        prog, back, _ = _two_block_program()
+        machine = _machine(
+            predictor=BranchPredictorModel(kind="bimodal", mispredict_penalty=3)
+        )
+        timing = MicroTiming.for_run(machine, prog)
+        # Weakly-not-taken start: first taken resolves as a mispredict...
+        assert timing.branch_resolved(back.uid, True) is True
+        # ...which trains the counter to weakly-taken; taken now predicted.
+        assert timing.branch_resolved(back.uid, True) is False
+        assert timing.branch_resolved(back.uid, True) is False
+        # One not-taken against a saturated counter mispredicts.
+        assert timing.branch_resolved(back.uid, False) is True
+
+    def test_perfect_predictor_never_mispredicts(self):
+        prog, back, _ = _two_block_program()
+        machine = _machine(dcache=CacheModel(kind="direct"))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.branch_resolved(back.uid, True) is False
+        assert timing.branch_resolved(back.uid, False) is False
+        assert timing.branch_mispredicts == 0
+
+
+class TestCaches:
+    def test_icache_miss_then_hit(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(
+            icache=CacheModel(kind="direct", lines=4, line_size=2, miss_penalty=8)
+        )
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.fetch_word(0, 0, 1, False) == 8  # cold miss
+        assert timing.fetch_word(0, 1, 1, False) == 0  # same line
+        assert timing.icache_misses == 1
+
+    def test_dcache_direct_mapped_conflict(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(
+            dcache=CacheModel(kind="direct", lines=2, line_size=1, miss_penalty=6)
+        )
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.load_extra(10) == 6  # cold
+        assert timing.load_extra(10) == 0  # hit
+        assert timing.load_extra(12) == 6  # same line (10 % 2 == 12 % 2), new tag
+        assert timing.load_extra(10) == 6  # evicted by the conflict
+        assert timing.dcache_misses == 3
+
+    def test_perfect_dcache_is_free(self):
+        prog, _, _ = _two_block_program()
+        machine = _machine(fetch=FetchModel(mode="variable"))
+        timing = MicroTiming.for_run(machine, prog)
+        assert timing.load_extra(10) == 0
+        assert timing.dcache_misses == 0

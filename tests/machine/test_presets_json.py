@@ -1,0 +1,156 @@
+"""Machine presets, JSON round trip, and issue-width rescaling."""
+
+import json
+
+import pytest
+
+from repro.machine.description import (
+    BranchPredictorModel,
+    CacheModel,
+    FetchModel,
+    MACHINE_JSON_VERSION,
+    MachineDescription,
+    paper_machine,
+)
+from repro.machine.presets import MACHINE_PRESETS, load_machine_file, machine_preset
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(MACHINE_PRESETS) == {
+            "paper",
+            "fetchbreak",
+            "btfn",
+            "bimodal",
+            "cache",
+            "realistic",
+        }
+
+    def test_paper_preset_is_the_paper_machine(self):
+        assert machine_preset("paper") == paper_machine(1)
+        assert machine_preset("paper", 4) == paper_machine(4)
+
+    def test_presets_are_width1_templates(self):
+        for name in MACHINE_PRESETS:
+            machine = machine_preset(name)
+            assert machine.issue_width == 1
+            assert machine.name == f"{name}-issue1"
+
+    def test_only_paper_is_timing_ideal(self):
+        for name in MACHINE_PRESETS:
+            machine = machine_preset(name)
+            assert machine.is_ideal_timing == (name == "paper"), name
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown machine preset"):
+            machine_preset("cray1")
+
+    def test_rescaling_matches_direct_construction(self):
+        for rate in (1, 2, 4, 8):
+            for sbuf in (4, 8):
+                template = paper_machine(1, store_buffer_size=sbuf)
+                assert template.at_issue_width(rate) == paper_machine(
+                    rate, store_buffer_size=sbuf
+                )
+
+    def test_rescaling_is_idempotent_on_name(self):
+        m = machine_preset("realistic", 4).at_issue_width(8)
+        assert m.name == "realistic-issue8"
+        assert m.issue_width == 8
+        assert m.predictor.kind == "bimodal"
+        assert m.dcache.kind == "direct"
+
+
+class TestJsonRoundTrip:
+    def test_every_preset_round_trips(self):
+        for name in MACHINE_PRESETS:
+            for rate in (1, 4):
+                machine = machine_preset(name, rate)
+                assert MachineDescription.from_json(machine.to_json()) == machine
+
+    def test_version_is_embedded(self):
+        payload = json.loads(paper_machine(2).to_json())
+        assert payload["version"] == MACHINE_JSON_VERSION
+
+    def test_wrong_version_rejected(self):
+        payload = paper_machine(2).to_json_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            MachineDescription.from_json_dict(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = paper_machine(2).to_json_dict()
+        payload["reorder_buffer"] = 32
+        with pytest.raises(ValueError, match="unknown machine JSON fields"):
+            MachineDescription.from_json_dict(payload)
+
+    def test_missing_required_field(self):
+        with pytest.raises(ValueError, match="issue_width"):
+            MachineDescription.from_json_dict(
+                {"version": MACHINE_JSON_VERSION, "name": "x"}
+            )
+
+    def test_minimal_file_takes_paper_defaults(self):
+        machine = MachineDescription.from_json_dict(
+            {"version": MACHINE_JSON_VERSION, "name": "paper-issue4", "issue_width": 4}
+        )
+        assert machine == paper_machine(4)
+
+    def test_partial_latency_override(self):
+        payload = {
+            "version": MACHINE_JSON_VERSION,
+            "name": "slowload",
+            "issue_width": 4,
+            "latencies": {"load": 5},
+        }
+        machine = MachineDescription.from_json_dict(payload)
+        from repro.isa.opcodes import LatClass
+
+        assert machine.latencies[LatClass.LOAD] == 5
+        assert machine.latencies[LatClass.INT_ALU] == 1
+
+    def test_load_machine_file(self, tmp_path):
+        machine = machine_preset("realistic", 2)
+        path = tmp_path / "m.json"
+        path.write_text(machine.to_json())
+        assert load_machine_file(path) == machine
+
+    def test_load_machine_file_names_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "name": "x"}')
+        with pytest.raises(ValueError, match="bad.json"):
+            load_machine_file(path)
+
+
+class TestAxisValidation:
+    def test_fetch_model(self):
+        with pytest.raises(ValueError):
+            FetchModel(mode="warp")
+        with pytest.raises(ValueError):
+            FetchModel(mode="variable", width=0)
+        with pytest.raises(ValueError):
+            FetchModel(mode="variable", taken_branch_break=-1)
+
+    def test_predictor_model(self):
+        with pytest.raises(ValueError):
+            BranchPredictorModel(kind="neural")
+        with pytest.raises(ValueError):
+            BranchPredictorModel(kind="bimodal", table_size=0)
+        with pytest.raises(ValueError):
+            BranchPredictorModel(kind="btfn", mispredict_penalty=-1)
+
+    def test_cache_model(self):
+        with pytest.raises(ValueError):
+            CacheModel(kind="fully")
+        with pytest.raises(ValueError):
+            CacheModel(kind="direct", lines=0)
+        with pytest.raises(ValueError):
+            CacheModel(kind="direct", line_size=0)
+        with pytest.raises(ValueError):
+            CacheModel(kind="direct", miss_penalty=-1)
+
+    def test_per_cycle_limit_validation(self):
+        with pytest.raises(ValueError):
+            MachineDescription(name="x", issue_width=2, branches_per_cycle=0)
+        with pytest.raises(ValueError):
+            MachineDescription(name="x", issue_width=2, memory_ops_per_cycle=0)
