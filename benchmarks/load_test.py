@@ -1,0 +1,212 @@
+"""Load generator for the sentinel-scheduling service.
+
+Measures requests/sec and latency percentiles against a running server::
+
+    python benchmarks/load_test.py --port 8321 --requests 200 --concurrency 4
+
+or, with ``--spawn``, boots a private in-process server (ephemeral port,
+temporary cache directory) first — that is how CI runs it.  Results can
+be written as JSON with ``--out`` for the metrics artifact; the numbers
+quoted in EXPERIMENTS.md come from :mod:`perf_trajectory`'s service
+stanza, which imports this module.
+
+The request mix cycles through a few distinct compile jobs and is warmed
+first, so steady-state throughput measures the service path (HTTP
+parse, key derivation, pool round-trip, on-disk cache read) rather than
+raw compile time; 429 responses are retried after ``Retry-After`` and
+counted, never dropped.
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient, ServiceHTTPError  # noqa: E402
+
+#: Default request mix: four distinct compile cells, all small.
+DEFAULT_MIX = [
+    {"benchmark": "wc", "policy": "sentinel", "issue_rate": 4, "scale": 0.3},
+    {"benchmark": "wc", "policy": "restricted", "issue_rate": 2, "scale": 0.3},
+    {"benchmark": "cmp", "policy": "sentinel", "issue_rate": 4, "scale": 0.3},
+    {"benchmark": "cmp", "policy": "sentinel_store", "issue_rate": 8, "scale": 0.3},
+]
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_load_test(
+    port,
+    requests=200,
+    concurrency=4,
+    host="127.0.0.1",
+    mix=None,
+    warmup=True,
+):
+    """Fire ``requests`` compile requests from ``concurrency`` threads.
+
+    Returns a JSON-ready dict with requests/sec and latency percentiles.
+    Each thread owns one keep-alive connection; request k draws payload
+    ``mix[k % len(mix)]``, so the mix is spread evenly across threads.
+    """
+    mix = mix or DEFAULT_MIX
+    if warmup:
+        with ServiceClient(host=host, port=port) as client:
+            client.wait_until_ready()
+            for payload in mix:
+                client.request_with_retry("compile", **payload)
+
+    latencies = [None] * requests
+    retries = [0] * concurrency
+    cache_hits = [0] * concurrency
+    coalesced = [0] * concurrency
+    errors = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(worker_idx):
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                barrier.wait(timeout=60)
+                for k in range(worker_idx, requests, concurrency):
+                    payload = mix[k % len(mix)]
+                    start = time.perf_counter()
+                    while True:
+                        try:
+                            response = client.compile(**payload)
+                            break
+                        except ServiceHTTPError as exc:
+                            if exc.status != 429:
+                                raise
+                            retries[worker_idx] += 1
+                            time.sleep(exc.retry_after or 0.1)
+                    latencies[k] = (time.perf_counter() - start) * 1e3
+                    cache_hits[worker_idx] += bool(response.get("cache_hit"))
+                    coalesced[worker_idx] += bool(response.get("coalesced"))
+        except Exception as exc:  # surfaced to the caller after join
+            errors.append(f"worker {worker_idx}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    done = [ms for ms in latencies if ms is not None]
+    return {
+        "requests": len(done),
+        "concurrency": concurrency,
+        "wall_seconds": round(wall, 3),
+        "requests_per_sec": round(len(done) / wall, 1) if wall else None,
+        "latency_ms": {
+            "p50": round(percentile(done, 0.50), 2),
+            "p90": round(percentile(done, 0.90), 2),
+            "p99": round(percentile(done, 0.99), 2),
+            "mean": round(sum(done) / len(done), 2),
+            "max": round(max(done), 2),
+        },
+        "cache_hits": sum(cache_hits),
+        "coalesced": sum(coalesced),
+        "retries_429": sum(retries),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="boot a private in-process server (ephemeral port, temp cache) "
+        "instead of targeting --host/--port",
+    )
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--concurrency",
+        type=str,
+        default="4",
+        help="comma-separated client counts, e.g. 1,4,16 (one run each)",
+    )
+    parser.add_argument(
+        "--p99-ceiling-ms",
+        type=float,
+        default=None,
+        help="exit non-zero when any run's p99 exceeds this many ms",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write results JSON to PATH"
+    )
+    args = parser.parse_args(argv)
+    levels = [int(c) for c in args.concurrency.split(",") if c.strip()]
+
+    runs = []
+
+    def run_all(host, port):
+        for concurrency in levels:
+            result = run_load_test(
+                port,
+                requests=args.requests,
+                concurrency=concurrency,
+                host=host,
+            )
+            runs.append(result)
+            print(
+                f"concurrency {concurrency:>3}: "
+                f"{result['requests_per_sec']} req/s, "
+                f"p50 {result['latency_ms']['p50']} ms, "
+                f"p99 {result['latency_ms']['p99']} ms "
+                f"({result['cache_hits']} cache hits, "
+                f"{result['coalesced']} coalesced, "
+                f"{result['retries_429']} retried 429s)"
+            )
+
+    if args.spawn:
+        import tempfile
+
+        from repro.service.server import ServiceThread
+
+        with tempfile.TemporaryDirectory(prefix="repro-load-") as cache_dir:
+            with ServiceThread(cache_dir=cache_dir) as server:
+                run_all("127.0.0.1", server.port)
+                with ServiceClient(port=server.port) as client:
+                    metrics = client.metrics()
+    else:
+        run_all(args.host, args.port)
+        with ServiceClient(host=args.host, port=args.port) as client:
+            metrics = client.metrics()
+
+    payload = {"runs": runs, "server_metrics": metrics}
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.p99_ceiling_ms is not None:
+        worst = max(run["latency_ms"]["p99"] for run in runs)
+        if worst > args.p99_ceiling_ms:
+            print(
+                f"FAIL: p99 {worst} ms exceeds ceiling {args.p99_ceiling_ms} ms",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"p99 guard ok: worst {worst} ms <= {args.p99_ceiling_ms} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -358,6 +358,43 @@ def main() -> None:
         help="write the fuzz campaign summary (counts, coverage, wall time) "
         "as JSON to PATH",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the HTTP/JSON service (POST /v1/compile, /v1/simulate, "
+        "/v1/sweep, /v1/fuzz; GET /v1/health, /v1/metrics) instead of "
+        "the sweep",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        metavar="N",
+        help="service listen port (default 8321; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="service listen address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=0,
+        metavar="J",
+        help="service process-pool width for CPU-bound jobs "
+        "(default 0 = CPU count)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        metavar="N",
+        help="jobs admitted but unfinished before the service answers "
+        "429 + Retry-After (default 32)",
+    )
     args = parser.parse_args()
 
     if args.no_fast_proc:
@@ -398,6 +435,21 @@ def main() -> None:
             machine = machine_preset(args.machine_preset)
         except ValueError as exc:
             parser.error(str(exc))
+
+    if args.serve:
+        from .service.server import ServiceConfig, serve
+
+        workers = args.service_workers or (os.cpu_count() or 1)
+        raise SystemExit(
+            serve(
+                ServiceConfig(
+                    host=args.host,
+                    port=args.port,
+                    workers=workers,
+                    max_pending=args.max_pending,
+                )
+            )
+        )
 
     if args.fuzz is not None:
         raise SystemExit(run_fuzz(args))
@@ -481,6 +533,7 @@ def main() -> None:
                     "per_benchmark": sweep.timings,
                     "worker_pids": sweep.worker_pids,
                     "interp_steps": sweep.interp_steps,
+                    "cache_counters": sweep.cache_counters,
                 },
                 handle,
                 indent=2,

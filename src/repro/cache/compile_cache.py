@@ -31,7 +31,11 @@ to a temporary file in the same directory and are published with an
 atomic :func:`os.replace`, so readers never observe a partial entry, and
 :meth:`CompileCache.get` treats *any* failure to read or unpickle an
 entry as a miss (deleting the offender) — a corrupted cache can cost a
-recompile, never a wrong result or a failed run.
+recompile, never a wrong result or a failed run.  Such reads are not
+silent, though: they increment a ``corrupt`` counter alongside the
+hit/miss tallies (:meth:`CompileCache.counters`), surfaced by the sweep
+``--timings`` table and the service ``/v1/metrics``, so cache damage is
+observable even when it is harmless.
 """
 
 from __future__ import annotations
@@ -208,6 +212,27 @@ class CompileCache:
         self.salt = salt
         self.hits = 0
         self.misses = 0
+        #: Misses caused by an unreadable entry (truncated pickle, salt
+        #: mismatch, unpicklable content) rather than a plain absence.
+        #: Every corrupt read also counts as a miss; a growing corrupt
+        #: count under a stable salt means something is damaging the
+        #: cache directory, which a silent miss would hide.
+        self.corrupt = 0
+        #: Requests that never reached disk because they latched onto an
+        #: identical in-flight compile (single-flight coalescing).  The
+        #: cache itself never increments this — owners of a single-flight
+        #: map (the service layer) do — but it lives here so every
+        #: consumer of cache statistics sees one consistent dict.
+        self.coalesced = 0
+
+    def counters(self) -> dict:
+        """All cache statistics as a plain JSON-ready dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "coalesced": self.coalesced,
+        }
 
     # -- keys ---------------------------------------------------------
 
@@ -242,6 +267,7 @@ class CompileCache:
             except OSError:
                 pass
             self.misses += 1
+            self.corrupt += 1
             return None
         self.hits += 1
         return value

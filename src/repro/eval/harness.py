@@ -238,6 +238,11 @@ class SweepResult:
     #: (sharing, lockstep rows, fallbacks); see
     #: :data:`repro.arch.batchproc.BATCH_COUNTERS`.
     sim_counters: Dict[str, int] = field(default_factory=dict)
+    #: Compile-cache statistics summed across benchmarks
+    #: (hits/misses/corrupt/coalesced; see
+    #: :meth:`repro.cache.CompileCache.counters`).  Empty when the sweep
+    #: ran without the cache.
+    cache_counters: Dict[str, int] = field(default_factory=dict)
 
     def stage_totals(self) -> Dict[str, float]:
         """Summed per-stage wall seconds across benchmarks.
@@ -315,6 +320,15 @@ class SweepResult:
         interp_seconds = totals["train"] + totals["profile"]
         if steps and interp_seconds > 0:
             lines.append(f"interpreted {steps} steps, {steps / interp_seconds:,.0f} steps/sec")
+        if self.cache_counters:
+            counters = self.cache_counters
+            lines.append(
+                "compile cache: "
+                f"{counters.get('hits', 0)} hits, "
+                f"{counters.get('misses', 0)} misses, "
+                f"{counters.get('corrupt', 0)} corrupt, "
+                f"{counters.get('coalesced', 0)} coalesced"
+            )
         pass_totals = self.pass_totals()
         if pass_totals:
             width = max(14, max(len(name) for name in pass_totals))
@@ -396,6 +410,7 @@ class _BenchmarkShard:
     sim_lanes: int = 0
     sim_ok: int = 0
     sim_counters: Dict[str, int] = field(default_factory=dict)
+    cache_counters: Dict[str, int] = field(default_factory=dict)
 
 
 def _lane_memory(workload, lane: int):
@@ -702,6 +717,7 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
         sim_lanes=sim_lanes,
         sim_ok=sim_ok,
         sim_counters=sim_counters,
+        cache_counters=cache.counters() if cache is not None else {},
     )
 
 
@@ -752,5 +768,7 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
         sweep.sim_ok += shard.sim_ok
         for key, count in shard.sim_counters.items():
             sweep.sim_counters[key] = sweep.sim_counters.get(key, 0) + count
+        for key, count in shard.cache_counters.items():
+            sweep.cache_counters[key] = sweep.cache_counters.get(key, 0) + count
     sweep.wall_seconds = time.perf_counter() - wall_start
     return sweep

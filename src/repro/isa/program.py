@@ -68,6 +68,21 @@ class Program:
         self._next_uid = 0
         self.renumber()
 
+    @classmethod
+    def from_parts(cls, blocks: List[Block], next_uid: int) -> "Program":
+        """Rebuild a program from already-numbered blocks.
+
+        Unlike the constructor this does **not** renumber: instruction
+        uids, home blocks and origin links are taken as-is, which is what
+        deserialization (:mod:`repro.serde`) needs to reproduce a program
+        whose uids are not sequential (superblock programs carry sentinel
+        and clone uids allocated above the original range).
+        """
+        program = cls.__new__(cls)
+        program.blocks = list(blocks)
+        program._next_uid = next_uid
+        return program
+
     # ------------------------------------------------------------------
     # Structure.
     # ------------------------------------------------------------------

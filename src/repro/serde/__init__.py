@@ -1,0 +1,62 @@
+"""Versioned JSON serialization of the compiler's first-class objects.
+
+The service layer (:mod:`repro.service`) ships programs, schedules and
+sweep results across process and machine boundaries, so they need a
+stable wire format with the same hygiene the machine JSON established in
+:mod:`repro.machine.description`: every payload carries a ``version``
+and a ``kind``, unknown fields and unsupported versions are rejected
+loudly (:class:`SerdeError`), and omissions never silently default to
+something that changes semantics.
+
+The format is *uid-faithful*: instruction uids, home blocks, origin
+links and sentinel sets survive the round trip exactly, so a
+deserialized program compiles to the same pinned golden digests as the
+original and a deserialized schedule executes bit-identically on every
+engine.  (The cache's group-bundle pickles seeded the object coverage;
+JSON replaces pickle at the service boundary because clients cannot be
+handed a pickle.)
+"""
+
+from .codec import (
+    SERDE_VERSION,
+    SerdeError,
+    instruction_from_json_dict,
+    instruction_to_json_dict,
+    profile_from_json_dict,
+    profile_to_json_dict,
+    program_from_json,
+    program_from_json_dict,
+    program_to_json,
+    program_to_json_dict,
+    schedule_digest,
+    schedule_from_json,
+    schedule_from_json_dict,
+    schedule_to_json,
+    schedule_to_json_dict,
+)
+from .sweep import (
+    POLICY_REGISTRY,
+    sweep_result_from_json_dict,
+    sweep_result_to_json_dict,
+)
+
+__all__ = [
+    "SERDE_VERSION",
+    "SerdeError",
+    "POLICY_REGISTRY",
+    "instruction_from_json_dict",
+    "instruction_to_json_dict",
+    "profile_from_json_dict",
+    "profile_to_json_dict",
+    "program_from_json",
+    "program_from_json_dict",
+    "program_to_json",
+    "program_to_json_dict",
+    "schedule_digest",
+    "schedule_from_json",
+    "schedule_from_json_dict",
+    "schedule_to_json",
+    "schedule_to_json_dict",
+    "sweep_result_from_json_dict",
+    "sweep_result_to_json_dict",
+]

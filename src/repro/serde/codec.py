@@ -1,0 +1,358 @@
+"""JSON codecs for programs, profiles and schedules.
+
+Operand encoding piggybacks on JSON's own type system: a register is its
+name string (``"r5"``/``"f3"``), an integer immediate is a JSON number
+without a fraction, a float immediate one with (JSON keeps ``2`` and
+``2.0`` distinct, which is exactly the int/float split the ISA makes).
+
+A :class:`~repro.sched.schedule.ScheduledProgram` serializes its
+instructions once, in a uid-keyed table shared by the source program's
+blocks and the schedule's words — deserialization then rebuilds the
+object-identity sharing the compiler established (a scheduled word holds
+the *same* instruction object as the source block it came from).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from ..cfg.profile import ProfileData
+from ..isa.instruction import Instruction
+from ..isa.opcodes import MNEMONIC_TO_OPCODE
+from ..isa.program import Block, Program
+from ..isa.registers import Register, parse_register
+from ..sched.schedule import ScheduledBlock, ScheduledProgram
+
+#: Version tag of every serde payload.  Bump on any incompatible change
+#: to the field layout; readers reject other versions outright.
+SERDE_VERSION = 1
+
+
+class SerdeError(ValueError):
+    """Malformed, unknown-versioned or unsupported serde payload."""
+
+
+def _envelope(kind: str) -> Dict[str, object]:
+    return {"version": SERDE_VERSION, "kind": kind}
+
+
+def check_envelope(data: Dict[str, object], kind: str, fields: Iterable[str]) -> None:
+    """Reject wrong versions, wrong kinds and unknown fields."""
+    if not isinstance(data, dict):
+        raise SerdeError(f"expected a JSON object for {kind}, got {type(data).__name__}")
+    version = data.get("version")
+    if version != SERDE_VERSION:
+        raise SerdeError(
+            f"unsupported {kind} payload version {version!r} "
+            f"(this build reads version {SERDE_VERSION})"
+        )
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise SerdeError(f"expected kind {kind!r}, got {got_kind!r}")
+    unknown = set(data) - {"version", "kind"} - set(fields)
+    if unknown:
+        raise SerdeError(f"unknown {kind} fields: {sorted(unknown)}")
+
+
+# ----------------------------------------------------------------------
+# Operands and instructions.
+# ----------------------------------------------------------------------
+
+
+def _operand_to_json(operand) -> object:
+    if isinstance(operand, Register):
+        return operand.name
+    if isinstance(operand, (int, float)):
+        return operand
+    raise SerdeError(f"unserializable operand {operand!r}")
+
+
+def _operand_from_json(value) -> object:
+    if isinstance(value, str):
+        try:
+            return parse_register(value)
+        except ValueError as exc:
+            raise SerdeError(str(exc)) from exc
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SerdeError(f"bad operand {value!r}")
+    return value
+
+
+#: Instruction fields that default to falsy and are omitted when unset,
+#: keeping the common case (a plain ALU op) compact.
+_INSTR_FIELDS = (
+    "uid", "op", "dest", "srcs", "target", "spec", "home_block",
+    "origin", "sentinel_for", "comment", "mem_region", "boost_branches",
+)
+
+
+def instruction_to_json_dict(instr: Instruction) -> Dict[str, object]:
+    data: Dict[str, object] = {
+        "uid": instr.uid,
+        "op": instr.info.mnemonic,
+        "srcs": [_operand_to_json(s) for s in instr.srcs],
+    }
+    if instr.dest is not None:
+        data["dest"] = instr.dest.name
+    if instr.target is not None:
+        data["target"] = instr.target
+    if instr.spec:
+        data["spec"] = True
+    if instr.home_block is not None:
+        data["home_block"] = instr.home_block
+    if instr.origin is not None:
+        data["origin"] = instr.origin
+    if instr.sentinel_for:
+        data["sentinel_for"] = list(instr.sentinel_for)
+    if instr.comment:
+        data["comment"] = instr.comment
+    if instr.mem_region is not None:
+        data["mem_region"] = instr.mem_region
+    if instr.boost_branches:
+        data["boost_branches"] = list(instr.boost_branches)
+    return data
+
+
+def instruction_from_json_dict(data: Dict[str, object]) -> Instruction:
+    if not isinstance(data, dict):
+        raise SerdeError(f"expected a JSON object for instruction, got {data!r}")
+    unknown = set(data) - set(_INSTR_FIELDS)
+    if unknown:
+        raise SerdeError(f"unknown instruction fields: {sorted(unknown)}")
+    mnemonic = data.get("op")
+    op = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if op is None:
+        raise SerdeError(f"unknown mnemonic {mnemonic!r}")
+    dest = data.get("dest")
+    try:
+        instr = Instruction(
+            op,
+            dest=parse_register(dest) if dest is not None else None,
+            srcs=tuple(_operand_from_json(s) for s in data.get("srcs", [])),
+            target=data.get("target"),
+            uid=data.get("uid"),
+            spec=bool(data.get("spec", False)),
+            home_block=data.get("home_block"),
+            origin=data.get("origin"),
+            sentinel_for=tuple(data.get("sentinel_for", ())),
+            comment=data.get("comment", ""),
+            mem_region=data.get("mem_region"),
+        )
+    except ValueError as exc:
+        raise SerdeError(str(exc)) from exc
+    boost = data.get("boost_branches")
+    if boost:
+        instr.boost_branches = tuple(boost)
+    return instr
+
+
+# ----------------------------------------------------------------------
+# Programs.
+# ----------------------------------------------------------------------
+
+_PROGRAM_FIELDS = ("blocks", "uid_watermark")
+
+
+def program_to_json_dict(program: Program) -> Dict[str, object]:
+    data = _envelope("program")
+    data["uid_watermark"] = program.uid_watermark()
+    data["blocks"] = [
+        {
+            "label": block.label,
+            "instrs": [instruction_to_json_dict(i) for i in block.instrs],
+        }
+        for block in program.blocks
+    ]
+    return data
+
+
+def program_from_json_dict(data: Dict[str, object]) -> Program:
+    check_envelope(data, "program", _PROGRAM_FIELDS)
+    blocks: List[Block] = []
+    for payload in data.get("blocks", []):
+        unknown = set(payload) - {"label", "instrs"}
+        if unknown:
+            raise SerdeError(f"unknown block fields: {sorted(unknown)}")
+        blocks.append(
+            Block(
+                payload["label"],
+                [instruction_from_json_dict(i) for i in payload.get("instrs", [])],
+            )
+        )
+    watermark = data.get("uid_watermark")
+    if not isinstance(watermark, int):
+        raise SerdeError(f"bad uid_watermark {watermark!r}")
+    return Program.from_parts(blocks, watermark)
+
+
+def program_to_json(program: Program, indent: Optional[int] = None) -> str:
+    return json.dumps(program_to_json_dict(program), indent=indent, sort_keys=True)
+
+
+def program_from_json(text: str) -> Program:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerdeError(f"bad program JSON: {exc}") from exc
+    return program_from_json_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Profiles.
+# ----------------------------------------------------------------------
+
+_PROFILE_FIELDS = ("block_visits", "branch_executed", "branch_taken", "edges")
+
+
+def profile_to_json_dict(profile: ProfileData) -> Dict[str, object]:
+    data = _envelope("profile")
+    data["block_visits"] = dict(profile.block_visits)
+    data["branch_executed"] = {str(uid): n for uid, n in profile.branch_executed.items()}
+    data["branch_taken"] = {str(uid): n for uid, n in profile.branch_taken.items()}
+    data["edges"] = [[src, dst, n] for (src, dst), n in profile.edges.items()]
+    return data
+
+
+def profile_from_json_dict(data: Dict[str, object]) -> ProfileData:
+    check_envelope(data, "profile", _PROFILE_FIELDS)
+    try:
+        return ProfileData(
+            block_visits=Counter(data.get("block_visits", {})),
+            branch_executed=Counter(
+                {int(uid): n for uid, n in data.get("branch_executed", {}).items()}
+            ),
+            branch_taken=Counter(
+                {int(uid): n for uid, n in data.get("branch_taken", {}).items()}
+            ),
+            edges=Counter(
+                {(src, dst): n for src, dst, n in data.get("edges", [])}
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerdeError(f"bad profile payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Schedules.
+# ----------------------------------------------------------------------
+
+_SCHEDULE_FIELDS = ("policy_name", "machine_name", "instructions", "source", "blocks")
+
+
+def schedule_to_json_dict(scheduled: ScheduledProgram) -> Dict[str, object]:
+    """Serialize a scheduled program, sharing instructions by uid.
+
+    The table covers the union of the source program's instructions and
+    the schedule's words; two distinct objects claiming one uid with
+    different content would corrupt the rebuild, so that is rejected
+    (it cannot happen for a :class:`CompilationResult` produced by the
+    pipeline, where words reference the source program's objects).
+    """
+    table: Dict[int, Dict[str, object]] = {}
+
+    def register(instr: Instruction) -> int:
+        payload = instruction_to_json_dict(instr)
+        uid = instr.uid
+        if uid is None:
+            raise SerdeError(f"cannot serialize uid-less instruction {instr!r}")
+        existing = table.get(uid)
+        if existing is None:
+            table[uid] = payload
+        elif existing != payload:
+            raise SerdeError(f"uid {uid} maps to two different instructions")
+        return uid
+
+    data = _envelope("scheduled_program")
+    data["policy_name"] = scheduled.policy_name
+    data["machine_name"] = scheduled.machine_name
+    data["source"] = {
+        "uid_watermark": scheduled.source.uid_watermark(),
+        "blocks": [
+            {"label": blk.label, "uids": [register(i) for i in blk.instrs]}
+            for blk in scheduled.source.blocks
+        ],
+    }
+    data["blocks"] = [
+        {
+            "label": blk.label,
+            "falls_through": blk.falls_through,
+            "words": [[register(i) for i in word] for word in blk.words],
+        }
+        for blk in scheduled.blocks
+    ]
+    data["instructions"] = {str(uid): payload for uid, payload in sorted(table.items())}
+    return data
+
+
+def schedule_from_json_dict(data: Dict[str, object]) -> ScheduledProgram:
+    check_envelope(data, "scheduled_program", _SCHEDULE_FIELDS)
+    table: Dict[int, Instruction] = {}
+    for uid_text, payload in (data.get("instructions") or {}).items():
+        instr = instruction_from_json_dict(payload)
+        if instr.uid != int(uid_text):
+            raise SerdeError(
+                f"instruction table key {uid_text} disagrees with uid {instr.uid}"
+            )
+        table[instr.uid] = instr
+
+    def resolve(uid) -> Instruction:
+        if uid not in table:
+            raise SerdeError(f"schedule references unknown uid {uid}")
+        return table[uid]
+
+    source_payload = data.get("source") or {}
+    unknown = set(source_payload) - {"uid_watermark", "blocks"}
+    if unknown:
+        raise SerdeError(f"unknown source fields: {sorted(unknown)}")
+    source = Program.from_parts(
+        [
+            Block(blk["label"], [resolve(uid) for uid in blk.get("uids", [])])
+            for blk in source_payload.get("blocks", [])
+        ],
+        int(source_payload.get("uid_watermark", 0)),
+    )
+    blocks: List[ScheduledBlock] = []
+    for payload in data.get("blocks", []):
+        unknown = set(payload) - {"label", "falls_through", "words"}
+        if unknown:
+            raise SerdeError(f"unknown scheduled-block fields: {sorted(unknown)}")
+        blocks.append(
+            ScheduledBlock(
+                label=payload["label"],
+                words=[[resolve(uid) for uid in word] for word in payload.get("words", [])],
+                falls_through=bool(payload["falls_through"]),
+            )
+        )
+    return ScheduledProgram(
+        blocks=blocks,
+        source=source,
+        policy_name=data.get("policy_name", ""),
+        machine_name=data.get("machine_name", ""),
+    )
+
+
+def schedule_to_json(scheduled: ScheduledProgram, indent: Optional[int] = None) -> str:
+    return json.dumps(schedule_to_json_dict(scheduled), indent=indent, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> ScheduledProgram:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerdeError(f"bad schedule JSON: {exc}") from exc
+    return schedule_from_json_dict(data)
+
+
+def schedule_digest(scheduled: ScheduledProgram) -> str:
+    """Content digest of a schedule: sha256 over its canonical JSON.
+
+    Two compilations of the same inputs produce the same digest (uids
+    included — the pipeline allocates them deterministically), so the
+    digest doubles as a response-identity check for the service's
+    coalescing path.
+    """
+    text = schedule_to_json(scheduled)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

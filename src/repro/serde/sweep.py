@@ -1,0 +1,153 @@
+"""JSON codec for sweep configurations and results.
+
+A :class:`~repro.eval.harness.SweepResult` crosses the service boundary
+whole — cells, base cycles, stage timings, counters — so remote clients
+can drive the same figures/tables code a local sweep feeds.  Policies
+serialize by name and resolve against the four standard models; a custom
+:class:`~repro.deps.reduction.SpeculationPolicy` has no stable wire
+identity and is rejected rather than silently renamed.  Runtime-only
+knobs (jobs, cache directory, weights, trace flags) deliberately do not
+serialize: they describe *how* a sweep ran, not *what* it measured, and
+the receiving side must not replay them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from ..eval.harness import CellResult, SweepConfig, SweepResult
+from ..machine.description import MachineDescription
+from .codec import SERDE_VERSION, SerdeError, check_envelope, _envelope
+
+#: Name -> policy for the four standard scheduling models.
+POLICY_REGISTRY = {
+    policy.name: policy
+    for policy in (RESTRICTED, GENERAL, SENTINEL, SENTINEL_STORE)
+}
+
+_CONFIG_FIELDS = (
+    "benchmarks", "issue_rates", "policies", "unroll_factor", "seed",
+    "scale", "store_buffer_size", "recovery", "max_steps", "simulate",
+    "machine",
+)
+
+_CELL_FIELDS = (
+    "benchmark", "numeric", "policy", "issue_rate", "cycles", "speedup",
+    "speculative", "checks_inserted", "confirms_inserted", "schedule_words",
+)
+
+_RESULT_FIELDS = (
+    "config", "base_cycles", "cells", "timings", "pass_timings",
+    "interp_steps", "wall_seconds", "effective_jobs", "sim_lanes",
+    "sim_ok", "sim_counters", "cache_counters",
+)
+
+
+def _config_to_json_dict(config: SweepConfig) -> Dict[str, object]:
+    for policy in config.policies:
+        registered = POLICY_REGISTRY.get(policy.name)
+        if registered is not policy:
+            raise SerdeError(
+                f"policy {policy.name!r} is not one of the standard models "
+                "and cannot be serialized by name"
+            )
+    if config.weights is not None:
+        raise SerdeError("sweep configs with tuned weights do not serialize")
+    return {
+        "benchmarks": list(config.benchmarks),
+        "issue_rates": list(config.issue_rates),
+        "policies": [policy.name for policy in config.policies],
+        "unroll_factor": config.unroll_factor,
+        "seed": config.seed,
+        "scale": config.scale,
+        "store_buffer_size": config.store_buffer_size,
+        "recovery": config.recovery,
+        "max_steps": config.max_steps,
+        "simulate": config.simulate,
+        "machine": config.machine.to_json_dict() if config.machine is not None else None,
+    }
+
+
+def _config_from_json_dict(data: Dict[str, object]) -> SweepConfig:
+    unknown = set(data) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise SerdeError(f"unknown sweep config fields: {sorted(unknown)}")
+    policies = []
+    for name in data.get("policies", []):
+        if name not in POLICY_REGISTRY:
+            raise SerdeError(f"unknown policy name {name!r}")
+        policies.append(POLICY_REGISTRY[name])
+    machine = data.get("machine")
+    try:
+        return SweepConfig(
+            benchmarks=tuple(data.get("benchmarks", ())),
+            issue_rates=tuple(data.get("issue_rates", (2, 4, 8))),
+            policies=tuple(policies) if policies else SweepConfig().policies,
+            unroll_factor=int(data.get("unroll_factor", 4)),
+            seed=int(data.get("seed", 0)),
+            scale=float(data.get("scale", 1.0)),
+            store_buffer_size=int(data.get("store_buffer_size", 8)),
+            recovery=bool(data.get("recovery", False)),
+            max_steps=int(data.get("max_steps", 10_000_000)),
+            simulate=int(data.get("simulate", 0)),
+            machine=MachineDescription.from_json_dict(machine) if machine else None,
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SerdeError):
+            raise
+        raise SerdeError(f"bad sweep config: {exc}") from exc
+
+
+def sweep_result_to_json_dict(sweep: SweepResult) -> Dict[str, object]:
+    data = _envelope("sweep_result")
+    data["config"] = _config_to_json_dict(sweep.config)
+    data["base_cycles"] = dict(sweep.base_cycles)
+    data["cells"] = [
+        {field: getattr(cell, field) for field in _CELL_FIELDS}
+        for key in sorted(sweep.cells)
+        for cell in (sweep.cells[key],)
+    ]
+    data["timings"] = sweep.timings
+    data["pass_timings"] = sweep.pass_timings
+    data["interp_steps"] = sweep.interp_steps
+    data["wall_seconds"] = sweep.wall_seconds
+    data["effective_jobs"] = sweep.effective_jobs
+    data["sim_lanes"] = sweep.sim_lanes
+    data["sim_ok"] = sweep.sim_ok
+    data["sim_counters"] = sweep.sim_counters
+    data["cache_counters"] = sweep.cache_counters
+    return data
+
+
+def sweep_result_from_json_dict(data: Dict[str, object]) -> SweepResult:
+    check_envelope(data, "sweep_result", _RESULT_FIELDS)
+    sweep = SweepResult(config=_config_from_json_dict(data.get("config", {})))
+    sweep.base_cycles = dict(data.get("base_cycles", {}))
+    for payload in data.get("cells", []):
+        unknown = set(payload) - set(_CELL_FIELDS)
+        if unknown:
+            raise SerdeError(f"unknown cell fields: {sorted(unknown)}")
+        try:
+            cell = CellResult(**payload)
+        except TypeError as exc:
+            raise SerdeError(f"bad cell payload: {exc}") from exc
+        sweep.cells[(cell.benchmark, cell.policy, cell.issue_rate)] = cell
+    sweep.timings = data.get("timings", {})
+    sweep.pass_timings = data.get("pass_timings", {})
+    sweep.interp_steps = data.get("interp_steps", {})
+    sweep.wall_seconds = float(data.get("wall_seconds", 0.0))
+    sweep.effective_jobs = int(data.get("effective_jobs", 1))
+    sweep.sim_lanes = int(data.get("sim_lanes", 0))
+    sweep.sim_ok = int(data.get("sim_ok", 0))
+    sweep.sim_counters = data.get("sim_counters", {})
+    sweep.cache_counters = data.get("cache_counters", {})
+    return sweep
+
+
+__all__ = [
+    "POLICY_REGISTRY",
+    "SERDE_VERSION",
+    "sweep_result_from_json_dict",
+    "sweep_result_to_json_dict",
+]

@@ -1,0 +1,37 @@
+"""Sentinel scheduling as a long-running service.
+
+The ROADMAP's north star is serving compilation and simulation to many
+clients, not one CLI run at a time.  This package is that boundary:
+
+- :mod:`repro.service.model` — the request/job model.  Every request is
+  normalized (unknown fields rejected, defaults applied) and then
+  content-addressed with the compile cache's digest machinery, so the
+  job key is a pure function of what the job computes.
+- :mod:`repro.service.workers` — the CPU-bound job bodies, plain
+  picklable functions executed in the :mod:`repro.core.parallel`
+  process pool.  Workers consult and populate the shared on-disk
+  compile cache themselves, so results survive server restarts.
+- :mod:`repro.service.server` — the asyncio HTTP/1.1 front end
+  (stdlib only), with single-flight coalescing of identical in-flight
+  requests, bounded-queue backpressure (429 + ``Retry-After``), and
+  ``/v1/metrics`` observability.
+- :mod:`repro.service.client` — a small blocking client used by the
+  tests and the load generator.
+
+Start one with ``python -m repro --serve [--port N]``.
+"""
+
+from .client import ServiceClient, ServiceHTTPError
+from .model import Job, ServiceError, normalize_request
+from .server import SentinelService, ServiceConfig, ServiceThread
+
+__all__ = [
+    "Job",
+    "SentinelService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHTTPError",
+    "ServiceThread",
+    "normalize_request",
+]

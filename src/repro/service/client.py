@@ -1,0 +1,142 @@
+"""A small blocking HTTP client for the service.
+
+Built on :mod:`http.client` (stdlib), one persistent keep-alive
+connection per client instance — tests, the load generator and the perf
+trajectory all talk to the server through this, so the protocol surface
+is exercised end to end by everything that measures it.  Not
+thread-safe: give each thread its own client (connections are cheap).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(RuntimeError):
+    """A non-200 response, carrying status, parsed body and Retry-After."""
+
+    def __init__(self, status: int, body: Dict[str, object], retry_after: Optional[float]):
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload=None) -> Dict[str, object]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        # One reconnect attempt: the server may have closed an idle
+        # keep-alive connection between two requests.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        parsed = json.loads(raw.decode()) if raw else {}
+        if response.status != 200:
+            retry_after = response.headers.get("Retry-After")
+            raise ServiceHTTPError(
+                response.status,
+                parsed if isinstance(parsed, dict) else {"error": parsed},
+                float(retry_after) if retry_after else None,
+            )
+        return parsed
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/metrics")
+
+    def compile(self, **params) -> Dict[str, object]:
+        return self._request("POST", "/v1/compile", params)
+
+    def simulate(self, **params) -> Dict[str, object]:
+        return self._request("POST", "/v1/simulate", params)
+
+    def sweep(self, **params) -> Dict[str, object]:
+        return self._request("POST", "/v1/sweep", params)
+
+    def fuzz(self, **params) -> Dict[str, object]:
+        return self._request("POST", "/v1/fuzz", params)
+
+    # -- conveniences -------------------------------------------------
+
+    def wait_until_ready(self, deadline: float = 30.0) -> Dict[str, object]:
+        """Poll ``/v1/health`` until the server answers (or raise)."""
+        end = time.monotonic() + deadline
+        last: Optional[Exception] = None
+        while time.monotonic() < end:
+            try:
+                return self.health()
+            except (OSError, socket.timeout, ServiceHTTPError) as exc:
+                last = exc
+                self.close()
+                time.sleep(0.05)
+        raise TimeoutError(f"service at {self.host}:{self.port} not ready: {last}")
+
+    def request_with_retry(
+        self, method_name: str, max_tries: int = 20, **params
+    ) -> Dict[str, object]:
+        """Call an endpoint, honouring 429 + Retry-After with retries."""
+        for _ in range(max_tries):
+            try:
+                return getattr(self, method_name)(**params)
+            except ServiceHTTPError as exc:
+                if exc.status != 429:
+                    raise
+                time.sleep(exc.retry_after or 0.1)
+        raise ServiceHTTPError(429, {"error": "retry budget exhausted"}, None)

@@ -1,0 +1,261 @@
+"""Request normalization and the content-addressed job model.
+
+Every POST body is validated against the endpoint's field table —
+unknown fields are a 400, exactly as :mod:`repro.serde` and the machine
+JSON reject unknown keys — and normalized to a canonical parameter dict
+(defaults applied, types coerced).  The normalized dict is the *entire*
+input of the job, so its canonical JSON text, digested with the compile
+cache's machinery (:func:`repro.cache.digest_parts` under
+:data:`repro.cache.CACHE_VERSION_SALT`), names the job content-address-
+style.  Two requests with the same key compute the same thing: the
+server coalesces them onto one in-flight job and the on-disk cache
+serves either from the other's result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cache.compile_cache import CACHE_VERSION_SALT, digest_parts
+from ..workloads.suites import ALL_NAMES
+
+__all__ = ["ENDPOINTS", "Job", "ServiceError", "job_key", "normalize_request"]
+
+#: The four job-running endpoints (``/v1/<name>``).
+ENDPOINTS = ("compile", "simulate", "sweep", "fuzz")
+
+#: Policies a request may name (the four standard models).
+POLICY_NAMES = ("restricted", "general", "sentinel", "sentinel_store")
+
+_EXCEPTION_MODES = ("abort", "record", "recover")
+
+
+class ServiceError(Exception):
+    """A request-level failure carrying its HTTP status.
+
+    ``retry_after`` is set only for 429 responses and becomes the
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of CPU-bound work: endpoint + normalized params + key."""
+
+    endpoint: str
+    params: "Dict[str, object]"
+    key: str
+
+
+def job_key(endpoint: str, params: Dict[str, object]) -> str:
+    """Content address of a normalized request.
+
+    The canonical JSON of the normalized params covers every input that
+    can influence the result; the cache version salt ties the key to the
+    pipeline generation exactly like on-disk compile entries.
+    """
+    return digest_parts(
+        CACHE_VERSION_SALT,
+        f"service/{endpoint}",
+        json.dumps(params, sort_keys=True, separators=(",", ":")),
+    )
+
+
+def _require_dict(data) -> Dict[str, object]:
+    if not isinstance(data, dict):
+        raise ServiceError(400, "request body must be a JSON object")
+    return data
+
+
+def _reject_unknown(data: Dict[str, object], allowed: Tuple[str, ...]) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ServiceError(400, f"unknown request fields: {sorted(unknown)}")
+
+
+def _int_field(data, name: str, default: int, lo: int, hi: int) -> int:
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(400, f"{name!r} must be an integer")
+    if not lo <= value <= hi:
+        raise ServiceError(400, f"{name!r} must be in [{lo}, {hi}]")
+    return value
+
+
+def _bool_field(data, name: str, default: bool) -> bool:
+    value = data.get(name, default)
+    if not isinstance(value, bool):
+        raise ServiceError(400, f"{name!r} must be a boolean")
+    return value
+
+
+def _policy_field(data, name: str = "policy", default: str = "sentinel") -> str:
+    value = data.get(name, default)
+    if value not in POLICY_NAMES:
+        raise ServiceError(
+            400, f"{name!r} must be one of {list(POLICY_NAMES)}, got {value!r}"
+        )
+    return value
+
+
+def _benchmark_field(data) -> Optional[str]:
+    value = data.get("benchmark")
+    if value is None:
+        return None
+    if value not in ALL_NAMES:
+        raise ServiceError(400, f"unknown benchmark {value!r}")
+    return value
+
+
+def _machine_field(data) -> Optional[Dict[str, object]]:
+    """Validate an inline machine description (full JSON form)."""
+    value = data.get("machine")
+    if value is None:
+        return None
+    from ..machine.description import MachineDescription
+
+    try:
+        machine = MachineDescription.from_json_dict(value)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ServiceError(400, f"bad machine description: {exc}") from exc
+    # Normalize to the canonical JSON form so equivalent spellings of a
+    # machine share one job key.
+    return machine.to_json_dict()
+
+
+def _program_fields(data) -> Tuple[Optional[Dict], Optional[Dict]]:
+    """Validate inline serde ``program`` (+ optional ``profile``)."""
+    program = data.get("program")
+    profile = data.get("profile")
+    if program is None:
+        if profile is not None:
+            raise ServiceError(400, "'profile' requires 'program'")
+        return None, None
+    from ..serde import SerdeError, profile_from_json_dict, program_from_json_dict
+
+    try:
+        parsed = program_from_json_dict(program)
+        parsed.validate()
+        if profile is not None:
+            profile_from_json_dict(profile)
+    except (SerdeError, ValueError) as exc:
+        raise ServiceError(400, f"bad program payload: {exc}") from exc
+    return program, profile
+
+
+_COMPILE_FIELDS = (
+    "benchmark", "program", "profile", "policy", "issue_rate", "unroll",
+    "recovery", "seed", "scale", "machine",
+)
+
+
+def _normalize_compile(data: Dict[str, object]) -> Dict[str, object]:
+    _reject_unknown(data, _COMPILE_FIELDS)
+    benchmark = _benchmark_field(data)
+    program, profile = _program_fields(data)
+    if (benchmark is None) == (program is None):
+        raise ServiceError(400, "exactly one of 'benchmark' or 'program' required")
+    scale = data.get("scale", 1.0)
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise ServiceError(400, "'scale' must be a number")
+    return {
+        "benchmark": benchmark,
+        "program": program,
+        "profile": profile,
+        "policy": _policy_field(data),
+        "issue_rate": _int_field(data, "issue_rate", 4, 1, 64),
+        "unroll": _int_field(data, "unroll", 2, 1, 16),
+        "recovery": _bool_field(data, "recovery", False),
+        "seed": _int_field(data, "seed", 0, 0, 2**31),
+        "scale": float(scale),
+        "machine": _machine_field(data),
+    }
+
+
+_SIMULATE_FIELDS = _COMPILE_FIELDS + ("on_exception", "max_cycles")
+
+
+def _normalize_simulate(data: Dict[str, object]) -> Dict[str, object]:
+    _reject_unknown(data, _SIMULATE_FIELDS)
+    on_exception = data.get("on_exception", "abort")
+    if on_exception not in _EXCEPTION_MODES:
+        raise ServiceError(
+            400,
+            f"'on_exception' must be one of {list(_EXCEPTION_MODES)}",
+        )
+    params = _normalize_compile(
+        {k: v for k, v in data.items() if k in _COMPILE_FIELDS}
+    )
+    params["on_exception"] = on_exception
+    params["max_cycles"] = _int_field(data, "max_cycles", 5_000_000, 1, 100_000_000)
+    return params
+
+
+_SWEEP_FIELDS = (
+    "benchmarks", "issue_rates", "policies", "unroll_factor", "seed",
+    "scale", "store_buffer_size", "recovery", "max_steps", "simulate",
+    "machine",
+)
+
+
+def _normalize_sweep(data: Dict[str, object]) -> Dict[str, object]:
+    _reject_unknown(data, _SWEEP_FIELDS)
+    from ..serde import SerdeError
+    from ..serde.sweep import _config_from_json_dict, _config_to_json_dict
+
+    benchmarks = data.get("benchmarks")
+    if not benchmarks or not isinstance(benchmarks, list):
+        raise ServiceError(400, "'benchmarks' must be a non-empty list")
+    for name in benchmarks:
+        if name not in ALL_NAMES:
+            raise ServiceError(400, f"unknown benchmark {name!r}")
+    try:
+        config = _config_from_json_dict(dict(data))
+    except SerdeError as exc:
+        raise ServiceError(400, f"bad sweep config: {exc}") from exc
+    # Round through the serde form: canonical field order and defaults
+    # applied, so equivalent configs share one job key.
+    return _config_to_json_dict(config)
+
+
+_FUZZ_FIELDS = ("seeds", "base_seed", "model")
+
+
+def _normalize_fuzz(data: Dict[str, object]) -> Dict[str, object]:
+    _reject_unknown(data, _FUZZ_FIELDS)
+    model = data.get("model")
+    if model is not None and model not in POLICY_NAMES:
+        raise ServiceError(400, f"unknown model {model!r}")
+    return {
+        "seeds": _int_field(data, "seeds", 25, 1, 2000),
+        "base_seed": _int_field(data, "base_seed", 0, 0, 2**31),
+        "model": model,
+    }
+
+
+_NORMALIZERS = {
+    "compile": _normalize_compile,
+    "simulate": _normalize_simulate,
+    "sweep": _normalize_sweep,
+    "fuzz": _normalize_fuzz,
+}
+
+
+def normalize_request(endpoint: str, data) -> Job:
+    """Validate a request body and mint its content-addressed job.
+
+    Raises :class:`ServiceError` (status 400) on any shape problem; the
+    message names the offending field, never echoes the whole body.
+    """
+    if endpoint not in _NORMALIZERS:
+        raise ServiceError(404, f"unknown endpoint {endpoint!r}")
+    params = _NORMALIZERS[endpoint](_require_dict(data))
+    return Job(endpoint=endpoint, params=params, key=job_key(endpoint, params))

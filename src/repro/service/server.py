@@ -1,0 +1,480 @@
+"""The asyncio HTTP/1.1 front end.
+
+Stdlib only: requests are parsed by hand off ``asyncio`` streams (the
+container deliberately has no third-party web framework).  The protocol
+surface is small and boring — JSON in, JSON out, ``Content-Length``
+framing, keep-alive by default — because the interesting machinery is
+behind it:
+
+**Single-flight coalescing.**  Each job's content address (see
+:mod:`repro.service.model`) indexes a map of in-flight futures.  The
+first request for a key submits the job to the process pool and parks a
+future; every identical request that arrives while it runs awaits the
+same future and shares the identical ``result`` payload.  Requests that
+arrive *after* completion hit the on-disk cache inside the worker.
+Either way an identical request burst performs exactly one compile.
+
+**Backpressure.**  Admission is bounded by ``max_pending`` jobs
+(submitted, not yet finished).  Beyond that the server answers
+``429`` with a ``Retry-After`` header instead of queueing without
+bound — coalesced waiters are exempt because they add no work.
+
+**Observability.**  ``/v1/metrics`` exposes request counts by endpoint
+and status, job counters (compiles, cache hits, coalesces, rejections),
+live queue depth, and the pass-manager's per-pass seconds aggregated
+across compile requests; each response carries its ``request_id``,
+wall time, and (when it compiled) its own pass table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, Optional
+
+from .model import ENDPOINTS, Job, ServiceError, normalize_request
+from .workers import run_job
+
+__all__ = ["SentinelService", "ServiceConfig", "ServiceThread", "serve"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral (the bound port is published on ``service.port``).
+    port: int = 8321
+    #: Jobs admitted but not yet finished before new work gets a 429.
+    max_pending: int = 32
+    #: Process-pool width for CPU-bound jobs (this box's sweet spot is
+    #: the CPU count; jobs are single-process inside).
+    workers: int = 1
+    #: Compile-cache directory shared with the workers; ``None`` honours
+    #: ``$REPRO_CACHE_DIR`` / the per-user default.
+    cache_dir: Optional[str] = None
+    #: Seconds clients should wait before retrying a 429.
+    retry_after: int = 1
+    #: Request body ceiling; serde programs are a few KB, sweeps less.
+    max_body: int = 8 << 20
+
+
+@dataclass
+class _Metrics:
+    started: float = 0.0
+    requests_total: int = 0
+    by_endpoint: Dict[str, int] = field(default_factory=dict)
+    by_status: Dict[str, int] = field(default_factory=dict)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    coalesced: int = 0
+    compiled: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class SentinelService:
+    """One server instance: pool + listener + coalescing/metrics state."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.port: Optional[int] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._request_counter = 0
+        self._metrics = _Metrics()
+        self._connections: set = set()
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        from ..core.parallel import pool_env, pool_init
+
+        if self.config.cache_dir is not None:
+            # Ship the cache directory to the workers the same way the
+            # CLI fan-outs do: via the pool-env snapshot.
+            os.environ["REPRO_CACHE_DIR"] = str(self.config.cache_dir)
+        self._metrics.started = time.time()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=pool_init,
+            initargs=(pool_env(),),
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Nudge idle keep-alive connections shut, then wait for their
+        # handler tasks so the loop closes clean.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        for _ in range(100):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.05)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                if "_oversize" in headers:
+                    status, payload, extra = (
+                        413,
+                        {"error": f"body exceeds {self.config.max_body} bytes"},
+                        None,
+                    )
+                else:
+                    status, payload, extra = await self._route(method, path, body)
+                self._count_request(path, status)
+                await self._write_response(
+                    writer, status, payload, keep_alive, extra
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+            ValueError,  # malformed request line / header overrun
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise asyncio.IncompleteReadError(request_line, None)
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body:
+            # Drain nothing; answer and drop the connection.
+            return method, path, {"connection": "close", "_oversize": "1"}, b""
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(
+        self, writer, status, payload, keep_alive, extra_headers
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------
+
+    async def _route(self, method, path, body):
+        """Returns (status, payload, extra headers)."""
+        try:
+            if path == "/v1/health":
+                if method != "GET":
+                    raise ServiceError(405, "health is GET-only")
+                return 200, self._health_payload(), None
+            if path == "/v1/metrics":
+                if method != "GET":
+                    raise ServiceError(405, "metrics is GET-only")
+                return 200, self._metrics_payload(), None
+            if path.startswith("/v1/"):
+                endpoint = path[len("/v1/"):]
+                if endpoint not in ENDPOINTS:
+                    raise ServiceError(404, f"unknown endpoint {endpoint!r}")
+                if method != "POST":
+                    raise ServiceError(405, f"{endpoint} is POST-only")
+                try:
+                    data = json.loads(body.decode() or "{}")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceError(400, f"bad JSON body: {exc}") from exc
+                return 200, await self._run(normalize_request(endpoint, data)), None
+            raise ServiceError(404, f"no route for {path!r}")
+        except ServiceError as exc:
+            extra = None
+            if exc.retry_after is not None:
+                extra = {"Retry-After": str(exc.retry_after)}
+            return exc.status, {"error": exc.message}, extra
+
+    def _count_request(self, path, status) -> None:
+        m = self._metrics
+        m.requests_total += 1
+        endpoint = path[len("/v1/"):] if path.startswith("/v1/") else path
+        m.by_endpoint[endpoint] = m.by_endpoint.get(endpoint, 0) + 1
+        m.by_status[str(status)] = m.by_status.get(str(status), 0) + 1
+
+    # -- job execution ------------------------------------------------
+
+    async def _run(self, job: Job) -> dict:
+        start = time.perf_counter()
+        self._request_counter += 1
+        request_id = f"req-{self._request_counter:06d}"
+        m = self._metrics
+
+        inflight = self._inflight.get(job.key)
+        if inflight is not None:
+            m.coalesced += 1
+            # shield(): one waiter's disconnect must not cancel the
+            # shared job out from under the others.
+            outcome = await asyncio.shield(inflight)
+            coalesced = True
+        else:
+            if self._pending >= self.config.max_pending:
+                m.rejected += 1
+                raise ServiceError(
+                    429,
+                    f"{self._pending} jobs pending (limit "
+                    f"{self.config.max_pending}); retry later",
+                    retry_after=self.config.retry_after,
+                )
+            outcome = await self._submit(job)
+            coalesced = False
+
+        kind, payload = outcome
+        if kind == "error":
+            raise ServiceError(500, payload)
+        meta = payload["meta"]
+        if coalesced:
+            meta = dict(meta, cache_hit=False)
+        response = {
+            "request_id": request_id,
+            "endpoint": job.endpoint,
+            "key": job.key,
+            "coalesced": coalesced,
+            "cache_hit": bool(meta.get("cache_hit")),
+            "wall_ms": round((time.perf_counter() - start) * 1e3, 3),
+            "result": payload["result"],
+        }
+        if meta.get("pass_seconds"):
+            response["pass_seconds"] = meta["pass_seconds"]
+        return response
+
+    async def _submit(self, job: Job):
+        """Run one job in the pool, publishing its future for coalescers."""
+        m = self._metrics
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[job.key] = future
+        self._pending += 1
+        m.submitted += 1
+        try:
+            payload = await loop.run_in_executor(
+                self._pool,
+                partial(
+                    run_job,
+                    job.endpoint,
+                    job.params,
+                    job.key,
+                    self.config.cache_dir,
+                ),
+            )
+            self._absorb_meta(payload["meta"])
+            m.completed += 1
+            outcome = ("ok", payload)
+        except Exception as exc:  # worker died, unpicklable, job raised
+            m.failed += 1
+            outcome = ("error", f"{type(exc).__name__}: {exc}")
+        finally:
+            self._pending -= 1
+            self._inflight.pop(job.key, None)
+        future.set_result(outcome)
+        return outcome
+
+    def _absorb_meta(self, meta: dict) -> None:
+        m = self._metrics
+        if meta.get("compiled"):
+            m.compiled += 1
+        counters = meta.get("cache") or {}
+        if meta.get("cache_hit"):
+            m.cache_hits += 1
+        else:
+            m.cache_misses += 1
+        m.cache_corrupt += counters.get("corrupt", 0)
+        for name, seconds in (meta.get("pass_seconds") or {}).items():
+            m.pass_seconds[name] = m.pass_seconds.get(name, 0.0) + seconds
+
+    # -- introspection payloads ---------------------------------------
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._metrics.started, 3),
+            "queue_depth": self._pending,
+        }
+
+    def _metrics_payload(self) -> dict:
+        m = self._metrics
+        return {
+            "uptime_seconds": round(time.time() - m.started, 3),
+            "requests": {
+                "total": m.requests_total,
+                "by_endpoint": dict(m.by_endpoint),
+                "by_status": dict(m.by_status),
+            },
+            "jobs": {
+                "submitted": m.submitted,
+                "completed": m.completed,
+                "failed": m.failed,
+                "rejected": m.rejected,
+                "coalesced": m.coalesced,
+                "compiled": m.compiled,
+            },
+            "cache": {
+                "hits": m.cache_hits,
+                "misses": m.cache_misses,
+                "corrupt": m.cache_corrupt,
+                "coalesced": m.coalesced,
+            },
+            "queue": {
+                "depth": self._pending,
+                "max_pending": self.config.max_pending,
+            },
+            "pass_seconds": dict(m.pass_seconds),
+        }
+
+
+class ServiceThread:
+    """An in-process server for tests and benchmarks.
+
+    Runs a :class:`SentinelService` on its own event loop in a daemon
+    thread; ``port`` is available once the context is entered (use
+    ``port=0`` for an ephemeral port).
+    """
+
+    def __init__(self, **config_kwargs) -> None:
+        config_kwargs.setdefault("port", 0)
+        self.config = ServiceConfig(**config_kwargs)
+        self.service = SentinelService(self.config)
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=60):
+            raise RuntimeError("service thread did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        self.port = self.service.port
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            raise
+        self._started.set()
+        await self._stop.wait()
+        await self.service.stop()
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point behind ``python -m repro --serve``."""
+
+    async def _serve() -> None:
+        service = SentinelService(config)
+        await service.start()
+        print(
+            f"sentinel service listening on "
+            f"http://{config.host}:{service.port} "
+            f"(workers={config.workers}, max_pending={config.max_pending})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0

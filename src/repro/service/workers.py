@@ -1,0 +1,257 @@
+"""CPU-bound job bodies, executed inside the process pool.
+
+Each function here is a plain top-level callable (picklable for
+``ProcessPoolExecutor``) taking the *normalized* parameter dict produced
+by :mod:`repro.service.model` and returning a JSON-ready payload:
+
+``{"result": <deterministic body>, "meta": <per-run observability>}``
+
+``result`` is a pure function of the params — it is what gets cached
+on disk under the job key and what coalesced requests share byte for
+byte.  ``meta`` describes *this* run (did it compile, per-pass seconds,
+cache counters) and is never cached: a cache hit's meta says so.
+
+Workers own the cache interaction: they check the shared on-disk
+:class:`~repro.cache.CompileCache` before computing and publish after,
+so results survive server restarts and are shared between a service and
+ordinary CLI sweeps pointed at the same ``$REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..cache.compile_cache import CompileCache
+
+__all__ = ["run_job"]
+
+
+def _cache_fetch(key: str, cache_dir: Optional[str]) -> Tuple[CompileCache, Optional[dict]]:
+    cache = CompileCache(root=cache_dir)
+    value = cache.get(f"service-{key}")
+    if not isinstance(value, dict):
+        value = None
+    return cache, value
+
+
+def _cache_store(cache: CompileCache, key: str, result: dict) -> None:
+    cache.put(f"service-{key}", result)
+
+
+def _resolve_machine(params) -> "object":
+    from ..machine.description import MachineDescription, paper_machine
+
+    if params.get("machine") is not None:
+        template = MachineDescription.from_json_dict(params["machine"])
+    else:
+        template = paper_machine(1)
+    return template.at_issue_width(params["issue_rate"])
+
+
+def _program_and_memory(params):
+    """The (basic-block program, training memory) a request names.
+
+    Benchmark requests build the named workload; inline programs come
+    through serde and execute against a default memory image (the
+    programs the fuzz generator and tests ship are self-contained).
+    """
+    from ..cfg.basic_block import to_basic_blocks
+
+    if params["benchmark"] is not None:
+        from ..workloads.suites import build_workload
+
+        workload = build_workload(
+            params["benchmark"], seed=params["seed"], scale=params["scale"]
+        )
+        return to_basic_blocks(workload.program), workload.make_memory
+    from ..arch.memory import Memory
+    from ..serde import program_from_json_dict
+
+    program = to_basic_blocks(program_from_json_dict(params["program"]))
+    return program, Memory
+
+
+def _compile_core(params) -> Tuple[dict, dict]:
+    """Compile one (program, policy, machine) cell.
+
+    Returns ``(result, meta)``; the meta carries the pass-manager's
+    per-pass seconds so the service can expose a per-request pass table.
+    """
+    from ..deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+    from ..interp.interpreter import run_program
+    from ..sched.compiler import prepare_compilation, schedule_prepared
+    from ..serde import (
+        profile_from_json_dict,
+        schedule_digest,
+        schedule_to_json_dict,
+    )
+
+    policies = {
+        "restricted": RESTRICTED,
+        "general": GENERAL,
+        "sentinel": SENTINEL,
+        "sentinel_store": SENTINEL_STORE,
+    }
+    policy = policies[params["policy"]]
+    machine = _resolve_machine(params)
+    program, make_memory = _program_and_memory(params)
+
+    if params.get("profile") is not None:
+        profile = profile_from_json_dict(params["profile"])
+    else:
+        training = run_program(program, memory=make_memory(), max_steps=10_000_000)
+        if not training.halted:
+            raise ValueError("training run did not halt")
+        profile = training.profile
+
+    prepared = prepare_compilation(
+        program,
+        profile,
+        policy,
+        unroll_factor=params["unroll"],
+        recovery=params["recovery"],
+    )
+    comp = schedule_prepared(prepared, machine, policy=policy)
+    result = {
+        "benchmark": params["benchmark"],
+        "policy": params["policy"],
+        "issue_rate": params["issue_rate"],
+        "digest": schedule_digest(comp.scheduled),
+        "stats": dict(vars(comp.stats)),
+        "schedule": schedule_to_json_dict(comp.scheduled),
+    }
+    meta = {"pass_seconds": prepared.pass_seconds()}
+    return result, meta
+
+
+def _registers_digest(registers) -> str:
+    text = ";".join(
+        f"{reg.name}={value!r}" for reg, value in sorted(
+            registers.items(), key=lambda kv: kv[0].name
+        )
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _simulate_core(params) -> Tuple[dict, dict]:
+    """Compile, then execute the schedule cycle-accurately."""
+    from ..arch.fastproc import FastProcessor
+    from ..serde import schedule_from_json_dict
+
+    compile_result, meta = _compile_core(params)
+    scheduled = schedule_from_json_dict(compile_result["schedule"])
+    machine = _resolve_machine(params)
+    _, make_memory = _program_and_memory(params)
+    out = FastProcessor(
+        scheduled,
+        machine,
+        memory=make_memory(),
+        on_exception=params["on_exception"],
+        max_cycles=params["max_cycles"],
+    ).run()
+    result = {
+        "benchmark": params["benchmark"],
+        "policy": params["policy"],
+        "issue_rate": params["issue_rate"],
+        "schedule_digest": compile_result["digest"],
+        "cycles": out.cycles,
+        "dynamic_instructions": out.dynamic_instructions,
+        "halted": out.halted,
+        "aborted": out.aborted,
+        "exceptions": len(out.exceptions),
+        "stall_cycles": out.stall_cycles,
+        "recoveries": out.recoveries,
+        "registers_digest": _registers_digest(out.registers),
+    }
+    return result, meta
+
+
+def _sweep_core(params) -> Tuple[dict, dict]:
+    """A full evaluation sweep, serialized through repro.serde."""
+    from ..eval.harness import run_sweep
+    from ..serde.sweep import _config_from_json_dict, sweep_result_to_json_dict
+    import dataclasses
+
+    config = _config_from_json_dict(dict(params))
+    # Inside a pool worker: one process, shared on-disk cache.
+    config = dataclasses.replace(config, jobs=1, compile_cache=True)
+    sweep = run_sweep(config)
+    meta = {
+        "pass_seconds": sweep.pass_totals(),
+        "cache": dict(sweep.cache_counters),
+    }
+    return sweep_result_to_json_dict(sweep), meta
+
+
+def _fuzz_core(params) -> Tuple[dict, dict]:
+    """A bounded differential fuzz campaign."""
+    from ..fuzz.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        seeds=params["seeds"],
+        base_seed=params["base_seed"],
+        model=params["model"],
+        jobs=1,
+        minimize=False,
+    )
+    campaign = run_campaign(config)
+    result = {
+        "seeds": campaign.seeds_run,
+        "base_seed": params["base_seed"],
+        "cells_checked": campaign.cells_checked,
+        "ok": campaign.ok,
+        "planned_traps": campaign.planned_traps,
+        "benign_seeds": campaign.benign_seeds,
+        "failing_seeds": [finding.seed for finding in campaign.findings],
+        "failures_by_category": dict(campaign.failures_by_category),
+    }
+    return result, {}
+
+
+_CORES = {
+    "compile": _compile_core,
+    "simulate": _simulate_core,
+    "sweep": _sweep_core,
+    "fuzz": _fuzz_core,
+}
+
+
+def run_job(
+    endpoint: str,
+    params: Dict[str, object],
+    key: str,
+    cache_dir: Optional[str] = None,
+) -> dict:
+    """Execute one job, via the shared on-disk cache when possible.
+
+    ``key`` is the job's content address from
+    :func:`repro.service.model.job_key` — the same string the server's
+    single-flight map coalesces on, so the in-memory and on-disk layers
+    agree about job identity by construction.
+
+    The wall-clock nondeterminism (timings in sweep results, pass
+    seconds) lives either in ``meta`` or in fields whose cached-first-run
+    values are acceptable; the deterministic payload under ``result`` is
+    what the coalescing contract promises to be byte-identical.
+    """
+    cache, cached = _cache_fetch(key, cache_dir)
+    if cached is not None:
+        return {
+            "result": cached,
+            "meta": {
+                "cache_hit": True,
+                "compiled": False,
+                "cache": cache.counters(),
+            },
+        }
+    result, meta = _CORES[endpoint](params)
+    _cache_store(cache, key, result)
+    meta.update(
+        {
+            "cache_hit": False,
+            "compiled": endpoint in ("compile", "simulate"),
+            "cache": cache.counters(),
+        }
+    )
+    return {"result": result, "meta": meta}

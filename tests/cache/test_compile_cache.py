@@ -53,9 +53,24 @@ class TestEntryLifecycle:
         path.write_bytes(b"\x80\x05 this is not a pickle")
         assert cache.get(key) is None
         assert not path.exists()
+        # The failure is a miss, but not a *silent* one: the corrupt
+        # counter distinguishes "entry was damaged" from "entry was never
+        # there".
+        assert cache.corrupt == 1 and cache.misses == 1
         # ... and the slot is reusable after the recompute.
         cache.put(key, [1, 2, 3])
         assert cache.get(key) == [1, 2, 3]
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "corrupt": 1,
+            "coalesced": 0,
+        }
+
+    def test_plain_absence_is_not_corrupt(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        assert cache.get(cache.key("never-written")) is None
+        assert cache.misses == 1 and cache.corrupt == 0
 
     def test_truncated_entry_is_a_miss_and_deleted(self, tmp_path):
         cache = CompileCache(root=tmp_path)
@@ -124,6 +139,19 @@ class TestSweepIntegration:
             entry.write_bytes(entry.read_bytes()[:11])
         recovered = _tiny(tmp_path)
         assert recovered.to_csv() == cold.to_csv()
+        # ... and the damage is visible in the sweep's merged counters
+        # (and hence in --timings and the service metrics).
+        assert recovered.cache_counters["corrupt"] > 0
+        assert recovered.cache_counters["hits"] == 0
+
+    def test_sweep_counters_cold_vs_warm(self, tmp_path):
+        cold = _tiny(tmp_path)
+        assert cold.cache_counters["hits"] == 0
+        assert cold.cache_counters["misses"] > 0
+        warm = _tiny(tmp_path)
+        assert warm.cache_counters["misses"] == 0
+        assert warm.cache_counters["hits"] == cold.cache_counters["misses"]
+        assert "compile cache:" in warm.render_timings()
 
     def test_disabled_cache_writes_nothing(self, tmp_path):
         run_sweep(

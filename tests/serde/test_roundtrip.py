@@ -1,0 +1,256 @@
+"""Round-trip fidelity of the versioned JSON wire format.
+
+The serde layer's contract is *uid-faithful* reproduction: a program
+that crosses the wire must compile to the same pinned golden digests as
+the original, and a schedule must execute bit-identically.  Shape
+hygiene mirrors the machine JSON: unknown fields, wrong kinds and
+unsupported versions are loud :class:`SerdeError`\\ s, never silent
+defaults.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cache.compile_cache import canonical_profile, canonical_program
+from repro.cfg.basic_block import to_basic_blocks
+from repro.interp.interpreter import run_program
+from repro.machine.description import paper_machine
+from repro.sched.compiler import compile_program
+from repro.serde import (
+    SerdeError,
+    profile_from_json_dict,
+    profile_to_json_dict,
+    program_from_json,
+    program_from_json_dict,
+    program_to_json,
+    program_to_json_dict,
+    schedule_digest,
+    schedule_from_json,
+    schedule_to_json,
+    schedule_to_json_dict,
+)
+from repro.workloads.generator import random_program
+from tests.pipeline.test_equivalence import (
+    GOLDEN,
+    POLICIES,
+    profiled,
+    schedule_digest as pipeline_digest,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POLICY_LIST = list(POLICIES.values())
+
+
+class TestProgramRoundTrip:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        n_loops=st.integers(1, 3),
+        fp=st.booleans(),
+        stores=st.booleans(),
+    )
+    def test_random_programs_round_trip_exactly(self, seed, n_loops, fp, stores):
+        workload = random_program(seed, n_loops=n_loops, fp=fp, stores=stores)
+        program = to_basic_blocks(workload.program)
+        text = program_to_json(program)
+        revived = program_from_json(text)
+        # Byte-exact re-serialization: uids, operands, flags all survive.
+        assert program_to_json(revived) == text
+        revived.validate()
+        # ... and the revived program *executes* identically.
+        ref = run_program(program, memory=workload.make_memory())
+        out = run_program(revived, memory=workload.make_memory())
+        assert out.registers == ref.registers
+        assert out.steps == ref.steps
+
+    def test_uids_survive_without_renumbering(self):
+        workload = random_program(3)
+        program = to_basic_blocks(workload.program)
+        # Knock a hole in the uid space the way superblock transforms do.
+        program.new_uid()
+        watermark = program.uid_watermark()
+        revived = program_from_json(program_to_json(program))
+        assert revived.uid_watermark() == watermark
+        assert [i.uid for i in revived.instructions()] == [
+            i.uid for i in program.instructions()
+        ]
+
+
+class TestCompileEquivalence:
+    """serialize -> deserialize -> compile reproduces the pinned digests."""
+
+    @pytest.mark.parametrize("pname", sorted(POLICIES))
+    def test_golden_digests_after_round_trip(self, pname):
+        basic, profile = profiled("wc")
+        revived_program = program_from_json_dict(program_to_json_dict(basic))
+        revived_profile = profile_from_json_dict(profile_to_json_dict(profile))
+        # The canonical (cache-key) forms agree, so the cache would share
+        # entries between the original and the round-tripped pair.
+        assert canonical_program(revived_program) == canonical_program(basic)
+        assert canonical_profile(revived_program, revived_profile) == (
+            canonical_profile(basic, profile)
+        )
+        for rate in (2, 8):
+            comp = compile_program(
+                revived_program,
+                revived_profile,
+                paper_machine(rate),
+                POLICIES[pname],
+                unroll_factor=2,
+            )
+            assert pipeline_digest(comp) == GOLDEN[f"wc/{pname}/{rate}"]
+
+
+class TestScheduleRoundTrip:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2_000),
+        policy_idx=st.integers(0, len(POLICY_LIST) - 1),
+        width=st.sampled_from((2, 4, 8)),
+    )
+    def test_schedules_round_trip_and_execute(self, seed, policy_idx, width):
+        from repro.arch.processor import run_scheduled
+
+        workload = random_program(seed, n_loops=1, body_size=5, trip=6)
+        program = to_basic_blocks(workload.program)
+        training = run_program(program, memory=workload.make_memory())
+        comp = compile_program(
+            program,
+            training.profile,
+            paper_machine(width),
+            POLICY_LIST[policy_idx],
+            unroll_factor=2,
+        )
+        text = schedule_to_json(comp.scheduled)
+        revived = schedule_from_json(text)
+        assert schedule_to_json(revived) == text
+        assert schedule_digest(revived) == schedule_digest(comp.scheduled)
+        ref = run_scheduled(
+            comp.scheduled, paper_machine(width), memory=workload.make_memory()
+        )
+        out = run_scheduled(
+            revived, paper_machine(width), memory=workload.make_memory()
+        )
+        assert out.registers == ref.registers
+        assert out.cycles == ref.cycles
+
+    def test_instruction_sharing_is_restored(self):
+        """Source-program blocks and schedule words share Instruction
+        objects; the uid-keyed table must rebuild that sharing."""
+        basic, profile = profiled("wc")
+        comp = compile_program(
+            basic, profile, paper_machine(4), POLICIES["sentinel"], unroll_factor=2
+        )
+        revived = schedule_from_json(schedule_to_json(comp.scheduled))
+        by_uid = {i.uid: i for i in revived.source.instructions()}
+        for block in revived.blocks:
+            for word in block.words:
+                for instr in word:
+                    assert instr is by_uid[instr.uid]
+
+
+class TestRejection:
+    """Unknown fields / versions / kinds fail loudly, like MACHINE_JSON."""
+
+    def _program_dict(self):
+        workload = random_program(1, n_loops=1)
+        return program_to_json_dict(to_basic_blocks(workload.program))
+
+    def test_unknown_top_level_field(self):
+        data = self._program_dict()
+        data["surprise"] = 1
+        with pytest.raises(SerdeError, match="surprise"):
+            program_from_json_dict(data)
+
+    def test_future_version_rejected(self):
+        data = self._program_dict()
+        data["version"] = 99
+        with pytest.raises(SerdeError, match="version"):
+            program_from_json_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = self._program_dict()
+        data["kind"] = "schedule"
+        with pytest.raises(SerdeError, match="kind"):
+            program_from_json_dict(data)
+
+    def test_unknown_instruction_field(self):
+        data = self._program_dict()
+        data["blocks"][0]["instrs"][0]["gadget"] = True
+        with pytest.raises(SerdeError, match="gadget"):
+            program_from_json_dict(data)
+
+    def test_bad_operand_rejected(self):
+        data = self._program_dict()
+        data["blocks"][0]["instrs"][0]["srcs"] = [True]
+        with pytest.raises(SerdeError):
+            program_from_json_dict(data)
+
+    def test_schedule_envelope_rejection(self):
+        basic, profile = profiled("cmp")
+        comp = compile_program(
+            basic, profile, paper_machine(2), POLICIES["restricted"], unroll_factor=2
+        )
+        data = schedule_to_json_dict(comp.scheduled)
+        data["version"] = 2
+        with pytest.raises(SerdeError, match="version"):
+            schedule_from_json(json.dumps(data))
+
+    def test_profile_unknown_field(self):
+        with pytest.raises(SerdeError, match="oops"):
+            profile_from_json_dict(
+                {"version": 1, "kind": "profile", "oops": {}}
+            )
+
+
+class TestSweepResultRoundTrip:
+    def _tiny_sweep(self):
+        from repro.eval.harness import SweepConfig, run_sweep
+
+        return run_sweep(
+            SweepConfig(benchmarks=("wc",), issue_rates=(2,), scale=0.3)
+        )
+
+    def test_round_trip_identity(self):
+        from repro.serde import (
+            sweep_result_from_json_dict,
+            sweep_result_to_json_dict,
+        )
+
+        sweep = self._tiny_sweep()
+        data = sweep_result_to_json_dict(sweep)
+        revived = sweep_result_from_json_dict(json.loads(json.dumps(data)))
+        again = sweep_result_to_json_dict(revived)
+        # Timings are carried verbatim, so the whole payload is stable.
+        assert json.dumps(again, sort_keys=True) == json.dumps(data, sort_keys=True)
+        assert revived.to_csv() == sweep.to_csv()
+
+    def test_unknown_policy_name_rejected(self):
+        from repro.serde import sweep_result_from_json_dict
+
+        sweep = self._tiny_sweep()
+        from repro.serde import sweep_result_to_json_dict
+
+        data = sweep_result_to_json_dict(sweep)
+        data["config"]["policies"] = ["mystery"]
+        with pytest.raises(SerdeError, match="mystery"):
+            sweep_result_from_json_dict(data)
+
+    def test_custom_policy_not_serializable(self):
+        import dataclasses
+
+        from repro.deps.reduction import SENTINEL
+        from repro.eval.harness import SweepConfig
+        from repro.serde.sweep import _config_to_json_dict
+
+        custom = dataclasses.replace(SENTINEL, name="sentinel")  # same name, different object
+        config = SweepConfig(benchmarks=("wc",), policies=(custom,))
+        with pytest.raises(SerdeError, match="standard models"):
+            _config_to_json_dict(config)

@@ -1,0 +1,280 @@
+"""End-to-end tests of the HTTP service.
+
+A real server (own event loop in a thread, ephemeral port, private cache
+directory) is exercised through the real blocking client, so the
+hand-rolled HTTP/1.1 path, the request model, the process-pool fan-out
+and the single-flight map are all under test together.
+
+The coalescing contract — N concurrent identical compile requests
+perform exactly one compile and share one byte-identical result — is the
+acceptance criterion of the service layer and is asserted directly
+against the pass-manager invocation count in ``/v1/metrics``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceHTTPError, ServiceThread
+from repro.service.model import ServiceError, job_key, normalize_request
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-cache")
+    with ServiceThread(cache_dir=str(cache_dir), max_pending=16) as srv:
+        client = ServiceClient(port=srv.port)
+        client.wait_until_ready()
+        client.close()
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.port) as c:
+        yield c
+
+
+COMPILE = dict(benchmark="wc", policy="sentinel", issue_rate=4, scale=0.3)
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_compile_and_cache_hit(self, client):
+        first = client.compile(**COMPILE)
+        assert first["endpoint"] == "compile"
+        assert first["result"]["digest"]
+        assert first["result"]["schedule"]["kind"] == "scheduled_program"
+        second = client.compile(**COMPILE)
+        assert second["cache_hit"] is True
+        assert json.dumps(second["result"], sort_keys=True) == json.dumps(
+            first["result"], sort_keys=True
+        )
+        # The compiling request carried its per-request pass table; the
+        # cache hit did no pass work and carries none.
+        if not first["cache_hit"]:
+            assert first["pass_seconds"]
+        assert "pass_seconds" not in second
+
+    def test_compile_round_trips_through_serde(self, client):
+        from repro.machine.description import paper_machine
+        from repro.serde import schedule_from_json_dict
+
+        response = client.compile(**COMPILE)
+        scheduled = schedule_from_json_dict(response["result"]["schedule"])
+        assert scheduled.policy_name == "sentinel"
+        assert len(scheduled.blocks) > 0
+        # The digest in the response is the digest of what we decoded.
+        from repro.serde import schedule_digest
+
+        assert schedule_digest(scheduled) == response["result"]["digest"]
+        assert paper_machine(4).issue_width == 4  # smoke the import
+
+    def test_simulate(self, client):
+        payload = client.simulate(**COMPILE)
+        result = payload["result"]
+        assert result["halted"] is True
+        assert result["cycles"] > 0
+        assert result["registers_digest"]
+
+    def test_simulate_matches_local_execution(self, client):
+        from repro.arch.fastproc import FastProcessor
+        from repro.cfg.basic_block import to_basic_blocks
+        from repro.deps.reduction import SENTINEL
+        from repro.interp.interpreter import run_program
+        from repro.machine.description import paper_machine
+        from repro.sched.compiler import compile_program
+        from repro.workloads.suites import build_workload
+
+        payload = client.simulate(**COMPILE)
+        workload = build_workload("wc", seed=0, scale=0.3)
+        basic = to_basic_blocks(workload.program)
+        training = run_program(basic, memory=workload.make_memory())
+        comp = compile_program(
+            basic, training.profile, paper_machine(4), SENTINEL, unroll_factor=2
+        )
+        local = FastProcessor(
+            comp.scheduled, paper_machine(4), memory=workload.make_memory()
+        ).run()
+        assert payload["result"]["cycles"] == local.cycles
+
+    def test_sweep(self, client):
+        payload = client.sweep(
+            benchmarks=["wc"], issue_rates=[2], policies=["sentinel"], scale=0.3
+        )
+        from repro.serde import sweep_result_from_json_dict
+
+        sweep = sweep_result_from_json_dict(payload["result"])
+        assert ("wc", "sentinel", 2) in sweep.cells
+        assert sweep.cells[("wc", "sentinel", 2)].speedup > 0
+
+    def test_fuzz(self, client):
+        payload = client.fuzz(seeds=2)
+        assert payload["result"]["ok"] is True
+        assert payload["result"]["cells_checked"] > 0
+
+    def test_inline_program_compile(self, client):
+        from repro.cfg.basic_block import to_basic_blocks
+        from repro.serde import program_to_json_dict
+        from repro.workloads.generator import random_program
+
+        workload = random_program(11, n_loops=1, body_size=4, trip=4)
+        program = program_to_json_dict(to_basic_blocks(workload.program))
+        payload = client.compile(program=program, policy="general", issue_rate=2)
+        assert payload["result"]["benchmark"] is None
+        assert payload["result"]["digest"]
+
+    def test_metrics_shape(self, client):
+        metrics = client.metrics()
+        assert metrics["requests"]["total"] > 0
+        assert "compile" in metrics["requests"]["by_endpoint"]
+        for counter in ("submitted", "completed", "coalesced", "compiled"):
+            assert counter in metrics["jobs"]
+        for counter in ("hits", "misses", "corrupt", "coalesced"):
+            assert counter in metrics["cache"]
+        assert metrics["queue"]["max_pending"] == 16
+        assert metrics["jobs"]["failed"] == 0
+
+
+class TestErrors:
+    def test_unknown_field_is_400(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.compile(benchmark="wc", warp_factor=9)
+        assert err.value.status == 400
+        assert "warp_factor" in err.value.body["error"]
+
+    def test_unknown_policy_is_400(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.compile(benchmark="wc", policy="warp")
+        assert err.value.status == 400
+
+    def test_unknown_benchmark_is_400(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.compile(benchmark="not-a-benchmark")
+        assert err.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client._request("POST", "/v1/transmogrify", {})
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client._request("POST", "/v1/health", {})
+        assert err.value.status == 405
+
+    def test_bad_json_is_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request(
+            "POST",
+            "/v1/compile",
+            body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        conn.close()
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_compile_once(self, tmp_path):
+        """8 concurrent identical compiles -> exactly 1 pipeline run."""
+        with ServiceThread(cache_dir=str(tmp_path), max_pending=16) as srv:
+            n = 8
+            results = [None] * n
+            errors = []
+            barrier = threading.Barrier(n)
+
+            def fire(i):
+                try:
+                    with ServiceClient(port=srv.port) as c:
+                        barrier.wait(timeout=30)
+                        results[i] = c.compile(
+                            benchmark="cmp",
+                            policy="sentinel_store",
+                            issue_rate=8,
+                            scale=0.3,
+                        )
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            assert all(r is not None for r in results)
+
+            # Exactly one compile: the pass manager ran once, every other
+            # request either coalesced onto it or hit the on-disk cache.
+            with ServiceClient(port=srv.port) as c:
+                metrics = c.metrics()
+            assert metrics["jobs"]["compiled"] == 1
+            coalesced = metrics["jobs"]["coalesced"]
+            cache_hits = metrics["cache"]["hits"]
+            assert coalesced + cache_hits == n - 1
+            assert metrics["cache"]["coalesced"] == coalesced
+
+            # ... and all N responses carry the byte-identical result.
+            bodies = {
+                json.dumps(r["result"], sort_keys=True) for r in results
+            }
+            assert len(bodies) == 1
+            request_ids = {r["request_id"] for r in results}
+            assert len(request_ids) == n  # but each kept its own identity
+
+
+class TestBackpressure:
+    def test_zero_capacity_rejects_with_retry_after(self, tmp_path):
+        with ServiceThread(cache_dir=str(tmp_path), max_pending=0) as srv:
+            with ServiceClient(port=srv.port) as c:
+                c.wait_until_ready()
+                with pytest.raises(ServiceHTTPError) as err:
+                    c.compile(**COMPILE)
+                assert err.value.status == 429
+                assert err.value.retry_after is not None
+                # health and metrics stay reachable under rejection
+                assert c.health()["status"] == "ok"
+                assert c.metrics()["jobs"]["rejected"] >= 1
+
+
+class TestRequestModel:
+    def test_equivalent_requests_share_a_key(self):
+        a = normalize_request("compile", {"benchmark": "wc"})
+        b = normalize_request(
+            "compile",
+            {"benchmark": "wc", "issue_rate": 4, "policy": "sentinel"},
+        )
+        assert a.key == b.key
+
+    def test_different_inputs_different_keys(self):
+        a = normalize_request("compile", {"benchmark": "wc"})
+        b = normalize_request("compile", {"benchmark": "wc", "issue_rate": 8})
+        c = normalize_request("simulate", {"benchmark": "wc"})
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError) as err:
+            normalize_request("compile", {"benchmark": "wc", "bogus": 1})
+        assert err.value.status == 400
+
+    def test_benchmark_xor_program(self):
+        with pytest.raises(ServiceError):
+            normalize_request("compile", {})
+        with pytest.raises(ServiceError):
+            normalize_request(
+                "compile", {"benchmark": "wc", "program": {"kind": "program"}}
+            )
+
+    def test_key_is_stable(self):
+        job = normalize_request("fuzz", {"seeds": 5})
+        assert job.key == job_key("fuzz", job.params)
+        assert len(job.key) == 64
