@@ -469,7 +469,13 @@ def tune_benchmark(trials=2):
     3. A small grid+beam search smoke runs end to end for per-stage
        timings (the full search that produced the committed file is a
        one-off; its configuration is recorded alongside).
+    4. The committed budget-400 search is re-run twice — once through
+       the fused batch scheduling engine and once with the sequential
+       candidate pricing (``batch=False``) — asserting identical winning
+       weights and recording both walls plus evals/sec, so the batched
+       objective's speedup (and its bit-identity) is tracked per commit.
     """
+    import dataclasses
     import math
 
     from repro.sched.priority import load_weights_file
@@ -547,6 +553,32 @@ def tune_benchmark(trials=2):
         bench.best_score <= 1.0 for bench in smoke.per_benchmark.values()
     ), "search smoke regressed below the default heuristic"
 
+    # 4. The committed search, batched vs sequential pricing: bit-equal
+    # winners, the wall-clock gap is the batch engine's speedup.
+    committed = TuneConfig(
+        benchmarks=("tomcatv", "nasa7", "eqntott", "doduc"),
+        target=TuneTarget(
+            policy_names=("general", "sentinel", "sentinel_store"),
+            issue_rates=(2,),
+        ),
+        budget=400,
+        seed=1,
+        jobs=1,
+    )
+    start = time.perf_counter()
+    batched_report = run_search(committed)
+    batched_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    sequential_report = run_search(dataclasses.replace(committed, batch=False))
+    sequential_wall = time.perf_counter() - start
+    assert (
+        batched_report.tuned().to_payload()
+        == sequential_report.tuned().to_payload()
+    ), "batched search diverged from the sequential winners"
+    batched_evals = batched_report.total_evaluations()
+    sequential_evals = sequential_report.total_evaluations()
+    assert batched_evals == sequential_evals, "budget accounting diverged"
+
     return {
         "benchmarks": list(benchmarks),
         "trials": trials,
@@ -573,6 +605,20 @@ def tune_benchmark(trials=2):
                 for stage, seconds in smoke.stage_seconds().items()
             },
             "wall_seconds": round(smoke.wall_seconds, 3),
+        },
+        "batched_search": {
+            "benchmarks": list(committed.benchmarks),
+            "budget": committed.budget,
+            "evaluations": batched_evals,
+            "batched_wall_seconds": round(batched_wall, 3),
+            "sequential_wall_seconds": round(sequential_wall, 3),
+            "speedup": round(sequential_wall / batched_wall, 2),
+            "batched_evals_per_sec": round(batched_evals / batched_wall, 1),
+            "sequential_evals_per_sec": round(
+                sequential_evals / sequential_wall, 1
+            ),
+            "winners_identical": True,
+            "sched_counters": batched_report.sched_counters(),
         },
     }
 
@@ -794,6 +840,13 @@ def main():
         f"({tune['trials']} deterministic trials per arm); search smoke "
         f"{tune['search_smoke']['evaluations']} evals in "
         f"{tune['search_smoke']['wall_seconds']}s"
+    )
+    batched = tune["batched_search"]
+    print(
+        f"  batched search: {batched['batched_wall_seconds']}s vs "
+        f"{batched['sequential_wall_seconds']}s sequential "
+        f"({batched['speedup']}x, {batched['batched_evals_per_sec']} evals/s, "
+        f"identical winners)"
     )
 
     payload = {

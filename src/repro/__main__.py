@@ -113,6 +113,7 @@ def run_tune(args, benchmarks) -> int:
         mode=args.tune_mode,
         jobs=args.tune_jobs,
         seed=args.tune_seed,
+        batch=args.tune_batch,
     )
     report = run_search(config)
     print(report.render_summary())
@@ -301,6 +302,21 @@ def main() -> None:
         default="2,4,8",
         metavar="RATES",
         help="issue rates in the tuning objective (comma-separated)",
+    )
+    parser.add_argument(
+        "--tune-batch",
+        dest="tune_batch",
+        action="store_true",
+        default=True,
+        help="price candidate populations through the fused batch "
+        "scheduling engine (default; bit-identical winners)",
+    )
+    parser.add_argument(
+        "--no-tune-batch",
+        dest="tune_batch",
+        action="store_false",
+        help="price every candidate with the sequential scheduler "
+        "(reference path for A/B timing and validation)",
     )
     parser.add_argument(
         "--tune-out",

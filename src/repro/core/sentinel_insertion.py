@@ -71,13 +71,12 @@ class TagCarryTracker:
     def record_issue(self, node: int, spec: bool) -> None:
         """Record one issued node.  Call in issue order: all flow producers
         of ``node`` are necessarily issued already."""
-        instr = self._graph.nodes[node]
         if not spec:
             # A non-speculative instruction signals rather than propagates,
-            # and overwrites its destination tag with 0.
-            self._carries[node] = False
+            # and overwrites its destination tag with 0 — which is exactly
+            # the absent-key default, so no entry is stored.
             return
-        if instr.info.can_trap:
+        if self._graph.nodes[node].info.can_trap:
             self._carries[node] = True
             return
         self._carries[node] = any(

@@ -238,6 +238,11 @@ class SweepResult:
     #: (sharing, lockstep rows, fallbacks); see
     #: :data:`repro.arch.batchproc.BATCH_COUNTERS`.
     sim_counters: Dict[str, int] = field(default_factory=dict)
+    #: batch scheduling engine observability counters accumulated during
+    #: compilation (population dedup, per-block memoization); see
+    #: :data:`repro.sched.batch_scheduler.SCHED_BATCH_COUNTERS`.  Empty
+    #: when no stage routed through the batch engine.
+    sched_counters: Dict[str, int] = field(default_factory=dict)
     #: Compile-cache statistics summed across benchmarks
     #: (hits/misses/corrupt/coalesced; see
     #: :meth:`repro.cache.CompileCache.counters`).  Empty when the sweep
@@ -320,6 +325,16 @@ class SweepResult:
         interp_seconds = totals["train"] + totals["profile"]
         if steps and interp_seconds > 0:
             lines.append(f"interpreted {steps} steps, {steps / interp_seconds:,.0f} steps/sec")
+        if self.sched_counters:
+            counters = self.sched_counters
+            lines.append(
+                "batch scheduling: "
+                f"{counters.get('candidates', 0)} candidates, "
+                f"{counters.get('unique_schedules', 0)} unique schedules, "
+                f"{counters.get('dedup_hits', 0)} dedup hits, "
+                f"{counters.get('block_schedules', 0)} block schedules, "
+                f"{counters.get('block_memo_hits', 0)} block memo hits"
+            )
         if self.cache_counters:
             counters = self.cache_counters
             lines.append(
@@ -410,6 +425,7 @@ class _BenchmarkShard:
     sim_lanes: int = 0
     sim_ok: int = 0
     sim_counters: Dict[str, int] = field(default_factory=dict)
+    sched_counters: Dict[str, int] = field(default_factory=dict)
     cache_counters: Dict[str, int] = field(default_factory=dict)
 
 
@@ -469,9 +485,12 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
     identical within the group).  Results are identical to compiling each
     cell from scratch — ``tests/eval/test_parallel_sweep.py`` pins this.
     """
+    from ..sched import batch_scheduler
+
     timings = {stage: 0.0 for stage in STAGES}
     steps = 0
     clock = time.perf_counter
+    sched_before = batch_scheduler.counters_snapshot()
     template = config.machine
     if template is None:
         template = paper_machine(1, store_buffer_size=config.store_buffer_size)
@@ -717,6 +736,11 @@ def _evaluate_benchmark(config: SweepConfig, name: str) -> _BenchmarkShard:
         sim_lanes=sim_lanes,
         sim_ok=sim_ok,
         sim_counters=sim_counters,
+        sched_counters={
+            key: value - sched_before.get(key, 0)
+            for key, value in batch_scheduler.counters_snapshot().items()
+            if value != sched_before.get(key, 0)
+        },
         cache_counters=cache.counters() if cache is not None else {},
     )
 
@@ -768,6 +792,8 @@ def run_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
         sweep.sim_ok += shard.sim_ok
         for key, count in shard.sim_counters.items():
             sweep.sim_counters[key] = sweep.sim_counters.get(key, 0) + count
+        for key, count in shard.sched_counters.items():
+            sweep.sched_counters[key] = sweep.sched_counters.get(key, 0) + count
         for key, count in shard.cache_counters.items():
             sweep.cache_counters[key] = sweep.cache_counters.get(key, 0) + count
     sweep.wall_seconds = time.perf_counter() - wall_start

@@ -134,6 +134,11 @@ class PipelineContext:
         self.recovery_reduce_memo: Dict[Tuple[str, str], Dict[frozenset, "DepGraph"]] = {}
         #: Latency table the cached graphs embed (first machine seen).
         self.graph_latencies: Optional[Dict["LatClass", int]] = None
+        #: (block label, policy name) -> static per-node feature matrix of
+        #: the pristine reduced graph (heights/succs/latency/memory/branch/
+        #: speculative columns), built lazily by the batch scheduling
+        #: engine and weight-independent like the graphs themselves.
+        self.sched_features: Dict[Tuple[str, str], object] = {}
         self.stats = CompilerStats()
         self.uid_watermark: Optional[int] = None
         # ---- back-end scratch (set per schedule_prepared call) --------
@@ -142,7 +147,24 @@ class PipelineContext:
         #: Per-schedule priority-weights override (falls back to
         #: ``options.weights``, then the paper default).
         self.schedule_weights: Optional["PriorityWeights"] = None
+        #: Precomputed per-node priorities for the *current* schedule run:
+        #: (block label, policy name) -> list of floats, or None.  Set by
+        #: ScheduleBatchPass so the scheduler skips the per-node python
+        #: priority loop for non-default candidates.
+        self.schedule_priorities: Optional[Dict[Tuple[str, str], List[float]]] = None
         self.compilation: Optional["CompilationResult"] = None
+        # ---- batch-schedule scratch (set per schedule_prepared_batch) -
+        #: Candidate weight population for ScheduleBatchPass (one entry
+        #: per candidate; ``None`` = the paper default heuristic).
+        self.schedule_population: Optional[List[Optional["PriorityWeights"]]] = None
+        #: Per-candidate dedup signatures aligned with the population
+        #: (``None`` entries schedule individually), or None to compute.
+        self.schedule_signatures: Optional[List[object]] = None
+        #: Per-result consumer: candidates sharing one schedule object
+        #: would otherwise observe later groups' spec-flag rewrites.
+        self.schedule_batch_consume = None
+        #: ScheduleBatchPass output, aligned with the population.
+        self.schedule_batch_results: Optional[List[object]] = None
         # ---- observability -------------------------------------------
         #: Artifact names currently valid (requires/invalidates checking).
         self.available: Set[str] = {"program", "profile"}

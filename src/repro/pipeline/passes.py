@@ -272,6 +272,13 @@ def reduced_pristine_graph(
             DepGraphReducePass.name, block.label, wall1 - wall0, cpu1 - cpu0
         )
         ctx.reduced_graphs[key] = graph
+        # Populate the critical-heights memo on the pristine graph itself:
+        # DepGraph.copy() shares the memoized list, so every schedule-time
+        # copy (one per candidate weight vector in a tuning run) inherits
+        # the heights instead of recomputing them.  Safe to share — the
+        # scheduler treats heights as read-only and arc mutations rebind
+        # the copy's memo slot only.
+        graph.critical_heights()
         if ctx.options.verify_ir:
             IRVerifier().check_graph(graph, reduced=True)
             ctx.verified_graph_ids.add(id(graph))
@@ -370,6 +377,10 @@ class ListSchedulingPass(Pass):
             if ctx.schedule_weights is not None
             else ctx.options.weights
         )
+        # Vectorized per-node priorities from the batch scheduling engine
+        # (ScheduleBatchPass); maps (block label, graph policy name) to
+        # the priority row matching ``weights``.
+        priorities_map = ctx.schedule_priorities or {}
         recovery = ctx.options.recovery
         liveness = ctx.liveness
         work.reset_uid_watermark(ctx.uid_watermark)
@@ -402,6 +413,7 @@ class ListSchedulingPass(Pass):
                     policy,
                     graph=pristine_graph(ctx, block, machine, policy),
                     weights=weights,
+                    priorities=priorities_map.get((block.label, policy.name)),
                 )
                 if policy.store_spec and policy.sentinels:
                     # Speculating stores is not always profitable:
@@ -421,6 +433,7 @@ class ListSchedulingPass(Pass):
                         SENTINEL,
                         graph=pristine_graph(ctx, block, machine, SENTINEL),
                         weights=weights,
+                        priorities=priorities_map.get((block.label, SENTINEL.name)),
                     )
                     if with_stores_length < plain.scheduled.length:
                         # Re-run the winner: scheduling mutates the
@@ -435,6 +448,9 @@ class ListSchedulingPass(Pass):
                             policy,
                             graph=pristine_graph(ctx, block, machine, policy),
                             weights=weights,
+                            priorities=priorities_map.get(
+                                (block.label, policy.name)
+                            ),
                         )
                     else:
                         result = plain
@@ -467,3 +483,54 @@ class ListSchedulingPass(Pass):
 def backend_pipeline() -> List[Pass]:
     """The machine-dependent back half; ``schedule_prepared`` runs this."""
     return [ListSchedulingPass()]
+
+
+class ScheduleBatchPass(Pass):
+    """Schedule a population of priority-weight candidates in one pass.
+
+    The multi-candidate variant of :class:`ListSchedulingPass`: the
+    batch scheduling engine (:mod:`repro.sched.batch_scheduler`) groups
+    ``ctx.schedule_population`` by priority-ordering signature, and each
+    unique group runs the ordinary scheduling pass once — with the uid
+    watermark rewound, so every group's result is uid-identical to a
+    sequential ``schedule_prepared`` call — receiving its precomputed
+    vectorized priority rows.  Per-group results are routed through
+    ``ctx.schedule_batch_consume`` while their words are live (later
+    groups rewrite the shared instructions' speculative flags) and the
+    aligned outputs land in ``ctx.schedule_batch_results``.
+    """
+
+    name = "schedule-batch"
+    requires = ("work", "liveness")
+    produces = ("compilation",)
+    verify_scope = "backend"
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..sched.batch_scheduler import plan_groups
+
+        population = ctx.schedule_population or []
+        consume = ctx.schedule_batch_consume
+        policy = ctx.schedule_policy or ctx.policy
+        groups = plan_groups(
+            ctx, ctx.machine, policy, population, ctx.schedule_signatures
+        )
+        inner = ListSchedulingPass()
+        outputs: List[object] = [None] * len(population)
+        for members, priorities in groups:
+            ctx.schedule_weights = population[members[0]]
+            ctx.schedule_priorities = priorities
+            ctx.compilation = None
+            inner.run(ctx)
+            value = (
+                consume(ctx.compilation) if consume is not None else ctx.compilation
+            )
+            for index in members:
+                outputs[index] = value
+        ctx.schedule_weights = None
+        ctx.schedule_priorities = None
+        ctx.schedule_batch_results = outputs
+
+
+def batch_backend_pipeline() -> List[Pass]:
+    """The multi-candidate back half; ``schedule_prepared_batch`` runs this."""
+    return [ScheduleBatchPass()]

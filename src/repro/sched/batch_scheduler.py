@@ -1,0 +1,687 @@
+"""Multi-candidate batch scheduling over one shared prepared compilation.
+
+The autotuner prices hundreds of :class:`~repro.sched.priority.PriorityWeights`
+candidates against the same prepared dependence graphs; scheduling each
+candidate from scratch repeats every piece of weight-independent work.
+This engine fuses a whole candidate population into one backend pass:
+
+* the reduced pristine graph, its memoized ``critical_heights`` and the
+  per-node static features (successor count, operation latency, memory /
+  branch / speculative flags) are extracted **once** per (block, policy)
+  into a ``(n_nodes x n_features)`` matrix cached on the pipeline
+  context,
+* per-node priorities for **all** candidates are evaluated as vectorized
+  numpy combines over that matrix, in the exact elementwise operation
+  order of ``ListScheduler._init_priorities`` — so the float results are
+  comparison-identical to the scalar python loop,
+* a schedule depends on the weight vector only through the *ordering* it
+  induces on ``(priority, node)`` heap keys, so candidates whose dense
+  rank pattern over ``[p(0..n-1), sentinel_priority]`` coincides on every
+  graph (and share a tie break) are **deduplicated** onto one schedule:
+  one ``schedule_prepared``-equivalent run serves the whole group, and
+  its result is uid-identical to what each member's own sequential call
+  would produce (the property suite pins this),
+* each unique group still runs the full backend
+  (:class:`~repro.pipeline.passes.ListSchedulingPass` with the uid
+  watermark rewound), receiving its precomputed priority row so the
+  per-node python loop never reruns.
+
+Scheduling mutates the shared work program's instructions (speculative
+modifier flags), so a *previous* group's ``CompilationResult`` words are
+invalidated by the next group's run — exactly the
+:func:`~repro.sched.compiler.schedule_prepared` caveat.  Callers that
+need per-candidate values therefore pass ``consume``: it is applied to
+each group's result immediately after that group schedules, while the
+words are live.
+
+Fallback: without numpy (or under ``REPRO_BATCH_SCHED=0``), in recovery
+mode, or when the prepared graph cache serves a different latency table,
+every candidate schedules individually through the same pass — identical
+results, no dedup.  ``SCHED_BATCH_COUNTERS`` records candidates, unique
+schedules, dedup hits and fused-vs-fallback traffic for the reports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # soft dependency, exactly like arch/batchproc
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via sched_batch_default()
+    _np = None
+
+from ..deps.reduction import SENTINEL, SpeculationPolicy
+from ..machine.description import MachineDescription
+from .priority import DEFAULT_WEIGHTS, PriorityWeights
+
+__all__ = [
+    "SCHED_BATCH_COUNTERS",
+    "candidate_signatures",
+    "counters_snapshot",
+    "estimate_population_cycles",
+    "reset_counters",
+    "sched_batch_default",
+    "schedule_prepared_batch",
+]
+
+#: Observability counters for the batch scheduling engine.  Additive
+#: across calls; search shards merge them per process.
+SCHED_BATCH_COUNTERS: Dict[str, int] = {}
+
+
+def reset_counters() -> None:
+    SCHED_BATCH_COUNTERS.clear()
+
+
+def counters_snapshot() -> Dict[str, int]:
+    return dict(SCHED_BATCH_COUNTERS)
+
+
+def _count(key: str, n: int = 1) -> None:
+    SCHED_BATCH_COUNTERS[key] = SCHED_BATCH_COUNTERS.get(key, 0) + n
+
+
+def sched_batch_default() -> bool:
+    """Fused scheduling is the default wherever numpy is importable;
+    ``REPRO_BATCH_SCHED=0`` is the escape hatch."""
+    if os.environ.get("REPRO_BATCH_SCHED", "") == "0":
+        return False
+    return _np is not None
+
+
+# ----------------------------------------------------------------------
+# Static per-graph features (weight-independent, cached on the context).
+# ----------------------------------------------------------------------
+
+
+def _graph_pairs(ctx, policy: SpeculationPolicy) -> List[Tuple[object, SpeculationPolicy]]:
+    """The (block, graph policy) pairs one backend schedule run touches.
+
+    ``sentinel_store`` scheduling also schedules every block under the
+    plain SENTINEL model (keeping the shorter schedule), so its candidate
+    signatures must cover both graph sets — two candidates agreeing on
+    the store graphs but not the plain ones would diverge.
+    """
+    pairs = [(block, policy) for block in ctx.work.blocks]
+    if policy.store_spec and policy.sentinels:
+        pairs.extend((block, SENTINEL) for block in ctx.work.blocks)
+    return pairs
+
+
+def _features(ctx, block, graph_policy: SpeculationPolicy, machine: MachineDescription):
+    """The (n_nodes x 6) feature matrix of one pristine reduced graph.
+
+    Columns follow ``_init_priorities`` term order: critical height,
+    successor count, operation latency, memory flag, branch flag,
+    policy-allowed-speculative flag.  Heights and counts are small
+    integers, exact in float64.  Cached per (block, policy) — the
+    latency-table gate in :func:`_batch_plan` guarantees one machine
+    latency table per context, so the latency column is stable.
+    """
+    from ..pipeline.passes import reduced_pristine_graph
+
+    key = (block.label, graph_policy.name)
+    feats = ctx.sched_features.get(key)
+    if feats is None:
+        graph = reduced_pristine_graph(ctx, block, graph_policy)
+        n = graph.original_count
+        heights = graph.critical_heights()
+        allowed = graph.allowed_spec
+        matrix = _np.empty((n, 6), dtype=_np.float64)
+        for node in range(n):
+            info = graph.nodes[node].info
+            matrix[node, 0] = heights[node]
+            matrix[node, 1] = graph.succ_count(node)
+            matrix[node, 2] = machine.latency(graph.nodes[node].op)
+            matrix[node, 3] = 1.0 if (info.reads_mem or info.writes_mem) else 0.0
+            matrix[node, 4] = 1.0 if info.is_cond_branch else 0.0
+            matrix[node, 5] = 1.0 if node in allowed else 0.0
+        feats = ctx.sched_features[key] = matrix
+    return feats
+
+
+def _priority_matrix(features, weights_rows):
+    """Priorities of every candidate over one graph, ``(K x n)``.
+
+    Evaluated as broadcast elementwise multiply-adds in the *exact*
+    operation order of ``ListScheduler._init_priorities`` — not a matmul,
+    whose different summation order could flip a last-ulp comparison.
+    Conditionally-skipped zero-weight terms differ from the scalar loop
+    only by ``+0.0`` adds, which never change a comparison.
+    """
+    f = features
+    w = weights_rows
+    prio = w[:, 0:1] * f[:, 0]
+    prio = prio + w[:, 1:2] * f[:, 1]
+    prio = prio + w[:, 2:3] * f[:, 2]
+    prio = prio + w[:, 3:4] * f[:, 3]
+    prio = prio + w[:, 4:5] * f[:, 4]
+    prio = prio + w[:, 5:6] * f[:, 5]
+    return prio
+
+
+def _weights_rows(population: Sequence[Optional[PriorityWeights]]):
+    """(K x 6) weight matrix + (K,) sentinel priorities + tie-break list."""
+    rows = _np.empty((len(population), 6), dtype=_np.float64)
+    sentinel = _np.empty(len(population), dtype=_np.float64)
+    ties = []
+    for k, weights in enumerate(population):
+        w = weights if weights is not None else DEFAULT_WEIGHTS
+        rows[k, 0] = w.height
+        rows[k, 1] = w.succs
+        rows[k, 2] = w.latency
+        rows[k, 3] = w.memory
+        rows[k, 4] = w.branch
+        rows[k, 5] = w.speculative
+        sentinel[k] = w.sentinel
+        ties.append(w.tie_break)
+    return rows, sentinel, ties
+
+
+def _dense_ranks(keyed):
+    """Dense comparison ranks of every row of ``keyed``, vectorized.
+
+    Row-equivalent to ``np.unique(row, return_inverse=True)[1]`` (equal
+    values share a rank, ranks ascend with value) but computed for the
+    whole ``(K x m)`` matrix with three vector ops instead of K python
+    calls.  Rows containing non-finite values produce unspecified ranks;
+    callers mask those out via their own finite gate.
+    """
+    order = _np.argsort(keyed, axis=1, kind="stable")
+    sorted_vals = _np.take_along_axis(keyed, order, axis=1)
+    steps = _np.zeros(keyed.shape, dtype=_np.int32)
+    steps[:, 1:] = sorted_vals[:, 1:] != sorted_vals[:, :-1]
+    ranks_sorted = _np.cumsum(steps, axis=1, dtype=_np.int32)
+    ranks = _np.empty_like(ranks_sorted)
+    _np.put_along_axis(ranks, order, ranks_sorted, axis=1)
+    return ranks
+
+
+def _batch_plan(ctx, machine: MachineDescription):
+    """Whether fused scheduling applies to this (context, machine) pair.
+
+    Mirrors :func:`~repro.pipeline.passes.pristine_graph`'s gates: the
+    cached graphs embed one latency table, and recovery scheduling varies
+    its graphs per restart iteration.
+    """
+    if _np is None or not sched_batch_default():
+        return False
+    if ctx.options.recovery:
+        return False
+    if ctx.graph_latencies is None:
+        ctx.graph_latencies = dict(machine.latencies)
+    elif ctx.graph_latencies != machine.latencies:
+        return False
+    return True
+
+
+def _signatures_and_priorities(ctx, machine, policy, population):
+    """Per-candidate dedup signatures + per-graph priority rows.
+
+    Returns ``(signatures, priorities)``: ``signatures[k]`` is a hashable
+    key equal between two candidates iff they provably produce identical
+    schedules (``None`` = unsignable, schedule individually), and
+    ``priorities[k]`` maps (block label, policy name) to that candidate's
+    priority row as plain floats (``None`` for default-weight candidates,
+    whose scheduler path keeps the integer heights).
+    """
+    n_cand = len(population)
+    weights_rows, sentinel_prio, ties = _weights_rows(population)
+    finite = _np.isfinite(weights_rows).all(axis=1) & _np.isfinite(sentinel_prio)
+    parts: List[List[bytes]] = [[] for _ in range(n_cand)]
+    priorities: List[Optional[Dict[Tuple[str, str], List[float]]]] = [
+        None if w is None or w.is_default else {} for w in population
+    ]
+    for block, graph_policy in _graph_pairs(ctx, policy):
+        features = _features(ctx, block, graph_policy, machine)
+        prio = _priority_matrix(features, weights_rows)
+        keyed = _np.concatenate([prio, sentinel_prio[:, None]], axis=1)
+        finite = finite & _np.isfinite(keyed).all(axis=1)
+        map_key = (block.label, graph_policy.name)
+        # Dense ranks capture the full comparison pattern of the heap
+        # keys: priorities only ever compare against each other (and the
+        # shared sentinel priority, ranked as element n).
+        ranks = _dense_ranks(keyed)
+        for k in range(n_cand):
+            if not finite[k]:
+                continue
+            parts[k].append(ranks[k].tobytes())
+            if priorities[k] is not None:
+                priorities[k][map_key] = prio[k].tolist()
+    signatures: List[Optional[tuple]] = []
+    for k in range(n_cand):
+        if not finite[k]:
+            signatures.append(None)
+            priorities[k] = None
+            continue
+        signatures.append((ties[k], tuple(parts[k])))
+    return signatures, priorities
+
+
+def candidate_signatures(
+    prepared,
+    machine: MachineDescription,
+    population: Sequence[Optional[PriorityWeights]],
+    policy: Optional[SpeculationPolicy] = None,
+) -> List[Optional[tuple]]:
+    """Dedup signatures for ``population`` over one prepared compilation.
+
+    Equal signatures guarantee uid-identical ``schedule_prepared``
+    results for the corresponding candidates under ``machine`` and
+    ``policy``; ``None`` entries carry no guarantee (fused scheduling
+    does not apply).  Signatures are stable across calls on the same
+    prepared compilation, so callers may memoize by them.
+    """
+    ctx = prepared.context
+    effective = policy if policy is not None else prepared.policy
+    if not _batch_plan(ctx, machine):
+        return [None] * len(population)
+    signatures, _ = _signatures_and_priorities(ctx, machine, effective, population)
+    return signatures
+
+
+def _incomparable_pairs(ctx, block, graph_policy: SpeculationPolicy):
+    """Index arrays (i, j) of graph-incomparable node pairs, i < j.
+
+    Two original nodes can coexist on the scheduler's ready heap only if
+    neither reaches the other in the pristine reduced graph (arcs added
+    during scheduling only ever extend that order, and stale heap
+    entries never influence an issue decision).  The heap's total key
+    order over a run is therefore fully determined by the comparison
+    signs on exactly these pairs (plus each node against the shared
+    sentinel priority), which is what lets the dedup key ignore priority
+    shuffles along dependence chains.  Cached per (block, graph policy).
+    """
+    from ..pipeline.passes import reduced_pristine_graph
+
+    key = ("__pairs__", block.label, graph_policy.name)
+    cached = ctx.sched_features.get(key)
+    if cached is None:
+        graph = reduced_pristine_graph(ctx, block, graph_policy)
+        n = graph.original_count
+        # Descendant bitsets in reverse topological order (Kahn).
+        succs: List[List[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for i in range(n):
+            for arc in graph.iter_succs(i):
+                succs[i].append(arc.dst)
+                indeg[arc.dst] += 1
+        stack = [i for i in range(n) if indeg[i] == 0]
+        order = []
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            for j in succs[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    stack.append(j)
+        desc = [0] * n
+        for i in reversed(order):
+            d = 0
+            for j in succs[i]:
+                d |= (1 << j) | desc[j]
+            desc[i] = d
+        nbytes = (n + 7) // 8 if n else 1
+        buf = b"".join(d.to_bytes(nbytes, "little") for d in desc)
+        reaches = _np.unpackbits(
+            _np.frombuffer(buf, dtype=_np.uint8).reshape(n, nbytes),
+            axis=1,
+            bitorder="little",
+        )[:, :n].astype(bool)
+        upper = _np.triu(_np.ones((n, n), dtype=bool), k=1)
+        i_idx, j_idx = _np.nonzero(upper & ~(reaches | reaches.T))
+        cached = (i_idx.astype(_np.int32), j_idx.astype(_np.int32))
+        ctx.sched_features[key] = cached
+    return cached
+
+
+def _batch_tables(ctx, machine, graph_policy: SpeculationPolicy, blocks):
+    """Fused analysis tables for one graph policy over ``blocks``.
+
+    Concatenates every block's feature matrix so a whole population's
+    priorities evaluate in one broadcast combine, with node offsets and
+    global incomparable-pair index arrays to slice per-block dedup keys
+    back out.  Cached per graph policy on the context (keyed by the
+    block label tuple, which is fixed per profile).
+    """
+    key = ("__batch__", graph_policy.name)
+    labels = tuple(block.label for block in blocks)
+    cached = ctx.sched_features.get(key)
+    if cached is not None and cached[0] == labels:
+        return cached
+    feats = [_features(ctx, block, graph_policy, machine) for block in blocks]
+    node_off = [0]
+    for f in feats:
+        node_off.append(node_off[-1] + f.shape[0])
+    features_all = (
+        _np.concatenate(feats, axis=0)
+        if feats
+        else _np.empty((0, 6), dtype=_np.float64)
+    )
+    i_parts: List[object] = []
+    j_parts: List[object] = []
+    pair_off = [0]
+    for bi, block in enumerate(blocks):
+        ii, jj = _incomparable_pairs(ctx, block, graph_policy)
+        i_parts.append(ii + node_off[bi])
+        j_parts.append(jj + node_off[bi])
+        pair_off.append(pair_off[-1] + len(ii))
+    i_idx = (
+        _np.concatenate(i_parts) if i_parts else _np.empty(0, dtype=_np.int32)
+    )
+    j_idx = (
+        _np.concatenate(j_parts) if j_parts else _np.empty(0, dtype=_np.int32)
+    )
+    cached = (labels, features_all, node_off, i_idx, j_idx, pair_off)
+    ctx.sched_features[key] = cached
+    return cached
+
+
+def _block_cycles(label, summary, profile) -> int:
+    """Ideal-machine cycle contribution of one scheduled block.
+
+    Exactly the ``machine=None`` branch of
+    :func:`~repro.arch.timing.estimate_cycles` for a single block: taken
+    conditional exits cost ``cycle + 1`` each, fall-through visits cost
+    the terminator cycle + 1 (or the schedule length without one).  The
+    whole-program estimate is the sum of these per-block integers, which
+    is what lets the objective path deduplicate *per block*.  Reads a
+    ``run_cycle_summary`` triple instead of a materialized block.
+    """
+    length, branches, terminator_cycle = summary
+    visits = profile.block_visits.get(label, 0)
+    if visits == 0:
+        return 0
+    block_cycles = 0
+    taken_exits = 0
+    branch_taken = profile.branch_taken
+    for uid, cycle in branches:
+        taken = branch_taken.get(uid, 0)
+        block_cycles += taken * (cycle + 1)
+        taken_exits += taken
+    through = visits - taken_exits
+    if through < 0:
+        raise ValueError(
+            f"profile inconsistent for block {label}: "
+            f"{taken_exits} taken exits > {visits} visits"
+        )
+    if terminator_cycle is not None:
+        through_cost = terminator_cycle + 1
+    else:
+        through_cost = length
+    return block_cycles + through * through_cost
+
+
+def _schedule_graph(ctx, machine, graph_policy, block, weights, priorities):
+    """Cycle summary of one block scheduled under one graph policy.
+
+    One half of ``ListSchedulingPass``'s per-block work: the pass
+    schedules ``sentinel_store`` blocks twice (store graph and plain
+    SENTINEL graph) and keeps the strictly shorter schedule; here each
+    graph schedules independently so the (length, cycles) results
+    memoize per graph — the plain half is shared verbatim with the plain
+    ``sentinel`` policy's cells.  Runs the scheduler's
+    ``run_cycle_summary`` fast path: issue order is identical to the
+    full backend, only the word materialization (and the winner re-run
+    that keeps shared speculative flags consistent) is skipped, since
+    the caller reads nothing but cycle positions.
+    """
+    from ..pipeline.passes import pristine_graph
+    from .list_scheduler import ListScheduler
+
+    return ListScheduler(
+        block,
+        ctx.work,
+        ctx.liveness,
+        machine,
+        graph_policy,
+        graph=pristine_graph(ctx, block, machine, graph_policy),
+        weights=weights,
+        priorities=priorities,
+    ).run_cycle_summary()
+
+
+def estimate_population_cycles(
+    prepared,
+    machine: MachineDescription,
+    population: Sequence[Optional[PriorityWeights]],
+    profile,
+    policy: Optional[SpeculationPolicy] = None,
+    memo: Optional[Dict[tuple, int]] = None,
+) -> List[Optional[int]]:
+    """Ideal-machine cycle estimates for a whole candidate population.
+
+    Returns a list aligned with ``population`` whose entries equal
+    ``estimate_cycles(schedule_prepared(...).scheduled, profile)
+    .total_cycles`` for each candidate — or ``None`` where fused
+    scheduling does not apply (no numpy, recovery mode, non-finite
+    weights); callers price those sequentially.
+
+    Blocks are scheduled independently and the ideal estimate is a sum
+    of per-block integers, so deduplication happens **per block**: two
+    candidates inducing the same priority ordering on one block share
+    that block's schedule and cycle contribution even when they disagree
+    everywhere else.  ``memo`` (owned by the caller, one dict per
+    (policy, issue rate) cell) carries contributions across calls, so a
+    search generation only ever schedules blocks whose priority ordering
+    it has never seen.  Unvisited blocks contribute zero and are never
+    scheduled at all.
+    """
+    ctx = prepared.context
+    effective = policy if policy is not None else prepared.policy
+    n_cand = len(population)
+    if not _batch_plan(ctx, machine):
+        return [None] * n_cand
+    if memo is None:
+        memo = {}
+    weights_rows, sentinel_prio, ties = _weights_rows(population)
+    finite = _np.isfinite(weights_rows).all(axis=1) & _np.isfinite(sentinel_prio)
+    graph_policies = (
+        (effective, SENTINEL)
+        if effective.store_spec and effective.sentinels
+        else (effective,)
+    )
+    blocks = [
+        block
+        for block in ctx.work.blocks
+        if profile.block_visits.get(block.label, 0) > 0
+    ]
+    n_blocks = len(blocks)
+    # Pass 1, fused per graph policy: one broadcast priority combine over
+    # every block's nodes concatenated, then the comparison-sign pattern
+    # on graph-incomparable pairs plus each node against the sentinel
+    # priority — exactly the comparisons that can ever decide a heap pop.
+    per_gp = []  # (gname, P, signs, ssign, node_off, pair_off)
+    for graph_policy in graph_policies:
+        _, features_all, node_off, i_idx, j_idx, pair_off = _batch_tables(
+            ctx, machine, graph_policy, blocks
+        )
+        prio = _priority_matrix(features_all, weights_rows)
+        finite = finite & _np.isfinite(prio).all(axis=1)
+        left, right = prio[:, i_idx], prio[:, j_idx]
+        signs = (left > right).astype(_np.int8)
+        signs -= left < right
+        if graph_policy.sentinels:
+            ssign = (prio > sentinel_prio[:, None]).astype(_np.int8)
+            ssign -= prio < sentinel_prio[:, None]
+        else:
+            # No sentinels are ever created under this policy, so the
+            # sentinel-relative signs cannot decide a heap pop — leave
+            # them out of the key so candidates that only disagree there
+            # share one schedule.
+            ssign = None
+        per_gp.append(
+            (graph_policy.name, prio, signs, ssign, node_off, pair_off)
+        )
+    # Pass 2: per-candidate per-(block, graph) memo keys; the first
+    # candidate to need an unseen key becomes its scheduling
+    # representative.  The label is part of the key — different blocks
+    # can share a sign pattern while scheduling differently.
+    cand_keys: List[Optional[List[tuple]]] = [None] * n_cand
+    missing: Dict[tuple, Tuple[int, int, int]] = {}  # -> (gp, block, rep)
+    fallbacks = 0
+    for k in range(n_cand):
+        if not finite[k]:
+            fallbacks += 1
+            continue
+        keys = []
+        for bi in range(n_blocks):
+            label = blocks[bi].label
+            for gi, (gname, _prio, signs, ssign, node_off, pair_off) in enumerate(
+                per_gp
+            ):
+                key = (
+                    label,
+                    ties[k],
+                    gname,
+                    signs[k, pair_off[bi] : pair_off[bi + 1]].tobytes(),
+                    ssign[k, node_off[bi] : node_off[bi + 1]].tobytes()
+                    if ssign is not None
+                    else b"",
+                )
+                keys.append(key)
+                if key not in memo and key not in missing:
+                    missing[key] = (gi, bi, k)
+        cand_keys[k] = keys
+    _count("objective_candidates", n_cand)
+    if fallbacks:
+        _count("candidates_fallback", fallbacks)
+    _count(
+        "block_memo_hits",
+        sum(1 for c in cand_keys if c is not None) * n_blocks * len(per_gp)
+        - len(missing),
+    )
+    # Pass 3: schedule only the novel (block, graph) keys, one run per
+    # unseen sign pattern.  Sentinel uids are irrelevant to cycle
+    # positions, but rewind the watermark anyway so uids stay bounded.
+    if missing:
+        _count("block_schedules", len(missing))
+        ctx.work.reset_uid_watermark(ctx.uid_watermark)
+        for key, (gi, bi, rep) in missing.items():
+            weights = population[rep]
+            if weights is not None and weights.is_default:
+                weights = None
+            _gname, prio, _signs, _ssign, node_off, _pair_off = per_gp[gi]
+            row = (
+                prio[rep, node_off[bi] : node_off[bi + 1]].tolist()
+                if weights is not None
+                else None
+            )
+            summary = _schedule_graph(
+                ctx, machine, graph_policies[gi], blocks[bi], weights, row
+            )
+            memo[key] = (
+                summary[0],
+                _block_cycles(blocks[bi].label, summary, profile),
+            )
+    # Candidate totals: one memo entry per block for plain policies; the
+    # ``sentinel_store`` backend keeps the store schedule only when it
+    # is strictly shorter than the plain-sentinel one, so its per-block
+    # contribution picks between the two memoized halves by length.
+    totals: List[Optional[int]] = []
+    if len(per_gp) == 1:
+        for keys in cand_keys:
+            totals.append(
+                sum(memo[key][1] for key in keys) if keys is not None else None
+            )
+    else:
+        for keys in cand_keys:
+            if keys is None:
+                totals.append(None)
+                continue
+            total = 0
+            for bi in range(n_blocks):
+                store_len, store_cycles = memo[keys[2 * bi]]
+                plain_len, plain_cycles = memo[keys[2 * bi + 1]]
+                total += store_cycles if store_len < plain_len else plain_cycles
+            totals.append(total)
+    return totals
+
+
+def plan_groups(ctx, machine, policy, population, signatures):
+    """Group a population into (member indices, priority map) schedules.
+
+    Groups are ordered by first occurrence and each is represented by its
+    first member; unsignable candidates form singleton groups.  Counter
+    bookkeeping for the whole batch happens here.
+    """
+    priorities: List[Optional[dict]] = [None] * len(population)
+    if signatures is None:
+        if _batch_plan(ctx, machine):
+            signatures, priorities = _signatures_and_priorities(
+                ctx, machine, policy, population
+            )
+        else:
+            signatures = [None] * len(population)
+    elif _batch_plan(ctx, machine):
+        # Signatures were precomputed by the caller; still evaluate the
+        # vectorized priority rows so group representatives skip the
+        # scalar per-node loop.
+        _, priorities = _signatures_and_priorities(ctx, machine, policy, population)
+    groups: List[Tuple[List[int], Optional[dict]]] = []
+    by_sig: Dict[tuple, int] = {}
+    for k, sig in enumerate(signatures):
+        if sig is None:
+            _count("candidates_fallback")
+            groups.append(([k], None))
+            continue
+        slot = by_sig.get(sig)
+        if slot is None:
+            by_sig[sig] = len(groups)
+            groups.append(([k], priorities[k]))
+        else:
+            groups[slot][0].append(k)
+    _count("candidates", len(population))
+    _count("unique_schedules", len(groups))
+    _count("dedup_hits", len(population) - len(groups))
+    return groups
+
+
+def schedule_prepared_batch(
+    prepared,
+    machine: MachineDescription,
+    population: Sequence[Optional[PriorityWeights]],
+    policy: Optional[SpeculationPolicy] = None,
+    consume=None,
+    signatures: Optional[List[Optional[tuple]]] = None,
+) -> List[object]:
+    """Schedule a candidate population against one prepared compilation.
+
+    Returns a list aligned with ``population``.  With ``consume``, each
+    entry is ``consume(result)`` evaluated while that group's schedule
+    words are live — the safe way to read deduplicated results, since
+    later groups rewrite the shared instructions' speculative flags.
+    Without ``consume``, entries are the (group-shared)
+    :class:`~repro.sched.compiler.CompilationResult` objects and only the
+    final group's words are valid, exactly as for repeated
+    :func:`~repro.sched.compiler.schedule_prepared` calls.
+
+    ``signatures`` short-circuits the dedup analysis with the aligned
+    output of a prior :func:`candidate_signatures` call.
+    """
+    from ..pipeline.manager import PassManager
+    from ..pipeline.passes import batch_backend_pipeline
+
+    if not population:
+        return []
+    ctx = prepared.context
+    ctx.machine = machine
+    ctx.schedule_policy = policy if policy is not None else prepared.policy
+    ctx.schedule_population = list(population)
+    ctx.schedule_signatures = signatures
+    ctx.schedule_batch_consume = consume
+    ctx.compilation = None
+    ctx.available.discard("compilation")
+    _count("batch_calls")
+    try:
+        manager = PassManager(batch_backend_pipeline())
+        manager.run(ctx)
+        return ctx.schedule_batch_results
+    finally:
+        ctx.machine = None
+        ctx.schedule_policy = None
+        ctx.schedule_population = None
+        ctx.schedule_signatures = None
+        ctx.schedule_batch_consume = None
+        ctx.schedule_batch_results = None

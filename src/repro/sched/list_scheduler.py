@@ -87,6 +87,7 @@ class ListScheduler:
         despeculated: frozenset = frozenset(),
         graph: Optional[DepGraph] = None,
         weights: Optional[PriorityWeights] = None,
+        priorities: Optional[List[float]] = None,
     ) -> None:
         self.block = block
         self.program = program
@@ -94,6 +95,10 @@ class ListScheduler:
         self.policy = policy
         self.recovery = recovery
         self.weights = weights if weights is not None else DEFAULT_WEIGHTS
+        #: Precomputed per-node priorities (the batch scheduling engine's
+        #: vectorized combine); must equal what _init_priorities would
+        #: compute for ``weights`` over the pristine graph.
+        self._precomputed_prio = priorities
         if graph is not None:
             # A pre-built-and-reduced graph (compile-stage sharing across
             # issue rates).  Scheduling mutates it, so callers hand over a
@@ -138,6 +143,9 @@ class ListScheduler:
             or (recovery and self.graph.nodes[i].info.is_irreversible)
         ]
         self._carry = TagCarryTracker(self.graph)
+        # Carry state is only consulted by sentinel insertion; skip the
+        # bookkeeping entirely for policies that never insert one.
+        self._track_carries = self.policy.sentinels
         #: pending speculative stores: node -> count of stores issued since.
         self._pending_spec_stores: Dict[int, int] = {}
         #: confirm node -> the store node it confirms.
@@ -169,6 +177,13 @@ class ListScheduler:
         if w.is_default:
             self._prio: List = self._heights
             self._sentinel_prio = 1
+        elif self._precomputed_prio is not None:
+            # The batch engine evaluated the weighted combine for every
+            # candidate in one vectorized pass; reuse its row.  Values are
+            # comparison-identical to the loop below (same elementwise
+            # float64 operation order), so heap keys do not change.
+            self._prio = self._precomputed_prio
+            self._sentinel_prio = w.sentinel
         else:
             heights = self._heights
             machine = self.machine
@@ -273,6 +288,48 @@ class ListScheduler:
         cycle is skipped on pop and re-enqueued by whichever event clears
         it, mirroring the reference loop's per-cycle re-checks.
         """
+        self._run_core()
+        return self._finish()
+
+    def run_cycle_summary(self) -> Tuple[int, List[Tuple[int, int]], Optional[int]]:
+        """Schedule and return ``(length, branch cycles, terminator cycle)``
+        without materializing the :class:`~repro.sched.schedule.ScheduledBlock`.
+
+        The issue order is exactly :meth:`run`'s (same core loop); only
+        final assembly is skipped.  ``branch cycles`` lists ``(uid, issue
+        cycle)`` for the block's conditional branches and ``terminator
+        cycle`` is the issue cycle of the last jump/halt in linear order
+        (``None`` without one) — precisely what the ideal-machine
+        :func:`~repro.arch.timing.estimate_cycles` model reads from a
+        block.  The confirm-separation invariant ``_finish`` enforces is
+        still checked, so a weight vector that would fail the full
+        backend fails here identically.
+        """
+        self._run_core()
+        cycle_of = self._cycle_of
+        nodes = self.graph.nodes
+        length = max(cycle_of.values()) + 1 if cycle_of else 0
+        branches = [
+            (nodes[b].uid, cycle_of[b]) for b in self._branch_positions
+        ]
+        terminator_cycle = None
+        terminator_key = None
+        for node in range(self.graph.original_count):
+            info = nodes[node].info
+            if info.is_cond_branch or not (info.is_jump or info.is_halt):
+                continue
+            # linear() order is (cycle, node-index) — _finish assembles
+            # words by exactly that sort — so "last in linear order" is
+            # the max of that key.
+            key = (cycle_of[node], node)
+            if terminator_key is None or key > terminator_key:
+                terminator_key = key
+                terminator_cycle = cycle_of[node]
+        if self._confirm_for:
+            self._check_confirm_separation()
+        return length, branches, terminator_cycle
+
+    def _run_core(self) -> None:
         graph = self.graph
         unscheduled = self._unscheduled
         preds_left = self._preds_left
@@ -280,8 +337,26 @@ class ListScheduler:
         buckets = self._buckets
         heap: List[Tuple] = []
         heappush, heappop = heapq.heappush, heapq.heappop
-        heap_key = self._heap_key
-        max_cycles = 64 * (len(graph) + 16) + sum(self.machine.latencies.values())
+        machine = self.machine
+        # The per-cycle resource accounting of CycleResources, inlined
+        # into locals (word_resource_violation stays the shared
+        # definition of "fits"; the verifier re-checks every word).  The
+        # width test of ``can_issue`` is unreachable here — a word
+        # reaching the issue width breaks out of the cycle immediately —
+        # so only the branch/memory limits guard deferral.
+        width = machine.issue_width
+        br_limit = machine.branches_per_cycle
+        mem_limit = machine.memory_ops_per_cycle
+        # _heap_key inlined: sentinels (nodes past the original
+        # priorities) fill empty slots at the sentinel weight (§5.2).
+        prio = self._prio
+        n_prio = len(prio)
+        sentinel_prio = self._sentinel_prio
+        tie_last = self._tie_source_last
+        nodes = graph.nodes  # live alias: add_node appends in place
+        # Alias, never rebound: _issue mutates this dict in place.
+        pending_stores = self._pending_spec_stores
+        max_cycles = 64 * (len(graph) + 16) + sum(machine.latencies.values())
 
         for node in range(graph.original_count):
             if preds_left[node] == 0:
@@ -290,11 +365,10 @@ class ListScheduler:
         cycle = 0
         while unscheduled:
             for node in buckets.pop(cycle, ()):
-                # Sentinels (nodes past the original priorities) fill
-                # empty slots at the sentinel weight (Section 5.2).
-                heappush(heap, heap_key(node))
+                p = prio[node] if node < n_prio else sentinel_prio
+                heappush(heap, (-p, -node, node) if tie_last else (-p, node))
             self._current_cycle = cycle
-            resources = CycleResources(self.machine)
+            slots = branches = memory_ops = 0
             deferred: List[Tuple] = []
             while heap:
                 entry = heappop(heap)
@@ -310,15 +384,31 @@ class ListScheduler:
                     # late-issuing new dependence): park it in its bucket.
                     buckets.setdefault(earliest[node], []).append(node)
                     continue
-                instr = graph.nodes[node]
-                if not resources.can_issue(instr) or not self._store_constraint_ok(
-                    instr
+                instr = nodes[node]
+                info = instr.info
+                is_control = info.is_control
+                is_mem = info.reads_mem or info.writes_mem
+                if (
+                    (is_control and br_limit is not None and branches >= br_limit)
+                    or (
+                        is_mem
+                        and mem_limit is not None
+                        and memory_ops >= mem_limit
+                    )
+                    or (
+                        pending_stores
+                        and not self._store_constraint_ok(instr)
+                    )
                 ):
                     deferred.append(entry)
                     continue
                 self._issue(node, cycle)
-                resources.commit(instr)
-                if resources.full:
+                slots += 1
+                if is_control:
+                    branches += 1
+                if is_mem:
+                    memory_ops += 1
+                if slots >= width:
                     break
             for entry in deferred:
                 heappush(heap, entry)
@@ -338,7 +428,6 @@ class ListScheduler:
                     f"no progress scheduling block {self.block.label!r} "
                     f"(cyclic constraints?)"
                 )
-        return self._finish()
 
     def run_reference(self) -> BlockScheduleResult:
         """The seed repository's cycle-driven scan loop, retained verbatim.
@@ -387,10 +476,11 @@ class ListScheduler:
     def _store_constraint_ok(self, instr: Instruction) -> bool:
         """Deadlock avoidance (Section 4.2): a speculative store may be
         separated from its confirm by at most N-1 stores."""
-        if instr.op not in _BUFFER_STORE_OPS:
+        pending = self._pending_spec_stores
+        if not pending or instr.op not in _BUFFER_STORE_OPS:
             return True
         limit = self.machine.store_buffer_size - 1
-        return all(count < limit for count in self._pending_spec_stores.values())
+        return all(count < limit for count in pending.values())
 
     def _moved_above(self, node: int, cycle: int) -> List[int]:
         """Branch nodes this instruction moved above (or into the word of),
@@ -406,7 +496,8 @@ class ListScheduler:
         return moved
 
     def _issue(self, node: int, cycle: int) -> None:
-        instr = self.graph.nodes[node]
+        graph = self.graph
+        instr = graph.nodes[node]
         self._cycle_of[node] = cycle
         self._current_cycle = cycle
         self._unscheduled.discard(node)
@@ -414,7 +505,7 @@ class ListScheduler:
         preds_left = self._preds_left
         unscheduled = self._unscheduled
         buckets = self._buckets
-        for arc in self.graph.iter_succs(node):
+        for arc in graph.iter_succs(node):
             dst = arc.dst
             ready = cycle + arc.latency
             if ready > earliest[dst]:
@@ -431,15 +522,28 @@ class ListScheduler:
                     ready = cycle + 1
                 buckets.setdefault(ready, []).append(dst)
 
-        moved_above = self._moved_above(node, cycle)
+        # _moved_above inlined with an early-out: most issues either have
+        # no earlier branch at all or every earlier branch already retired
+        # to a previous cycle.
+        bp = self._branch_positions
+        if node >= graph.original_count or not bp or bp[0] >= node:
+            moved_above: List[int] = []
+        else:
+            cycle_of = self._cycle_of
+            moved_above = []
+            for b in bp:
+                if b >= node:
+                    break
+                if b in unscheduled or cycle_of.get(b) == cycle:
+                    moved_above.append(b)
         spec = bool(moved_above)
-        if node < self.graph.original_count:
+        if node < graph.original_count:
             instr.spec = spec
             if self.policy.max_boost is not None:
                 # Record the branch set for the shadow hardware; the
                 # retained control arcs guarantee the bound holds.
                 instr.boost_branches = tuple(
-                    self.graph.nodes[b].uid for b in moved_above
+                    graph.nodes[b].uid for b in moved_above
                 )
                 if len(moved_above) > self.policy.max_boost:
                     raise SchedulingError(
@@ -448,12 +552,15 @@ class ListScheduler:
                     )
             else:
                 instr.boost_branches = ()
-        self._carry.record_issue(node, spec)
         if spec:
             self.stats.speculative += 1
+            if self._track_carries:
+                # Non-speculative issues are no-ops for the tracker (an
+                # absent entry reads as tag-free), so only record here.
+                self._carry.record_issue(node, spec)
 
         is_buffer_store = instr.op in _BUFFER_STORE_OPS
-        if is_buffer_store:
+        if is_buffer_store and self._pending_spec_stores:
             for pending in self._pending_spec_stores:
                 self._pending_spec_stores[pending] += 1
 
@@ -468,7 +575,7 @@ class ListScheduler:
         ):
             self._insert_check(node)
 
-        if node in self._confirm_for:
+        if self._confirm_for and node in self._confirm_for:
             self._pending_spec_stores.pop(self._confirm_for[node], None)
 
     def _register_sentinel(self, sentinel_node: int) -> None:
@@ -625,6 +732,27 @@ class ListScheduler:
             check_of=check_of,
         )
 
+    def _check_confirm_separation(self) -> None:
+        """The separation check of :meth:`_patch_confirm_indices` without
+        materializing the schedule (the index-operand patching only
+        touches this run's private confirm sentinels, so cycle-summary
+        callers skip it)."""
+        order = sorted(self._cycle_of.items(), key=lambda kv: (kv[1], kv[0]))
+        position = {node: i for i, (node, _cycle) in enumerate(order)}
+        ops = [self.graph.nodes[node].op for node, _cycle in order]
+        limit = self.machine.store_buffer_size - 1
+        for conf_node, store_node in self._confirm_for.items():
+            start = position[store_node]
+            end = position[conf_node]
+            stores_between = sum(
+                1 for op in ops[start + 1 : end] if op in _BUFFER_STORE_OPS
+            )
+            if stores_between > limit:
+                raise SchedulingError(
+                    f"confirm separation {stores_between} exceeds N-1 "
+                    f"({limit})"
+                )
+
     def _patch_confirm_indices(self, scheduled: ScheduledBlock) -> None:
         """Fill in confirm_store index operands: "the number of stores
         (regular and speculative) between a speculative store and its
@@ -662,6 +790,7 @@ def schedule_block(
     despeculated: frozenset = frozenset(),
     graph: Optional[DepGraph] = None,
     weights: Optional[PriorityWeights] = None,
+    priorities: Optional[List[float]] = None,
 ) -> BlockScheduleResult:
     """Schedule one (super)block; see :class:`ListScheduler`."""
     scheduler = ListScheduler(
@@ -675,5 +804,6 @@ def schedule_block(
         despeculated=despeculated,
         graph=graph,
         weights=weights,
+        priorities=priorities,
     )
     return scheduler.run()

@@ -40,7 +40,7 @@ _CELL_FIELDS = (
 _RESULT_FIELDS = (
     "config", "base_cycles", "cells", "timings", "pass_timings",
     "interp_steps", "wall_seconds", "effective_jobs", "sim_lanes",
-    "sim_ok", "sim_counters", "cache_counters",
+    "sim_ok", "sim_counters", "sched_counters", "cache_counters",
 )
 
 
@@ -116,6 +116,7 @@ def sweep_result_to_json_dict(sweep: SweepResult) -> Dict[str, object]:
     data["sim_lanes"] = sweep.sim_lanes
     data["sim_ok"] = sweep.sim_ok
     data["sim_counters"] = sweep.sim_counters
+    data["sched_counters"] = sweep.sched_counters
     data["cache_counters"] = sweep.cache_counters
     return data
 
@@ -141,6 +142,7 @@ def sweep_result_from_json_dict(data: Dict[str, object]) -> SweepResult:
     sweep.sim_lanes = int(data.get("sim_lanes", 0))
     sweep.sim_ok = int(data.get("sim_ok", 0))
     sweep.sim_counters = data.get("sim_counters", {})
+    sweep.sched_counters = data.get("sched_counters", {})
     sweep.cache_counters = data.get("cache_counters", {})
     return sweep
 

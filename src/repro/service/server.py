@@ -89,6 +89,8 @@ class _Metrics:
     cache_misses: int = 0
     cache_corrupt: int = 0
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Batch scheduling engine counters summed over sweep jobs.
+    sched_counters: Dict[str, int] = field(default_factory=dict)
 
 
 class SentinelService:
@@ -355,6 +357,8 @@ class SentinelService:
         m.cache_corrupt += counters.get("corrupt", 0)
         for name, seconds in (meta.get("pass_seconds") or {}).items():
             m.pass_seconds[name] = m.pass_seconds.get(name, 0.0) + seconds
+        for name, count in (meta.get("sched") or {}).items():
+            m.sched_counters[name] = m.sched_counters.get(name, 0) + count
 
     # -- introspection payloads ---------------------------------------
 
@@ -393,6 +397,7 @@ class SentinelService:
                 "max_pending": self.config.max_pending,
             },
             "pass_seconds": dict(m.pass_seconds),
+            "sched": dict(m.sched_counters),
         }
 
 

@@ -180,6 +180,7 @@ def _sweep_core(params) -> Tuple[dict, dict]:
     meta = {
         "pass_seconds": sweep.pass_totals(),
         "cache": dict(sweep.cache_counters),
+        "sched": dict(sweep.sched_counters),
     }
     return sweep_result_to_json_dict(sweep), meta
 

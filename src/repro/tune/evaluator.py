@@ -10,19 +10,34 @@ analytic :func:`~repro.arch.timing.estimate_cycles` model, the same
 metric the evaluation sweep reports.  Repeated vectors are memoized by
 canonical text, so search stages revisiting a point (beam backtracking,
 annealing rejections) cost nothing.
+
+With ``batch=True`` (the default wherever numpy is importable) whole
+candidate populations price through the fused batch scheduling engine
+(:mod:`repro.sched.batch_scheduler`): one vectorized priority combine
+per generation, candidates whose priority orderings coincide share one
+schedule, and a per-(policy, rate) *signature memo* carries those cycle
+results across generations — a signature hit skips both the schedule
+and the cycle estimate.  Results are bit-identical to the sequential
+path (budget accounting included); only the wall clock changes.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.timing import estimate_cycles
 from ..cfg.basic_block import to_basic_blocks
 from ..deps.reduction import POLICIES, SpeculationPolicy
 from ..interp.interpreter import run_program
 from ..machine.description import paper_machine
+from ..sched.batch_scheduler import (
+    estimate_population_cycles,
+    sched_batch_default,
+    schedule_prepared_batch,
+)
 from ..sched.compiler import prepare_compilation, schedule_prepared
 from ..sched.priority import DEFAULT_WEIGHTS, PriorityWeights
 from ..workloads.suites import build_workload
@@ -68,9 +83,18 @@ class TuneTarget:
 class BenchmarkEvaluator:
     """Cycle-count oracle for one benchmark under candidate weights."""
 
-    def __init__(self, name: str, target: TuneTarget = TuneTarget()) -> None:
+    def __init__(
+        self,
+        name: str,
+        target: TuneTarget = TuneTarget(),
+        batch: Optional[bool] = None,
+    ) -> None:
         self.name = name
         self.target = target
+        #: Route candidate pricing through the fused batch scheduling
+        #: engine (``None`` = wherever numpy is importable).  Off, the
+        #: evaluator follows the original sequential code path exactly.
+        self.batch = sched_batch_default() if batch is None else bool(batch)
         self.workload = build_workload(name, seed=target.seed, scale=target.scale)
         self.basic = to_basic_blocks(self.workload.program)
         training = run_program(
@@ -88,6 +112,16 @@ class BenchmarkEvaluator:
         self._prepared: Dict[bool, object] = {}
         self._profiles: Dict[bool, object] = {}
         self._memo: Dict[str, CellCycles] = {}
+        #: issue rate -> {per-block priority-ordering key -> that
+        #: block's cycle contribution}.  A block's schedule (hence its
+        #: contribution to the ideal-machine estimate) is a function of
+        #: the ordering the weights induce on that block alone, so
+        #: candidates share block work far beyond whole-vector dedup.
+        #: Keyed per rate (not per cell): the memo keys already carry the
+        #: graph-policy name and block label, so the sentinel_store cell
+        #: reuses the sentinel cell's plain-graph entries for its
+        #: store-vs-plain comparison instead of rescheduling them.
+        self._block_memo: Dict[int, Dict[tuple, int]] = {}
         #: Fresh (non-memoized) candidate evaluations performed so far —
         #: the unit the search budget is charged in.
         self.evaluations = 0
@@ -106,11 +140,11 @@ class BenchmarkEvaluator:
             )
         return self._prepared[flag]
 
-    def _profile(self, policy: SpeculationPolicy, comp):
+    def _profile(self, policy: SpeculationPolicy, program):
         flag = policy.sentinels
         if flag not in self._profiles:
             result = run_program(
-                comp.superblock_program,
+                program,
                 memory=self.workload.make_memory(),
                 max_steps=self.target.max_steps,
             )
@@ -125,6 +159,8 @@ class BenchmarkEvaluator:
         """Estimated cycles of every (policy, issue rate) cell under
         ``weights`` (``None`` or the default vector = the paper
         heuristic)."""
+        if self.batch:
+            return self.cells_many([weights])[0]
         if weights is not None and weights.is_default:
             weights = None
         key = (weights or DEFAULT_WEIGHTS).canonical()
@@ -138,7 +174,7 @@ class BenchmarkEvaluator:
                 comp = schedule_prepared(
                     prep, self._machines[rate], policy=policy, weights=weights
                 )
-                profile = self._profile(policy, comp)
+                profile = self._profile(policy, comp.superblock_program)
                 out[(policy.name, rate)] = estimate_cycles(
                     comp.scheduled, profile
                 ).total_cycles
@@ -146,15 +182,90 @@ class BenchmarkEvaluator:
         self.evaluations += 1
         return out
 
-    def objective(self, weights: Optional[PriorityWeights]) -> float:
-        """Geomean of tuned/default cycle ratios over the target cells
-        (lower is better; the default vector scores exactly 1.0)."""
-        cells = self.cells(weights)
+    def cells_many(
+        self, candidates: Sequence[Optional[PriorityWeights]]
+    ) -> List[CellCycles]:
+        """Estimated cycles for a whole candidate population, fused.
+
+        One batched schedule call per (policy, rate) covers every
+        canonically-fresh candidate; signature-memo hits from earlier
+        generations skip scheduling entirely.  Memoization and the
+        ``evaluations`` budget accounting are identical to looping
+        :meth:`cells` — one charge per canonically fresh vector.
+        """
+        out: List[Optional[CellCycles]] = [None] * len(candidates)
+        fresh_keys: List[str] = []
+        fresh_weights: List[Optional[PriorityWeights]] = []
+        assign: Dict[str, List[int]] = {}
+        for i, weights in enumerate(candidates):
+            if weights is not None and weights.is_default:
+                weights = None
+            key = (weights or DEFAULT_WEIGHTS).canonical()
+            cached = self._memo.get(key)
+            if cached is not None:
+                out[i] = cached
+                continue
+            slots = assign.get(key)
+            if slots is None:
+                slots = assign[key] = []
+                fresh_keys.append(key)
+                fresh_weights.append(weights)
+            slots.append(i)
+        if fresh_weights:
+            rows: List[CellCycles] = [{} for _ in fresh_weights]
+            for policy in self.target.policies():
+                prep = self._prepare(policy)
+                profile = self._profile(policy, prep.work)
+                for rate in self.target.issue_rates:
+                    machine = self._machines[rate]
+                    cell = (policy.name, rate)
+                    values = estimate_population_cycles(
+                        prep,
+                        machine,
+                        fresh_weights,
+                        profile,
+                        policy=policy,
+                        memo=self._block_memo.setdefault(rate, {}),
+                    )
+                    for j, value in enumerate(values):
+                        if value is None:
+                            # Unsignable candidate (non-finite weights):
+                            # price it exactly as the sequential path
+                            # would, with a full schedule + estimate.
+                            comp = schedule_prepared(
+                                prep,
+                                machine,
+                                policy=policy,
+                                weights=fresh_weights[j],
+                            )
+                            value = estimate_cycles(
+                                comp.scheduled, profile
+                            ).total_cycles
+                        rows[j][cell] = value
+            for key, cells in zip(fresh_keys, rows):
+                self._memo[key] = cells
+                self.evaluations += 1
+                for i in assign[key]:
+                    out[i] = cells
+        return out
+
+    def _score(self, cells: CellCycles) -> float:
         log_sum = sum(
             math.log(cells[cell] / self.default_cells[cell])
             for cell in self.default_cells
         )
         return math.exp(log_sum / len(self.default_cells))
+
+    def objective(self, weights: Optional[PriorityWeights]) -> float:
+        """Geomean of tuned/default cycle ratios over the target cells
+        (lower is better; the default vector scores exactly 1.0)."""
+        return self._score(self.cells(weights))
+
+    def objective_many(
+        self, candidates: Sequence[Optional[PriorityWeights]]
+    ) -> List[float]:
+        """Scores for a whole population through one fused pricing pass."""
+        return [self._score(cells) for cells in self.cells_many(candidates)]
 
     # -- cycle-level validation ----------------------------------------
 
@@ -198,3 +309,73 @@ class BenchmarkEvaluator:
         except AssertionError as exc:
             return {"cell": cell, "ok": False, "error": str(exc)}
         return {"cell": cell, "ok": True, "fast_cycles": out.cycles}
+
+    def validate_many(
+        self, candidates: Sequence[Optional[PriorityWeights]]
+    ) -> List[Dict[str, object]]:
+        """Cycle-level validation of a surviving candidate pool, batched.
+
+        Candidates deduplicate onto shared schedules through the batch
+        scheduling engine, the sequential reference runs once, and every
+        distinct schedule executes through one
+        :func:`~repro.arch.batchproc.run_batch` call (which coalesces
+        identical cells) instead of per-candidate engine runs.  Payload
+        shape and cycle counts match :meth:`validate` exactly — the batch
+        executor is pinned bit-identical to the single-cell engines.
+        """
+        from ..arch.batchproc import BatchCell, run_batch
+        from ..interp.state import assert_equivalent
+
+        if not candidates:
+            return []
+        policy = self.target.policies()[-1]
+        rate = max(self.target.issue_rates)
+        machine = self._machines[rate]
+        normalized = [
+            None if w is None or w.is_default else w for w in candidates
+        ]
+        # Snapshot each group's schedule while its words are live: later
+        # groups rewrite the shared instructions' speculative flags.
+        scheduled = schedule_prepared_batch(
+            self._prepare(policy),
+            machine,
+            normalized,
+            policy=policy,
+            consume=lambda comp: copy.deepcopy(comp.scheduled),
+        )
+        reference = run_program(
+            self.workload.program,
+            memory=self.workload.make_memory(),
+            max_steps=self.target.max_steps,
+        )
+        results = run_batch(
+            [
+                BatchCell(
+                    scheduled=program,
+                    machine=machine,
+                    memory=self.workload.make_memory(),
+                )
+                for program in scheduled
+            ]
+        )
+        cell = f"{policy.name}@{rate}"
+        payloads: List[Dict[str, object]] = []
+        for result in results:
+            if isinstance(result, Exception):
+                payloads.append(
+                    {"cell": cell, "ok": False, "error": str(result)}
+                )
+                continue
+            try:
+                assert_equivalent(
+                    reference,
+                    result,
+                    context=f"{self.name} {cell} tuned-weights",
+                )
+            except AssertionError as exc:
+                payloads.append({"cell": cell, "ok": False, "error": str(exc)})
+            else:
+                payloads.append(
+                    {"cell": cell, "ok": True, "fast_cycles": result.cycles}
+                )
+        return payloads

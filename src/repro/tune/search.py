@@ -76,6 +76,13 @@ class TuneConfig:
     #: Cycle-accurately execute each winning schedule on the fast engine
     #: and differential-check it against the sequential reference.
     validate: bool = True
+    #: Price candidate populations through the fused batch scheduling
+    #: engine (one vectorized priority pass per generation, coinciding
+    #: candidates deduplicated onto shared schedules, winners validated
+    #: through the lockstep batch executor).  Bit-identical winners and
+    #: reports; only the wall clock changes.  Degrades to the sequential
+    #: path without numpy.
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -141,8 +148,14 @@ class _Search:
         stages: Tuple[str, ...],
         beam_width: int,
         rng: Random,
+        score_many=None,
     ) -> None:
         self._score = score
+        #: Optional population oracle (``score_many(vectors) -> scores``);
+        #: when set, the grid and beam stages submit each generation as
+        #: one batch.  Anneal stays sequential — each step depends on the
+        #: previous score — and still benefits from the oracle's memos.
+        self._score_many = score_many
         self.budget = budget
         self.stages = stages
         self.beam_width = beam_width
@@ -177,6 +190,39 @@ class _Search:
             self.best_key = key
         return score
 
+    def consider_many(self, candidates: List[PriorityWeights], allowed: int) -> None:
+        """Batched equivalent of sequential :meth:`consider` calls guarded
+        by ``if self.spent >= allowed: return`` before each.
+
+        Seen keys are no-ops in the sequential loop (memoized, no best
+        update), so the batch is exactly the first ``allowed - spent``
+        fresh unique candidates in order.  Final ``seen``/``best`` state
+        is identical: the best is the lexicographic minimum of
+        ``(score, canonical)`` over everything scored, which is
+        evaluation-order independent.
+        """
+        fresh: List[PriorityWeights] = []
+        keys: List[str] = []
+        pending = set()
+        for candidate in candidates:
+            key = candidate.canonical()
+            if key in self.seen or key in pending:
+                continue
+            if self.spent + len(fresh) >= allowed:
+                break
+            pending.add(key)
+            keys.append(key)
+            fresh.append(candidate)
+        if not fresh:
+            return
+        scores = self._score_many(fresh)
+        for key, candidate, score in zip(keys, fresh, scores):
+            self.spent += 1
+            self.seen[key] = (score, candidate)
+            best_score = self.seen[self.best_key][0]
+            if score < best_score or (score == best_score and key < self.best_key):
+                self.best_key = key
+
     def run(self) -> None:
         caps = _stage_caps(self.stages, self.budget)
         allowed = 0
@@ -191,6 +237,9 @@ class _Search:
     # -- stages --------------------------------------------------------
 
     def _stage_grid(self, allowed: int) -> None:
+        if self._score_many is not None:
+            self.consider_many(grid_candidates(), allowed)
+            return
         for candidate in grid_candidates():
             if self.spent >= allowed:
                 return
@@ -205,6 +254,24 @@ class _Search:
         for _round in range(6):
             if self.spent >= allowed:
                 return
+            if self._score_many is not None:
+                # The round's member list is fixed at round start, so the
+                # whole neighborhood is one generation (in the exact
+                # sequential candidate order).
+                generation: List[PriorityWeights] = []
+                for member in self._beam():
+                    for name in SEARCH_FIELDS:
+                        for delta in (step, -step):
+                            generation.append(member.perturbed(name, delta))
+                    toggled = (
+                        "source_last" if member.tie_break == "source" else "source"
+                    )
+                    generation.append(
+                        PriorityWeights(**{**member.to_dict(), "tie_break": toggled})
+                    )
+                self.consider_many(generation, allowed)
+                step /= 2.0
+                continue
             for member in self._beam():
                 for name in SEARCH_FIELDS:
                     for delta in (step, -step):
@@ -262,6 +329,11 @@ class BenchmarkReport:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_evals: Dict[str, int] = field(default_factory=dict)
     validation: Optional[Dict[str, object]] = None
+    #: Batch scheduling engine counters accumulated by this search
+    #: (candidates, unique_schedules, dedup_hits, fallbacks).
+    sched_counters: Dict[str, int] = field(default_factory=dict)
+    #: Batch simulator counters (validation runs through run_batch).
+    sim_counters: Dict[str, int] = field(default_factory=dict)
     pid: int = 0
 
     def to_payload(self) -> Dict[str, object]:
@@ -274,6 +346,8 @@ class BenchmarkReport:
             "stage_seconds": self.stage_seconds,
             "stage_evals": self.stage_evals,
             "validation": self.validation,
+            "sched_counters": self.sched_counters,
+            "sim_counters": self.sim_counters,
         }
 
 
@@ -281,21 +355,40 @@ def _cells_payload(cells) -> Dict[str, int]:
     return {f"{policy}@{rate}": cycles for (policy, rate), cycles in cells.items()}
 
 
+def _counters_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Counter movement between two snapshots of an additive counter dict."""
+    return {
+        key: after[key] - before.get(key, 0)
+        for key in sorted(after)
+        if after[key] - before.get(key, 0)
+    }
+
+
 def _search_benchmark(config: TuneConfig, name: str) -> BenchmarkReport:
     """Run the full staged search for one benchmark (one pool task)."""
-    evaluator = BenchmarkEvaluator(name, config.target)
+    from ..arch import batchproc
+    from ..sched import batch_scheduler
+
+    sched_before = batch_scheduler.counters_snapshot()
+    sim_before = batchproc.counters_snapshot()
+    evaluator = BenchmarkEvaluator(name, config.target, batch=config.batch)
+    batched = config.batch and evaluator.batch
     search = _Search(
         evaluator.objective,
         config.budget,
         config.stages,
         config.beam_width,
         Random(_bench_seed(config.seed, name)),
+        score_many=evaluator.objective_many if batched else None,
     )
     search.run()
     best_score, best = search.best
     validation = None
     if config.validate and not best.is_default:
-        validation = evaluator.validate(best)
+        if batched:
+            validation = evaluator.validate_many([best])[0]
+        else:
+            validation = evaluator.validate(best)
     return BenchmarkReport(
         name=name,
         best=best.to_dict(),
@@ -306,31 +399,42 @@ def _search_benchmark(config: TuneConfig, name: str) -> BenchmarkReport:
         stage_seconds=search.stage_seconds,
         stage_evals=search.stage_evals,
         validation=validation,
+        sched_counters=_counters_delta(
+            sched_before, batch_scheduler.counters_snapshot()
+        ),
+        sim_counters=_counters_delta(sim_before, batchproc.counters_snapshot()),
         pid=os.getpid(),
     )
 
 
 # -- global mode -------------------------------------------------------
 
-#: Worker-global evaluator cache: (target, benchmark) -> evaluator.
+#: Worker-global evaluator cache: (target, benchmark, batch) -> evaluator.
 #: Lives for the pool worker's lifetime, so every candidate after a
 #: worker's first on a benchmark costs only the backend schedules.
-_WORKER_EVALUATORS: Dict[Tuple[TuneTarget, str], BenchmarkEvaluator] = {}
+_WORKER_EVALUATORS: Dict[Tuple[TuneTarget, str, bool], BenchmarkEvaluator] = {}
 
 
-def _worker_evaluator(target: TuneTarget, name: str) -> BenchmarkEvaluator:
-    key = (target, name)
+def _worker_evaluator(
+    target: TuneTarget, name: str, batch: bool = True
+) -> BenchmarkEvaluator:
+    key = (target, name, bool(batch))
     evaluator = _WORKER_EVALUATORS.get(key)
     if evaluator is None:
-        evaluator = _WORKER_EVALUATORS[key] = BenchmarkEvaluator(name, target)
+        evaluator = _WORKER_EVALUATORS[key] = BenchmarkEvaluator(
+            name, target, batch=batch
+        )
     return evaluator
 
 
 def _eval_cells(
-    target: TuneTarget, payload: Optional[Dict[str, object]], name: str
+    target: TuneTarget,
+    batch: bool,
+    payload: Optional[Dict[str, object]],
+    name: str,
 ) -> Tuple[str, Dict[str, int], Dict[str, int]]:
     """Pool task: (benchmark, default cells, cells under ``payload``)."""
-    evaluator = _worker_evaluator(target, name)
+    evaluator = _worker_evaluator(target, name, batch)
     weights = None if payload is None else PriorityWeights.from_dict(payload)
     return (
         name,
@@ -352,7 +456,7 @@ class _GlobalScorer:
 
     def cells_for(self, weights: Optional[PriorityWeights]):
         payload = None if weights is None or weights.is_default else weights.to_dict()
-        task = partial(_eval_cells, self.config.target, payload)
+        task = partial(_eval_cells, self.config.target, self.config.batch, payload)
         if self.pool is not None:
             rows = list(self.pool.map(task, self.config.benchmarks, chunksize=1))
         else:
@@ -437,6 +541,22 @@ class SearchReport:
     def total_evaluations(self) -> int:
         return sum(r.evaluations for r in self.per_benchmark.values())
 
+    def sched_counters(self) -> Dict[str, int]:
+        """Batch scheduling engine counters summed over the whole search."""
+        totals: Dict[str, int] = {}
+        for report in self.per_benchmark.values():
+            for key, value in report.sched_counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
+    def sim_counters(self) -> Dict[str, int]:
+        """Batch simulator counters summed over the whole search."""
+        totals: Dict[str, int] = {}
+        for report in self.per_benchmark.values():
+            for key, value in report.sim_counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
     def to_payload(self) -> Dict[str, object]:
         return {
             "mode": self.config.mode,
@@ -455,6 +575,8 @@ class SearchReport:
             "geomean_reductions": self.geomean_reductions(),
             "stage_seconds": self.stage_seconds(),
             "total_evaluations": self.total_evaluations(),
+            "sched_counters": self.sched_counters(),
+            "sim_counters": self.sim_counters(),
             "wall_seconds": self.wall_seconds,
             "effective_jobs": self.effective_jobs,
             "weights": self.tuned().to_payload(),
@@ -482,6 +604,30 @@ class SearchReport:
         lines.append("per-cell geomean cycle reduction vs default:")
         for cell, reduction in self.geomean_reductions().items():
             lines.append(f"  {cell:<20} {reduction * 100:6.2f}%")
+        sched = self.sched_counters()
+        if sched.get("objective_candidates"):
+            lines.append(
+                "batch objective: "
+                f"{sched.get('objective_candidates', 0)} candidates, "
+                f"{sched.get('block_schedules', 0)} block schedules, "
+                f"{sched.get('block_memo_hits', 0)} block memo hits, "
+                f"{sched.get('candidates_fallback', 0)} fallbacks"
+            )
+        if sched.get("candidates"):
+            lines.append(
+                "batch scheduling: "
+                f"{sched.get('candidates', 0)} candidates, "
+                f"{sched.get('unique_schedules', 0)} unique schedules, "
+                f"{sched.get('dedup_hits', 0)} dedup hits"
+            )
+        sim = self.sim_counters()
+        if sim.get("cells_lockstep"):
+            lines.append(
+                "batch validation: "
+                f"{sim.get('cells_lockstep', 0)} lockstep cells in "
+                f"{sim.get('lockstep_runs', 0)} runs, "
+                f"{sim.get('lockstep_divergences', 0)} divergences"
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,212 @@
+"""The fused batch scheduling engine is bit-identical to the sequential path.
+
+Three layers of guarantees, each pinned here:
+
+- ``schedule_prepared_batch`` returns uid-identical schedules to looping
+  ``schedule_prepared`` over the same population (property-tested over
+  random weight vectors, issue widths 1/2/7/32 and all four policies);
+- candidates sharing a dedup signature really do share one schedule, and
+  the dedup bookkeeping counts them;
+- ``BenchmarkEvaluator.cells_many`` (the tuning objective's batched
+  front-end, backed by ``estimate_population_cycles``) prices every
+  candidate exactly as the sequential ``cells`` path does, with identical
+  budget accounting.
+"""
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cfg.basic_block import to_basic_blocks
+from repro.deps.reduction import GENERAL, RESTRICTED, SENTINEL, SENTINEL_STORE
+from repro.interp.interpreter import run_program
+from repro.isa.printer import format_instruction
+from repro.machine.description import paper_machine
+from repro.sched import batch_scheduler
+from repro.sched.batch_scheduler import (
+    candidate_signatures,
+    estimate_population_cycles,
+    schedule_prepared_batch,
+)
+from repro.sched.compiler import prepare_compilation, schedule_prepared
+from repro.sched.priority import PriorityWeights
+from repro.tune.evaluator import BenchmarkEvaluator, TuneTarget
+from repro.workloads.suites import build_workload
+
+POLICIES = {
+    "restricted": RESTRICTED,
+    "general": GENERAL,
+    "sentinel": SENTINEL,
+    "sentinel_store": SENTINEL_STORE,
+}
+
+
+def schedule_digest(comp) -> str:
+    lines = []
+    for blk in comp.scheduled.blocks:
+        lines.append(f"== {blk.label} falls_through={blk.falls_through}")
+        for cycle, word in enumerate(blk.words):
+            for instr in word:
+                lines.append(
+                    f"{cycle}|{instr.uid}|{format_instruction(instr)}"
+                    f"|spec={instr.spec}|home={instr.home_block}"
+                    f"|sf={instr.sentinel_for}"
+                )
+    lines.append(json.dumps(vars(comp.stats), sort_keys=True))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _prepared(bench, policy):
+    workload = build_workload(bench, seed=0)
+    basic = to_basic_blocks(workload.program)
+    training = run_program(
+        basic, memory=workload.make_memory(), max_steps=10_000_000
+    )
+    assert training.halted
+    return prepare_compilation(basic, training.profile, policy), training.profile
+
+
+weight_floats = st.sampled_from(
+    [0.0, 1.0, -1.0, 0.5, 2.0, -0.25, 3.0, -2.0, 0.125]
+)
+
+weights_strategy = st.one_of(
+    st.none(),
+    st.just(PriorityWeights()),
+    st.builds(
+        PriorityWeights,
+        height=weight_floats,
+        succs=weight_floats,
+        latency=weight_floats,
+        memory=weight_floats,
+        branch=weight_floats,
+        speculative=weight_floats,
+        sentinel=weight_floats,
+        tie_break=st.sampled_from(["source", "source_last"]),
+    ),
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=st.lists(weights_strategy, min_size=1, max_size=6),
+    policy_name=st.sampled_from(sorted(POLICIES)),
+    width=st.sampled_from([1, 2, 7, 32]),
+)
+def test_batch_matches_sequential_schedules(population, policy_name, width):
+    """Property: batched scheduling is uid-identical to the loop."""
+    policy = POLICIES[policy_name]
+    prepared, _profile = _prepared("wc", policy)
+    machine = paper_machine(1).at_issue_width(width)
+    got = schedule_prepared_batch(
+        prepared, machine, population, policy=policy, consume=schedule_digest
+    )
+    want = [
+        schedule_digest(
+            schedule_prepared(prepared, machine, policy=policy, weights=w)
+        )
+        for w in population
+    ]
+    assert got == want
+
+
+def test_dedup_collapses_equivalent_candidates():
+    """Candidates inducing the same priority ordering share one schedule."""
+    policy = SENTINEL
+    prepared, _profile = _prepared("cmp", policy)
+    machine = paper_machine(2)
+    default = PriorityWeights()
+    # Scaling every weight by a positive constant preserves all priority
+    # comparisons, so these three must collapse into one dedup group.
+    population = [
+        None,
+        default,
+        PriorityWeights(height=2.0, sentinel=2.0),
+        PriorityWeights(height=4.0, sentinel=4.0),
+        PriorityWeights(height=-1.0),
+    ]
+    signatures = candidate_signatures(
+        prepared, machine, population, policy=policy
+    )
+    assert signatures[0] is not None, "fused scheduling should apply"
+    assert signatures[0] == signatures[1] == signatures[2] == signatures[3]
+    assert signatures[4] != signatures[0]
+
+    batch_scheduler.reset_counters()
+    digests = schedule_prepared_batch(
+        prepared, machine, population, policy=policy, consume=schedule_digest
+    )
+    counters = batch_scheduler.counters_snapshot()
+    assert counters["candidates"] == 5
+    assert counters["unique_schedules"] == 2
+    assert counters["dedup_hits"] == 3
+    assert digests[0] == digests[1] == digests[2] == digests[3]
+    # And the shared schedule is exactly the sequential one.
+    for weights, digest in zip(population, digests):
+        comp = schedule_prepared(
+            prepared, machine, policy=policy, weights=weights
+        )
+        assert schedule_digest(comp) == digest
+
+
+def test_estimate_population_cycles_matches_sequential():
+    """Per-block fused estimates equal full schedule + estimate_cycles."""
+    from repro.arch.timing import estimate_cycles
+
+    policy = SENTINEL_STORE
+    prepared, profile = _prepared("grep", policy)
+    machine = paper_machine(4)
+    population = [
+        None,
+        PriorityWeights(),
+        PriorityWeights(latency=1.0, memory=0.5),
+        PriorityWeights(height=0.0, succs=1.0, tie_break="source_last"),
+        PriorityWeights(height=float("nan")),  # unsignable -> None
+    ]
+    memo = {}
+    values = estimate_population_cycles(
+        prepared, machine, population, profile, policy=policy, memo=memo
+    )
+    assert values[-1] is None
+    for weights, value in zip(population[:-1], values[:-1]):
+        comp = schedule_prepared(
+            prepared, machine, policy=policy, weights=weights
+        )
+        assert value == estimate_cycles(comp.scheduled, profile).total_cycles
+    # A second call over the same population is answered from the memo.
+    batch_scheduler.reset_counters()
+    again = estimate_population_cycles(
+        prepared, machine, population, profile, policy=policy, memo=memo
+    )
+    assert again == values
+    assert batch_scheduler.counters_snapshot().get("block_schedules", 0) == 0
+
+
+def test_cells_many_matches_sequential_cells():
+    """The batched evaluator front-end equals the sequential oracle."""
+    target = TuneTarget(
+        policy_names=("general", "sentinel", "sentinel_store"),
+        issue_rates=(2,),
+    )
+    population = [
+        None,
+        PriorityWeights(),
+        PriorityWeights(latency=0.5),
+        PriorityWeights(latency=0.5),  # canonical duplicate
+        PriorityWeights(height=2.0, sentinel=2.0),  # dedups with default
+        PriorityWeights(speculative=-1.0, tie_break="source_last"),
+    ]
+    batched = BenchmarkEvaluator("wc", target, batch=True)
+    sequential = BenchmarkEvaluator("wc", target, batch=False)
+    got = batched.cells_many(population)
+    want = [sequential.cells(w) for w in population]
+    assert got == want
+    # Budget accounting is identical: one charge per canonically fresh
+    # vector, regardless of schedule-level dedup.
+    assert batched.evaluations == sequential.evaluations
